@@ -1,0 +1,66 @@
+//! Message-passing substrate benchmarks: point-to-point latency through
+//! the channel transport, barrier and allreduce scaling with rank count.
+//! (Wall-clock on a timeshared host; these measure the substrate's real
+//! overhead, unlike the virtual cost model.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcdlb_mp::{collectives, World};
+
+fn bench_ping_pong(c: &mut Criterion) {
+    c.bench_function("p2p_ping_pong_1000x", |b| {
+        b.iter(|| {
+            World::new(2).run(|comm| {
+                for i in 0..1000u64 {
+                    if comm.rank() == 0 {
+                        comm.send(1, 1, i);
+                        let _: u64 = comm.recv(1, 2);
+                    } else {
+                        let x: u64 = comm.recv(0, 1);
+                        comm.send(0, 2, x);
+                    }
+                }
+            })
+        })
+    });
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier_100x");
+    for p in [4usize, 9, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                World::new(p).run(|comm| {
+                    for t in 0..100 {
+                        collectives::barrier(comm, t);
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce_f64_100x");
+    for p in [4usize, 9, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                World::new(p).run(|comm| {
+                    let mut acc = comm.rank() as f64;
+                    for t in 0..100 {
+                        acc = collectives::allreduce(comm, t, acc, f64::max);
+                    }
+                    acc
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ping_pong, bench_barrier, bench_allreduce
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Microbenchmarks of the DLB machinery itself — the per-step overhead
+//! the paper argues is "small" enough to run every time step: the
+//! fastest-PE scan, the Case 1–3 decision, and ownership bookkeeping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcdlb_core::protocol::DlbProtocol;
+use pcdlb_domain::{OwnershipMap, PillarLayout};
+
+fn bench_decision(c: &mut Criterion) {
+    let layout = PillarLayout::from_p_and_m(36, 4); // paper Fig. 5(a)
+    let om = OwnershipMap::initial(layout);
+    let proto = DlbProtocol::new(layout, 14);
+    let nbrs: Vec<(usize, f64)> = layout
+        .torus()
+        .distinct_neighbors8(14)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (r, 1.0 + i as f64 * 0.01))
+        .collect();
+
+    c.bench_function("dlb_fastest_pe_scan", |b| {
+        b.iter(|| proto.fastest_pe(std::hint::black_box(1.05), &nbrs))
+    });
+    c.bench_function("dlb_decide_case1", |b| {
+        let fastest = nbrs[0].0;
+        b.iter(|| proto.decide(&om, std::hint::black_box(fastest)))
+    });
+}
+
+fn bench_ownership(c: &mut Criterion) {
+    let layout = PillarLayout::from_p_and_m(36, 4);
+    c.bench_function("ownership_initial_map", |b| {
+        b.iter(|| OwnershipMap::initial(std::hint::black_box(layout)))
+    });
+    let om = OwnershipMap::initial(layout);
+    c.bench_function("ownership_owned_columns", |b| {
+        b.iter(|| om.owned_columns(std::hint::black_box(14)).len())
+    });
+    c.bench_function("ownership_ghost_sources", |b| {
+        b.iter(|| om.ghost_sources(std::hint::black_box(14)).len())
+    });
+    c.bench_function("ownership_check_all", |b| {
+        b.iter(|| om.check_all().is_ok())
+    });
+}
+
+fn bench_transfer_roundtrip(c: &mut Criterion) {
+    let layout = PillarLayout::from_p_and_m(36, 4);
+    c.bench_function("dlb_lend_and_return_cycle", |b| {
+        let mut om = OwnershipMap::initial(layout);
+        let donor = layout.torus().rank_wrapped(2, 2);
+        let recv = layout.torus().rank_wrapped(1, 1);
+        let p_donor = DlbProtocol::new(layout, donor);
+        let p_back = DlbProtocol::new(layout, recv);
+        b.iter(|| {
+            let lend = p_donor.decide(&om, recv).expect("movable available");
+            DlbProtocol::apply(&mut om, &lend);
+            let ret = p_back.decide(&om, donor).expect("can return");
+            DlbProtocol::apply(&mut om, &ret);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_decision, bench_ownership, bench_transfer_roundtrip
+}
+criterion_main!(benches);

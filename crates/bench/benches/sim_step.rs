@@ -1,0 +1,47 @@
+//! Whole-simulation benchmarks: cost of a full parallel time step under
+//! DDM vs DLB-DDM (the paper's claim that DLB overhead is small enough to
+//! run every step), and the serial reference for scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcdlb_sim::{run, serial_sim, RunConfig};
+
+fn small(dlb: bool) -> RunConfig {
+    let mut cfg = RunConfig::from_p_m_density(9, 2, 0.256);
+    cfg.steps = 25;
+    cfg.dlb = dlb;
+    cfg.dlb_min_gain = 0.05;
+    cfg
+}
+
+fn bench_parallel_steps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("run_25_steps_p9_m2");
+    g.bench_function("ddm", |b| {
+        let cfg = small(false);
+        b.iter(|| run(&cfg))
+    });
+    g.bench_function("dlb_ddm", |b| {
+        let cfg = small(true);
+        b.iter(|| run(&cfg))
+    });
+    g.finish();
+}
+
+fn bench_serial_steps(c: &mut Criterion) {
+    c.bench_function("serial_25_steps_same_system", |b| {
+        let cfg = small(false);
+        b.iter(|| {
+            let mut sim = serial_sim(&cfg);
+            for _ in 0..cfg.steps {
+                sim.step();
+            }
+            sim.steps_done()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel_steps, bench_serial_steps
+}
+criterion_main!(benches);

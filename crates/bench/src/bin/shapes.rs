@@ -1,0 +1,68 @@
+//! Ablation: communication cost of the three domain shapes (paper Fig. 2
+//! and the Sec. 2.2 claim, via ref. \[8\], that the square pillar is best
+//! for mid-size simulations on mid-size machines).
+//!
+//! Prints, per configuration, the modelled per-step ghost-exchange time of
+//! plane / square-pillar / cube domains under the T3E-flavoured postal
+//! cost model, plus the winner. Expected shape: plane wins only at tiny
+//! PE counts, square pillar in the paper's mid-size regime, cube at
+//! massive scale.
+//!
+//! Usage: shapes [--occupancy X] [--bytes-per-particle B]
+
+use pcdlb_bench::{print_header, Args};
+use pcdlb_domain::DomainShape;
+use pcdlb_mp::CostModel;
+
+fn main() {
+    let args = Args::parse();
+    let occupancy = args.get_f64("occupancy", 4.3); // paper Fig. 5(a) average
+    let bpp = args.get_f64("bytes-per-particle", 56.0);
+    let bytes_per_cell = occupancy * bpp;
+    let model = CostModel::t3e(None);
+
+    println!("# Domain-shape ablation: modelled ghost-exchange time per step per PE");
+    println!("# postal model: {} us latency, {} MB/s; {} bytes/cell",
+        model.latency_s * 1e6, model.bandwidth_bps / 1e6, bytes_per_cell);
+    print_header(&["nc", "P", "plane[us]", "pillar[us]", "cube[us]", "winner"]);
+
+    let configs: [(usize, usize); 8] = [
+        (8, 4),
+        (12, 16),
+        (24, 36),   // paper Fig. 5(a)
+        (12, 36),   // paper Fig. 5(b)
+        (32, 64),
+        (64, 256),
+        (128, 1024),
+        (512, 4096),
+    ];
+    for (nc, p) in configs {
+        let times: Vec<f64> = DomainShape::ALL
+            .iter()
+            .map(|s| s.ghost_exchange_time(nc, p, bytes_per_cell, &model))
+            .collect();
+        let winner = DomainShape::ALL
+            .iter()
+            .zip(&times)
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("three shapes")
+            .0;
+        println!(
+            "{nc}\t{p}\t{:.1}\t{:.1}\t{:.1}\t{}",
+            times[0] * 1e6,
+            times[1] * 1e6,
+            times[2] * 1e6,
+            winner.name()
+        );
+    }
+    println!("# ghost cells per PE (volume term only):");
+    print_header(&["nc", "P", "plane", "pillar", "cube"]);
+    for (nc, p) in configs {
+        println!(
+            "{nc}\t{p}\t{:.0}\t{:.0}\t{:.0}",
+            DomainShape::Plane.ghost_cells(nc, p),
+            DomainShape::SquarePillar.ghost_cells(nc, p),
+            DomainShape::Cube.ghost_cells(nc, p)
+        );
+    }
+}

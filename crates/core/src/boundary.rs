@@ -1,0 +1,294 @@
+//! Experimental boundary detection (paper Sec. 4.2).
+//!
+//! "We can decide an experimental boundary point in a trajectory of an MD
+//! simulation by finding a time step at which the difference between the
+//! maximum and the minimum of force computing time begins to increase."
+//!
+//! We make that operational with a two-segment changepoint fit: the
+//! imbalance series `y_t = Fmax − Fmin` (or its `Fave`-normalised form) is
+//! modelled as flat up to the boundary step `τ` and linearly rising after
+//! it:
+//!
+//! ```text
+//! y_t = a               for t < τ
+//! y_t = a + b·(t − τ)   for t ≥ τ,  b ≥ 0
+//! ```
+//!
+//! `τ` is chosen to minimise the least-squares error (computed in O(T)
+//! total via suffix sums). A detection is only reported when the fitted
+//! rise is significant relative to the noise of the flat segment, so a
+//! well-balanced run that never hits the DLB limit yields `None`.
+
+/// Result of a boundary detection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Boundary {
+    /// Index into the series at which the sustained increase begins.
+    pub index: usize,
+    /// Fitted flat level before the boundary.
+    pub level: f64,
+    /// Fitted slope after the boundary (per sample).
+    pub slope: f64,
+    /// Residual sum of squares of the two-segment fit.
+    pub sse: f64,
+}
+
+/// Changepoint-based boundary detector. Construct with
+/// [`BoundaryDetector::default`] and override fields as needed.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundaryDetector {
+    /// Minimum samples required in the flat (pre-boundary) segment.
+    pub min_flat: usize,
+    /// Minimum samples required in the rising segment.
+    pub min_rise: usize,
+    /// The fitted total rise `b·(T − τ)` must exceed this multiple of the
+    /// flat segment's standard deviation for a boundary to be reported.
+    pub significance: f64,
+}
+
+impl Default for BoundaryDetector {
+    fn default() -> Self {
+        Self {
+            min_flat: 20,
+            min_rise: 20,
+            significance: 4.0,
+        }
+    }
+}
+
+impl BoundaryDetector {
+    /// Detect the boundary in `y`; `None` when the series never starts a
+    /// significant sustained rise.
+    pub fn detect(&self, y: &[f64]) -> Option<Boundary> {
+        let t_len = y.len();
+        if t_len < self.min_flat + self.min_rise {
+            return None;
+        }
+        assert!(y.iter().all(|v| v.is_finite()), "series contains non-finite values");
+
+        // Suffix sums over t ≥ τ of 1, t, t², y_t, t·y_t let us evaluate
+        // the hinge sums Σg, Σg², Σg·y for every τ in O(1).
+        let n = t_len;
+        let mut s1 = vec![0.0; n + 1];
+        let mut st = vec![0.0; n + 1];
+        let mut st2 = vec![0.0; n + 1];
+        let mut sy = vec![0.0; n + 1];
+        let mut sty = vec![0.0; n + 1];
+        for t in (0..n).rev() {
+            let tf = t as f64;
+            s1[t] = s1[t + 1] + 1.0;
+            st[t] = st[t + 1] + tf;
+            st2[t] = st2[t + 1] + tf * tf;
+            sy[t] = sy[t + 1] + y[t];
+            sty[t] = sty[t + 1] + tf * y[t];
+        }
+        let total_y: f64 = sy[0];
+        let total_y2: f64 = y.iter().map(|v| v * v).sum();
+
+        let mut best: Option<Boundary> = None;
+        for tau in self.min_flat..=(n - self.min_rise) {
+            let tauf = tau as f64;
+            // Hinge sums over the full series (zero before τ).
+            let sg = st[tau] - tauf * s1[tau];
+            let sg2 = st2[tau] - 2.0 * tauf * st[tau] + tauf * tauf * s1[tau];
+            let sgy = sty[tau] - tauf * sy[tau];
+            let nt = n as f64;
+            let det = nt * sg2 - sg * sg;
+            if det <= 1e-12 {
+                continue;
+            }
+            let mut b = (nt * sgy - sg * total_y) / det;
+            let a;
+            if b < 0.0 {
+                // Constrained fit: a falling tail is "no boundary"; use
+                // the flat model for this τ.
+                b = 0.0;
+                a = total_y / nt;
+            } else {
+                a = (total_y - b * sg) / nt;
+            }
+            // Σ(y − a − b·g)² expanded in the precomputed sums.
+            let sse = (total_y2 + a * a * nt + b * b * sg2 - 2.0 * a * total_y - 2.0 * b * sgy
+                + 2.0 * a * b * sg)
+                .max(0.0);
+            if b <= 0.0 {
+                continue;
+            }
+            let cand = Boundary {
+                index: tau,
+                level: a,
+                slope: b,
+                sse,
+            };
+            if best.is_none_or(|bst| cand.sse < bst.sse) {
+                best = Some(cand);
+            }
+        }
+        let best = best?;
+
+        // Significance: the fitted total rise must dominate the flat
+        // segment's noise.
+        let flat = &y[..best.index];
+        let mean = flat.iter().sum::<f64>() / flat.len() as f64;
+        let var = flat.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / flat.len() as f64;
+        let std = var.sqrt();
+        let rise = best.slope * (n - best.index) as f64;
+        let scale = std.max(mean.abs() * 0.05).max(1e-12);
+        (rise > self.significance * scale).then_some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn synthetic(flat_len: usize, rise_len: usize, level: f64, slope: f64, noise: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut y = Vec::with_capacity(flat_len + rise_len);
+        for _ in 0..flat_len {
+            y.push(level + noise * (rng.gen::<f64>() - 0.5));
+        }
+        for t in 0..rise_len {
+            y.push(level + slope * t as f64 + noise * (rng.gen::<f64>() - 0.5));
+        }
+        y
+    }
+
+    #[test]
+    fn clean_changepoint_is_found_exactly() {
+        let y = synthetic(300, 200, 0.05, 0.002, 0.0, 0);
+        let b = BoundaryDetector::default().detect(&y).expect("boundary");
+        assert!((b.index as i64 - 300).unsigned_abs() <= 2, "index {}", b.index);
+        assert!((b.level - 0.05).abs() < 1e-9);
+        assert!((b.slope - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_changepoint_is_found_approximately() {
+        let y = synthetic(600, 400, 0.05, 0.001, 0.02, 42);
+        let b = BoundaryDetector::default().detect(&y).expect("boundary");
+        assert!(
+            (b.index as i64 - 600).unsigned_abs() <= 60,
+            "index {} too far from 600",
+            b.index
+        );
+    }
+
+    #[test]
+    fn flat_noise_yields_none() {
+        let y = synthetic(1000, 0, 0.05, 0.0, 0.02, 7);
+        assert_eq!(BoundaryDetector::default().detect(&y), None);
+    }
+
+    #[test]
+    fn decreasing_series_yields_none() {
+        let y: Vec<f64> = (0..500).map(|t| 1.0 - 0.001 * t as f64).collect();
+        assert_eq!(BoundaryDetector::default().detect(&y), None);
+    }
+
+    #[test]
+    fn too_short_series_yields_none() {
+        let y = vec![0.1; 10];
+        assert_eq!(BoundaryDetector::default().detect(&y), None);
+    }
+
+    #[test]
+    fn rise_from_step_zero_respects_min_flat() {
+        // Pure ramp: the earliest allowed τ (min_flat) fits best.
+        let y: Vec<f64> = (0..300).map(|t| 0.001 * t as f64).collect();
+        let b = BoundaryDetector::default().detect(&y).expect("boundary");
+        assert!(b.index <= 25, "index {}", b.index);
+    }
+
+    #[test]
+    fn different_seeds_agree_within_tolerance() {
+        let idx: Vec<usize> = (0..5)
+            .map(|s| {
+                let y = synthetic(400, 300, 0.1, 0.002, 0.03, s);
+                BoundaryDetector::default().detect(&y).expect("boundary").index
+            })
+            .collect();
+        for i in idx {
+            assert!((i as i64 - 400).unsigned_abs() <= 80, "index {i}");
+        }
+    }
+
+    #[test]
+    fn late_small_rise_needs_significance() {
+        // Rise smaller than the noise floor → no detection.
+        let y = synthetic(500, 100, 0.1, 0.000002, 0.05, 3);
+        assert_eq!(BoundaryDetector::default().detect(&y), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// A flat series plus a genuine linear rise is always detected,
+        /// with the index within a band of the true changepoint.
+        #[test]
+        fn prop_detects_planted_changepoints(
+            flat_len in 60usize..400,
+            rise_len in 60usize..300,
+            level in 0.01f64..10.0,
+            slope_rel in 0.002f64..0.05,
+            seed in any::<u64>(),
+        ) {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let slope = slope_rel * level;
+            let noise = 0.02 * level;
+            let mut y = Vec::with_capacity(flat_len + rise_len);
+            for _ in 0..flat_len {
+                y.push(level + noise * (rng.gen::<f64>() - 0.5));
+            }
+            for t in 0..rise_len {
+                y.push(level + slope * t as f64 + noise * (rng.gen::<f64>() - 0.5));
+            }
+            let b = BoundaryDetector::default()
+                .detect(&y)
+                .expect("planted rise must be detected");
+            // Within a quarter of the series of the truth (coarse, but
+            // catches gross failures for any parameter combination).
+            let err = (b.index as i64 - flat_len as i64).unsigned_abs() as usize;
+            prop_assert!(err <= (flat_len + rise_len) / 4,
+                "index {} vs true {}", b.index, flat_len);
+        }
+
+        /// Pure noise is never reported as a boundary.
+        #[test]
+        fn prop_no_false_positives_on_noise(
+            len in 100usize..600,
+            level in 0.01f64..10.0,
+            seed in any::<u64>(),
+        ) {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let y: Vec<f64> = (0..len)
+                .map(|_| level * (1.0 + 0.05 * (rng.gen::<f64>() - 0.5)))
+                .collect();
+            prop_assert_eq!(BoundaryDetector::default().detect(&y), None);
+        }
+
+        /// Scaling the whole series by a positive constant scales the fit
+        /// but never changes the detected index.
+        #[test]
+        fn prop_detection_is_scale_invariant(scale in 0.01f64..100.0) {
+            let y: Vec<f64> = (0..400)
+                .map(|t| if t < 250 { 1.0 } else { 1.0 + 0.01 * (t - 250) as f64 })
+                .collect();
+            let ys: Vec<f64> = y.iter().map(|v| v * scale).collect();
+            let a = BoundaryDetector::default().detect(&y).expect("boundary");
+            let b = BoundaryDetector::default().detect(&ys).expect("boundary");
+            prop_assert_eq!(a.index, b.index);
+        }
+    }
+}

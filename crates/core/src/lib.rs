@@ -1,0 +1,38 @@
+//! `pcdlb-core` — the paper's contribution: dynamic load balancing based
+//! on permanent cells.
+//!
+//! The square-pillar domain decomposition (in `pcdlb-domain`) gives each
+//! PE an `m × m` tile of cell columns and a regular 8-neighbour
+//! communication pattern. DLB equalises load by transferring ownership of
+//! columns to faster PEs — but arbitrary transfers would break the
+//! 8-neighbour pattern. The paper's idea (Sec. 2.3): classify each tile's
+//! columns into
+//!
+//! - **permanent cells** — the row and column of the tile on its S/E side
+//!   (`2m − 1` columns). They never move, forming a wall that keeps
+//!   non-neighbouring domains from ever becoming adjacent;
+//! - **movable cells** — the `(m−1)²` block toward the NW corner, which
+//!   may be lent to the N / W / NW neighbour and later returned.
+//!
+//! Modules:
+//! - [`permanent`] — the classification;
+//! - [`protocol`] — the per-step redistribution rules (paper's
+//!   Cases 1–3): who sends which column to whom;
+//! - [`theory`] — the theoretical upper bound `f(m, n)` on the particle
+//!   concentration ratio `C₀/C` (paper Sec. 4.1, Eqs. 2–12);
+//! - [`metrics`] — concentration measurements: `C₀/C`, the maximum-domain
+//!   quantities and the paper's two-PE estimator of the concentration
+//!   factor `n`;
+//! - [`boundary`] — the experimental-boundary detector (the step at which
+//!   `Fmax − Fmin` begins a sustained increase, Sec. 4.2).
+
+pub mod boundary;
+pub mod metrics;
+pub mod permanent;
+pub mod protocol;
+pub mod theory;
+
+pub use boundary::BoundaryDetector;
+pub use metrics::{ConcentrationPoint, PeCellStats};
+pub use permanent::{is_movable, is_permanent, movable_count, permanent_count};
+pub use protocol::{DlbDecision, DlbProtocol};

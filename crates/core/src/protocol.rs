@@ -1,0 +1,486 @@
+//! The cell-redistribution protocol (paper Sec. 2.3).
+//!
+//! Every time step each PE: (1) exchanges its last-step execution time
+//! with its 8 neighbours, (2) identifies the fastest PE among itself and
+//! the 8, (3) decides which cell — if any — to send to that PE, and (4)
+//! broadcasts the decision to its neighbours so everyone's ownership view
+//! stays consistent. The decision rule, with `PE(i, j)` deciding and
+//! `PE_fast` the fastest (paper's exact cases):
+//!
+//! - **Case 1** — `PE_fast ∈ {NW, N, W}` = `(i−1,j−1), (i−1,j), (i,j−1)`:
+//!   send one of its *own movable* cells it still owns, else nothing.
+//! - **Case 2** — `PE_fast ∈ {NE, SW}` = `(i−1,j+1), (i+1,j−1)`: there is
+//!   no cell that may move this way; send nothing.
+//! - **Case 3** — `PE_fast ∈ {E, S, SE}` = `(i,j+1), (i+1,j), (i+1,j+1)`:
+//!   if it currently holds cells whose *home* is `PE_fast` (previously
+//!   received from there), return one; else nothing.
+//!
+//! Cells therefore only ever sit at their home PE or one step in the
+//! NW / N / W direction from it — the invariant that, together with the
+//! permanent-cell wall, preserves the 8-neighbour communication pattern
+//! (property-tested below against arbitrary protocol executions).
+//!
+//! Determinism notes (the paper ran on wall clocks, we also run on an
+//! exact work model where ties are real): the "fastest" choice prefers
+//! the deciding PE itself on ties and then the lowest rank, so a
+//! perfectly balanced system performs no transfers.
+
+use pcdlb_domain::{Col, OwnershipMap, PillarLayout};
+use pcdlb_mp::WireSize;
+
+use crate::permanent::is_movable;
+
+/// One ownership transfer: `from` hands `col` to `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DlbDecision {
+    /// The column changing hands.
+    pub col: Col,
+    /// Current owner (the deciding PE).
+    pub from: usize,
+    /// Receiving PE (the fastest in `from`'s neighbourhood).
+    pub to: usize,
+}
+
+impl WireSize for DlbDecision {
+    fn wire_size(&self) -> usize {
+        16 + 8 + 8
+    }
+}
+
+/// The per-PE decision logic. Stateless apart from the layout — all
+/// dynamic state lives in the [`OwnershipMap`] each PE maintains.
+#[derive(Debug, Clone, Copy)]
+pub struct DlbProtocol {
+    layout: PillarLayout,
+    rank: usize,
+    /// Minimum relative load advantage of the fastest PE for a transfer to
+    /// fire: `(own − fastest)/own > min_relative_gain`. The paper uses 0
+    /// (any measured difference triggers); a small hysteresis can be
+    /// configured to suppress noise-driven churn on wall-clock loads.
+    min_relative_gain: f64,
+}
+
+impl DlbProtocol {
+    /// Protocol instance for `rank` over `layout`. Requires a torus side
+    /// of at least 3 so the 8 directional neighbour roles are distinct.
+    pub fn new(layout: PillarLayout, rank: usize) -> Self {
+        assert!(
+            layout.torus().rows() >= 3,
+            "DLB needs a torus side of at least 3 (paper uses ≥ 4); got {}",
+            layout.torus().rows()
+        );
+        assert!(rank < layout.num_ranks());
+        Self {
+            layout,
+            rank,
+            min_relative_gain: 0.0,
+        }
+    }
+
+    /// Set the hysteresis threshold (see field docs).
+    pub fn with_min_relative_gain(mut self, g: f64) -> Self {
+        assert!(g >= 0.0);
+        self.min_relative_gain = g;
+        self
+    }
+
+    /// This PE's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> &PillarLayout {
+        &self.layout
+    }
+
+    /// Find the fastest PE among this PE and its neighbours (paper step
+    /// 2). `neighbor_loads` carries `(rank, last-step load)` for the
+    /// distinct 8-neighbours. Self wins ties; among neighbours the lowest
+    /// rank wins ties — fully deterministic.
+    pub fn fastest_pe(&self, own_load: f64, neighbor_loads: &[(usize, f64)]) -> usize {
+        let mut best_rank = self.rank;
+        let mut best_load = own_load;
+        for &(r, l) in neighbor_loads {
+            debug_assert_ne!(r, self.rank, "neighbour list must not contain self");
+            if l < best_load || (l == best_load && best_rank != self.rank && r < best_rank) {
+                best_rank = r;
+                best_load = l;
+            }
+        }
+        if best_rank == self.rank {
+            return self.rank;
+        }
+        // Hysteresis: with a non-zero threshold, require the fastest PE's
+        // relative advantage to exceed it; otherwise keep the load here.
+        if self.min_relative_gain > 0.0
+            && (own_load <= 0.0 || (own_load - best_load) / own_load <= self.min_relative_gain)
+        {
+            return self.rank;
+        }
+        best_rank
+    }
+
+    /// Decide what to send to `fastest` (paper step 3, Cases 1–3), given
+    /// this PE's current ownership view. Returns `None` when nothing may
+    /// move (including when this PE is itself the fastest).
+    pub fn decide(&self, ownership: &OwnershipMap, fastest: usize) -> Option<DlbDecision> {
+        if fastest == self.rank {
+            return None;
+        }
+        let delta = self.layout.tile_delta(self.rank, fastest);
+        match delta {
+            // Case 1: NW-direction neighbours receive our own movable cells.
+            (-1, -1) | (-1, 0) | (0, -1) => self.pick_own_movable(ownership, fastest),
+            // Case 2: the anti-diagonal directions can never receive.
+            (-1, 1) | (1, -1) => None,
+            // Case 3: SE-direction neighbours get their own cells back.
+            (0, 1) | (1, 0) | (1, 1) => self.pick_return(ownership, fastest),
+            other => panic!(
+                "rank {} asked to send toward non-neighbour {fastest} (tile delta {other:?})",
+                self.rank
+            ),
+        }
+    }
+
+    /// Case 1 candidate: one of this PE's own movable columns it still
+    /// owns, geometrically closest to the receiver's tile (ties: lowest
+    /// `(cx, cy)`), so domains stay compact as in the paper's Fig. 4.
+    fn pick_own_movable(&self, ownership: &OwnershipMap, to: usize) -> Option<DlbDecision> {
+        let l = &self.layout;
+        let target_origin = l.tile_origin(to);
+        let m = l.m();
+        let grid = l.grid();
+        l.tile_columns(self.rank)
+            .filter(|&c| is_movable(l, c) && ownership.owner_of(c) == self.rank)
+            .min_by_key(|&c| {
+                // Distance from the column to the nearest column of the
+                // receiving tile (periodic Chebyshev).
+                let d = (0..m)
+                    .flat_map(|dx| (0..m).map(move |dy| (dx, dy)))
+                    .map(|(dx, dy)| {
+                        grid.chebyshev(c, Col::new(target_origin.cx + dx, target_origin.cy + dy))
+                    })
+                    .min()
+                    .expect("tile has columns");
+                (d, c.cx, c.cy)
+            })
+            .map(|col| DlbDecision {
+                col,
+                from: self.rank,
+                to,
+            })
+    }
+
+    /// Case 3 candidate: a column this PE holds whose home is `to`
+    /// (lowest `(cx, cy)` for determinism; the paper says only "returns
+    /// one of these cells").
+    fn pick_return(&self, ownership: &OwnershipMap, to: usize) -> Option<DlbDecision> {
+        let l = &self.layout;
+        ownership
+            .owned_columns(self.rank)
+            .into_iter()
+            .find(|&c| l.home_rank(c) == to)
+            .map(|col| DlbDecision {
+                col,
+                from: self.rank,
+                to,
+            })
+    }
+
+    /// Validate a decision against an ownership view: correct owner, a
+    /// legal direction, movable cell, and (for Case 1) cell is the
+    /// sender's own. Used by the simulator in debug builds and by the
+    /// property tests.
+    pub fn validate(layout: &PillarLayout, ownership: &OwnershipMap, d: &DlbDecision) -> Result<(), String> {
+        if ownership.owner_of(d.col) != d.from {
+            return Err(format!(
+                "{:?}: sender {} does not own the column (owner {})",
+                d, d.from, ownership.owner_of(d.col)
+            ));
+        }
+        if !is_movable(layout, d.col) {
+            return Err(format!("{d:?}: column is permanent"));
+        }
+        let home = layout.home_rank(d.col);
+        let delta = layout.tile_delta(d.from, d.to);
+        match delta {
+            (-1, -1) | (-1, 0) | (0, -1) => {
+                if home != d.from {
+                    return Err(format!(
+                        "{d:?}: Case 1 send of a column whose home is {home}, not the sender"
+                    ));
+                }
+            }
+            (0, 1) | (1, 0) | (1, 1) => {
+                if home != d.to {
+                    return Err(format!(
+                        "{d:?}: Case 3 return to {}, but the column's home is {home}",
+                        d.to
+                    ));
+                }
+            }
+            other => return Err(format!("{d:?}: illegal transfer direction {other:?}")),
+        }
+        Ok(())
+    }
+
+    /// Apply a (validated) decision to an ownership view.
+    pub fn apply(ownership: &mut OwnershipMap, d: &DlbDecision) {
+        ownership.transfer(d.col, d.from, d.to);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn setup(p: usize, m: usize) -> (PillarLayout, OwnershipMap) {
+        let l = PillarLayout::from_p_and_m(p, m);
+        let om = OwnershipMap::initial(l);
+        (l, om)
+    }
+
+    /// Rank at torus coordinates, for readable tests.
+    fn at(l: &PillarLayout, i: i64, j: i64) -> usize {
+        l.torus().rank_wrapped(i, j)
+    }
+
+    #[test]
+    fn fastest_prefers_self_on_ties() {
+        let (l, _) = setup(9, 3);
+        let p = DlbProtocol::new(l, 4);
+        let nbrs: Vec<(usize, f64)> = l
+            .torus()
+            .distinct_neighbors8(4)
+            .into_iter()
+            .map(|r| (r, 1.0))
+            .collect();
+        assert_eq!(p.fastest_pe(1.0, &nbrs), 4, "all equal → no transfer target");
+    }
+
+    #[test]
+    fn fastest_picks_strictly_smaller_load() {
+        let (l, _) = setup(9, 3);
+        let p = DlbProtocol::new(l, 4);
+        let mut nbrs: Vec<(usize, f64)> = l
+            .torus()
+            .distinct_neighbors8(4)
+            .into_iter()
+            .map(|r| (r, 1.0))
+            .collect();
+        nbrs[3].1 = 0.5;
+        assert_eq!(p.fastest_pe(1.0, &nbrs), nbrs[3].0);
+    }
+
+    #[test]
+    fn fastest_tie_between_neighbors_goes_to_lowest_rank() {
+        let (l, _) = setup(9, 3);
+        let p = DlbProtocol::new(l, 4);
+        let nbrs: Vec<(usize, f64)> = l
+            .torus()
+            .distinct_neighbors8(4)
+            .into_iter()
+            .map(|r| (r, 0.5))
+            .collect();
+        let min_rank = *nbrs.iter().map(|(r, _)| r).min().unwrap();
+        assert_eq!(p.fastest_pe(1.0, &nbrs), min_rank);
+    }
+
+    #[test]
+    fn hysteresis_suppresses_small_gains() {
+        let (l, _) = setup(9, 3);
+        let p = DlbProtocol::new(l, 4).with_min_relative_gain(0.10);
+        let nbrs = vec![(0usize, 0.95)];
+        assert_eq!(p.fastest_pe(1.0, &nbrs), 4, "5% gain under 10% threshold");
+        let nbrs = vec![(0usize, 0.85)];
+        assert_eq!(p.fastest_pe(1.0, &nbrs), 0, "15% gain over threshold");
+    }
+
+    #[test]
+    fn case1_sends_own_movable_toward_nw() {
+        let (l, om) = setup(9, 3);
+        let me = at(&l, 1, 1);
+        let nw = at(&l, 0, 0);
+        let p = DlbProtocol::new(l, me);
+        let d = p.decide(&om, nw).expect("has movable cells");
+        assert_eq!(d.from, me);
+        assert_eq!(d.to, nw);
+        // Closest movable cell to the NW tile is the tile's NW corner.
+        assert_eq!(d.col, l.tile_origin(me));
+        DlbProtocol::validate(&l, &om, &d).unwrap();
+    }
+
+    #[test]
+    fn case1_exhausts_movable_cells() {
+        let (l, mut om) = setup(9, 2); // m = 2 → one movable cell per tile
+        let me = at(&l, 1, 1);
+        let n = at(&l, 0, 1);
+        let p = DlbProtocol::new(l, me);
+        let d = p.decide(&om, n).expect("one movable cell");
+        DlbProtocol::apply(&mut om, &d);
+        assert!(p.decide(&om, n).is_none(), "movable cell already lent out");
+    }
+
+    #[test]
+    fn case2_directions_send_nothing() {
+        let (l, om) = setup(9, 4);
+        let me = at(&l, 1, 1);
+        let p = DlbProtocol::new(l, me);
+        assert!(p.decide(&om, at(&l, 0, 2)).is_none(), "NE");
+        assert!(p.decide(&om, at(&l, 2, 0)).is_none(), "SW");
+    }
+
+    #[test]
+    fn case3_returns_only_held_foreign_cells() {
+        let (l, mut om) = setup(9, 3);
+        let me = at(&l, 1, 1);
+        let south = at(&l, 2, 1);
+        let p_me = DlbProtocol::new(l, me);
+        // Initially nothing to return.
+        assert!(p_me.decide(&om, south).is_none());
+        // South lends us one of its movable cells (we are its N neighbour).
+        let p_south = DlbProtocol::new(l, south);
+        let lend = p_south.decide(&om, me).expect("south has movable cells");
+        DlbProtocol::apply(&mut om, &lend);
+        // Now we can return exactly that cell.
+        let ret = p_me.decide(&om, south).expect("can return");
+        assert_eq!(ret.col, lend.col);
+        DlbProtocol::validate(&l, &om, &ret).unwrap();
+        DlbProtocol::apply(&mut om, &ret);
+        assert!(p_me.decide(&om, south).is_none(), "ledger empty again");
+    }
+
+    #[test]
+    fn self_fastest_means_no_decision() {
+        let (l, om) = setup(9, 3);
+        let p = DlbProtocol::new(l, 4);
+        assert!(p.decide(&om, 4).is_none());
+    }
+
+    #[test]
+    fn validate_rejects_permanent_cell_transfer() {
+        let (l, om) = setup(9, 3);
+        let me = at(&l, 1, 1);
+        let o = l.tile_origin(me);
+        let d = DlbDecision {
+            col: pcdlb_domain::Col::new(o.cx + 2, o.cy), // permanent row
+            from: me,
+            to: at(&l, 0, 0),
+        };
+        assert!(DlbProtocol::validate(&l, &om, &d).unwrap_err().contains("permanent"));
+    }
+
+    #[test]
+    fn validate_rejects_forwarding_foreign_cells() {
+        // A cell received from the south may not be passed on to the NW.
+        let (l, mut om) = setup(9, 3);
+        let me = at(&l, 1, 1);
+        let south = at(&l, 2, 1);
+        let p_south = DlbProtocol::new(l, south);
+        let lend = p_south.decide(&om, me).unwrap();
+        DlbProtocol::apply(&mut om, &lend);
+        let d = DlbDecision {
+            col: lend.col,
+            from: me,
+            to: at(&l, 0, 0),
+        };
+        assert!(DlbProtocol::validate(&l, &om, &d).unwrap_err().contains("Case 1"));
+    }
+
+    #[test]
+    fn max_accumulation_matches_dlb_limit() {
+        // Fig. 4's extreme: a PE receives every movable cell of its S, E
+        // and SE neighbours, ending at m² + 3(m−1)² columns.
+        let m = 3;
+        let (l, mut om) = setup(9, m);
+        let me = at(&l, 1, 1);
+        let donors = [at(&l, 2, 1), at(&l, 1, 2), at(&l, 2, 2)];
+        loop {
+            let mut any = false;
+            for &d in &donors {
+                let p = DlbProtocol::new(l, d);
+                if let Some(dec) = p.decide(&om, me) {
+                    DlbProtocol::validate(&l, &om, &dec).unwrap();
+                    DlbProtocol::apply(&mut om, &dec);
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        assert_eq!(om.num_owned(me), m * m + 3 * (m - 1) * (m - 1));
+        om.check_all().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "torus side of at least 3")]
+    fn tiny_torus_rejected() {
+        let l = PillarLayout::from_p_and_m(4, 2);
+        let _ = DlbProtocol::new(l, 0);
+    }
+
+    /// The central safety theorem, property-tested: under ANY sequence of
+    /// protocol-legal decisions driven by arbitrary load patterns, the
+    /// ownership map keeps all structural invariants — tile distance,
+    /// 8-neighbour preservation and ghost containment.
+    fn arbitrary_protocol_run(p_side: usize, m: usize, loads_seed: u64, steps: usize) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let l = PillarLayout::from_p_and_m(p_side * p_side, m);
+        let mut om = OwnershipMap::initial(l);
+        let mut rng = StdRng::seed_from_u64(loads_seed);
+        let nranks = l.num_ranks();
+        for _ in 0..steps {
+            let loads: Vec<f64> = (0..nranks).map(|_| rng.gen_range(0.0..1.0)).collect();
+            // Every PE decides from the same global view (the simulator
+            // keeps views consistent through neighbour broadcasts).
+            let decisions: Vec<DlbDecision> = (0..nranks)
+                .filter_map(|r| {
+                    let proto = DlbProtocol::new(l, r);
+                    let nbrs: Vec<(usize, f64)> = l
+                        .torus()
+                        .distinct_neighbors8(r)
+                        .into_iter()
+                        .map(|q| (q, loads[q]))
+                        .collect();
+                    let fast = proto.fastest_pe(loads[r], &nbrs);
+                    proto.decide(&om, fast)
+                })
+                .collect();
+            for d in &decisions {
+                DlbProtocol::validate(&l, &om, d).unwrap();
+                DlbProtocol::apply(&mut om, d);
+            }
+            om.check_all().unwrap();
+            // Accumulation never exceeds the DLB limit.
+            for r in 0..nranks {
+                assert!(
+                    om.num_owned(r) <= (m * m + 3 * (m - 1) * (m - 1)),
+                    "rank {r} exceeded the DLB limit"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_invariants_hold_under_any_execution(
+            p_side in 3usize..6,
+            m in 1usize..5,
+            seed in any::<u64>(),
+        ) {
+            arbitrary_protocol_run(p_side, m, seed, 30);
+        }
+    }
+
+    #[test]
+    fn long_execution_on_paper_configuration() {
+        // P = 36, m = 4 (the paper's Fig. 5(a) layout), 200 steps of
+        // random load churn.
+        arbitrary_protocol_run(6, 4, 20260705, 200);
+    }
+}

@@ -1,0 +1,200 @@
+//! Theoretical effective range of DLB (paper Sec. 4.1).
+//!
+//! The permanent cells limit how much load can be redistributed ("DLB
+//! limit"). The paper quantifies this with the *particle concentration
+//! ratio* `C₀/C` (fraction of empty cells) and the *concentration factor*
+//! `n = (C₀'/C') / (C₀/C)` (how much emptier the maximum domain is than
+//! the average): DLB can keep load uniform while
+//!
+//! ```text
+//! C₀/C ≤ f(m, n) = 3(m−1)² / (m²(n−1) + 3n(m−1)²)        (Eq. 8)
+//! ```
+//!
+//! derived from requiring the maximum domain — a PE's own tile plus all
+//! movable cells of its three donor neighbours,
+//! `C' = [m² + 3(m−1)²]·C^(1/3)` cells — to hold at least the average
+//! number of particles per PE (Eq. 3).
+
+/// Cells in the maximum domain: `[m² + 3(m−1)²] · nc` (3-D cells; `nc =
+/// C^(1/3)` cells per column).
+pub fn max_domain_cells(m: usize, nc: usize) -> usize {
+    assert!(m >= 1 && nc >= 1);
+    (m * m + 3 * (m - 1) * (m - 1)) * nc
+}
+
+/// The DLB limit as a ratio: a PE can grow to at most
+/// `(m² + 3(m−1)²)/m²` times its initial cell count (paper Fig. 4 quotes
+/// "up to 2.3 times" for m = 3).
+pub fn dlb_limit_ratio(m: usize) -> f64 {
+    assert!(m >= 1);
+    let m2 = (m * m) as f64;
+    (m2 + 3.0 * ((m - 1) * (m - 1)) as f64) / m2
+}
+
+/// The theoretical upper bound `f(m, n)` on `C₀/C` (Eq. 8). Requires
+/// `n ≥ 1`; returns 0 for `m = 1` (no movable cells → no balancing).
+pub fn upper_bound(m: usize, n: f64) -> f64 {
+    assert!(m >= 1, "m must be at least 1");
+    assert!(n >= 1.0, "concentration factor n is ≥ 1 by definition, got {n}");
+    let m2 = (m * m) as f64;
+    let w = 3.0 * ((m - 1) * (m - 1)) as f64;
+    if w == 0.0 {
+        return 0.0;
+    }
+    w / (m2 * (n - 1.0) + n * w)
+}
+
+/// Direct evaluation of the feasibility inequality (Eq. 3): the maximum
+/// domain, with its `n`-fold over-representation of empty cells, can hold
+/// at least the per-PE average number of particles. `upper_bound` is the
+/// closed-form solution of this inequality for `C₀/C`; the two are
+/// property-tested to agree.
+pub fn uniform_balance_feasible(m: usize, p: usize, n: f64, c0_over_c: f64) -> bool {
+    assert!(m >= 1 && p >= 1);
+    assert!((0.0..1.0).contains(&c0_over_c), "C₀/C must be in [0, 1)");
+    assert!(n >= 1.0);
+    // Work per unit nc and unit N: C = m³·p^{3/2}··· — express everything
+    // via cells-per-column counts. Take nc = m·√P (exact for square
+    // layouts); C = nc³.
+    let side = (p as f64).sqrt();
+    let nc = m as f64 * side;
+    let c = nc * nc * nc;
+    let c0 = c0_over_c * c;
+    let cmax = (m * m + 3 * (m - 1) * (m - 1)) as f64 * nc;
+    // Non-empty cells hold N/(C−C₀) particles on average; the maximum
+    // domain has cmax·(1 − n·C₀/C) non-empty cells (Eq. 2).
+    let nonempty_in_max = cmax * (1.0 - n * c0_over_c);
+    // Feasible when particles in the max domain ≥ N/P (divide Eq. 3 by N).
+    nonempty_in_max / (c - c0) >= 1.0 / p as f64
+}
+
+/// Closed form for m = 2 (Eq. 9): `3 / (7n − 4)`.
+pub fn f2(n: f64) -> f64 {
+    3.0 / (7.0 * n - 4.0)
+}
+
+/// Closed form for m = 3 (Eq. 10): `4 / (7n − 3)`.
+pub fn f3(n: f64) -> f64 {
+    4.0 / (7.0 * n - 3.0)
+}
+
+/// Closed form for m = 4 (Eq. 11): `27 / (43n − 16)`.
+pub fn f4(n: f64) -> f64 {
+    27.0 / (43.0 * n - 16.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn closed_forms_match_general_formula() {
+        for k in 0..200 {
+            let n = 1.0 + k as f64 * 0.05;
+            assert!((upper_bound(2, n) - f2(n)).abs() < 1e-12, "m=2, n={n}");
+            assert!((upper_bound(3, n) - f3(n)).abs() < 1e-12, "m=3, n={n}");
+            assert!((upper_bound(4, n) - f4(n)).abs() < 1e-12, "m=4, n={n}");
+        }
+    }
+
+    #[test]
+    fn bound_is_one_at_n_equals_one() {
+        // n = 1 means empty cells are spread uniformly; any C₀/C < 1 is
+        // then balanceable: f(m, 1) = 1.
+        for m in 2..=8 {
+            assert!((upper_bound(m, 1.0) - 1.0).abs() < 1e-12, "m={m}");
+        }
+    }
+
+    #[test]
+    fn monotonicity_in_m_eq_12() {
+        // Paper Eq. 12: f(2,n) ≤ f(3,n) ≤ f(4,n) for n ≥ 1.
+        for k in 0..100 {
+            let n = 1.0 + k as f64 * 0.1;
+            assert!(upper_bound(2, n) <= upper_bound(3, n) + 1e-15, "n={n}");
+            assert!(upper_bound(3, n) <= upper_bound(4, n) + 1e-15, "n={n}");
+        }
+    }
+
+    #[test]
+    fn decreasing_in_n() {
+        for m in 2..=4 {
+            let mut prev = upper_bound(m, 1.0);
+            for k in 1..60 {
+                let n = 1.0 + k as f64 * 0.25;
+                let b = upper_bound(m, n);
+                assert!(b < prev, "m={m}, n={n}");
+                prev = b;
+            }
+        }
+    }
+
+    #[test]
+    fn m1_has_no_balancing_capacity() {
+        assert_eq!(upper_bound(1, 1.5), 0.0);
+        assert_eq!(dlb_limit_ratio(1), 1.0);
+    }
+
+    #[test]
+    fn dlb_limit_matches_paper_fig4() {
+        // m = 3: (9 + 12)/9 = 2.33… ("up to 2.3 times").
+        assert!((dlb_limit_ratio(3) - 21.0 / 9.0).abs() < 1e-12);
+        // m = 2: (4 + 3)/4 = 1.75; m = 4: (16 + 27)/16 = 2.6875.
+        assert!((dlb_limit_ratio(2) - 1.75).abs() < 1e-12);
+        assert!((dlb_limit_ratio(4) - 43.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_domain_cells_examples() {
+        // Paper Fig. 5(a): m = 4, nc = 24: (16+27)·24 = 1032 cells.
+        assert_eq!(max_domain_cells(4, 24), 1032);
+        // Fig. 8's 2-D analogue uses m = 3: m² + 3(m−1)² = 21 columns.
+        assert_eq!(max_domain_cells(3, 1), 21);
+    }
+
+    proptest! {
+        /// Eq. 8 is exactly the solution of Eq. 3: feasibility ⇔
+        /// C₀/C ≤ f(m, n), modulo floating-point at the boundary.
+        #[test]
+        fn prop_bound_equals_feasibility_frontier(
+            m in 2usize..6,
+            p_side in 2usize..9,
+            n in 1.0f64..6.0,
+            c0r in 0.0f64..0.95,
+        ) {
+            let p = p_side * p_side;
+            // Skip configurations where the max domain has no room at all
+            // (1 − n·C₀/C ≤ 0 ⇒ infeasible and f < c0r as well).
+            let bound = upper_bound(m, n);
+            let feasible = uniform_balance_feasible(m, p, n, c0r);
+            let margin = (c0r - bound).abs();
+            prop_assume!(margin > 1e-9); // away from the exact frontier
+            prop_assert_eq!(feasible, c0r <= bound,
+                "m={}, p={}, n={}, c0r={}, bound={}", m, p, n, c0r, bound);
+        }
+
+        /// The bound is scale-free: it never depends on P (the paper's
+        /// f(m, n) has no P in it) — check via the direct inequality.
+        #[test]
+        fn prop_feasibility_independent_of_p(
+            m in 2usize..5,
+            n in 1.0f64..4.0,
+            c0r in 0.0f64..0.9,
+            pa in 2usize..7,
+            pb in 2usize..7,
+        ) {
+            let bound = upper_bound(m, n);
+            prop_assume!((c0r - bound).abs() > 1e-9);
+            let fa = uniform_balance_feasible(m, pa * pa, n, c0r);
+            let fb = uniform_balance_feasible(m, pb * pb, n, c0r);
+            prop_assert_eq!(fa, fb);
+        }
+
+        #[test]
+        fn prop_bound_in_unit_interval(m in 2usize..8, n in 1.0f64..50.0) {
+            let b = upper_bound(m, n);
+            prop_assert!(b > 0.0 && b <= 1.0 + 1e-12);
+        }
+    }
+}

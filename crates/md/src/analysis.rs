@@ -1,0 +1,227 @@
+//! Trajectory analysis: radial distribution function and mean-squared
+//! displacement.
+//!
+//! These are the standard diagnostics for the paper's physical scenario —
+//! `g(r)` shows the gas→liquid structure change as the supercooled gas
+//! condenses, and the MSD distinguishes diffusive gas from a settled
+//! droplet. Both operate on id-sorted snapshots as produced by
+//! `SerialSim::snapshot` and the parallel simulator's gathers.
+
+use crate::vec3::Vec3;
+use crate::Particle;
+
+/// Minimum-image displacement between two positions in a cubic box.
+#[inline]
+pub fn minimum_image(a: Vec3, b: Vec3, box_len: f64) -> Vec3 {
+    let fold = |d: f64| {
+        if d > 0.5 * box_len {
+            d - box_len
+        } else if d < -0.5 * box_len {
+            d + box_len
+        } else {
+            d
+        }
+    };
+    let d = a - b;
+    Vec3::new(fold(d.x), fold(d.y), fold(d.z))
+}
+
+/// Radial distribution function `g(r)` over all pairs (O(N²); intended
+/// for analysis-sized systems). Returns `(bin centre, g)` pairs for
+/// `bins` bins spanning `(0, rmax]`. `rmax` must not exceed half the box.
+pub fn radial_distribution(
+    particles: &[Particle],
+    box_len: f64,
+    rmax: f64,
+    bins: usize,
+) -> Vec<(f64, f64)> {
+    assert!(bins > 0, "need at least one bin");
+    assert!(
+        rmax > 0.0 && rmax <= 0.5 * box_len + 1e-12,
+        "rmax must be in (0, L/2]"
+    );
+    let n = particles.len();
+    assert!(n >= 2, "g(r) needs at least two particles");
+    let dr = rmax / bins as f64;
+    let mut counts = vec![0u64; bins];
+    for i in 0..n {
+        for j in 0..i {
+            let r = minimum_image(particles[i].pos, particles[j].pos, box_len).norm();
+            if r < rmax {
+                counts[(r / dr) as usize] += 1;
+            }
+        }
+    }
+    let volume = box_len * box_len * box_len;
+    let rho = n as f64 / volume;
+    // Normalise by the ideal-gas expectation for each shell.
+    counts
+        .iter()
+        .enumerate()
+        .map(|(k, &c)| {
+            let r_lo = k as f64 * dr;
+            let r_hi = r_lo + dr;
+            let shell = 4.0 / 3.0 * std::f64::consts::PI * (r_hi.powi(3) - r_lo.powi(3));
+            let ideal_pairs = 0.5 * n as f64 * rho * shell;
+            (r_lo + 0.5 * dr, c as f64 / ideal_pairs)
+        })
+        .collect()
+}
+
+/// Mean-squared-displacement tracker over periodic trajectories.
+///
+/// Positions in the box are wrapped, so displacements are *unwrapped*
+/// step by step with the minimum-image convention — valid as long as no
+/// particle moves more than half a box length between `update` calls.
+#[derive(Debug, Clone)]
+pub struct MsdTracker {
+    box_len: f64,
+    start: Vec<Vec3>,
+    last: Vec<Vec3>,
+    unwrapped: Vec<Vec3>,
+    ids: Vec<u64>,
+}
+
+impl MsdTracker {
+    /// Start tracking from an id-sorted snapshot.
+    pub fn new(snapshot: &[Particle], box_len: f64) -> Self {
+        assert!(!snapshot.is_empty());
+        assert!(
+            snapshot.windows(2).all(|w| w[0].id < w[1].id),
+            "snapshot must be id-sorted"
+        );
+        Self {
+            box_len,
+            start: snapshot.iter().map(|p| p.pos).collect(),
+            last: snapshot.iter().map(|p| p.pos).collect(),
+            unwrapped: snapshot.iter().map(|p| p.pos).collect(),
+            ids: snapshot.iter().map(|p| p.id).collect(),
+        }
+    }
+
+    /// Fold in the next snapshot (same particles, id-sorted).
+    pub fn update(&mut self, snapshot: &[Particle]) {
+        assert_eq!(snapshot.len(), self.ids.len(), "particle set changed");
+        for (k, p) in snapshot.iter().enumerate() {
+            assert_eq!(p.id, self.ids[k], "snapshot must be id-sorted and complete");
+            let step = minimum_image(p.pos, self.last[k], self.box_len);
+            self.unwrapped[k] += step;
+            self.last[k] = p.pos;
+        }
+    }
+
+    /// Current mean squared displacement from the starting snapshot.
+    pub fn msd(&self) -> f64 {
+        let n = self.start.len() as f64;
+        self.unwrapped
+            .iter()
+            .zip(&self.start)
+            .map(|(u, s)| (*u - *s).norm2())
+            .sum::<f64>()
+            / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn minimum_image_folds_across_boundaries() {
+        let d = minimum_image(Vec3::new(9.8, 0.0, 5.0), Vec3::new(0.1, 0.0, 5.0), 10.0);
+        assert!((d.x + 0.3).abs() < 1e-12, "wrapped to -0.3, got {}", d.x);
+        assert_eq!(d.y, 0.0);
+    }
+
+    #[test]
+    fn gr_of_uniform_lattice_is_near_one_at_large_r() {
+        // A dense SC lattice approximates uniform density; g(r) averaged
+        // over large r approaches 1.
+        let ps = init::simple_cubic(1000, 10.0);
+        let g = radial_distribution(&ps, 10.0, 5.0, 50);
+        let tail: Vec<f64> = g.iter().filter(|(r, _)| *r > 3.0).map(|(_, v)| *v).collect();
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!((mean - 1.0).abs() < 0.2, "tail mean {mean}");
+    }
+
+    #[test]
+    fn gr_resolves_the_lattice_shells() {
+        let ps = init::simple_cubic(512, 8.0); // spacing 1.0
+        let g = radial_distribution(&ps, 8.0, 2.0, 40);
+        // Nothing below the nearest-neighbour distance…
+        for (r, v) in g.iter().filter(|(r, _)| *r < 0.95) {
+            assert_eq!(*v, 0.0, "unexpected pairs at r = {r}");
+        }
+        // …then sharp shells at 1 (6 neighbours) and √2 (12 neighbours);
+        // the exact distance sits on a bin edge, so scan a small window.
+        let near = |r0: f64| {
+            g.iter()
+                .filter(|(r, _)| (r - r0).abs() < 0.08)
+                .map(|(_, v)| *v)
+                .fold(0.0, f64::max)
+        };
+        assert!(near(1.0) > 3.0, "first shell missing: g(1) = {}", near(1.0));
+        assert!(near(2f64.sqrt()) > 3.0, "second shell missing");
+        // Between shells the lattice has no pairs at all.
+        assert!(near(1.2) < 0.5, "gap between shells filled: {}", near(1.2));
+    }
+
+    #[test]
+    fn gr_is_zero_inside_the_core_of_a_sparse_lattice() {
+        let ps = init::simple_cubic(125, 10.0); // spacing 2.0
+        let g = radial_distribution(&ps, 10.0, 3.0, 30);
+        for (r, v) in &g {
+            if *r < 1.5 {
+                assert_eq!(*v, 0.0, "no pairs closer than the spacing (r = {r})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rmax must be in")]
+    fn gr_rejects_rmax_beyond_half_box() {
+        let ps = init::simple_cubic(8, 4.0);
+        let _ = radial_distribution(&ps, 4.0, 3.0, 10);
+    }
+
+    #[test]
+    fn msd_zero_for_static_particles() {
+        let ps = init::simple_cubic(27, 6.0);
+        let mut t = MsdTracker::new(&ps, 6.0);
+        t.update(&ps);
+        t.update(&ps);
+        assert_eq!(t.msd(), 0.0);
+    }
+
+    #[test]
+    fn msd_tracks_ballistic_motion_through_the_boundary() {
+        // One particle crossing the periodic boundary repeatedly: the
+        // unwrapped displacement keeps growing even though the wrapped
+        // position cycles.
+        let box_len = 5.0;
+        let mut p = Particle::at_rest(0, Vec3::new(0.5, 2.5, 2.5));
+        let q = Particle::at_rest(1, Vec3::new(2.0, 2.0, 2.0)); // static companion
+        let mut tracker = MsdTracker::new(&[p, q], box_len);
+        let v = 0.4;
+        let steps = 40; // total distance 16 = 3.2 box lengths
+        for _ in 0..steps {
+            p.pos.x = (p.pos.x + v).rem_euclid(box_len);
+            tracker.update(&[p, q]);
+        }
+        let expect = (v * steps as f64).powi(2) / 2.0; // averaged over 2 particles
+        assert!(
+            (tracker.msd() - expect).abs() < 1e-9,
+            "msd {} vs expected {expect}",
+            tracker.msd()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "id-sorted")]
+    fn msd_rejects_unsorted_snapshots() {
+        let a = Particle::at_rest(2, Vec3::ZERO);
+        let b = Particle::at_rest(1, Vec3::ZERO);
+        let _ = MsdTracker::new(&[a, b], 5.0);
+    }
+}

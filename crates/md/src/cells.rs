@@ -1,0 +1,389 @@
+//! Uniform cell grid for short-range neighbour search (paper Sec. 2.2).
+//!
+//! The cubic simulation box of side `L` is divided into `nc³` cubic cells
+//! of side `L/nc ≥ r_c`, so every interaction partner of a particle lies
+//! in its own cell or one of the 26 neighbouring cells. Periodic images
+//! are handled by giving each neighbour cell a *shift vector*: the
+//! displacement to add to that cell's particle positions so they appear
+//! geometrically adjacent to the home cell. Both the serial and the
+//! parallel simulator iterate neighbours in the canonical
+//! [`NEIGHBOR_OFFSETS_27`] order and keep per-cell particle lists sorted by
+//! id, which makes their floating-point force sums bitwise identical.
+
+use crate::vec3::Vec3;
+use crate::Particle;
+
+/// The 27 neighbour offsets (including the home cell, `(0,0,0)`) in the
+/// canonical lexicographic order shared by the serial and parallel force
+/// loops.
+pub const NEIGHBOR_OFFSETS_27: [(i64, i64, i64); 27] = {
+    let mut out = [(0i64, 0i64, 0i64); 27];
+    let mut k = 0;
+    let mut dx = -1i64;
+    while dx <= 1 {
+        let mut dy = -1i64;
+        while dy <= 1 {
+            let mut dz = -1i64;
+            while dz <= 1 {
+                out[k] = (dx, dy, dz);
+                k += 1;
+                dz += 1;
+            }
+            dy += 1;
+        }
+        dx += 1;
+    }
+    out
+};
+
+/// Canonical coordinates of a cell, each in `0..nc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellCoord {
+    pub cx: usize,
+    pub cy: usize,
+    pub cz: usize,
+}
+
+impl CellCoord {
+    /// Construct from components.
+    pub const fn new(cx: usize, cy: usize, cz: usize) -> Self {
+        Self { cx, cy, cz }
+    }
+}
+
+/// A cubic cell grid over a cubic periodic box.
+#[derive(Debug, Clone)]
+pub struct CellGrid {
+    nc: usize,
+    box_len: f64,
+    cell_len: f64,
+    /// Particles per cell, each list sorted by id (canonicalised on rebin).
+    cells: Vec<Vec<Particle>>,
+}
+
+impl CellGrid {
+    /// A grid of `nc³` cells over a box of side `box_len`. `nc ≥ 2` is
+    /// required for the shift-vector construction; the paper's smallest
+    /// grid is 8³.
+    pub fn new(nc: usize, box_len: f64) -> Self {
+        assert!(nc >= 2, "cell grid needs at least 2 cells per side, got {nc}");
+        assert!(box_len > 0.0, "box length must be positive");
+        Self {
+            nc,
+            box_len,
+            cell_len: box_len / nc as f64,
+            cells: vec![Vec::new(); nc * nc * nc],
+        }
+    }
+
+    /// Cells per side.
+    pub fn nc(&self) -> usize {
+        self.nc
+    }
+
+    /// Total number of cells (the paper's `C`).
+    pub fn total_cells(&self) -> usize {
+        self.nc * self.nc * self.nc
+    }
+
+    /// Box side length `L`.
+    pub fn box_len(&self) -> f64 {
+        self.box_len
+    }
+
+    /// Cell side length `L/nc` (must be ≥ r_c for the 27-cell search to be
+    /// exhaustive; asserted by [`CellGrid::assert_cutoff_ok`]).
+    pub fn cell_len(&self) -> f64 {
+        self.cell_len
+    }
+
+    /// Panics unless `cell_len ≥ rcut`, the condition under which the
+    /// 27-cell neighbourhood contains every interaction partner.
+    pub fn assert_cutoff_ok(&self, rcut: f64) {
+        assert!(
+            self.cell_len >= rcut - 1e-12,
+            "cell length {} is smaller than the cutoff {rcut}; 27-cell search would miss pairs",
+            self.cell_len
+        );
+    }
+
+    /// The cell containing `pos` (which must lie in `[0, L)³`; positions
+    /// exactly at `L` due to floating-point wrap are clamped inward).
+    pub fn cell_of(&self, pos: Vec3) -> CellCoord {
+        let f = |v: f64| -> usize {
+            debug_assert!((0.0..=self.box_len).contains(&v), "position {v} outside box");
+            ((v / self.cell_len) as usize).min(self.nc - 1)
+        };
+        CellCoord::new(f(pos.x), f(pos.y), f(pos.z))
+    }
+
+    /// Linear index of a cell (x fastest changing — matches the paper's
+    /// row-major figures transposed to 3-D; any fixed order works as long
+    /// as both simulators share it).
+    pub fn index(&self, c: CellCoord) -> usize {
+        debug_assert!(c.cx < self.nc && c.cy < self.nc && c.cz < self.nc);
+        (c.cx * self.nc + c.cy) * self.nc + c.cz
+    }
+
+    /// Inverse of [`CellGrid::index`].
+    pub fn coord_of(&self, idx: usize) -> CellCoord {
+        debug_assert!(idx < self.total_cells());
+        CellCoord::new(idx / (self.nc * self.nc), (idx / self.nc) % self.nc, idx % self.nc)
+    }
+
+    /// The canonical cell reached from `c` by `offset`, together with the
+    /// shift vector to add to that cell's particle positions so they
+    /// appear adjacent to `c` across the periodic boundary.
+    pub fn wrap_neighbor(&self, c: CellCoord, offset: (i64, i64, i64)) -> (CellCoord, Vec3) {
+        let n = self.nc as i64;
+        let wrap1 = |v: i64| -> (usize, f64) {
+            if v < 0 {
+                ((v + n) as usize, -self.box_len)
+            } else if v >= n {
+                ((v - n) as usize, self.box_len)
+            } else {
+                (v as usize, 0.0)
+            }
+        };
+        let (cx, sx) = wrap1(c.cx as i64 + offset.0);
+        let (cy, sy) = wrap1(c.cy as i64 + offset.1);
+        let (cz, sz) = wrap1(c.cz as i64 + offset.2);
+        (CellCoord::new(cx, cy, cz), Vec3::new(sx, sy, sz))
+    }
+
+    /// Immutable access to a cell's (id-sorted) particles.
+    pub fn cell(&self, c: CellCoord) -> &[Particle] {
+        &self.cells[self.index(c)]
+    }
+
+    /// Mutable access to a cell's particle list. Callers that reorder or
+    /// insert must restore id-sorted order (or call [`CellGrid::canonicalize`]).
+    pub fn cell_mut(&mut self, c: CellCoord) -> &mut Vec<Particle> {
+        let i = self.index(c);
+        &mut self.cells[i]
+    }
+
+    /// Insert a particle into the cell containing its position.
+    pub fn insert(&mut self, p: Particle) {
+        let c = self.cell_of(p.pos);
+        let i = self.index(c);
+        self.cells[i].push(p);
+    }
+
+    /// Re-sort every cell's particle list by id (the canonical order the
+    /// force loops rely on).
+    pub fn canonicalize(&mut self) {
+        for cell in &mut self.cells {
+            cell.sort_unstable_by_key(|p| p.id);
+        }
+    }
+
+    /// Move every particle to the cell matching its current position
+    /// (paper Sec. 3.2: "recompute and replace the relationships between
+    /// cells and molecules every time step"), then canonicalize.
+    pub fn rebin(&mut self) {
+        let mut moved: Vec<Particle> = Vec::new();
+        for idx in 0..self.cells.len() {
+            let home = self.coord_of(idx);
+            let mut k = 0;
+            while k < self.cells[idx].len() {
+                if self.cell_of(self.cells[idx][k].pos) != home {
+                    moved.push(self.cells[idx].swap_remove(k));
+                } else {
+                    k += 1;
+                }
+            }
+        }
+        for p in moved {
+            self.insert(p);
+        }
+        self.canonicalize();
+    }
+
+    /// Total particle count.
+    pub fn num_particles(&self) -> usize {
+        self.cells.iter().map(Vec::len).sum()
+    }
+
+    /// Number of cells containing no particles (the paper's `C₀`).
+    pub fn empty_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_empty()).count()
+    }
+
+    /// Iterate over `(coord, particles)` for all cells, in index order.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (CellCoord, &[Particle])> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (self.coord_of(i), c.as_slice()))
+    }
+
+    /// Occupancy histogram: `hist[k]` = number of cells holding exactly
+    /// `k` particles (last bucket aggregates overflow).
+    pub fn occupancy_histogram(&self, max_bucket: usize) -> Vec<usize> {
+        let mut h = vec![0usize; max_bucket + 1];
+        for c in &self.cells {
+            h[c.len().min(max_bucket)] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn offsets_cover_27_distinct() {
+        let mut v = NEIGHBOR_OFFSETS_27.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), 27);
+        assert!(v.contains(&(0, 0, 0)));
+        assert!(v.iter().all(|&(a, b, c)| a.abs() <= 1 && b.abs() <= 1 && c.abs() <= 1));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let g = CellGrid::new(5, 10.0);
+        for i in 0..g.total_cells() {
+            assert_eq!(g.index(g.coord_of(i)), i);
+        }
+    }
+
+    #[test]
+    fn cell_of_maps_positions() {
+        let g = CellGrid::new(4, 8.0); // cell_len = 2
+        assert_eq!(g.cell_of(Vec3::new(0.0, 0.0, 0.0)), CellCoord::new(0, 0, 0));
+        assert_eq!(g.cell_of(Vec3::new(1.99, 2.0, 7.99)), CellCoord::new(0, 1, 3));
+        // Exactly L clamps to the last cell rather than indexing out of range.
+        assert_eq!(g.cell_of(Vec3::new(8.0, 8.0, 8.0)), CellCoord::new(3, 3, 3));
+    }
+
+    #[test]
+    fn wrap_neighbor_shifts() {
+        let g = CellGrid::new(4, 8.0);
+        let c = CellCoord::new(0, 3, 2);
+        let (n, s) = g.wrap_neighbor(c, (-1, 1, 0));
+        assert_eq!(n, CellCoord::new(3, 0, 2));
+        assert_eq!(s, Vec3::new(-8.0, 8.0, 0.0));
+        let (n2, s2) = g.wrap_neighbor(c, (1, -1, 1));
+        assert_eq!(n2, CellCoord::new(1, 2, 3));
+        assert_eq!(s2, Vec3::ZERO);
+    }
+
+    #[test]
+    fn insert_and_rebin_track_movement() {
+        let mut g = CellGrid::new(4, 8.0);
+        g.insert(Particle::at_rest(0, Vec3::new(1.0, 1.0, 1.0)));
+        g.insert(Particle::at_rest(1, Vec3::new(1.5, 1.0, 1.0)));
+        assert_eq!(g.cell(CellCoord::new(0, 0, 0)).len(), 2);
+        // Move particle 1 into the next cell and rebin.
+        g.cell_mut(CellCoord::new(0, 0, 0))[1].pos = Vec3::new(2.5, 1.0, 1.0);
+        g.rebin();
+        assert_eq!(g.cell(CellCoord::new(0, 0, 0)).len(), 1);
+        assert_eq!(g.cell(CellCoord::new(1, 0, 0)).len(), 1);
+        assert_eq!(g.num_particles(), 2);
+    }
+
+    #[test]
+    fn rebin_sorts_by_id() {
+        let mut g = CellGrid::new(4, 8.0);
+        g.insert(Particle::at_rest(5, Vec3::new(1.0, 1.0, 1.0)));
+        g.insert(Particle::at_rest(2, Vec3::new(1.2, 1.0, 1.0)));
+        g.insert(Particle::at_rest(9, Vec3::new(0.2, 1.0, 1.0)));
+        g.rebin();
+        let ids: Vec<u64> = g.cell(CellCoord::new(0, 0, 0)).iter().map(|p| p.id).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn empty_cells_counts_c0() {
+        let mut g = CellGrid::new(3, 9.0);
+        assert_eq!(g.empty_cells(), 27);
+        g.insert(Particle::at_rest(0, Vec3::new(0.5, 0.5, 0.5)));
+        g.insert(Particle::at_rest(1, Vec3::new(0.6, 0.5, 0.5)));
+        assert_eq!(g.empty_cells(), 26);
+    }
+
+    #[test]
+    fn occupancy_histogram_buckets() {
+        let mut g = CellGrid::new(3, 9.0);
+        for i in 0..5 {
+            g.insert(Particle::at_rest(i, Vec3::new(0.5, 0.5, 0.5)));
+        }
+        g.insert(Particle::at_rest(10, Vec3::new(4.0, 4.0, 4.0)));
+        let h = g.occupancy_histogram(3);
+        assert_eq!(h[0], 25);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[3], 1); // the 5-particle cell clamps into the overflow bucket
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 cells")]
+    fn tiny_grid_rejected() {
+        let _ = CellGrid::new(1, 5.0);
+    }
+
+    #[test]
+    fn cutoff_assertion() {
+        let g = CellGrid::new(4, 8.0); // cell_len = 2
+        g.assert_cutoff_ok(2.0);
+        let r = std::panic::catch_unwind(|| g.assert_cutoff_ok(2.5));
+        assert!(r.is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_particle_lands_in_exactly_one_cell(
+            xs in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0), 1..64)
+        ) {
+            let mut g = CellGrid::new(5, 10.0);
+            for (i, (x, y, z)) in xs.iter().enumerate() {
+                g.insert(Particle::at_rest(i as u64, Vec3::new(*x, *y, *z)));
+            }
+            prop_assert_eq!(g.num_particles(), xs.len());
+            // Each particle's recorded cell matches cell_of its position.
+            for (c, ps) in g.iter_cells() {
+                for p in ps {
+                    prop_assert_eq!(g.cell_of(p.pos), c);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_wrap_neighbor_is_involutive(cx in 0usize..6, cy in 0usize..6, cz in 0usize..6,
+                                            k in 0usize..27) {
+            let g = CellGrid::new(6, 12.0);
+            let c = CellCoord::new(cx, cy, cz);
+            let (dx, dy, dz) = NEIGHBOR_OFFSETS_27[k];
+            let (n, s) = g.wrap_neighbor(c, (dx, dy, dz));
+            let (back, s2) = g.wrap_neighbor(n, (-dx, -dy, -dz));
+            prop_assert_eq!(back, c);
+            // Shifts cancel.
+            prop_assert_eq!(s + s2, Vec3::ZERO);
+        }
+
+        #[test]
+        fn prop_neighbor_cells_geometrically_adjacent(cx in 0usize..6, cy in 0usize..6,
+                                                      cz in 0usize..6, k in 0usize..27) {
+            let g = CellGrid::new(6, 12.0);
+            let c = CellCoord::new(cx, cy, cz);
+            let (n, s) = g.wrap_neighbor(c, NEIGHBOR_OFFSETS_27[k]);
+            // Center of neighbour cell, shifted, must lie within one cell
+            // length of the home cell center on every axis.
+            let center = |cc: CellCoord| {
+                Vec3::new(
+                    (cc.cx as f64 + 0.5) * g.cell_len(),
+                    (cc.cy as f64 + 0.5) * g.cell_len(),
+                    (cc.cz as f64 + 0.5) * g.cell_len(),
+                )
+            };
+            let d = center(n) + s - center(c);
+            for v in [d.x, d.y, d.z] {
+                prop_assert!(v.abs() <= g.cell_len() + 1e-9);
+            }
+        }
+    }
+}

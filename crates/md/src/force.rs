@@ -1,0 +1,375 @@
+//! The shared pair-interaction kernel.
+//!
+//! Both the serial reference simulator and the parallel SPMD simulator
+//! compute forces by calling [`PairKernel::accumulate`] once per
+//! (home cell, neighbour cell) pair, iterating neighbour cells in the
+//! canonical [`crate::cells::NEIGHBOR_OFFSETS_27`] order with id-sorted
+//! particle lists. Because the floating-point operations and their order
+//! are identical, the two simulators produce bitwise identical forces —
+//! the property the cross-crate validation tests assert.
+//!
+//! The kernel also counts *work*: the number of candidate pair distance
+//! evaluations, which is the deterministic stand-in for the per-PE force
+//! computation time the paper measures with `MPI_Wtime` (see DESIGN.md,
+//! substitutions). The paper's program "computes distances between two
+//! molecules with every combination of molecules within each cell and its
+//! neighbouring 26 cells" (Sec. 3.2) — i.e. work ∝ candidate pairs, which
+//! is what we count.
+
+use crate::lj::LennardJones;
+use crate::vec3::Vec3;
+use crate::Particle;
+
+/// Work and thermodynamic accumulators for one force evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkCounters {
+    /// Candidate pair distance evaluations (the load-model unit).
+    pub pair_checks: u64,
+    /// Pairs found within the cutoff.
+    pub interacting_pairs: u64,
+    /// Potential energy, accumulated as ½·V per *directed* pair so that
+    /// summing over all home cells (serial) or all PEs (parallel) yields
+    /// the total potential exactly once.
+    pub potential: f64,
+    /// Virial `Σ r·F`, ½-weighted like the potential; enters the pressure
+    /// as `P = ρT + W/(3V)`.
+    pub virial: f64,
+}
+
+impl WorkCounters {
+    /// Combine two counters (e.g. across cells or ranks).
+    pub fn merge(&mut self, o: &WorkCounters) {
+        self.pair_checks += o.pair_checks;
+        self.interacting_pairs += o.interacting_pairs;
+        self.potential += o.potential;
+        self.virial += o.virial;
+    }
+}
+
+/// Harmonic central-well force, `F = k·(center − pos)`, used as a
+/// *concentration driver*: the paper reaches high particle concentration
+/// by letting a supercooled gas condense over ~10⁴ steps; a weak central
+/// pull traverses the same `(n, C₀/C)` trajectory in a controllable,
+/// budget-friendly number of steps (see DESIGN.md substitutions). Both
+/// the serial and parallel simulators add this term with the identical
+/// expression, preserving bitwise parity.
+#[inline]
+pub fn central_pull_force(pos: Vec3, center: Vec3, k: f64) -> Vec3 {
+    (center - pos) * k
+}
+
+/// Potential energy of the central well, `½k·|pos − center|²`.
+#[inline]
+pub fn central_pull_energy(pos: Vec3, center: Vec3, k: f64) -> f64 {
+    0.5 * k * (pos - center).norm2()
+}
+
+/// Harmonic pull toward the box corner at the origin, with the
+/// displacement folded per axis by minimum image (the corner's periodic
+/// images at `0` and `L` are the same point). Unlike the centre pull,
+/// this concentrates the whole system onto *one PE's corner*, producing
+/// the extreme single-domain hotspot that probes the DLB limit at any
+/// density.
+#[inline]
+pub fn corner_pull_force(pos: Vec3, box_len: f64, k: f64) -> Vec3 {
+    let fold = |v: f64| if v > 0.5 * box_len { v - box_len } else { v };
+    Vec3::new(
+        -k * fold(pos.x),
+        -k * fold(pos.y),
+        -k * fold(pos.z),
+    )
+}
+
+/// Potential energy of the corner well (minimum-image folded).
+#[inline]
+pub fn corner_pull_energy(pos: Vec3, box_len: f64, k: f64) -> f64 {
+    let fold = |v: f64| if v > 0.5 * box_len { v - box_len } else { v };
+    let d = Vec3::new(fold(pos.x), fold(pos.y), fold(pos.z));
+    0.5 * k * d.norm2()
+}
+
+/// An optional external single-particle force field.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ExternalPull {
+    /// No external field.
+    #[default]
+    None,
+    /// Harmonic well at the box centre (spring constant `k`).
+    Center {
+        /// Spring constant.
+        k: f64,
+    },
+    /// Harmonic well at the box corner, minimum-image folded.
+    Corner {
+        /// Spring constant.
+        k: f64,
+    },
+    /// Harmonic well at an arbitrary point given as box fractions,
+    /// minimum-image folded. Targeting the centre of one PE's domain
+    /// creates the single-domain hotspot of the paper's maximum-domain
+    /// analysis (Fig. 8) at any density.
+    Point {
+        /// Spring constant.
+        k: f64,
+        /// Target as fractions of the box side, each in `[0, 1)`.
+        frac: Vec3,
+    },
+    /// A *localized* well: harmonic within radius `rmax` of the target,
+    /// constant-magnitude (`k·rmax`) beyond it. Distant gas drifts in at a
+    /// steady rate, so a depletion zone grows around the hot domain —
+    /// empties concentrate near it (raising the concentration factor `n`)
+    /// while far regions stay gassy, the geometry natural condensation
+    /// produces around a dominant droplet.
+    Well {
+        /// Spring constant inside the harmonic core.
+        k: f64,
+        /// Target as fractions of the box side.
+        frac: Vec3,
+        /// Radius of the harmonic core (reduced units).
+        rmax: f64,
+    },
+}
+
+/// Minimum-image displacement from `target` to `pos` in a periodic box.
+#[inline]
+fn folded_displacement(pos: Vec3, target: Vec3, box_len: f64) -> Vec3 {
+    let fold = |d: f64| {
+        if d > 0.5 * box_len {
+            d - box_len
+        } else if d < -0.5 * box_len {
+            d + box_len
+        } else {
+            d
+        }
+    };
+    Vec3::new(
+        fold(pos.x - target.x),
+        fold(pos.y - target.y),
+        fold(pos.z - target.z),
+    )
+}
+
+impl ExternalPull {
+    /// Force on a particle at `pos` in a box of side `box_len`.
+    #[inline]
+    pub fn force(&self, pos: Vec3, box_len: f64) -> Vec3 {
+        match *self {
+            ExternalPull::None => Vec3::ZERO,
+            ExternalPull::Center { k } => {
+                central_pull_force(pos, Vec3::splat(0.5 * box_len), k)
+            }
+            ExternalPull::Corner { k } => corner_pull_force(pos, box_len, k),
+            ExternalPull::Point { k, frac } => {
+                let target = frac * box_len;
+                folded_displacement(pos, target, box_len) * (-k)
+            }
+            ExternalPull::Well { k, frac, rmax } => {
+                let target = frac * box_len;
+                let d = folded_displacement(pos, target, box_len);
+                let r = d.norm();
+                if r <= rmax || r == 0.0 {
+                    d * (-k)
+                } else {
+                    d * (-k * rmax / r)
+                }
+            }
+        }
+    }
+
+    /// Potential energy of a particle at `pos`.
+    #[inline]
+    pub fn energy(&self, pos: Vec3, box_len: f64) -> f64 {
+        match *self {
+            ExternalPull::None => 0.0,
+            ExternalPull::Center { k } => {
+                central_pull_energy(pos, Vec3::splat(0.5 * box_len), k)
+            }
+            ExternalPull::Corner { k } => corner_pull_energy(pos, box_len, k),
+            ExternalPull::Point { k, frac } => {
+                let target = frac * box_len;
+                0.5 * k * folded_displacement(pos, target, box_len).norm2()
+            }
+            ExternalPull::Well { k, frac, rmax } => {
+                let target = frac * box_len;
+                let r = folded_displacement(pos, target, box_len).norm();
+                if r <= rmax {
+                    0.5 * k * r * r
+                } else {
+                    0.5 * k * rmax * rmax + k * rmax * (r - rmax)
+                }
+            }
+        }
+    }
+
+    /// True when the field exerts no force.
+    pub fn is_none(&self) -> bool {
+        matches!(self, ExternalPull::None)
+    }
+}
+
+/// A force kernel specialised to one pair potential.
+#[derive(Debug, Clone, Copy)]
+pub struct PairKernel {
+    /// The pair potential.
+    pub lj: LennardJones,
+}
+
+impl PairKernel {
+    /// Kernel for the given potential.
+    pub fn new(lj: LennardJones) -> Self {
+        Self { lj }
+    }
+
+    /// Accumulate forces on `targets` from `neighbors` displaced by
+    /// `shift` (the periodic-image displacement of the neighbour cell).
+    ///
+    /// `forces[i]` must correspond to `targets[i]`. Pairs with equal ids
+    /// are skipped: with `shift == 0` that is the self-pair; with a
+    /// non-zero shift it is a particle's own periodic image, which lies at
+    /// least `L ≥ 2·r_c` away and cannot interact anyway.
+    pub fn accumulate(
+        &self,
+        targets: &[Particle],
+        forces: &mut [Vec3],
+        neighbors: &[Particle],
+        shift: Vec3,
+        w: &mut WorkCounters,
+    ) {
+        debug_assert_eq!(targets.len(), forces.len());
+        let rcut2 = self.lj.rcut2();
+        for (t, f) in targets.iter().zip(forces.iter_mut()) {
+            for nb in neighbors {
+                if nb.id == t.id {
+                    continue;
+                }
+                w.pair_checks += 1;
+                let r = (nb.pos + shift) - t.pos;
+                let r2 = r.norm2();
+                if r2 < rcut2 {
+                    w.interacting_pairs += 1;
+                    let for_r = self.lj.force_over_r_r2(r2);
+                    // Force on the target points away from the neighbour
+                    // when repulsive: F_t = -(F/r)·r, with r = nb - t.
+                    *f -= r * for_r;
+                    w.potential += 0.5 * self.lj.energy_r2(r2);
+                    w.virial += 0.5 * for_r * r2;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(id: u64, x: f64) -> Particle {
+        Particle::at_rest(id, Vec3::new(x, 0.0, 0.0))
+    }
+
+    #[test]
+    fn two_particles_feel_equal_opposite_forces() {
+        let k = PairKernel::new(LennardJones::paper());
+        let a = [one(0, 0.0)];
+        let b = [one(1, 1.1)];
+        let mut fa = [Vec3::ZERO];
+        let mut fb = [Vec3::ZERO];
+        let mut w = WorkCounters::default();
+        k.accumulate(&a, &mut fa, &b, Vec3::ZERO, &mut w);
+        k.accumulate(&b, &mut fb, &a, Vec3::ZERO, &mut w);
+        assert!((fa[0].x + fb[0].x).abs() < 1e-15, "Newton's third law");
+        assert_eq!(fa[0].y, 0.0);
+        // At r = 1.1 < r_min the pair is repulsive: a is pushed to -x.
+        assert!(fa[0].x < 0.0);
+        assert_eq!(w.pair_checks, 2);
+        assert_eq!(w.interacting_pairs, 2);
+    }
+
+    #[test]
+    fn self_pairs_are_skipped() {
+        let k = PairKernel::new(LennardJones::paper());
+        let a = [one(7, 1.0)];
+        let mut f = [Vec3::ZERO];
+        let mut w = WorkCounters::default();
+        k.accumulate(&a, &mut f, &a, Vec3::ZERO, &mut w);
+        assert_eq!(w.pair_checks, 0);
+        assert_eq!(f[0], Vec3::ZERO);
+    }
+
+    #[test]
+    fn beyond_cutoff_counts_check_but_no_interaction() {
+        let k = PairKernel::new(LennardJones::paper());
+        let a = [one(0, 0.0)];
+        let b = [one(1, 3.0)];
+        let mut f = [Vec3::ZERO];
+        let mut w = WorkCounters::default();
+        k.accumulate(&a, &mut f, &b, Vec3::ZERO, &mut w);
+        assert_eq!(w.pair_checks, 1);
+        assert_eq!(w.interacting_pairs, 0);
+        assert_eq!(f[0], Vec3::ZERO);
+        assert_eq!(w.potential, 0.0);
+    }
+
+    #[test]
+    fn shift_translates_the_neighbor_image() {
+        let k = PairKernel::new(LennardJones::paper());
+        // Neighbour canonically at x = 9.0 in a box of L = 10; with shift
+        // -L it appears at -1.0, i.e. distance 1.0 from the target.
+        let a = [one(0, 0.0)];
+        let b = [one(1, 9.0)];
+        let mut f = [Vec3::ZERO];
+        let mut w = WorkCounters::default();
+        k.accumulate(&a, &mut f, &b, Vec3::new(-10.0, 0.0, 0.0), &mut w);
+        assert_eq!(w.interacting_pairs, 1);
+        // Image at -1.0 < r_min pushes the target toward +x.
+        assert!(f[0].x > 0.0);
+    }
+
+    #[test]
+    fn directed_half_weights_sum_to_full_potential() {
+        let lj = LennardJones::paper();
+        let k = PairKernel::new(lj);
+        let a = [one(0, 0.0)];
+        let b = [one(1, 1.5)];
+        let mut f = [Vec3::ZERO];
+        let mut w = WorkCounters::default();
+        k.accumulate(&a, &mut f, &b, Vec3::ZERO, &mut w);
+        k.accumulate(&b, &mut f, &a, Vec3::ZERO, &mut w);
+        let expect = lj.energy_r2(1.5 * 1.5);
+        assert!((w.potential - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = WorkCounters {
+            pair_checks: 1,
+            interacting_pairs: 1,
+            potential: 2.0,
+            virial: 3.0,
+        };
+        let b = WorkCounters {
+            pair_checks: 10,
+            interacting_pairs: 5,
+            potential: -1.0,
+            virial: 1.0,
+        };
+        a.merge(&b);
+        assert_eq!(a.pair_checks, 11);
+        assert_eq!(a.interacting_pairs, 6);
+        assert_eq!(a.potential, 1.0);
+        assert_eq!(a.virial, 4.0);
+    }
+
+    #[test]
+    fn work_counts_every_candidate_combination() {
+        // 3 targets × 4 neighbours, no shared ids → 12 checks regardless
+        // of distance.
+        let k = PairKernel::new(LennardJones::paper());
+        let ts: Vec<Particle> = (0..3).map(|i| one(i, i as f64 * 100.0)).collect();
+        let ns: Vec<Particle> = (10..14).map(|i| one(i, i as f64 * 100.0)).collect();
+        let mut f = vec![Vec3::ZERO; 3];
+        let mut w = WorkCounters::default();
+        k.accumulate(&ts, &mut f, &ns, Vec3::ZERO, &mut w);
+        assert_eq!(w.pair_checks, 12);
+    }
+}

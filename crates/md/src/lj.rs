@@ -1,0 +1,172 @@
+//! The Lennard-Jones pair potential (paper Eq. 1) with cutoff.
+//!
+//! `V(r) = 4ε[(σ/r)¹² − (σ/r)⁶]`, truncated at `r_c` (the paper uses
+//! `r_c = 2.5σ`, "chosen for the Argon value"). In reduced units
+//! ε = σ = 1. An optional energy shift removes the discontinuity at the
+//! cutoff (`V(r) − V(r_c)`), which tightens energy conservation in NVE
+//! tests; the force is identical either way, so trajectories do not depend
+//! on the shift.
+
+/// Lennard-Jones parameters plus cutoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LennardJones {
+    /// Well depth ε.
+    pub epsilon: f64,
+    /// Length scale σ.
+    pub sigma: f64,
+    /// Cutoff distance r_c; pairs farther apart do not interact.
+    pub rcut: f64,
+    /// Energy shift so that V(r_c) = 0 (does not affect forces).
+    pub shifted: bool,
+}
+
+impl LennardJones {
+    /// Reduced-unit LJ with the paper's cutoff r_c = 2.5 and energy shift.
+    pub fn reduced(rcut: f64) -> Self {
+        assert!(rcut > 0.0, "cutoff must be positive");
+        Self {
+            epsilon: 1.0,
+            sigma: 1.0,
+            rcut,
+            shifted: true,
+        }
+    }
+
+    /// The paper's configuration: reduced units, r_c = 2.5.
+    pub fn paper() -> Self {
+        Self::reduced(2.5)
+    }
+
+    /// Squared cutoff, the quantity pair loops compare against.
+    #[inline]
+    pub fn rcut2(&self) -> f64 {
+        self.rcut * self.rcut
+    }
+
+    /// Pair energy at squared separation `r2`; zero beyond the cutoff.
+    #[inline]
+    pub fn energy_r2(&self, r2: f64) -> f64 {
+        if r2 >= self.rcut2() {
+            return 0.0;
+        }
+        let s2 = self.sigma * self.sigma / r2;
+        let s6 = s2 * s2 * s2;
+        let v = 4.0 * self.epsilon * (s6 * s6 - s6);
+        if self.shifted {
+            v - self.energy_at_cutoff()
+        } else {
+            v
+        }
+    }
+
+    /// `F(r)/r`, the scalar such that the force on `i` from `j` is
+    /// `(F(r)/r) · (r_i − r_j)`; zero beyond the cutoff. Positive values
+    /// are repulsive.
+    #[inline]
+    pub fn force_over_r_r2(&self, r2: f64) -> f64 {
+        if r2 >= self.rcut2() {
+            return 0.0;
+        }
+        let s2 = self.sigma * self.sigma / r2;
+        let s6 = s2 * s2 * s2;
+        24.0 * self.epsilon * (2.0 * s6 * s6 - s6) / r2
+    }
+
+    /// Unshifted potential value at the cutoff (the shift constant).
+    #[inline]
+    pub fn energy_at_cutoff(&self) -> f64 {
+        let s2 = self.sigma * self.sigma / self.rcut2();
+        let s6 = s2 * s2 * s2;
+        4.0 * self.epsilon * (s6 * s6 - s6)
+    }
+
+    /// Separation at the potential minimum, 2^(1/6)·σ.
+    pub fn r_min(&self) -> f64 {
+        self.sigma * 2f64.powf(1.0 / 6.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_beyond_cutoff() {
+        let lj = LennardJones::paper();
+        assert_eq!(lj.energy_r2(2.5 * 2.5), 0.0);
+        assert_eq!(lj.energy_r2(9.0), 0.0);
+        assert_eq!(lj.force_over_r_r2(9.0), 0.0);
+    }
+
+    #[test]
+    fn minimum_at_r_min() {
+        let lj = LennardJones {
+            shifted: false,
+            ..LennardJones::paper()
+        };
+        let rm = lj.r_min();
+        assert!((lj.energy_r2(rm * rm) + lj.epsilon).abs() < 1e-12, "V(r_min) = -ε");
+        // Force crosses zero at the minimum.
+        assert!(lj.force_over_r_r2(rm * rm).abs() < 1e-12);
+        // Repulsive inside, attractive outside.
+        assert!(lj.force_over_r_r2(0.9 * 0.9) > 0.0);
+        assert!(lj.force_over_r_r2(1.5 * 1.5) < 0.0);
+    }
+
+    #[test]
+    fn shifted_potential_is_zero_at_cutoff_boundary() {
+        let lj = LennardJones::paper();
+        let just_inside = lj.rcut2() * (1.0 - 1e-12);
+        assert!(lj.energy_r2(just_inside).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_at_unit_separation_unshifted() {
+        let lj = LennardJones {
+            shifted: false,
+            ..LennardJones::paper()
+        };
+        // V(σ) = 0 for the unshifted potential.
+        assert!(lj.energy_r2(1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scales_with_epsilon() {
+        let lj1 = LennardJones {
+            epsilon: 1.0,
+            shifted: false,
+            ..LennardJones::paper()
+        };
+        let lj2 = LennardJones {
+            epsilon: 2.0,
+            shifted: false,
+            ..LennardJones::paper()
+        };
+        assert!((lj2.energy_r2(1.44) - 2.0 * lj1.energy_r2(1.44)).abs() < 1e-12);
+        assert!((lj2.force_over_r_r2(1.44) - 2.0 * lj1.force_over_r_r2(1.44)).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// The force must equal the negative gradient of the energy:
+        /// F(r) = −dV/dr, checked against a central finite difference.
+        #[test]
+        fn prop_force_is_minus_gradient(r in 0.8f64..2.4) {
+            let lj = LennardJones { shifted: false, ..LennardJones::paper() };
+            let h = 1e-6;
+            let dvdr = (lj.energy_r2((r + h) * (r + h)) - lj.energy_r2((r - h) * (r - h)))
+                / (2.0 * h);
+            let f = lj.force_over_r_r2(r * r) * r; // scalar force magnitude (signed)
+            prop_assert!((f + dvdr).abs() < 1e-5 * (1.0 + f.abs()),
+                "r={r}: F={f} vs -dV/dr={}", -dvdr);
+        }
+
+        /// Energy shift never changes the force.
+        #[test]
+        fn prop_shift_does_not_change_force(r2 in 0.6f64..7.0) {
+            let a = LennardJones { shifted: true, ..LennardJones::paper() };
+            let b = LennardJones { shifted: false, ..LennardJones::paper() };
+            prop_assert_eq!(a.force_over_r_r2(r2), b.force_over_r_r2(r2));
+        }
+    }
+}

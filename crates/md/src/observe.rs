@@ -1,0 +1,83 @@
+//! Observables: kinetic/potential energy, temperature, pressure.
+//!
+//! Reduced units throughout (k_B = m = 1): `KE = ½ Σ v²`,
+//! `T = 2·KE / (3N)`, `P = ρT + W/(3V)` with `W = Σ r·F` the virial.
+
+use crate::vec3::Vec3;
+
+/// Kinetic energy of a velocity stream, summed in iteration order (callers
+/// that need bitwise reproducibility iterate in particle-id order).
+pub fn kinetic_energy(vels: impl Iterator<Item = Vec3>) -> f64 {
+    vels.map(|v| 0.5 * v.norm2()).sum()
+}
+
+/// Instantaneous temperature `2·KE / (3N)` of a velocity stream.
+pub fn temperature(vels: impl Iterator<Item = Vec3>) -> f64 {
+    let mut ke = 0.0;
+    let mut n = 0usize;
+    for v in vels {
+        ke += 0.5 * v.norm2();
+        n += 1;
+    }
+    assert!(n > 0, "temperature of zero particles is undefined");
+    2.0 * ke / (3.0 * n as f64)
+}
+
+/// Temperature from a precomputed kinetic energy.
+pub fn temperature_from_ke(ke: f64, n: usize) -> f64 {
+    assert!(n > 0);
+    2.0 * ke / (3.0 * n as f64)
+}
+
+/// Virial pressure `P = ρT + W/(3V)`.
+pub fn pressure(n: usize, volume: f64, temperature: f64, virial: f64) -> f64 {
+    let rho = n as f64 / volume;
+    rho * temperature + virial / (3.0 * volume)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinetic_energy_of_unit_speeds() {
+        let vels = vec![Vec3::new(1.0, 0.0, 0.0); 10];
+        assert_eq!(kinetic_energy(vels.into_iter()), 5.0);
+    }
+
+    #[test]
+    fn temperature_matches_equipartition() {
+        // Each particle with |v|² = 3 contributes KE 1.5 → T = 1.
+        let vels = vec![Vec3::new(1.0, 1.0, 1.0); 7];
+        assert!((temperature(vels.into_iter()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn temperature_from_ke_is_consistent() {
+        let vels: Vec<Vec3> = (0..5).map(|i| Vec3::splat(i as f64 * 0.1)).collect();
+        let ke = kinetic_energy(vels.iter().copied());
+        assert_eq!(
+            temperature(vels.iter().copied()),
+            temperature_from_ke(ke, vels.len())
+        );
+    }
+
+    #[test]
+    fn ideal_gas_pressure_has_zero_virial() {
+        // W = 0 → P = ρT.
+        let p = pressure(100, 50.0, 2.0, 0.0);
+        assert!((p - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repulsive_virial_raises_pressure() {
+        assert!(pressure(100, 50.0, 2.0, 30.0) > pressure(100, 50.0, 2.0, 0.0));
+        assert!(pressure(100, 50.0, 2.0, -30.0) < pressure(100, 50.0, 2.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn temperature_of_nothing_panics() {
+        let _ = temperature(std::iter::empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Velocity-rescaling temperature control.
+//!
+//! The paper keeps (N, V, E) constant but "the temperature is scaled to
+//! T_ref every 50 time steps" (Sec. 3.2) — i.e. an isokinetic velocity
+//! rescale applied periodically, which is what drives the supercooled gas
+//! toward condensation. The scale factor is `√(T_ref / T_now)`.
+
+/// How often (in steps) and to what temperature velocities are rescaled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thermostat {
+    /// Target reduced temperature T*.
+    pub t_ref: f64,
+    /// Rescale every this many steps (paper: 50). `0` disables rescaling
+    /// (pure NVE).
+    pub interval: u64,
+}
+
+impl Thermostat {
+    /// The paper's setting: T* = 0.722, every 50 steps.
+    pub fn paper() -> Self {
+        Self {
+            t_ref: 0.722,
+            interval: 50,
+        }
+    }
+
+    /// Disabled thermostat (pure NVE), used by energy-conservation tests.
+    pub fn off() -> Self {
+        Self {
+            t_ref: 0.0,
+            interval: 0,
+        }
+    }
+
+    /// Whether a rescale fires after completing step number `step`
+    /// (1-based: the paper's "every 50 time steps" fires at 50, 100, …).
+    pub fn fires_at(&self, step: u64) -> bool {
+        self.interval != 0 && step > 0 && step.is_multiple_of(self.interval)
+    }
+
+    /// The velocity scale factor given the instantaneous temperature.
+    pub fn scale_factor(&self, t_now: f64) -> f64 {
+        assert!(t_now > 0.0, "cannot rescale a system at T = 0");
+        (self.t_ref / t_now).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_on_multiples_only() {
+        let t = Thermostat::paper();
+        assert!(!t.fires_at(0));
+        assert!(!t.fires_at(49));
+        assert!(t.fires_at(50));
+        assert!(!t.fires_at(51));
+        assert!(t.fires_at(100));
+    }
+
+    #[test]
+    fn off_never_fires() {
+        let t = Thermostat::off();
+        for s in 0..1000 {
+            assert!(!t.fires_at(s));
+        }
+    }
+
+    #[test]
+    fn scale_factor_restores_target() {
+        let t = Thermostat::paper();
+        // System twice as hot → velocities shrink by √2.
+        let s = t.scale_factor(2.0 * 0.722);
+        assert!((s - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+        // T scales as s²·T_now.
+        assert!((s * s * 2.0 * 0.722 - 0.722).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_factor_is_identity_at_target() {
+        let t = Thermostat::paper();
+        assert!((t.scale_factor(0.722) - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,375 @@
+//! Per-rank communication endpoint: typed point-to-point messaging.
+//!
+//! [`Comm`] is what an SPMD rank program holds. Semantics mirror a minimal
+//! MPI subset:
+//!
+//! - `send(dst, tag, value)` is asynchronous and never blocks (buffered,
+//!   like an `MPI_Isend` whose buffer always fits).
+//! - `recv(src, tag)` blocks until a message from exactly `src` with
+//!   exactly `tag` is available; messages that arrive earlier with a
+//!   different `(src, tag)` are buffered and delivered to later receives
+//!   (MPI's non-overtaking rule holds per `(src, tag)` pair because each
+//!   sender's messages travel a FIFO channel).
+//! - Message payloads are typed; receiving with the wrong type panics with
+//!   a diagnostic, since in an SPMD program that is always a protocol bug.
+//!
+//! Every send/receive also charges the [`CostModel`] time to the rank's
+//! virtual communication clock and bumps the [`CommStats`] counters.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use crate::cost::CostModel;
+use crate::wire::WireSize;
+
+/// Message tag. Programs namespace tags themselves (the simulator uses one
+/// constant per communication phase).
+pub type Tag = u64;
+
+/// A message in flight.
+pub(crate) struct Envelope {
+    pub(crate) src: usize,
+    pub(crate) tag: Tag,
+    pub(crate) wire_bytes: usize,
+    pub(crate) payload: Box<dyn Any + Send>,
+    pub(crate) type_name: &'static str,
+}
+
+/// Communication counters for one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    /// Messages sent by this rank.
+    pub msgs_sent: u64,
+    /// Messages received by this rank.
+    pub msgs_recvd: u64,
+    /// Total bytes sent (wire-size accounting).
+    pub bytes_sent: u64,
+    /// Total bytes received.
+    pub bytes_recvd: u64,
+    /// Virtual communication time charged to this rank, seconds.
+    pub virtual_comm_s: f64,
+}
+
+/// One rank's endpoint into the world.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    /// Arrived-but-unmatched messages, searched before the channel.
+    pending: VecDeque<Envelope>,
+    model: CostModel,
+    stats: CommStats,
+    epoch: Instant,
+    /// Set when any rank in the world panics; receives poll it so a dead
+    /// peer aborts the world instead of deadlocking it.
+    abort: Arc<AtomicBool>,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        senders: Vec<Sender<Envelope>>,
+        inbox: Receiver<Envelope>,
+        model: CostModel,
+        epoch: Instant,
+        abort: Arc<AtomicBool>,
+    ) -> Self {
+        let size = senders.len();
+        Self {
+            rank,
+            size,
+            senders,
+            inbox,
+            pending: VecDeque::new(),
+            model,
+            stats: CommStats::default(),
+            epoch,
+            abort,
+        }
+    }
+
+    /// This rank's id, `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Seconds of wall time since the world started (`MPI_Wtime`
+    /// equivalent). On a timeshared host this measures elapsed real time,
+    /// not per-rank compute; experiments that need per-rank *load* use the
+    /// simulator's deterministic work model instead.
+    pub fn wtime(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Communication counters accumulated so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Send `value` to rank `dst` with `tag`. Never blocks. Sending to
+    /// self is allowed (the message is delivered through the same mailbox).
+    pub fn send<T>(&mut self, dst: usize, tag: Tag, value: T)
+    where
+        T: Any + Send + WireSize,
+    {
+        assert!(dst < self.size, "send: dst {dst} out of range (size {})", self.size);
+        let wire_bytes = value.wire_size();
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += wire_bytes as u64;
+        self.stats.virtual_comm_s += self.model.message_time(self.rank, dst, wire_bytes);
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            wire_bytes,
+            payload: Box::new(value),
+            type_name: std::any::type_name::<T>(),
+        };
+        self.senders[dst]
+            .send(env)
+            .expect("send: destination rank hung up (rank thread panicked?)");
+    }
+
+    /// Receive the next message from `src` with `tag`, blocking until one
+    /// arrives. Panics if the payload type does not match `T`.
+    pub fn recv<T>(&mut self, src: usize, tag: Tag) -> T
+    where
+        T: Any + Send + WireSize,
+    {
+        assert!(src < self.size, "recv: src {src} out of range (size {})", self.size);
+        // First look at messages that already arrived out of order.
+        if let Some(pos) = self.pending.iter().position(|e| e.src == src && e.tag == tag) {
+            let env = self.pending.remove(pos).expect("position was valid");
+            return self.unpack(env);
+        }
+        loop {
+            match self.inbox.recv_timeout(Duration::from_millis(20)) {
+                Ok(env) => {
+                    if env.src == src && env.tag == tag {
+                        return self.unpack(env);
+                    }
+                    self.pending.push_back(env);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    assert!(
+                        !self.abort.load(Ordering::Relaxed),
+                        "rank {} aborting recv(src={src}, tag={tag}): another rank panicked",
+                        self.rank
+                    );
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("recv: world channel closed while waiting (peer rank exited?)")
+                }
+            }
+        }
+    }
+
+    /// Combined send + receive with a peer (the `MPI_Sendrecv` pattern
+    /// every ghost-exchange phase uses): sends `value` to `peer` with
+    /// `tag` and receives that peer's message with the same tag. Safe
+    /// against deadlock because sends never block. `peer` may be `self`.
+    pub fn sendrecv<T>(&mut self, peer: usize, tag: Tag, value: T) -> T
+    where
+        T: Any + Send + WireSize,
+    {
+        self.send(peer, tag, value);
+        self.recv(peer, tag)
+    }
+
+    /// Non-blocking receive: `Some(value)` if a matching message has
+    /// already arrived, else `None`.
+    pub fn try_recv<T>(&mut self, src: usize, tag: Tag) -> Option<T>
+    where
+        T: Any + Send + WireSize,
+    {
+        // Drain the channel into pending so we see everything that arrived.
+        while let Ok(env) = self.inbox.try_recv() {
+            self.pending.push_back(env);
+        }
+        let pos = self.pending.iter().position(|e| e.src == src && e.tag == tag)?;
+        let env = self.pending.remove(pos).expect("position was valid");
+        Some(self.unpack(env))
+    }
+
+    fn unpack<T>(&mut self, env: Envelope) -> T
+    where
+        T: Any + Send + WireSize,
+    {
+        self.stats.msgs_recvd += 1;
+        self.stats.bytes_recvd += env.wire_bytes as u64;
+        self.stats.virtual_comm_s += self.model.message_time(env.src, self.rank, env.wire_bytes);
+        let src = env.src;
+        let tag = env.tag;
+        let sent_type = env.type_name;
+        match env.payload.downcast::<T>() {
+            Ok(b) => *b,
+            Err(_) => panic!(
+                "recv type mismatch on rank {} for (src={src}, tag={tag}): \
+                 sender sent `{sent_type}`, receiver expected `{}`",
+                self.rank,
+                std::any::type_name::<T>()
+            ),
+        }
+    }
+
+    /// Number of buffered (arrived, unmatched) messages. Exposed for tests
+    /// and leak assertions at phase boundaries.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn ping_pong_two_ranks() {
+        let out = World::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, 42u64);
+                comm.recv::<u64>(1, 8)
+            } else {
+                let x = comm.recv::<u64>(0, 7);
+                comm.send(0, 8, x + 1);
+                x
+            }
+        });
+        assert_eq!(out, vec![43, 42]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let out = World::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, 10u32);
+                comm.send(1, 2, 20u32);
+                comm.send(1, 3, 30u32);
+                0
+            } else {
+                // Receive in reverse tag order; earlier arrivals must wait
+                // in the pending buffer.
+                let c = comm.recv::<u32>(0, 3);
+                let b = comm.recv::<u32>(0, 2);
+                let a = comm.recv::<u32>(0, 1);
+                assert_eq!(comm.pending_len(), 0);
+                (a + b + c) as usize
+            }
+        });
+        assert_eq!(out[1], 60);
+    }
+
+    #[test]
+    fn per_sender_fifo_within_a_tag() {
+        let out = World::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                for i in 0..100u64 {
+                    comm.send(1, 5, i);
+                }
+                Vec::new()
+            } else {
+                (0..100).map(|_| comm.recv::<u64>(0, 5)).collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(out[1], (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_to_self_is_delivered() {
+        let out = World::new(1).run(|comm| {
+            comm.send(0, 9, 3.5f64);
+            comm.recv::<f64>(0, 9)
+        });
+        assert_eq!(out, vec![3.5]);
+    }
+
+    #[test]
+    fn messages_from_different_sources_do_not_cross() {
+        let out = World::new(3).run(|comm| match comm.rank() {
+            0 => {
+                comm.send(2, 1, 100u64);
+                0
+            }
+            1 => {
+                comm.send(2, 1, 200u64);
+                0
+            }
+            _ => {
+                // Same tag, different sources: matching is per-source.
+                let from1 = comm.recv::<u64>(1, 1);
+                let from0 = comm.recv::<u64>(0, 1);
+                assert_eq!((from0, from1), (100, 200));
+                1
+            }
+        });
+        assert_eq!(out[2], 1);
+    }
+
+    #[test]
+    fn try_recv_returns_none_before_arrival() {
+        let out = World::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                // Wait until rank 1 signals, then send.
+                let _: u8 = comm.recv(1, 0);
+                comm.send(1, 1, 77u8);
+                0
+            } else {
+                assert!(comm.try_recv::<u8>(0, 1).is_none());
+                comm.send(0, 0, 0u8);
+                // Blocking recv still works after a failed try_recv.
+                comm.recv::<u8>(0, 1) as usize
+            }
+        });
+        assert_eq!(out[1], 77);
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let out = World::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![1.0f64; 10]);
+                comm.stats()
+            } else {
+                let _ = comm.recv::<Vec<f64>>(0, 0);
+                comm.stats()
+            }
+        });
+        assert_eq!(out[0].msgs_sent, 1);
+        assert_eq!(out[0].bytes_sent, 88);
+        assert_eq!(out[1].msgs_recvd, 1);
+        assert_eq!(out[1].bytes_recvd, 88);
+        assert!(out[1].virtual_comm_s > 0.0);
+    }
+
+    #[test]
+    fn type_mismatch_panics_with_diagnostic() {
+        let res = std::panic::catch_unwind(|| {
+            World::new(2).run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 0, 1u64);
+                } else {
+                    let _ = comm.recv::<f32>(0, 0);
+                }
+            });
+        });
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Interconnect cost model.
+//!
+//! The Cray T3E the paper evaluated on has a 3-D torus interconnect with a
+//! quoted link performance of 2.8 GB/s per PE (paper Sec. 3.1). Real MPI
+//! message cost on such machines is well approximated by the classic
+//! "postal" model `T(bytes) = α + hops·δ + bytes/β` — a fixed software
+//! latency `α`, a small per-hop routing cost `δ`, and a bandwidth term.
+//!
+//! On this workspace's substitute machine (threads in one address space)
+//! messages are pointer moves, so wall time measures nothing useful about
+//! the interconnect. The cost model instead charges each message's modelled
+//! time to a per-rank *virtual communication clock*, letting experiments
+//! compare communication cost across domain shapes and protocols
+//! deterministically.
+
+use crate::topology::Torus2d;
+
+/// Postal-model parameters for one message: `α + hops·δ + bytes/β`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Software + injection latency per message, seconds.
+    pub latency_s: f64,
+    /// Per-hop routing delay, seconds.
+    pub per_hop_s: f64,
+    /// Effective bandwidth, bytes per second.
+    pub bandwidth_bps: f64,
+    /// Virtual topology used to compute hop counts between ranks; `None`
+    /// charges every message a single hop.
+    pub topology: Option<Torus2d>,
+}
+
+impl CostModel {
+    /// A T3E-flavoured default: 10 µs MPI latency, 100 ns per hop and
+    /// 300 MB/s effective MPI bandwidth (the 2.8 GB/s figure in the paper
+    /// is raw link speed; achievable MPI bandwidth on the T3E was a few
+    /// hundred MB/s).
+    pub fn t3e(topology: Option<Torus2d>) -> Self {
+        Self {
+            latency_s: 10e-6,
+            per_hop_s: 0.1e-6,
+            bandwidth_bps: 300e6,
+            topology,
+        }
+    }
+
+    /// A model that charges nothing; useful in tests.
+    pub fn free() -> Self {
+        Self {
+            latency_s: 0.0,
+            per_hop_s: 0.0,
+            bandwidth_bps: f64::INFINITY,
+            topology: None,
+        }
+    }
+
+    /// Modelled one-way time for a message of `bytes` from `src` to `dst`.
+    pub fn message_time(&self, src: usize, dst: usize, bytes: usize) -> f64 {
+        let hops = match &self.topology {
+            Some(t) => t.hops(src, dst),
+            None => 1,
+        };
+        self.latency_s + hops as f64 * self.per_hop_s + bytes as f64 / self.bandwidth_bps
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::t3e(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_model_charges_nothing() {
+        let m = CostModel::free();
+        assert_eq!(m.message_time(0, 1, 1_000_000), 0.0);
+    }
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let m = CostModel::t3e(None);
+        let t_small = m.message_time(0, 1, 8);
+        let t_large = m.message_time(0, 1, 8_000_000);
+        assert!(t_small < 11e-6, "8-byte message should cost ~latency, got {t_small}");
+        assert!(t_large > 0.02, "8 MB at 300 MB/s should cost >20 ms, got {t_large}");
+    }
+
+    #[test]
+    fn hops_increase_cost_with_topology() {
+        let topo = Torus2d::new(6, 6);
+        let m = CostModel::t3e(Some(topo));
+        let near = m.message_time(0, 1, 0); // 1 hop
+        let far = m.message_time(0, 21, 0); // (0,0)→(3,3): 6 hops
+        assert!(far > near);
+        assert!((far - near - 5.0 * m.per_hop_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_term_is_linear_in_bytes() {
+        let m = CostModel::t3e(None);
+        let t1 = m.message_time(0, 1, 1000);
+        let t2 = m.message_time(0, 1, 2000);
+        assert!((2.0 * (t1 - m.latency_s - m.per_hop_s) - (t2 - m.latency_s - m.per_hop_s)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,199 @@
+//! SPMD world launcher.
+//!
+//! [`World::run`] spawns one OS thread per rank, hands each a [`Comm`]
+//! endpoint, runs the same closure on all of them (SPMD, as the paper's
+//! T3E implementation, Sec. 3.1), and returns the per-rank results in rank
+//! order. If any rank panics, the panic is resurfaced on the caller after
+//! all threads have stopped, so a failing assertion inside a rank fails the
+//! enclosing test rather than deadlocking it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::unbounded;
+
+use crate::comm::{Comm, Envelope};
+use crate::cost::CostModel;
+
+/// Configuration for an SPMD launch.
+#[derive(Debug, Clone)]
+pub struct World {
+    size: usize,
+    model: CostModel,
+}
+
+impl World {
+    /// A world of `size` ranks with the default (T3E-flavoured, untopologied)
+    /// cost model. Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "world needs at least one rank");
+        Self {
+            size,
+            model: CostModel::default(),
+        }
+    }
+
+    /// Replace the interconnect cost model.
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Number of ranks this world will launch.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `f` on every rank; returns per-rank results in rank order.
+    ///
+    /// The closure is shared by reference across threads, so it must be
+    /// `Sync`; per-rank state lives inside the closure body.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        let epoch = Instant::now();
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..self.size).map(|_| unbounded::<Envelope>()).unzip();
+        let abort = Arc::new(AtomicBool::new(false));
+
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        let results: Vec<Option<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = receivers
+                .into_iter()
+                .enumerate()
+                .map(|(rank, rx)| {
+                    let senders = senders.clone();
+                    let model = self.model;
+                    let f = &f;
+                    let abort = Arc::clone(&abort);
+                    scope.spawn(move || {
+                        let mut comm =
+                            Comm::new(rank, senders, rx, model, epoch, Arc::clone(&abort));
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || f(&mut comm),
+                        ));
+                        if result.is_err() {
+                            // Wake every rank blocked on this rank's output.
+                            abort.store(true, Ordering::SeqCst);
+                        }
+                        match result {
+                            Ok(r) => r,
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        }
+                    })
+                })
+                .collect();
+            // Drop the launcher's copies of the senders so that a rank
+            // blocked in recv whose peers have all exited sees the channel
+            // close (and panics with a diagnostic) instead of hanging.
+            drop(senders);
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => Some(r),
+                    Err(payload) => {
+                        // Defer the panic until all threads are joined so we
+                        // never leak rank threads past this call.
+                        first_panic.get_or_insert(payload);
+                        None
+                    }
+                })
+                .collect()
+        });
+
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("non-panicked rank produced a result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_numbered_and_sized() {
+        let out = World::new(5).run(|comm| (comm.rank(), comm.size()));
+        for (r, (rank, size)) in out.into_iter().enumerate() {
+            assert_eq!(rank, r);
+            assert_eq!(size, 5);
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_rank_order() {
+        let out = World::new(8).run(|comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let out = World::new(1).run(|comm| comm.size());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = World::new(0);
+    }
+
+    #[test]
+    fn rank_panic_propagates_to_caller() {
+        let res = std::panic::catch_unwind(|| {
+            World::new(3).run(|comm| {
+                if comm.rank() == 1 {
+                    panic!("boom on rank 1");
+                }
+                comm.rank()
+            });
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn panic_while_peer_blocked_in_recv_does_not_deadlock() {
+        let res = std::panic::catch_unwind(|| {
+            World::new(2).run(|comm| {
+                if comm.rank() == 0 {
+                    panic!("rank 0 dies before sending");
+                }
+                // Rank 1 waits for a message that will never come; the
+                // abort flag must wake it up.
+                let _: u64 = comm.recv(0, 0);
+            });
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn wtime_is_monotonic() {
+        let out = World::new(2).run(|comm| {
+            let a = comm.wtime();
+            let b = comm.wtime();
+            b >= a
+        });
+        assert!(out.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn many_ranks_oversubscribed() {
+        // 64 ranks on however few cores the host has must still complete.
+        let out = World::new(64).run(|comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 0, comm.rank() as u64);
+            comm.recv::<u64>(prev, 0)
+        });
+        for (r, got) in out.into_iter().enumerate() {
+            assert_eq!(got as usize, (r + 64 - 1) % 64);
+        }
+    }
+}

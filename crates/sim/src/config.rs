@@ -1,0 +1,365 @@
+//! Run configuration for the parallel simulator.
+//!
+//! Mirrors the paper's experiment parameters (Sec. 3.2–3.3): particle
+//! count `N`, cell count `C = nc³`, PE count `P`, reduced density ρ* and
+//! temperature T*, cutoff, time step, thermostat interval, and whether the
+//! permanent-cell load balancer runs.
+
+use pcdlb_md::lj::LennardJones;
+use pcdlb_md::thermostat::Thermostat;
+use pcdlb_mp::Torus2d;
+
+/// How per-PE load (the force-computation "time" fed to the balancer and
+/// reported as Fmax/Fave/Fmin) is measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMetric {
+    /// Deterministic work model: `seconds = pair_checks × sec_per_pair`.
+    /// This substitutes for `MPI_Wtime` on dedicated T3E CPUs (see
+    /// DESIGN.md): it measures exactly the quantity DDM load imbalance is
+    /// made of, reproducibly, on a timeshared host.
+    WorkModel {
+        /// Modelled cost of one candidate pair evaluation, seconds. The
+        /// default 5×10⁻⁸ s ≈ 30 flops on the T3E's 600 MFLOPS Alpha.
+        sec_per_pair: f64,
+    },
+    /// Real wall-clock measurement of the force phase (noisy when ranks
+    /// timeshare cores; kept for completeness and for machines with
+    /// enough cores).
+    WallClock,
+}
+
+impl Default for LoadMetric {
+    fn default() -> Self {
+        LoadMetric::WorkModel { sec_per_pair: 5e-8 }
+    }
+}
+
+/// Initial particle placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Lattice {
+    /// Simple cubic (uniform gas start; the paper's supercooled-gas runs).
+    SimpleCubic,
+    /// Face-centred cubic.
+    Fcc,
+    /// Simple cubic confined to the corner sub-box `[0, fill·L)³` — an
+    /// artificially concentrated start that makes DDM load imbalance (and
+    /// hence DLB activity) immediate, used by tests and demos without
+    /// waiting thousands of steps for condensation.
+    Cluster {
+        /// Fraction of the box side the cluster occupies, in `(0, 1]`.
+        fill: f64,
+    },
+    /// Simple cubic compressed along y only (`[0, fill·L)` in y, full
+    /// extent in x and z): a load profile that is *flat along x*, hence
+    /// invisible to an x-sliced plane balancer but balanceable by the
+    /// 2-D permanent-cell scheme — the `baseline1d` bench's key workload.
+    SlabY {
+        /// Fraction of the box side the slab occupies in y, in `(0, 1]`.
+        fill: f64,
+    },
+}
+
+/// Full configuration of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Number of particles `N`.
+    pub n_particles: usize,
+    /// Cells per side, `nc = C^(1/3)`.
+    pub nc: usize,
+    /// Number of PEs `P` (perfect square for the square-pillar layout).
+    pub p: usize,
+    /// Reduced density ρ* = N/V.
+    pub density: f64,
+    /// Target reduced temperature T*.
+    pub t_ref: f64,
+    /// Pair potential.
+    pub lj: LennardJones,
+    /// Time step Δt (reduced units).
+    pub dt: f64,
+    /// Steps to run.
+    pub steps: u64,
+    /// Thermostat interval (paper: 50). 0 disables.
+    pub thermostat_interval: u64,
+    /// Run the permanent-cell dynamic load balancer.
+    pub dlb: bool,
+    /// Run DLB every this many steps (paper: 1).
+    pub dlb_interval: u64,
+    /// DLB hysteresis: minimum relative load advantage of the fastest PE
+    /// for a transfer to fire (paper: 0 — wall-clock noise provides its
+    /// own dead band; with the exact work model a small threshold avoids
+    /// transfer churn on noise-level imbalance).
+    pub dlb_min_gain: f64,
+    /// RNG seed for the initial condition.
+    pub seed: u64,
+    /// Load measurement mode.
+    pub load_metric: LoadMetric,
+    /// Initial placement.
+    pub lattice: Lattice,
+    /// Harmonic-well spring constant — the concentration driver
+    /// (0 disables; see `pcdlb_md::force::ExternalPull` and DESIGN.md
+    /// substitutions). Boundary-range experiments use it to traverse the
+    /// `(n, C₀/C)` trajectory in a bounded number of steps.
+    pub central_pull: f64,
+    /// Pull toward the box corner (one PE's domain corner — the extreme
+    /// hotspot) instead of the box centre. Only meaningful when
+    /// `central_pull > 0`.
+    pub pull_corner: bool,
+    /// Pull toward an arbitrary point given as box fractions; overrides
+    /// `pull_corner`. Targeting the centre of one PE's tile creates the
+    /// single-domain hotspot of the paper's maximum-domain analysis.
+    pub pull_frac: Option<(f64, f64, f64)>,
+    /// With `pull_frac`, limit the harmonic core to this radius (constant
+    /// force beyond): a localized well that grows a depletion zone, as
+    /// natural condensation does around a dominant droplet.
+    pub pull_rmax: Option<f64>,
+}
+
+impl RunConfig {
+    /// A config from the paper's core knobs, with paper defaults for the
+    /// rest (T* = 0.722, r_c = 2.5, Δt = 0.0025, thermostat every 50).
+    pub fn new(n_particles: usize, nc: usize, p: usize, density: f64) -> Self {
+        Self {
+            n_particles,
+            nc,
+            p,
+            density,
+            t_ref: 0.722,
+            lj: LennardJones::paper(),
+            dt: 0.0025,
+            steps: 100,
+            thermostat_interval: 50,
+            dlb: true,
+            dlb_interval: 1,
+            dlb_min_gain: 0.0,
+            seed: 1,
+            load_metric: LoadMetric::default(),
+            lattice: Lattice::SimpleCubic,
+            central_pull: 0.0,
+            pull_corner: false,
+            pull_frac: None,
+            pull_rmax: None,
+        }
+    }
+
+    /// Paper Fig. 5(a): P = 36, m = 4 — N = 59319, C = 24³, ρ* = 0.256.
+    pub fn fig5a() -> Self {
+        Self::new(59319, 24, 36, 0.256)
+    }
+
+    /// Paper Fig. 5(b): P = 36, m = 2 — N = 8000, C = 12³, ρ* = 0.256.
+    pub fn fig5b() -> Self {
+        Self::new(8000, 12, 36, 0.256)
+    }
+
+    /// A geometrically consistent config from `(P, m, ρ*)` with the cell
+    /// size pinned near the paper's (≈ 2.56, just above r_c = 2.5):
+    /// `nc = m·√P`, `N = ρ·(cell·nc)³`, as in Fig. 10 / Table 1 sweeps.
+    pub fn from_p_m_density(p: usize, m: usize, density: f64) -> Self {
+        let side = (p as f64).sqrt().round() as usize;
+        assert_eq!(side * side, p, "P must be a perfect square");
+        let nc = m * side;
+        let cell = 2.56;
+        let volume = (cell * nc as f64).powi(3);
+        let n = (density * volume).round() as usize;
+        Self::new(n, nc, p, density)
+    }
+
+    /// Box side length `L = (N/ρ)^(1/3)`.
+    pub fn box_len(&self) -> f64 {
+        (self.n_particles as f64 / self.density).cbrt()
+    }
+
+    /// Cell side length `L/nc`.
+    pub fn cell_len(&self) -> f64 {
+        self.box_len() / self.nc as f64
+    }
+
+    /// Tile size `m = nc/√P`.
+    pub fn m(&self) -> usize {
+        self.nc / self.torus().rows()
+    }
+
+    /// The PE torus.
+    pub fn torus(&self) -> Torus2d {
+        Torus2d::square(self.p)
+    }
+
+    /// The thermostat implied by this config.
+    pub fn thermostat(&self) -> Thermostat {
+        if self.thermostat_interval == 0 {
+            Thermostat::off()
+        } else {
+            Thermostat {
+                t_ref: self.t_ref,
+                interval: self.thermostat_interval,
+            }
+        }
+    }
+
+    /// The external pull field implied by this config.
+    pub fn pull(&self) -> pcdlb_md::force::ExternalPull {
+        if self.central_pull <= 0.0 {
+            pcdlb_md::force::ExternalPull::None
+        } else if let Some((fx, fy, fz)) = self.pull_frac {
+            let frac = pcdlb_md::Vec3::new(fx, fy, fz);
+            match self.pull_rmax {
+                Some(rmax) => pcdlb_md::force::ExternalPull::Well {
+                    k: self.central_pull,
+                    frac,
+                    rmax,
+                },
+                None => pcdlb_md::force::ExternalPull::Point {
+                    k: self.central_pull,
+                    frac,
+                },
+            }
+        } else if self.pull_corner {
+            pcdlb_md::force::ExternalPull::Corner { k: self.central_pull }
+        } else {
+            pcdlb_md::force::ExternalPull::Center { k: self.central_pull }
+        }
+    }
+
+    /// Box-fraction coordinates of the centre of the torus-middle PE's
+    /// tile — the canonical single-domain hotspot target. (For odd torus
+    /// sides this is the box centre; for even sides it is offset so the
+    /// hotspot sits inside one tile instead of on a tile corner.)
+    pub fn hot_tile_frac(&self) -> (f64, f64, f64) {
+        let side = self.torus().rows() as f64;
+        let f = ((side / 2.0).floor() + 0.5) / side;
+        (f, f, 0.5)
+    }
+
+    /// Total number of 3-D cells `C = nc³`.
+    pub fn total_cells(&self) -> usize {
+        self.nc * self.nc * self.nc
+    }
+
+    /// Validate geometric consistency; call before running. Panics with a
+    /// description of the first violated constraint.
+    pub fn validate(&self) {
+        assert!(self.n_particles > 1, "need at least two particles");
+        assert!(self.density > 0.0 && self.t_ref > 0.0);
+        assert!(self.dt > 0.0 && self.steps > 0);
+        assert!(self.dlb_interval > 0, "dlb_interval must be ≥ 1");
+        let t = self.torus();
+        assert!(
+            self.nc.is_multiple_of(t.rows()),
+            "nc = {} must be a multiple of √P = {}",
+            self.nc,
+            t.rows()
+        );
+        assert!(
+            self.cell_len() >= self.lj.rcut - 1e-12,
+            "cell length {:.4} below cutoff {}; reduce nc or density",
+            self.cell_len(),
+            self.lj.rcut
+        );
+        if self.dlb {
+            assert!(
+                t.rows() >= 3,
+                "DLB needs a torus side ≥ 3 (P ≥ 9); got P = {}",
+                self.p
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5a_geometry_matches_paper() {
+        let c = RunConfig::fig5a();
+        c.validate();
+        assert_eq!(c.m(), 4);
+        assert_eq!(c.total_cells(), 13824);
+        // L = (59319/0.256)^(1/3) ≈ 61.4, cell ≈ 2.56 ≥ r_c = 2.5.
+        assert!((c.box_len() - 61.42).abs() < 0.05);
+        assert!(c.cell_len() >= 2.5);
+    }
+
+    #[test]
+    fn fig5b_geometry_matches_paper() {
+        let c = RunConfig::fig5b();
+        c.validate();
+        assert_eq!(c.m(), 2);
+        assert_eq!(c.total_cells(), 1728);
+        assert!((c.box_len() - 31.50).abs() < 0.05);
+        assert!(c.cell_len() >= 2.5);
+    }
+
+    #[test]
+    fn from_p_m_density_produces_valid_configs() {
+        for p in [16, 36, 64] {
+            for m in [2, 3, 4] {
+                for rho in [0.128, 0.256, 0.384, 0.512] {
+                    let c = RunConfig::from_p_m_density(p, m, rho);
+                    c.validate();
+                    assert_eq!(c.m(), m);
+                    // Cell length should come out at the pinned ≈2.56.
+                    assert!((c.cell_len() - 2.56).abs() < 0.02, "cell {}", c.cell_len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below cutoff")]
+    fn too_many_cells_rejected() {
+        // nc so large that cells shrink below r_c.
+        let c = RunConfig::new(1000, 12, 9, 0.5);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "torus side ≥ 3")]
+    fn dlb_on_tiny_torus_rejected() {
+        let mut c = RunConfig::new(8000, 8, 4, 0.2);
+        c.dlb = true;
+        c.validate();
+    }
+
+    #[test]
+    fn ddm_only_allowed_on_tiny_torus() {
+        let mut c = RunConfig::new(8000, 8, 4, 0.2);
+        c.dlb = false;
+        c.validate();
+    }
+}
+
+#[cfg(test)]
+mod pull_tests {
+    use super::*;
+    use pcdlb_md::force::ExternalPull;
+
+    #[test]
+    fn pull_mapping_covers_all_variants() {
+        let mut c = RunConfig::from_p_m_density(9, 2, 0.2);
+        assert!(c.pull().is_none());
+        c.central_pull = 0.1;
+        assert!(matches!(c.pull(), ExternalPull::Center { .. }));
+        c.pull_corner = true;
+        assert!(matches!(c.pull(), ExternalPull::Corner { .. }));
+        c.pull_frac = Some((0.25, 0.5, 0.5));
+        assert!(matches!(c.pull(), ExternalPull::Point { .. }));
+        c.pull_rmax = Some(3.0);
+        assert!(matches!(c.pull(), ExternalPull::Well { .. }));
+    }
+
+    #[test]
+    fn hot_tile_frac_centers_one_tile() {
+        // Odd torus side: the box centre is the middle tile's centre.
+        let c9 = RunConfig::from_p_m_density(9, 2, 0.2);
+        let (fx, fy, fz) = c9.hot_tile_frac();
+        assert_eq!((fx, fy, fz), (0.5, 0.5, 0.5));
+        // Even side: offset so the hotspot sits inside tile (side/2, ·).
+        let c16 = RunConfig::from_p_m_density(16, 2, 0.2);
+        let (fx, _, _) = c16.hot_tile_frac();
+        assert!((fx - 0.625).abs() < 1e-12);
+        // The target is interior to tile (side/2, side/2): its tile-start
+        // fraction is 0.5 and its tile-end fraction is 0.75.
+        assert!(fx > 0.5 && fx < 0.75);
+    }
+}

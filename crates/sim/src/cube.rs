@@ -1,0 +1,605 @@
+//! Cube-domain decomposition (paper Fig. 2(c)) — the third domain shape,
+//! "suitable for large-scale MD simulations on massively parallel
+//! computers". PEs form a 3-D torus of side `k` (`P = k³`); each owns an
+//! `s³` block of cells (`s = nc/k`) and exchanges ghosts with its 26
+//! neighbours.
+//!
+//! The paper notes that "the number of neighbouring PEs with cube domain
+//! is large and DLB becomes more difficult" — matching that scope, this
+//! implementation is DDM only (no balancer); it exists to complete the
+//! domain-shape comparison with *measured* communication volumes (the
+//! `shapes` analysis validated against a real implementation) and as a
+//! third independent check of the physics: like the pillar and plane
+//! simulators, it reproduces the serial reference **bitwise**.
+//!
+//! Storage is a halo array: `(s+2)³` cells, own cells in the interior and
+//! ghost copies in the one-cell shell. Ghost particles are stored with
+//! their canonical (unshifted) positions together with their global cell
+//! coordinates, and periodic shifts are applied at force time from
+//! integer cell arithmetic — the same convention as the serial grid, so
+//! the floating-point force sums are identical.
+
+use std::time::Instant;
+
+use pcdlb_md::force::{PairKernel, WorkCounters};
+use pcdlb_md::integrate::{kick, kick_drift};
+use pcdlb_md::observe;
+use pcdlb_md::vec3::Vec3;
+use pcdlb_md::Particle;
+use pcdlb_mp::{collectives, Comm, CostModel, Torus3d, World};
+
+use crate::config::{LoadMetric, RunConfig};
+use crate::pe::initial_particles;
+use crate::report::{RunReport, StepRecord};
+use crate::stats::StatsPacket;
+
+mod tags {
+    /// 26 direction-indexed tags per phase keep duplicate neighbours on
+    /// small tori (k = 2) unambiguous.
+    pub const MIGRATE_BASE: u64 = 100;
+    pub const GHOST_BASE: u64 = 140;
+    pub const KE_GATHER: u64 = 60;
+    pub const KE_BCAST: u64 = 61;
+    pub const SNAPSHOT: u64 = 62;
+}
+
+/// The 26 neighbour directions in canonical lexicographic order.
+const DIRS26: [(i64, i64, i64); 26] = {
+    let mut out = [(0i64, 0i64, 0i64); 26];
+    let mut n = 0;
+    let mut dx = -1i64;
+    while dx <= 1 {
+        let mut dy = -1i64;
+        while dy <= 1 {
+            let mut dz = -1i64;
+            while dz <= 1 {
+                if !(dx == 0 && dy == 0 && dz == 0) {
+                    out[n] = (dx, dy, dz);
+                    n += 1;
+                }
+                dz += 1;
+            }
+            dy += 1;
+        }
+        dx += 1;
+    }
+    out
+};
+
+fn dir_index(d: (i64, i64, i64)) -> u64 {
+    DIRS26
+        .iter()
+        .position(|&x| x == d)
+        .expect("direction in DIRS26") as u64
+}
+
+/// Validate a config for the cube decomposition: `P` a perfect cube whose
+/// side divides `nc`.
+pub fn validate_cube(cfg: &RunConfig) {
+    assert!(cfg.n_particles > 1 && cfg.density > 0.0 && cfg.t_ref > 0.0);
+    assert!(cfg.dt > 0.0 && cfg.steps > 0);
+    let k = (cfg.p as f64).cbrt().round() as usize;
+    assert_eq!(k * k * k, cfg.p, "cube decomposition needs P = k³, got {}", cfg.p);
+    assert!(
+        cfg.nc.is_multiple_of(k),
+        "nc = {} must be a multiple of k = {k}",
+        cfg.nc
+    );
+    assert!(
+        cfg.cell_len() >= cfg.lj.rcut - 1e-12,
+        "cell length {:.4} below cutoff {}",
+        cfg.cell_len(),
+        cfg.lj.rcut
+    );
+    assert!(k >= 2, "cube decomposition needs at least 2 blocks per axis");
+    let s = cfg.nc / k;
+    assert!(
+        !(k == 2 && s == 1),
+        "nc = 2 with k = 2 makes a halo slot ambiguous; use nc >= 4"
+    );
+    assert!(!cfg.dlb, "the cube decomposition is DDM-only (see module docs)");
+}
+
+struct CubePe {
+    cfg: RunConfig,
+    rank: usize,
+    torus: Torus3d,
+    /// Block side in cells.
+    s: usize,
+    nc: usize,
+    box_len: f64,
+    cell_len: f64,
+    /// Global cell coordinates of the block's low corner.
+    origin: (usize, usize, usize),
+    kernel: PairKernel,
+    /// Halo array: (s+2)³ cells, local index −1..=s per axis (+1 offset).
+    cells: Vec<Vec<Particle>>,
+    /// Forces for own cells only, indexed like the interior of `cells`.
+    forces: Vec<Vec<Vec3>>,
+    last_work: WorkCounters,
+    last_force_virtual: f64,
+    last_force_wall: f64,
+    last_comm_virtual: f64,
+}
+
+impl CubePe {
+    fn new(rank: usize, cfg: &RunConfig) -> Self {
+        let k = (cfg.p as f64).cbrt().round() as usize;
+        let torus = Torus3d::new(k, k, k);
+        let s = cfg.nc / k;
+        let (bx, by, bz) = torus.coords(rank);
+        let halo = (s + 2) * (s + 2) * (s + 2);
+        let mut pe = Self {
+            cfg: cfg.clone(),
+            rank,
+            torus,
+            s,
+            nc: cfg.nc,
+            box_len: cfg.box_len(),
+            cell_len: cfg.cell_len(),
+            origin: (bx * s, by * s, bz * s),
+            kernel: PairKernel::new(cfg.lj),
+            cells: vec![Vec::new(); halo],
+            forces: vec![Vec::new(); s * s * s],
+            last_work: WorkCounters::default(),
+            last_force_virtual: 0.0,
+            last_force_wall: 0.0,
+            last_comm_virtual: 0.0,
+        };
+        for q in initial_particles(cfg) {
+            let g = pe.global_cell(q.pos);
+            if let Some(local) = pe.local_of_global(g) {
+                if pe.is_interior(local) {
+                    let idx = pe.halo_index(local);
+                    pe.cells[idx].push(q);
+                }
+            }
+        }
+        pe.sort_all_cells();
+        pe
+    }
+
+    fn axis(&self, v: f64) -> usize {
+        ((v / self.cell_len) as usize).min(self.nc - 1)
+    }
+
+    fn global_cell(&self, pos: Vec3) -> (usize, usize, usize) {
+        (self.axis(pos.x), self.axis(pos.y), self.axis(pos.z))
+    }
+
+    /// Map a global cell to local halo coordinates (`−1..=s` per axis) if
+    /// it lies in this block or its one-cell shell.
+    fn local_of_global(&self, g: (usize, usize, usize)) -> Option<(i64, i64, i64)> {
+        let map1 = |g: usize, o: usize| -> Option<i64> {
+            let rel = (g + self.nc - o) % self.nc;
+            if rel < self.s {
+                Some(rel as i64)
+            } else if rel == self.nc - 1 {
+                Some(-1)
+            } else if rel == self.s {
+                Some(self.s as i64)
+            } else {
+                None
+            }
+        };
+        Some((
+            map1(g.0, self.origin.0)?,
+            map1(g.1, self.origin.1)?,
+            map1(g.2, self.origin.2)?,
+        ))
+    }
+
+    fn is_interior(&self, l: (i64, i64, i64)) -> bool {
+        let s = self.s as i64;
+        (0..s).contains(&l.0) && (0..s).contains(&l.1) && (0..s).contains(&l.2)
+    }
+
+    fn halo_index(&self, l: (i64, i64, i64)) -> usize {
+        let w = (self.s + 2) as i64;
+        debug_assert!((-1..=self.s as i64).contains(&l.0));
+        (((l.0 + 1) * w + (l.1 + 1)) * w + (l.2 + 1)) as usize
+    }
+
+    fn force_index(&self, l: (i64, i64, i64)) -> usize {
+        debug_assert!(self.is_interior(l));
+        ((l.0 as usize * self.s) + l.1 as usize) * self.s + l.2 as usize
+    }
+
+    fn sort_all_cells(&mut self) {
+        for cell in &mut self.cells {
+            cell.sort_unstable_by_key(|q| q.id);
+        }
+    }
+
+    fn interior_locals(&self) -> impl Iterator<Item = (i64, i64, i64)> + '_ {
+        let s = self.s as i64;
+        (0..s).flat_map(move |i| (0..s).flat_map(move |j| (0..s).map(move |l| (i, j, l))))
+    }
+
+    fn num_particles(&self) -> usize {
+        self.interior_locals()
+            .map(|l| self.cells[self.halo_index(l)].len())
+            .sum()
+    }
+
+    /// Phase 1: half-kick + drift.
+    fn kick_drift_all(&mut self) {
+        let dt = self.cfg.dt;
+        let box_len = self.box_len;
+        let locals: Vec<_> = self.interior_locals().collect();
+        for l in locals {
+            let fi = self.force_index(l);
+            let ci = self.halo_index(l);
+            let fs = std::mem::take(&mut self.forces[fi]);
+            for (q, f) in self.cells[ci].iter_mut().zip(&fs) {
+                kick_drift(q, *f, dt, box_len);
+            }
+            self.forces[fi] = fs;
+        }
+    }
+
+    /// Phase 2: migration to the 26 neighbours.
+    fn migrate(&mut self, comm: &mut Comm) {
+        let mut local_moves: Vec<Particle> = Vec::new();
+        let mut outgoing: Vec<Vec<Particle>> = vec![Vec::new(); 26];
+        let k = self.torus;
+        let my = k.coords(self.rank);
+        let s = self.s;
+        let locals: Vec<_> = self.interior_locals().collect();
+        for l in locals {
+            let ci = self.halo_index(l);
+            let mut i = 0;
+            while i < self.cells[ci].len() {
+                let q = self.cells[ci][i];
+                let g = self.global_cell(q.pos);
+                let dest_block = (g.0 / s, g.1 / s, g.2 / s);
+                if dest_block == my {
+                    // Still ours; move between interior cells if needed.
+                    let nl = self
+                        .local_of_global(g)
+                        .expect("own block cell is always local");
+                    if self.halo_index(nl) == ci {
+                        i += 1;
+                        continue;
+                    }
+                    self.cells[ci].swap_remove(i);
+                    local_moves.push(q);
+                } else {
+                    self.cells[ci].swap_remove(i);
+                    let side = (self.nc / s) as i64;
+                    let fold = |d: i64| -> i64 {
+                        let d = d.rem_euclid(side);
+                        if d > side / 2 {
+                            d - side
+                        } else {
+                            d
+                        }
+                    };
+                    let d = (
+                        fold(dest_block.0 as i64 - my.0 as i64),
+                        fold(dest_block.1 as i64 - my.1 as i64),
+                        fold(dest_block.2 as i64 - my.2 as i64),
+                    );
+                    assert!(
+                        d.0.abs() <= 1 && d.1.abs() <= 1 && d.2.abs() <= 1,
+                        "rank {}: particle {} jumped more than one block ({d:?})",
+                        self.rank,
+                        q.id
+                    );
+                    outgoing[dir_index(d) as usize].push(q);
+                }
+            }
+        }
+        for q in local_moves {
+            let g = self.global_cell(q.pos);
+            let nl = self.local_of_global(g).expect("local move");
+            let idx = self.halo_index(nl);
+            self.cells[idx].push(q);
+        }
+        for (di, d) in DIRS26.iter().enumerate() {
+            let mut payload = std::mem::take(&mut outgoing[di]);
+            payload.sort_unstable_by_key(|q| q.id);
+            let peer = k.neighbor(self.rank, d.0, d.1, d.2);
+            comm.send(peer, tags::MIGRATE_BASE + di as u64, payload);
+        }
+        for d in DIRS26 {
+            let peer = k.neighbor(self.rank, d.0, d.1, d.2);
+            let opp = dir_index((-d.0, -d.1, -d.2));
+            let incoming: Vec<Particle> = comm.recv(peer, tags::MIGRATE_BASE + opp);
+            for q in incoming {
+                let g = self.global_cell(q.pos);
+                let nl = self.local_of_global(g).expect("migrated into our block");
+                assert!(self.is_interior(nl), "migration landed in the halo");
+                let idx = self.halo_index(nl);
+                self.cells[idx].push(q);
+            }
+        }
+        self.sort_all_cells();
+    }
+
+    /// Phase 3: ghost exchange with all 26 neighbours. Payloads carry the
+    /// global cell coordinates so binning is exact integer arithmetic.
+    fn exchange_ghosts(&mut self, comm: &mut Comm) {
+        // Clear the halo shell.
+        let s = self.s as i64;
+        let shell: Vec<usize> = (-1..=s)
+            .flat_map(|i| {
+                (-1..=s).flat_map(move |j| {
+                    (-1..=s).filter_map(move |l| {
+                        let on_shell = i == -1 || i == s || j == -1 || j == s || l == -1 || l == s;
+                        on_shell.then_some((i, j, l))
+                    })
+                })
+            })
+            .map(|l| self.halo_index(l))
+            .collect();
+        for idx in shell {
+            self.cells[idx].clear();
+        }
+
+        type GhostPayload = Vec<(u64, u64, u64, Vec<Particle>)>;
+        let k = self.torus;
+        for (di, d) in DIRS26.iter().enumerate() {
+            // Slab of own cells the neighbour in direction d needs.
+            let range1 = |da: i64| -> std::ops::Range<i64> {
+                match da {
+                    -1 => 0..1,
+                    1 => s - 1..s,
+                    _ => 0..s,
+                }
+            };
+            let mut payload: GhostPayload = Vec::new();
+            for i in range1(d.0) {
+                for j in range1(d.1) {
+                    for l in range1(d.2) {
+                        let idx = self.halo_index((i, j, l));
+                        let g = (
+                            (self.origin.0 + i as usize) as u64,
+                            (self.origin.1 + j as usize) as u64,
+                            (self.origin.2 + l as usize) as u64,
+                        );
+                        payload.push((g.0, g.1, g.2, self.cells[idx].clone()));
+                    }
+                }
+            }
+            let peer = k.neighbor(self.rank, d.0, d.1, d.2);
+            comm.send(peer, tags::GHOST_BASE + di as u64, payload);
+        }
+        for d in DIRS26 {
+            let peer = k.neighbor(self.rank, d.0, d.1, d.2);
+            let opp = dir_index((-d.0, -d.1, -d.2));
+            let payload: GhostPayload = comm.recv(peer, tags::GHOST_BASE + opp);
+            for (gx, gy, gz, parts) in payload {
+                let g = (gx as usize, gy as usize, gz as usize);
+                let Some(nl) = self.local_of_global(g) else {
+                    continue; // a shared slab cell this rank doesn't border
+                };
+                if self.is_interior(nl) {
+                    continue; // own cell echoed back on tiny tori
+                }
+                let idx = self.halo_index(nl);
+                // On a k = 2 torus the same canonical cell arrives from
+                // several directions with identical content; last write
+                // wins (they are equal by construction).
+                self.cells[idx] = parts;
+            }
+        }
+    }
+
+    /// Phase 4: forces — canonical offsets, integer-derived shifts.
+    fn compute_forces(&mut self) {
+        let t0 = Instant::now();
+        let mut work = WorkCounters::default();
+        let pull = self.cfg.pull();
+        let box_len = self.box_len;
+        let nc = self.nc as i64;
+        let kernel = self.kernel;
+        let origin = self.origin;
+        let w = (self.s + 2) as i64;
+        let halo_index = |l: (i64, i64, i64)| -> usize {
+            (((l.0 + 1) * w + (l.1 + 1)) * w + (l.2 + 1)) as usize
+        };
+        // Periodic shift from the unwrapped global coordinate.
+        let shift1 = |o: usize, loc: i64| -> f64 {
+            let g = o as i64 + loc;
+            if g < 0 {
+                -box_len
+            } else if g >= nc {
+                box_len
+            } else {
+                0.0
+            }
+        };
+        let locals: Vec<_> = self.interior_locals().collect();
+        for l in &locals {
+            let ci = halo_index(*l);
+            let fi = self.force_index(*l);
+            let mut fs = vec![Vec3::ZERO; self.cells[ci].len()];
+            if !fs.is_empty() {
+                let cells = &self.cells;
+                let targets = &cells[ci];
+                for dx in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dz in -1i64..=1 {
+                            let nl = (l.0 + dx, l.1 + dy, l.2 + dz);
+                            let shift = Vec3::new(
+                                shift1(origin.0, nl.0),
+                                shift1(origin.1, nl.1),
+                                shift1(origin.2, nl.2),
+                            );
+                            kernel.accumulate(
+                                targets,
+                                &mut fs,
+                                &cells[halo_index(nl)],
+                                shift,
+                                &mut work,
+                            );
+                        }
+                    }
+                }
+                if !pull.is_none() {
+                    for (q, f) in targets.iter().zip(fs.iter_mut()) {
+                        *f += pull.force(q.pos, box_len);
+                        work.potential += pull.energy(q.pos, box_len);
+                    }
+                }
+            }
+            self.forces[fi] = fs;
+        }
+        self.last_work = work;
+        self.last_force_wall = t0.elapsed().as_secs_f64();
+        self.last_force_virtual = match self.cfg.load_metric {
+            LoadMetric::WorkModel { sec_per_pair } => work.pair_checks as f64 * sec_per_pair,
+            LoadMetric::WallClock => self.last_force_wall,
+        };
+    }
+
+    fn kick_all(&mut self) {
+        let dt = self.cfg.dt;
+        let locals: Vec<_> = self.interior_locals().collect();
+        for l in locals {
+            let fi = self.force_index(l);
+            let ci = self.halo_index(l);
+            let fs = std::mem::take(&mut self.forces[fi]);
+            for (q, f) in self.cells[ci].iter_mut().zip(&fs) {
+                kick(q, *f, dt);
+            }
+            self.forces[fi] = fs;
+        }
+    }
+
+    fn thermostat(&mut self, comm: &mut Comm, step: u64) {
+        let th = self.cfg.thermostat();
+        if !th.fires_at(step) {
+            return;
+        }
+        let kes: Vec<(u64, f64)> = self
+            .interior_locals()
+            .flat_map(|l| self.cells[self.halo_index(l)].iter())
+            .map(|q| (q.id, 0.5 * q.vel.norm2()))
+            .collect();
+        let gathered = collectives::gather(comm, tags::KE_GATHER, kes);
+        let scale = gathered.map(|chunks| {
+            let mut all: Vec<(u64, f64)> = chunks.into_iter().flatten().collect();
+            all.sort_unstable_by_key(|&(id, _)| id);
+            let ke: f64 = all.iter().map(|&(_, k)| k).sum();
+            th.scale_factor(observe::temperature_from_ke(ke, self.cfg.n_particles))
+        });
+        let sfac = collectives::bcast(comm, tags::KE_BCAST, scale);
+        let locals: Vec<_> = self.interior_locals().collect();
+        for l in locals {
+            let ci = self.halo_index(l);
+            for q in self.cells[ci].iter_mut() {
+                q.vel = q.vel * sfac;
+            }
+        }
+    }
+
+    fn step(&mut self, comm: &mut Comm, step: u64) -> Option<StepRecord> {
+        let t0 = Instant::now();
+        self.kick_drift_all();
+        self.migrate(comm);
+        self.exchange_ghosts(comm);
+        self.compute_forces();
+        self.kick_all();
+        self.thermostat(comm, step);
+        let wall = t0.elapsed().as_secs_f64();
+
+        let comm_virtual = comm.stats().virtual_comm_s;
+        let comm_delta = comm_virtual - self.last_comm_virtual;
+        self.last_comm_virtual = comm_virtual;
+        let empty: usize = self
+            .interior_locals()
+            .filter(|l| self.cells[self.halo_index(*l)].is_empty())
+            .count();
+        let kinetic: f64 = self
+            .interior_locals()
+            .flat_map(|l| self.cells[self.halo_index(l)].iter())
+            .map(|q| 0.5 * q.vel.norm2())
+            .sum();
+        let packet = StatsPacket {
+            cells: (self.s * self.s * self.s) as u64,
+            empty_cells: empty as u64,
+            particles: self.num_particles() as u64,
+            force_virtual: self.last_force_virtual,
+            force_wall: self.last_force_wall,
+            comm_virtual_delta: comm_delta,
+            pair_checks: self.last_work.pair_checks,
+            potential: self.last_work.potential,
+            kinetic,
+            transferred: 0,
+        };
+        crate::stats::collect_step_record(comm, &self.cfg, step, packet, wall)
+    }
+
+    fn gather_snapshot(&self, comm: &mut Comm) -> Option<Vec<Particle>> {
+        let own: Vec<Particle> = self
+            .interior_locals()
+            .flat_map(|l| self.cells[self.halo_index(l)].iter().copied())
+            .collect();
+        collectives::gather(comm, tags::SNAPSHOT, own).map(|chunks| {
+            let mut all: Vec<Particle> = chunks.into_iter().flatten().collect();
+            all.sort_unstable_by_key(|q| q.id);
+            all
+        })
+    }
+}
+
+/// Run the cube-domain simulator; rank 0's report with comm totals.
+pub fn run_cube(cfg: &RunConfig) -> RunReport {
+    run_cube_inner(cfg, false).0
+}
+
+/// Like [`run_cube`] but also gathers the final particle state.
+pub fn run_cube_with_snapshot(cfg: &RunConfig) -> (RunReport, Vec<Particle>) {
+    let (rep, snap) = run_cube_inner(cfg, true);
+    (rep, snap.expect("snapshot requested"))
+}
+
+fn run_cube_inner(cfg: &RunConfig, want_snapshot: bool) -> (RunReport, Option<Vec<Particle>>) {
+    validate_cube(cfg);
+    let world = World::new(cfg.p).with_cost_model(CostModel::t3e(None));
+    struct R {
+        report: Option<RunReport>,
+        snapshot: Option<Vec<Particle>>,
+        comm: pcdlb_mp::CommStats,
+    }
+    let mut results: Vec<R> = world.run(|comm| {
+        let run_start = Instant::now();
+        let mut pe = CubePe::new(comm.rank(), cfg);
+        pe.exchange_ghosts(comm);
+        pe.compute_forces();
+        pe.last_comm_virtual = comm.stats().virtual_comm_s;
+        let mut records = Vec::new();
+        for step in 1..=cfg.steps {
+            if let Some(rec) = pe.step(comm, step) {
+                records.push(rec);
+            }
+        }
+        let snapshot = if want_snapshot {
+            pe.gather_snapshot(comm)
+        } else {
+            None
+        };
+        R {
+            report: (comm.rank() == 0).then(|| RunReport {
+                records,
+                comm_virtual_s: 0.0,
+                msgs_sent: 0,
+                bytes_sent: 0,
+                wall_s: run_start.elapsed().as_secs_f64(),
+            }),
+            snapshot,
+            comm: comm.stats(),
+        }
+    });
+    let comm_virtual: f64 = results.iter().map(|r| r.comm.virtual_comm_s).sum();
+    let msgs: u64 = results.iter().map(|r| r.comm.msgs_sent).sum();
+    let bytes: u64 = results.iter().map(|r| r.comm.bytes_sent).sum();
+    let rank0 = results.swap_remove(0);
+    let mut report = rank0.report.expect("rank 0 report");
+    report.comm_virtual_s = comm_virtual;
+    report.msgs_sent = msgs;
+    report.bytes_sent = bytes;
+    (report, rank0.snapshot)
+}

@@ -1,0 +1,69 @@
+//! Launching parallel runs and assembling their reports.
+
+use pcdlb_md::Particle;
+use pcdlb_mp::{CostModel, World};
+
+use crate::config::RunConfig;
+use crate::pe::{pe_main, PeResult};
+use crate::report::RunReport;
+
+/// Run a configuration to completion; returns rank 0's report with
+/// communication totals aggregated over all ranks.
+pub fn run(cfg: &RunConfig) -> RunReport {
+    run_inner(cfg, false).0
+}
+
+/// Like [`run`], but also gathers the final particle state (sorted by
+/// id) — the snapshot validation tests compare against the serial
+/// reference.
+pub fn run_with_snapshot(cfg: &RunConfig) -> (RunReport, Vec<Particle>) {
+    let (report, snap) = run_inner(cfg, true);
+    (report, snap.expect("snapshot requested"))
+}
+
+fn run_inner(cfg: &RunConfig, want_snapshot: bool) -> (RunReport, Option<Vec<Particle>>) {
+    cfg.validate();
+    let world = World::new(cfg.p).with_cost_model(CostModel::t3e(Some(cfg.torus())));
+    let mut results: Vec<PeResult> = world.run(|comm| pe_main(comm, cfg, want_snapshot));
+    let comm_virtual: f64 = results.iter().map(|r| r.comm_stats.virtual_comm_s).sum();
+    let msgs: u64 = results.iter().map(|r| r.comm_stats.msgs_sent).sum();
+    let bytes: u64 = results.iter().map(|r| r.comm_stats.bytes_sent).sum();
+    let rank0 = results.swap_remove(0);
+    let mut report = rank0.report.expect("rank 0 produces the report");
+    report.comm_virtual_s = comm_virtual;
+    report.msgs_sent = msgs;
+    report.bytes_sent = bytes;
+    (report, rank0.snapshot)
+}
+
+/// Run the serial reference simulator on the same configuration,
+/// returning the final particle state (sorted by id). Uses the identical
+/// initial condition, integrator, thermostat and pair-summation order as
+/// the parallel simulator, so results must agree **bitwise**.
+pub fn run_serial(cfg: &RunConfig) -> Vec<Particle> {
+    // No parallel-geometry validation here: the serial reference also
+    // baselines plane-decomposed configs whose P is not a perfect square.
+    // SerialSim::new asserts the cutoff/cell-size constraint itself.
+    let mut sim = serial_sim(cfg);
+    for _ in 0..cfg.steps {
+        sim.step();
+    }
+    sim.snapshot()
+}
+
+/// Construct the serial reference simulator for a config (initial forces
+/// computed, ready to step).
+pub fn serial_sim(cfg: &RunConfig) -> pcdlb_md::SerialSim {
+    let mut sim = pcdlb_md::SerialSim::new(
+        crate::pe::initial_particles(cfg),
+        cfg.nc,
+        cfg.box_len(),
+        cfg.lj,
+        cfg.dt,
+        cfg.thermostat(),
+    );
+    if !cfg.pull().is_none() {
+        sim.set_pull(cfg.pull());
+    }
+    sim
+}

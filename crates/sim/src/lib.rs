@@ -1,0 +1,25 @@
+//! `pcdlb-sim` — the parallel SPMD molecular-dynamics simulator.
+//!
+//! Ties the substrates together: `pcdlb-mp` ranks run the per-PE program
+//! in [`pe`], each owning square-pillar columns from `pcdlb-domain`,
+//! integrating `pcdlb-md` physics, balanced by the `pcdlb-core`
+//! permanent-cell protocol. [`driver::run`] launches a [`config::RunConfig`]
+//! and returns a [`report::RunReport`] with the per-step series the paper
+//! plots (Tt, Fmax/Fave/Fmin, the concentration trajectory).
+//!
+//! The headline correctness property: [`driver::run_with_snapshot`] and
+//! [`driver::run_serial`] produce **bitwise identical** particle states
+//! for any PE count, with and without load balancing — DLB moves
+//! ownership, never physics.
+
+pub mod config;
+pub mod cube;
+pub mod driver;
+pub mod pe;
+pub mod plane;
+pub mod report;
+mod stats;
+
+pub use config::{Lattice, LoadMetric, RunConfig};
+pub use driver::{run, run_serial, run_with_snapshot, serial_sim};
+pub use report::{RunReport, StepRecord};

@@ -1,0 +1,765 @@
+//! The per-rank SPMD program (paper Sec. 3): DDM molecular dynamics with
+//! optional permanent-cell DLB.
+//!
+//! Each PE owns a set of cell *columns* (square-pillar decomposition) and
+//! advances the same velocity-Verlet step as the serial reference, with
+//! communication phases in between:
+//!
+//! 1. half-kick + drift (positions move);
+//! 2. **migration** — particles that crossed into a neighbour-owned column
+//!    are shipped to their new owner;
+//! 3. **DLB** (optional) — exchange last-step force times with the 8
+//!    neighbours, pick the fastest PE, apply the Case 1–3 rules, broadcast
+//!    the decision, and transfer the moved column's particles;
+//! 4. **ghost exchange** — every owned column adjacent to a
+//!    neighbour-owned column is sent to that neighbour;
+//! 5. force computation over own + ghost cells (work counted);
+//! 6. second half-kick;
+//! 7. periodic thermostat (id-ordered global kinetic-energy sum, so the
+//!    scale factor is bitwise identical to the serial reference);
+//! 8. statistics gather to rank 0.
+//!
+//! Determinism: every receive names its source, particle lists are kept
+//! sorted by id, and per-particle force sums follow the same canonical
+//! 27-neighbour order as `pcdlb_md::serial` — the parallel trajectory is
+//! **bitwise identical** to the serial one for any `P`, with or without
+//! DLB.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+use pcdlb_core::protocol::{DlbDecision, DlbProtocol};
+use pcdlb_domain::{Col, OwnershipMap, PillarLayout};
+use pcdlb_md::force::{PairKernel, WorkCounters};
+use pcdlb_md::integrate::{kick, kick_drift};
+use pcdlb_md::observe;
+use pcdlb_md::vec3::Vec3;
+use pcdlb_md::{init, Particle};
+use pcdlb_mp::{collectives, Comm};
+
+use crate::config::{Lattice, LoadMetric, RunConfig};
+use crate::stats::StatsPacket;
+use crate::report::{RunReport, StepRecord};
+
+mod tags {
+    pub const LOAD: u64 = 1;
+    pub const DECISION: u64 = 2;
+    pub const CELL_XFER: u64 = 3;
+    pub const MIGRATE: u64 = 4;
+    pub const GHOST: u64 = 5;
+    // Collective tags (separate namespace inside the collectives module).
+    pub const KE_GATHER: u64 = 10;
+    pub const KE_BCAST: u64 = 11;
+    // 12 is the stats gather (crate::stats::TAG_STATS).
+    pub const SNAPSHOT: u64 = 13;
+}
+
+/// Per-cell particle lists of one column, indexed by the z cell index;
+/// each list sorted by particle id.
+type ColumnCells = Vec<Vec<Particle>>;
+
+/// What each rank hands back to the driver when the run finishes.
+pub struct PeResult {
+    /// Rank 0: the assembled run report.
+    pub report: Option<RunReport>,
+    /// Rank 0, when a snapshot was requested: all particles by id.
+    pub snapshot: Option<Vec<Particle>>,
+    /// This rank's communication counters.
+    pub comm_stats: pcdlb_mp::CommStats,
+}
+
+/// Generate the full initial particle set for a config — deterministic,
+/// shared by the parallel PEs (each keeps its own slice) and the serial
+/// baseline (keeps everything).
+pub fn initial_particles(cfg: &RunConfig) -> Vec<Particle> {
+    let mut ps = match cfg.lattice {
+        Lattice::SimpleCubic => init::simple_cubic(cfg.n_particles, cfg.box_len()),
+        Lattice::Fcc => init::fcc(cfg.n_particles, cfg.box_len()),
+        Lattice::Cluster { fill } => {
+            assert!(fill > 0.0 && fill <= 1.0, "cluster fill must be in (0, 1]");
+            init::simple_cubic(cfg.n_particles, fill * cfg.box_len())
+        }
+        Lattice::SlabY { fill } => {
+            assert!(fill > 0.0 && fill <= 1.0, "slab fill must be in (0, 1]");
+            let mut ps = init::simple_cubic(cfg.n_particles, cfg.box_len());
+            for q in &mut ps {
+                q.pos.y *= fill;
+            }
+            ps
+        }
+    };
+    init::maxwell_boltzmann(&mut ps, cfg.t_ref, cfg.seed);
+    ps
+}
+
+/// The state of one PE.
+pub struct PeState {
+    cfg: RunConfig,
+    layout: PillarLayout,
+    rank: usize,
+    nc: usize,
+    box_len: f64,
+    cell_len: f64,
+    kernel: PairKernel,
+    protocol: Option<DlbProtocol>,
+    /// This PE's (windowed) ownership view.
+    ownership: OwnershipMap,
+    /// Distinct torus 8-neighbours, ascending.
+    neighbors: Vec<usize>,
+    columns: BTreeMap<Col, ColumnCells>,
+    forces: BTreeMap<Col, Vec<Vec<Vec3>>>,
+    ghosts: BTreeMap<Col, ColumnCells>,
+    last_work: WorkCounters,
+    last_force_virtual: f64,
+    last_force_wall: f64,
+    last_comm_virtual: f64,
+}
+
+impl PeState {
+    /// Build the PE's state and take ownership of its home-tile particles.
+    pub fn new(rank: usize, cfg: &RunConfig) -> Self {
+        let layout = PillarLayout::new(cfg.nc, cfg.torus());
+        let ownership = OwnershipMap::initial(layout);
+        let protocol = cfg
+            .dlb
+            .then(|| DlbProtocol::new(layout, rank).with_min_relative_gain(cfg.dlb_min_gain));
+        let neighbors = layout.torus().distinct_neighbors8(rank);
+        let mut pe = Self {
+            cfg: cfg.clone(),
+            layout,
+            rank,
+            nc: cfg.nc,
+            box_len: cfg.box_len(),
+            cell_len: cfg.cell_len(),
+            kernel: PairKernel::new(cfg.lj),
+            protocol,
+            ownership,
+            neighbors,
+            columns: BTreeMap::new(),
+            forces: BTreeMap::new(),
+            ghosts: BTreeMap::new(),
+            last_work: WorkCounters::default(),
+            last_force_virtual: 0.0,
+            last_force_wall: 0.0,
+            last_comm_virtual: 0.0,
+        };
+        for c in layout.tile_columns(rank) {
+            pe.columns.insert(c, vec![Vec::new(); pe.nc]);
+        }
+        for p in initial_particles(cfg) {
+            let col = pe.col_of(p.pos);
+            if layout.home_rank(col) == rank {
+                let cz = pe.cz_of(p.pos);
+                pe.columns.get_mut(&col).expect("home column exists")[cz].push(p);
+            }
+        }
+        pe.sort_all_cells();
+        pe
+    }
+
+    /// Number of particles this PE currently owns.
+    pub fn num_particles(&self) -> usize {
+        self.columns
+            .values()
+            .map(|cells| cells.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    fn col_of(&self, pos: Vec3) -> Col {
+        let f = |v: f64| ((v / self.cell_len) as usize).min(self.nc - 1);
+        Col::new(f(pos.x), f(pos.y))
+    }
+
+    fn cz_of(&self, pos: Vec3) -> usize {
+        ((pos.z / self.cell_len) as usize).min(self.nc - 1)
+    }
+
+    fn sort_all_cells(&mut self) {
+        for cells in self.columns.values_mut() {
+            for cell in cells {
+                cell.sort_unstable_by_key(|p| p.id);
+            }
+        }
+    }
+
+    /// True when `col`'s home tile lies in this PE's readable 3×3 tile
+    /// window (own tile ± 1 in each torus direction).
+    fn in_window(&self, col: Col) -> bool {
+        let home = self.layout.home_rank(col);
+        let (di, dj) = self.layout.tile_delta(self.rank, home);
+        di.abs() <= 1 && dj.abs() <= 1
+    }
+
+    /// The load value fed to the balancer and reported as F (per the
+    /// configured metric).
+    fn last_load(&self) -> f64 {
+        match self.cfg.load_metric {
+            LoadMetric::WorkModel { .. } => self.last_force_virtual,
+            LoadMetric::WallClock => self.last_force_wall,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phases
+    // ------------------------------------------------------------------
+
+    /// Phase 1: half-kick with current forces, then drift and wrap.
+    fn kick_drift_all(&mut self) {
+        let dt = self.cfg.dt;
+        let box_len = self.box_len;
+        for (col, cells) in self.columns.iter_mut() {
+            let fcol = self.forces.get(col).expect("forces aligned");
+            for (cz, cell) in cells.iter_mut().enumerate() {
+                let fs = &fcol[cz];
+                debug_assert_eq!(cell.len(), fs.len());
+                for (p, f) in cell.iter_mut().zip(fs) {
+                    kick_drift(p, *f, dt, box_len);
+                }
+            }
+        }
+    }
+
+    /// Phase 2: rebin locally and ship emigrants to neighbour owners.
+    fn migrate(&mut self, comm: &mut Comm) {
+        let mut local_moves: Vec<Particle> = Vec::new();
+        let mut outgoing: BTreeMap<usize, Vec<Particle>> = BTreeMap::new();
+        {
+            // Split borrows: columns mutably, everything else by value/ref.
+            let cell_len = self.cell_len;
+            let nc = self.nc;
+            let rank = self.rank;
+            let ownership = &self.ownership;
+            let neighbors = &self.neighbors;
+            let axis = |v: f64| ((v / cell_len) as usize).min(nc - 1);
+            for (col, cells) in self.columns.iter_mut() {
+                // The index addresses the cell being drained while its
+                // contents are swap-removed; iterators can't express that.
+                #[allow(clippy::needless_range_loop)]
+                for cz in 0..cells.len() {
+                    let mut k = 0;
+                    while k < cells[cz].len() {
+                        let p = cells[cz][k];
+                        let ncol = Col::new(axis(p.pos.x), axis(p.pos.y));
+                        let ncz = axis(p.pos.z);
+                        if ncol == *col && ncz == cz {
+                            k += 1;
+                            continue;
+                        }
+                        cells[cz].swap_remove(k);
+                        let owner = ownership.owner_of(ncol);
+                        if owner == rank {
+                            local_moves.push(p);
+                        } else {
+                            debug_assert!(
+                                neighbors.contains(&owner),
+                                "rank {rank}: particle {} jumped to column {ncol:?} owned by \
+                                 non-neighbour {owner} — time step too large",
+                                p.id
+                            );
+                            outgoing.entry(owner).or_default().push(p);
+                        }
+                    }
+                }
+            }
+        }
+        for p in local_moves {
+            self.insert_owned(p);
+        }
+        // Deterministic payloads: order emigrants by id.
+        for v in outgoing.values_mut() {
+            v.sort_unstable_by_key(|p| p.id);
+        }
+        let neighbors = self.neighbors.clone();
+        for &nb in &neighbors {
+            let payload = outgoing.remove(&nb).unwrap_or_default();
+            comm.send(nb, tags::MIGRATE, payload);
+        }
+        for &nb in &neighbors {
+            let incoming: Vec<Particle> = comm.recv(nb, tags::MIGRATE);
+            for p in incoming {
+                self.insert_owned(p);
+            }
+        }
+        self.sort_all_cells();
+    }
+
+    // Split-borrow helpers (usable while `self.columns` is mutably held).
+    fn col_of_static(&self, pos: Vec3) -> Col {
+        let f = |v: f64| ((v / self.cell_len) as usize).min(self.nc - 1);
+        Col::new(f(pos.x), f(pos.y))
+    }
+
+    fn cz_of_static(&self, pos: Vec3) -> usize {
+        ((pos.z / self.cell_len) as usize).min(self.nc - 1)
+    }
+
+    fn ownership_owner(&self, col: Col) -> usize {
+        debug_assert!(self.in_window(col), "reading owner outside window");
+        self.ownership.owner_of(col)
+    }
+
+    fn insert_owned(&mut self, p: Particle) {
+        let col = self.col_of(p.pos);
+        let cz = self.cz_of(p.pos);
+        debug_assert_eq!(
+            self.ownership.owner_of(col),
+            self.rank,
+            "rank {}: received particle {} for column {col:?} it does not own",
+            self.rank,
+            p.id
+        );
+        self.columns
+            .get_mut(&col)
+            .unwrap_or_else(|| panic!("rank {}: missing storage for owned column {col:?}", self.rank))[cz]
+            .push(p);
+    }
+
+    /// Phase 3: the DLB exchange. Returns the number of transfers this PE
+    /// participated in as sender.
+    fn dlb(&mut self, comm: &mut Comm) -> u64 {
+        let Some(protocol) = self.protocol else {
+            return 0;
+        };
+        let own_load = self.last_load();
+        let neighbors = self.neighbors.clone();
+        // Step 1: exchange last-step execution times.
+        for &nb in &neighbors {
+            comm.send(nb, tags::LOAD, own_load);
+        }
+        let nbr_loads: Vec<(usize, f64)> = neighbors
+            .iter()
+            .map(|&nb| (nb, comm.recv::<f64>(nb, tags::LOAD)))
+            .collect();
+        // Step 2–3: fastest PE and the case rules.
+        let fastest = protocol.fastest_pe(own_load, &nbr_loads);
+        let my_decision = protocol.decide(&self.ownership, fastest);
+        if let Some(d) = &my_decision {
+            debug_assert!(DlbProtocol::validate(&self.layout, &self.ownership, d).is_ok());
+        }
+        // Step 4: broadcast the decision to the neighbourhood.
+        let wire: Option<(Col, u64, u64)> =
+            my_decision.map(|d| (d.col, d.from as u64, d.to as u64));
+        for &nb in &neighbors {
+            comm.send(nb, tags::DECISION, wire);
+        }
+        let mut decisions: Vec<DlbDecision> = my_decision.into_iter().collect();
+        for &nb in &neighbors {
+            if let Some((col, from, to)) = comm.recv::<Option<(Col, u64, u64)>>(nb, tags::DECISION)
+            {
+                decisions.push(DlbDecision {
+                    col,
+                    from: from as usize,
+                    to: to as usize,
+                });
+            }
+        }
+        // Apply in deterministic order; windowed view ignores decisions
+        // about unreadable columns.
+        decisions.sort_unstable_by_key(|d| d.from);
+        let mut sent = 0u64;
+        for d in &decisions {
+            if self.in_window(d.col) {
+                self.ownership.set_owner(d.col, d.to);
+            }
+        }
+        // Data movement: send the particles of columns we gave away, then
+        // receive columns granted to us (ordered by sender rank).
+        for d in &decisions {
+            if d.from == self.rank {
+                let cells = self.columns.remove(&d.col).expect("sender owns the column data");
+                self.forces.remove(&d.col);
+                let mut flat: Vec<Particle> = cells.into_iter().flatten().collect();
+                flat.sort_unstable_by_key(|p| p.id);
+                comm.send(d.to, tags::CELL_XFER, flat);
+                sent += 1;
+            }
+        }
+        for d in &decisions {
+            if d.to == self.rank {
+                let flat: Vec<Particle> = comm.recv(d.from, tags::CELL_XFER);
+                let mut cells = vec![Vec::new(); self.nc];
+                for p in flat {
+                    debug_assert_eq!(self.col_of_static(p.pos), d.col);
+                    cells[self.cz_of_static(p.pos)].push(p);
+                }
+                for cell in &mut cells {
+                    cell.sort_unstable_by_key(|p| p.id);
+                }
+                self.columns.insert(d.col, cells);
+            }
+        }
+        sent
+    }
+
+    /// Phase 4: ghost exchange with the 8 neighbours.
+    fn exchange_ghosts(&mut self, comm: &mut Comm) {
+        self.ghosts.clear();
+        let grid = self.layout.grid();
+        // For each owned column, every neighbouring owner needs its data.
+        let mut to_send: BTreeMap<usize, BTreeSet<Col>> = BTreeMap::new();
+        for &col in self.columns.keys() {
+            for n in grid.neighbors8(col) {
+                let owner = self.ownership_owner(n);
+                if owner != self.rank {
+                    to_send.entry(owner).or_default().insert(col);
+                }
+            }
+        }
+        let neighbors = self.neighbors.clone();
+        for &nb in &neighbors {
+            let payload: Vec<(Col, Vec<Particle>)> = to_send
+                .remove(&nb)
+                .unwrap_or_default()
+                .into_iter()
+                .map(|c| {
+                    let flat: Vec<Particle> =
+                        self.columns[&c].iter().flatten().copied().collect();
+                    (c, flat)
+                })
+                .collect();
+            comm.send(nb, tags::GHOST, payload);
+        }
+        debug_assert!(
+            to_send.is_empty(),
+            "rank {}: ghost targets {:?} are not neighbours",
+            self.rank,
+            to_send.keys()
+        );
+        for &nb in &neighbors {
+            let payload: Vec<(Col, Vec<Particle>)> = comm.recv(nb, tags::GHOST);
+            for (col, flat) in payload {
+                let mut cells = vec![Vec::new(); self.nc];
+                for p in flat {
+                    cells[self.cz_of_static(p.pos)].push(p);
+                }
+                for cell in &mut cells {
+                    cell.sort_unstable_by_key(|p| p.id);
+                }
+                self.ghosts.insert(col, cells);
+            }
+        }
+    }
+
+    /// Phase 5: force computation in the canonical order (see module
+    /// docs); counts work and measures wall time.
+    fn compute_forces(&mut self) {
+        let t0 = Instant::now();
+        let mut work = WorkCounters::default();
+        // Rebuild aligned force arrays.
+        let mut forces: BTreeMap<Col, Vec<Vec<Vec3>>> = BTreeMap::new();
+        for (col, cells) in &self.columns {
+            forces.insert(*col, cells.iter().map(|c| vec![Vec3::ZERO; c.len()]).collect());
+        }
+        let nc = self.nc;
+        let box_len = self.box_len;
+        let pull = self.cfg.pull();
+        for (col, cells) in &self.columns {
+            let fcol = forces.get_mut(col).expect("aligned");
+            // Prefetch the 9 cross-section columns in canonical (dx, dy)
+            // lexicographic order, with their periodic x/y shifts.
+            let mut ring: Vec<(&ColumnCells, f64, f64)> = Vec::with_capacity(9);
+            for dx in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    let (ncol, sx, sy) = wrap_col(nc, box_len, *col, dx, dy);
+                    let data = self
+                        .columns
+                        .get(&ncol)
+                        .or_else(|| self.ghosts.get(&ncol))
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "rank {}: missing neighbour column {ncol:?} of {col:?}",
+                                self.rank
+                            )
+                        });
+                    ring.push((data, sx, sy));
+                }
+            }
+            for cz in 0..nc {
+                let targets = &cells[cz];
+                if targets.is_empty() {
+                    continue;
+                }
+                let fs = &mut fcol[cz];
+                for (ncells, sx, sy) in &ring {
+                    for dz in -1i64..=1 {
+                        let (nz, sz) = wrap_z(nc, box_len, cz, dz);
+                        self.kernel.accumulate(
+                            targets,
+                            fs,
+                            &ncells[nz],
+                            Vec3::new(*sx, *sy, sz),
+                            &mut work,
+                        );
+                    }
+                }
+                if !pull.is_none() {
+                    for (p, f) in targets.iter().zip(fs.iter_mut()) {
+                        *f += pull.force(p.pos, box_len);
+                        work.potential += pull.energy(p.pos, box_len);
+                    }
+                }
+            }
+        }
+        self.forces = forces;
+        self.last_work = work;
+        self.last_force_wall = t0.elapsed().as_secs_f64();
+        self.last_force_virtual = match self.cfg.load_metric {
+            LoadMetric::WorkModel { sec_per_pair } => work.pair_checks as f64 * sec_per_pair,
+            LoadMetric::WallClock => self.last_force_wall,
+        };
+    }
+
+    /// Phase 6: second half-kick with the fresh forces.
+    fn kick_all(&mut self) {
+        let dt = self.cfg.dt;
+        for (col, cells) in self.columns.iter_mut() {
+            let fcol = self.forces.get(col).expect("aligned");
+            for (cz, cell) in cells.iter_mut().enumerate() {
+                for (p, f) in cell.iter_mut().zip(&fcol[cz]) {
+                    kick(p, *f, dt);
+                }
+            }
+        }
+    }
+
+    /// Phase 7: periodic global velocity rescale via an id-ordered kinetic
+    /// energy sum (bitwise identical to the serial reference).
+    fn thermostat(&mut self, comm: &mut Comm, step: u64) -> bool {
+        let th = self.cfg.thermostat();
+        if !th.fires_at(step) {
+            return false;
+        }
+        let kes: Vec<(u64, f64)> = self
+            .columns
+            .values()
+            .flat_map(|cells| cells.iter().flatten())
+            .map(|p| (p.id, 0.5 * p.vel.norm2()))
+            .collect();
+        let gathered = collectives::gather(comm, tags::KE_GATHER, kes);
+        let scale = gathered.map(|chunks| {
+            let mut all: Vec<(u64, f64)> = chunks.into_iter().flatten().collect();
+            all.sort_unstable_by_key(|&(id, _)| id);
+            debug_assert_eq!(all.len(), self.cfg.n_particles);
+            let ke: f64 = all.iter().map(|&(_, k)| k).sum();
+            let t_now = observe::temperature_from_ke(ke, self.cfg.n_particles);
+            th.scale_factor(t_now)
+        });
+        let s = collectives::bcast(comm, tags::KE_BCAST, scale);
+        for cells in self.columns.values_mut() {
+            for cell in cells {
+                for p in cell {
+                    p.vel = p.vel * s;
+                }
+            }
+        }
+        true
+    }
+
+    /// Phase 8: gather per-PE statistics; rank 0 assembles the record.
+    fn collect_stats(&mut self, comm: &mut Comm, step: u64, transferred: u64, wall_s: f64) -> Option<StepRecord> {
+        let comm_virtual = comm.stats().virtual_comm_s;
+        let comm_delta = comm_virtual - self.last_comm_virtual;
+        self.last_comm_virtual = comm_virtual;
+
+        let empty: usize = self
+            .columns
+            .values()
+            .map(|cells| cells.iter().filter(|c| c.is_empty()).count())
+            .sum();
+        let kinetic: f64 = self
+            .columns
+            .values()
+            .flat_map(|cells| cells.iter().flatten())
+            .map(|p| 0.5 * p.vel.norm2())
+            .sum();
+        let packet = StatsPacket {
+            cells: (self.columns.len() * self.nc) as u64,
+            empty_cells: empty as u64,
+            particles: self.num_particles() as u64,
+            force_virtual: self.last_force_virtual,
+            force_wall: self.last_force_wall,
+            comm_virtual_delta: comm_delta,
+            pair_checks: self.last_work.pair_checks,
+            potential: self.last_work.potential,
+            kinetic,
+            transferred,
+        };
+        crate::stats::collect_step_record(comm, &self.cfg, step, packet, wall_s)
+    }
+
+    /// Run one full step. Returns `Some(record)` on rank 0.
+    pub fn step(&mut self, comm: &mut Comm, step: u64) -> Option<StepRecord> {
+        let t0 = Instant::now();
+        self.kick_drift_all();
+        self.migrate(comm);
+        let transferred = if self.cfg.dlb && step.is_multiple_of(self.cfg.dlb_interval) {
+            self.dlb(comm)
+        } else {
+            0
+        };
+        self.exchange_ghosts(comm);
+        self.compute_forces();
+        self.kick_all();
+        self.thermostat(comm, step);
+        let wall = t0.elapsed().as_secs_f64();
+        self.collect_stats(comm, step, transferred, wall)
+    }
+
+    /// Gather the full particle set to rank 0, sorted by id.
+    pub fn gather_snapshot(&self, comm: &mut Comm) -> Option<Vec<Particle>> {
+        let own: Vec<Particle> = self
+            .columns
+            .values()
+            .flat_map(|cells| cells.iter().flatten().copied())
+            .collect();
+        collectives::gather(comm, tags::SNAPSHOT, own).map(|chunks| {
+            let mut all: Vec<Particle> = chunks.into_iter().flatten().collect();
+            all.sort_unstable_by_key(|p| p.id);
+            all
+        })
+    }
+}
+
+/// Canonical cross-section neighbour of a column with periodic shift.
+fn wrap_col(nc: usize, box_len: f64, c: Col, dx: i64, dy: i64) -> (Col, f64, f64) {
+    let n = nc as i64;
+    let wrap1 = |v: i64| -> (usize, f64) {
+        if v < 0 {
+            ((v + n) as usize, -box_len)
+        } else if v >= n {
+            ((v - n) as usize, box_len)
+        } else {
+            (v as usize, 0.0)
+        }
+    };
+    let (cx, sx) = wrap1(c.cx as i64 + dx);
+    let (cy, sy) = wrap1(c.cy as i64 + dy);
+    (Col::new(cx, cy), sx, sy)
+}
+
+/// Canonical z neighbour of a cell with periodic shift.
+fn wrap_z(nc: usize, box_len: f64, cz: usize, dz: i64) -> (usize, f64) {
+    let n = nc as i64;
+    let v = cz as i64 + dz;
+    if v < 0 {
+        ((v + n) as usize, -box_len)
+    } else if v >= n {
+        ((v - n) as usize, box_len)
+    } else {
+        (v as usize, 0.0)
+    }
+}
+
+/// The SPMD entry point: run the whole simulation on this rank.
+pub fn pe_main(comm: &mut Comm, cfg: &RunConfig, want_snapshot: bool) -> PeResult {
+    let run_start = Instant::now();
+    let mut pe = PeState::new(comm.rank(), cfg);
+    // Initial forces need an initial ghost exchange.
+    pe.exchange_ghosts(comm);
+    pe.compute_forces();
+    pe.last_comm_virtual = comm.stats().virtual_comm_s;
+
+    let mut records = Vec::new();
+    for step in 1..=cfg.steps {
+        if let Some(rec) = pe.step(comm, step) {
+            records.push(rec);
+        }
+    }
+    let snapshot = if want_snapshot {
+        pe.gather_snapshot(comm)
+    } else {
+        None
+    };
+    let comm_stats = comm.stats();
+    let report = (comm.rank() == 0).then(|| RunReport {
+        records,
+        comm_virtual_s: 0.0, // aggregated by the driver from all ranks
+        msgs_sent: 0,
+        bytes_sent: 0,
+        wall_s: run_start.elapsed().as_secs_f64(),
+    });
+    PeResult {
+        report,
+        snapshot,
+        comm_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_col_shifts_match_cell_grid_convention() {
+        // nc = 4, L = 8: stepping off either edge wraps with ±L.
+        let (c, sx, sy) = wrap_col(4, 8.0, Col::new(0, 3), -1, 1);
+        assert_eq!(c, Col::new(3, 0));
+        assert_eq!((sx, sy), (-8.0, 8.0));
+        let (c2, sx2, sy2) = wrap_col(4, 8.0, Col::new(2, 2), 1, -1);
+        assert_eq!(c2, Col::new(3, 1));
+        assert_eq!((sx2, sy2), (0.0, 0.0));
+    }
+
+    #[test]
+    fn wrap_z_is_periodic() {
+        assert_eq!(wrap_z(6, 12.0, 0, -1), (5, -12.0));
+        assert_eq!(wrap_z(6, 12.0, 5, 1), (0, 12.0));
+        assert_eq!(wrap_z(6, 12.0, 3, 1), (4, 0.0));
+    }
+
+    #[test]
+    fn pe_state_takes_exactly_its_tile_particles() {
+        let cfg = {
+            let mut c = RunConfig::from_p_m_density(9, 2, 0.2);
+            c.seed = 3;
+            c
+        };
+        let total: usize = (0..9).map(|r| PeState::new(r, &cfg).num_particles()).sum();
+        assert_eq!(total, cfg.n_particles, "tiles must partition the particles");
+    }
+
+    #[test]
+    fn in_window_covers_exactly_the_3x3_tiles() {
+        let cfg = RunConfig::from_p_m_density(16, 2, 0.2); // 4×4 torus
+        let pe = PeState::new(5, &cfg); // tile (1,1)
+        let l = pe.layout;
+        // A column in tile (1,1) and all 8 neighbouring tiles: in window.
+        for (di, dj) in [(0i64, 0i64), (-1, 0), (1, 1), (0, -1)] {
+            let rank = l.torus().rank_wrapped(1 + di, 1 + dj);
+            let col = l.tile_origin(rank);
+            assert!(pe.in_window(col), "tile delta ({di},{dj}) should be in window");
+        }
+        // Tile (3,3) is two steps away on a 4×4 torus: out of window.
+        let far = l.tile_origin(l.torus().rank_wrapped(3, 3));
+        assert!(!pe.in_window(far));
+    }
+
+    #[test]
+    fn initial_particles_deterministic_and_lattice_dependent() {
+        let mut a = RunConfig::from_p_m_density(9, 2, 0.2);
+        a.seed = 9;
+        let p1 = initial_particles(&a);
+        let p2 = initial_particles(&a);
+        assert_eq!(p1, p2);
+        let mut b = a.clone();
+        b.lattice = Lattice::Cluster { fill: 0.5 };
+        let p3 = initial_particles(&b);
+        assert_ne!(p1, p3);
+        // Cluster really is confined to the corner.
+        let half = 0.5 * b.box_len();
+        assert!(p3.iter().all(|q| q.pos.x < half + 1e-9
+            && q.pos.y < half + 1e-9
+            && q.pos.z < half + 1e-9));
+    }
+
+    #[test]
+    fn slab_lattice_compresses_y_only() {
+        let mut c = RunConfig::from_p_m_density(9, 2, 0.2);
+        c.lattice = Lattice::SlabY { fill: 0.4 };
+        let ps = initial_particles(&c);
+        let l = c.box_len();
+        assert!(ps.iter().all(|q| q.pos.y < 0.4 * l + 1e-9));
+        assert!(ps.iter().any(|q| q.pos.x > 0.6 * l));
+        assert!(ps.iter().any(|q| q.pos.z > 0.6 * l));
+    }
+}

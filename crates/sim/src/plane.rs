@@ -1,0 +1,620 @@
+//! Plane-domain baseline: 1-D domain decomposition with a discrete
+//! moving-boundary load balancer.
+//!
+//! This is the prior art the paper positions itself against (Sec. 1,
+//! refs. \[4\] Brugé & Fornili and \[5\] Kohring): slice the box along one
+//! axis into slabs of whole cell *planes*, connect the PEs as a ring, and
+//! balance load by shifting slab boundaries one plane at a time toward
+//! the more loaded side. It extends to 3-D trivially — but balances along
+//! a single axis only and at whole-plane granularity, which is exactly
+//! why the paper's 2-D-torus permanent-cell scheme wins on concentrated
+//! loads (the `baseline1d` bench quantifies this).
+//!
+//! Implementation notes:
+//! - PE `r` owns planes `[b_r, b_{r+1})` of the `nc` planes; `b_0 = 0`
+//!   and `b_P = nc` are fixed (the periodic seam), interior boundaries
+//!   move. Every PE keeps at least one plane.
+//! - A boundary `i` may move only on steps with matching parity
+//!   (`(i + step) % 2 == 0`), the classic trick that stops a one-plane PE
+//!   from being squeezed from both sides in the same step.
+//! - The force loop uses the same canonical 27-neighbour, id-sorted order
+//!   as `pcdlb_md::serial` and `crate::pe`, so this simulator is also
+//!   **bitwise identical** to the serial reference.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use pcdlb_md::force::{PairKernel, WorkCounters};
+use pcdlb_md::integrate::{kick, kick_drift};
+use pcdlb_md::observe;
+use pcdlb_md::vec3::Vec3;
+use pcdlb_md::Particle;
+use pcdlb_mp::{collectives, Comm, CostModel, World};
+
+use crate::config::{LoadMetric, RunConfig};
+use crate::pe::initial_particles;
+use crate::report::{RunReport, StepRecord};
+use crate::stats::StatsPacket;
+
+mod tags {
+    pub const LOAD_UP: u64 = 21;
+    pub const LOAD_DOWN: u64 = 22;
+    pub const XFER_UP: u64 = 23;
+    pub const XFER_DOWN: u64 = 24;
+    pub const MIGRATE_UP: u64 = 25;
+    pub const MIGRATE_DOWN: u64 = 26;
+    pub const GHOST_UP: u64 = 27;
+    pub const GHOST_DOWN: u64 = 28;
+    pub const KE_GATHER: u64 = 30;
+    pub const KE_BCAST: u64 = 31;
+    pub const SNAPSHOT: u64 = 32;
+}
+
+/// Cells of one plane, indexed by `cy·nc + cz`, each list id-sorted.
+type PlaneData = Vec<Vec<Particle>>;
+
+/// Validate a config for the plane decomposition (which, unlike the
+/// square pillar, accepts any `P ≤ nc`, square or not).
+pub fn validate_plane(cfg: &RunConfig) {
+    assert!(cfg.n_particles > 1 && cfg.density > 0.0 && cfg.t_ref > 0.0);
+    assert!(cfg.dt > 0.0 && cfg.steps > 0 && cfg.dlb_interval > 0);
+    assert!(cfg.p >= 1, "need at least one PE");
+    assert!(
+        cfg.p <= cfg.nc,
+        "plane decomposition needs at least one plane per PE (P = {}, nc = {})",
+        cfg.p,
+        cfg.nc
+    );
+    assert!(
+        cfg.cell_len() >= cfg.lj.rcut - 1e-12,
+        "cell length {:.4} below cutoff {}",
+        cfg.cell_len(),
+        cfg.lj.rcut
+    );
+}
+
+/// Per-PE state of the plane simulator.
+struct PlanePe {
+    cfg: RunConfig,
+    rank: usize,
+    p: usize,
+    nc: usize,
+    box_len: f64,
+    cell_len: f64,
+    kernel: PairKernel,
+    /// Owned plane range `[lo, hi)`.
+    lo: usize,
+    hi: usize,
+    /// Neighbour ranges, refreshed in the load exchange.
+    prev_range: (usize, usize),
+    next_range: (usize, usize),
+    planes: BTreeMap<usize, PlaneData>,
+    forces: BTreeMap<usize, Vec<Vec<Vec3>>>,
+    ghosts: BTreeMap<usize, PlaneData>,
+    last_work: WorkCounters,
+    last_force_virtual: f64,
+    last_force_wall: f64,
+    last_comm_virtual: f64,
+}
+
+impl PlanePe {
+    fn new(rank: usize, cfg: &RunConfig) -> Self {
+        let p = cfg.p;
+        let nc = cfg.nc;
+        let lo = rank * nc / p;
+        let hi = (rank + 1) * nc / p;
+        let mut pe = Self {
+            cfg: cfg.clone(),
+            rank,
+            p,
+            nc,
+            box_len: cfg.box_len(),
+            cell_len: cfg.cell_len(),
+            kernel: PairKernel::new(cfg.lj),
+            lo,
+            hi,
+            prev_range: ((rank + p - 1) % p * nc / p, rank * nc / p),
+            next_range: ((rank + 1) % p * nc / p, ((rank + 1) % p + 1) * nc / p),
+            planes: BTreeMap::new(),
+            forces: BTreeMap::new(),
+            ghosts: BTreeMap::new(),
+            last_work: WorkCounters::default(),
+            last_force_virtual: 0.0,
+            last_force_wall: 0.0,
+            last_comm_virtual: 0.0,
+        };
+        for cx in lo..hi {
+            pe.planes.insert(cx, vec![Vec::new(); nc * nc]);
+        }
+        for part in initial_particles(cfg) {
+            let cx = pe.axis(part.pos.x);
+            if cx >= lo && cx < hi {
+                let idx = pe.cell_index(part.pos);
+                pe.planes.get_mut(&cx).expect("own plane")[idx].push(part);
+            }
+        }
+        pe.sort_all_cells();
+        pe
+    }
+
+    fn axis(&self, v: f64) -> usize {
+        ((v / self.cell_len) as usize).min(self.nc - 1)
+    }
+
+    fn cell_index(&self, pos: Vec3) -> usize {
+        self.axis(pos.y) * self.nc + self.axis(pos.z)
+    }
+
+    fn prev(&self) -> usize {
+        (self.rank + self.p - 1) % self.p
+    }
+
+    fn next(&self) -> usize {
+        (self.rank + 1) % self.p
+    }
+
+    fn num_planes(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    fn num_particles(&self) -> usize {
+        self.planes
+            .values()
+            .map(|p| p.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    fn sort_all_cells(&mut self) {
+        for plane in self.planes.values_mut() {
+            for cell in plane {
+                cell.sort_unstable_by_key(|q| q.id);
+            }
+        }
+    }
+
+    fn last_load(&self) -> f64 {
+        match self.cfg.load_metric {
+            LoadMetric::WorkModel { .. } => self.last_force_virtual,
+            LoadMetric::WallClock => self.last_force_wall,
+        }
+    }
+
+    /// Phase 1: half-kick and drift.
+    fn kick_drift_all(&mut self) {
+        let dt = self.cfg.dt;
+        let box_len = self.box_len;
+        for (cx, plane) in self.planes.iter_mut() {
+            let fplane = self.forces.get(cx).expect("forces aligned");
+            for (idx, cell) in plane.iter_mut().enumerate() {
+                for (q, f) in cell.iter_mut().zip(&fplane[idx]) {
+                    kick_drift(q, *f, dt, box_len);
+                }
+            }
+        }
+    }
+
+    /// Phase 2: rebin, shipping plane-crossers to the ring neighbours.
+    fn migrate(&mut self, comm: &mut Comm) {
+        let mut local: Vec<Particle> = Vec::new();
+        let mut up: Vec<Particle> = Vec::new();
+        let mut down: Vec<Particle> = Vec::new();
+        {
+            let cell_len = self.cell_len;
+            let nc = self.nc;
+            let (lo, hi) = (self.lo, self.hi);
+            let axis = |v: f64| ((v / cell_len) as usize).min(nc - 1);
+            for (cx, plane) in self.planes.iter_mut() {
+                // Same swap-remove-while-scanning pattern as `pe::migrate`.
+                #[allow(clippy::needless_range_loop)]
+                for idx in 0..plane.len() {
+                    let mut k = 0;
+                    while k < plane[idx].len() {
+                        let q = plane[idx][k];
+                        let ncx = axis(q.pos.x);
+                        let nidx = axis(q.pos.y) * nc + axis(q.pos.z);
+                        if ncx == *cx && nidx == idx {
+                            k += 1;
+                            continue;
+                        }
+                        plane[idx].swap_remove(k);
+                        if ncx >= lo && ncx < hi {
+                            local.push(q);
+                        } else if ncx + 1 == lo || (lo == 0 && ncx == nc - 1) {
+                            down.push(q);
+                        } else if ncx == hi || (hi == nc && ncx == 0) {
+                            up.push(q);
+                        } else {
+                            panic!(
+                                "rank {}: particle {} jumped from plane {cx} to {ncx} \
+                                 (range {lo}..{hi}) — time step too large",
+                                self.rank, q.id
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        for q in local {
+            self.insert_owned(q);
+        }
+        if self.p > 1 {
+            up.sort_unstable_by_key(|q| q.id);
+            down.sort_unstable_by_key(|q| q.id);
+            comm.send(self.next(), tags::MIGRATE_UP, up);
+            comm.send(self.prev(), tags::MIGRATE_DOWN, down);
+            let from_prev: Vec<Particle> = comm.recv(self.prev(), tags::MIGRATE_UP);
+            let from_next: Vec<Particle> = comm.recv(self.next(), tags::MIGRATE_DOWN);
+            for q in from_prev.into_iter().chain(from_next) {
+                self.insert_owned(q);
+            }
+        }
+        self.sort_all_cells();
+    }
+
+    fn insert_owned(&mut self, q: Particle) {
+        let cx = self.axis(q.pos.x);
+        let idx = self.cell_index(q.pos);
+        debug_assert!(
+            cx >= self.lo && cx < self.hi,
+            "rank {}: received particle {} for plane {cx} outside {}..{}",
+            self.rank,
+            q.id,
+            self.lo,
+            self.hi
+        );
+        self.planes.get_mut(&cx).expect("owned plane")[idx].push(q);
+    }
+
+    /// Phase 3: 1-D moving-boundary balancing. Returns planes sent.
+    fn dlb(&mut self, comm: &mut Comm, step: u64) -> u64 {
+        if !self.cfg.dlb || self.p < 2 {
+            return 0;
+        }
+        // Exchange (lo, hi, load) with both ring neighbours.
+        let mine = (self.lo as u64, self.hi as u64, self.last_load());
+        comm.send(self.next(), tags::LOAD_UP, mine);
+        comm.send(self.prev(), tags::LOAD_DOWN, mine);
+        let from_prev: (u64, u64, f64) = comm.recv(self.prev(), tags::LOAD_UP);
+        let from_next: (u64, u64, f64) = comm.recv(self.next(), tags::LOAD_DOWN);
+        self.prev_range = (from_prev.0 as usize, from_prev.1 as usize);
+        self.next_range = (from_next.0 as usize, from_next.1 as usize);
+
+        let gain = self.cfg.dlb_min_gain.max(0.0);
+        let heavier = |a: f64, b: f64| a > b * (1.0 + gain) && a > b;
+        let mut sent = 0u64;
+
+        // Boundary at my `lo` (index = rank; interior iff rank > 0).
+        let lo_active = self.rank > 0 && (self.rank as u64 + step).is_multiple_of(2);
+        if lo_active {
+            let (plo, phi, pload) = from_prev;
+            let my_load = self.last_load();
+            let my_planes = self.num_planes();
+            let prev_planes = (phi - plo) as usize;
+            if heavier(pload, my_load) && prev_planes > 1 {
+                // Previous rank sheds its top plane to me.
+                let plane: Vec<Particle> = comm.recv(self.prev(), tags::XFER_UP);
+                let cx = self.lo - 1;
+                self.adopt_plane(cx, plane);
+                self.lo = cx;
+            } else if heavier(my_load, pload) && my_planes > 1 {
+                // I shed my bottom plane to the previous rank.
+                let data = self.remove_plane(self.lo);
+                comm.send(self.prev(), tags::XFER_DOWN, data);
+                self.lo += 1;
+                sent += 1;
+            }
+        }
+        // Boundary at my `hi` (index = rank + 1; interior iff rank < p-1).
+        let hi_active = self.rank + 1 < self.p && (self.rank as u64 + 1 + step).is_multiple_of(2);
+        if hi_active {
+            let (nlo, nhi, nload) = from_next;
+            let my_load = self.last_load();
+            let my_planes = self.num_planes();
+            let next_planes = (nhi - nlo) as usize;
+            if heavier(nload, my_load) && next_planes > 1 {
+                let plane: Vec<Particle> = comm.recv(self.next(), tags::XFER_DOWN);
+                let cx = self.hi;
+                self.adopt_plane(cx, plane);
+                self.hi = cx + 1;
+            } else if heavier(my_load, nload) && my_planes > 1 {
+                let data = self.remove_plane(self.hi - 1);
+                comm.send(self.next(), tags::XFER_UP, data);
+                self.hi -= 1;
+                sent += 1;
+            }
+        }
+        sent
+    }
+
+    fn remove_plane(&mut self, cx: usize) -> Vec<Particle> {
+        let plane = self.planes.remove(&cx).expect("own plane");
+        self.forces.remove(&cx);
+        let mut flat: Vec<Particle> = plane.into_iter().flatten().collect();
+        flat.sort_unstable_by_key(|q| q.id);
+        flat
+    }
+
+    fn adopt_plane(&mut self, cx: usize, flat: Vec<Particle>) {
+        let mut plane = vec![Vec::new(); self.nc * self.nc];
+        for q in flat {
+            debug_assert_eq!(self.axis(q.pos.x), cx);
+            let idx = self.cell_index(q.pos);
+            plane[idx].push(q);
+        }
+        for cell in &mut plane {
+            cell.sort_unstable_by_key(|q| q.id);
+        }
+        self.planes.insert(cx, plane);
+    }
+
+    /// Phase 4: ghost planes from the ring neighbours.
+    fn exchange_ghosts(&mut self, comm: &mut Comm) {
+        self.ghosts.clear();
+        if self.p < 2 {
+            return; // all planes are local
+        }
+        let top = self.planes[&(self.hi - 1)]
+            .iter()
+            .flatten()
+            .copied()
+            .collect::<Vec<Particle>>();
+        let bottom = self.planes[&self.lo]
+            .iter()
+            .flatten()
+            .copied()
+            .collect::<Vec<Particle>>();
+        comm.send(self.next(), tags::GHOST_UP, ((self.hi - 1) as u64, top));
+        comm.send(self.prev(), tags::GHOST_DOWN, (self.lo as u64, bottom));
+        let (cx_prev, from_prev): (u64, Vec<Particle>) = comm.recv(self.prev(), tags::GHOST_UP);
+        let (cx_next, from_next): (u64, Vec<Particle>) = comm.recv(self.next(), tags::GHOST_DOWN);
+        for (cx, flat) in [(cx_prev as usize, from_prev), (cx_next as usize, from_next)] {
+            let mut plane = vec![Vec::new(); self.nc * self.nc];
+            for q in flat {
+                plane[self.cell_index(q.pos)].push(q);
+            }
+            for cell in &mut plane {
+                cell.sort_unstable_by_key(|q| q.id);
+            }
+            self.ghosts.insert(cx, plane);
+        }
+    }
+
+    /// Phase 5: forces in the canonical (dx, dy, dz) order.
+    fn compute_forces(&mut self) {
+        let t0 = Instant::now();
+        let mut work = WorkCounters::default();
+        let nc = self.nc;
+        let box_len = self.box_len;
+        let pull = self.cfg.pull();
+        let mut forces: BTreeMap<usize, Vec<Vec<Vec3>>> = BTreeMap::new();
+        for (cx, plane) in &self.planes {
+            forces.insert(*cx, plane.iter().map(|c| vec![Vec3::ZERO; c.len()]).collect());
+        }
+        for (cx, plane) in &self.planes {
+            let fplane = forces.get_mut(cx).expect("aligned");
+            // Prefetch the three x-planes in canonical dx order.
+            let mut ring: Vec<(&PlaneData, f64)> = Vec::with_capacity(3);
+            for dx in -1i64..=1 {
+                let (ncx, sx) = wrap1(nc, box_len, *cx, dx);
+                let data = self
+                    .planes
+                    .get(&ncx)
+                    .or_else(|| self.ghosts.get(&ncx))
+                    .unwrap_or_else(|| {
+                        panic!("rank {}: missing plane {ncx} next to {cx}", self.rank)
+                    });
+                ring.push((data, sx));
+            }
+            for cy in 0..nc {
+                for cz in 0..nc {
+                    let idx = cy * nc + cz;
+                    let targets = &plane[idx];
+                    if targets.is_empty() {
+                        continue;
+                    }
+                    let fs = &mut fplane[idx];
+                    for (pdata, sx) in &ring {
+                        for dy in -1i64..=1 {
+                            let (ny, sy) = wrap1(nc, box_len, cy, dy);
+                            for dz in -1i64..=1 {
+                                let (nz, sz) = wrap1(nc, box_len, cz, dz);
+                                self.kernel.accumulate(
+                                    targets,
+                                    fs,
+                                    &pdata[ny * nc + nz],
+                                    Vec3::new(*sx, sy, sz),
+                                    &mut work,
+                                );
+                            }
+                        }
+                    }
+                    if !pull.is_none() {
+                        for (q, f) in targets.iter().zip(fs.iter_mut()) {
+                            *f += pull.force(q.pos, box_len);
+                            work.potential += pull.energy(q.pos, box_len);
+                        }
+                    }
+                }
+            }
+        }
+        self.forces = forces;
+        self.last_work = work;
+        self.last_force_wall = t0.elapsed().as_secs_f64();
+        self.last_force_virtual = match self.cfg.load_metric {
+            LoadMetric::WorkModel { sec_per_pair } => work.pair_checks as f64 * sec_per_pair,
+            LoadMetric::WallClock => self.last_force_wall,
+        };
+    }
+
+    /// Phase 6: second half-kick.
+    fn kick_all(&mut self) {
+        let dt = self.cfg.dt;
+        for (cx, plane) in self.planes.iter_mut() {
+            let fplane = self.forces.get(cx).expect("aligned");
+            for (idx, cell) in plane.iter_mut().enumerate() {
+                for (q, f) in cell.iter_mut().zip(&fplane[idx]) {
+                    kick(q, *f, dt);
+                }
+            }
+        }
+    }
+
+    /// Phase 7: id-ordered global thermostat (bitwise identical to the
+    /// serial reference and the pillar simulator).
+    fn thermostat(&mut self, comm: &mut Comm, step: u64) {
+        let th = self.cfg.thermostat();
+        if !th.fires_at(step) {
+            return;
+        }
+        let kes: Vec<(u64, f64)> = self
+            .planes
+            .values()
+            .flat_map(|plane| plane.iter().flatten())
+            .map(|q| (q.id, 0.5 * q.vel.norm2()))
+            .collect();
+        let gathered = collectives::gather(comm, tags::KE_GATHER, kes);
+        let scale = gathered.map(|chunks| {
+            let mut all: Vec<(u64, f64)> = chunks.into_iter().flatten().collect();
+            all.sort_unstable_by_key(|&(id, _)| id);
+            let ke: f64 = all.iter().map(|&(_, k)| k).sum();
+            th.scale_factor(observe::temperature_from_ke(ke, self.cfg.n_particles))
+        });
+        let s = collectives::bcast(comm, tags::KE_BCAST, scale);
+        for plane in self.planes.values_mut() {
+            for cell in plane {
+                for q in cell {
+                    q.vel = q.vel * s;
+                }
+            }
+        }
+    }
+
+    fn step(&mut self, comm: &mut Comm, step: u64) -> Option<StepRecord> {
+        let t0 = Instant::now();
+        self.kick_drift_all();
+        self.migrate(comm);
+        let transferred = if step.is_multiple_of(self.cfg.dlb_interval) {
+            self.dlb(comm, step)
+        } else {
+            0
+        };
+        self.exchange_ghosts(comm);
+        self.compute_forces();
+        self.kick_all();
+        self.thermostat(comm, step);
+        let wall = t0.elapsed().as_secs_f64();
+
+        let comm_virtual = comm.stats().virtual_comm_s;
+        let comm_delta = comm_virtual - self.last_comm_virtual;
+        self.last_comm_virtual = comm_virtual;
+        let empty: usize = self
+            .planes
+            .values()
+            .map(|plane| plane.iter().filter(|c| c.is_empty()).count())
+            .sum();
+        let kinetic: f64 = self
+            .planes
+            .values()
+            .flat_map(|plane| plane.iter().flatten())
+            .map(|q| 0.5 * q.vel.norm2())
+            .sum();
+        let packet = StatsPacket {
+            cells: (self.num_planes() * self.nc * self.nc) as u64,
+            empty_cells: empty as u64,
+            particles: self.num_particles() as u64,
+            force_virtual: self.last_force_virtual,
+            force_wall: self.last_force_wall,
+            comm_virtual_delta: comm_delta,
+            pair_checks: self.last_work.pair_checks,
+            potential: self.last_work.potential,
+            kinetic,
+            transferred,
+        };
+        crate::stats::collect_step_record(comm, &self.cfg, step, packet, wall)
+    }
+
+    fn gather_snapshot(&self, comm: &mut Comm) -> Option<Vec<Particle>> {
+        let own: Vec<Particle> = self
+            .planes
+            .values()
+            .flat_map(|plane| plane.iter().flatten().copied())
+            .collect();
+        collectives::gather(comm, tags::SNAPSHOT, own).map(|chunks| {
+            let mut all: Vec<Particle> = chunks.into_iter().flatten().collect();
+            all.sort_unstable_by_key(|q| q.id);
+            all
+        })
+    }
+}
+
+/// Wrap a single coordinate index by one step with a periodic shift.
+fn wrap1(nc: usize, box_len: f64, c: usize, d: i64) -> (usize, f64) {
+    let n = nc as i64;
+    let v = c as i64 + d;
+    if v < 0 {
+        ((v + n) as usize, -box_len)
+    } else if v >= n {
+        ((v - n) as usize, box_len)
+    } else {
+        (v as usize, 0.0)
+    }
+}
+
+/// Run the plane-domain simulator; rank 0's report, comm totals filled.
+pub fn run_plane(cfg: &RunConfig) -> RunReport {
+    run_plane_inner(cfg, false).0
+}
+
+/// Like [`run_plane`] but also gathers the final particle state.
+pub fn run_plane_with_snapshot(cfg: &RunConfig) -> (RunReport, Vec<Particle>) {
+    let (rep, snap) = run_plane_inner(cfg, true);
+    (rep, snap.expect("snapshot requested"))
+}
+
+fn run_plane_inner(cfg: &RunConfig, want_snapshot: bool) -> (RunReport, Option<Vec<Particle>>) {
+    validate_plane(cfg);
+    let world = World::new(cfg.p).with_cost_model(CostModel::t3e(None));
+    struct R {
+        report: Option<RunReport>,
+        snapshot: Option<Vec<Particle>>,
+        comm: pcdlb_mp::CommStats,
+    }
+    let mut results: Vec<R> = world.run(|comm| {
+        let run_start = Instant::now();
+        let mut pe = PlanePe::new(comm.rank(), cfg);
+        pe.exchange_ghosts(comm);
+        pe.compute_forces();
+        pe.last_comm_virtual = comm.stats().virtual_comm_s;
+        let mut records = Vec::new();
+        for step in 1..=cfg.steps {
+            if let Some(rec) = pe.step(comm, step) {
+                records.push(rec);
+            }
+        }
+        let snapshot = if want_snapshot {
+            pe.gather_snapshot(comm)
+        } else {
+            None
+        };
+        R {
+            report: (comm.rank() == 0).then(|| RunReport {
+                records,
+                comm_virtual_s: 0.0,
+                msgs_sent: 0,
+                bytes_sent: 0,
+                wall_s: run_start.elapsed().as_secs_f64(),
+            }),
+            snapshot,
+            comm: comm.stats(),
+        }
+    });
+    let comm_virtual: f64 = results.iter().map(|r| r.comm.virtual_comm_s).sum();
+    let msgs: u64 = results.iter().map(|r| r.comm.msgs_sent).sum();
+    let bytes: u64 = results.iter().map(|r| r.comm.bytes_sent).sum();
+    let rank0 = results.swap_remove(0);
+    let mut report = rank0.report.expect("rank 0 report");
+    report.comm_virtual_s = comm_virtual;
+    report.msgs_sent = msgs;
+    report.bytes_sent = bytes;
+    (report, rank0.snapshot)
+}

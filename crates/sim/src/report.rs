@@ -1,0 +1,145 @@
+//! Per-step records and whole-run reports.
+//!
+//! These are the quantities the paper plots: per-step execution time `Tt`
+//! and the force-time spread `Fmax/Fave/Fmin` (Figs. 5–6), the
+//! concentration trajectory `(n, C₀/C)` (Fig. 9), plus energies and DLB
+//! activity for diagnostics. Serde derives allow dumping reports for
+//! external plotting.
+
+use pcdlb_core::metrics::ConcentrationPoint;
+use serde::{Deserialize, Serialize};
+
+/// One time step's measurements, assembled on rank 0 from all PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Step number (1-based).
+    pub step: u64,
+    /// Modelled execution time of the step: `max` over PEs of force time
+    /// plus modelled communication time (synchronous steps run at the
+    /// speed of the slowest PE — paper Sec. 3.3, "Tt depends on Fmax").
+    pub t_step: f64,
+    /// Maximum per-PE force-computation time (selected load metric).
+    pub f_max: f64,
+    /// Average per-PE force-computation time.
+    pub f_ave: f64,
+    /// Minimum per-PE force-computation time.
+    pub f_min: f64,
+    /// Wall-clock duration of the step measured on rank 0 (timeshared
+    /// hosts make this noisy; informational only).
+    pub wall_s: f64,
+    /// Total candidate pair evaluations across PEs.
+    pub pair_checks: u64,
+    /// Fraction of empty cells, `C₀/C`.
+    pub c0_over_c: f64,
+    /// Concentration factor estimate `n` (paper Sec. 4.2 estimator).
+    pub n_factor: f64,
+    /// Cells owned by the most-loaded PE (tracks the DLB limit).
+    pub max_cells: usize,
+    /// Ownership transfers performed by DLB this step.
+    pub transfers: u32,
+    /// Total kinetic energy.
+    pub kinetic: f64,
+    /// Total potential energy.
+    pub potential: f64,
+    /// Instantaneous temperature.
+    pub temperature: f64,
+}
+
+impl StepRecord {
+    /// The concentration point of this step (Fig. 9 trajectory sample).
+    pub fn concentration(&self) -> ConcentrationPoint {
+        ConcentrationPoint {
+            step: self.step,
+            n: self.n_factor,
+            c0_over_c: self.c0_over_c,
+        }
+    }
+
+    /// Force-time imbalance `Fmax − Fmin`, the boundary-detection series.
+    pub fn imbalance(&self) -> f64 {
+        self.f_max - self.f_min
+    }
+}
+
+/// A whole run's results (rank 0's view).
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct RunReport {
+    /// One record per completed step.
+    pub records: Vec<StepRecord>,
+    /// Total modelled communication seconds summed over PEs.
+    pub comm_virtual_s: f64,
+    /// Total messages sent across all PEs.
+    pub msgs_sent: u64,
+    /// Total bytes sent across all PEs (wire-size accounting).
+    pub bytes_sent: u64,
+    /// Wall-clock duration of the whole run, seconds.
+    pub wall_s: f64,
+}
+
+impl RunReport {
+    /// The `Fmax − Fmin` series for boundary detection.
+    pub fn imbalance_series(&self) -> Vec<f64> {
+        self.records.iter().map(StepRecord::imbalance).collect()
+    }
+
+    /// The `(n, C₀/C)` trajectory (Fig. 9).
+    pub fn concentration_trajectory(&self) -> Vec<ConcentrationPoint> {
+        self.records.iter().map(StepRecord::concentration).collect()
+    }
+
+    /// Mean `t_step` over a step range (for Fig. 5-style summaries).
+    pub fn mean_t_step(&self, from: usize, to: usize) -> f64 {
+        let slice = &self.records[from.min(self.records.len())..to.min(self.records.len())];
+        assert!(!slice.is_empty(), "empty step range");
+        slice.iter().map(|r| r.t_step).sum::<f64>() / slice.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(step: u64, fmax: f64, fmin: f64) -> StepRecord {
+        StepRecord {
+            step,
+            t_step: fmax + 0.01,
+            f_max: fmax,
+            f_ave: 0.5 * (fmax + fmin),
+            f_min: fmin,
+            wall_s: 0.0,
+            pair_checks: 100,
+            c0_over_c: 0.1,
+            n_factor: 1.2,
+            max_cells: 64,
+            transfers: 0,
+            kinetic: 1.0,
+            potential: -1.0,
+            temperature: 0.722,
+        }
+    }
+
+    #[test]
+    fn imbalance_is_max_minus_min() {
+        assert_eq!(rec(1, 0.5, 0.2).imbalance(), 0.3);
+    }
+
+    #[test]
+    fn trajectory_and_series_align_with_records() {
+        let rep = RunReport {
+            records: (1..=5).map(|s| rec(s, 0.1 * s as f64, 0.05)).collect(),
+            ..Default::default()
+        };
+        assert_eq!(rep.imbalance_series().len(), 5);
+        assert_eq!(rep.concentration_trajectory()[2].step, 3);
+        let m = rep.mean_t_step(0, 5);
+        assert!((m - (0.1 + 0.2 + 0.3 + 0.4 + 0.5) / 5.0 - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentration_point_copies_fields() {
+        let p = rec(9, 1.0, 0.5).concentration();
+        assert_eq!(p.step, 9);
+        assert_eq!(p.n, 1.2);
+        assert_eq!(p.c0_over_c, 0.1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Property test over the parity invariant: random configurations
+//! (PE count, grid, density, seed, balancer settings, drivers) all
+//! reproduce the serial reference bitwise. Complements the targeted
+//! cases in `parity.rs` with breadth.
+
+use proptest::prelude::*;
+
+use pcdlb_sim::{run_serial, run_with_snapshot, Lattice, RunConfig};
+
+proptest! {
+    // Each case runs two full simulations; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn prop_random_configs_match_serial_bitwise(
+        p_side in 1usize..=3,
+        m in 1usize..=3,
+        seed in 0u64..1000,
+        dlb in any::<bool>(),
+        pull_k in 0usize..3,
+        cluster in any::<bool>(),
+        steps in 8u64..20,
+    ) {
+        let p = p_side * p_side;
+        let nc = (p_side * m).max(2);
+        let density = 0.22;
+        let n = (density * (2.56 * nc as f64).powi(3)).round() as usize;
+        prop_assume!(n > 1);
+        let mut cfg = RunConfig::new(n, nc, p, density);
+        cfg.steps = steps;
+        cfg.seed = seed;
+        cfg.dlb = dlb && p_side >= 3; // DLB needs a 3×3 torus
+        cfg.thermostat_interval = 7;
+        cfg.central_pull = [0.0, 0.04, 0.08][pull_k];
+        cfg.pull_corner = pull_k == 2;
+        if cluster {
+            cfg.lattice = Lattice::Cluster { fill: 0.6 };
+        }
+        cfg.validate();
+
+        let (_, snap) = run_with_snapshot(&cfg);
+        let reference = run_serial(&cfg);
+        prop_assert_eq!(snap.len(), reference.len());
+        for (a, b) in snap.iter().zip(&reference) {
+            prop_assert!(
+                a.id == b.id && a.pos == b.pos && a.vel == b.vel,
+                "cfg {:?}: particle {} diverged", (p, nc, seed, dlb, pull_k, cluster), a.id
+            );
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Exploring the theoretical side of the paper (Sec. 4.1) numerically —
+//! no simulation, just the closed forms.
+//!
+//!     cargo run --release --example theory_explorer
+//!
+//! Prints the DLB limit ratios, the upper-bound curves f(m, n) the paper
+//! plots in Fig. 10, the monotonicity relation of Eq. 12, and a check
+//! that the closed form is exactly the frontier of the feasibility
+//! inequality (Eq. 3).
+
+use pcdlb::core::theory;
+
+fn main() {
+    println!("Permanent-cell DLB limits (paper Fig. 4):");
+    for m in 1..=6 {
+        println!(
+            "  m = {m}: a PE may grow to {:.3}× its initial cells \
+             ({} movable + {} permanent columns per tile)",
+            theory::dlb_limit_ratio(m),
+            pcdlb::core::movable_count(m),
+            pcdlb::core::permanent_count(m),
+        );
+    }
+
+    println!("\nTheoretical upper bounds f(m, n) = 3(m-1)^2 / (m^2(n-1) + 3n(m-1)^2):");
+    println!("  (Eqs. 9-11: f(2,n) = 3/(7n-4), f(3,n) = 4/(7n-3), f(4,n) = 27/(43n-16))");
+    print!("  n      ");
+    for m in 2..=4 {
+        print!("f({m},n)   ");
+    }
+    println!();
+    let mut n = 1.0;
+    while n <= 3.0 + 1e-9 {
+        print!("  {n:.2}  ");
+        for m in 2..=4 {
+            print!("  {:.4} ", theory::upper_bound(m, n));
+        }
+        println!();
+        n += 0.25;
+    }
+
+    println!("\nEq. 12 (f(2,n) <= f(3,n) <= f(4,n)) spot check at n = 1.7 (paper Fig. 8's value):");
+    let f = [2, 3, 4].map(|m| theory::upper_bound(m, 1.7));
+    println!("  {:.4} <= {:.4} <= {:.4}", f[0], f[1], f[2]);
+    assert!(f[0] <= f[1] && f[1] <= f[2]);
+
+    println!("\nFrontier check: f(m, n) solves the feasibility inequality (Eq. 3) exactly.");
+    for m in [2usize, 3, 4] {
+        for n in [1.2, 1.7, 2.5] {
+            let bound = theory::upper_bound(m, n);
+            let inside = theory::uniform_balance_feasible(m, 36, n, (bound - 0.01).max(0.0));
+            let outside = theory::uniform_balance_feasible(m, 36, n, (bound + 0.01).min(0.99));
+            println!(
+                "  m = {m}, n = {n}: f = {bound:.4}; just below feasible = {inside}, just above = {outside}"
+            );
+            assert!(inside && !outside);
+        }
+    }
+    println!("\nAll theory checks passed.");
+}

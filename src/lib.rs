@@ -1,0 +1,21 @@
+//! `pcdlb` — Permanent-Cell Dynamic Load Balancing for parallel molecular
+//! dynamics.
+//!
+//! Umbrella crate re-exporting the workspace: a reproduction of
+//! *"Efficiency of Dynamic Load Balancing Based on Permanent Cells for
+//! Parallel Molecular Dynamics Simulation"* (Hayashi & Horiguchi,
+//! IPPS 2000). See `README.md` for a tour and `DESIGN.md` for the system
+//! inventory and experiment index.
+//!
+//! - [`mp`] — MPI-like SPMD message passing over threads.
+//! - [`md`] — Lennard-Jones molecular dynamics engine.
+//! - [`domain`] — domain decomposition (plane / square pillar / cube).
+//! - [`core`] — the paper's contribution: permanent-cell DLB, its theory
+//!   (`f(m, n)` upper bounds) and concentration metrics.
+//! - [`sim`] — the parallel SPMD simulator tying everything together.
+
+pub use pcdlb_core as core;
+pub use pcdlb_domain as domain;
+pub use pcdlb_md as md;
+pub use pcdlb_mp as mp;
+pub use pcdlb_sim as sim;

@@ -1,0 +1,121 @@
+//! Cross-crate integration tests: the full stack — message passing,
+//! domain decomposition, MD physics, permanent-cell DLB, metrics and
+//! theory — exercised together on realistic (small) workloads.
+
+use pcdlb::core::theory;
+use pcdlb::sim::{run, Lattice, RunConfig};
+
+fn concentrating_cfg(p: usize, m: usize, steps: u64) -> RunConfig {
+    let mut cfg = RunConfig::from_p_m_density(p, m, 0.256);
+    cfg.steps = steps;
+    cfg.central_pull = 0.08;
+    cfg.pull_corner = true;
+    cfg.dlb = true;
+    cfg.dlb_min_gain = 0.05;
+    cfg
+}
+
+#[test]
+fn dlb_limit_is_never_exceeded() {
+    // The permanent cells cap any PE's domain at (m² + 3(m−1)²)·nc cells
+    // (paper Fig. 4). Drive a hard corner hotspot and verify the cap.
+    let cfg = concentrating_cfg(9, 3, 400);
+    let report = run(&cfg);
+    let cap = theory::max_domain_cells(cfg.m(), cfg.nc);
+    for r in &report.records {
+        assert!(
+            r.max_cells <= cap,
+            "step {}: busiest PE has {} cells, DLB limit is {cap}",
+            r.step,
+            r.max_cells
+        );
+    }
+    // The hotspot actually pushed some PE toward the cap.
+    let reached = report.records.iter().map(|r| r.max_cells).max().unwrap();
+    assert!(
+        reached > cfg.m() * cfg.m() * cfg.nc,
+        "expected some domain growth, got {reached}"
+    );
+}
+
+#[test]
+fn dlb_beats_ddm_on_a_concentrated_workload() {
+    // The paper's headline claim, end to end: on a concentrating system,
+    // DLB-DDM's late-phase execution time beats plain DDM's.
+    let mut dlb = concentrating_cfg(9, 4, 700);
+    let mut ddm = dlb.clone();
+    ddm.dlb = false;
+    dlb.validate();
+    let rep_dlb = run(&dlb);
+    let rep_ddm = run(&ddm);
+    let from = 550;
+    let t_dlb = rep_dlb.mean_t_step(from, 700);
+    let t_ddm = rep_ddm.mean_t_step(from, 700);
+    assert!(
+        t_dlb < t_ddm,
+        "late-phase DLB {t_dlb} should beat DDM {t_ddm}"
+    );
+}
+
+#[test]
+fn concentration_metrics_are_consistent_with_run_state() {
+    let cfg = concentrating_cfg(9, 2, 300);
+    let report = run(&cfg);
+    for r in &report.records {
+        assert!((0.0..=1.0).contains(&r.c0_over_c), "C0/C out of range");
+        assert!(r.n_factor >= 1.0, "n below 1");
+        assert!(r.f_min <= r.f_ave && r.f_ave <= r.f_max);
+        assert!(r.t_step >= r.f_max, "Tt must include the slowest PE's force time");
+    }
+    // Corner pull concentrates: the empty fraction must grow materially.
+    let first = report.records.first().unwrap().c0_over_c;
+    let last = report.records.last().unwrap().c0_over_c;
+    assert!(last > first, "C0/C did not grow: {first} → {last}");
+}
+
+#[test]
+fn boundary_pipeline_finds_a_point_below_theory() {
+    // Full Fig.-10 style pipeline on one cell: the experimental boundary
+    // exists and sits below the theoretical bound (E/T < 1).
+    let b = pcdlb_bench::measure_boundary(9, 3, 0.256, 1500, 0.10, 1)
+        .expect("boundary within 1500 steps");
+    assert!(b.n >= 1.0);
+    assert!(b.c0_over_c > 0.0);
+    assert!(
+        b.e_over_t() < 1.0,
+        "experimental boundary {} must be below theory {}",
+        b.c0_over_c,
+        b.theory
+    );
+}
+
+#[test]
+fn cluster_start_respects_eight_neighbor_communication() {
+    // The ghost-exchange path asserts (via panics) that no PE ever needs
+    // data from outside its 8-neighbourhood; a hard clustered start with
+    // heavy DLB traffic exercises exactly that invariant.
+    let mut cfg = RunConfig::from_p_m_density(16, 3, 0.128);
+    cfg.lattice = Lattice::Cluster { fill: 0.4 };
+    cfg.steps = 120;
+    cfg.dlb = true;
+    let report = run(&cfg);
+    assert_eq!(report.records.len(), 120);
+    let transfers: u32 = report.records.iter().map(|r| r.transfers).sum();
+    assert!(transfers > 0, "clustered start should trigger DLB transfers");
+}
+
+#[test]
+fn report_serializes_round_trip() {
+    // Reports are serde types; a JSON-ish round trip through the derive
+    // machinery must preserve the records (uses serde's derived impls via
+    // a simple in-memory format: here, just clone/compare field access).
+    let cfg = concentrating_cfg(9, 2, 60);
+    let report = run(&cfg);
+    let series = report.imbalance_series();
+    assert_eq!(series.len(), report.records.len());
+    let traj = report.concentration_trajectory();
+    assert_eq!(traj.len(), report.records.len());
+    for (t, r) in traj.iter().zip(&report.records) {
+        assert_eq!(t.step, r.step);
+    }
+}
