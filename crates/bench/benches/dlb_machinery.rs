@@ -39,9 +39,7 @@ fn bench_ownership(c: &mut Criterion) {
     c.bench_function("ownership_ghost_sources", |b| {
         b.iter(|| om.ghost_sources(std::hint::black_box(14)).len())
     });
-    c.bench_function("ownership_check_all", |b| {
-        b.iter(|| om.check_all().is_ok())
-    });
+    c.bench_function("ownership_check_all", |b| b.iter(|| om.check_all().is_ok()));
 }
 
 fn bench_transfer_roundtrip(c: &mut Criterion) {

@@ -23,7 +23,11 @@ fn late_imbalance(rep: &RunReport) -> (f64, f64) {
     let from = rep.records.len() * 3 / 4;
     let late = &rep.records[from..];
     let n = late.len() as f64;
-    let ratio = late.iter().map(|r| r.f_max / r.f_ave.max(1e-300)).sum::<f64>() / n;
+    let ratio = late
+        .iter()
+        .map(|r| r.f_max / r.f_ave.max(1e-300))
+        .sum::<f64>()
+        / n;
     let t = late.iter().map(|r| r.t_step).sum::<f64>() / n;
     (ratio, t)
 }

@@ -27,7 +27,10 @@ fn main() {
         c.dlb_min_gain = args.get_f64("gain", 0.05);
         c
     };
-    println!("# P={p} m={m} N={} steps={steps} pull={pull}", base.n_particles);
+    println!(
+        "# P={p} m={m} N={} steps={steps} pull={pull}",
+        base.n_particles
+    );
     print_header(&[
         "dlb_every",
         "late_Tt[s]",

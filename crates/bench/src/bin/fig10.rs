@@ -18,7 +18,11 @@ use pcdlb_core::theory;
 
 fn main() {
     let args = Args::parse();
-    let p = if args.flag("paper") { 36 } else { args.get_usize("p", 9) };
+    let p = if args.flag("paper") {
+        36
+    } else {
+        args.get_usize("p", 9)
+    };
     let steps = args.get_u64("steps", 2200);
     let pull = args.get_f64("pull", 0.08);
     let nseeds = args.get_u64("seeds", 1);

@@ -69,8 +69,14 @@ fn main() {
     println!("# scale={scale} steps={steps} pull={pull} gain={gain}");
     for v in variants(scale, steps, pull, gain) {
         let (ddm, dlb) = run_pair(&v);
-        println!("\n## Fig 5({}) P={} N={} C={} m={}",
-            v.label, v.cfg.p, v.cfg.n_particles, v.cfg.total_cells(), v.cfg.m());
+        println!(
+            "\n## Fig 5({}) P={} N={} C={} m={}",
+            v.label,
+            v.cfg.p,
+            v.cfg.n_particles,
+            v.cfg.total_cells(),
+            v.cfg.m()
+        );
         print_header(&["step", "Tt_DDM[s]", "Tt_DLB-DDM[s]", "C0/C", "n"]);
         for (a, b) in ddm.records.iter().zip(&dlb.records) {
             if a.step.is_multiple_of(every) {
@@ -85,8 +91,10 @@ fn main() {
         let to = ddm.records.len();
         let t_ddm = ddm.mean_t_step(from, to);
         let t_dlb = dlb.mean_t_step(from, to);
-        println!("# late-phase mean Tt: DDM {t_ddm:.6} s, DLB-DDM {t_dlb:.6} s, speedup {:.2}x",
-            t_ddm / t_dlb);
+        println!(
+            "# late-phase mean Tt: DDM {t_ddm:.6} s, DLB-DDM {t_dlb:.6} s, speedup {:.2}x",
+            t_ddm / t_dlb
+        );
         let transfers: u32 = dlb.records.iter().map(|r| r.transfers).sum();
         println!("# DLB transfers over the run: {transfers}");
     }

@@ -27,13 +27,13 @@ fn print_series(title: &str, rep: &RunReport, every: u64) {
     }
     // Quantify the paper's qualitative observations.
     let late = &rep.records[rep.records.len() * 4 / 5..];
-    let gap_late: f64 =
-        late.iter().map(|r| r.f_max - r.f_min).sum::<f64>() / late.len() as f64;
+    let gap_late: f64 = late.iter().map(|r| r.f_max - r.f_min).sum::<f64>() / late.len() as f64;
     let early = &rep.records[..rep.records.len() / 5];
-    let gap_early: f64 =
-        early.iter().map(|r| r.f_max - r.f_min).sum::<f64>() / early.len() as f64;
-    println!("# mean Fmax-Fmin: early {gap_early:.6} s, late {gap_late:.6} s, growth {:.2}x",
-        gap_late / gap_early.max(1e-12));
+    let gap_early: f64 = early.iter().map(|r| r.f_max - r.f_min).sum::<f64>() / early.len() as f64;
+    println!(
+        "# mean Fmax-Fmin: early {gap_early:.6} s, late {gap_late:.6} s, growth {:.2}x",
+        gap_late / gap_early.max(1e-12)
+    );
 }
 
 fn main() {
@@ -54,8 +54,13 @@ fn main() {
     base.dlb_min_gain = gain;
 
     println!("# Fig. 6 reproduction: Tt / Fmax / Fave / Fmin per step");
-    println!("# scale={scale} P={} N={} C={} m={} steps={steps} pull={pull}",
-        base.p, base.n_particles, base.total_cells(), base.m());
+    println!(
+        "# scale={scale} P={} N={} C={} m={} steps={steps} pull={pull}",
+        base.p,
+        base.n_particles,
+        base.total_cells(),
+        base.m()
+    );
 
     let mut ddm = base.clone();
     ddm.dlb = false;

@@ -30,7 +30,10 @@ fn main() {
     cfg.dlb_min_gain = args.get_f64("gain", 0.05);
 
     println!("# Fig. 9 reproduction: trajectory in (n, C0/C) space");
-    println!("# P={p} m={m} rho={density} N={} steps={steps} pull={pull}", cfg.n_particles);
+    println!(
+        "# P={p} m={m} rho={density} N={} steps={steps} pull={pull}",
+        cfg.n_particles
+    );
     let report = run(&cfg);
 
     let boundary = detect_boundary_index(&report);

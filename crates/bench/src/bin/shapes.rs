@@ -22,15 +22,19 @@ fn main() {
     let model = CostModel::t3e(None);
 
     println!("# Domain-shape ablation: modelled ghost-exchange time per step per PE");
-    println!("# postal model: {} us latency, {} MB/s; {} bytes/cell",
-        model.latency_s * 1e6, model.bandwidth_bps / 1e6, bytes_per_cell);
+    println!(
+        "# postal model: {} us latency, {} MB/s; {} bytes/cell",
+        model.latency_s * 1e6,
+        model.bandwidth_bps / 1e6,
+        bytes_per_cell
+    );
     print_header(&["nc", "P", "plane[us]", "pillar[us]", "cube[us]", "winner"]);
 
     let configs: [(usize, usize); 8] = [
         (8, 4),
         (12, 16),
-        (24, 36),   // paper Fig. 5(a)
-        (12, 36),   // paper Fig. 5(b)
+        (24, 36), // paper Fig. 5(a)
+        (12, 36), // paper Fig. 5(b)
         (32, 64),
         (64, 256),
         (128, 1024),

@@ -30,7 +30,13 @@ fn regime(label: &str, nc: usize, p_2d: usize, p_3d: usize, steps: u64) {
     let density = 0.25;
     let n = (density * (2.56 * nc as f64).powi(3)).round() as usize;
     println!("\n## {label}: nc={nc} N={n} steps={steps}");
-    print_header(&["shape", "P", "msgs/PE/step", "KiB/PE/step", "model_ms/PE/step"]);
+    print_header(&[
+        "shape",
+        "P",
+        "msgs/PE/step",
+        "KiB/PE/step",
+        "model_ms/PE/step",
+    ]);
     let base = |p: usize| {
         let mut c = RunConfig::new(n, nc, p, density);
         c.steps = steps;

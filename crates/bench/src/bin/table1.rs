@@ -31,7 +31,13 @@ fn main() {
 
     println!("# Table 1 reproduction: ratio E/T of experimental boundary to theoretical bound");
     println!("# steps={steps} pull={pull} seeds={nseeds} densities={densities:?}");
-    println!("#\n# m \\ P\t{}", pes.iter().map(|p| format!("{p}PEs")).collect::<Vec<_>>().join("\t"));
+    println!(
+        "#\n# m \\ P\t{}",
+        pes.iter()
+            .map(|p| format!("{p}PEs"))
+            .collect::<Vec<_>>()
+            .join("\t")
+    );
 
     for m in [2usize, 3, 4] {
         let mut row = format!("{m}");
@@ -39,8 +45,7 @@ fn main() {
             let ratios: Vec<f64> = densities
                 .iter()
                 .filter_map(|&rho| {
-                    measure_boundary_averaged(p, m, rho, steps, pull, &seeds)
-                        .map(|b| b.e_over_t())
+                    measure_boundary_averaged(p, m, rho, steps, pull, &seeds).map(|b| b.e_over_t())
                 })
                 .collect();
             if ratios.is_empty() {

@@ -42,7 +42,10 @@ impl Args {
         while i < argv.len() {
             let a = &argv[i];
             let key = a.trim_start_matches('-').to_string();
-            assert!(a.starts_with("--"), "unexpected argument `{a}` (use --key value)");
+            assert!(
+                a.starts_with("--"),
+                "unexpected argument `{a}` (use --key value)"
+            );
             if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
                 map.insert(key, argv[i + 1].clone());
                 i += 2;
@@ -63,7 +66,10 @@ impl Args {
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.map
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} wants a number, got `{v}`")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} wants a number, got `{v}`"))
+            })
             .unwrap_or(default)
     }
 
@@ -71,7 +77,10 @@ impl Args {
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
         self.map
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} wants an integer, got `{v}`")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} wants an integer, got `{v}`"))
+            })
             .unwrap_or(default)
     }
 

@@ -1,0 +1,224 @@
+//! Bounded search over reachable ownership states: the permanent-cell
+//! invariant.
+//!
+//! The protocol's safety argument (paper Sec. 2.3) is that no sequence of
+//! legal transfers can (a) move a permanent cell off its home PE, (b)
+//! break the 8-neighbour adjacency of the domains, or (c) accumulate more
+//! than `m² + 3(m−1)²` columns on one PE. This module checks that claim
+//! *exhaustively* on small grids: breadth-first search over every
+//! ownership state reachable through [`DlbProtocol::decide`], validating
+//! each generated decision and each visited state.
+//!
+//! Simultaneous decisions in a real step touch disjoint columns (each
+//! owner decides only about columns it owns, and ownership is unique in a
+//! consistent view), so any state a multi-decision step reaches is also
+//! reached by applying the decisions one at a time — singleton-step BFS
+//! covers the full reachable set.
+
+use std::collections::BTreeSet;
+
+use pcdlb_core::permanent::is_permanent;
+use pcdlb_core::protocol::{DlbProtocol, ProtocolError};
+use pcdlb_domain::{OwnershipMap, PillarLayout};
+
+/// Search bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct InvariantConfig {
+    /// Largest torus side to sweep (sides 3..=max; DLB needs ≥ 3).
+    pub max_side: usize,
+    /// Largest tile side `m` to sweep (1..=max).
+    pub max_m: usize,
+    /// State-count cap per `(side, m)` configuration; the reachable space
+    /// is exponential in the movable-cell count, so larger configurations
+    /// are explored up to this bound.
+    pub max_states_per_config: usize,
+}
+
+impl Default for InvariantConfig {
+    fn default() -> Self {
+        Self {
+            max_side: 4,
+            max_m: 3,
+            max_states_per_config: 20_000,
+        }
+    }
+}
+
+/// What the search covered.
+#[derive(Debug, Clone, Default)]
+pub struct InvariantReport {
+    /// `(side, m)` configurations swept.
+    pub configs: usize,
+    /// Total ownership states visited and checked.
+    pub states_visited: usize,
+    /// Configurations whose state space was truncated by the cap.
+    pub truncated: usize,
+}
+
+/// Check one ownership state against the paper's invariants: the
+/// structural checks of [`OwnershipMap::check_all`], permanent cells at
+/// home, and the accumulation limit.
+pub fn check_state(layout: &PillarLayout, om: &OwnershipMap) -> Result<(), String> {
+    om.check_all()?;
+    for col in layout.grid().iter() {
+        if is_permanent(layout, col) && om.owner_of(col) != layout.home_rank(col) {
+            return Err(format!(
+                "permanent cell {col:?} moved from home {} to {}",
+                layout.home_rank(col),
+                om.owner_of(col)
+            ));
+        }
+    }
+    let m = layout.m();
+    let limit = m * m + 3 * (m - 1) * (m - 1);
+    for r in 0..layout.num_ranks() {
+        let owned = om.num_owned(r);
+        if owned > limit {
+            return Err(format!(
+                "rank {r} owns {owned} columns, above the DLB limit {limit}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// BFS over reachable states of one `(side, m)` configuration. Returns
+/// `(states visited, truncated?)`, or the first invariant violation.
+fn search_config(side: usize, m: usize, cap: usize) -> Result<(usize, bool), String> {
+    let layout = PillarLayout::from_p_and_m(side * side, m);
+    let torus = layout.torus();
+    let p = layout.num_ranks();
+    let initial = OwnershipMap::initial(layout);
+    check_state(&layout, &initial)
+        .map_err(|e| format!("side {side}, m {m}: initial state: {e}"))?;
+    let key = |om: &OwnershipMap| -> Vec<u16> {
+        layout
+            .grid()
+            .iter()
+            .map(|c| om.owner_of(c) as u16)
+            .collect()
+    };
+    let mut visited: BTreeSet<Vec<u16>> = BTreeSet::new();
+    visited.insert(key(&initial));
+    let mut frontier = vec![initial];
+    let mut truncated = false;
+    'bfs: while let Some(om) = frontier.pop() {
+        for r in 0..p {
+            let proto = DlbProtocol::new(layout, r);
+            for nb in torus.distinct_neighbors8(r) {
+                let Some(d) = proto.decide(&om, nb) else {
+                    continue;
+                };
+                // Every decision the protocol produces on a reachable
+                // state must validate.
+                if let Err(e) = DlbProtocol::validate(&layout, &om, &d) {
+                    return Err(format!(
+                        "side {side}, m {m}: decide produced an illegal transfer: {e}"
+                    ));
+                }
+                let mut next = om.clone();
+                DlbProtocol::apply(&mut next, &d);
+                if !visited.insert(key(&next)) {
+                    continue;
+                }
+                check_state(&layout, &next).map_err(|e| {
+                    format!("side {side}, m {m}: reachable state violates invariant: {e}")
+                })?;
+                if visited.len() >= cap {
+                    truncated = true;
+                    break 'bfs;
+                }
+                frontier.push(next);
+            }
+        }
+    }
+    Ok((visited.len(), truncated))
+}
+
+/// Sweep all `(side, m)` configurations within the bounds.
+pub fn verify_invariant(cfg: &InvariantConfig) -> Result<InvariantReport, String> {
+    let mut report = InvariantReport::default();
+    for side in 3..=cfg.max_side.max(3) {
+        for m in 1..=cfg.max_m.max(1) {
+            let (states, truncated) = search_config(side, m, cfg.max_states_per_config)?;
+            report.configs += 1;
+            report.states_visited += states;
+            if truncated {
+                report.truncated += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Re-export used by the negative tests to build illegal decisions.
+pub use pcdlb_core::protocol::DlbDecision;
+
+/// Convenience for tests: validate a decision and return the typed error.
+pub fn validate_decision(
+    layout: &PillarLayout,
+    om: &OwnershipMap,
+    d: &DlbDecision,
+) -> Result<(), ProtocolError> {
+    DlbProtocol::validate(layout, om, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_search_on_trivial_movable_space() {
+        // m = 1: no movable cells, exactly one reachable state per grid.
+        let r = verify_invariant(&InvariantConfig {
+            max_side: 4,
+            max_m: 1,
+            max_states_per_config: 100,
+        })
+        .expect("invariant holds");
+        assert_eq!(r.configs, 2);
+        assert_eq!(r.states_visited, 2);
+        assert_eq!(r.truncated, 0);
+    }
+
+    #[test]
+    fn m2_state_space_is_explored_beyond_the_initial_state() {
+        let r = verify_invariant(&InvariantConfig {
+            max_side: 3,
+            max_m: 2,
+            max_states_per_config: 5_000,
+        })
+        .expect("invariant holds");
+        // 9 movable columns, each at home or lent: much more than 1 state.
+        assert!(r.states_visited > 100, "visited {}", r.states_visited);
+    }
+
+    #[test]
+    fn cap_truncates_gracefully() {
+        let r = verify_invariant(&InvariantConfig {
+            max_side: 3,
+            max_m: 3,
+            max_states_per_config: 50,
+        })
+        .expect("invariant holds on the visited prefix");
+        assert!(r.truncated > 0);
+    }
+
+    #[test]
+    fn giveaway_state_fails_check() {
+        // Force a permanent cell off its home: check_state must object.
+        let layout = PillarLayout::from_p_and_m(9, 2);
+        let mut om = OwnershipMap::initial(layout);
+        let me = layout.torus().rank_wrapped(1, 1);
+        let origin = layout.tile_origin(me);
+        // (m−1, m−1) offset = the SE corner = permanent.
+        let perm = pcdlb_domain::Col::new(origin.cx + 1, origin.cy + 1);
+        assert!(is_permanent(&layout, perm));
+        om.set_owner(perm, layout.torus().rank_wrapped(0, 1));
+        let err = check_state(&layout, &om).expect_err("giveaway must be caught");
+        assert!(
+            err.contains("permanent") || err.contains("distance"),
+            "{err}"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! `pcdlb-check` — static protocol verifier, interleaving-exploring
+//! determinism checker, and lint pass for the message-passing layer.
+//!
+//! The paper's SPMD program is only correct if three things hold that the
+//! type system cannot express:
+//!
+//! 1. **The wire protocol is well-formed** ([`schedule`], [`verify`]):
+//!    every blocking receive in the per-step schedule has a matching send,
+//!    no `(src, dst, phase)` reuses a tag, and the blocking-wait graph is
+//!    acyclic (deadlock freedom) — checked for every PE grid up to a
+//!    configurable size by extracting the schedule from the same
+//!    `Torus2d` neighbour enumeration and
+//!    [`pcdlb_core::protocol::tags::TAG_TABLE`] the simulator sends with.
+//! 2. **The permanent-cell invariant holds** ([`invariant`]): no sequence
+//!    of protocol-legal ownership transfers ever moves a permanent cell or
+//!    breaks the 8-neighbour adjacency the communication pattern relies
+//!    on — checked by bounded search over the reachable ownership states.
+//! 3. **Results are delivery-order independent** ([`explore`]): the
+//!    simulation digest ([`pcdlb_sim::digest`]) must be bit-identical no
+//!    matter in which order messages from different sources arrive —
+//!    checked by re-running the simulator under a controlled scheduler
+//!    (`pcdlb-mp`'s `check` feature) that permutes message-arrival order.
+//!
+//! [`lint`] adds a repo lint pass for the hazards that produce such bugs:
+//! wall-clock reads in deterministic crates, hash-order iteration in
+//! protocol-facing code, and `unwrap()` on send/recv paths.
+//!
+//! The `pcdlb-check` binary drives all of it; see `README.md`.
+
+pub mod explore;
+pub mod invariant;
+pub mod lint;
+pub mod schedule;
+pub mod verify;

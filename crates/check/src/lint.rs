@@ -1,0 +1,397 @@
+//! Repo lint pass for determinism and protocol-robustness hazards.
+//!
+//! Three rules, each scoped to the code where the hazard is real:
+//!
+//! - `wallclock-in-deterministic-crate`: no `Instant::now` / `SystemTime`
+//!   in `pcdlb-md`, `pcdlb-core`, `pcdlb-domain`. Physics and protocol
+//!   decisions must be wall-clock free; time may enter only through the
+//!   simulator's explicit load-metric plumbing.
+//! - `hash-iteration-in-protocol-code`: no `HashMap`/`HashSet` in
+//!   `pcdlb-mp`, `pcdlb-sim` or the protocol module — hash iteration
+//!   order varies between runs, which silently breaks bitwise
+//!   reproducibility when it reaches message payloads or summation order.
+//! - `unwrap-in-send-recv-path`: no bare `.unwrap()` on the send/recv
+//!   paths (`comm`, `world`, `collectives`, `channel`) or in the protocol
+//!   module; failures there must carry a message (`expect`) or a typed
+//!   error (`ProtocolError`).
+//!
+//! The scanner is textual by design (no rustc plumbing): it skips
+//! `#[cfg(test)]` blocks by brace counting and strips `//` comments
+//! before matching. Justified exceptions go in `lint-allow.txt` at the
+//! repo root: `rule  path-suffix  line-substring` per line.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint hit.
+#[derive(Debug, Clone)]
+pub struct LintFinding {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// File containing the hit.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line, trimmed.
+    pub snippet: String,
+}
+
+impl std::fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.snippet
+        )
+    }
+}
+
+/// Outcome of a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Violations (after allowlist filtering).
+    pub findings: Vec<LintFinding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Findings suppressed by the allowlist.
+    pub suppressed: usize,
+}
+
+struct Rule {
+    name: &'static str,
+    /// Directories (relative to the repo root) whose `.rs` files are in
+    /// scope.
+    dirs: &'static [&'static str],
+    /// Individual files in scope.
+    files: &'static [&'static str],
+    /// Substrings that constitute a violation.
+    patterns: &'static [&'static str],
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        name: "wallclock-in-deterministic-crate",
+        dirs: &["crates/md/src", "crates/core/src", "crates/domain/src"],
+        files: &[],
+        patterns: &["Instant::now", "SystemTime"],
+    },
+    Rule {
+        name: "hash-iteration-in-protocol-code",
+        dirs: &["crates/mp/src", "crates/sim/src"],
+        files: &["crates/core/src/protocol.rs"],
+        patterns: &["HashMap", "HashSet"],
+    },
+    Rule {
+        name: "unwrap-in-send-recv-path",
+        dirs: &[],
+        files: &[
+            "crates/mp/src/comm.rs",
+            "crates/mp/src/world.rs",
+            "crates/mp/src/collectives.rs",
+            "crates/mp/src/channel.rs",
+            "crates/core/src/protocol.rs",
+        ],
+        patterns: &[".unwrap()"],
+    },
+];
+
+/// One allowlist entry: suppress `rule` findings in files ending with
+/// `file_suffix` on lines containing `substring`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule name, or `*` for any rule.
+    pub rule: String,
+    /// Path suffix the file must end with.
+    pub file_suffix: String,
+    /// Substring the offending line must contain.
+    pub substring: String,
+}
+
+/// Parse `lint-allow.txt` content. Lines are
+/// `rule  path-suffix  line-substring`; `#` starts a comment.
+pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        if let (Some(rule), Some(suffix), Some(sub)) = (parts.next(), parts.next(), parts.next()) {
+            out.push(AllowEntry {
+                rule: rule.to_string(),
+                file_suffix: suffix.to_string(),
+                substring: sub.trim().to_string(),
+            });
+        }
+    }
+    out
+}
+
+fn allowed(entry: &[AllowEntry], finding: &LintFinding) -> bool {
+    let path = finding.file.to_string_lossy().replace('\\', "/");
+    entry.iter().any(|e| {
+        (e.rule == "*" || e.rule == finding.rule)
+            && path.ends_with(&e.file_suffix)
+            && finding.snippet.contains(&e.substring)
+    })
+}
+
+/// Collect `.rs` files under `dir`, recursively, sorted for determinism.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan one file's source against one rule.
+fn scan_source(rule: &Rule, file: &Path, source: &str, findings: &mut Vec<LintFinding>) {
+    // `#[cfg(test)]` skipping: after the attribute, skip the next item —
+    // either a braced block (tracked by brace depth) or a single
+    // `;`-terminated line.
+    let mut pending_skip = false;
+    let mut depth = 0usize;
+    for (idx, raw) in source.lines().enumerate() {
+        let code = raw.split("//").next().unwrap_or("");
+        let opens = code.matches('{').count();
+        let closes = code.matches('}').count();
+        if depth > 0 {
+            depth = (depth + opens).saturating_sub(closes);
+            continue;
+        }
+        if pending_skip {
+            if opens > closes {
+                depth = opens - closes;
+                pending_skip = false;
+            } else if code.contains(';') || opens > 0 {
+                pending_skip = false;
+            }
+            continue;
+        }
+        if code.trim_start().starts_with("#[cfg(test)") {
+            pending_skip = true;
+            continue;
+        }
+        for pat in rule.patterns {
+            if code.contains(pat) {
+                findings.push(LintFinding {
+                    rule: rule.name,
+                    file: file.to_path_buf(),
+                    line: idx + 1,
+                    snippet: raw.trim().to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Run every rule against the tree rooted at `root`, applying the
+/// allowlist at `root/lint-allow.txt` if present.
+pub fn run_lints(root: &Path) -> io::Result<LintReport> {
+    let allow = match fs::read_to_string(root.join("lint-allow.txt")) {
+        Ok(text) => parse_allowlist(&text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let mut report = LintReport::default();
+    for rule in RULES {
+        let mut files: Vec<PathBuf> = Vec::new();
+        for d in rule.dirs {
+            rs_files(&root.join(d), &mut files)?;
+        }
+        for f in rule.files {
+            let p = root.join(f);
+            if p.is_file() {
+                files.push(p);
+            }
+        }
+        report.files_scanned += files.len();
+        for file in &files {
+            let source = fs::read_to_string(file)?;
+            let mut found = Vec::new();
+            scan_source(rule, file, &source, &mut found);
+            for f in found {
+                if allowed(&allow, &f) {
+                    report.suppressed += 1;
+                } else {
+                    report.findings.push(f);
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    /// A scratch repo tree with the given `(relative path, contents)`
+    /// files; removed on drop.
+    struct Fixture {
+        root: PathBuf,
+    }
+
+    impl Fixture {
+        fn new(files: &[(&str, &str)]) -> Self {
+            let root = std::env::temp_dir().join(format!(
+                "pcdlb-lint-{}-{}",
+                std::process::id(),
+                DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            for (rel, contents) in files {
+                let path = root.join(rel);
+                fs::create_dir_all(path.parent().expect("fixture files have parents"))
+                    .expect("mkdir fixture");
+                fs::write(&path, contents).expect("write fixture");
+            }
+            Self { root }
+        }
+    }
+
+    impl Drop for Fixture {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.root);
+        }
+    }
+
+    #[test]
+    fn clean_tree_has_no_findings() {
+        let fx = Fixture::new(&[(
+            "crates/md/src/lib.rs",
+            "pub fn f() -> u64 { 42 } // no clocks here\n",
+        )]);
+        let r = run_lints(&fx.root).expect("lint runs");
+        assert!(r.findings.is_empty());
+        assert_eq!(r.files_scanned, 1);
+    }
+
+    #[test]
+    fn wallclock_in_md_is_flagged() {
+        let fx = Fixture::new(&[(
+            "crates/md/src/force.rs",
+            "use std::time::Instant;\npub fn t() { let _ = Instant::now(); }\n",
+        )]);
+        let r = run_lints(&fx.root).expect("lint runs");
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "wallclock-in-deterministic-crate");
+        assert_eq!(r.findings[0].line, 2);
+    }
+
+    #[test]
+    fn hash_collections_in_mp_are_flagged() {
+        let fx = Fixture::new(&[(
+            "crates/mp/src/comm.rs",
+            "use std::collections::HashMap;\nstruct S { m: HashMap<u64, u64> }\n",
+        )]);
+        let r = run_lints(&fx.root).expect("lint runs");
+        assert_eq!(r.findings.len(), 2);
+        assert!(r
+            .findings
+            .iter()
+            .all(|f| f.rule == "hash-iteration-in-protocol-code"));
+    }
+
+    #[test]
+    fn unwrap_on_send_path_is_flagged_but_not_in_tests() {
+        let fx = Fixture::new(&[(
+            "crates/mp/src/comm.rs",
+            concat!(
+                "pub fn recv() { q.pop().unwrap(); }\n",
+                "#[cfg(test)]\n",
+                "mod tests {\n",
+                "    fn ok() { x.unwrap(); }\n",
+                "    fn also_ok() { y.unwrap(); }\n",
+                "}\n",
+                "pub fn send() { tx.send(v).unwrap(); }\n",
+            ),
+        )]);
+        let r = run_lints(&fx.root).expect("lint runs");
+        let lines: Vec<usize> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == "unwrap-in-send-recv-path")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(lines, vec![1, 7], "test-module unwraps must be skipped");
+    }
+
+    #[test]
+    fn comments_do_not_trigger() {
+        let fx = Fixture::new(&[(
+            "crates/core/src/lib.rs",
+            "// Instant::now would be wrong here\npub fn f() {}\n",
+        )]);
+        let r = run_lints(&fx.root).expect("lint runs");
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn allowlist_suppresses_matching_findings() {
+        let fx = Fixture::new(&[
+            (
+                "crates/mp/src/channel.rs",
+                "fn lock() { self.q.lock().unwrap(); }\nfn other() { v.pop().unwrap(); }\n",
+            ),
+            (
+                "lint-allow.txt",
+                "# poisoned-mutex unwrap is idiomatic\nunwrap-in-send-recv-path channel.rs lock().unwrap()\n",
+            ),
+        ]);
+        let r = run_lints(&fx.root).expect("lint runs");
+        assert_eq!(r.suppressed, 1);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].line, 2);
+    }
+
+    #[test]
+    fn cfg_test_attribute_on_single_item_skips_only_that_item() {
+        let fx = Fixture::new(&[(
+            "crates/domain/src/lib.rs",
+            "#[cfg(test)]\nuse std::time::SystemTime;\npub fn f() { let _ = SystemTime::now(); }\n",
+        )]);
+        let r = run_lints(&fx.root).expect("lint runs");
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].line, 3);
+    }
+
+    #[test]
+    fn the_real_repo_is_clean() {
+        // The crate sits at <root>/crates/check; the repo root is two up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("repo root")
+            .to_path_buf();
+        let r = run_lints(&root).expect("lint runs");
+        assert!(
+            r.findings.is_empty(),
+            "lint violations in the real tree:\n{}",
+            r.findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(r.files_scanned > 10);
+    }
+}

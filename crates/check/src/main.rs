@@ -1,0 +1,176 @@
+//! The `pcdlb-check` command-line driver.
+//!
+//! ```text
+//! pcdlb-check verify     [--max-side N] [--max-m M] [--max-states K]
+//! pcdlb-check interleave [--steps S] [--dfs-runs N] [--seeded-runs N]
+//! pcdlb-check lint       [--root PATH]
+//! pcdlb-check all
+//! ```
+//!
+//! Exit status 0 means every requested check passed; 1 means at least
+//! one violation (or bad usage). Run from the repo root (CI does).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pcdlb_check::explore::{config_2x2, explore};
+use pcdlb_check::invariant::{verify_invariant, InvariantConfig};
+use pcdlb_check::lint::run_lints;
+use pcdlb_check::verify::verify_protocol;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "verify" => cmd_verify(rest),
+        "interleave" => cmd_interleave(rest),
+        "lint" => cmd_lint(rest),
+        "all" => cmd_verify(&[])
+            .and_then(|()| cmd_interleave(&[]))
+            .and_then(|()| cmd_lint(&[])),
+        "--help" | "-h" | "help" => {
+            usage();
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pcdlb-check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: pcdlb-check <verify|interleave|lint|all> [options]\n\
+         \n\
+         verify     static protocol verification: tag table, send/recv\n\
+         \u{20}          matching, deadlock freedom on all grids up to --max-side\n\
+         \u{20}          (default 6), and the permanent-cell invariant search up\n\
+         \u{20}          to --max-m (default 3), --max-states (default 20000)\n\
+         interleave determinism check: explore message-delivery orders on a\n\
+         \u{20}          2x2 PE run (--steps 6 --dfs-runs 24 --seeded-runs 24)\n\
+         lint       hazard lint over the repo tree (--root .)"
+    );
+}
+
+/// Parse `--key value` options, all integers, with defaults.
+fn opts(rest: &[String], keys: &[(&str, usize)]) -> Result<Vec<usize>, String> {
+    let mut vals: Vec<usize> = keys.iter().map(|&(_, d)| d).collect();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let pos = keys
+            .iter()
+            .position(|&(k, _)| k == flag)
+            .ok_or_else(|| format!("unknown option `{flag}`"))?;
+        let val = it.next().ok_or_else(|| format!("`{flag}` needs a value"))?;
+        vals[pos] = val
+            .parse()
+            .map_err(|_| format!("`{flag}` needs an integer, got `{val}`"))?;
+    }
+    Ok(vals)
+}
+
+fn cmd_verify(rest: &[String]) -> Result<(), String> {
+    let v = opts(
+        rest,
+        &[("--max-side", 6), ("--max-m", 3), ("--max-states", 20_000)],
+    )?;
+    let (max_side, max_m, max_states) = (v[0], v[1], v[2]);
+    let report = verify_protocol(max_side);
+    println!(
+        "verify: {} schedules over sides {:?} checked",
+        report.schedules_checked, report.sides
+    );
+    if !report.violations.is_empty() {
+        for v in &report.violations {
+            eprintln!("  {v}");
+        }
+        return Err(format!("{} protocol violation(s)", report.violations.len()));
+    }
+    let inv = verify_invariant(&InvariantConfig {
+        max_side: max_side.min(4),
+        max_m,
+        max_states_per_config: max_states,
+    })
+    .map_err(|e| format!("permanent-cell invariant violated: {e}"))?;
+    println!(
+        "verify: permanent-cell invariant holds over {} states in {} configs{}",
+        inv.states_visited,
+        inv.configs,
+        if inv.truncated > 0 {
+            format!(" ({} truncated at the state cap)", inv.truncated)
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
+fn cmd_interleave(rest: &[String]) -> Result<(), String> {
+    let v = opts(
+        rest,
+        &[("--steps", 6), ("--dfs-runs", 24), ("--seeded-runs", 24)],
+    )?;
+    let cfg = config_2x2(v[0] as u64);
+    let out = explore(&cfg, v[1], v[2]);
+    println!(
+        "interleave: {} runs, {} distinct delivery orders (max arity {}), {} digest(s)",
+        out.runs,
+        out.distinct_orders,
+        out.max_arity,
+        out.digests.len()
+    );
+    if out.digests.len() != 1 {
+        return Err(format!(
+            "simulation digest depends on message-delivery order: {:?}",
+            out.digests
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_lint(rest: &[String]) -> Result<(), String> {
+    let mut root = PathBuf::from(".");
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--root" => {
+                root = PathBuf::from(it.next().ok_or("`--root` needs a path")?);
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if !root.is_dir() {
+        return Err(format!("lint root `{}` is not a directory", root.display()));
+    }
+    let report = run_lints(&root).map_err(|e| format!("lint I/O error: {e}"))?;
+    if report.files_scanned == 0 {
+        return Err(format!(
+            "lint scanned no .rs files under `{}` — wrong --root?",
+            root.display()
+        ));
+    }
+    println!(
+        "lint: {} files scanned, {} finding(s), {} suppressed by allowlist",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed
+    );
+    if !report.findings.is_empty() {
+        for f in &report.findings {
+            eprintln!("  {f}");
+        }
+        return Err(format!("{} lint violation(s)", report.findings.len()));
+    }
+    Ok(())
+}

@@ -1,0 +1,341 @@
+//! Extraction of the per-step SPMD send/recv schedule.
+//!
+//! The square-pillar simulator's step (`pcdlb-sim`'s `pe` module) has a
+//! fixed communication structure per phase: sends to the distinct torus
+//! 8-neighbours in ascending rank order, then the matching receives in the
+//! same order; collectives are gathers and binomial-tree broadcasts over
+//! namespaced tags. This module re-derives that structure from the same
+//! sources the simulator uses — [`Torus2d::distinct_neighbors8`] and
+//! [`tags::TAG_TABLE`] — so the verifier and the simulator agree on the
+//! wire protocol by construction, not by transcription.
+//!
+//! The one data-dependent part is the DLB cell transfer (`CELL_XFER`):
+//! which columns move depends on runtime loads. The schedule is therefore
+//! parameterised over a *decision scenario* — a set of `(from, to)`
+//! transfers — and the verifier sweeps representative scenarios (none,
+//! every single legal transfer, dense simultaneous transfers).
+
+use pcdlb_core::protocol::tags::{self, CommPhase};
+use pcdlb_mp::collectives::ctag;
+use pcdlb_mp::Torus2d;
+
+/// One point-to-point operation of the schedule. Tags are *wire* tags:
+/// collective rounds already carry their namespaced
+/// [`ctag`](pcdlb_mp::collectives::ctag) value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// A non-blocking send to `to`.
+    Send {
+        /// Destination rank.
+        to: usize,
+        /// Wire tag.
+        tag: u64,
+    },
+    /// A blocking receive from `from`.
+    Recv {
+        /// Source rank.
+        from: usize,
+        /// Wire tag.
+        tag: u64,
+    },
+}
+
+/// An [`Op`] annotated with the phase it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhasedOp {
+    /// The step phase.
+    pub phase: CommPhase,
+    /// The operation.
+    pub op: Op,
+}
+
+/// The full per-step schedule: for each rank, its program-ordered
+/// operation sequence.
+#[derive(Debug, Clone)]
+pub struct StepSchedule {
+    /// Number of ranks.
+    pub p: usize,
+    /// `ranks[r]` is rank `r`'s operation sequence in program order.
+    pub ranks: Vec<Vec<PhasedOp>>,
+}
+
+/// Which optional parts of the step to include, and the DLB decision
+/// scenario to instantiate.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleOpts {
+    /// Include the DLB load/decision exchanges.
+    pub dlb: bool,
+    /// DLB cell transfers `(from, to)` for this step, in the simulator's
+    /// apply order (sorted by `from`; one decision per sending rank).
+    pub decisions: Vec<(usize, usize)>,
+    /// Include the thermostat gather + broadcast.
+    pub thermostat: bool,
+    /// Include the stats gather.
+    pub stats: bool,
+    /// Include the end-of-run snapshot gather.
+    pub snapshot: bool,
+}
+
+impl ScheduleOpts {
+    /// Everything on, no transfers — the shape of a typical DLB step.
+    pub fn full() -> Self {
+        Self {
+            dlb: true,
+            decisions: Vec::new(),
+            thermostat: true,
+            stats: true,
+            snapshot: true,
+        }
+    }
+}
+
+/// Build the per-step schedule for a `side × side` torus.
+pub fn step_schedule(side: usize, opts: &ScheduleOpts) -> StepSchedule {
+    let torus = Torus2d::new(side, side);
+    let p = torus.len();
+    let mut decisions = opts.decisions.clone();
+    decisions.sort_unstable_by_key(|&(from, _)| from);
+    let mut ranks = Vec::with_capacity(p);
+    for r in 0..p {
+        let mut ops: Vec<PhasedOp> = Vec::new();
+        let nbrs = torus.distinct_neighbors8(r);
+        // Phase: migration — sends to all distinct neighbours (ascending),
+        // then the matching receives in the same order.
+        neighbourhood_exchange(&mut ops, CommPhase::Migrate, r, &nbrs, tags::MIGRATE);
+        if opts.dlb {
+            neighbourhood_exchange(&mut ops, CommPhase::DlbLoad, r, &nbrs, tags::LOAD);
+            neighbourhood_exchange(&mut ops, CommPhase::DlbDecision, r, &nbrs, tags::DECISION);
+            // Cell transfers: senders first, then receivers, each walking
+            // the decision list in `from` order (the simulator's order).
+            for &(from, to) in &decisions {
+                if from == r {
+                    ops.push(PhasedOp {
+                        phase: CommPhase::DlbCellXfer,
+                        op: Op::Send {
+                            to,
+                            tag: tags::CELL_XFER,
+                        },
+                    });
+                }
+            }
+            for &(from, to) in &decisions {
+                if to == r {
+                    ops.push(PhasedOp {
+                        phase: CommPhase::DlbCellXfer,
+                        op: Op::Recv {
+                            from,
+                            tag: tags::CELL_XFER,
+                        },
+                    });
+                }
+            }
+        }
+        neighbourhood_exchange(&mut ops, CommPhase::Ghost, r, &nbrs, tags::GHOST);
+        if opts.thermostat {
+            gather_ops(&mut ops, CommPhase::Thermostat, p, r, tags::KE_GATHER);
+            bcast_ops(&mut ops, CommPhase::Thermostat, p, r, tags::KE_BCAST);
+        }
+        if opts.stats {
+            gather_ops(&mut ops, CommPhase::Stats, p, r, tags::STATS);
+        }
+        if opts.snapshot {
+            gather_ops(&mut ops, CommPhase::Snapshot, p, r, tags::SNAPSHOT);
+        }
+        ranks.push(ops);
+    }
+    StepSchedule { p, ranks }
+}
+
+/// The simulator's neighbourhood pattern: send one message to every
+/// distinct 8-neighbour (ascending rank), then receive one from each in
+/// the same order.
+fn neighbourhood_exchange(
+    ops: &mut Vec<PhasedOp>,
+    phase: CommPhase,
+    _rank: usize,
+    nbrs: &[usize],
+    tag: u64,
+) {
+    for &nb in nbrs {
+        ops.push(PhasedOp {
+            phase,
+            op: Op::Send { to: nb, tag },
+        });
+    }
+    for &nb in nbrs {
+        ops.push(PhasedOp {
+            phase,
+            op: Op::Recv { from: nb, tag },
+        });
+    }
+}
+
+/// Rank `rank`'s operations in `collectives::gather` over `p` ranks:
+/// rank 0 receives from 1..p in order; everyone else sends to 0. Wire
+/// tags follow the collective namespacing rule.
+pub fn gather_ops(ops: &mut Vec<PhasedOp>, phase: CommPhase, p: usize, rank: usize, tag: u64) {
+    if rank == 0 {
+        for src in 1..p {
+            ops.push(PhasedOp {
+                phase,
+                op: Op::Recv {
+                    from: src,
+                    tag: ctag(tag, 0),
+                },
+            });
+        }
+    } else {
+        ops.push(PhasedOp {
+            phase,
+            op: Op::Send {
+                to: 0,
+                tag: ctag(tag, 0),
+            },
+        });
+    }
+}
+
+/// Rank `rank`'s operations in `collectives::bcast` from rank 0 over `p`
+/// ranks: the binomial tree, descending step, round = step.
+pub fn bcast_ops(ops: &mut Vec<PhasedOp>, phase: CommPhase, p: usize, rank: usize, tag: u64) {
+    let mut top = 1usize;
+    while top < p {
+        top <<= 1;
+    }
+    let mut step = top >> 1;
+    while step >= 1 {
+        if rank.is_multiple_of(2 * step) {
+            let dst = rank + step;
+            if dst < p {
+                ops.push(PhasedOp {
+                    phase,
+                    op: Op::Send {
+                        to: dst,
+                        tag: ctag(tag, step as u64),
+                    },
+                });
+            }
+        } else if rank % (2 * step) == step {
+            ops.push(PhasedOp {
+                phase,
+                op: Op::Recv {
+                    from: rank - step,
+                    tag: ctag(tag, step as u64),
+                },
+            });
+        }
+        step >>= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sends_in(ops: &[PhasedOp], phase: CommPhase) -> Vec<Op> {
+        ops.iter()
+            .filter(|o| o.phase == phase && matches!(o.op, Op::Send { .. }))
+            .map(|o| o.op)
+            .collect()
+    }
+
+    #[test]
+    fn migrate_phase_is_one_message_per_distinct_neighbour() {
+        let s = step_schedule(3, &ScheduleOpts::default());
+        assert_eq!(s.p, 9);
+        for (r, ops) in s.ranks.iter().enumerate() {
+            let sends = sends_in(ops, CommPhase::Migrate);
+            let nbrs = Torus2d::new(3, 3).distinct_neighbors8(r);
+            assert_eq!(sends.len(), nbrs.len());
+            for (op, nb) in sends.iter().zip(&nbrs) {
+                assert_eq!(
+                    *op,
+                    Op::Send {
+                        to: *nb,
+                        tag: tags::MIGRATE
+                    }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_torus_dedups_neighbours() {
+        // On 2×2 every rank has only 3 distinct neighbours.
+        let s = step_schedule(2, &ScheduleOpts::default());
+        for ops in &s.ranks {
+            assert_eq!(sends_in(ops, CommPhase::Migrate).len(), 3);
+        }
+    }
+
+    #[test]
+    fn decisions_generate_cell_xfer_pairs() {
+        let opts = ScheduleOpts {
+            dlb: true,
+            decisions: vec![(4, 0), (5, 4)],
+            ..Default::default()
+        };
+        let s = step_schedule(3, &opts);
+        let xfer = |r: usize| -> Vec<Op> {
+            s.ranks[r]
+                .iter()
+                .filter(|o| o.phase == CommPhase::DlbCellXfer)
+                .map(|o| o.op)
+                .collect()
+        };
+        assert_eq!(
+            xfer(4),
+            vec![
+                Op::Send {
+                    to: 0,
+                    tag: tags::CELL_XFER
+                },
+                Op::Recv {
+                    from: 5,
+                    tag: tags::CELL_XFER
+                }
+            ]
+        );
+        assert_eq!(
+            xfer(0),
+            vec![Op::Recv {
+                from: 4,
+                tag: tags::CELL_XFER
+            }]
+        );
+        assert_eq!(
+            xfer(5),
+            vec![Op::Send {
+                to: 4,
+                tag: tags::CELL_XFER
+            }]
+        );
+    }
+
+    #[test]
+    fn bcast_ops_mirror_the_binomial_tree() {
+        // p = 5, top = 8: rank 0 sends to 4, 2, 1; rank 3 receives from 2.
+        let mut ops = Vec::new();
+        bcast_ops(&mut ops, CommPhase::Thermostat, 5, 0, tags::KE_BCAST);
+        let dsts: Vec<usize> = ops
+            .iter()
+            .map(|o| match o.op {
+                Op::Send { to, .. } => to,
+                _ => panic!("root only sends"),
+            })
+            .collect();
+        assert_eq!(dsts, vec![4, 2, 1]);
+        let mut r3 = Vec::new();
+        bcast_ops(&mut r3, CommPhase::Thermostat, 5, 3, tags::KE_BCAST);
+        assert_eq!(
+            r3,
+            vec![PhasedOp {
+                phase: CommPhase::Thermostat,
+                op: Op::Recv {
+                    from: 2,
+                    tag: ctag(tags::KE_BCAST, 1)
+                }
+            }]
+        );
+    }
+}

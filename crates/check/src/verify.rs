@@ -1,0 +1,450 @@
+//! Static verification of the extracted communication schedule.
+//!
+//! Four checks, each of which a seeded-mutation test proves live:
+//!
+//! - **Tag-table well-formedness** ([`check_tag_table`]): tags unique per
+//!   namespace, point-to-point tags disjoint from the collective wire
+//!   range, collective tags small enough that round namespacing cannot
+//!   alias.
+//! - **Tag uniqueness** ([`check_tag_uniqueness`]): within one phase no
+//!   `(src, dst)` pair uses the same wire tag twice — two in-flight
+//!   messages on the same `(src, dst, tag)` within a phase could only be
+//!   told apart by arrival order.
+//! - **Send/recv matching** ([`check_matching`]): per phase, the multiset
+//!   of posted sends equals the multiset of blocking receives — a missing
+//!   send means a receiver blocks forever, an extra send leaks into a
+//!   later phase.
+//! - **Deadlock freedom** ([`check_deadlock_freedom`]): the blocking-wait
+//!   graph (each receive waits on its matching send being reached, which
+//!   waits on the sender's preceding receives) is acyclic.
+
+use std::collections::BTreeMap;
+
+use pcdlb_core::protocol::tags::TAG_TABLE;
+use pcdlb_mp::collectives::COLLECTIVE_BIT;
+use pcdlb_mp::Torus2d;
+
+use crate::schedule::{step_schedule, Op, ScheduleOpts, StepSchedule};
+
+/// One verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which check fired.
+    pub check: &'static str,
+    /// Human-readable description of the failure.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.check, self.detail)
+    }
+}
+
+/// Check the protocol tag table itself (independent of any grid).
+pub fn check_tag_table() -> Vec<Violation> {
+    check_tags(TAG_TABLE)
+}
+
+/// [`check_tag_table`] against an explicit table — lets the seeded
+/// mutation tests prove the check catches a colliding tag.
+pub fn check_tags(table: &[pcdlb_core::protocol::tags::TagSpec]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for collective in [false, true] {
+        let mut seen: BTreeMap<u64, &str> = BTreeMap::new();
+        for spec in table.iter().filter(|s| s.collective == collective) {
+            if let Some(prev) = seen.insert(spec.tag, spec.name) {
+                out.push(Violation {
+                    check: "tag-table",
+                    detail: format!(
+                        "tag {} used by both {prev} and {} (collective={collective})",
+                        spec.tag, spec.name
+                    ),
+                });
+            }
+        }
+    }
+    for spec in table {
+        if !spec.collective && spec.tag & COLLECTIVE_BIT != 0 {
+            out.push(Violation {
+                check: "tag-table",
+                detail: format!(
+                    "point-to-point tag {} ({}) intrudes into the collective namespace",
+                    spec.tag, spec.name
+                ),
+            });
+        }
+        // Collective wire tags are `BIT | tag<<8 | round`; the tag must
+        // survive the shift and leave the round byte clear, or two
+        // different (tag, round) pairs could alias on the wire.
+        if spec.collective && (spec.tag << 8) >> 8 != spec.tag {
+            out.push(Violation {
+                check: "tag-table",
+                detail: format!(
+                    "collective tag {} ({}) overflows namespacing",
+                    spec.tag, spec.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Within each phase, no `(src, dst)` pair may use the same wire tag for
+/// two sends (or two receives).
+pub fn check_tag_uniqueness(s: &StepSchedule) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // (phase, src, dst, tag, is_send) → count
+    let mut counts: BTreeMap<(u8, usize, usize, u64, bool), usize> = BTreeMap::new();
+    for (r, ops) in s.ranks.iter().enumerate() {
+        for po in ops {
+            let key = match po.op {
+                Op::Send { to, tag } => (po.phase as u8, r, to, tag, true),
+                Op::Recv { from, tag } => (po.phase as u8, from, r, tag, false),
+            };
+            *counts.entry(key).or_insert(0) += 1;
+        }
+    }
+    for ((phase, src, dst, tag, is_send), n) in counts {
+        if n > 1 {
+            out.push(Violation {
+                check: "tag-uniqueness",
+                detail: format!(
+                    "{} {n} messages on (src {src}, dst {dst}, tag {tag}) within phase #{phase}",
+                    if is_send { "sends" } else { "recvs" },
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Per phase, the multiset of sends must equal the multiset of receives.
+pub fn check_matching(s: &StepSchedule) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // (phase, src, dst, tag) → (sends, recvs)
+    let mut counts: BTreeMap<(u8, usize, usize, u64), (isize, isize)> = BTreeMap::new();
+    for (r, ops) in s.ranks.iter().enumerate() {
+        for po in ops {
+            match po.op {
+                Op::Send { to, tag } => {
+                    counts
+                        .entry((po.phase as u8, r, to, tag))
+                        .or_insert((0, 0))
+                        .0 += 1;
+                }
+                Op::Recv { from, tag } => {
+                    counts
+                        .entry((po.phase as u8, from, r, tag))
+                        .or_insert((0, 0))
+                        .1 += 1;
+                }
+            }
+        }
+    }
+    for ((phase, src, dst, tag), (sends, recvs)) in counts {
+        if sends != recvs {
+            out.push(Violation {
+                check: "matching",
+                detail: format!(
+                    "phase #{phase}, (src {src}, dst {dst}, tag {tag}): {sends} send(s) vs {recvs} recv(s)",
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Detect blocking cycles: match the k-th send on each `(src, dst, tag)`
+/// stream with the k-th receive (FIFO delivery), then check that the
+/// dependency graph over receives is acyclic. A receive depends on the
+/// receive preceding it on its own rank (program order) and on the last
+/// receive its matching sender performs before the send (the sender must
+/// get that far to post the send).
+pub fn check_deadlock_freedom(s: &StepSchedule) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // FIFO queues per (src, dst, tag).
+    let mut sends: BTreeMap<(usize, usize, u64), Vec<usize>> = BTreeMap::new();
+    let mut recvs: BTreeMap<(usize, usize, u64), Vec<usize>> = BTreeMap::new();
+    for (r, ops) in s.ranks.iter().enumerate() {
+        for (i, po) in ops.iter().enumerate() {
+            match po.op {
+                Op::Send { to, tag } => sends.entry((r, to, tag)).or_default().push(i),
+                Op::Recv { from, tag } => recvs.entry((from, r, tag)).or_default().push(i),
+            }
+        }
+    }
+    // Last receive at or before each op index, per rank (for fast "the
+    // sender's preceding receive" lookups).
+    let prev_recv: Vec<Vec<Option<usize>>> = s
+        .ranks
+        .iter()
+        .map(|ops| {
+            let mut last = None;
+            let mut v = Vec::with_capacity(ops.len());
+            for (i, po) in ops.iter().enumerate() {
+                v.push(last);
+                if matches!(po.op, Op::Recv { .. }) {
+                    last = Some(i);
+                }
+            }
+            v
+        })
+        .collect();
+    // Dependency edges between receive nodes (rank, op index).
+    let mut deps: BTreeMap<(usize, usize), Vec<(usize, usize)>> = BTreeMap::new();
+    for (&(src, dst, tag), rq) in &recvs {
+        let sq = sends
+            .get(&(src, dst, tag))
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        for (k, &ri) in rq.iter().enumerate() {
+            let node = (dst, ri);
+            let entry = deps.entry(node).or_default();
+            if let Some(p) = prev_recv[dst][ri] {
+                entry.push((dst, p));
+            }
+            match sq.get(k) {
+                Some(&si) => {
+                    if let Some(p) = prev_recv[src][si] {
+                        entry.push((src, p));
+                    }
+                }
+                None => out.push(Violation {
+                    check: "deadlock",
+                    detail: format!(
+                        "rank {dst} blocks on recv #{k} from (src {src}, tag {tag}) but only {} send(s) exist",
+                        sq.len()
+                    ),
+                }),
+            }
+        }
+    }
+    // Iterative three-colour DFS for a cycle.
+    let mut colour: BTreeMap<(usize, usize), u8> = BTreeMap::new();
+    let nodes: Vec<(usize, usize)> = deps.keys().copied().collect();
+    for &start in &nodes {
+        if colour.get(&start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        let mut stack: Vec<((usize, usize), usize)> = vec![(start, 0)];
+        colour.insert(start, 1);
+        while let Some(&(node, next)) = stack.last() {
+            let succs = deps.get(&node).map(Vec::as_slice).unwrap_or(&[]);
+            if next < succs.len() {
+                let child = succs[next];
+                if let Some(top) = stack.last_mut() {
+                    top.1 += 1;
+                }
+                match colour.get(&child).copied().unwrap_or(0) {
+                    0 => {
+                        colour.insert(child, 1);
+                        stack.push((child, 0));
+                    }
+                    1 => {
+                        let cycle: Vec<String> = stack
+                            .iter()
+                            .map(|&((r, i), _)| format!("rank {r} op {i}"))
+                            .collect();
+                        out.push(Violation {
+                            check: "deadlock",
+                            detail: format!(
+                                "blocking-wait cycle through {} back to rank {} op {}",
+                                cycle.join(" → "),
+                                child.0,
+                                child.1
+                            ),
+                        });
+                        return out;
+                    }
+                    _ => {}
+                }
+            } else {
+                colour.insert(node, 2);
+                stack.pop();
+            }
+        }
+    }
+    out
+}
+
+/// All schedule-level checks on one schedule.
+pub fn verify_schedule(s: &StepSchedule) -> Vec<Violation> {
+    let mut out = check_tag_uniqueness(s);
+    out.extend(check_matching(s));
+    out.extend(check_deadlock_freedom(s));
+    out
+}
+
+/// Result of a grid sweep.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Torus sides swept.
+    pub sides: Vec<usize>,
+    /// Number of `(grid, decision scenario)` schedules verified.
+    pub schedules_checked: usize,
+    /// All violations found (empty for a correct protocol).
+    pub violations: Vec<Violation>,
+}
+
+/// The six tile deltas along which a DLB transfer may travel (Cases 1
+/// and 3); the decision-scenario sweep instantiates each.
+pub const LEGAL_DELTAS: [(i64, i64); 6] = [(-1, -1), (-1, 0), (0, -1), (0, 1), (1, 0), (1, 1)];
+
+/// Verify the protocol on every square grid with side `2..=max_side`:
+/// the base schedule, the full schedule with no transfers, every
+/// single-transfer scenario along each legal delta, and two dense
+/// all-ranks-transfer scenarios.
+pub fn verify_protocol(max_side: usize) -> VerifyReport {
+    let mut report = VerifyReport {
+        sides: (2..=max_side.max(2)).collect(),
+        schedules_checked: 0,
+        violations: check_tag_table(),
+    };
+    for &side in &report.sides {
+        let torus = Torus2d::new(side, side);
+        let p = torus.len();
+        let mut scenarios: Vec<ScheduleOpts> = vec![
+            ScheduleOpts::default(),
+            ScheduleOpts {
+                // DLB needs distinct directional neighbour roles (side ≥ 3).
+                dlb: side >= 3,
+                ..ScheduleOpts::full()
+            },
+        ];
+        if side >= 3 {
+            for r in 0..p {
+                for (di, dj) in LEGAL_DELTAS {
+                    scenarios.push(ScheduleOpts {
+                        dlb: true,
+                        decisions: vec![(r, torus.neighbor(r, di, dj))],
+                        ..Default::default()
+                    });
+                }
+            }
+            for (di, dj) in [(-1i64, -1i64), (1, 1)] {
+                scenarios.push(ScheduleOpts {
+                    dlb: true,
+                    decisions: (0..p).map(|r| (r, torus.neighbor(r, di, dj))).collect(),
+                    thermostat: true,
+                    stats: true,
+                    snapshot: true,
+                });
+            }
+        }
+        for opts in &scenarios {
+            let s = step_schedule(side, opts);
+            let vs = verify_schedule(&s);
+            for v in vs {
+                report.violations.push(Violation {
+                    check: v.check,
+                    detail: format!("side {side}, scenario {:?}: {}", opts.decisions, v.detail),
+                });
+            }
+            report.schedules_checked += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::PhasedOp;
+    use pcdlb_core::protocol::tags::{self, CommPhase};
+
+    #[test]
+    fn clean_protocol_verifies_on_all_grids() {
+        let report = verify_protocol(5);
+        assert!(
+            report.violations.is_empty(),
+            "expected a clean protocol, got: {:#?}",
+            report.violations
+        );
+        assert!(report.schedules_checked > 100);
+    }
+
+    #[test]
+    fn tag_table_check_is_clean() {
+        assert!(check_tag_table().is_empty());
+    }
+
+    #[test]
+    fn hand_built_deadlock_cycle_is_detected() {
+        // rank 0: recv(1, t=2) then send(1, t=1)
+        // rank 1: recv(0, t=1) then send(0, t=2)
+        // Each waits for a send the other only posts after its own recv.
+        let mk = |op| PhasedOp {
+            phase: CommPhase::Migrate,
+            op,
+        };
+        let s = StepSchedule {
+            p: 2,
+            ranks: vec![
+                vec![
+                    mk(Op::Recv { from: 1, tag: 2 }),
+                    mk(Op::Send { to: 1, tag: 1 }),
+                ],
+                vec![
+                    mk(Op::Recv { from: 0, tag: 1 }),
+                    mk(Op::Send { to: 0, tag: 2 }),
+                ],
+            ],
+        };
+        let vs = check_deadlock_freedom(&s);
+        assert!(
+            vs.iter()
+                .any(|v| v.check == "deadlock" && v.detail.contains("cycle")),
+            "cycle not found: {vs:?}"
+        );
+        // Matching itself is fine — only the order deadlocks.
+        assert!(check_matching(&s).is_empty());
+    }
+
+    #[test]
+    fn sends_first_ordering_is_deadlock_free() {
+        let mk = |op| PhasedOp {
+            phase: CommPhase::Migrate,
+            op,
+        };
+        let s = StepSchedule {
+            p: 2,
+            ranks: vec![
+                vec![
+                    mk(Op::Send { to: 1, tag: 1 }),
+                    mk(Op::Recv { from: 1, tag: 2 }),
+                ],
+                vec![
+                    mk(Op::Send { to: 0, tag: 2 }),
+                    mk(Op::Recv { from: 0, tag: 1 }),
+                ],
+            ],
+        };
+        assert!(verify_schedule(&s).is_empty());
+    }
+
+    #[test]
+    fn ghost_phase_reuses_neighbourhood_shape() {
+        let s = step_schedule(4, &ScheduleOpts::full());
+        let ghosts = s.ranks[5]
+            .iter()
+            .filter(|o| o.phase == CommPhase::Ghost)
+            .count();
+        assert_eq!(ghosts, 16, "8 sends + 8 recvs on a 4×4 torus");
+        assert!(verify_schedule(&s).is_empty());
+        // Collective rounds stay inside the namespaced range.
+        for ops in &s.ranks {
+            for po in ops {
+                let (Op::Send { tag, .. } | Op::Recv { tag, .. }) = po.op;
+                if po.phase >= CommPhase::Thermostat {
+                    assert!(tag & pcdlb_mp::collectives::COLLECTIVE_BIT != 0);
+                } else {
+                    assert!(tag & pcdlb_mp::collectives::COLLECTIVE_BIT == 0);
+                    assert!(tags::TAG_TABLE
+                        .iter()
+                        .any(|t| t.tag == tag && !t.collective));
+                }
+            }
+        }
+    }
+}

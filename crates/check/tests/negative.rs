@@ -1,0 +1,162 @@
+//! Seeded-mutation tests: each verifier layer must catch a deliberately
+//! introduced protocol bug. A verifier that passes a clean tree proves
+//! nothing unless these fail loudly.
+
+use pcdlb_check::invariant::{check_state, validate_decision, DlbDecision};
+use pcdlb_check::schedule::{step_schedule, Op, ScheduleOpts};
+use pcdlb_check::verify::{
+    check_deadlock_freedom, check_matching, check_tag_uniqueness, check_tags, verify_schedule,
+};
+use pcdlb_core::permanent::is_permanent;
+use pcdlb_core::protocol::tags::{self, CommPhase, TagSpec};
+use pcdlb_domain::{Col, OwnershipMap, PillarLayout};
+
+#[test]
+fn tag_collision_in_table_is_caught() {
+    // Mutation: STATS reuses KE_GATHER's tag in the collective namespace.
+    let mutated: Vec<TagSpec> = tags::TAG_TABLE
+        .iter()
+        .map(|s| {
+            let mut s = *s;
+            if s.name == "STATS" {
+                s.tag = tags::KE_GATHER;
+            }
+            s
+        })
+        .collect();
+    let vs = check_tags(&mutated);
+    assert!(
+        vs.iter()
+            .any(|v| v.check == "tag-table" && v.detail.contains("KE_GATHER")),
+        "collision not reported: {vs:?}"
+    );
+    // And a p2p tag wandering into the collective wire range is caught.
+    let mut bad = tags::TAG_TABLE.to_vec();
+    bad[0].tag |= pcdlb_mp::collectives::COLLECTIVE_BIT;
+    assert!(check_tags(&bad)
+        .iter()
+        .any(|v| v.detail.contains("collective namespace")));
+}
+
+#[test]
+fn tag_collision_in_schedule_is_caught() {
+    // Mutation: one rank's LOAD send goes out with the MIGRATE tag — a
+    // same-phase duplicate on that (src, dst) plus a matching failure.
+    let mut s = step_schedule(
+        3,
+        &ScheduleOpts {
+            dlb: true,
+            ..Default::default()
+        },
+    );
+    let victim = s.ranks[4]
+        .iter_mut()
+        .find(|po| po.phase == CommPhase::DlbLoad && matches!(po.op, Op::Send { .. }))
+        .expect("rank 4 sends loads");
+    let Op::Send { to, .. } = victim.op else {
+        unreachable!()
+    };
+    victim.op = Op::Send {
+        to,
+        tag: tags::MIGRATE,
+    };
+    let vs = verify_schedule(&s);
+    assert!(
+        vs.iter().any(|v| v.check == "matching"),
+        "mistagged send must break matching: {vs:?}"
+    );
+
+    // Mutation: duplicate a send within its phase — tag uniqueness fires.
+    let mut s2 = step_schedule(3, &ScheduleOpts::default());
+    let dup = s2.ranks[0][0];
+    s2.ranks[0].insert(1, dup);
+    assert!(check_tag_uniqueness(&s2)
+        .iter()
+        .any(|v| v.check == "tag-uniqueness"));
+}
+
+#[test]
+fn dropped_send_is_caught() {
+    let mut s = step_schedule(4, &ScheduleOpts::default());
+    // Mutation: rank 7 forgets its first migrate send.
+    let idx = s.ranks[7]
+        .iter()
+        .position(|po| matches!(po.op, Op::Send { .. }))
+        .expect("has sends");
+    s.ranks[7].remove(idx);
+    let vs = verify_schedule(&s);
+    assert!(vs.iter().any(|v| v.check == "matching"), "{vs:?}");
+    assert!(
+        vs.iter()
+            .any(|v| v.check == "deadlock" && v.detail.contains("send(s) exist")),
+        "the starved receiver must be identified: {vs:?}"
+    );
+}
+
+#[test]
+fn recv_before_send_deadlock_is_caught() {
+    // Mutation: every rank posts its migrate receives before its sends —
+    // the classic head-to-head deadlock the sends-first discipline avoids.
+    let mut s = step_schedule(3, &ScheduleOpts::default());
+    for ops in &mut s.ranks {
+        let (mut recvs, rest): (Vec<_>, Vec<_>) = ops
+            .drain(..)
+            .partition(|po| po.phase == CommPhase::Migrate && matches!(po.op, Op::Recv { .. }));
+        recvs.extend(rest);
+        *ops = recvs;
+    }
+    let vs = check_deadlock_freedom(&s);
+    assert!(
+        vs.iter()
+            .any(|v| v.check == "deadlock" && v.detail.contains("cycle")),
+        "blocking cycle not detected: {vs:?}"
+    );
+    // Matching is still intact — only the order is fatal.
+    assert!(check_matching(&s).is_empty());
+}
+
+#[test]
+fn permanent_cell_giveaway_is_caught() {
+    let layout = PillarLayout::from_p_and_m(9, 3);
+    let om = OwnershipMap::initial(layout);
+    let me = layout.torus().rank_wrapped(1, 1);
+    let origin = layout.tile_origin(me);
+    // The tile's SE corner is permanent; try to lend it NW anyway.
+    let perm = Col::new(origin.cx + 2, origin.cy + 2);
+    assert!(is_permanent(&layout, perm));
+    let d = DlbDecision {
+        col: perm,
+        from: me,
+        to: layout.torus().rank_wrapped(0, 0),
+    };
+    let err = validate_decision(&layout, &om, &d).expect_err("giveaway must be rejected");
+    assert!(err.to_string().contains("permanent"), "{err}");
+
+    // And if a buggy implementation applied it anyway, the state checker
+    // flags the resulting ownership map.
+    let mut bad = om.clone();
+    bad.set_owner(perm, d.to);
+    let state_err = check_state(&layout, &bad).expect_err("state must be rejected");
+    assert!(
+        state_err.contains("permanent") || state_err.contains("distance"),
+        "{state_err}"
+    );
+}
+
+#[test]
+fn over_accumulation_is_caught() {
+    // Mutation: pile every movable column of the grid onto rank `me`,
+    // blowing through the m² + 3(m−1)² accumulation limit.
+    let layout = PillarLayout::from_p_and_m(9, 3);
+    let mut om = OwnershipMap::initial(layout);
+    let me = layout.torus().rank_wrapped(1, 1);
+    for col in layout.grid().iter() {
+        if !is_permanent(&layout, col) {
+            om.set_owner(col, me);
+        }
+    }
+    let err = check_state(&layout, &om).expect_err("accumulation must be rejected");
+    // Either the structural tile-distance check or the explicit limit
+    // fires first, depending on which column it scans first.
+    assert!(err.contains("limit") || err.contains("tile delta"), "{err}");
+}

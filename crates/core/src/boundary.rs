@@ -63,7 +63,10 @@ impl BoundaryDetector {
         if t_len < self.min_flat + self.min_rise {
             return None;
         }
-        assert!(y.iter().all(|v| v.is_finite()), "series contains non-finite values");
+        assert!(
+            y.iter().all(|v| v.is_finite()),
+            "series contains non-finite values"
+        );
 
         // Suffix sums over t ≥ τ of 1, t, t², y_t, t·y_t let us evaluate
         // the hinge sums Σg, Σg², Σg·y for every τ in O(1).
@@ -143,7 +146,14 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn synthetic(flat_len: usize, rise_len: usize, level: f64, slope: f64, noise: f64, seed: u64) -> Vec<f64> {
+    fn synthetic(
+        flat_len: usize,
+        rise_len: usize,
+        level: f64,
+        slope: f64,
+        noise: f64,
+        seed: u64,
+    ) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut y = Vec::with_capacity(flat_len + rise_len);
         for _ in 0..flat_len {
@@ -159,7 +169,11 @@ mod tests {
     fn clean_changepoint_is_found_exactly() {
         let y = synthetic(300, 200, 0.05, 0.002, 0.0, 0);
         let b = BoundaryDetector::default().detect(&y).expect("boundary");
-        assert!((b.index as i64 - 300).unsigned_abs() <= 2, "index {}", b.index);
+        assert!(
+            (b.index as i64 - 300).unsigned_abs() <= 2,
+            "index {}",
+            b.index
+        );
         assert!((b.level - 0.05).abs() < 1e-9);
         assert!((b.slope - 0.002).abs() < 1e-9);
     }
@@ -206,7 +220,10 @@ mod tests {
         let idx: Vec<usize> = (0..5)
             .map(|s| {
                 let y = synthetic(400, 300, 0.1, 0.002, 0.03, s);
-                BoundaryDetector::default().detect(&y).expect("boundary").index
+                BoundaryDetector::default()
+                    .detect(&y)
+                    .expect("boundary")
+                    .index
             })
             .collect();
         for i in idx {

@@ -35,4 +35,4 @@ pub mod theory;
 pub use boundary::BoundaryDetector;
 pub use metrics::{ConcentrationPoint, PeCellStats};
 pub use permanent::{is_movable, is_permanent, movable_count, permanent_count};
-pub use protocol::{DlbDecision, DlbProtocol};
+pub use protocol::{DlbDecision, DlbProtocol, ProtocolError};

@@ -53,7 +53,11 @@ pub struct ConcentrationPoint {
 /// the lower rank, deterministically), then divided by the global `C₀/C`.
 /// The result is clamped to `n ≥ 1` (by definition the concentration
 /// factor cannot be below uniform).
-pub fn concentration_point(step: u64, stats: &[PeCellStats], total_cells: usize) -> ConcentrationPoint {
+pub fn concentration_point(
+    step: u64,
+    stats: &[PeCellStats],
+    total_cells: usize,
+) -> ConcentrationPoint {
     assert!(!stats.is_empty(), "need at least one PE");
     assert!(total_cells > 0);
     let c0: usize = stats.iter().map(|s| s.empty_cells).sum();
@@ -97,10 +101,7 @@ pub fn least_squares_line(points: &[(f64, f64)]) -> (f64, f64) {
     let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
     let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
     let denom = n * sxx - sx * sx;
-    assert!(
-        denom.abs() > 1e-12,
-        "degenerate fit: all x values coincide"
-    );
+    assert!(denom.abs() > 1e-12, "degenerate fit: all x values coincide");
     let b = (n * sxy - sx * sy) / denom;
     let a = (sy - b * sx) / n;
     (a, b)
@@ -137,7 +138,12 @@ mod tests {
         let mut stats = vec![st(0, 21, 16, 10)];
         // Remaining 60 cells, 20 empty, spread over 8 PEs.
         for r in 1..=8 {
-            stats.push(st(r, 60 / 8 + usize::from(r <= 60 % 8), 20 / 8 + usize::from(r <= 20 % 8), 10));
+            stats.push(st(
+                r,
+                60 / 8 + usize::from(r <= 60 % 8),
+                20 / 8 + usize::from(r <= 20 % 8),
+                10,
+            ));
         }
         let total_cells: usize = stats.iter().map(|s| s.cells).sum();
         let c0: usize = stats.iter().map(|s| s.empty_cells).sum();
@@ -188,10 +194,12 @@ mod tests {
 
     #[test]
     fn least_squares_recovers_exact_line() {
-        let pts: Vec<(f64, f64)> = (0..10).map(|i| {
-            let x = 1.0 + i as f64 * 0.3;
-            (x, 0.2 - 0.05 * x)
-        }).collect();
+        let pts: Vec<(f64, f64)> = (0..10)
+            .map(|i| {
+                let x = 1.0 + i as f64 * 0.3;
+                (x, 0.2 - 0.05 * x)
+            })
+            .collect();
         let (a, b) = least_squares_line(&pts);
         assert!((a - 0.2).abs() < 1e-12);
         assert!((b + 0.05).abs() < 1e-12);
@@ -201,9 +209,8 @@ mod tests {
     fn least_squares_minimizes_residual() {
         let pts = vec![(1.0, 0.30), (1.5, 0.22), (2.0, 0.18), (3.0, 0.10)];
         let (a, b) = least_squares_line(&pts);
-        let res = |a: f64, b: f64| -> f64 {
-            pts.iter().map(|(x, y)| (y - a - b * x).powi(2)).sum()
-        };
+        let res =
+            |a: f64, b: f64| -> f64 { pts.iter().map(|(x, y)| (y - a - b * x).powi(2)).sum() };
         let base = res(a, b);
         for da in [-0.01, 0.01] {
             for db in [-0.01, 0.01] {
@@ -225,19 +232,17 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_stats() -> impl Strategy<Value = Vec<PeCellStats>> {
-        proptest::collection::vec((1usize..200, 0usize..200, 0usize..500), 1..20).prop_map(
-            |raw| {
-                raw.into_iter()
-                    .enumerate()
-                    .map(|(rank, (cells, empty, parts))| PeCellStats {
-                        rank,
-                        cells,
-                        empty_cells: empty.min(cells),
-                        particles: parts,
-                    })
-                    .collect()
-            },
-        )
+        proptest::collection::vec((1usize..200, 0usize..200, 0usize..500), 1..20).prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(rank, (cells, empty, parts))| PeCellStats {
+                    rank,
+                    cells,
+                    empty_cells: empty.min(cells),
+                    particles: parts,
+                })
+                .collect()
+        })
     }
 
     proptest! {

@@ -25,10 +25,213 @@
 //! the deciding PE itself on ties and then the lowest rank, so a
 //! perfectly balanced system performs no transfers.
 
+use std::fmt;
+
 use pcdlb_domain::{Col, OwnershipMap, PillarLayout};
 use pcdlb_mp::WireSize;
 
 use crate::permanent::is_movable;
+
+/// Message tags of the square-pillar SPMD step, in one place so the
+/// simulator (`pcdlb-sim`) and the static protocol verifier
+/// (`pcdlb-check`) agree on the wire protocol by construction.
+///
+/// Tags 1–5 are matched point-to-point; 10–13 are *collective* tags,
+/// which `pcdlb_mp::collectives` moves into a disjoint namespace by
+/// setting [`pcdlb_mp::collectives::COLLECTIVE_BIT`] on the wire, so a
+/// collective tag can never collide with a point-to-point tag even if
+/// the numbers overlap.
+pub mod tags {
+    /// Phase 2 (DLB step 1): last-step execution times to the 8-neighbourhood.
+    pub const LOAD: u64 = 1;
+    /// Phase 2 (DLB step 4): chosen `Option<DlbDecision>` to the 8-neighbourhood.
+    pub const DECISION: u64 = 2;
+    /// Phase 2 (DLB data movement): particle payload of a transferred column.
+    pub const CELL_XFER: u64 = 3;
+    /// Phase 1: particles that crossed a column boundary, to the new owner.
+    pub const MIGRATE: u64 = 4;
+    /// Phase 3: boundary-column particle copies to the 8-neighbourhood.
+    pub const GHOST: u64 = 5;
+    /// Phase 5 (collective): kinetic-energy gather to rank 0.
+    pub const KE_GATHER: u64 = 10;
+    /// Phase 5 (collective): thermostat scale factor broadcast from rank 0.
+    pub const KE_BCAST: u64 = 11;
+    /// Phase 6 (collective): per-step stats gather to rank 0.
+    pub const STATS: u64 = 12;
+    /// End of run (collective): final particle snapshot gather to rank 0.
+    pub const SNAPSHOT: u64 = 13;
+
+    /// The communication phases of one simulated step, in program order.
+    /// Every blocking receive in `pcdlb-sim`'s pillar step belongs to
+    /// exactly one phase; phases are separated by the program structure
+    /// (no message sent in one phase is received in another).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    pub enum CommPhase {
+        /// Boundary-crossing particle migration (8-neighbourhood).
+        Migrate,
+        /// DLB load exchange (8-neighbourhood).
+        DlbLoad,
+        /// DLB decision broadcast (8-neighbourhood).
+        DlbDecision,
+        /// DLB column payload movement (decision-driven).
+        DlbCellXfer,
+        /// Ghost-layer exchange (8-neighbourhood).
+        Ghost,
+        /// Thermostat gather + broadcast (collectives).
+        Thermostat,
+        /// Stats gather (collective).
+        Stats,
+        /// Final snapshot gather (collective).
+        Snapshot,
+    }
+
+    /// One row of [`TAG_TABLE`]: a tag, its name, the phase that uses it,
+    /// and whether it travels through the collective namespace.
+    #[derive(Debug, Clone, Copy)]
+    pub struct TagSpec {
+        /// The wire tag value (pre-namespacing for collectives).
+        pub tag: u64,
+        /// Human-readable name for verifier reports.
+        pub name: &'static str,
+        /// The step phase this tag belongs to.
+        pub phase: CommPhase,
+        /// True when the tag is used through `pcdlb_mp::collectives`.
+        pub collective: bool,
+    }
+
+    /// Every tag of the pillar-simulator protocol. The static verifier
+    /// checks this table for uniqueness per namespace and builds the
+    /// per-phase message-flow graph from it.
+    pub const TAG_TABLE: &[TagSpec] = &[
+        TagSpec {
+            tag: MIGRATE,
+            name: "MIGRATE",
+            phase: CommPhase::Migrate,
+            collective: false,
+        },
+        TagSpec {
+            tag: LOAD,
+            name: "LOAD",
+            phase: CommPhase::DlbLoad,
+            collective: false,
+        },
+        TagSpec {
+            tag: DECISION,
+            name: "DECISION",
+            phase: CommPhase::DlbDecision,
+            collective: false,
+        },
+        TagSpec {
+            tag: CELL_XFER,
+            name: "CELL_XFER",
+            phase: CommPhase::DlbCellXfer,
+            collective: false,
+        },
+        TagSpec {
+            tag: GHOST,
+            name: "GHOST",
+            phase: CommPhase::Ghost,
+            collective: false,
+        },
+        TagSpec {
+            tag: KE_GATHER,
+            name: "KE_GATHER",
+            phase: CommPhase::Thermostat,
+            collective: true,
+        },
+        TagSpec {
+            tag: KE_BCAST,
+            name: "KE_BCAST",
+            phase: CommPhase::Thermostat,
+            collective: true,
+        },
+        TagSpec {
+            tag: STATS,
+            name: "STATS",
+            phase: CommPhase::Stats,
+            collective: true,
+        },
+        TagSpec {
+            tag: SNAPSHOT,
+            name: "SNAPSHOT",
+            phase: CommPhase::Snapshot,
+            collective: true,
+        },
+    ];
+}
+
+/// Why a [`DlbDecision`] is illegal against an ownership view. Produced
+/// by [`DlbProtocol::validate`]; each variant carries the offending
+/// decision plus the fact that contradicts it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The sender does not currently own the column.
+    NotOwner {
+        /// The offending decision.
+        decision: DlbDecision,
+        /// Who actually owns the column.
+        actual_owner: usize,
+    },
+    /// The column is a permanent cell and may never move.
+    PermanentCell {
+        /// The offending decision.
+        decision: DlbDecision,
+    },
+    /// Case 1 send of a column whose home is not the sender (forwarding a
+    /// borrowed cell instead of returning it).
+    ForeignForward {
+        /// The offending decision.
+        decision: DlbDecision,
+        /// The column's home rank.
+        home: usize,
+    },
+    /// Case 3 return addressed to a PE that is not the column's home.
+    WrongReturn {
+        /// The offending decision.
+        decision: DlbDecision,
+        /// The column's home rank.
+        home: usize,
+    },
+    /// The transfer direction is not one of the six legal tile deltas.
+    IllegalDirection {
+        /// The offending decision.
+        decision: DlbDecision,
+        /// The (folded) tile delta from sender to receiver.
+        delta: (i64, i64),
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotOwner {
+                decision,
+                actual_owner,
+            } => write!(
+                f,
+                "{decision:?}: sender {} does not own the column (owner {actual_owner})",
+                decision.from
+            ),
+            Self::PermanentCell { decision } => {
+                write!(f, "{decision:?}: column is permanent")
+            }
+            Self::ForeignForward { decision, home } => write!(
+                f,
+                "{decision:?}: Case 1 send of a column whose home is {home}, not the sender"
+            ),
+            Self::WrongReturn { decision, home } => write!(
+                f,
+                "{decision:?}: Case 3 return to {}, but the column's home is {home}",
+                decision.to
+            ),
+            Self::IllegalDirection { decision, delta } => {
+                write!(f, "{decision:?}: illegal transfer direction {delta:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
 
 /// One ownership transfer: `from` hands `col` to `to`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -190,37 +393,41 @@ impl DlbProtocol {
 
     /// Validate a decision against an ownership view: correct owner, a
     /// legal direction, movable cell, and (for Case 1) cell is the
-    /// sender's own. Used by the simulator in debug builds and by the
-    /// property tests.
-    pub fn validate(layout: &PillarLayout, ownership: &OwnershipMap, d: &DlbDecision) -> Result<(), String> {
+    /// sender's own. Used by the simulator in debug builds, the property
+    /// tests, and the `pcdlb-check` permanent-cell invariant search.
+    pub fn validate(
+        layout: &PillarLayout,
+        ownership: &OwnershipMap,
+        d: &DlbDecision,
+    ) -> Result<(), ProtocolError> {
         if ownership.owner_of(d.col) != d.from {
-            return Err(format!(
-                "{:?}: sender {} does not own the column (owner {})",
-                d, d.from, ownership.owner_of(d.col)
-            ));
+            return Err(ProtocolError::NotOwner {
+                decision: *d,
+                actual_owner: ownership.owner_of(d.col),
+            });
         }
         if !is_movable(layout, d.col) {
-            return Err(format!("{d:?}: column is permanent"));
+            return Err(ProtocolError::PermanentCell { decision: *d });
         }
         let home = layout.home_rank(d.col);
         let delta = layout.tile_delta(d.from, d.to);
         match delta {
             (-1, -1) | (-1, 0) | (0, -1) => {
                 if home != d.from {
-                    return Err(format!(
-                        "{d:?}: Case 1 send of a column whose home is {home}, not the sender"
-                    ));
+                    return Err(ProtocolError::ForeignForward { decision: *d, home });
                 }
             }
             (0, 1) | (1, 0) | (1, 1) => {
                 if home != d.to {
-                    return Err(format!(
-                        "{d:?}: Case 3 return to {}, but the column's home is {home}",
-                        d.to
-                    ));
+                    return Err(ProtocolError::WrongReturn { decision: *d, home });
                 }
             }
-            other => return Err(format!("{d:?}: illegal transfer direction {other:?}")),
+            other => {
+                return Err(ProtocolError::IllegalDirection {
+                    decision: *d,
+                    delta: other,
+                })
+            }
         }
         Ok(())
     }
@@ -257,7 +464,11 @@ mod tests {
             .into_iter()
             .map(|r| (r, 1.0))
             .collect();
-        assert_eq!(p.fastest_pe(1.0, &nbrs), 4, "all equal → no transfer target");
+        assert_eq!(
+            p.fastest_pe(1.0, &nbrs),
+            4,
+            "all equal → no transfer target"
+        );
     }
 
     #[test]
@@ -369,7 +580,9 @@ mod tests {
             from: me,
             to: at(&l, 0, 0),
         };
-        assert!(DlbProtocol::validate(&l, &om, &d).unwrap_err().contains("permanent"));
+        let err = DlbProtocol::validate(&l, &om, &d).unwrap_err();
+        assert_eq!(err, ProtocolError::PermanentCell { decision: d });
+        assert!(err.to_string().contains("permanent"));
     }
 
     #[test]
@@ -386,7 +599,65 @@ mod tests {
             from: me,
             to: at(&l, 0, 0),
         };
-        assert!(DlbProtocol::validate(&l, &om, &d).unwrap_err().contains("Case 1"));
+        let err = DlbProtocol::validate(&l, &om, &d).unwrap_err();
+        assert_eq!(
+            err,
+            ProtocolError::ForeignForward {
+                decision: d,
+                home: south
+            }
+        );
+        assert!(err.to_string().contains("Case 1"));
+    }
+
+    #[test]
+    fn validate_rejects_non_owned_and_non_neighbour_transfers() {
+        let (l, om) = setup(9, 3);
+        let me = at(&l, 1, 1);
+        let nw = at(&l, 0, 0);
+        // A movable column of the NW tile, which `me` does not own.
+        let foreign = DlbDecision {
+            col: l.tile_origin(nw),
+            from: me,
+            to: nw,
+        };
+        assert!(matches!(
+            DlbProtocol::validate(&l, &om, &foreign).unwrap_err(),
+            ProtocolError::NotOwner { actual_owner, .. } if actual_owner == nw
+        ));
+        // A legal column aimed past the 8-neighbourhood (delta (-1, -1) is
+        // legal; (2, 0) folded on a 3-torus is (-1, 0)... use a 4-torus).
+        let l4 = PillarLayout::from_p_and_m(16, 3);
+        let om4 = OwnershipMap::initial(l4);
+        let me4 = l4.torus().rank_wrapped(1, 1);
+        let far = l4.torus().rank_wrapped(3, 1); // delta (2, 0) → folded 2
+        let d = DlbDecision {
+            col: l4.tile_origin(me4),
+            from: me4,
+            to: far,
+        };
+        assert!(matches!(
+            DlbProtocol::validate(&l4, &om4, &d).unwrap_err(),
+            ProtocolError::IllegalDirection { delta: (2, 0), .. }
+        ));
+    }
+
+    #[test]
+    fn tag_table_is_unique_per_namespace() {
+        use std::collections::BTreeSet;
+        for collective in [false, true] {
+            let vals: Vec<u64> = tags::TAG_TABLE
+                .iter()
+                .filter(|s| s.collective == collective)
+                .map(|s| s.tag)
+                .collect();
+            let set: BTreeSet<u64> = vals.iter().copied().collect();
+            assert_eq!(
+                vals.len(),
+                set.len(),
+                "duplicate tag (collective={collective})"
+            );
+        }
     }
 
     #[test]

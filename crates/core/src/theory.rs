@@ -35,7 +35,10 @@ pub fn dlb_limit_ratio(m: usize) -> f64 {
 /// `n ≥ 1`; returns 0 for `m = 1` (no movable cells → no balancing).
 pub fn upper_bound(m: usize, n: f64) -> f64 {
     assert!(m >= 1, "m must be at least 1");
-    assert!(n >= 1.0, "concentration factor n is ≥ 1 by definition, got {n}");
+    assert!(
+        n >= 1.0,
+        "concentration factor n is ≥ 1 by definition, got {n}"
+    );
     let m2 = (m * m) as f64;
     let w = 3.0 * ((m - 1) * (m - 1)) as f64;
     if w == 0.0 {

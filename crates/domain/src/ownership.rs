@@ -61,7 +61,10 @@ impl OwnershipMap {
             "transfer of {c:?}: expected owner {from}, found {}",
             self.owner[idx]
         );
-        assert!(to < self.layout.num_ranks(), "transfer to invalid rank {to}");
+        assert!(
+            to < self.layout.num_ranks(),
+            "transfer to invalid rank {to}"
+        );
         self.owner[idx] = to;
     }
 
@@ -215,8 +218,7 @@ mod tests {
         let l = layout_9x12();
         let om = OwnershipMap::initial(l);
         for r in 0..9 {
-            let expect: BTreeSet<usize> =
-                l.torus().distinct_neighbors8(r).into_iter().collect();
+            let expect: BTreeSet<usize> = l.torus().distinct_neighbors8(r).into_iter().collect();
             assert_eq!(om.ghost_sources(r), expect, "rank {r}");
         }
     }

@@ -158,7 +158,8 @@ mod tests {
         // bandwidth-dominated.
         let model = CostModel::t3e(None);
         let bytes_per_cell = 10.0 * 56.0;
-        let pillar = DomainShape::SquarePillar.ghost_exchange_time(512, 4096, bytes_per_cell, &model);
+        let pillar =
+            DomainShape::SquarePillar.ghost_exchange_time(512, 4096, bytes_per_cell, &model);
         let cube = DomainShape::Cube.ghost_exchange_time(512, 4096, bytes_per_cell, &model);
         assert!(cube < pillar, "cube {cube} vs pillar {pillar}");
     }

@@ -140,7 +140,11 @@ mod tests {
         // over large r approaches 1.
         let ps = init::simple_cubic(1000, 10.0);
         let g = radial_distribution(&ps, 10.0, 5.0, 50);
-        let tail: Vec<f64> = g.iter().filter(|(r, _)| *r > 3.0).map(|(_, v)| *v).collect();
+        let tail: Vec<f64> = g
+            .iter()
+            .filter(|(r, _)| *r > 3.0)
+            .map(|(_, v)| *v)
+            .collect();
         let mean = tail.iter().sum::<f64>() / tail.len() as f64;
         assert!((mean - 1.0).abs() < 0.2, "tail mean {mean}");
     }

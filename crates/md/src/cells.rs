@@ -66,7 +66,10 @@ impl CellGrid {
     /// required for the shift-vector construction; the paper's smallest
     /// grid is 8³.
     pub fn new(nc: usize, box_len: f64) -> Self {
-        assert!(nc >= 2, "cell grid needs at least 2 cells per side, got {nc}");
+        assert!(
+            nc >= 2,
+            "cell grid needs at least 2 cells per side, got {nc}"
+        );
         assert!(box_len > 0.0, "box length must be positive");
         Self {
             nc,
@@ -111,7 +114,10 @@ impl CellGrid {
     /// exactly at `L` due to floating-point wrap are clamped inward).
     pub fn cell_of(&self, pos: Vec3) -> CellCoord {
         let f = |v: f64| -> usize {
-            debug_assert!((0.0..=self.box_len).contains(&v), "position {v} outside box");
+            debug_assert!(
+                (0.0..=self.box_len).contains(&v),
+                "position {v} outside box"
+            );
             ((v / self.cell_len) as usize).min(self.nc - 1)
         };
         CellCoord::new(f(pos.x), f(pos.y), f(pos.z))
@@ -128,7 +134,11 @@ impl CellGrid {
     /// Inverse of [`CellGrid::index`].
     pub fn coord_of(&self, idx: usize) -> CellCoord {
         debug_assert!(idx < self.total_cells());
-        CellCoord::new(idx / (self.nc * self.nc), (idx / self.nc) % self.nc, idx % self.nc)
+        CellCoord::new(
+            idx / (self.nc * self.nc),
+            (idx / self.nc) % self.nc,
+            idx % self.nc,
+        )
     }
 
     /// The canonical cell reached from `c` by `offset`, together with the
@@ -241,7 +251,9 @@ mod tests {
         v.dedup();
         assert_eq!(v.len(), 27);
         assert!(v.contains(&(0, 0, 0)));
-        assert!(v.iter().all(|&(a, b, c)| a.abs() <= 1 && b.abs() <= 1 && c.abs() <= 1));
+        assert!(v
+            .iter()
+            .all(|&(a, b, c)| a.abs() <= 1 && b.abs() <= 1 && c.abs() <= 1));
     }
 
     #[test]
@@ -256,7 +268,10 @@ mod tests {
     fn cell_of_maps_positions() {
         let g = CellGrid::new(4, 8.0); // cell_len = 2
         assert_eq!(g.cell_of(Vec3::new(0.0, 0.0, 0.0)), CellCoord::new(0, 0, 0));
-        assert_eq!(g.cell_of(Vec3::new(1.99, 2.0, 7.99)), CellCoord::new(0, 1, 3));
+        assert_eq!(
+            g.cell_of(Vec3::new(1.99, 2.0, 7.99)),
+            CellCoord::new(0, 1, 3)
+        );
         // Exactly L clamps to the last cell rather than indexing out of range.
         assert_eq!(g.cell_of(Vec3::new(8.0, 8.0, 8.0)), CellCoord::new(3, 3, 3));
     }
@@ -294,7 +309,11 @@ mod tests {
         g.insert(Particle::at_rest(2, Vec3::new(1.2, 1.0, 1.0)));
         g.insert(Particle::at_rest(9, Vec3::new(0.2, 1.0, 1.0)));
         g.rebin();
-        let ids: Vec<u64> = g.cell(CellCoord::new(0, 0, 0)).iter().map(|p| p.id).collect();
+        let ids: Vec<u64> = g
+            .cell(CellCoord::new(0, 0, 0))
+            .iter()
+            .map(|p| p.id)
+            .collect();
         assert_eq!(ids, vec![2, 5, 9]);
     }
 

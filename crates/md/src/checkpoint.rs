@@ -82,9 +82,8 @@ impl Checkpoint {
             return Err(bad(&format!("bad header: `{header}`")));
         }
         let step: u64 = h[1].parse().map_err(|_| bad("bad step"))?;
-        let box_len = f64::from_bits(
-            u64::from_str_radix(h[3], 16).map_err(|_| bad("bad box bits"))?,
-        );
+        let box_len =
+            f64::from_bits(u64::from_str_radix(h[3], 16).map_err(|_| bad("bad box bits"))?);
         let n: usize = h[5].parse().map_err(|_| bad("bad count"))?;
         let mut particles = Vec::with_capacity(n);
         for line in lines {
@@ -99,9 +98,8 @@ impl Checkpoint {
             let id: u64 = f[0].parse().map_err(|_| bad("bad id"))?;
             let mut vals = [0f64; 6];
             for (k, s) in f[1..].iter().enumerate() {
-                vals[k] = f64::from_bits(
-                    u64::from_str_radix(s, 16).map_err(|_| bad("bad f64 bits"))?,
-                );
+                vals[k] =
+                    f64::from_bits(u64::from_str_radix(s, 16).map_err(|_| bad("bad f64 bits"))?);
             }
             particles.push(Particle {
                 id,
@@ -125,7 +123,8 @@ impl Checkpoint {
     /// Serialise to an in-memory string (small systems, tests).
     pub fn to_string_repr(&self) -> String {
         let mut buf = Vec::new();
-        self.write_to(&mut buf).expect("in-memory write cannot fail");
+        self.write_to(&mut buf)
+            .expect("in-memory write cannot fail");
         String::from_utf8(buf).expect("checkpoint text is ASCII")
     }
 }
@@ -194,8 +193,7 @@ mod tests {
         }
         let ck = Checkpoint::new(first.steps_done(), box_len, first.snapshot());
         let restored = Checkpoint::read_from(ck.to_string_repr().as_bytes()).expect("parse");
-        let mut second =
-            SerialSim::new(restored.particles, 3, restored.box_len, lj, 0.0025, th);
+        let mut second = SerialSim::new(restored.particles, 3, restored.box_len, lj, 0.0025, th);
         second.resume_at(restored.step);
         for _ in 0..20 {
             second.step();
@@ -218,8 +216,7 @@ mod tests {
         let bad_count = "pcdlb-checkpoint v1\nstep 0 box 4028000000000000 n 5\n";
         let e = Checkpoint::read_from(bad_count.as_bytes()).unwrap_err();
         assert!(e.to_string().contains("mismatch"), "{e}");
-        let bad_line =
-            "pcdlb-checkpoint v1\nstep 0 box 4028000000000000 n 1\n0 zz 0 0 0 0 0\n";
+        let bad_line = "pcdlb-checkpoint v1\nstep 0 box 4028000000000000 n 1\n0 zz 0 0 0 0 0\n";
         assert!(Checkpoint::read_from(bad_line.as_bytes()).is_err());
     }
 }

@@ -73,11 +73,7 @@ pub fn central_pull_energy(pos: Vec3, center: Vec3, k: f64) -> f64 {
 #[inline]
 pub fn corner_pull_force(pos: Vec3, box_len: f64, k: f64) -> Vec3 {
     let fold = |v: f64| if v > 0.5 * box_len { v - box_len } else { v };
-    Vec3::new(
-        -k * fold(pos.x),
-        -k * fold(pos.y),
-        -k * fold(pos.z),
-    )
+    Vec3::new(-k * fold(pos.x), -k * fold(pos.y), -k * fold(pos.z))
 }
 
 /// Potential energy of the corner well (minimum-image folded).
@@ -155,9 +151,7 @@ impl ExternalPull {
     pub fn force(&self, pos: Vec3, box_len: f64) -> Vec3 {
         match *self {
             ExternalPull::None => Vec3::ZERO,
-            ExternalPull::Center { k } => {
-                central_pull_force(pos, Vec3::splat(0.5 * box_len), k)
-            }
+            ExternalPull::Center { k } => central_pull_force(pos, Vec3::splat(0.5 * box_len), k),
             ExternalPull::Corner { k } => corner_pull_force(pos, box_len, k),
             ExternalPull::Point { k, frac } => {
                 let target = frac * box_len;
@@ -181,9 +175,7 @@ impl ExternalPull {
     pub fn energy(&self, pos: Vec3, box_len: f64) -> f64 {
         match *self {
             ExternalPull::None => 0.0,
-            ExternalPull::Center { k } => {
-                central_pull_energy(pos, Vec3::splat(0.5 * box_len), k)
-            }
+            ExternalPull::Center { k } => central_pull_energy(pos, Vec3::splat(0.5 * box_len), k),
             ExternalPull::Corner { k } => corner_pull_energy(pos, box_len, k),
             ExternalPull::Point { k, frac } => {
                 let target = frac * box_len;

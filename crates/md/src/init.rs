@@ -81,7 +81,10 @@ pub fn fcc(n: usize, box_len: f64) -> Vec<Particle> {
 /// `t_ref`. Deterministic for a given `seed`.
 pub fn maxwell_boltzmann(particles: &mut [Particle], t_ref: f64, seed: u64) {
     assert!(t_ref > 0.0, "temperature must be positive");
-    assert!(particles.len() > 1, "need at least two particles to thermalise");
+    assert!(
+        particles.len() > 1,
+        "need at least two particles to thermalise"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let std = t_ref.sqrt();
     for p in particles.iter_mut() {
@@ -217,7 +220,8 @@ mod tests {
         let vs: Vec<f64> = ps.iter().map(|p| p.vel.x).collect();
         let mean = vs.iter().sum::<f64>() / vs.len() as f64;
         let var = vs.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vs.len() as f64;
-        let kurt = vs.iter().map(|v| (v - mean).powi(4)).sum::<f64>() / vs.len() as f64 / (var * var);
+        let kurt =
+            vs.iter().map(|v| (v - mean).powi(4)).sum::<f64>() / vs.len() as f64 / (var * var);
         assert!((kurt - 3.0).abs() < 0.5, "kurtosis {kurt}");
     }
 }

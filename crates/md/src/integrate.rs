@@ -99,6 +99,10 @@ mod tests {
             let f2 = -(p.pos - center);
             kick(&mut p, f2, dt);
         }
-        assert!((energy(&p) - e0).abs() / e0 < 1e-4, "energy drifted: {} vs {e0}", energy(&p));
+        assert!(
+            (energy(&p) - e0).abs() / e0 < 1e-4,
+            "energy drifted: {} vs {e0}",
+            energy(&p)
+        );
     }
 }

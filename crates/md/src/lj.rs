@@ -106,7 +106,10 @@ mod tests {
             ..LennardJones::paper()
         };
         let rm = lj.r_min();
-        assert!((lj.energy_r2(rm * rm) + lj.epsilon).abs() < 1e-12, "V(r_min) = -ε");
+        assert!(
+            (lj.energy_r2(rm * rm) + lj.epsilon).abs() < 1e-12,
+            "V(r_min) = -ε"
+        );
         // Force crosses zero at the minimum.
         assert!(lj.force_over_r_r2(rm * rm).abs() < 1e-12);
         // Repulsive inside, attractive outside.

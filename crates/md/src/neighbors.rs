@@ -48,9 +48,8 @@ impl NeighborList {
             "box too small for cutoff + skin"
         );
         // Map particle id → slice index (ids may be sparse).
-        let index_of = |id: u64, ids: &[u64]| -> u32 {
-            ids.binary_search(&id).expect("own id") as u32
-        };
+        let index_of =
+            |id: u64, ids: &[u64]| -> u32 { ids.binary_search(&id).expect("own id") as u32 };
         let ids: Vec<u64> = particles.iter().map(|p| p.id).collect();
 
         let mut grid = CellGrid::new(nc, box_len);
@@ -99,15 +98,20 @@ impl NeighborList {
     /// build-time position (minimum-image), invalidating the list.
     pub fn needs_rebuild(&self, particles: &[Particle]) -> bool {
         let lim2 = (0.5 * self.skin) * (0.5 * self.skin);
-        particles.iter().zip(&self.ref_pos).any(|(p, r)| {
-            crate::analysis::minimum_image(p.pos, *r, self.box_len).norm2() > lim2
-        })
+        particles
+            .iter()
+            .zip(&self.ref_pos)
+            .any(|(p, r)| crate::analysis::minimum_image(p.pos, *r, self.box_len).norm2() > lim2)
     }
 
     /// Compute forces (and energy/virial counters) for the current
     /// positions using the stored pairs with minimum-image distances.
     /// Valid only while [`NeighborList::needs_rebuild`] is false.
-    pub fn compute_forces(&self, particles: &[Particle], lj: &LennardJones) -> (Vec<Vec3>, WorkCounters) {
+    pub fn compute_forces(
+        &self,
+        particles: &[Particle],
+        lj: &LennardJones,
+    ) -> (Vec<Vec3>, WorkCounters) {
         assert_eq!(particles.len(), self.ref_pos.len(), "particle set changed");
         let mut forces = vec![Vec3::ZERO; particles.len()];
         let mut w = WorkCounters::default();
@@ -171,8 +175,12 @@ mod tests {
         let net = forces.iter().fold(Vec3::ZERO, |a, f| a + *f);
         assert!(net.norm() < 1e-10, "net force {net:?}");
         // Half-list candidate count is far below the 27-cell search's.
-        assert!(w.pair_checks * 4 < ref_work.pair_checks,
-            "{} list checks vs {} cell checks", w.pair_checks, ref_work.pair_checks);
+        assert!(
+            w.pair_checks * 4 < ref_work.pair_checks,
+            "{} list checks vs {} cell checks",
+            w.pair_checks,
+            ref_work.pair_checks
+        );
     }
 
     #[test]
@@ -252,8 +260,12 @@ mod tests {
         let lj = LennardJones::paper();
         let sparse = NeighborList::build(&gas(100, 20.0, 5), 20.0, &lj, 0.5);
         let dense = NeighborList::build(&gas(800, 20.0, 5), 20.0, &lj, 0.5);
-        assert!(dense.num_pairs() > 30 * sparse.num_pairs() / 8,
-            "dense {} vs sparse {}", dense.num_pairs(), sparse.num_pairs());
+        assert!(
+            dense.num_pairs() > 30 * sparse.num_pairs() / 8,
+            "dense {} vs sparse {}",
+            dense.num_pairs(),
+            sparse.num_pairs()
+        );
     }
 
     #[test]

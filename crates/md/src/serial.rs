@@ -254,7 +254,14 @@ mod tests {
         let box_len = (n as f64 / rho).cbrt();
         let mut ps = init::simple_cubic(n, box_len);
         init::maxwell_boltzmann(&mut ps, 0.722, seed);
-        SerialSim::new(ps, nc, box_len, LennardJones::paper(), 0.0025, Thermostat::off())
+        SerialSim::new(
+            ps,
+            nc,
+            box_len,
+            LennardJones::paper(),
+            0.0025,
+            Thermostat::off(),
+        )
     }
 
     #[test]
@@ -289,10 +296,7 @@ mod tests {
         for _ in 0..50 {
             sim.step();
         }
-        let total = sim
-            .snapshot()
-            .iter()
-            .fold(Vec3::ZERO, |acc, p| acc + p.vel);
+        let total = sim.snapshot().iter().fold(Vec3::ZERO, |acc, p| acc + p.vel);
         assert!(total.norm() < 1e-9, "net momentum {total:?}");
     }
 
@@ -307,7 +311,10 @@ mod tests {
             box_len,
             LennardJones::paper(),
             0.0025,
-            Thermostat { t_ref: 0.722, interval: 10 },
+            Thermostat {
+                t_ref: 0.722,
+                interval: 10,
+            },
         );
         let mut info = sim.step();
         for _ in 0..30 {
@@ -318,7 +325,11 @@ mod tests {
             info = sim.step();
         }
         assert!(info.rescaled);
-        assert!((info.temperature - 0.722).abs() < 1e-9, "T = {}", info.temperature);
+        assert!(
+            (info.temperature - 0.722).abs() < 1e-9,
+            "T = {}",
+            info.temperature
+        );
     }
 
     #[test]
@@ -329,7 +340,12 @@ mod tests {
         assert!(a.pair_checks > 0);
         // One step at dt=0.0025 barely moves particles: counts are close.
         let rel = (a.pair_checks as f64 - b.pair_checks as f64).abs() / a.pair_checks as f64;
-        assert!(rel < 0.2, "pair checks jumped: {} → {}", a.pair_checks, b.pair_checks);
+        assert!(
+            rel < 0.2,
+            "pair checks jumped: {} → {}",
+            a.pair_checks,
+            b.pair_checks
+        );
     }
 
     #[test]
@@ -360,14 +376,7 @@ mod tests {
         let lj = LennardJones::paper();
         let p0 = Particle::at_rest(0, Vec3::new(5.5, 6.0, 6.0));
         let p1 = Particle::at_rest(1, Vec3::new(7.0, 6.0, 6.0));
-        let mut sim = SerialSim::new(
-            vec![p0, p1],
-            3,
-            box_len,
-            lj,
-            0.001,
-            Thermostat::off(),
-        );
+        let mut sim = SerialSim::new(vec![p0, p1], 3, box_len, lj, 0.001, Thermostat::off());
         // Direct reference.
         let mut q = [p0, p1];
         let force_pair = |a: &Particle, b: &Particle| {
@@ -388,7 +397,10 @@ mod tests {
         }
         let snap = sim.snapshot();
         for i in 0..2 {
-            assert!((snap[i].pos - q[i].pos).norm() < 1e-12, "particle {i} diverged");
+            assert!(
+                (snap[i].pos - q[i].pos).norm() < 1e-12,
+                "particle {i} diverged"
+            );
             assert!((snap[i].vel - q[i].vel).norm() < 1e-12);
         }
     }

@@ -1,0 +1,202 @@
+//! Model-checking hooks: controlled message-delivery scheduling.
+//!
+//! Only compiled with the `check` feature. The real network delivers each
+//! rank's incoming messages in some arrival order the program cannot
+//! control; a correct SPMD program must compute the same result under
+//! *every* such order. This module makes the arrival order a first-class,
+//! replayable choice:
+//!
+//! - [`Comm`](crate::Comm) (in `check` builds) parks arrived messages in
+//!   per-source FIFO streams instead of a single arrival queue;
+//! - whenever the rank needs a message delivered, the installed
+//!   [`DeliveryPolicy`] picks which stream's head message "arrives" next;
+//! - per-source FIFO order is always preserved (real links do not reorder),
+//!   so every policy run is a *legal* network behaviour — only the
+//!   cross-source interleaving varies.
+//!
+//! Policies record a [`ChoiceTrace`] of `(arity, taken)` pairs. An
+//! explorer (see the `pcdlb-check` crate) runs the same program under many
+//! traces — replayed prefixes for systematic DFS, seeded pseudo-random
+//! tails for breadth — and asserts that an observable digest of the final
+//! state is identical across all of them.
+//!
+//! Note on what is and is not controlled: the *set* of messages buffered
+//! at a choice point still depends on real thread timing (a slow sender's
+//! message may not have physically arrived yet). Every choice sequence is
+//! therefore a valid interleaving, but replaying a prefix is best-effort:
+//! [`ReplayPolicy`] clamps an out-of-range prefix choice instead of
+//! failing, and the explorer deduplicates runs by their *observed* traces.
+
+use std::sync::{Arc, Mutex};
+
+use crate::comm::Tag;
+
+/// One deliverable message at a choice point: the head of source `src`'s
+/// stream, carrying `tag`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Sending rank.
+    pub src: usize,
+    /// Wire tag of the stream-head message.
+    pub tag: Tag,
+}
+
+/// One recorded delivery decision: how many candidates were available and
+/// which index was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChoicePoint {
+    /// Number of candidates offered (≥ 1).
+    pub arity: usize,
+    /// Index chosen, `< arity`.
+    pub taken: usize,
+}
+
+/// A rank's full sequence of delivery decisions for one run.
+pub type ChoiceTrace = Vec<ChoicePoint>;
+
+/// Shared handle through which a policy's recorded trace is read after
+/// the world has finished.
+pub type TraceHandle = Arc<Mutex<ChoiceTrace>>;
+
+/// Decides, at each delivery point of one rank, which buffered message
+/// arrives next. `candidates` is non-empty and ordered by source rank.
+pub trait DeliveryPolicy: Send {
+    /// Return the index into `candidates` to deliver.
+    fn choose(&mut self, rank: usize, candidates: &[Candidate]) -> usize;
+}
+
+/// Deterministic-first policy with an optional replay prefix: choice `i`
+/// takes `prefix[i]` (clamped to the arity) while the prefix lasts, then
+/// index 0 — i.e. the lowest-source candidate. Records every decision.
+pub struct ReplayPolicy {
+    prefix: Vec<usize>,
+    trace: TraceHandle,
+}
+
+impl ReplayPolicy {
+    /// A policy replaying `prefix`, plus the handle its trace can be read
+    /// back through.
+    pub fn new(prefix: Vec<usize>) -> (Self, TraceHandle) {
+        let trace: TraceHandle = Arc::new(Mutex::new(Vec::new()));
+        (
+            Self {
+                prefix,
+                trace: Arc::clone(&trace),
+            },
+            trace,
+        )
+    }
+}
+
+impl DeliveryPolicy for ReplayPolicy {
+    fn choose(&mut self, _rank: usize, candidates: &[Candidate]) -> usize {
+        let mut trace = self.trace.lock().expect("trace lock");
+        let step = trace.len();
+        let want = self.prefix.get(step).copied().unwrap_or(0);
+        let taken = want.min(candidates.len() - 1);
+        trace.push(ChoicePoint {
+            arity: candidates.len(),
+            taken,
+        });
+        taken
+    }
+}
+
+/// Pseudo-random policy (splitmix64 stream): uniform choice among the
+/// candidates. Different seeds explore different interleavings; the same
+/// seed with the same physical arrival pattern repeats its decisions.
+pub struct SeededPolicy {
+    state: u64,
+    trace: TraceHandle,
+}
+
+impl SeededPolicy {
+    /// A policy drawing from `seed`, plus its trace handle.
+    pub fn new(seed: u64) -> (Self, TraceHandle) {
+        let trace: TraceHandle = Arc::new(Mutex::new(Vec::new()));
+        (
+            Self {
+                // Avoid the all-zero fixed point and decorrelate seeds.
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+                trace: Arc::clone(&trace),
+            },
+            trace,
+        )
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl DeliveryPolicy for SeededPolicy {
+    fn choose(&mut self, _rank: usize, candidates: &[Candidate]) -> usize {
+        let taken = (self.next_u64() % candidates.len() as u64) as usize;
+        self.trace.lock().expect("trace lock").push(ChoicePoint {
+            arity: candidates.len(),
+            taken,
+        });
+        taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cands(srcs: &[usize]) -> Vec<Candidate> {
+        srcs.iter().map(|&src| Candidate { src, tag: 0 }).collect()
+    }
+
+    #[test]
+    fn replay_follows_prefix_then_defaults_to_zero() {
+        let (mut p, trace) = ReplayPolicy::new(vec![1, 2]);
+        assert_eq!(p.choose(0, &cands(&[3, 5])), 1);
+        assert_eq!(p.choose(0, &cands(&[3, 5, 7])), 2);
+        assert_eq!(p.choose(0, &cands(&[3, 5])), 0, "past prefix → first");
+        let t = trace.lock().unwrap();
+        assert_eq!(
+            *t,
+            vec![
+                ChoicePoint { arity: 2, taken: 1 },
+                ChoicePoint { arity: 3, taken: 2 },
+                ChoicePoint { arity: 2, taken: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn replay_clamps_out_of_range_prefix_entries() {
+        let (mut p, trace) = ReplayPolicy::new(vec![9]);
+        assert_eq!(p.choose(0, &cands(&[1, 2])), 1, "clamped to arity − 1");
+        assert_eq!(trace.lock().unwrap()[0].taken, 1);
+    }
+
+    #[test]
+    fn seeded_policy_is_reproducible_and_in_range() {
+        let (mut a, _) = SeededPolicy::new(42);
+        let (mut b, _) = SeededPolicy::new(42);
+        for n in [2usize, 3, 5, 4, 2, 7] {
+            let c = cands(&(0..n).collect::<Vec<_>>());
+            let ca = a.choose(0, &c);
+            assert_eq!(ca, b.choose(0, &c));
+            assert!(ca < n);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let (mut a, ta) = SeededPolicy::new(1);
+        let (mut b, tb) = SeededPolicy::new(2);
+        for _ in 0..32 {
+            let c = cands(&[0, 1, 2, 3]);
+            a.choose(0, &c);
+            b.choose(0, &c);
+        }
+        assert_ne!(*ta.lock().unwrap(), *tb.lock().unwrap());
+    }
+}

@@ -16,10 +16,14 @@ use crate::comm::{Comm, Tag};
 use crate::wire::WireSize;
 
 /// Collective tags live above this bit so they cannot collide with
-/// application tags (which the simulator keeps below it).
-const COLLECTIVE_BIT: Tag = 1 << 62;
+/// application tags (which the simulator keeps below it). Public so the
+/// `pcdlb-check` static verifier can model the collective tag namespace
+/// exactly as it exists on the wire.
+pub const COLLECTIVE_BIT: Tag = 1 << 62;
 
-fn ctag(tag: Tag, round: u64) -> Tag {
+/// The wire tag of round `round` of a collective using application tag
+/// `tag` — the namespacing rule the verifier must share.
+pub fn ctag(tag: Tag, round: u64) -> Tag {
     // Rounds of one collective call are separated by the round number;
     // successive collective calls reusing the same `tag` are safe because
     // per-(src,dst) delivery is FIFO and every rank participates in every
@@ -228,9 +232,8 @@ mod tests {
     #[test]
     fn reduce_sums_to_root_only() {
         for p in [1, 2, 5, 8, 13, 36] {
-            let out = World::new(p).run(|comm| {
-                reduce(comm, 2, (comm.rank() + 1) as u64, |a, b| a + b)
-            });
+            let out =
+                World::new(p).run(|comm| reduce(comm, 2, (comm.rank() + 1) as u64, |a, b| a + b));
             let expect: u64 = (1..=p as u64).sum();
             assert_eq!(out[0], Some(expect), "p={p}");
             assert!(out[1..].iter().all(Option::is_none));
@@ -241,7 +244,11 @@ mod tests {
     fn bcast_delivers_to_all() {
         for p in [1, 2, 3, 6, 9, 17] {
             let out = World::new(p).run(|comm| {
-                let v = if comm.rank() == 0 { Some(vec![1u8, 2, 3]) } else { None };
+                let v = if comm.rank() == 0 {
+                    Some(vec![1u8, 2, 3])
+                } else {
+                    None
+                };
                 bcast(comm, 3, v)
             });
             assert!(out.into_iter().all(|v| v == vec![1, 2, 3]), "p={p}");
@@ -311,8 +318,7 @@ mod tests {
         let out = World::new(1).run(|comm| {
             barrier(comm, 0);
             let s = allreduce(comm, 1, 41u64, |a, b| a + b);
-            let g = allgather(comm, 2, s + 1);
-            g
+            allgather(comm, 2, s + 1)
         });
         assert_eq!(out[0], vec![42]);
     }
@@ -326,9 +332,8 @@ mod scan_tests {
     #[test]
     fn scan_computes_prefix_sums() {
         for p in [1, 2, 5, 9] {
-            let out = World::new(p).run(|comm| {
-                scan(comm, 40, (comm.rank() + 1) as u64, |a, b| a + b)
-            });
+            let out =
+                World::new(p).run(|comm| scan(comm, 40, (comm.rank() + 1) as u64, |a, b| a + b));
             for (r, got) in out.into_iter().enumerate() {
                 let expect: u64 = (1..=r as u64 + 1).sum();
                 assert_eq!(got, expect, "rank {r} of {p}");
@@ -343,9 +348,7 @@ mod scan_tests {
         let p = 6;
         let vals: Vec<f64> = (0..p).map(|i| 0.1 * (i as f64 + 1.0)).collect();
         let vals2 = vals.clone();
-        let out = World::new(p).run(move |comm| {
-            scan(comm, 41, vals[comm.rank()], |a, b| a + b)
-        });
+        let out = World::new(p).run(move |comm| scan(comm, 41, vals[comm.rank()], |a, b| a + b));
         let mut acc = 0.0;
         for (r, v) in vals2.iter().enumerate() {
             acc = if r == 0 { *v } else { acc + *v };

@@ -84,8 +84,14 @@ mod tests {
         let m = CostModel::t3e(None);
         let t_small = m.message_time(0, 1, 8);
         let t_large = m.message_time(0, 1, 8_000_000);
-        assert!(t_small < 11e-6, "8-byte message should cost ~latency, got {t_small}");
-        assert!(t_large > 0.02, "8 MB at 300 MB/s should cost >20 ms, got {t_large}");
+        assert!(
+            t_small < 11e-6,
+            "8-byte message should cost ~latency, got {t_small}"
+        );
+        assert!(
+            t_large > 0.02,
+            "8 MB at 300 MB/s should cost >20 ms, got {t_large}"
+        );
     }
 
     #[test]
@@ -103,6 +109,9 @@ mod tests {
         let m = CostModel::t3e(None);
         let t1 = m.message_time(0, 1, 1000);
         let t2 = m.message_time(0, 1, 2000);
-        assert!((2.0 * (t1 - m.latency_s - m.per_hop_s) - (t2 - m.latency_s - m.per_hop_s)).abs() < 1e-15);
+        assert!(
+            (2.0 * (t1 - m.latency_s - m.per_hop_s) - (t2 - m.latency_s - m.per_hop_s)).abs()
+                < 1e-15
+        );
     }
 }

@@ -7,7 +7,8 @@
 //! broadcast, gather, allreduce) built *on top of* point-to-point, exactly
 //! as they would be on a distributed-memory machine.
 //!
-//! Each rank runs as an OS thread; messages travel over crossbeam channels.
+//! Each rank runs as an OS thread; messages travel over the in-tree
+//! [`channel`] module's unbounded MPMC channels.
 //! Because every receive names its source and tag, the data flow of a
 //! program written against this crate is deterministic regardless of how
 //! the OS schedules the threads.
@@ -34,6 +35,9 @@
 //! assert_eq!(sums, vec![10, 10, 10, 10]);
 //! ```
 
+pub mod channel;
+#[cfg(feature = "check")]
+pub mod check;
 pub mod collectives;
 pub mod comm;
 pub mod cost;

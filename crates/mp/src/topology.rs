@@ -38,7 +38,11 @@ impl Torus2d {
     /// square-pillar decomposition requires (`m = C^(1/3) / P^(1/2)`).
     pub fn square(p: usize) -> Self {
         let side = (p as f64).sqrt().round() as usize;
-        assert_eq!(side * side, p, "square torus needs a perfect-square rank count, got {p}");
+        assert_eq!(
+            side * side,
+            p,
+            "square torus needs a perfect-square rank count, got {p}"
+        );
         Self::new(side, side)
     }
 
@@ -98,7 +102,11 @@ impl Torus2d {
     /// The distinct members of `rank`'s 8-neighbourhood, excluding `rank`,
     /// in ascending rank order.
     pub fn distinct_neighbors8(&self, rank: usize) -> Vec<usize> {
-        let mut v: Vec<usize> = self.neighbors8(rank).into_iter().filter(|&r| r != rank).collect();
+        let mut v: Vec<usize> = self
+            .neighbors8(rank)
+            .into_iter()
+            .filter(|&r| r != rank)
+            .collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -170,14 +178,20 @@ impl Torus3d {
     pub fn hops(&self, a: usize, b: usize) -> usize {
         let (ax, ay, az) = self.coords(a);
         let (bx, by, bz) = self.coords(b);
-        wrapped_dist(ax, bx, self.nx) + wrapped_dist(ay, by, self.ny) + wrapped_dist(az, bz, self.nz)
+        wrapped_dist(ax, bx, self.nx)
+            + wrapped_dist(ay, by, self.ny)
+            + wrapped_dist(az, bz, self.nz)
     }
 
     /// A cubic torus of side `k` (the cube-domain decomposition's PE
     /// arrangement); `p` must be a perfect cube.
     pub fn cube(p: usize) -> Self {
         let k = (p as f64).cbrt().round() as usize;
-        assert_eq!(k * k * k, p, "cubic torus needs a perfect-cube rank count, got {p}");
+        assert_eq!(
+            k * k * k,
+            p,
+            "cubic torus needs a perfect-cube rank count, got {p}"
+        );
         Self::new(k, k, k)
     }
 

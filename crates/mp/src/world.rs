@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam::channel::unbounded;
+use crate::channel::unbounded;
 
 use crate::comm::{Comm, Envelope};
 use crate::cost::CostModel;
@@ -54,6 +54,31 @@ impl World {
         R: Send,
         F: Fn(&mut Comm) -> R + Sync,
     {
+        self.run_inner(f, |_comm| {})
+    }
+
+    /// Like [`World::run`], but installs a [`crate::check::DeliveryPolicy`]
+    /// on each rank before the program starts: `policy_for_rank(rank)` is
+    /// called once per rank on that rank's thread. The policy then controls
+    /// the cross-source message-delivery order the rank observes.
+    #[cfg(feature = "check")]
+    pub fn run_with_delivery<R, F, P>(&self, policy_for_rank: P, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+        P: Fn(usize) -> Box<dyn crate::check::DeliveryPolicy> + Sync,
+    {
+        self.run_inner(f, |comm| {
+            comm.set_delivery_policy(policy_for_rank(comm.rank()));
+        })
+    }
+
+    fn run_inner<R, F, S>(&self, f: F, setup: S) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+        S: Fn(&mut Comm) + Sync,
+    {
         let epoch = Instant::now();
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..self.size).map(|_| unbounded::<Envelope>()).unzip();
@@ -68,13 +93,14 @@ impl World {
                     let senders = senders.clone();
                     let model = self.model;
                     let f = &f;
+                    let setup = &setup;
                     let abort = Arc::clone(&abort);
                     scope.spawn(move || {
                         let mut comm =
                             Comm::new(rank, senders, rx, model, epoch, Arc::clone(&abort));
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                            || f(&mut comm),
-                        ));
+                        setup(&mut comm);
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
                         if result.is_err() {
                             // Wake every rank blocked on this rank's output.
                             abort.store(true, Ordering::SeqCst);

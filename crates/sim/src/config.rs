@@ -214,9 +214,13 @@ impl RunConfig {
                 },
             }
         } else if self.pull_corner {
-            pcdlb_md::force::ExternalPull::Corner { k: self.central_pull }
+            pcdlb_md::force::ExternalPull::Corner {
+                k: self.central_pull,
+            }
         } else {
-            pcdlb_md::force::ExternalPull::Center { k: self.central_pull }
+            pcdlb_md::force::ExternalPull::Center {
+                k: self.central_pull,
+            }
         }
     }
 

@@ -79,7 +79,12 @@ pub fn validate_cube(cfg: &RunConfig) {
     assert!(cfg.n_particles > 1 && cfg.density > 0.0 && cfg.t_ref > 0.0);
     assert!(cfg.dt > 0.0 && cfg.steps > 0);
     let k = (cfg.p as f64).cbrt().round() as usize;
-    assert_eq!(k * k * k, cfg.p, "cube decomposition needs P = k³, got {}", cfg.p);
+    assert_eq!(
+        k * k * k,
+        cfg.p,
+        "cube decomposition needs P = k³, got {}",
+        cfg.p
+    );
     assert!(
         cfg.nc.is_multiple_of(k),
         "nc = {} must be a multiple of k = {k}",
@@ -91,13 +96,19 @@ pub fn validate_cube(cfg: &RunConfig) {
         cfg.cell_len(),
         cfg.lj.rcut
     );
-    assert!(k >= 2, "cube decomposition needs at least 2 blocks per axis");
+    assert!(
+        k >= 2,
+        "cube decomposition needs at least 2 blocks per axis"
+    );
     let s = cfg.nc / k;
     assert!(
         !(k == 2 && s == 1),
         "nc = 2 with k = 2 makes a halo slot ambiguous; use nc >= 4"
     );
-    assert!(!cfg.dlb, "the cube decomposition is DDM-only (see module docs)");
+    assert!(
+        !cfg.dlb,
+        "the cube decomposition is DDM-only (see module docs)"
+    );
 }
 
 struct CubePe {

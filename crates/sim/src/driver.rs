@@ -24,7 +24,11 @@ pub fn run_with_snapshot(cfg: &RunConfig) -> (RunReport, Vec<Particle>) {
 fn run_inner(cfg: &RunConfig, want_snapshot: bool) -> (RunReport, Option<Vec<Particle>>) {
     cfg.validate();
     let world = World::new(cfg.p).with_cost_model(CostModel::t3e(Some(cfg.torus())));
-    let mut results: Vec<PeResult> = world.run(|comm| pe_main(comm, cfg, want_snapshot));
+    let results: Vec<PeResult> = world.run(|comm| pe_main(comm, cfg, want_snapshot));
+    assemble(results)
+}
+
+fn assemble(mut results: Vec<PeResult>) -> (RunReport, Option<Vec<Particle>>) {
     let comm_virtual: f64 = results.iter().map(|r| r.comm_stats.virtual_comm_s).sum();
     let msgs: u64 = results.iter().map(|r| r.comm_stats.msgs_sent).sum();
     let bytes: u64 = results.iter().map(|r| r.comm_stats.bytes_sent).sum();
@@ -34,6 +38,29 @@ fn run_inner(cfg: &RunConfig, want_snapshot: bool) -> (RunReport, Option<Vec<Par
     report.msgs_sent = msgs;
     report.bytes_sent = bytes;
     (report, rank0.snapshot)
+}
+
+/// Run a configuration under a controlled message-delivery schedule
+/// (`check` feature) and return the determinism digest of the outcome —
+/// see [`crate::digest`]. `policy_for_rank` builds each rank's
+/// [`DeliveryPolicy`](pcdlb_mp::check::DeliveryPolicy); the interleaving
+/// explorer in `pcdlb-check` calls this with many schedules and asserts
+/// every returned digest is identical.
+#[cfg(feature = "check")]
+pub fn run_digest_with_policy<P>(cfg: &RunConfig, policy_for_rank: P) -> u64
+where
+    P: Fn(usize) -> Box<dyn pcdlb_mp::check::DeliveryPolicy> + Sync,
+{
+    cfg.validate();
+    let world = World::new(cfg.p).with_cost_model(CostModel::t3e(Some(cfg.torus())));
+    let results: Vec<PeResult> =
+        world.run_with_delivery(policy_for_rank, |comm| pe_main(comm, cfg, true));
+    let (report, snapshot) = assemble(results);
+    crate::digest::digest_run(
+        &report,
+        &snapshot.expect("snapshot requested"),
+        cfg.load_metric,
+    )
 }
 
 /// Run the serial reference simulator on the same configuration,

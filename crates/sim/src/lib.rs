@@ -14,6 +14,7 @@
 
 pub mod config;
 pub mod cube;
+pub mod digest;
 pub mod driver;
 pub mod pe;
 pub mod plane;
@@ -21,5 +22,6 @@ pub mod report;
 mod stats;
 
 pub use config::{Lattice, LoadMetric, RunConfig};
+pub use digest::{digest_particles, digest_report, digest_run};
 pub use driver::{run, run_serial, run_with_snapshot, serial_sim};
 pub use report::{RunReport, StepRecord};

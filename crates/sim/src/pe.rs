@@ -38,21 +38,13 @@ use pcdlb_md::{init, Particle};
 use pcdlb_mp::{collectives, Comm};
 
 use crate::config::{Lattice, LoadMetric, RunConfig};
-use crate::stats::StatsPacket;
 use crate::report::{RunReport, StepRecord};
+use crate::stats::StatsPacket;
 
-mod tags {
-    pub const LOAD: u64 = 1;
-    pub const DECISION: u64 = 2;
-    pub const CELL_XFER: u64 = 3;
-    pub const MIGRATE: u64 = 4;
-    pub const GHOST: u64 = 5;
-    // Collective tags (separate namespace inside the collectives module).
-    pub const KE_GATHER: u64 = 10;
-    pub const KE_BCAST: u64 = 11;
-    // 12 is the stats gather (crate::stats::TAG_STATS).
-    pub const SNAPSHOT: u64 = 13;
-}
+// Wire tags live next to the protocol rules in `pcdlb-core`, where the
+// static verifier (`pcdlb-check`) reads the same table this simulator
+// sends with.
+use pcdlb_core::protocol::tags;
 
 /// Per-cell particle lists of one column, indexed by the z cell index;
 /// each list sorted by particle id.
@@ -308,9 +300,12 @@ impl PeState {
             self.rank,
             p.id
         );
-        self.columns
-            .get_mut(&col)
-            .unwrap_or_else(|| panic!("rank {}: missing storage for owned column {col:?}", self.rank))[cz]
+        self.columns.get_mut(&col).unwrap_or_else(|| {
+            panic!(
+                "rank {}: missing storage for owned column {col:?}",
+                self.rank
+            )
+        })[cz]
             .push(p);
     }
 
@@ -366,7 +361,10 @@ impl PeState {
         // receive columns granted to us (ordered by sender rank).
         for d in &decisions {
             if d.from == self.rank {
-                let cells = self.columns.remove(&d.col).expect("sender owns the column data");
+                let cells = self
+                    .columns
+                    .remove(&d.col)
+                    .expect("sender owns the column data");
                 self.forces.remove(&d.col);
                 let mut flat: Vec<Particle> = cells.into_iter().flatten().collect();
                 flat.sort_unstable_by_key(|p| p.id);
@@ -412,8 +410,7 @@ impl PeState {
                 .unwrap_or_default()
                 .into_iter()
                 .map(|c| {
-                    let flat: Vec<Particle> =
-                        self.columns[&c].iter().flatten().copied().collect();
+                    let flat: Vec<Particle> = self.columns[&c].iter().flatten().copied().collect();
                     (c, flat)
                 })
                 .collect();
@@ -448,7 +445,10 @@ impl PeState {
         // Rebuild aligned force arrays.
         let mut forces: BTreeMap<Col, Vec<Vec<Vec3>>> = BTreeMap::new();
         for (col, cells) in &self.columns {
-            forces.insert(*col, cells.iter().map(|c| vec![Vec3::ZERO; c.len()]).collect());
+            forces.insert(
+                *col,
+                cells.iter().map(|c| vec![Vec3::ZERO; c.len()]).collect(),
+            );
         }
         let nc = self.nc;
         let box_len = self.box_len;
@@ -556,7 +556,13 @@ impl PeState {
     }
 
     /// Phase 8: gather per-PE statistics; rank 0 assembles the record.
-    fn collect_stats(&mut self, comm: &mut Comm, step: u64, transferred: u64, wall_s: f64) -> Option<StepRecord> {
+    fn collect_stats(
+        &mut self,
+        comm: &mut Comm,
+        step: u64,
+        transferred: u64,
+        wall_s: f64,
+    ) -> Option<StepRecord> {
         let comm_virtual = comm.stats().virtual_comm_s;
         let comm_delta = comm_virtual - self.last_comm_virtual;
         self.last_comm_virtual = comm_virtual;
@@ -727,7 +733,10 @@ mod tests {
         for (di, dj) in [(0i64, 0i64), (-1, 0), (1, 1), (0, -1)] {
             let rank = l.torus().rank_wrapped(1 + di, 1 + dj);
             let col = l.tile_origin(rank);
-            assert!(pe.in_window(col), "tile delta ({di},{dj}) should be in window");
+            assert!(
+                pe.in_window(col),
+                "tile delta ({di},{dj}) should be in window"
+            );
         }
         // Tile (3,3) is two steps away on a 4×4 torus: out of window.
         let far = l.tile_origin(l.torus().rank_wrapped(3, 3));
@@ -747,9 +756,9 @@ mod tests {
         assert_ne!(p1, p3);
         // Cluster really is confined to the corner.
         let half = 0.5 * b.box_len();
-        assert!(p3.iter().all(|q| q.pos.x < half + 1e-9
-            && q.pos.y < half + 1e-9
-            && q.pos.z < half + 1e-9));
+        assert!(p3
+            .iter()
+            .all(|q| q.pos.x < half + 1e-9 && q.pos.y < half + 1e-9 && q.pos.z < half + 1e-9));
     }
 
     #[test]

@@ -388,7 +388,10 @@ impl PlanePe {
         let pull = self.cfg.pull();
         let mut forces: BTreeMap<usize, Vec<Vec<Vec3>>> = BTreeMap::new();
         for (cx, plane) in &self.planes {
-            forces.insert(*cx, plane.iter().map(|c| vec![Vec3::ZERO; c.len()]).collect());
+            forces.insert(
+                *cx,
+                plane.iter().map(|c| vec![Vec3::ZERO; c.len()]).collect(),
+            );
         }
         for (cx, plane) in &self.planes {
             let fplane = forces.get_mut(cx).expect("aligned");

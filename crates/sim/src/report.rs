@@ -3,14 +3,16 @@
 //! These are the quantities the paper plots: per-step execution time `Tt`
 //! and the force-time spread `Fmax/Fave/Fmin` (Figs. 5–6), the
 //! concentration trajectory `(n, C₀/C)` (Fig. 9), plus energies and DLB
-//! activity for diagnostics. Serde derives allow dumping reports for
-//! external plotting.
+//! activity for diagnostics. [`RunReport::to_tsv`] dumps reports as
+//! tab-separated text for external plotting — like the checkpoint format
+//! in `pcdlb-md`, the dump is hand-rolled so the workspace carries no
+//! serialisation dependency.
 
 use pcdlb_core::metrics::ConcentrationPoint;
-use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 /// One time step's measurements, assembled on rank 0 from all PEs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepRecord {
     /// Step number (1-based).
     pub step: u64,
@@ -62,7 +64,7 @@ impl StepRecord {
 }
 
 /// A whole run's results (rank 0's view).
-#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RunReport {
     /// One record per completed step.
     pub records: Vec<StepRecord>,
@@ -92,6 +94,45 @@ impl RunReport {
         let slice = &self.records[from.min(self.records.len())..to.min(self.records.len())];
         assert!(!slice.is_empty(), "empty step range");
         slice.iter().map(|r| r.t_step).sum::<f64>() / slice.len() as f64
+    }
+
+    /// Dump the per-step records as tab-separated text with a header row
+    /// (one column per [`StepRecord`] field) followed by run totals as
+    /// `# key value` comment lines. Floats use `{:?}` so the round-trip
+    /// through text is lossless for plotting scripts that re-parse it.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "step\tt_step\tf_max\tf_ave\tf_min\twall_s\tpair_checks\t\
+             c0_over_c\tn_factor\tmax_cells\ttransfers\tkinetic\t\
+             potential\ttemperature\n",
+        );
+        for r in &self.records {
+            writeln!(
+                out,
+                "{}\t{:?}\t{:?}\t{:?}\t{:?}\t{:?}\t{}\t{:?}\t{:?}\t{}\t{}\t{:?}\t{:?}\t{:?}",
+                r.step,
+                r.t_step,
+                r.f_max,
+                r.f_ave,
+                r.f_min,
+                r.wall_s,
+                r.pair_checks,
+                r.c0_over_c,
+                r.n_factor,
+                r.max_cells,
+                r.transfers,
+                r.kinetic,
+                r.potential,
+                r.temperature
+            )
+            .expect("writing to String cannot fail");
+        }
+        writeln!(out, "# comm_virtual_s {:?}", self.comm_virtual_s).unwrap();
+        writeln!(out, "# msgs_sent {}", self.msgs_sent).unwrap();
+        writeln!(out, "# bytes_sent {}", self.bytes_sent).unwrap();
+        writeln!(out, "# wall_s {:?}", self.wall_s).unwrap();
+        out
     }
 }
 
@@ -133,6 +174,22 @@ mod tests {
         assert_eq!(rep.concentration_trajectory()[2].step, 3);
         let m = rep.mean_t_step(0, 5);
         assert!((m - (0.1 + 0.2 + 0.3 + 0.4 + 0.5) / 5.0 - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tsv_dump_has_header_rows_and_totals() {
+        let rep = RunReport {
+            records: (1..=3).map(|s| rec(s, 0.1 * s as f64, 0.05)).collect(),
+            msgs_sent: 7,
+            ..Default::default()
+        };
+        let tsv = rep.to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert!(lines[0].starts_with("step\tt_step\t"));
+        assert_eq!(lines[0].split('\t').count(), 14);
+        assert_eq!(lines.len(), 1 + 3 + 4);
+        assert_eq!(lines[1].split('\t').count(), 14);
+        assert!(lines.contains(&"# msgs_sent 7"));
     }
 
     #[test]

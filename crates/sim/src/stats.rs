@@ -6,15 +6,12 @@
 //! from.
 
 use pcdlb_core::metrics::{concentration_point, PeCellStats};
+use pcdlb_core::protocol::tags;
 use pcdlb_md::observe;
 use pcdlb_mp::{collectives, Comm, WireSize};
 
 use crate::config::{LoadMetric, RunConfig};
 use crate::report::StepRecord;
-
-/// Collective tag for the stats gather (shared namespace with the other
-/// collective tags in `pe::tags`).
-pub(crate) const TAG_STATS: u64 = 12;
 
 /// One rank's contribution to a step record.
 #[derive(Debug, Clone, Copy)]
@@ -46,7 +43,7 @@ pub(crate) fn collect_step_record(
     packet: StatsPacket,
     wall_s: f64,
 ) -> Option<StepRecord> {
-    let gathered = collectives::gather(comm, TAG_STATS, packet)?;
+    let gathered = collectives::gather(comm, tags::STATS, packet)?;
 
     let load = |s: &StatsPacket| match cfg.load_metric {
         LoadMetric::WorkModel { .. } => s.force_virtual,

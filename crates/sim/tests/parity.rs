@@ -127,7 +127,10 @@ fn central_pull_driver_preserves_parity() {
     // The pull concentrates particles: empty-cell fraction grows.
     let first = report.records.first().unwrap().c0_over_c;
     let last = report.records.last().unwrap().c0_over_c;
-    assert!(last >= first, "C0/C should not shrink under the pull: {first} → {last}");
+    assert!(
+        last >= first,
+        "C0/C should not shrink under the pull: {first} → {last}"
+    );
 }
 
 #[test]
@@ -144,5 +147,8 @@ fn imbalanced_start_triggers_transfers_and_stays_correct() {
     let serial = run_serial(&cfg);
     assert_bitwise_equal(&snap, &serial);
     let transfers: u32 = report.records.iter().map(|r| r.transfers).sum();
-    assert!(transfers > 0, "expected DLB activity on an imbalanced start");
+    assert!(
+        transfers > 0,
+        "expected DLB activity on an imbalanced start"
+    );
 }

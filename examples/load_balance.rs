@@ -20,7 +20,8 @@ fn main() {
 
     println!(
         "Clustered start: {} particles packed into the corner 45% of a {}-cell box, 9 PEs (m = 3).",
-        cfg.n_particles, cfg.total_cells()
+        cfg.n_particles,
+        cfg.total_cells()
     );
     println!(
         "The DLB limit allows a PE to grow to {:.2}× its initial cells (paper Fig. 4: m = 3 → ~2.3×).\n",

@@ -20,7 +20,10 @@ fn check(label: &str, snap: &[Particle], reference: &[Particle], rep: &RunReport
             .iter()
             .zip(reference)
             .all(|(a, b)| a.id == b.id && a.pos == b.pos && a.vel == b.vel);
-    assert!(identical, "{label}: trajectory diverged from the serial reference!");
+    assert!(
+        identical,
+        "{label}: trajectory diverged from the serial reference!"
+    );
     let steps = rep.records.len() as f64;
     println!(
         "{label:<14} P={p:<3} bitwise = serial ✓   {:6.1} msgs/PE/step, {:7.1} KiB/PE/step",

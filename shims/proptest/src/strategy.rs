@@ -1,0 +1,253 @@
+//! Value-generation strategies (no shrinking).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discard generated values failing `f` (retried by the runner via
+    /// rejection, like `prop_assume!`). Kept minimal: filtering draws up
+    /// to 100 fresh values before giving up.
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            f,
+            reason,
+        }
+    }
+}
+
+/// Strategies behind references generate what the referent does — lets
+/// `pick` take the strategy by reference in the `proptest!` expansion.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn pick(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).pick(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn pick(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.pick(rng))
+    }
+}
+
+/// [`Strategy::prop_filter`] adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn pick(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..100 {
+            let v = self.inner.pick(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 100 consecutive draws: {}",
+            self.reason
+        );
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn pick(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `any::<T>()`: the full-range strategy for a primitive.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Marker strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Primitives with a canonical full-range distribution.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, wide dynamic range; avoids NaN/inf,
+        // which no test in this workspace wants from `any::<f64>()`.
+        let mag = rng.unit_f64() * 1e12;
+        if rng.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleRange,
+{
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        T::sample(rng, self)
+    }
+}
+
+/// Primitives uniformly samplable from a half-open range.
+pub trait SampleRange: Sized + Copy {
+    fn sample(rng: &mut TestRng, range: &Range<Self>) -> Self;
+}
+
+macro_rules! sample_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(rng: &mut TestRng, range: &Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty strategy range");
+                let span = (range.end - range.start) as u64;
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+sample_uint!(usize, u64, u32, u16, u8);
+
+macro_rules! sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(rng: &mut TestRng, range: &Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty strategy range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                (range.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+sample_int!(i8, i16, i32, i64, isize);
+
+impl SampleRange for f64 {
+    fn sample(rng: &mut TestRng, range: &Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty strategy range");
+        range.start + rng.unit_f64() * (range.end - range.start)
+    }
+}
+
+impl SampleRange for f32 {
+    fn sample(rng: &mut TestRng, range: &Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty strategy range");
+        range.start + (rng.unit_f64() as f32) * (range.end - range.start)
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: SampleRangeInclusive,
+{
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        T::sample_inclusive(rng, self)
+    }
+}
+
+/// Integers uniformly samplable from a closed range.
+pub trait SampleRangeInclusive: Sized + Copy {
+    fn sample_inclusive(rng: &mut TestRng, range: &RangeInclusive<Self>) -> Self;
+}
+
+macro_rules! sample_incl {
+    ($($t:ty),*) => {$(
+        impl SampleRangeInclusive for $t {
+            fn sample_inclusive(rng: &mut TestRng, range: &RangeInclusive<Self>) -> Self {
+                let (lo, hi) = (*range.start() as i128, *range.end() as i128);
+                assert!(lo <= hi, "empty strategy range");
+                // i128 span arithmetic never overflows for ≤64-bit types.
+                let span = (hi - lo + 1) as u128;
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+sample_incl!(usize, u64, u32, u16, u8, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.pick(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);

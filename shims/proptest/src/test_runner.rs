@@ -1,0 +1,56 @@
+//! Test-run configuration and the deterministic case RNG.
+
+/// Per-`proptest!` configuration (subset of the real ProptestConfig).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        assert!(cases > 0, "need at least one case");
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic per-test RNG (xoshiro-style splitmix chain), seeded from
+/// the test function's name so failures reproduce without a regressions
+/// file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name (FNV-1a over the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// Next 64 random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `[0, 1)` from the top 53 bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -52,7 +52,11 @@ fn supercooled_gas_stays_physical_over_a_longer_run() {
     let report = run(&cfg);
     for r in &report.records {
         assert!(r.kinetic.is_finite() && r.potential.is_finite());
-        assert!(r.temperature > 0.3 && r.temperature < 1.5, "T = {}", r.temperature);
+        assert!(
+            r.temperature > 0.3 && r.temperature < 1.5,
+            "T = {}",
+            r.temperature
+        );
     }
 }
 
