@@ -90,6 +90,51 @@ fn bench_neighbor_list_vs_cells(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_half_vs_full_shell(c: &mut Criterion) {
+    // The whole-grid force pass: the seed's 27-offset full-shell sweep
+    // (each pair evaluated from both ends) against the production
+    // 13-offset half-shell kernel. Same grid, same reported WorkCounters;
+    // the throughput gap is the kernel speedup `steps-per-sec` records in
+    // BENCH_force.json.
+    use pcdlb_bench::full_shell_forces;
+    use pcdlb_md::cells::CellGrid;
+    use pcdlb_md::force::ExternalPull;
+    use pcdlb_md::init;
+    use pcdlb_md::serial::compute_forces_half_shell;
+
+    let nc = 8usize;
+    let box_len = 2.56 * nc as f64;
+    let n = (0.256 * box_len.powi(3)) as usize;
+    let mut ps = init::simple_cubic(n, box_len);
+    init::maxwell_boltzmann(&mut ps, 0.722, 1);
+    let mut grid = CellGrid::new(nc, box_len);
+    for p in ps {
+        grid.insert(p);
+    }
+    grid.canonicalize();
+    let kernel = PairKernel::new(LennardJones::paper());
+    let mut forces = Vec::new();
+    let checks = full_shell_forces(&grid, &kernel, &mut forces).pair_checks;
+
+    let mut g = c.benchmark_group("force_pass");
+    g.throughput(Throughput::Elements(checks));
+    g.bench_function("full_shell_27", |b| {
+        b.iter(|| full_shell_forces(std::hint::black_box(&grid), &kernel, &mut forces).pair_checks)
+    });
+    g.bench_function("half_shell_13", |b| {
+        b.iter(|| {
+            compute_forces_half_shell(
+                std::hint::black_box(&grid),
+                &kernel,
+                &ExternalPull::None,
+                &mut forces,
+            )
+            .pair_checks
+        })
+    });
+    g.finish();
+}
+
 fn bench_lj_scalar(c: &mut Criterion) {
     let lj = LennardJones::paper();
     c.bench_function("lj_force_energy_at_r1.2", |b| {
@@ -103,6 +148,6 @@ fn bench_lj_scalar(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_pair_kernel, bench_neighbor_list_vs_cells, bench_lj_scalar
+    targets = bench_pair_kernel, bench_neighbor_list_vs_cells, bench_half_vs_full_shell, bench_lj_scalar
 }
 criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! `steps-per-sec` — end-to-end throughput harness for the half-shell
+//! force kernel, writing machine-readable results to `BENCH_force.json`.
+//!
+//! Two measurements:
+//!
+//! 1. **Force phase in isolation** — the seed's full-shell 27-offset pass
+//!    (`pcdlb_bench::full_shell_forces`, each pair evaluated from both
+//!    ends) against the production 13-offset half-shell pass
+//!    (`pcdlb_md::serial::compute_forces_half_shell`) on the same
+//!    paper-density gas grid. Both book identical full-shell
+//!    `WorkCounters`, so checks/sec are directly comparable; the reported
+//!    `speedup` is the headline number (target ≥ 1.6×).
+//! 2. **Whole steps per second** — the serial reference and the SPMD
+//!    simulator on 2×2 and 3×3 PE grids (ranks are threads; on a
+//!    single-core host the parallel rows measure protocol overhead, not
+//!    speedup — see README).
+//!
+//! Usage: `cargo run --release -p pcdlb-bench --bin steps_per_sec`
+//! (options: `--nc`, `--density`, `--iters`, `--steps`, `--out`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pcdlb_bench::{full_shell_forces, Args};
+use pcdlb_md::force::ExternalPull;
+use pcdlb_md::serial::compute_forces_half_shell;
+use pcdlb_md::{init, CellGrid, LennardJones, PairKernel, Vec3};
+use pcdlb_sim::{run, serial_sim, RunConfig};
+
+/// One kernel's timing over `iters` repeated full force passes.
+struct KernelTiming {
+    seconds_per_call: f64,
+    pair_checks: u64,
+    checks_per_sec: f64,
+}
+
+fn time_kernel<F: FnMut() -> u64>(iters: u64, mut pass: F) -> KernelTiming {
+    // Warm-up pass (also yields the per-call pair count).
+    let pair_checks = pass();
+    let start = Instant::now();
+    let mut sink = 0u64;
+    for _ in 0..iters {
+        sink = sink.wrapping_add(pass());
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    let seconds_per_call = secs / iters as f64;
+    KernelTiming {
+        seconds_per_call,
+        pair_checks,
+        checks_per_sec: pair_checks as f64 / seconds_per_call,
+    }
+}
+
+/// One whole-simulation throughput row.
+struct StepRow {
+    mode: &'static str,
+    p: usize,
+    steps: u64,
+    seconds: f64,
+    pair_checks: u64,
+}
+
+fn json_row(out: &mut String, row: &StepRow) {
+    let sps = row.steps as f64 / row.seconds;
+    let cps = row.pair_checks as f64 / row.seconds;
+    let _ = write!(
+        out,
+        "    {{ \"mode\": \"{}\", \"p\": {}, \"steps\": {}, \"seconds\": {:.6}, \
+         \"steps_per_sec\": {:.3}, \"pair_checks_per_sec\": {:.3e} }}",
+        row.mode, row.p, row.steps, row.seconds, sps, cps
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    // nc must divide evenly onto every torus side used below (1, 2, 3).
+    let nc = args.get_usize("nc", 12);
+    let density = args.get_f64("density", 0.256);
+    let iters = args.get_u64("iters", 20);
+    let steps = args.get_u64("steps", 30);
+    let out_path = args.get("out", "BENCH_force.json").to_string();
+
+    // --- 1. Force phase: full-shell baseline vs half-shell kernel. ---
+    let box_len = 2.56 * nc as f64;
+    let n = (density * box_len.powi(3)).round() as usize;
+    let mut ps = init::simple_cubic(n, box_len);
+    init::maxwell_boltzmann(&mut ps, 0.722, 1);
+    let mut grid = CellGrid::new(nc, box_len);
+    for p in ps {
+        grid.insert(p);
+    }
+    grid.canonicalize();
+    let kernel = PairKernel::new(LennardJones::paper());
+
+    let mut forces: Vec<Vec3> = Vec::new();
+    let full = time_kernel(iters, || {
+        full_shell_forces(&grid, &kernel, &mut forces).pair_checks
+    });
+    let half = time_kernel(iters, || {
+        compute_forces_half_shell(&grid, &kernel, &ExternalPull::None, &mut forces).pair_checks
+    });
+    assert_eq!(
+        full.pair_checks, half.pair_checks,
+        "work accounting diverged between kernels"
+    );
+    let speedup = full.seconds_per_call / half.seconds_per_call;
+    eprintln!(
+        "force phase: N = {n}, nc = {nc}, {} full-shell checks/pass",
+        full.pair_checks
+    );
+    eprintln!(
+        "  full-shell {:.3} ms/pass, half-shell {:.3} ms/pass -> speedup {speedup:.2}x",
+        full.seconds_per_call * 1e3,
+        half.seconds_per_call * 1e3
+    );
+
+    // --- 2. Whole steps/sec: serial vs 2×2 vs 3×3. ---
+    let mk_cfg = |p: usize| {
+        let mut cfg = RunConfig::new(n, nc, p, density);
+        cfg.steps = steps;
+        cfg.dlb = p >= 9; // DLB needs a torus side ≥ 3
+        cfg.seed = 1;
+        cfg
+    };
+    let mut rows = Vec::new();
+
+    let cfg1 = mk_cfg(1);
+    let mut serial = serial_sim(&cfg1);
+    let start = Instant::now();
+    let mut serial_checks = 0u64;
+    for _ in 0..steps {
+        serial.step();
+        serial_checks += serial.last_work().pair_checks;
+    }
+    rows.push(StepRow {
+        mode: "serial",
+        p: 1,
+        steps,
+        seconds: start.elapsed().as_secs_f64(),
+        pair_checks: serial_checks,
+    });
+
+    for p in [4usize, 9] {
+        let cfg = mk_cfg(p);
+        let start = Instant::now();
+        let report = run(&cfg);
+        let seconds = start.elapsed().as_secs_f64();
+        rows.push(StepRow {
+            mode: "spmd",
+            p,
+            steps,
+            seconds,
+            pair_checks: report.records.iter().map(|r| r.pair_checks).sum(),
+        });
+    }
+    for r in &rows {
+        eprintln!(
+            "{:>6} P={}: {:.2} steps/sec",
+            r.mode,
+            r.p,
+            r.steps as f64 / r.seconds
+        );
+    }
+
+    // --- Emit BENCH_force.json (hand-rolled; no serde in the workspace). ---
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{ \"nc\": {nc}, \"density\": {density}, \"n_particles\": {n}, \
+         \"iters\": {iters}, \"steps\": {steps} }},"
+    );
+    json.push_str("  \"force_phase\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"full_shell\": {{ \"seconds_per_call\": {:.6e}, \"pair_checks_per_call\": {}, \
+         \"checks_per_sec\": {:.3e} }},",
+        full.seconds_per_call, full.pair_checks, full.checks_per_sec
+    );
+    let _ = writeln!(
+        json,
+        "    \"half_shell\": {{ \"seconds_per_call\": {:.6e}, \"pair_checks_per_call\": {}, \
+         \"checks_per_sec\": {:.3e} }},",
+        half.seconds_per_call, half.pair_checks, half.checks_per_sec
+    );
+    let _ = writeln!(json, "    \"speedup\": {speedup:.3}");
+    json.push_str("  },\n");
+    json.push_str("  \"steps_per_sec\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json_row(&mut json, row);
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

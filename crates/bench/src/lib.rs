@@ -18,6 +18,9 @@ use std::collections::BTreeMap;
 
 use pcdlb_core::boundary::BoundaryDetector;
 use pcdlb_core::theory;
+use pcdlb_md::cells::{CellGrid, NEIGHBOR_OFFSETS_27};
+use pcdlb_md::force::{PairKernel, WorkCounters};
+use pcdlb_md::Vec3;
 use pcdlb_sim::{run, RunConfig};
 
 /// Minimal `--key value` / `--flag` argument parser for the experiment
@@ -98,6 +101,46 @@ impl Args {
 /// Print a column header with a `#` prefix (gnuplot comment convention).
 pub fn print_header(cols: &[&str]) {
     println!("# {}", cols.join("\t"));
+}
+
+/// The pre-half-shell force pass, kept as the benchmark baseline: every
+/// home cell runs the directed kernel against all 27 neighbour images, so
+/// each interacting pair is evaluated twice (once from each end). The
+/// production path (`pcdlb_md::serial::compute_forces_half_shell` and the
+/// SPMD simulators) visits each pair once via the canonical 13-offset half
+/// shell; `WorkCounters` come out identical because the half-shell kernel
+/// books its single evaluation as two directed checks.
+pub fn full_shell_forces(
+    grid: &CellGrid,
+    kernel: &PairKernel,
+    forces: &mut Vec<Vec3>,
+) -> WorkCounters {
+    let mut work = WorkCounters::default();
+    forces.clear();
+    forces.resize(grid.num_particles(), Vec3::ZERO);
+    for idx in 0..grid.total_cells() {
+        let hr = grid.cell_range(idx);
+        if hr.is_empty() {
+            continue;
+        }
+        let home = grid.coord_of(idx);
+        let targets = grid.cell_by_index(idx);
+        for offset in NEIGHBOR_OFFSETS_27 {
+            let (ncell, shift) = grid.wrap_neighbor(home, offset);
+            let neighbors = grid.cell(ncell);
+            if neighbors.is_empty() {
+                continue;
+            }
+            kernel.accumulate(
+                targets,
+                &mut forces[hr.clone()],
+                neighbors,
+                shift,
+                &mut work,
+            );
+        }
+    }
+    work
 }
 
 /// One boundary-experiment result for a `(P, m, ρ)` cell.
@@ -241,6 +284,48 @@ mod tests {
     #[should_panic(expected = "wants a number")]
     fn bad_number_rejected() {
         args(&["--pull", "abc"]).get_f64("pull", 0.0);
+    }
+
+    #[test]
+    fn full_shell_baseline_matches_half_shell_kernel() {
+        // The benchmark baseline must compute the same physics and book
+        // the same full-shell work units as the production kernel, or the
+        // measured speedup is meaningless.
+        use pcdlb_md::force::ExternalPull;
+        use pcdlb_md::{init, LennardJones};
+
+        let box_len: f64 = 2.56 * 5.0;
+        let n = (0.256 * box_len.powi(3)) as usize;
+        let mut ps = init::simple_cubic(n, box_len);
+        init::maxwell_boltzmann(&mut ps, 0.722, 7);
+        let mut grid = CellGrid::new(5, box_len);
+        for p in ps {
+            grid.insert(p);
+        }
+        grid.canonicalize();
+        let kernel = PairKernel::new(LennardJones::paper());
+
+        let mut f_full = Vec::new();
+        let w_full = full_shell_forces(&grid, &kernel, &mut f_full);
+        let mut f_half = Vec::new();
+        let w_half = pcdlb_md::serial::compute_forces_half_shell(
+            &grid,
+            &kernel,
+            &ExternalPull::None,
+            &mut f_half,
+        );
+
+        assert_eq!(w_full.pair_checks, w_half.pair_checks);
+        assert_eq!(w_full.interacting_pairs, w_half.interacting_pairs);
+        assert!((w_full.potential - w_half.potential).abs() < 1e-9);
+        assert!((w_full.virial - w_half.virial).abs() < 1e-9);
+        assert_eq!(f_full.len(), f_half.len());
+        for (a, b) in f_full.iter().zip(&f_half) {
+            assert!(
+                (*a - *b).norm2().sqrt() < 1e-9,
+                "forces diverged: {a:?} vs {b:?}"
+            );
+        }
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! Three rules, each scoped to the code where the hazard is real:
 //!
 //! - `wallclock-in-deterministic-crate`: no `Instant::now` / `SystemTime`
-//!   in `pcdlb-md`, `pcdlb-core`, `pcdlb-domain`. Physics and protocol
-//!   decisions must be wall-clock free; time may enter only through the
-//!   simulator's explicit load-metric plumbing.
+//!   in `pcdlb-md`, `pcdlb-core`, `pcdlb-domain`, `pcdlb-sim`. Physics and
+//!   protocol decisions must be wall-clock free; the only sanctioned clock
+//!   access is `pcdlb-sim`'s `clock` module, which is feature-gated and
+//!   allowlisted in `lint-allow.txt`.
 //! - `hash-iteration-in-protocol-code`: no `HashMap`/`HashSet` in
 //!   `pcdlb-mp`, `pcdlb-sim` or the protocol module — hash iteration
 //!   order varies between runs, which silently breaks bitwise
@@ -75,7 +76,12 @@ struct Rule {
 const RULES: &[Rule] = &[
     Rule {
         name: "wallclock-in-deterministic-crate",
-        dirs: &["crates/md/src", "crates/core/src", "crates/domain/src"],
+        dirs: &[
+            "crates/md/src",
+            "crates/core/src",
+            "crates/domain/src",
+            "crates/sim/src",
+        ],
         files: &[],
         patterns: &["Instant::now", "SystemTime"],
     },

@@ -5,10 +5,22 @@
 //! in its own cell or one of the 26 neighbouring cells. Periodic images
 //! are handled by giving each neighbour cell a *shift vector*: the
 //! displacement to add to that cell's particle positions so they appear
-//! geometrically adjacent to the home cell. Both the serial and the
-//! parallel simulator iterate neighbours in the canonical
-//! [`NEIGHBOR_OFFSETS_27`] order and keep per-cell particle lists sorted by
-//! id, which makes their floating-point force sums bitwise identical.
+//! geometrically adjacent to the home cell.
+//!
+//! Both the serial and the parallel simulator evaluate each unordered
+//! cell pair exactly once — the home cell against the 13 *forward*
+//! offsets in [`HALF_OFFSETS_13`] plus a triangular intra-cell loop —
+//! visiting home cells in ascending global index with per-cell particle
+//! lists sorted by id. Every floating-point contribution is therefore
+//! computed once, at one canonical site, and applied to both partners,
+//! which makes the two simulators' force sums bitwise identical.
+//!
+//! Storage is contiguous: one flat particle array per grid (or per
+//! column/plane in the parallel decompositions) with a cell-offset index
+//! ([`CellSlab`]), so the inner pair loop walks cache-linear memory
+//! instead of chasing per-cell `Vec` allocations.
+
+use std::ops::Range;
 
 use crate::vec3::Vec3;
 use crate::Particle;
@@ -36,6 +48,24 @@ pub const NEIGHBOR_OFFSETS_27: [(i64, i64, i64); 27] = {
     out
 };
 
+/// The canonical *forward half* of the 26 neighbour offsets: the 13
+/// offsets that follow `(0,0,0)` in [`NEIGHBOR_OFFSETS_27`]'s
+/// lexicographic order. Every unordered pair of adjacent cells `{A, B}`
+/// satisfies exactly one of `B = A + d` or `A = B + d` with
+/// `d ∈ HALF_OFFSETS_13`, so iterating home cells against these offsets
+/// enumerates each cell pair exactly once (Newton's third law supplies
+/// the reverse contribution).
+pub const HALF_OFFSETS_13: [(i64, i64, i64); 13] = {
+    let mut out = [(0i64, 0i64, 0i64); 13];
+    let mut k = 0;
+    while k < 13 {
+        // (0,0,0) sits at index 13 of the lexicographic 27.
+        out[k] = NEIGHBOR_OFFSETS_27[14 + k];
+        k += 1;
+    }
+    out
+};
+
 /// Canonical coordinates of a cell, each in `0..nc`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CellCoord {
@@ -51,14 +81,106 @@ impl CellCoord {
     }
 }
 
-/// A cubic cell grid over a cubic periodic box.
+/// Contiguous cell storage: one flat particle array sorted by
+/// `(cell index, particle id)` plus a CSR-style offset table, replacing
+/// nested `Vec<Vec<Particle>>`. Cell `i` occupies
+/// `parts[offsets[i]..offsets[i+1]]`.
+#[derive(Debug, Clone, Default)]
+pub struct CellSlab {
+    /// `n_cells + 1` offsets into `parts`; monotonically non-decreasing.
+    offsets: Vec<usize>,
+    /// All particles, grouped by cell, each group sorted by id.
+    parts: Vec<Particle>,
+}
+
+impl CellSlab {
+    /// A slab of `n_cells` empty cells.
+    pub fn empty(n_cells: usize) -> Self {
+        Self {
+            offsets: vec![0; n_cells + 1],
+            parts: Vec::new(),
+        }
+    }
+
+    /// Build from an arbitrary particle list: sorts by
+    /// `(cell_of(p), p.id)` and records the cell boundaries. `cell_of`
+    /// must return an index `< n_cells` for every particle.
+    pub fn build<F>(n_cells: usize, mut parts: Vec<Particle>, cell_of: F) -> Self
+    where
+        F: Fn(&Particle) -> usize,
+    {
+        parts.sort_by_cached_key(|p| {
+            let c = cell_of(p);
+            debug_assert!(c < n_cells, "cell index {c} out of range (< {n_cells})");
+            (c, p.id)
+        });
+        let mut offsets = vec![0usize; n_cells + 1];
+        for p in &parts {
+            offsets[cell_of(p) + 1] += 1;
+        }
+        for i in 0..n_cells {
+            offsets[i + 1] += offsets[i];
+        }
+        Self { offsets, parts }
+    }
+
+    /// Number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total particle count.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True when no cell holds a particle.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// The flat-array range of one cell.
+    pub fn range(&self, cell: usize) -> Range<usize> {
+        self.offsets[cell]..self.offsets[cell + 1]
+    }
+
+    /// One cell's (id-sorted) particles.
+    pub fn cell(&self, cell: usize) -> &[Particle] {
+        &self.parts[self.range(cell)]
+    }
+
+    /// All particles in cell-major order.
+    pub fn particles(&self) -> &[Particle] {
+        &self.parts
+    }
+
+    /// Mutable access to all particles. Callers that move particles
+    /// across cell boundaries must rebuild the slab afterwards.
+    pub fn particles_mut(&mut self) -> &mut [Particle] {
+        &mut self.parts
+    }
+
+    /// Consume the slab, returning the flat particle array.
+    pub fn into_particles(self) -> Vec<Particle> {
+        self.parts
+    }
+
+    /// Number of cells containing no particles.
+    pub fn empty_cells(&self) -> usize {
+        self.offsets.windows(2).filter(|w| w[0] == w[1]).count()
+    }
+}
+
+/// A cubic cell grid over a cubic periodic box, backed by a [`CellSlab`].
 #[derive(Debug, Clone)]
 pub struct CellGrid {
     nc: usize,
     box_len: f64,
     cell_len: f64,
-    /// Particles per cell, each list sorted by id (canonicalised on rebin).
-    cells: Vec<Vec<Particle>>,
+    slab: CellSlab,
+    /// Particles inserted since the last rebuild; folded into the slab by
+    /// [`CellGrid::canonicalize`] / [`CellGrid::rebin`].
+    staged: Vec<Particle>,
 }
 
 impl CellGrid {
@@ -75,7 +197,8 @@ impl CellGrid {
             nc,
             box_len,
             cell_len: box_len / nc as f64,
-            cells: vec![Vec::new(); nc * nc * nc],
+            slab: CellSlab::empty(nc * nc * nc),
+            staged: Vec::new(),
         }
     }
 
@@ -161,79 +284,95 @@ impl CellGrid {
         (CellCoord::new(cx, cy, cz), Vec3::new(sx, sy, sz))
     }
 
-    /// Immutable access to a cell's (id-sorted) particles.
+    /// Immutable access to a cell's (id-sorted) particles. Requires all
+    /// inserts to have been folded in by [`CellGrid::canonicalize`].
     pub fn cell(&self, c: CellCoord) -> &[Particle] {
-        &self.cells[self.index(c)]
+        debug_assert!(self.staged.is_empty(), "call canonicalize after insert");
+        self.slab.cell(self.index(c))
     }
 
-    /// Mutable access to a cell's particle list. Callers that reorder or
-    /// insert must restore id-sorted order (or call [`CellGrid::canonicalize`]).
-    pub fn cell_mut(&mut self, c: CellCoord) -> &mut Vec<Particle> {
-        let i = self.index(c);
-        &mut self.cells[i]
+    /// A cell's particles by linear index.
+    pub fn cell_by_index(&self, idx: usize) -> &[Particle] {
+        debug_assert!(self.staged.is_empty(), "call canonicalize after insert");
+        self.slab.cell(idx)
     }
 
-    /// Insert a particle into the cell containing its position.
+    /// The flat-array range of a cell by linear index.
+    pub fn cell_range(&self, idx: usize) -> Range<usize> {
+        debug_assert!(self.staged.is_empty(), "call canonicalize after insert");
+        self.slab.range(idx)
+    }
+
+    /// All particles in cell-major, id-sorted order — aligned with
+    /// [`CellGrid::cell_range`].
+    pub fn particles(&self) -> &[Particle] {
+        debug_assert!(self.staged.is_empty(), "call canonicalize after insert");
+        self.slab.particles()
+    }
+
+    /// Mutable flat particle access (same order as
+    /// [`CellGrid::particles`]). Callers that move particles across cell
+    /// boundaries must [`CellGrid::rebin`] afterwards.
+    pub fn particles_mut(&mut self) -> &mut [Particle] {
+        debug_assert!(self.staged.is_empty(), "call canonicalize after insert");
+        self.slab.particles_mut()
+    }
+
+    /// Stage a particle for insertion into the cell containing its
+    /// position (folded in on the next [`CellGrid::canonicalize`] /
+    /// [`CellGrid::rebin`]).
     pub fn insert(&mut self, p: Particle) {
-        let c = self.cell_of(p.pos);
-        let i = self.index(c);
-        self.cells[i].push(p);
+        self.staged.push(p);
     }
 
-    /// Re-sort every cell's particle list by id (the canonical order the
-    /// force loops rely on).
+    /// Fold staged inserts into the slab and restore the canonical
+    /// `(cell, id)` order the force loops rely on.
     pub fn canonicalize(&mut self) {
-        for cell in &mut self.cells {
-            cell.sort_unstable_by_key(|p| p.id);
-        }
+        self.rebuild();
     }
 
     /// Move every particle to the cell matching its current position
     /// (paper Sec. 3.2: "recompute and replace the relationships between
     /// cells and molecules every time step"), then canonicalize.
     pub fn rebin(&mut self) {
-        let mut moved: Vec<Particle> = Vec::new();
-        for idx in 0..self.cells.len() {
-            let home = self.coord_of(idx);
-            let mut k = 0;
-            while k < self.cells[idx].len() {
-                if self.cell_of(self.cells[idx][k].pos) != home {
-                    moved.push(self.cells[idx].swap_remove(k));
-                } else {
-                    k += 1;
-                }
-            }
-        }
-        for p in moved {
-            self.insert(p);
-        }
-        self.canonicalize();
+        self.rebuild();
     }
 
-    /// Total particle count.
+    fn rebuild(&mut self) {
+        let mut parts = std::mem::take(&mut self.slab).into_particles();
+        parts.append(&mut self.staged);
+        let total = self.total_cells();
+        // Capture geometry by value: the closure must not borrow `self`.
+        let (nc, cell_len) = (self.nc, self.cell_len);
+        let axis = move |v: f64| ((v / cell_len) as usize).min(nc - 1);
+        self.slab = CellSlab::build(total, parts, |p| {
+            (axis(p.pos.x) * nc + axis(p.pos.y)) * nc + axis(p.pos.z)
+        });
+    }
+
+    /// Total particle count (including staged inserts).
     pub fn num_particles(&self) -> usize {
-        self.cells.iter().map(Vec::len).sum()
+        self.slab.len() + self.staged.len()
     }
 
     /// Number of cells containing no particles (the paper's `C₀`).
     pub fn empty_cells(&self) -> usize {
-        self.cells.iter().filter(|c| c.is_empty()).count()
+        debug_assert!(self.staged.is_empty(), "call canonicalize after insert");
+        self.slab.empty_cells()
     }
 
     /// Iterate over `(coord, particles)` for all cells, in index order.
     pub fn iter_cells(&self) -> impl Iterator<Item = (CellCoord, &[Particle])> {
-        self.cells
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (self.coord_of(i), c.as_slice()))
+        debug_assert!(self.staged.is_empty(), "call canonicalize after insert");
+        (0..self.total_cells()).map(|i| (self.coord_of(i), self.slab.cell(i)))
     }
 
     /// Occupancy histogram: `hist[k]` = number of cells holding exactly
     /// `k` particles (last bucket aggregates overflow).
     pub fn occupancy_histogram(&self, max_bucket: usize) -> Vec<usize> {
         let mut h = vec![0usize; max_bucket + 1];
-        for c in &self.cells {
-            h[c.len().min(max_bucket)] += 1;
+        for i in 0..self.total_cells() {
+            h[self.slab.range(i).len().min(max_bucket)] += 1;
         }
         h
     }
@@ -254,6 +393,24 @@ mod tests {
         assert!(v
             .iter()
             .all(|&(a, b, c)| a.abs() <= 1 && b.abs() <= 1 && c.abs() <= 1));
+    }
+
+    #[test]
+    fn half_offsets_are_the_forward_shell() {
+        // The 13 halves plus their mirrors cover the 26 non-home offsets
+        // exactly once, and no offset appears together with its mirror.
+        let mut covered: Vec<(i64, i64, i64)> = HALF_OFFSETS_13
+            .iter()
+            .flat_map(|&(a, b, c)| [(a, b, c), (-a, -b, -c)])
+            .collect();
+        covered.sort_unstable();
+        covered.dedup();
+        assert_eq!(covered.len(), 26);
+        assert!(!covered.contains(&(0, 0, 0)));
+        // Canonical order: exactly the tail of NEIGHBOR_OFFSETS_27 after
+        // the home offset (which sits at index 13).
+        assert_eq!(NEIGHBOR_OFFSETS_27[13], (0, 0, 0));
+        assert_eq!(&NEIGHBOR_OFFSETS_27[14..], &HALF_OFFSETS_13[..]);
     }
 
     #[test]
@@ -293,9 +450,14 @@ mod tests {
         let mut g = CellGrid::new(4, 8.0);
         g.insert(Particle::at_rest(0, Vec3::new(1.0, 1.0, 1.0)));
         g.insert(Particle::at_rest(1, Vec3::new(1.5, 1.0, 1.0)));
+        g.canonicalize();
         assert_eq!(g.cell(CellCoord::new(0, 0, 0)).len(), 2);
         // Move particle 1 into the next cell and rebin.
-        g.cell_mut(CellCoord::new(0, 0, 0))[1].pos = Vec3::new(2.5, 1.0, 1.0);
+        for p in g.particles_mut() {
+            if p.id == 1 {
+                p.pos = Vec3::new(2.5, 1.0, 1.0);
+            }
+        }
         g.rebin();
         assert_eq!(g.cell(CellCoord::new(0, 0, 0)).len(), 1);
         assert_eq!(g.cell(CellCoord::new(1, 0, 0)).len(), 1);
@@ -318,11 +480,36 @@ mod tests {
     }
 
     #[test]
+    fn flat_storage_is_cell_major_and_id_sorted() {
+        let mut g = CellGrid::new(3, 9.0);
+        for (i, x) in [(0u64, 8.0), (1, 0.5), (2, 4.0), (3, 0.2), (4, 8.5)] {
+            g.insert(Particle::at_rest(i, Vec3::new(x, 0.5, 0.5)));
+        }
+        g.canonicalize();
+        let keys: Vec<(usize, u64)> = g
+            .particles()
+            .iter()
+            .map(|p| (g.index(g.cell_of(p.pos)), p.id))
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys: {keys:?}");
+        // Ranges tile the flat array and agree with cell().
+        let mut seen = 0;
+        for i in 0..g.total_cells() {
+            let r = g.cell_range(i);
+            assert_eq!(r.start, seen);
+            assert_eq!(g.cell_by_index(i).len(), r.len());
+            seen = r.end;
+        }
+        assert_eq!(seen, g.num_particles());
+    }
+
+    #[test]
     fn empty_cells_counts_c0() {
         let mut g = CellGrid::new(3, 9.0);
         assert_eq!(g.empty_cells(), 27);
         g.insert(Particle::at_rest(0, Vec3::new(0.5, 0.5, 0.5)));
         g.insert(Particle::at_rest(1, Vec3::new(0.6, 0.5, 0.5)));
+        g.canonicalize();
         assert_eq!(g.empty_cells(), 26);
     }
 
@@ -333,6 +520,7 @@ mod tests {
             g.insert(Particle::at_rest(i, Vec3::new(0.5, 0.5, 0.5)));
         }
         g.insert(Particle::at_rest(10, Vec3::new(4.0, 4.0, 4.0)));
+        g.canonicalize();
         let h = g.occupancy_histogram(3);
         assert_eq!(h[0], 25);
         assert_eq!(h[1], 1);
@@ -353,6 +541,31 @@ mod tests {
         assert!(r.is_err());
     }
 
+    #[test]
+    fn slab_build_and_ranges() {
+        let parts: Vec<Particle> = [(3u64, 1usize), (0, 0), (7, 1), (1, 3)]
+            .iter()
+            .map(|&(id, _)| Particle::at_rest(id, Vec3::ZERO))
+            .collect();
+        let cells = [1usize, 0, 1, 3];
+        let by_id = move |p: &Particle| {
+            let i = [3u64, 0, 7, 1].iter().position(|&x| x == p.id).unwrap();
+            cells[i]
+        };
+        let slab = CellSlab::build(4, parts, by_id);
+        assert_eq!(slab.n_cells(), 4);
+        assert_eq!(slab.len(), 4);
+        assert_eq!(slab.cell(0).len(), 1);
+        assert_eq!(
+            slab.cell(1).iter().map(|p| p.id).collect::<Vec<_>>(),
+            [3, 7]
+        );
+        assert!(slab.cell(2).is_empty());
+        assert_eq!(slab.cell(3)[0].id, 1);
+        assert_eq!(slab.empty_cells(), 1);
+        assert_eq!(slab.range(1), 1..3);
+    }
+
     proptest! {
         #[test]
         fn prop_every_particle_lands_in_exactly_one_cell(
@@ -362,6 +575,7 @@ mod tests {
             for (i, (x, y, z)) in xs.iter().enumerate() {
                 g.insert(Particle::at_rest(i as u64, Vec3::new(*x, *y, *z)));
             }
+            g.canonicalize();
             prop_assert_eq!(g.num_particles(), xs.len());
             // Each particle's recorded cell matches cell_of its position.
             for (c, ps) in g.iter_cells() {

@@ -16,9 +16,29 @@
 //! neighbouring 26 cells" (Sec. 3.2) — i.e. work ∝ candidate pairs, which
 //! is what we count.
 
+use std::ops::Range;
+
 use crate::lj::LennardJones;
 use crate::vec3::Vec3;
 use crate::Particle;
+
+/// Split one flat force buffer into two disjoint cell ranges, mutably —
+/// the home and neighbour slices of a half-shell evaluation. Panics if
+/// the ranges overlap (distinct cells never do).
+pub fn disjoint_ranges_mut<T>(
+    buf: &mut [T],
+    a: Range<usize>,
+    b: Range<usize>,
+) -> (&mut [T], &mut [T]) {
+    if a.end <= b.start {
+        let (lo, hi) = buf.split_at_mut(b.start);
+        (&mut lo[a.start..a.end], &mut hi[..b.end - b.start])
+    } else {
+        assert!(b.end <= a.start, "ranges {a:?} and {b:?} overlap");
+        let (lo, hi) = buf.split_at_mut(a.start);
+        (&mut hi[..a.end - a.start], &mut lo[b.start..b.end])
+    }
+}
 
 /// Work and thermodynamic accumulators for one force evaluation.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -249,6 +269,101 @@ impl PairKernel {
             }
         }
     }
+
+    /// Half-shell intra-cell loop: each unordered pair within one cell is
+    /// evaluated once (`i < j` over the id-sorted slice) and both
+    /// reactions applied. Work accounting stays in the paper's
+    /// *full-shell* units: every pair counts as two directed checks, and
+    /// the potential/virial carry their full (2 × ½) weight, so
+    /// [`WorkCounters`] totals are identical to evaluating both
+    /// directions.
+    pub fn accumulate_intra(&self, parts: &[Particle], forces: &mut [Vec3], w: &mut WorkCounters) {
+        debug_assert_eq!(parts.len(), forces.len());
+        let rcut2 = self.lj.rcut2();
+        let n = parts.len() as u64;
+        // n·(n−1) ordered pairs = the paper's candidate count for a cell
+        // against itself (self-pairs skipped).
+        w.pair_checks += n * n.saturating_sub(1);
+        for i in 0..parts.len() {
+            for j in (i + 1)..parts.len() {
+                let r = parts[j].pos - parts[i].pos;
+                let r2 = r.norm2();
+                if r2 < rcut2 {
+                    w.interacting_pairs += 2;
+                    let for_r = self.lj.force_over_r_r2(r2);
+                    let f = r * for_r;
+                    forces[i] -= f;
+                    forces[j] += f;
+                    w.potential += self.lj.energy_r2(r2);
+                    w.virial += for_r * r2;
+                }
+            }
+        }
+    }
+
+    /// Half-shell cell-pair loop: every `(a[i], b[j])` combination is
+    /// evaluated once, with `b` displaced by `shift`. `fa`/`fb` select
+    /// which side's forces are stored — the parallel simulators pass
+    /// `None` for ghost cells, whose forces belong to another PE.
+    ///
+    /// Work accounting scales with the number of stored sides, keeping
+    /// the full-shell invariants: with both sides stored a combination
+    /// counts as two directed checks (as the seed kernel's two mirrored
+    /// calls did); with one side stored it counts as one, exactly the
+    /// directed check the owning PE used to perform, so per-PE and
+    /// global [`WorkCounters`] totals are unchanged.
+    pub fn accumulate_pair(
+        &self,
+        a: &[Particle],
+        fa: Option<&mut [Vec3]>,
+        b: &[Particle],
+        fb: Option<&mut [Vec3]>,
+        shift: Vec3,
+        w: &mut WorkCounters,
+    ) {
+        match (fa, fb) {
+            (Some(fa), Some(fb)) => self.pair_impl::<true, true>(a, fa, b, fb, shift, w),
+            (Some(fa), None) => self.pair_impl::<true, false>(a, fa, b, &mut [], shift, w),
+            (None, Some(fb)) => self.pair_impl::<false, true>(a, &mut [], b, fb, shift, w),
+            (None, None) => {}
+        }
+    }
+
+    fn pair_impl<const SA: bool, const SB: bool>(
+        &self,
+        a: &[Particle],
+        fa: &mut [Vec3],
+        b: &[Particle],
+        fb: &mut [Vec3],
+        shift: Vec3,
+        w: &mut WorkCounters,
+    ) {
+        debug_assert!(!SA || a.len() == fa.len());
+        debug_assert!(!SB || b.len() == fb.len());
+        let stores = SA as u64 + SB as u64;
+        let half = 0.5 * stores as f64;
+        let rcut2 = self.lj.rcut2();
+        w.pair_checks += stores * a.len() as u64 * b.len() as u64;
+        for (i, pa) in a.iter().enumerate() {
+            for (j, pb) in b.iter().enumerate() {
+                let r = (pb.pos + shift) - pa.pos;
+                let r2 = r.norm2();
+                if r2 < rcut2 {
+                    w.interacting_pairs += stores;
+                    let for_r = self.lj.force_over_r_r2(r2);
+                    let f = r * for_r;
+                    if SA {
+                        fa[i] -= f;
+                    }
+                    if SB {
+                        fb[j] += f;
+                    }
+                    w.potential += half * self.lj.energy_r2(r2);
+                    w.virial += half * for_r * r2;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -350,6 +465,113 @@ mod tests {
         assert_eq!(a.interacting_pairs, 6);
         assert_eq!(a.potential, 1.0);
         assert_eq!(a.virial, 4.0);
+    }
+
+    fn gas_cell(id0: u64, n: usize, origin: Vec3, seed: u64) -> Vec<Particle> {
+        // Deterministic LCG scatter inside a 2.56-sided cell at `origin`.
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|i| {
+                let p = Vec3::new(next(), next(), next()) * 2.56;
+                Particle::at_rest(id0 + i as u64, origin + p)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn intra_matches_full_shell_bitwise() {
+        let k = PairKernel::new(LennardJones::paper());
+        let cell = gas_cell(0, 12, Vec3::ZERO, 7);
+        // Full shell: the cell against itself, self-pairs skipped.
+        let mut f_full = vec![Vec3::ZERO; cell.len()];
+        let mut w_full = WorkCounters::default();
+        k.accumulate(&cell, &mut f_full, &cell, Vec3::ZERO, &mut w_full);
+        // Half shell: triangular loop, both reactions stored.
+        let mut f_half = vec![Vec3::ZERO; cell.len()];
+        let mut w_half = WorkCounters::default();
+        k.accumulate_intra(&cell, &mut f_half, &mut w_half);
+        assert_eq!(w_half.pair_checks, w_full.pair_checks);
+        assert_eq!(w_half.interacting_pairs, w_full.interacting_pairs);
+        assert!((w_half.potential - w_full.potential).abs() < 1e-12);
+        // Forces are bitwise identical: a slot's contributions arrive in
+        // the same ascending-j order, and `x += (−f)` is IEEE-identical
+        // to `x −= f`.
+        assert_eq!(f_half, f_full);
+    }
+
+    #[test]
+    fn pair_both_sides_matches_two_directed_calls() {
+        let k = PairKernel::new(LennardJones::paper());
+        let a = gas_cell(0, 9, Vec3::ZERO, 1);
+        let b = gas_cell(100, 11, Vec3::new(2.56, 0.0, 0.0), 2);
+        let shift = Vec3::new(1.0, -0.5, 0.25); // arbitrary, same both ways
+        let mut fa_full = vec![Vec3::ZERO; a.len()];
+        let mut fb_full = vec![Vec3::ZERO; b.len()];
+        let mut w_full = WorkCounters::default();
+        k.accumulate(&a, &mut fa_full, &b, shift, &mut w_full);
+        k.accumulate(&b, &mut fb_full, &a, shift * -1.0, &mut w_full);
+        let mut fa = vec![Vec3::ZERO; a.len()];
+        let mut fb = vec![Vec3::ZERO; b.len()];
+        let mut w = WorkCounters::default();
+        k.accumulate_pair(&a, Some(&mut fa), &b, Some(&mut fb), shift, &mut w);
+        assert_eq!(w.pair_checks, w_full.pair_checks);
+        assert_eq!(w.interacting_pairs, w_full.interacting_pairs);
+        assert!((w.potential - w_full.potential).abs() < 1e-12);
+        assert!((w.virial - w_full.virial).abs() < 1e-12);
+        // The home side sees the identical expression → bitwise equal.
+        assert_eq!(fa, fa_full);
+        // The reaction side agrees to rounding (the mirrored full-shell
+        // call groups `pos + shift` differently).
+        for (x, y) in fb.iter().zip(&fb_full) {
+            assert!((*x - *y).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pair_single_side_counts_one_directed_check() {
+        let k = PairKernel::new(LennardJones::paper());
+        let a = gas_cell(0, 5, Vec3::ZERO, 3);
+        let b = gas_cell(50, 7, Vec3::new(2.56, 0.0, 0.0), 4);
+        let mut fa = vec![Vec3::ZERO; a.len()];
+        let mut w = WorkCounters::default();
+        k.accumulate_pair(&a, Some(&mut fa), &b, None, Vec3::ZERO, &mut w);
+        assert_eq!(w.pair_checks, (a.len() * b.len()) as u64);
+        // Reference: the directed seed call from a's side.
+        let mut fa_ref = vec![Vec3::ZERO; a.len()];
+        let mut w_ref = WorkCounters::default();
+        k.accumulate(&a, &mut fa_ref, &b, Vec3::ZERO, &mut w_ref);
+        assert_eq!(fa, fa_ref);
+        assert_eq!(w.interacting_pairs, w_ref.interacting_pairs);
+        assert_eq!(w.potential, w_ref.potential);
+        assert_eq!(w.virial, w_ref.virial);
+    }
+
+    #[test]
+    fn disjoint_ranges_split_either_order() {
+        let mut buf: Vec<u32> = (0..10).collect();
+        let (a, b) = disjoint_ranges_mut(&mut buf, 1..3, 6..9);
+        assert_eq!(a, &[1, 2]);
+        assert_eq!(b, &[6, 7, 8]);
+        let (a, b) = disjoint_ranges_mut(&mut buf, 6..9, 1..3);
+        assert_eq!(a, &[6, 7, 8]);
+        assert_eq!(b, &[1, 2]);
+        // Adjacent ranges are fine.
+        let (a, b) = disjoint_ranges_mut(&mut buf, 0..5, 5..10);
+        assert_eq!(a.len(), 5);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_ranges_panic() {
+        let mut buf = [0u8; 8];
+        let _ = disjoint_ranges_mut(&mut buf, 0..4, 3..6);
     }
 
     #[test]

@@ -1,13 +1,20 @@
 //! Serial reference simulator.
 //!
 //! Runs the identical physics to the parallel SPMD simulator — same cell
-//! grid conventions, same canonical neighbour order, same kernel, same
-//! id-ordered thermostat sum — on one thread. The cross-crate validation
-//! tests assert that the parallel simulator reproduces this one **bitwise**
-//! for any PE count, with and without load balancing.
+//! grid conventions, same canonical half-shell summation order, same
+//! kernel, same id-ordered thermostat sum — on one thread. The
+//! cross-crate validation tests assert that the parallel simulator
+//! reproduces this one **bitwise** for any PE count, with and without
+//! load balancing.
+//!
+//! The force pass visits home cells in ascending global index; each home
+//! evaluates its triangular intra-cell loop and then the 13 forward
+//! offsets of [`HALF_OFFSETS_13`], storing both reactions of every pair
+//! from a single distance evaluation. Forces live in one flat array
+//! aligned with the grid's contiguous particle storage.
 
-use crate::cells::{CellGrid, NEIGHBOR_OFFSETS_27};
-use crate::force::{PairKernel, WorkCounters};
+use crate::cells::{CellGrid, HALF_OFFSETS_13};
+use crate::force::{disjoint_ranges_mut, PairKernel, WorkCounters};
 use crate::integrate::{kick, kick_drift};
 use crate::lj::LennardJones;
 use crate::observe;
@@ -35,14 +42,60 @@ pub struct SerialStepInfo {
 /// Single-threaded cell-list MD simulator.
 pub struct SerialSim {
     grid: CellGrid,
-    /// Per-cell force arrays aligned with the grid's particle lists.
-    forces: Vec<Vec<Vec3>>,
+    /// Flat force array aligned with the grid's particle storage.
+    forces: Vec<Vec3>,
     kernel: PairKernel,
     dt: f64,
     thermostat: Thermostat,
     step_count: u64,
     last_work: WorkCounters,
     pull: crate::force::ExternalPull,
+}
+
+/// One half-shell force pass over a canonicalized grid: intra-cell
+/// triangular loop plus the 13 forward offsets per home cell, in
+/// ascending global cell order. Returns the work counters; `forces` is
+/// resized and overwritten, aligned with [`CellGrid::particles`].
+///
+/// Exposed so the benchmark harness can time the force phase in
+/// isolation against the seed full-shell kernel.
+pub fn compute_forces_half_shell(
+    grid: &CellGrid,
+    kernel: &PairKernel,
+    pull: &crate::force::ExternalPull,
+    forces: &mut Vec<Vec3>,
+) -> WorkCounters {
+    let mut work = WorkCounters::default();
+    forces.clear();
+    forces.resize(grid.num_particles(), Vec3::ZERO);
+    let box_len = grid.box_len();
+    for idx in 0..grid.total_cells() {
+        let hr = grid.cell_range(idx);
+        if hr.is_empty() {
+            continue;
+        }
+        let home = grid.coord_of(idx);
+        let targets = grid.cell_by_index(idx);
+        kernel.accumulate_intra(targets, &mut forces[hr.clone()], &mut work);
+        for offset in HALF_OFFSETS_13 {
+            let (ncell, shift) = grid.wrap_neighbor(home, offset);
+            let nidx = grid.index(ncell);
+            let nr = grid.cell_range(nidx);
+            if nr.is_empty() {
+                continue;
+            }
+            let neighbors = grid.cell_by_index(nidx);
+            let (fa, fb) = disjoint_ranges_mut(forces, hr.clone(), nr);
+            kernel.accumulate_pair(targets, Some(fa), neighbors, Some(fb), shift, &mut work);
+        }
+        if !pull.is_none() {
+            for (p, f) in targets.iter().zip(forces[hr].iter_mut()) {
+                *f += pull.force(p.pos, box_len);
+                work.potential += pull.energy(p.pos, box_len);
+            }
+        }
+    }
+    work
 }
 
 impl SerialSim {
@@ -66,7 +119,7 @@ impl SerialSim {
         }
         grid.canonicalize();
         let mut sim = Self {
-            forces: vec![Vec::new(); grid.total_cells()],
+            forces: Vec::new(),
             grid,
             kernel: PairKernel::new(lj),
             dt,
@@ -119,11 +172,7 @@ impl SerialSim {
     /// All particles, sorted by id — the canonical snapshot used to
     /// compare simulators.
     pub fn snapshot(&self) -> Vec<Particle> {
-        let mut v: Vec<Particle> = self
-            .grid
-            .iter_cells()
-            .flat_map(|(_, ps)| ps.iter().copied())
-            .collect();
+        let mut v: Vec<Particle> = self.grid.particles().to_vec();
         v.sort_unstable_by_key(|p| p.id);
         v
     }
@@ -134,32 +183,22 @@ impl SerialSim {
         let dt = self.dt;
         let box_len = self.grid.box_len();
 
-        // 1. Half-kick with current forces, drift, wrap.
-        for idx in 0..self.grid.total_cells() {
-            let c = self.grid.coord_of(idx);
-            let fs = std::mem::take(&mut self.forces[idx]);
-            let cell = self.grid.cell_mut(c);
-            debug_assert_eq!(cell.len(), fs.len());
-            for (p, f) in cell.iter_mut().zip(fs.iter()) {
-                kick_drift(p, *f, dt, box_len);
-            }
+        // 1. Half-kick with current forces, drift, wrap. The flat force
+        //    array is aligned with the grid's particle order.
+        debug_assert_eq!(self.grid.num_particles(), self.forces.len());
+        for (p, f) in self.grid.particles_mut().iter_mut().zip(&self.forces) {
+            kick_drift(p, *f, dt, box_len);
         }
 
-        // 2. Rebin: particles to their new cells, id-sorted.
+        // 2. Rebin: particles to their new cells, (cell, id)-sorted.
         self.grid.rebin();
 
         // 3. New forces.
         self.compute_forces();
 
         // 4. Second half-kick.
-        for idx in 0..self.grid.total_cells() {
-            let c = self.grid.coord_of(idx);
-            // Take to appease the borrow checker, then restore.
-            let fs = std::mem::take(&mut self.forces[idx]);
-            for (p, f) in self.grid.cell_mut(c).iter_mut().zip(fs.iter()) {
-                kick(p, *f, dt);
-            }
-            self.forces[idx] = fs;
+        for (p, f) in self.grid.particles_mut().iter_mut().zip(&self.forces) {
+            kick(p, *f, dt);
         }
 
         self.step_count += 1;
@@ -170,11 +209,8 @@ impl SerialSim {
             let ke = self.kinetic_energy_id_ordered();
             let t_now = observe::temperature_from_ke(ke, self.grid.num_particles());
             let s = self.thermostat.scale_factor(t_now);
-            for idx in 0..self.grid.total_cells() {
-                let c = self.grid.coord_of(idx);
-                for p in self.grid.cell_mut(c).iter_mut() {
-                    p.vel = p.vel * s;
-                }
+            for p in self.grid.particles_mut() {
+                p.vel = p.vel * s;
             }
         }
 
@@ -195,8 +231,9 @@ impl SerialSim {
     pub fn kinetic_energy_id_ordered(&self) -> f64 {
         let mut kes: Vec<(u64, f64)> = self
             .grid
-            .iter_cells()
-            .flat_map(|(_, ps)| ps.iter().map(|p| (p.id, 0.5 * p.vel.norm2())))
+            .particles()
+            .iter()
+            .map(|p| (p.id, 0.5 * p.vel.norm2()))
             .collect();
         kes.sort_unstable_by_key(|&(id, _)| id);
         kes.iter().map(|&(_, ke)| ke).sum()
@@ -204,35 +241,10 @@ impl SerialSim {
 
     /// Recompute all forces from scratch in the canonical order.
     fn compute_forces(&mut self) {
-        let grid = &self.grid;
-        let forces = &mut self.forces;
-        let kernel = self.kernel;
-        let mut work = WorkCounters::default();
-        // Indexing two parallel structures (grid cells and force arrays)
-        // by the same cell index; an enumerate() would obscure that.
-        #[allow(clippy::needless_range_loop)]
-        for idx in 0..grid.total_cells() {
-            let home = grid.coord_of(idx);
-            let targets = grid.cell(home);
-            forces[idx].clear();
-            forces[idx].resize(targets.len(), Vec3::ZERO);
-            if targets.is_empty() {
-                continue;
-            }
-            for offset in NEIGHBOR_OFFSETS_27 {
-                let (ncell, shift) = grid.wrap_neighbor(home, offset);
-                let neighbors = grid.cell(ncell);
-                kernel.accumulate(targets, &mut forces[idx], neighbors, shift, &mut work);
-            }
-            if !self.pull.is_none() {
-                let box_len = grid.box_len();
-                for (p, f) in targets.iter().zip(forces[idx].iter_mut()) {
-                    *f += self.pull.force(p.pos, box_len);
-                    work.potential += self.pull.energy(p.pos, box_len);
-                }
-            }
-        }
-        self.last_work = work;
+        let mut forces = std::mem::take(&mut self.forces);
+        self.last_work =
+            compute_forces_half_shell(&self.grid, &self.kernel, &self.pull, &mut forces);
+        self.forces = forces;
     }
 }
 
@@ -346,6 +358,25 @@ mod tests {
             a.pair_checks,
             b.pair_checks
         );
+    }
+
+    #[test]
+    fn pair_checks_match_full_shell_definition() {
+        // The half-shell kernel must still report the paper's full-shell
+        // candidate count: Σ over home cells of Σ over the 27 offsets of
+        // |home|·|neighbour| − |home| (self-pairs excluded at offset 0).
+        let sim = small_gas(150, 3, 0.25, 8);
+        let grid = sim.grid();
+        let mut expect = 0u64;
+        for (c, ps) in grid.iter_cells() {
+            let h = ps.len() as u64;
+            for offset in crate::cells::NEIGHBOR_OFFSETS_27 {
+                let (ncell, _) = grid.wrap_neighbor(c, offset);
+                expect += h * grid.cell(ncell).len() as u64;
+            }
+            expect -= h; // the |home| self-pairs at offset (0,0,0)
+        }
+        assert_eq!(sim.last_work().pair_checks, expect);
     }
 
     #[test]

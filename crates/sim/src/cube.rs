@@ -19,8 +19,7 @@
 //! integer cell arithmetic — the same convention as the serial grid, so
 //! the floating-point force sums are identical.
 
-use std::time::Instant;
-
+use pcdlb_md::cells::HALF_OFFSETS_13;
 use pcdlb_md::force::{PairKernel, WorkCounters};
 use pcdlb_md::integrate::{kick, kick_drift};
 use pcdlb_md::observe;
@@ -28,6 +27,7 @@ use pcdlb_md::vec3::Vec3;
 use pcdlb_md::Particle;
 use pcdlb_mp::{collectives, Comm, CostModel, Torus3d, World};
 
+use crate::clock::WallTimer;
 use crate::config::{LoadMetric, RunConfig};
 use crate::pe::initial_particles;
 use crate::report::{RunReport, StepRecord};
@@ -42,6 +42,9 @@ mod tags {
     pub const KE_BCAST: u64 = 61;
     pub const SNAPSHOT: u64 = 62;
 }
+
+/// An integer cell-coordinate triple.
+type I3 = (i64, i64, i64);
 
 /// The 26 neighbour directions in canonical lexicographic order.
 const DIRS26: [(i64, i64, i64); 26] = {
@@ -65,6 +68,18 @@ const DIRS26: [(i64, i64, i64); 26] = {
     }
     out
 };
+
+/// Mutable references to two distinct per-cell force arrays.
+fn two_forces(forces: &mut [Vec<Vec3>], a: usize, b: usize) -> (&mut [Vec3], &mut [Vec3]) {
+    assert_ne!(a, b, "a cell cannot neighbour itself");
+    if a < b {
+        let (lo, hi) = forces.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = forces.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
 
 fn dir_index(d: (i64, i64, i64)) -> u64 {
     DIRS26
@@ -397,68 +412,144 @@ impl CubePe {
         }
     }
 
-    /// Phase 4: forces — canonical offsets, integer-derived shifts.
+    /// Phase 4: forces — canonical half-shell order over every halo cell,
+    /// with integer-derived periodic shifts.
+    ///
+    /// Home cells run over the whole `(s+2)³` halo — own cells and ghost
+    /// shell alike — sorted by canonical *global* cell coordinates, so the
+    /// visit order is the serial one restricted to the cells this PE can
+    /// see. Each pair is evaluated once at its canonical half-shell home,
+    /// storing into whichever side(s) are interior; shell×shell pairs are
+    /// other PEs' work. The shift comes from wrapping the canonical global
+    /// home coordinate, exactly like `CellGrid::wrap_neighbor`.
     fn compute_forces(&mut self) {
-        let t0 = Instant::now();
+        let t0 = WallTimer::start();
         let mut work = WorkCounters::default();
         let pull = self.cfg.pull();
         let box_len = self.box_len;
         let nc = self.nc as i64;
         let kernel = self.kernel;
-        let origin = self.origin;
-        let w = (self.s + 2) as i64;
+        let origin = (
+            self.origin.0 as i64,
+            self.origin.1 as i64,
+            self.origin.2 as i64,
+        );
+        let s = self.s as i64;
+        let su = self.s;
+        let w = s + 2;
         let halo_index = |l: (i64, i64, i64)| -> usize {
             (((l.0 + 1) * w + (l.1 + 1)) * w + (l.2 + 1)) as usize
         };
-        // Periodic shift from the unwrapped global coordinate.
-        let shift1 = |o: usize, loc: i64| -> f64 {
-            let g = o as i64 + loc;
-            if g < 0 {
+        let interior = |l: (i64, i64, i64)| {
+            (0..s).contains(&l.0) && (0..s).contains(&l.1) && (0..s).contains(&l.2)
+        };
+        let force_index = |l: (i64, i64, i64)| -> usize {
+            ((l.0 as usize * su) + l.1 as usize) * su + l.2 as usize
+        };
+        // Canonical global coordinate of a halo local, wrapped into the box.
+        let global1 = |o: i64, loc: i64| (o + loc).rem_euclid(nc);
+        // Periodic shift of a forward neighbour from the canonical global
+        // home coordinate — the same wrap rule as `CellGrid::wrap_neighbor`.
+        let shift1 = |g: i64, d: i64| -> f64 {
+            let v = g + d;
+            if v < 0 {
                 -box_len
-            } else if g >= nc {
+            } else if v >= nc {
                 box_len
             } else {
                 0.0
             }
         };
-        let locals: Vec<_> = self.interior_locals().collect();
-        for l in &locals {
-            let ci = halo_index(*l);
-            let fi = self.force_index(*l);
-            let mut fs = vec![Vec3::ZERO; self.cells[ci].len()];
-            if !fs.is_empty() {
-                let cells = &self.cells;
-                let targets = &cells[ci];
-                for dx in -1i64..=1 {
-                    for dy in -1i64..=1 {
-                        for dz in -1i64..=1 {
-                            let nl = (l.0 + dx, l.1 + dy, l.2 + dz);
-                            let shift = Vec3::new(
-                                shift1(origin.0, nl.0),
-                                shift1(origin.1, nl.1),
-                                shift1(origin.2, nl.2),
-                            );
-                            kernel.accumulate(
-                                targets,
-                                &mut fs,
-                                &cells[halo_index(nl)],
-                                shift,
-                                &mut work,
-                            );
-                        }
-                    }
-                }
-                if !pull.is_none() {
-                    for (q, f) in targets.iter().zip(fs.iter_mut()) {
-                        *f += pull.force(q.pos, box_len);
-                        work.potential += pull.energy(q.pos, box_len);
-                    }
+        let cells = &self.cells;
+        let forces = &mut self.forces;
+        let mut homes: Vec<(I3, I3)> = Vec::new();
+        for i in -1..=s {
+            for j in -1..=s {
+                for l in -1..=s {
+                    let loc = (i, j, l);
+                    let g = (
+                        global1(origin.0, i),
+                        global1(origin.1, j),
+                        global1(origin.2, l),
+                    );
+                    homes.push((g, loc));
                 }
             }
-            self.forces[fi] = fs;
+        }
+        homes.sort_unstable_by_key(|&(g, _)| g);
+        for &(_, loc) in &homes {
+            if interior(loc) {
+                forces[force_index(loc)] = vec![Vec3::ZERO; cells[halo_index(loc)].len()];
+            }
+        }
+        for &(g, loc) in &homes {
+            let targets = &cells[halo_index(loc)];
+            if targets.is_empty() {
+                continue;
+            }
+            let own_home = interior(loc);
+            if own_home {
+                kernel.accumulate_intra(targets, &mut forces[force_index(loc)], &mut work);
+            }
+            for &(dx, dy, dz) in HALF_OFFSETS_13.iter() {
+                let nl = (loc.0 + dx, loc.1 + dy, loc.2 + dz);
+                let in_halo = (-1..=s).contains(&nl.0)
+                    && (-1..=s).contains(&nl.1)
+                    && (-1..=s).contains(&nl.2);
+                if !in_halo {
+                    debug_assert!(!own_home, "interior home must have all halo neighbours");
+                    continue;
+                }
+                let own_nb = interior(nl);
+                if !own_home && !own_nb {
+                    continue; // both on the shell: another PE's pairs
+                }
+                let neighbors = &cells[halo_index(nl)];
+                if neighbors.is_empty() {
+                    continue;
+                }
+                let shift = Vec3::new(shift1(g.0, dx), shift1(g.1, dy), shift1(g.2, dz));
+                match (own_home, own_nb) {
+                    (true, true) => {
+                        let (fa, fb) = two_forces(forces, force_index(loc), force_index(nl));
+                        kernel.accumulate_pair(
+                            targets,
+                            Some(fa),
+                            neighbors,
+                            Some(fb),
+                            shift,
+                            &mut work,
+                        );
+                    }
+                    (true, false) => kernel.accumulate_pair(
+                        targets,
+                        Some(&mut forces[force_index(loc)]),
+                        neighbors,
+                        None,
+                        shift,
+                        &mut work,
+                    ),
+                    (false, true) => kernel.accumulate_pair(
+                        targets,
+                        None,
+                        neighbors,
+                        Some(&mut forces[force_index(nl)]),
+                        shift,
+                        &mut work,
+                    ),
+                    (false, false) => unreachable!(),
+                }
+            }
+            if own_home && !pull.is_none() {
+                let fs = &mut forces[force_index(loc)];
+                for (q, f) in targets.iter().zip(fs.iter_mut()) {
+                    *f += pull.force(q.pos, box_len);
+                    work.potential += pull.energy(q.pos, box_len);
+                }
+            }
         }
         self.last_work = work;
-        self.last_force_wall = t0.elapsed().as_secs_f64();
+        self.last_force_wall = t0.elapsed_s();
         self.last_force_virtual = match self.cfg.load_metric {
             LoadMetric::WorkModel { sec_per_pair } => work.pair_checks as f64 * sec_per_pair,
             LoadMetric::WallClock => self.last_force_wall,
@@ -507,14 +598,14 @@ impl CubePe {
     }
 
     fn step(&mut self, comm: &mut Comm, step: u64) -> Option<StepRecord> {
-        let t0 = Instant::now();
+        let t0 = WallTimer::start();
         self.kick_drift_all();
         self.migrate(comm);
         self.exchange_ghosts(comm);
         self.compute_forces();
         self.kick_all();
         self.thermostat(comm, step);
-        let wall = t0.elapsed().as_secs_f64();
+        let wall = t0.elapsed_s();
 
         let comm_virtual = comm.stats().virtual_comm_s;
         let comm_delta = comm_virtual - self.last_comm_virtual;
@@ -576,7 +667,7 @@ fn run_cube_inner(cfg: &RunConfig, want_snapshot: bool) -> (RunReport, Option<Ve
         comm: pcdlb_mp::CommStats,
     }
     let mut results: Vec<R> = world.run(|comm| {
-        let run_start = Instant::now();
+        let run_start = WallTimer::start();
         let mut pe = CubePe::new(comm.rank(), cfg);
         pe.exchange_ghosts(comm);
         pe.compute_forces();
@@ -598,7 +689,7 @@ fn run_cube_inner(cfg: &RunConfig, want_snapshot: bool) -> (RunReport, Option<Ve
                 comm_virtual_s: 0.0,
                 msgs_sent: 0,
                 bytes_sent: 0,
-                wall_s: run_start.elapsed().as_secs_f64(),
+                wall_s: run_start.elapsed_s(),
             }),
             snapshot,
             comm: comm.stats(),

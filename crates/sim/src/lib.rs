@@ -12,6 +12,7 @@
 //! for any PE count, with and without load balancing — DLB moves
 //! ownership, never physics.
 
+pub mod clock;
 pub mod config;
 pub mod cube;
 pub mod digest;
@@ -20,6 +21,8 @@ pub mod pe;
 pub mod plane;
 pub mod report;
 mod stats;
+#[cfg(test)]
+mod wire_check;
 
 pub use config::{Lattice, LoadMetric, RunConfig};
 pub use digest::{digest_particles, digest_report, digest_run};

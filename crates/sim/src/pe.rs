@@ -19,24 +19,30 @@
 //!    scale factor is bitwise identical to the serial reference);
 //! 8. statistics gather to rank 0.
 //!
-//! Determinism: every receive names its source, particle lists are kept
-//! sorted by id, and per-particle force sums follow the same canonical
-//! 27-neighbour order as `pcdlb_md::serial` — the parallel trajectory is
+//! Determinism: every receive names its source, particle storage is kept
+//! (cell, id)-sorted, and the force pass visits home cells — owned *and*
+//! ghost — in ascending global cell order, evaluating each unordered pair
+//! exactly once at the canonical half-shell home (the same order as
+//! `pcdlb_md::serial`). Every owned particle therefore accumulates its
+//! force terms in exactly the serial sequence: the parallel trajectory is
 //! **bitwise identical** to the serial one for any `P`, with or without
-//! DLB.
+//! DLB. Work counters still report the paper's full-shell directed-pair
+//! counts (a both-sides half-shell evaluation counts as two checks), so
+//! the load model and DLB decisions match the full-shell seed kernel.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::time::Instant;
 
 use pcdlb_core::protocol::{DlbDecision, DlbProtocol};
 use pcdlb_domain::{Col, OwnershipMap, PillarLayout};
-use pcdlb_md::force::{PairKernel, WorkCounters};
+use pcdlb_md::cells::CellSlab;
+use pcdlb_md::force::{disjoint_ranges_mut, PairKernel, WorkCounters};
 use pcdlb_md::integrate::{kick, kick_drift};
 use pcdlb_md::observe;
 use pcdlb_md::vec3::Vec3;
 use pcdlb_md::{init, Particle};
 use pcdlb_mp::{collectives, Comm};
 
+use crate::clock::WallTimer;
 use crate::config::{Lattice, LoadMetric, RunConfig};
 use crate::report::{RunReport, StepRecord};
 use crate::stats::StatsPacket;
@@ -46,9 +52,14 @@ use crate::stats::StatsPacket;
 // sends with.
 use pcdlb_core::protocol::tags;
 
-/// Per-cell particle lists of one column, indexed by the z cell index;
-/// each list sorted by particle id.
-type ColumnCells = Vec<Vec<Particle>>;
+/// The forward (dx, dy) cross-section groups of the half shell: paired
+/// with their dz lists ([1] for the home column, [-1, 0, 1] otherwise)
+/// they enumerate `pcdlb_md::cells::HALF_OFFSETS_13` in canonical order.
+const FORWARD_XY: [(i64, i64); 5] = [(0, 0), (0, 1), (1, -1), (1, 0), (1, 1)];
+
+/// A resolved forward neighbour column: its slab, x/y periodic shifts,
+/// and (when owned by this PE) its base offset into the force array.
+type ForwardCol<'a> = Option<(&'a CellSlab, f64, f64, Option<usize>)>;
 
 /// What each rank hands back to the driver when the run finishes.
 pub struct PeResult {
@@ -98,9 +109,14 @@ pub struct PeState {
     ownership: OwnershipMap,
     /// Distinct torus 8-neighbours, ascending.
     neighbors: Vec<usize>,
-    columns: BTreeMap<Col, ColumnCells>,
-    forces: BTreeMap<Col, Vec<Vec<Vec3>>>,
-    ghosts: BTreeMap<Col, ColumnCells>,
+    /// Owned columns: contiguous (cell, id)-sorted particle storage with
+    /// `nc` cells per column, indexed by the z cell index.
+    columns: BTreeMap<Col, CellSlab>,
+    /// Flat force storage: owned columns concatenated in ascending column
+    /// order, aligned with each slab's particle order. Valid from
+    /// `compute_forces` until the next `migrate` reshuffles particles.
+    forces: Vec<Vec3>,
+    ghosts: BTreeMap<Col, CellSlab>,
     last_work: WorkCounters,
     last_force_virtual: f64,
     last_force_wall: f64,
@@ -128,33 +144,31 @@ impl PeState {
             ownership,
             neighbors,
             columns: BTreeMap::new(),
-            forces: BTreeMap::new(),
+            forces: Vec::new(),
             ghosts: BTreeMap::new(),
             last_work: WorkCounters::default(),
             last_force_virtual: 0.0,
             last_force_wall: 0.0,
             last_comm_virtual: 0.0,
         };
-        for c in layout.tile_columns(rank) {
-            pe.columns.insert(c, vec![Vec::new(); pe.nc]);
-        }
+        let mut staging: BTreeMap<Col, Vec<Particle>> =
+            layout.tile_columns(rank).map(|c| (c, Vec::new())).collect();
         for p in initial_particles(cfg) {
             let col = pe.col_of(p.pos);
             if layout.home_rank(col) == rank {
-                let cz = pe.cz_of(p.pos);
-                pe.columns.get_mut(&col).expect("home column exists")[cz].push(p);
+                staging.get_mut(&col).expect("home column exists").push(p);
             }
         }
-        pe.sort_all_cells();
+        pe.columns = staging
+            .into_iter()
+            .map(|(c, v)| (c, pe.build_column(v)))
+            .collect();
         pe
     }
 
     /// Number of particles this PE currently owns.
     pub fn num_particles(&self) -> usize {
-        self.columns
-            .values()
-            .map(|cells| cells.iter().map(Vec::len).sum::<usize>())
-            .sum()
+        self.columns.values().map(CellSlab::len).sum()
     }
 
     fn col_of(&self, pos: Vec3) -> Col {
@@ -162,16 +176,13 @@ impl PeState {
         Col::new(f(pos.x), f(pos.y))
     }
 
-    fn cz_of(&self, pos: Vec3) -> usize {
-        ((pos.z / self.cell_len) as usize).min(self.nc - 1)
-    }
-
-    fn sort_all_cells(&mut self) {
-        for cells in self.columns.values_mut() {
-            for cell in cells {
-                cell.sort_unstable_by_key(|p| p.id);
-            }
-        }
+    /// Bin a flat particle list into one column's `nc` z cells.
+    fn build_column(&self, parts: Vec<Particle>) -> CellSlab {
+        let cell_len = self.cell_len;
+        let nc = self.nc;
+        CellSlab::build(nc, parts, move |p| {
+            ((p.pos.z / cell_len) as usize).min(nc - 1)
+        })
     }
 
     /// True when `col`'s home tile lies in this PE's readable 3×3 tile
@@ -195,118 +206,100 @@ impl PeState {
     // Phases
     // ------------------------------------------------------------------
 
-    /// Phase 1: half-kick with current forces, then drift and wrap.
+    /// Phase 1: half-kick with current forces, then drift and wrap. The
+    /// flat force array is the owned columns concatenated in ascending
+    /// column order, so a running base index realigns it.
     fn kick_drift_all(&mut self) {
         let dt = self.cfg.dt;
         let box_len = self.box_len;
-        for (col, cells) in self.columns.iter_mut() {
-            let fcol = self.forces.get(col).expect("forces aligned");
-            for (cz, cell) in cells.iter_mut().enumerate() {
-                let fs = &fcol[cz];
-                debug_assert_eq!(cell.len(), fs.len());
-                for (p, f) in cell.iter_mut().zip(fs) {
-                    kick_drift(p, *f, dt, box_len);
-                }
+        let mut base = 0usize;
+        for slab in self.columns.values_mut() {
+            let n = slab.len();
+            for (p, f) in slab
+                .particles_mut()
+                .iter_mut()
+                .zip(&self.forces[base..base + n])
+            {
+                kick_drift(p, *f, dt, box_len);
             }
+            base += n;
         }
+        debug_assert_eq!(base, self.forces.len());
     }
 
     /// Phase 2: rebin locally and ship emigrants to neighbour owners.
     fn migrate(&mut self, comm: &mut Comm) {
-        let mut local_moves: Vec<Particle> = Vec::new();
+        // Route every owned particle into a per-column staging list (or an
+        // outgoing payload), then rebuild the slabs once — the column key
+        // set is preserved exactly (ownership only changes in `dlb`).
+        let mut staging: BTreeMap<Col, Vec<Particle>> =
+            self.columns.keys().map(|&c| (c, Vec::new())).collect();
         let mut outgoing: BTreeMap<usize, Vec<Particle>> = BTreeMap::new();
-        {
-            // Split borrows: columns mutably, everything else by value/ref.
-            let cell_len = self.cell_len;
-            let nc = self.nc;
-            let rank = self.rank;
-            let ownership = &self.ownership;
-            let neighbors = &self.neighbors;
-            let axis = |v: f64| ((v / cell_len) as usize).min(nc - 1);
-            for (col, cells) in self.columns.iter_mut() {
-                // The index addresses the cell being drained while its
-                // contents are swap-removed; iterators can't express that.
-                #[allow(clippy::needless_range_loop)]
-                for cz in 0..cells.len() {
-                    let mut k = 0;
-                    while k < cells[cz].len() {
-                        let p = cells[cz][k];
-                        let ncol = Col::new(axis(p.pos.x), axis(p.pos.y));
-                        let ncz = axis(p.pos.z);
-                        if ncol == *col && ncz == cz {
-                            k += 1;
-                            continue;
-                        }
-                        cells[cz].swap_remove(k);
-                        let owner = ownership.owner_of(ncol);
-                        if owner == rank {
-                            local_moves.push(p);
-                        } else {
-                            debug_assert!(
-                                neighbors.contains(&owner),
-                                "rank {rank}: particle {} jumped to column {ncol:?} owned by \
-                                 non-neighbour {owner} — time step too large",
-                                p.id
-                            );
-                            outgoing.entry(owner).or_default().push(p);
-                        }
-                    }
+        for slab in std::mem::take(&mut self.columns).into_values() {
+            for p in slab.into_particles() {
+                let ncol = self.col_of(p.pos);
+                let owner = self.ownership.owner_of(ncol);
+                if owner == self.rank {
+                    staging
+                        .get_mut(&ncol)
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "rank {}: missing storage for owned column {ncol:?}",
+                                self.rank
+                            )
+                        })
+                        .push(p);
+                } else {
+                    debug_assert!(
+                        self.neighbors.contains(&owner),
+                        "rank {}: particle {} jumped to column {ncol:?} owned by \
+                         non-neighbour {owner} — time step too large",
+                        self.rank,
+                        p.id
+                    );
+                    outgoing.entry(owner).or_default().push(p);
                 }
             }
-        }
-        for p in local_moves {
-            self.insert_owned(p);
         }
         // Deterministic payloads: order emigrants by id.
         for v in outgoing.values_mut() {
             v.sort_unstable_by_key(|p| p.id);
         }
-        let neighbors = self.neighbors.clone();
-        for &nb in &neighbors {
+        for &nb in &self.neighbors {
             let payload = outgoing.remove(&nb).unwrap_or_default();
             comm.send(nb, tags::MIGRATE, payload);
         }
-        for &nb in &neighbors {
+        for &nb in &self.neighbors {
             let incoming: Vec<Particle> = comm.recv(nb, tags::MIGRATE);
             for p in incoming {
-                self.insert_owned(p);
+                let ncol = self.col_of(p.pos);
+                debug_assert_eq!(
+                    self.ownership.owner_of(ncol),
+                    self.rank,
+                    "rank {}: received particle {} for column {ncol:?} it does not own",
+                    self.rank,
+                    p.id
+                );
+                staging
+                    .get_mut(&ncol)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "rank {}: missing storage for owned column {ncol:?}",
+                            self.rank
+                        )
+                    })
+                    .push(p);
             }
         }
-        self.sort_all_cells();
-    }
-
-    // Split-borrow helpers (usable while `self.columns` is mutably held).
-    fn col_of_static(&self, pos: Vec3) -> Col {
-        let f = |v: f64| ((v / self.cell_len) as usize).min(self.nc - 1);
-        Col::new(f(pos.x), f(pos.y))
-    }
-
-    fn cz_of_static(&self, pos: Vec3) -> usize {
-        ((pos.z / self.cell_len) as usize).min(self.nc - 1)
+        self.columns = staging
+            .into_iter()
+            .map(|(c, v)| (c, self.build_column(v)))
+            .collect();
     }
 
     fn ownership_owner(&self, col: Col) -> usize {
         debug_assert!(self.in_window(col), "reading owner outside window");
         self.ownership.owner_of(col)
-    }
-
-    fn insert_owned(&mut self, p: Particle) {
-        let col = self.col_of(p.pos);
-        let cz = self.cz_of(p.pos);
-        debug_assert_eq!(
-            self.ownership.owner_of(col),
-            self.rank,
-            "rank {}: received particle {} for column {col:?} it does not own",
-            self.rank,
-            p.id
-        );
-        self.columns.get_mut(&col).unwrap_or_else(|| {
-            panic!(
-                "rank {}: missing storage for owned column {col:?}",
-                self.rank
-            )
-        })[cz]
-            .push(p);
     }
 
     /// Phase 3: the DLB exchange. Returns the number of transfers this PE
@@ -316,12 +309,12 @@ impl PeState {
             return 0;
         };
         let own_load = self.last_load();
-        let neighbors = self.neighbors.clone();
         // Step 1: exchange last-step execution times.
-        for &nb in &neighbors {
+        for &nb in &self.neighbors {
             comm.send(nb, tags::LOAD, own_load);
         }
-        let nbr_loads: Vec<(usize, f64)> = neighbors
+        let nbr_loads: Vec<(usize, f64)> = self
+            .neighbors
             .iter()
             .map(|&nb| (nb, comm.recv::<f64>(nb, tags::LOAD)))
             .collect();
@@ -334,11 +327,11 @@ impl PeState {
         // Step 4: broadcast the decision to the neighbourhood.
         let wire: Option<(Col, u64, u64)> =
             my_decision.map(|d| (d.col, d.from as u64, d.to as u64));
-        for &nb in &neighbors {
+        for &nb in &self.neighbors {
             comm.send(nb, tags::DECISION, wire);
         }
         let mut decisions: Vec<DlbDecision> = my_decision.into_iter().collect();
-        for &nb in &neighbors {
+        for &nb in &self.neighbors {
             if let Some((col, from, to)) = comm.recv::<Option<(Col, u64, u64)>>(nb, tags::DECISION)
             {
                 decisions.push(DlbDecision {
@@ -361,12 +354,11 @@ impl PeState {
         // receive columns granted to us (ordered by sender rank).
         for d in &decisions {
             if d.from == self.rank {
-                let cells = self
+                let slab = self
                     .columns
                     .remove(&d.col)
                     .expect("sender owns the column data");
-                self.forces.remove(&d.col);
-                let mut flat: Vec<Particle> = cells.into_iter().flatten().collect();
+                let mut flat = slab.into_particles();
                 flat.sort_unstable_by_key(|p| p.id);
                 comm.send(d.to, tags::CELL_XFER, flat);
                 sent += 1;
@@ -375,15 +367,9 @@ impl PeState {
         for d in &decisions {
             if d.to == self.rank {
                 let flat: Vec<Particle> = comm.recv(d.from, tags::CELL_XFER);
-                let mut cells = vec![Vec::new(); self.nc];
-                for p in flat {
-                    debug_assert_eq!(self.col_of_static(p.pos), d.col);
-                    cells[self.cz_of_static(p.pos)].push(p);
-                }
-                for cell in &mut cells {
-                    cell.sort_unstable_by_key(|p| p.id);
-                }
-                self.columns.insert(d.col, cells);
+                debug_assert!(flat.iter().all(|p| self.col_of(p.pos) == d.col));
+                let slab = self.build_column(flat);
+                self.columns.insert(d.col, slab);
             }
         }
         sent
@@ -391,7 +377,6 @@ impl PeState {
 
     /// Phase 4: ghost exchange with the 8 neighbours.
     fn exchange_ghosts(&mut self, comm: &mut Comm) {
-        self.ghosts.clear();
         let grid = self.layout.grid();
         // For each owned column, every neighbouring owner needs its data.
         let mut to_send: BTreeMap<usize, BTreeSet<Col>> = BTreeMap::new();
@@ -403,16 +388,12 @@ impl PeState {
                 }
             }
         }
-        let neighbors = self.neighbors.clone();
-        for &nb in &neighbors {
+        for &nb in &self.neighbors {
             let payload: Vec<(Col, Vec<Particle>)> = to_send
                 .remove(&nb)
                 .unwrap_or_default()
                 .into_iter()
-                .map(|c| {
-                    let flat: Vec<Particle> = self.columns[&c].iter().flatten().copied().collect();
-                    (c, flat)
-                })
+                .map(|c| (c, self.columns[&c].particles().to_vec()))
                 .collect();
             comm.send(nb, tags::GHOST, payload);
         }
@@ -422,87 +403,152 @@ impl PeState {
             self.rank,
             to_send.keys()
         );
-        for &nb in &neighbors {
+        let mut ghosts = BTreeMap::new();
+        for &nb in &self.neighbors {
             let payload: Vec<(Col, Vec<Particle>)> = comm.recv(nb, tags::GHOST);
             for (col, flat) in payload {
-                let mut cells = vec![Vec::new(); self.nc];
-                for p in flat {
-                    cells[self.cz_of_static(p.pos)].push(p);
-                }
-                for cell in &mut cells {
-                    cell.sort_unstable_by_key(|p| p.id);
-                }
-                self.ghosts.insert(col, cells);
+                ghosts.insert(col, self.build_column(flat));
             }
         }
+        self.ghosts = ghosts;
     }
 
-    /// Phase 5: force computation in the canonical order (see module
-    /// docs); counts work and measures wall time.
+    /// Phase 5: force computation in the canonical half-shell order (see
+    /// module docs); counts full-shell work and measures wall time.
+    ///
+    /// Home cells are all columns this PE can see — owned *and* ghost — in
+    /// ascending global order; each home runs its intra-cell triangle
+    /// (owned homes only) and then the 13 forward offsets, storing into
+    /// whichever side(s) of each pair this PE owns. Pairs between two
+    /// ghost cells are other PEs' work and are skipped.
     fn compute_forces(&mut self) {
-        let t0 = Instant::now();
+        let t0 = WallTimer::start();
         let mut work = WorkCounters::default();
-        // Rebuild aligned force arrays.
-        let mut forces: BTreeMap<Col, Vec<Vec<Vec3>>> = BTreeMap::new();
-        for (col, cells) in &self.columns {
-            forces.insert(
-                *col,
-                cells.iter().map(|c| vec![Vec3::ZERO; c.len()]).collect(),
-            );
+        // Flat force storage over owned columns, ascending column order.
+        let mut base_of: BTreeMap<Col, usize> = BTreeMap::new();
+        let mut total = 0usize;
+        for (col, slab) in &self.columns {
+            base_of.insert(*col, total);
+            total += slab.len();
         }
+        let mut forces = vec![Vec3::ZERO; total];
         let nc = self.nc;
         let box_len = self.box_len;
         let pull = self.cfg.pull();
-        for (col, cells) in &self.columns {
-            let fcol = forces.get_mut(col).expect("aligned");
-            // Prefetch the 9 cross-section columns in canonical (dx, dy)
-            // lexicographic order, with their periodic x/y shifts.
-            let mut ring: Vec<(&ColumnCells, f64, f64)> = Vec::with_capacity(9);
-            for dx in -1i64..=1 {
-                for dy in -1i64..=1 {
-                    let (ncol, sx, sy) = wrap_col(nc, box_len, *col, dx, dy);
-                    let data = self
-                        .columns
-                        .get(&ncol)
-                        .or_else(|| self.ghosts.get(&ncol))
-                        .unwrap_or_else(|| {
-                            panic!(
+        // Home columns: owned ∪ ghost, ascending — the serial global cell
+        // order restricted to the cells this PE can see.
+        let mut homes: Vec<(Col, &CellSlab)> = self
+            .columns
+            .iter()
+            .chain(self.ghosts.iter())
+            .map(|(c, s)| (*c, s))
+            .collect();
+        homes.sort_unstable_by_key(|&(c, _)| c);
+        for (col, slab) in homes {
+            let hbase = base_of.get(&col).copied();
+            // Prefetch the forward cross-section columns with their
+            // periodic shifts and (if owned) force base offsets. A ghost
+            // home may lack forward neighbours — those pairs belong to
+            // other PEs; an owned home never may.
+            let ring: Vec<ForwardCol> = FORWARD_XY
+                .iter()
+                .map(|&(dx, dy)| {
+                    let (ncol, sx, sy) = wrap_col(nc, box_len, col, dx, dy);
+                    let found = self.columns.get(&ncol).or_else(|| self.ghosts.get(&ncol));
+                    match found {
+                        Some(s) => Some((s, sx, sy, base_of.get(&ncol).copied())),
+                        None => {
+                            assert!(
+                                hbase.is_none(),
                                 "rank {}: missing neighbour column {ncol:?} of {col:?}",
                                 self.rank
-                            )
-                        });
-                    ring.push((data, sx, sy));
-                }
-            }
+                            );
+                            None
+                        }
+                    }
+                })
+                .collect();
             for cz in 0..nc {
-                let targets = &cells[cz];
-                if targets.is_empty() {
+                let hr = slab.range(cz);
+                if hr.is_empty() {
                     continue;
                 }
-                let fs = &mut fcol[cz];
-                for (ncells, sx, sy) in &ring {
-                    for dz in -1i64..=1 {
+                let targets = slab.cell(cz);
+                if let Some(hb) = hbase {
+                    self.kernel.accumulate_intra(
+                        targets,
+                        &mut forces[hb + hr.start..hb + hr.end],
+                        &mut work,
+                    );
+                }
+                for (gi, entry) in ring.iter().enumerate() {
+                    let Some((nslab, sx, sy, nbase)) = entry else {
+                        continue;
+                    };
+                    if hbase.is_none() && nbase.is_none() {
+                        continue; // both columns ghost: another PE's pairs
+                    }
+                    let dzs: &[i64] = if gi == 0 { &[1] } else { &[-1, 0, 1] };
+                    for &dz in dzs {
                         let (nz, sz) = wrap_z(nc, box_len, cz, dz);
-                        self.kernel.accumulate(
-                            targets,
-                            fs,
-                            &ncells[nz],
-                            Vec3::new(*sx, *sy, sz),
-                            &mut work,
-                        );
+                        let nr = nslab.range(nz);
+                        if nr.is_empty() {
+                            continue;
+                        }
+                        let neighbors = nslab.cell(nz);
+                        let shift = Vec3::new(*sx, *sy, sz);
+                        match (hbase, nbase) {
+                            (Some(hb), Some(nb)) => {
+                                let (fa, fb) = disjoint_ranges_mut(
+                                    &mut forces,
+                                    hb + hr.start..hb + hr.end,
+                                    nb + nr.start..nb + nr.end,
+                                );
+                                self.kernel.accumulate_pair(
+                                    targets,
+                                    Some(fa),
+                                    neighbors,
+                                    Some(fb),
+                                    shift,
+                                    &mut work,
+                                );
+                            }
+                            (Some(hb), None) => self.kernel.accumulate_pair(
+                                targets,
+                                Some(&mut forces[hb + hr.start..hb + hr.end]),
+                                neighbors,
+                                None,
+                                shift,
+                                &mut work,
+                            ),
+                            (None, Some(nb)) => self.kernel.accumulate_pair(
+                                targets,
+                                None,
+                                neighbors,
+                                Some(&mut forces[nb + nr.start..nb + nr.end]),
+                                shift,
+                                &mut work,
+                            ),
+                            (None, None) => unreachable!(),
+                        }
                     }
                 }
-                if !pull.is_none() {
-                    for (p, f) in targets.iter().zip(fs.iter_mut()) {
-                        *f += pull.force(p.pos, box_len);
-                        work.potential += pull.energy(p.pos, box_len);
+                if let Some(hb) = hbase {
+                    if !pull.is_none() {
+                        for (p, f) in targets
+                            .iter()
+                            .zip(forces[hb + hr.start..hb + hr.end].iter_mut())
+                        {
+                            *f += pull.force(p.pos, box_len);
+                            work.potential += pull.energy(p.pos, box_len);
+                        }
                     }
                 }
             }
         }
         self.forces = forces;
         self.last_work = work;
-        self.last_force_wall = t0.elapsed().as_secs_f64();
+        self.last_force_wall = t0.elapsed_s();
         self.last_force_virtual = match self.cfg.load_metric {
             LoadMetric::WorkModel { sec_per_pair } => work.pair_checks as f64 * sec_per_pair,
             LoadMetric::WallClock => self.last_force_wall,
@@ -512,14 +558,19 @@ impl PeState {
     /// Phase 6: second half-kick with the fresh forces.
     fn kick_all(&mut self) {
         let dt = self.cfg.dt;
-        for (col, cells) in self.columns.iter_mut() {
-            let fcol = self.forces.get(col).expect("aligned");
-            for (cz, cell) in cells.iter_mut().enumerate() {
-                for (p, f) in cell.iter_mut().zip(&fcol[cz]) {
-                    kick(p, *f, dt);
-                }
+        let mut base = 0usize;
+        for slab in self.columns.values_mut() {
+            let n = slab.len();
+            for (p, f) in slab
+                .particles_mut()
+                .iter_mut()
+                .zip(&self.forces[base..base + n])
+            {
+                kick(p, *f, dt);
             }
+            base += n;
         }
+        debug_assert_eq!(base, self.forces.len());
     }
 
     /// Phase 7: periodic global velocity rescale via an id-ordered kinetic
@@ -532,7 +583,7 @@ impl PeState {
         let kes: Vec<(u64, f64)> = self
             .columns
             .values()
-            .flat_map(|cells| cells.iter().flatten())
+            .flat_map(|slab| slab.particles())
             .map(|p| (p.id, 0.5 * p.vel.norm2()))
             .collect();
         let gathered = collectives::gather(comm, tags::KE_GATHER, kes);
@@ -545,11 +596,9 @@ impl PeState {
             th.scale_factor(t_now)
         });
         let s = collectives::bcast(comm, tags::KE_BCAST, scale);
-        for cells in self.columns.values_mut() {
-            for cell in cells {
-                for p in cell {
-                    p.vel = p.vel * s;
-                }
+        for slab in self.columns.values_mut() {
+            for p in slab.particles_mut() {
+                p.vel = p.vel * s;
             }
         }
         true
@@ -567,15 +616,11 @@ impl PeState {
         let comm_delta = comm_virtual - self.last_comm_virtual;
         self.last_comm_virtual = comm_virtual;
 
-        let empty: usize = self
-            .columns
-            .values()
-            .map(|cells| cells.iter().filter(|c| c.is_empty()).count())
-            .sum();
+        let empty: usize = self.columns.values().map(CellSlab::empty_cells).sum();
         let kinetic: f64 = self
             .columns
             .values()
-            .flat_map(|cells| cells.iter().flatten())
+            .flat_map(|slab| slab.particles())
             .map(|p| 0.5 * p.vel.norm2())
             .sum();
         let packet = StatsPacket {
@@ -595,7 +640,7 @@ impl PeState {
 
     /// Run one full step. Returns `Some(record)` on rank 0.
     pub fn step(&mut self, comm: &mut Comm, step: u64) -> Option<StepRecord> {
-        let t0 = Instant::now();
+        let t0 = WallTimer::start();
         self.kick_drift_all();
         self.migrate(comm);
         let transferred = if self.cfg.dlb && step.is_multiple_of(self.cfg.dlb_interval) {
@@ -607,7 +652,7 @@ impl PeState {
         self.compute_forces();
         self.kick_all();
         self.thermostat(comm, step);
-        let wall = t0.elapsed().as_secs_f64();
+        let wall = t0.elapsed_s();
         self.collect_stats(comm, step, transferred, wall)
     }
 
@@ -616,7 +661,7 @@ impl PeState {
         let own: Vec<Particle> = self
             .columns
             .values()
-            .flat_map(|cells| cells.iter().flatten().copied())
+            .flat_map(|slab| slab.particles().iter().copied())
             .collect();
         collectives::gather(comm, tags::SNAPSHOT, own).map(|chunks| {
             let mut all: Vec<Particle> = chunks.into_iter().flatten().collect();
@@ -658,7 +703,7 @@ fn wrap_z(nc: usize, box_len: f64, cz: usize, dz: i64) -> (usize, f64) {
 
 /// The SPMD entry point: run the whole simulation on this rank.
 pub fn pe_main(comm: &mut Comm, cfg: &RunConfig, want_snapshot: bool) -> PeResult {
-    let run_start = Instant::now();
+    let run_start = WallTimer::start();
     let mut pe = PeState::new(comm.rank(), cfg);
     // Initial forces need an initial ghost exchange.
     pe.exchange_ghosts(comm);
@@ -682,7 +727,7 @@ pub fn pe_main(comm: &mut Comm, cfg: &RunConfig, want_snapshot: bool) -> PeResul
         comm_virtual_s: 0.0, // aggregated by the driver from all ranks
         msgs_sent: 0,
         bytes_sent: 0,
-        wall_s: run_start.elapsed().as_secs_f64(),
+        wall_s: run_start.elapsed_s(),
     });
     PeResult {
         report,
@@ -694,6 +739,20 @@ pub fn pe_main(comm: &mut Comm, cfg: &RunConfig, want_snapshot: bool) -> PeResul
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pcdlb_md::cells::HALF_OFFSETS_13;
+
+    #[test]
+    fn forward_groups_enumerate_the_half_shell_in_order() {
+        let mut offsets = Vec::new();
+        for (gi, &(dx, dy)) in FORWARD_XY.iter().enumerate() {
+            let dzs: &[i64] = if gi == 0 { &[1] } else { &[-1, 0, 1] };
+            for &dz in dzs {
+                offsets.push([dx, dy, dz]);
+            }
+        }
+        let expect: Vec<[i64; 3]> = HALF_OFFSETS_13.iter().map(|&(x, y, z)| [x, y, z]).collect();
+        assert_eq!(offsets, expect);
+    }
 
     #[test]
     fn wrap_col_shifts_match_cell_grid_convention() {

@@ -17,20 +17,23 @@
 //! - A boundary `i` may move only on steps with matching parity
 //!   (`(i + step) % 2 == 0`), the classic trick that stops a one-plane PE
 //!   from being squeezed from both sides in the same step.
-//! - The force loop uses the same canonical 27-neighbour, id-sorted order
-//!   as `pcdlb_md::serial` and `crate::pe`, so this simulator is also
-//!   **bitwise identical** to the serial reference.
+//! - The force loop visits home cells — owned and ghost planes alike —
+//!   in the same canonical half-shell order as `pcdlb_md::serial` and
+//!   `crate::pe`, evaluating each pair once at its canonical home, so
+//!   this simulator is also **bitwise identical** to the serial
+//!   reference.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
 
-use pcdlb_md::force::{PairKernel, WorkCounters};
+use pcdlb_md::cells::CellSlab;
+use pcdlb_md::force::{disjoint_ranges_mut, PairKernel, WorkCounters};
 use pcdlb_md::integrate::{kick, kick_drift};
 use pcdlb_md::observe;
 use pcdlb_md::vec3::Vec3;
 use pcdlb_md::Particle;
 use pcdlb_mp::{collectives, Comm, CostModel, World};
 
+use crate::clock::WallTimer;
 use crate::config::{LoadMetric, RunConfig};
 use crate::pe::initial_particles;
 use crate::report::{RunReport, StepRecord};
@@ -50,8 +53,10 @@ mod tags {
     pub const SNAPSHOT: u64 = 32;
 }
 
-/// Cells of one plane, indexed by `cy·nc + cz`, each list id-sorted.
-type PlaneData = Vec<Vec<Particle>>;
+/// The forward (dy, dz) groups within the home plane (`dx = 0`): together
+/// with the full 3×3 sweep of the `dx = 1` plane they enumerate
+/// `pcdlb_md::cells::HALF_OFFSETS_13` in canonical order.
+const FORWARD_YZ_SAME_PLANE: [(i64, &[i64]); 2] = [(0, &[1]), (1, &[-1, 0, 1])];
 
 /// Validate a config for the plane decomposition (which, unlike the
 /// square pillar, accepts any `P ≤ nc`, square or not).
@@ -88,9 +93,13 @@ struct PlanePe {
     /// Neighbour ranges, refreshed in the load exchange.
     prev_range: (usize, usize),
     next_range: (usize, usize),
-    planes: BTreeMap<usize, PlaneData>,
-    forces: BTreeMap<usize, Vec<Vec<Vec3>>>,
-    ghosts: BTreeMap<usize, PlaneData>,
+    /// Owned planes: contiguous (cell, id)-sorted storage with `nc²`
+    /// cells per plane, indexed by `cy·nc + cz`.
+    planes: BTreeMap<usize, CellSlab>,
+    /// Flat force storage: owned planes concatenated in ascending plane
+    /// order, aligned with each slab's particle order.
+    forces: Vec<Vec3>,
+    ghosts: BTreeMap<usize, CellSlab>,
     last_work: WorkCounters,
     last_force_virtual: f64,
     last_force_wall: f64,
@@ -116,24 +125,25 @@ impl PlanePe {
             prev_range: ((rank + p - 1) % p * nc / p, rank * nc / p),
             next_range: ((rank + 1) % p * nc / p, ((rank + 1) % p + 1) * nc / p),
             planes: BTreeMap::new(),
-            forces: BTreeMap::new(),
+            forces: Vec::new(),
             ghosts: BTreeMap::new(),
             last_work: WorkCounters::default(),
             last_force_virtual: 0.0,
             last_force_wall: 0.0,
             last_comm_virtual: 0.0,
         };
-        for cx in lo..hi {
-            pe.planes.insert(cx, vec![Vec::new(); nc * nc]);
-        }
+        let mut staging: BTreeMap<usize, Vec<Particle>> =
+            (lo..hi).map(|cx| (cx, Vec::new())).collect();
         for part in initial_particles(cfg) {
             let cx = pe.axis(part.pos.x);
             if cx >= lo && cx < hi {
-                let idx = pe.cell_index(part.pos);
-                pe.planes.get_mut(&cx).expect("own plane")[idx].push(part);
+                staging.get_mut(&cx).expect("own plane").push(part);
             }
         }
-        pe.sort_all_cells();
+        pe.planes = staging
+            .into_iter()
+            .map(|(cx, v)| (cx, pe.build_plane(v)))
+            .collect();
         pe
     }
 
@@ -141,8 +151,12 @@ impl PlanePe {
         ((v / self.cell_len) as usize).min(self.nc - 1)
     }
 
-    fn cell_index(&self, pos: Vec3) -> usize {
-        self.axis(pos.y) * self.nc + self.axis(pos.z)
+    /// Bin a flat particle list into one plane's `nc²` cells.
+    fn build_plane(&self, parts: Vec<Particle>) -> CellSlab {
+        let cell_len = self.cell_len;
+        let nc = self.nc;
+        let axis = move |v: f64| ((v / cell_len) as usize).min(nc - 1);
+        CellSlab::build(nc * nc, parts, move |q| axis(q.pos.y) * nc + axis(q.pos.z))
     }
 
     fn prev(&self) -> usize {
@@ -158,18 +172,7 @@ impl PlanePe {
     }
 
     fn num_particles(&self) -> usize {
-        self.planes
-            .values()
-            .map(|p| p.iter().map(Vec::len).sum::<usize>())
-            .sum()
-    }
-
-    fn sort_all_cells(&mut self) {
-        for plane in self.planes.values_mut() {
-            for cell in plane {
-                cell.sort_unstable_by_key(|q| q.id);
-            }
-        }
+        self.planes.values().map(CellSlab::len).sum()
     }
 
     fn last_load(&self) -> f64 {
@@ -183,59 +186,45 @@ impl PlanePe {
     fn kick_drift_all(&mut self) {
         let dt = self.cfg.dt;
         let box_len = self.box_len;
-        for (cx, plane) in self.planes.iter_mut() {
-            let fplane = self.forces.get(cx).expect("forces aligned");
-            for (idx, cell) in plane.iter_mut().enumerate() {
-                for (q, f) in cell.iter_mut().zip(&fplane[idx]) {
-                    kick_drift(q, *f, dt, box_len);
-                }
+        let mut base = 0usize;
+        for slab in self.planes.values_mut() {
+            let n = slab.len();
+            for (q, f) in slab
+                .particles_mut()
+                .iter_mut()
+                .zip(&self.forces[base..base + n])
+            {
+                kick_drift(q, *f, dt, box_len);
             }
+            base += n;
         }
+        debug_assert_eq!(base, self.forces.len());
     }
 
     /// Phase 2: rebin, shipping plane-crossers to the ring neighbours.
     fn migrate(&mut self, comm: &mut Comm) {
-        let mut local: Vec<Particle> = Vec::new();
+        let mut staging: BTreeMap<usize, Vec<Particle>> =
+            self.planes.keys().map(|&cx| (cx, Vec::new())).collect();
         let mut up: Vec<Particle> = Vec::new();
         let mut down: Vec<Particle> = Vec::new();
-        {
-            let cell_len = self.cell_len;
-            let nc = self.nc;
-            let (lo, hi) = (self.lo, self.hi);
-            let axis = |v: f64| ((v / cell_len) as usize).min(nc - 1);
-            for (cx, plane) in self.planes.iter_mut() {
-                // Same swap-remove-while-scanning pattern as `pe::migrate`.
-                #[allow(clippy::needless_range_loop)]
-                for idx in 0..plane.len() {
-                    let mut k = 0;
-                    while k < plane[idx].len() {
-                        let q = plane[idx][k];
-                        let ncx = axis(q.pos.x);
-                        let nidx = axis(q.pos.y) * nc + axis(q.pos.z);
-                        if ncx == *cx && nidx == idx {
-                            k += 1;
-                            continue;
-                        }
-                        plane[idx].swap_remove(k);
-                        if ncx >= lo && ncx < hi {
-                            local.push(q);
-                        } else if ncx + 1 == lo || (lo == 0 && ncx == nc - 1) {
-                            down.push(q);
-                        } else if ncx == hi || (hi == nc && ncx == 0) {
-                            up.push(q);
-                        } else {
-                            panic!(
-                                "rank {}: particle {} jumped from plane {cx} to {ncx} \
-                                 (range {lo}..{hi}) — time step too large",
-                                self.rank, q.id
-                            );
-                        }
-                    }
+        let (lo, hi, nc) = (self.lo, self.hi, self.nc);
+        for slab in std::mem::take(&mut self.planes).into_values() {
+            for q in slab.into_particles() {
+                let ncx = self.axis(q.pos.x);
+                if ncx >= lo && ncx < hi {
+                    staging.get_mut(&ncx).expect("own plane").push(q);
+                } else if ncx + 1 == lo || (lo == 0 && ncx == nc - 1) {
+                    down.push(q);
+                } else if ncx == hi || (hi == nc && ncx == 0) {
+                    up.push(q);
+                } else {
+                    panic!(
+                        "rank {}: particle {} jumped to plane {ncx} \
+                         (range {lo}..{hi}) — time step too large",
+                        self.rank, q.id
+                    );
                 }
             }
-        }
-        for q in local {
-            self.insert_owned(q);
         }
         if self.p > 1 {
             up.sort_unstable_by_key(|q| q.id);
@@ -245,24 +234,20 @@ impl PlanePe {
             let from_prev: Vec<Particle> = comm.recv(self.prev(), tags::MIGRATE_UP);
             let from_next: Vec<Particle> = comm.recv(self.next(), tags::MIGRATE_DOWN);
             for q in from_prev.into_iter().chain(from_next) {
-                self.insert_owned(q);
+                let ncx = self.axis(q.pos.x);
+                debug_assert!(
+                    ncx >= lo && ncx < hi,
+                    "rank {}: received particle {} for plane {ncx} outside {lo}..{hi}",
+                    self.rank,
+                    q.id
+                );
+                staging.get_mut(&ncx).expect("own plane").push(q);
             }
         }
-        self.sort_all_cells();
-    }
-
-    fn insert_owned(&mut self, q: Particle) {
-        let cx = self.axis(q.pos.x);
-        let idx = self.cell_index(q.pos);
-        debug_assert!(
-            cx >= self.lo && cx < self.hi,
-            "rank {}: received particle {} for plane {cx} outside {}..{}",
-            self.rank,
-            q.id,
-            self.lo,
-            self.hi
-        );
-        self.planes.get_mut(&cx).expect("owned plane")[idx].push(q);
+        self.planes = staging
+            .into_iter()
+            .map(|(cx, v)| (cx, self.build_plane(v)))
+            .collect();
     }
 
     /// Phase 3: 1-D moving-boundary balancing. Returns planes sent.
@@ -327,24 +312,16 @@ impl PlanePe {
     }
 
     fn remove_plane(&mut self, cx: usize) -> Vec<Particle> {
-        let plane = self.planes.remove(&cx).expect("own plane");
-        self.forces.remove(&cx);
-        let mut flat: Vec<Particle> = plane.into_iter().flatten().collect();
+        let slab = self.planes.remove(&cx).expect("own plane");
+        let mut flat = slab.into_particles();
         flat.sort_unstable_by_key(|q| q.id);
         flat
     }
 
     fn adopt_plane(&mut self, cx: usize, flat: Vec<Particle>) {
-        let mut plane = vec![Vec::new(); self.nc * self.nc];
-        for q in flat {
-            debug_assert_eq!(self.axis(q.pos.x), cx);
-            let idx = self.cell_index(q.pos);
-            plane[idx].push(q);
-        }
-        for cell in &mut plane {
-            cell.sort_unstable_by_key(|q| q.id);
-        }
-        self.planes.insert(cx, plane);
+        debug_assert!(flat.iter().all(|q| self.axis(q.pos.x) == cx));
+        let slab = self.build_plane(flat);
+        self.planes.insert(cx, slab);
     }
 
     /// Phase 4: ghost planes from the ring neighbours.
@@ -353,88 +330,163 @@ impl PlanePe {
         if self.p < 2 {
             return; // all planes are local
         }
-        let top = self.planes[&(self.hi - 1)]
-            .iter()
-            .flatten()
-            .copied()
-            .collect::<Vec<Particle>>();
-        let bottom = self.planes[&self.lo]
-            .iter()
-            .flatten()
-            .copied()
-            .collect::<Vec<Particle>>();
+        let top = self.planes[&(self.hi - 1)].particles().to_vec();
+        let bottom = self.planes[&self.lo].particles().to_vec();
         comm.send(self.next(), tags::GHOST_UP, ((self.hi - 1) as u64, top));
         comm.send(self.prev(), tags::GHOST_DOWN, (self.lo as u64, bottom));
         let (cx_prev, from_prev): (u64, Vec<Particle>) = comm.recv(self.prev(), tags::GHOST_UP);
         let (cx_next, from_next): (u64, Vec<Particle>) = comm.recv(self.next(), tags::GHOST_DOWN);
         for (cx, flat) in [(cx_prev as usize, from_prev), (cx_next as usize, from_next)] {
-            let mut plane = vec![Vec::new(); self.nc * self.nc];
-            for q in flat {
-                plane[self.cell_index(q.pos)].push(q);
-            }
-            for cell in &mut plane {
-                cell.sort_unstable_by_key(|q| q.id);
-            }
-            self.ghosts.insert(cx, plane);
+            self.ghosts.insert(cx, self.build_plane(flat));
         }
     }
 
-    /// Phase 5: forces in the canonical (dx, dy, dz) order.
+    /// Phase 5: forces in the canonical half-shell order. Home cells run
+    /// over owned *and* ghost planes in ascending global order; a ghost
+    /// home stores only into owned forward neighbours, and a pair between
+    /// two ghost cells is another PE's work.
     fn compute_forces(&mut self) {
-        let t0 = Instant::now();
+        let t0 = WallTimer::start();
         let mut work = WorkCounters::default();
         let nc = self.nc;
         let box_len = self.box_len;
         let pull = self.cfg.pull();
-        let mut forces: BTreeMap<usize, Vec<Vec<Vec3>>> = BTreeMap::new();
-        for (cx, plane) in &self.planes {
-            forces.insert(
-                *cx,
-                plane.iter().map(|c| vec![Vec3::ZERO; c.len()]).collect(),
-            );
+        // Flat force storage over owned planes, ascending plane order.
+        let mut base_of: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut total = 0usize;
+        for (cx, slab) in &self.planes {
+            base_of.insert(*cx, total);
+            total += slab.len();
         }
-        for (cx, plane) in &self.planes {
-            let fplane = forces.get_mut(cx).expect("aligned");
-            // Prefetch the three x-planes in canonical dx order.
-            let mut ring: Vec<(&PlaneData, f64)> = Vec::with_capacity(3);
-            for dx in -1i64..=1 {
-                let (ncx, sx) = wrap1(nc, box_len, *cx, dx);
-                let data = self
-                    .planes
-                    .get(&ncx)
-                    .or_else(|| self.ghosts.get(&ncx))
-                    .unwrap_or_else(|| {
-                        panic!("rank {}: missing plane {ncx} next to {cx}", self.rank)
-                    });
-                ring.push((data, sx));
-            }
+        let mut forces = vec![Vec3::ZERO; total];
+        let mut homes: Vec<(usize, &CellSlab)> = self
+            .planes
+            .iter()
+            .chain(self.ghosts.iter())
+            .map(|(cx, s)| (*cx, s))
+            .collect();
+        homes.sort_unstable_by_key(|&(cx, _)| cx);
+        for (cx, slab) in homes {
+            let hbase = base_of.get(&cx).copied();
+            // The forward plane (dx = 1), when visible; a ghost home may
+            // have none (those pairs belong to another PE).
+            let (fcx, sx) = wrap1(nc, box_len, cx, 1);
+            let fwd = self
+                .planes
+                .get(&fcx)
+                .or_else(|| self.ghosts.get(&fcx))
+                .map(|s| (s, base_of.get(&fcx).copied()));
+            assert!(
+                fwd.is_some() || hbase.is_none(),
+                "rank {}: missing plane {fcx} next to {cx}",
+                self.rank
+            );
             for cy in 0..nc {
                 for cz in 0..nc {
                     let idx = cy * nc + cz;
-                    let targets = &plane[idx];
-                    if targets.is_empty() {
+                    let hr = slab.range(idx);
+                    if hr.is_empty() {
                         continue;
                     }
-                    let fs = &mut fplane[idx];
-                    for (pdata, sx) in &ring {
-                        for dy in -1i64..=1 {
+                    let targets = slab.cell(idx);
+                    if let Some(hb) = hbase {
+                        self.kernel.accumulate_intra(
+                            targets,
+                            &mut forces[hb + hr.start..hb + hr.end],
+                            &mut work,
+                        );
+                    }
+                    // dx = 0: the two forward (dy, dz) groups in the home
+                    // plane — owned homes only (ghost×ghost otherwise).
+                    if let Some(hb) = hbase {
+                        for &(dy, dzs) in &FORWARD_YZ_SAME_PLANE {
                             let (ny, sy) = wrap1(nc, box_len, cy, dy);
-                            for dz in -1i64..=1 {
+                            for &dz in dzs {
                                 let (nz, sz) = wrap1(nc, box_len, cz, dz);
-                                self.kernel.accumulate(
+                                let nidx = ny * nc + nz;
+                                let nr = slab.range(nidx);
+                                if nr.is_empty() {
+                                    continue;
+                                }
+                                let (fa, fb) = disjoint_ranges_mut(
+                                    &mut forces,
+                                    hb + hr.start..hb + hr.end,
+                                    hb + nr.start..hb + nr.end,
+                                );
+                                self.kernel.accumulate_pair(
                                     targets,
-                                    fs,
-                                    &pdata[ny * nc + nz],
-                                    Vec3::new(*sx, sy, sz),
+                                    Some(fa),
+                                    slab.cell(nidx),
+                                    Some(fb),
+                                    Vec3::new(0.0, sy, sz),
                                     &mut work,
                                 );
                             }
                         }
                     }
-                    if !pull.is_none() {
-                        for (q, f) in targets.iter().zip(fs.iter_mut()) {
-                            *f += pull.force(q.pos, box_len);
-                            work.potential += pull.energy(q.pos, box_len);
+                    // dx = 1: the full 3×3 sweep of the forward plane.
+                    let Some((fslab, fbase)) = fwd else {
+                        continue;
+                    };
+                    if hbase.is_none() && fbase.is_none() {
+                        continue; // both planes ghost: another PE's pairs
+                    }
+                    for dy in -1i64..=1 {
+                        let (ny, sy) = wrap1(nc, box_len, cy, dy);
+                        for dz in -1i64..=1 {
+                            let (nz, sz) = wrap1(nc, box_len, cz, dz);
+                            let nidx = ny * nc + nz;
+                            let nr = fslab.range(nidx);
+                            if nr.is_empty() {
+                                continue;
+                            }
+                            let neighbors = fslab.cell(nidx);
+                            let shift = Vec3::new(sx, sy, sz);
+                            match (hbase, fbase) {
+                                (Some(hb), Some(nb)) => {
+                                    let (fa, fb) = disjoint_ranges_mut(
+                                        &mut forces,
+                                        hb + hr.start..hb + hr.end,
+                                        nb + nr.start..nb + nr.end,
+                                    );
+                                    self.kernel.accumulate_pair(
+                                        targets,
+                                        Some(fa),
+                                        neighbors,
+                                        Some(fb),
+                                        shift,
+                                        &mut work,
+                                    );
+                                }
+                                (Some(hb), None) => self.kernel.accumulate_pair(
+                                    targets,
+                                    Some(&mut forces[hb + hr.start..hb + hr.end]),
+                                    neighbors,
+                                    None,
+                                    shift,
+                                    &mut work,
+                                ),
+                                (None, Some(nb)) => self.kernel.accumulate_pair(
+                                    targets,
+                                    None,
+                                    neighbors,
+                                    Some(&mut forces[nb + nr.start..nb + nr.end]),
+                                    shift,
+                                    &mut work,
+                                ),
+                                (None, None) => unreachable!(),
+                            }
+                        }
+                    }
+                    if let Some(hb) = hbase {
+                        if !pull.is_none() {
+                            for (q, f) in targets
+                                .iter()
+                                .zip(forces[hb + hr.start..hb + hr.end].iter_mut())
+                            {
+                                *f += pull.force(q.pos, box_len);
+                                work.potential += pull.energy(q.pos, box_len);
+                            }
                         }
                     }
                 }
@@ -442,7 +494,7 @@ impl PlanePe {
         }
         self.forces = forces;
         self.last_work = work;
-        self.last_force_wall = t0.elapsed().as_secs_f64();
+        self.last_force_wall = t0.elapsed_s();
         self.last_force_virtual = match self.cfg.load_metric {
             LoadMetric::WorkModel { sec_per_pair } => work.pair_checks as f64 * sec_per_pair,
             LoadMetric::WallClock => self.last_force_wall,
@@ -452,14 +504,19 @@ impl PlanePe {
     /// Phase 6: second half-kick.
     fn kick_all(&mut self) {
         let dt = self.cfg.dt;
-        for (cx, plane) in self.planes.iter_mut() {
-            let fplane = self.forces.get(cx).expect("aligned");
-            for (idx, cell) in plane.iter_mut().enumerate() {
-                for (q, f) in cell.iter_mut().zip(&fplane[idx]) {
-                    kick(q, *f, dt);
-                }
+        let mut base = 0usize;
+        for slab in self.planes.values_mut() {
+            let n = slab.len();
+            for (q, f) in slab
+                .particles_mut()
+                .iter_mut()
+                .zip(&self.forces[base..base + n])
+            {
+                kick(q, *f, dt);
             }
+            base += n;
         }
+        debug_assert_eq!(base, self.forces.len());
     }
 
     /// Phase 7: id-ordered global thermostat (bitwise identical to the
@@ -472,7 +529,7 @@ impl PlanePe {
         let kes: Vec<(u64, f64)> = self
             .planes
             .values()
-            .flat_map(|plane| plane.iter().flatten())
+            .flat_map(|slab| slab.particles())
             .map(|q| (q.id, 0.5 * q.vel.norm2()))
             .collect();
         let gathered = collectives::gather(comm, tags::KE_GATHER, kes);
@@ -483,17 +540,15 @@ impl PlanePe {
             th.scale_factor(observe::temperature_from_ke(ke, self.cfg.n_particles))
         });
         let s = collectives::bcast(comm, tags::KE_BCAST, scale);
-        for plane in self.planes.values_mut() {
-            for cell in plane {
-                for q in cell {
-                    q.vel = q.vel * s;
-                }
+        for slab in self.planes.values_mut() {
+            for q in slab.particles_mut() {
+                q.vel = q.vel * s;
             }
         }
     }
 
     fn step(&mut self, comm: &mut Comm, step: u64) -> Option<StepRecord> {
-        let t0 = Instant::now();
+        let t0 = WallTimer::start();
         self.kick_drift_all();
         self.migrate(comm);
         let transferred = if step.is_multiple_of(self.cfg.dlb_interval) {
@@ -505,20 +560,16 @@ impl PlanePe {
         self.compute_forces();
         self.kick_all();
         self.thermostat(comm, step);
-        let wall = t0.elapsed().as_secs_f64();
+        let wall = t0.elapsed_s();
 
         let comm_virtual = comm.stats().virtual_comm_s;
         let comm_delta = comm_virtual - self.last_comm_virtual;
         self.last_comm_virtual = comm_virtual;
-        let empty: usize = self
-            .planes
-            .values()
-            .map(|plane| plane.iter().filter(|c| c.is_empty()).count())
-            .sum();
+        let empty: usize = self.planes.values().map(CellSlab::empty_cells).sum();
         let kinetic: f64 = self
             .planes
             .values()
-            .flat_map(|plane| plane.iter().flatten())
+            .flat_map(|slab| slab.particles())
             .map(|q| 0.5 * q.vel.norm2())
             .sum();
         let packet = StatsPacket {
@@ -540,7 +591,7 @@ impl PlanePe {
         let own: Vec<Particle> = self
             .planes
             .values()
-            .flat_map(|plane| plane.iter().flatten().copied())
+            .flat_map(|slab| slab.particles().iter().copied())
             .collect();
         collectives::gather(comm, tags::SNAPSHOT, own).map(|chunks| {
             let mut all: Vec<Particle> = chunks.into_iter().flatten().collect();
@@ -583,7 +634,7 @@ fn run_plane_inner(cfg: &RunConfig, want_snapshot: bool) -> (RunReport, Option<V
         comm: pcdlb_mp::CommStats,
     }
     let mut results: Vec<R> = world.run(|comm| {
-        let run_start = Instant::now();
+        let run_start = WallTimer::start();
         let mut pe = PlanePe::new(comm.rank(), cfg);
         pe.exchange_ghosts(comm);
         pe.compute_forces();
@@ -605,7 +656,7 @@ fn run_plane_inner(cfg: &RunConfig, want_snapshot: bool) -> (RunReport, Option<V
                 comm_virtual_s: 0.0,
                 msgs_sent: 0,
                 bytes_sent: 0,
-                wall_s: run_start.elapsed().as_secs_f64(),
+                wall_s: run_start.elapsed_s(),
             }),
             snapshot,
             comm: comm.stats(),

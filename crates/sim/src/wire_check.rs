@@ -1,0 +1,185 @@
+//! Wire-size audit: every payload type the simulators actually send must
+//! have a `WireSize` impl that matches a reference length-prefixed binary
+//! encoding, so `CostModel::message_time` is never silently charged the
+//! wrong byte count (or 0) when a message type is added or changed.
+//!
+//! The reference encoding mirrors the convention documented in
+//! `pcdlb_mp::wire`: scalars are their `size_of` in little-endian bytes,
+//! a `Vec` is an 8-byte length prefix plus its elements, an `Option` is a
+//! 1-byte discriminant plus the payload, and tuples/structs concatenate
+//! their fields.
+
+use pcdlb_domain::Col;
+use pcdlb_md::{Particle, Vec3};
+use pcdlb_mp::WireSize;
+
+use crate::stats::StatsPacket;
+
+/// Reference encoder: actually serialize the value and count the bytes.
+trait RefEncode {
+    fn encode(&self, out: &mut Vec<u8>);
+
+    fn encoded_len(&self) -> usize {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out.len()
+    }
+}
+
+impl RefEncode for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl RefEncode for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl<T: RefEncode> RefEncode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: RefEncode> RefEncode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl<A: RefEncode, B: RefEncode> RefEncode for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+}
+
+impl<A: RefEncode, B: RefEncode, C: RefEncode> RefEncode for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+}
+
+impl<A: RefEncode, B: RefEncode, C: RefEncode, D: RefEncode> RefEncode for (A, B, C, D) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+        self.3.encode(out);
+    }
+}
+
+impl RefEncode for Vec3 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.x.encode(out);
+        self.y.encode(out);
+        self.z.encode(out);
+    }
+}
+
+impl RefEncode for Particle {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.pos.encode(out);
+        self.vel.encode(out);
+    }
+}
+
+impl RefEncode for Col {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.cx as u64).encode(out);
+        (self.cy as u64).encode(out);
+    }
+}
+
+impl RefEncode for StatsPacket {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.cells.encode(out);
+        self.empty_cells.encode(out);
+        self.particles.encode(out);
+        self.force_virtual.encode(out);
+        self.force_wall.encode(out);
+        self.comm_virtual_delta.encode(out);
+        self.pair_checks.encode(out);
+        self.potential.encode(out);
+        self.kinetic.encode(out);
+        self.transferred.encode(out);
+    }
+}
+
+fn check<T: WireSize + RefEncode>(value: &T, what: &str) {
+    assert_eq!(
+        value.wire_size(),
+        value.encoded_len(),
+        "WireSize mismatch for {what}"
+    );
+}
+
+fn particle(id: u64) -> Particle {
+    Particle {
+        id,
+        pos: Vec3::new(1.25, -0.5, 3.0),
+        vel: Vec3::new(0.0, 2.0, -1.0),
+    }
+}
+
+#[test]
+fn every_sent_payload_type_matches_the_reference_encoding() {
+    // pe.rs: MIGRATE / CELL_XFER / SNAPSHOT carry Vec<Particle>.
+    check(&Vec::<Particle>::new(), "empty Vec<Particle>");
+    check(&vec![particle(0), particle(1)], "Vec<Particle>");
+    // pe.rs: LOAD carries f64; KE_BCAST broadcasts the f64 scale.
+    check(&1.5f64, "f64 load");
+    // pe.rs: DECISION carries Option<(Col, u64, u64)>.
+    check(&None::<(Col, u64, u64)>, "DECISION None");
+    check(&Some((Col::new(2, 3), 4u64, 5u64)), "DECISION Some");
+    // pe.rs: GHOST carries Vec<(Col, Vec<Particle>)>.
+    check(
+        &vec![
+            (Col::new(0, 0), vec![particle(7)]),
+            (Col::new(1, 5), Vec::new()),
+        ],
+        "pillar ghost payload",
+    );
+    // pe.rs / plane.rs / cube.rs: KE_GATHER carries Vec<(u64, f64)>.
+    check(&vec![(0u64, 0.5f64), (3u64, 1.25f64)], "KE gather");
+    // plane.rs: LOAD_UP / LOAD_DOWN carry (u64, u64, f64).
+    check(&(0u64, 4u64, 2.5f64), "plane load triple");
+    // plane.rs: GHOST_UP / GHOST_DOWN carry (u64, Vec<Particle>).
+    check(&(3u64, vec![particle(9)]), "plane ghost payload");
+    // cube.rs: GHOST carries Vec<(u64, u64, u64, Vec<Particle>)>.
+    check(
+        &vec![(1u64, 2u64, 3u64, vec![particle(11), particle(12)])],
+        "cube ghost payload",
+    );
+    // stats.rs: STATS gathers a StatsPacket per rank.
+    check(
+        &StatsPacket {
+            cells: 8,
+            empty_cells: 1,
+            particles: 100,
+            force_virtual: 0.25,
+            force_wall: 0.0,
+            comm_virtual_delta: 0.125,
+            pair_checks: 4242,
+            potential: -3.5,
+            kinetic: 2.25,
+            transferred: 1,
+        },
+        "StatsPacket",
+    );
+}
