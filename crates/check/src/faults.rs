@@ -1,0 +1,224 @@
+//! The fault-schedule explorer: crash-recovery parity under injected
+//! transport faults.
+//!
+//! `pcdlb-sim`'s recovery loop claims that a run which loses a rank and
+//! restarts from the last distributed checkpoint produces **bitwise
+//! identical** records and particle state to an uninterrupted run
+//! ([`pcdlb_sim::digest::digest_recovery`] parity). A single
+//! hand-picked kill site cannot substantiate that claim — the recovery
+//! path looks different depending on *where* in the protocol the rank
+//! died (mid-migration, inside a collective, during the checkpoint
+//! gather itself, before any checkpoint exists). This module sweeps the
+//! claim:
+//!
+//! - **Kill-point sweep**: for every rank of a 2×2 world, kill it at
+//!   send-op `0, stride, 2·stride, …` on the first launch and assert
+//!   the recovered digest equals the fault-free reference. Op indices
+//!   past the rank's send count simply never fire (the run completes on
+//!   the first attempt), so the sweep covers the whole run without
+//!   needing per-rank send totals.
+//! - **Seeded fault matrix**: [`FaultPlan::seeded`] schedules drawn per
+//!   `(seed, rank)` mix drops, delays, duplicates, truncations and
+//!   kills on the first launch. Non-kill faults surface as structured
+//!   `CommError` diagnostics on some rank, which tears the world down
+//!   exactly like a kill; either way the relaunch must restore parity.
+//!
+//! Every sweep runs under a global wall-clock timeout: the no-hang
+//! guarantee (a dead peer must never leave a survivor blocked forever)
+//! is itself part of what is being checked, so a hang is reported as a
+//! failure rather than wedging CI.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use pcdlb_mp::fault::splitmix64;
+use pcdlb_mp::FaultPlan;
+use pcdlb_sim::config::{Lattice, RunConfig};
+use pcdlb_sim::{run_with_recovery, run_with_recovery_faulted, RecoveryOptions};
+
+/// What a fault sweep observed.
+#[derive(Debug, Clone)]
+pub struct FaultSweepOutcome {
+    /// [`digest_recovery`](pcdlb_sim::digest::digest_recovery) of the
+    /// fault-free reference run every faulted run is compared against.
+    pub reference_digest: u64,
+    /// Kill-point runs performed (one per `(rank, op)` pair swept).
+    pub kill_runs: usize,
+    /// Kill-point runs whose kill actually fired (needed > 1 attempt).
+    pub kills_fired: usize,
+    /// Seeded mixed-fault runs performed.
+    pub seeded_runs: usize,
+    /// Seeded runs where at least one fault forced a relaunch.
+    pub faults_fired: usize,
+    /// Parity or recovery failures (empty when the invariant holds).
+    pub violations: Vec<String>,
+}
+
+/// The sweep workload: the same small-but-busy 2×2 recovery
+/// configuration the `pcdlb-sim` recovery tests use — DDM only (P = 4
+/// cannot run DLB), clustered start so migration and ghost traffic are
+/// heavy, the thermostat firing mid-run, a checkpoint gathered every 5
+/// of 24 steps.
+pub fn sweep_config() -> RunConfig {
+    let mut cfg = RunConfig::new(216, 4, 4, 0.2);
+    cfg.dlb = false;
+    cfg.steps = 24;
+    cfg.thermostat_interval = 10;
+    cfg.lattice = Lattice::Cluster { fill: 0.8 };
+    cfg.seed = 11;
+    cfg.checkpoint_interval = 5;
+    cfg
+}
+
+/// Recovery knobs for sweep runs: a tight poll so aborts propagate
+/// fast, a watchdog generous enough for a loaded CI machine but short
+/// enough that a genuinely wedged receive fails the run promptly, and
+/// enough attempts that a multi-rank seeded plan cannot exhaust them.
+fn sweep_opts() -> RecoveryOptions {
+    RecoveryOptions {
+        max_attempts: 6,
+        poll: Duration::from_millis(2),
+        watchdog: Duration::from_secs(10),
+    }
+}
+
+/// Sweep kill points at the given send-op `stride` and run `seeds`
+/// mixed-fault schedules, asserting recovery parity for each.
+pub fn fault_sweep(stride: u64, seeds: usize) -> FaultSweepOutcome {
+    let stride = stride.max(1);
+    let cfg = sweep_config();
+    let opts = sweep_opts();
+    let mut out = FaultSweepOutcome {
+        reference_digest: 0,
+        kill_runs: 0,
+        kills_fired: 0,
+        seeded_runs: 0,
+        faults_fired: 0,
+        violations: Vec::new(),
+    };
+    let reference = match run_with_recovery(&cfg, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            out.violations
+                .push(format!("fault-free reference run failed: {e}"));
+            return out;
+        }
+    };
+    out.reference_digest = reference.digest;
+    // A per-rank send-count bound: ranks of this symmetric world send
+    // near-identical counts, so mean-plus-margin covers the busiest one;
+    // ops past a rank's real count just never fire.
+    let max_op = reference.report.msgs_sent / cfg.p as u64 + cfg.steps;
+
+    for rank in 0..cfg.p {
+        for op in (0..max_op).step_by(stride as usize) {
+            let res = run_with_recovery_faulted(&cfg, &opts, |attempt, r| {
+                (attempt == 0 && r == rank).then(|| FaultPlan::kill_at(op))
+            });
+            out.kill_runs += 1;
+            match res {
+                Ok(o) => {
+                    if o.attempts > 1 {
+                        out.kills_fired += 1;
+                    }
+                    if o.digest != reference.digest {
+                        out.violations.push(format!(
+                            "kill(rank {rank}, op {op}): digest {:#018x} != reference {:#018x} after {} attempt(s)",
+                            o.digest, reference.digest, o.attempts
+                        ));
+                    }
+                }
+                Err(e) => out
+                    .violations
+                    .push(format!("kill(rank {rank}, op {op}): unrecovered: {e}")),
+            }
+        }
+    }
+
+    for seed in 1..=seeds as u64 {
+        let res = run_with_recovery_faulted(&cfg, &opts, |attempt, rank| {
+            if attempt > 0 {
+                return None;
+            }
+            // Derive each rank's plan seed from the matrix seed with the
+            // same splitmix64 stream seeded plans use internally.
+            let mut state = seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(rank as u64 + 1);
+            let plan = FaultPlan::seeded(splitmix64(&mut state), max_op, 2);
+            (!plan.is_empty()).then_some(plan)
+        });
+        out.seeded_runs += 1;
+        match res {
+            Ok(o) => {
+                if o.attempts > 1 {
+                    out.faults_fired += 1;
+                }
+                if o.digest != reference.digest {
+                    out.violations.push(format!(
+                        "seeded(seed {seed}): digest {:#018x} != reference {:#018x} after {} attempt(s)",
+                        o.digest, reference.digest, o.attempts
+                    ));
+                }
+            }
+            Err(e) => out
+                .violations
+                .push(format!("seeded(seed {seed}): unrecovered: {e}")),
+        }
+    }
+    out
+}
+
+/// Run `f` on a worker thread, failing with a diagnostic if it does not
+/// finish within `timeout` — the no-hang backstop for sweep runs.
+fn run_under_timeout<T: Send + 'static>(
+    timeout: Duration,
+    what: &str,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> Result<T, String> {
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(timeout).map_err(|_| {
+        format!(
+            "{what} exceeded its global {}s timeout — a surviving rank is hung",
+            timeout.as_secs()
+        )
+    })
+}
+
+/// [`fault_sweep`] under a global wall-clock `timeout`.
+pub fn fault_sweep_with_timeout(
+    stride: u64,
+    seeds: usize,
+    timeout: Duration,
+) -> Result<FaultSweepOutcome, String> {
+    run_under_timeout(timeout, "fault sweep", move || fault_sweep(stride, seeds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_holds_recovery_parity() {
+        // A coarse stride keeps this a smoke test; the fine-grained sweep
+        // is `pcdlb-check faults` (CI's fault-matrix job).
+        let out = fault_sweep(97, 2);
+        assert!(out.violations.is_empty(), "{:#?}", out.violations);
+        assert!(out.kill_runs >= 2 * 4, "at least two points per rank");
+        assert!(out.kills_fired > 0, "the low kill points must fire");
+        assert_eq!(out.seeded_runs, 2);
+        assert_ne!(out.reference_digest, 0);
+    }
+
+    #[test]
+    fn the_global_timeout_reports_a_hang() {
+        let err = run_under_timeout(Duration::from_millis(20), "stall probe", || {
+            thread::sleep(Duration::from_millis(400));
+        })
+        .expect_err("must time out");
+        assert!(err.contains("stall probe"), "{err}");
+        assert!(err.contains("timeout"), "{err}");
+    }
+}

@@ -21,13 +21,24 @@
 //!    checked by re-running the simulator under a controlled scheduler
 //!    (`pcdlb-mp`'s `check` feature) that permutes message-arrival order.
 //!
+//! A fourth property arrived with the recovery subsystem:
+//!
+//! 4. **Crash recovery restores bitwise parity** ([`faults`]): killing
+//!    any rank at any send op — or injecting seeded drop / delay /
+//!    duplicate / truncate schedules — and restarting from the last
+//!    distributed checkpoint must reproduce the uninterrupted run's
+//!    records and particle state exactly, checked by sweeping kill
+//!    points across a 2×2 run under a global no-hang timeout.
+//!
 //! [`lint`] adds a repo lint pass for the hazards that produce such bugs:
 //! wall-clock reads in deterministic crates, hash-order iteration in
-//! protocol-facing code, and `unwrap()` on send/recv paths.
+//! protocol-facing code, and `unwrap()` / unaudited `expect()` on
+//! send/recv paths.
 //!
 //! The `pcdlb-check` binary drives all of it; see `README.md`.
 
 pub mod explore;
+pub mod faults;
 pub mod invariant;
 pub mod lint;
 pub mod schedule;

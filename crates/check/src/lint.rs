@@ -1,6 +1,6 @@
 //! Repo lint pass for determinism and protocol-robustness hazards.
 //!
-//! Three rules, each scoped to the code where the hazard is real:
+//! Four rules, each scoped to the code where the hazard is real:
 //!
 //! - `wallclock-in-deterministic-crate`: no `Instant::now` / `SystemTime`
 //!   in `pcdlb-md`, `pcdlb-core`, `pcdlb-domain`, `pcdlb-sim`. Physics and
@@ -12,9 +12,14 @@
 //!   order varies between runs, which silently breaks bitwise
 //!   reproducibility when it reaches message payloads or summation order.
 //! - `unwrap-in-send-recv-path`: no bare `.unwrap()` on the send/recv
-//!   paths (`comm`, `world`, `collectives`, `channel`) or in the protocol
-//!   module; failures there must carry a message (`expect`) or a typed
-//!   error (`ProtocolError`).
+//!   paths (`comm`, `world`, `collectives`, `channel`, `fault`) or in
+//!   the protocol module; failures there must carry a message (`expect`)
+//!   or a typed error (`ProtocolError`).
+//! - `expect-in-send-recv-path`: every `.expect(...)` on those same paths
+//!   is a panic site a transport fault might reach. Each one must either
+//!   be converted to a structured `CommError` or individually audited and
+//!   allowlisted as guarding a local invariant (a poisoned lock, a
+//!   just-checked index) that no remote input can violate.
 //!
 //! The scanner is textual by design (no rustc plumbing): it skips
 //! `#[cfg(test)]` blocks by brace counting and strips `//` comments
@@ -99,9 +104,23 @@ const RULES: &[Rule] = &[
             "crates/mp/src/world.rs",
             "crates/mp/src/collectives.rs",
             "crates/mp/src/channel.rs",
+            "crates/mp/src/fault.rs",
             "crates/core/src/protocol.rs",
         ],
         patterns: &[".unwrap()"],
+    },
+    Rule {
+        name: "expect-in-send-recv-path",
+        dirs: &[],
+        files: &[
+            "crates/mp/src/comm.rs",
+            "crates/mp/src/world.rs",
+            "crates/mp/src/collectives.rs",
+            "crates/mp/src/channel.rs",
+            "crates/mp/src/fault.rs",
+            "crates/core/src/protocol.rs",
+        ],
+        patterns: &[".expect("],
     },
 ];
 
@@ -339,6 +358,32 @@ mod tests {
             .map(|f| f.line)
             .collect();
         assert_eq!(lines, vec![1, 7], "test-module unwraps must be skipped");
+    }
+
+    #[test]
+    fn expect_on_send_path_is_flagged_unless_allowlisted() {
+        let fx = Fixture::new(&[
+            (
+                "crates/mp/src/fault.rs",
+                concat!(
+                    "fn arm() { plan.sites.first().expect(\"plan is non-empty\"); }\n",
+                    "fn ok() { self.state.lock().expect(\"mutex poisoned\"); }\n",
+                ),
+            ),
+            (
+                "lint-allow.txt",
+                "expect-in-send-recv-path fault.rs mutex poisoned\n",
+            ),
+        ]);
+        let r = run_lints(&fx.root).expect("lint runs");
+        let hits: Vec<usize> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == "expect-in-send-recv-path")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(hits, vec![1], "only the unaudited expect is reported");
+        assert_eq!(r.suppressed, 1);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! pcdlb-check verify     [--max-side N] [--max-m M] [--max-states K]
 //! pcdlb-check interleave [--steps S] [--dfs-runs N] [--seeded-runs N]
+//! pcdlb-check faults     [--stride N] [--seeds N] [--timeout-s N]
 //! pcdlb-check lint       [--root PATH]
 //! pcdlb-check all
 //! ```
@@ -12,8 +13,10 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use pcdlb_check::explore::{config_2x2, explore};
+use pcdlb_check::faults::fault_sweep_with_timeout;
 use pcdlb_check::invariant::{verify_invariant, InvariantConfig};
 use pcdlb_check::lint::run_lints;
 use pcdlb_check::verify::verify_protocol;
@@ -30,9 +33,11 @@ fn main() -> ExitCode {
     let result = match cmd {
         "verify" => cmd_verify(rest),
         "interleave" => cmd_interleave(rest),
+        "faults" => cmd_faults(rest),
         "lint" => cmd_lint(rest),
         "all" => cmd_verify(&[])
             .and_then(|()| cmd_interleave(&[]))
+            .and_then(|()| cmd_faults(&[]))
             .and_then(|()| cmd_lint(&[])),
         "--help" | "-h" | "help" => {
             usage();
@@ -51,7 +56,7 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: pcdlb-check <verify|interleave|lint|all> [options]\n\
+        "usage: pcdlb-check <verify|interleave|faults|lint|all> [options]\n\
          \n\
          verify     static protocol verification: tag table, send/recv\n\
          \u{20}          matching, deadlock freedom on all grids up to --max-side\n\
@@ -59,6 +64,10 @@ fn usage() {
          \u{20}          to --max-m (default 3), --max-states (default 20000)\n\
          interleave determinism check: explore message-delivery orders on a\n\
          \u{20}          2x2 PE run (--steps 6 --dfs-runs 24 --seeded-runs 24)\n\
+         faults     crash-recovery parity sweep: kill each rank of a 2x2 run\n\
+         \u{20}          at every --stride'th send op (default 16) plus --seeds\n\
+         \u{20}          (default 6) seeded mixed-fault schedules, all under a\n\
+         \u{20}          global --timeout-s (default 600) no-hang deadline\n\
          lint       hazard lint over the repo tree (--root .)"
     );
 }
@@ -134,6 +143,29 @@ fn cmd_interleave(rest: &[String]) -> Result<(), String> {
         return Err(format!(
             "simulation digest depends on message-delivery order: {:?}",
             out.digests
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_faults(rest: &[String]) -> Result<(), String> {
+    let v = opts(
+        rest,
+        &[("--stride", 16), ("--seeds", 6), ("--timeout-s", 600)],
+    )?;
+    let (stride, seeds, timeout_s) = (v[0] as u64, v[1], v[2] as u64);
+    let out = fault_sweep_with_timeout(stride, seeds, Duration::from_secs(timeout_s))?;
+    println!(
+        "faults: {} kill-point runs ({} fired), {} seeded runs ({} faulted), reference digest {:#018x}",
+        out.kill_runs, out.kills_fired, out.seeded_runs, out.faults_fired, out.reference_digest
+    );
+    if !out.violations.is_empty() {
+        for v in &out.violations {
+            eprintln!("  {v}");
+        }
+        return Err(format!(
+            "{} recovery-parity violation(s)",
+            out.violations.len()
         ));
     }
     Ok(())

@@ -72,6 +72,8 @@ pub struct ScheduleOpts {
     pub thermostat: bool,
     /// Include the stats gather.
     pub stats: bool,
+    /// Include the periodic distributed-checkpoint gather.
+    pub checkpoint: bool,
     /// Include the end-of-run snapshot gather.
     pub snapshot: bool,
 }
@@ -84,6 +86,7 @@ impl ScheduleOpts {
             decisions: Vec::new(),
             thermostat: true,
             stats: true,
+            checkpoint: true,
             snapshot: true,
         }
     }
@@ -137,6 +140,9 @@ pub fn step_schedule(side: usize, opts: &ScheduleOpts) -> StepSchedule {
         }
         if opts.stats {
             gather_ops(&mut ops, CommPhase::Stats, p, r, tags::STATS);
+        }
+        if opts.checkpoint {
+            gather_ops(&mut ops, CommPhase::Checkpoint, p, r, tags::CKPT_GATHER);
         }
         if opts.snapshot {
             gather_ops(&mut ops, CommPhase::Snapshot, p, r, tags::SNAPSHOT);

@@ -328,6 +328,7 @@ pub fn verify_protocol(max_side: usize) -> VerifyReport {
                     decisions: (0..p).map(|r| (r, torus.neighbor(r, di, dj))).collect(),
                     thermostat: true,
                     stats: true,
+                    checkpoint: true,
                     snapshot: true,
                 });
             }

@@ -60,6 +60,10 @@ pub mod tags {
     pub const STATS: u64 = 12;
     /// End of run (collective): final particle snapshot gather to rank 0.
     pub const SNAPSHOT: u64 = 13;
+    /// Periodic (collective): distributed checkpoint gather to rank 0 —
+    /// every owned column's particles plus the ownership view, so rank 0
+    /// can assemble a restartable [`pcdlb-sim`] checkpoint.
+    pub const CKPT_GATHER: u64 = 14;
 
     /// The communication phases of one simulated step, in program order.
     /// Every blocking receive in `pcdlb-sim`'s pillar step belongs to
@@ -83,6 +87,8 @@ pub mod tags {
         Stats,
         /// Final snapshot gather (collective).
         Snapshot,
+        /// Periodic distributed checkpoint gather (collective).
+        Checkpoint,
     }
 
     /// One row of [`TAG_TABLE`]: a tag, its name, the phase that uses it,
@@ -155,6 +161,12 @@ pub mod tags {
             tag: SNAPSHOT,
             name: "SNAPSHOT",
             phase: CommPhase::Snapshot,
+            collective: true,
+        },
+        TagSpec {
+            tag: CKPT_GATHER,
+            name: "CKPT_GATHER",
+            phase: CommPhase::Checkpoint,
             collective: true,
         },
     ];

@@ -85,9 +85,20 @@ impl Checkpoint {
         let box_len =
             f64::from_bits(u64::from_str_radix(h[3], 16).map_err(|_| bad("bad box bits"))?);
         let n: usize = h[5].parse().map_err(|_| bad("bad count"))?;
+        // Consume exactly `n` particle lines (skipping blanks), then stop —
+        // embedders (e.g. `pcdlb-sim`'s distributed checkpoint) may append
+        // their own sections after the particle block.
         let mut particles = Vec::with_capacity(n);
-        for line in lines {
-            let line = line?;
+        while particles.len() < n {
+            let line = match lines.next() {
+                Some(line) => line?,
+                None => {
+                    return Err(bad(&format!(
+                        "particle count mismatch: header {n}, found {}",
+                        particles.len()
+                    )))
+                }
+            };
             if line.trim().is_empty() {
                 continue;
             }
@@ -106,12 +117,6 @@ impl Checkpoint {
                 pos: Vec3::new(vals[0], vals[1], vals[2]),
                 vel: Vec3::new(vals[3], vals[4], vals[5]),
             });
-        }
-        if particles.len() != n {
-            return Err(bad(&format!(
-                "particle count mismatch: header {n}, found {}",
-                particles.len()
-            )));
         }
         Ok(Self {
             step,
@@ -207,6 +212,16 @@ mod tests {
                 x.id
             );
         }
+    }
+
+    #[test]
+    fn trailing_sections_after_the_particle_block_are_ignored() {
+        let ps = gas(10, 6.0);
+        let ck = Checkpoint::new(7, 6.0, ps);
+        let mut text = ck.to_string_repr();
+        text.push_str("ownership 1\n0 0 0\nanything else\n");
+        let back = Checkpoint::read_from(text.as_bytes()).expect("parse");
+        assert_eq!(ck, back);
     }
 
     #[test]

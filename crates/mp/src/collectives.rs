@@ -325,6 +325,89 @@ mod tests {
 }
 
 #[cfg(test)]
+mod peer_death_tests {
+    use super::*;
+    use crate::world::World;
+    use std::time::Duration;
+
+    // Tight enough that a hang fails fast, long enough that legitimate
+    // progress on a loaded host is never cut short.
+    fn world4() -> World {
+        World::new(4).with_watchdog(Duration::from_secs(5))
+    }
+
+    fn assert_diagnosed(msg: &str) {
+        assert!(
+            msg.contains("another rank panicked")
+                || msg.contains("dies mid-collective")
+                || msg.contains("is gone")
+                || msg.contains("watchdog deadline expired"),
+            "survivor aborted without a recognisable diagnostic: {msg}"
+        );
+    }
+
+    #[test]
+    fn barrier_with_dead_rank_aborts_every_survivor() {
+        // The dissemination barrier makes every rank transitively dependent
+        // on every other, so with rank 2 dead no survivor may complete —
+        // and none may hang: each must abort with its own diagnostic.
+        let err = world4()
+            .try_run(|comm| {
+                if comm.rank() == 2 {
+                    panic!("rank 2 dies mid-collective");
+                }
+                barrier(comm, 9);
+            })
+            .expect_err("the barrier cannot complete");
+        let ranks: Vec<usize> = err.failures.iter().map(|f| f.rank).collect();
+        assert_eq!(ranks, vec![0, 1, 2, 3], "every rank must report: {err}");
+        for f in &err.failures {
+            assert_diagnosed(&f.message);
+        }
+    }
+
+    #[test]
+    fn allreduce_with_dead_rank_aborts_every_survivor() {
+        // Reduce-to-root + broadcast: the broadcast makes everyone depend
+        // on the root, and the root depends on the dead subtree.
+        let err = world4()
+            .try_run(|comm| {
+                if comm.rank() == 2 {
+                    panic!("rank 2 dies mid-collective");
+                }
+                let _ = allreduce(comm, 21, comm.rank() as u64, |a, b| a + b);
+            })
+            .expect_err("the allreduce cannot complete");
+        let ranks: Vec<usize> = err.failures.iter().map(|f| f.rank).collect();
+        assert_eq!(ranks, vec![0, 1, 2, 3], "every rank must report: {err}");
+        for f in &err.failures {
+            assert_diagnosed(&f.message);
+        }
+    }
+
+    #[test]
+    fn gather_with_dead_rank_aborts_the_root_with_a_diagnostic() {
+        // Gather is send-only for non-roots, so ranks 1 and 3 legitimately
+        // complete; the root blocks on the dead rank and must abort with a
+        // diagnostic (not hang), and the world still reports the failure.
+        let err = world4()
+            .try_run(|comm| {
+                if comm.rank() == 2 {
+                    panic!("rank 2 dies mid-collective");
+                }
+                let _ = gather(comm, 22, comm.rank() as u64);
+            })
+            .expect_err("the gather cannot complete at the root");
+        let ranks: Vec<usize> = err.failures.iter().map(|f| f.rank).collect();
+        assert!(ranks.contains(&0), "the blocked root must report: {err}");
+        assert!(ranks.contains(&2), "the dead rank must report: {err}");
+        for f in &err.failures {
+            assert_diagnosed(&f.message);
+        }
+    }
+}
+
+#[cfg(test)]
 mod scan_tests {
     use super::*;
     use crate::world::World;

@@ -41,12 +41,16 @@ pub mod check;
 pub mod collectives;
 pub mod comm;
 pub mod cost;
+#[cfg(feature = "check")]
+pub mod fault;
 pub mod topology;
 pub mod wire;
 pub mod world;
 
-pub use comm::{Comm, CommStats, Tag};
+pub use comm::{Comm, CommError, CommErrorKind, CommStats, Tag};
 pub use cost::CostModel;
+#[cfg(feature = "check")]
+pub use fault::{FaultKind, FaultPlan};
 pub use topology::{Torus2d, Torus3d};
 pub use wire::WireSize;
-pub use world::World;
+pub use world::{RankFailure, World, WorldError};

@@ -6,21 +6,59 @@
 //! order. If any rank panics, the panic is resurfaced on the caller after
 //! all threads have stopped, so a failing assertion inside a rank fails the
 //! enclosing test rather than deadlocking it.
+//!
+//! [`World::try_run`] is the recoverable form: instead of re-raising one
+//! winning panic it joins every rank and returns a [`WorldError`] carrying
+//! one diagnostic per failed rank — the clean-teardown surface a recovery
+//! driver (e.g. `pcdlb-sim`'s `run_with_recovery`) builds on.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::channel::unbounded;
 
-use crate::comm::{Comm, Envelope};
+use crate::comm::{Comm, Envelope, Supervision, DEFAULT_POLL_INTERVAL, DEFAULT_WATCHDOG};
 use crate::cost::CostModel;
+
+/// One rank's failure in a [`WorldError`]: the rank id and the panic
+/// message (a [`crate::comm::CommError`] diagnostic for comm-layer
+/// failures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankFailure {
+    /// Rank that failed.
+    pub rank: usize,
+    /// Its panic message.
+    pub message: String,
+}
+
+/// Clean-teardown error from [`World::try_run`]: every rank was joined,
+/// and each failed rank contributed one diagnostic, in rank order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldError {
+    /// Per-rank diagnostics, ordered by rank.
+    pub failures: Vec<RankFailure>,
+}
+
+impl std::fmt::Display for WorldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "world aborted on {} rank(s):", self.failures.len())?;
+        for rf in &self.failures {
+            write!(f, "\n  rank {}: {}", rf.rank, rf.message)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for WorldError {}
 
 /// Configuration for an SPMD launch.
 #[derive(Debug, Clone)]
 pub struct World {
     size: usize,
     model: CostModel,
+    poll: Duration,
+    watchdog: Duration,
 }
 
 impl World {
@@ -31,12 +69,31 @@ impl World {
         Self {
             size,
             model: CostModel::default(),
+            poll: DEFAULT_POLL_INTERVAL,
+            watchdog: DEFAULT_WATCHDOG,
         }
     }
 
     /// Replace the interconnect cost model.
     pub fn with_cost_model(mut self, model: CostModel) -> Self {
         self.model = model;
+        self
+    }
+
+    /// Replace the blocked-receive poll interval (how often the abort flag
+    /// and watchdog deadline are checked while waiting). Must be non-zero.
+    pub fn with_poll_interval(mut self, poll: Duration) -> Self {
+        assert!(!poll.is_zero(), "poll interval must be non-zero");
+        self.poll = poll;
+        self
+    }
+
+    /// Replace the watchdog deadline for blocking receives: a rank blocked
+    /// longer than this fails with a structured timeout instead of hanging.
+    /// Must be non-zero.
+    pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
+        assert!(!watchdog.is_zero(), "watchdog deadline must be non-zero");
+        self.watchdog = watchdog;
         self
     }
 
@@ -48,13 +105,33 @@ impl World {
     /// Run `f` on every rank; returns per-rank results in rank order.
     ///
     /// The closure is shared by reference across threads, so it must be
-    /// `Sync`; per-rank state lives inside the closure body.
+    /// `Sync`; per-rank state lives inside the closure body. The
+    /// lowest-numbered failed rank's panic is resurfaced after all threads
+    /// have been joined.
     pub fn run<R, F>(&self, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(&mut Comm) -> R + Sync,
     {
-        self.run_inner(f, |_comm| {})
+        let (results, mut panics) = self.launch(f, |_comm| {});
+        if let Some((_rank, payload)) = panics.drain(..).next() {
+            std::panic::resume_unwind(payload);
+        }
+        Self::unwrap_results(results)
+    }
+
+    /// Run `f` on every rank with clean teardown: never re-raises a rank's
+    /// panic. On success, per-rank results in rank order; on any failure, a
+    /// [`WorldError`] with one diagnostic per failed rank. Every thread is
+    /// joined either way, so the caller can immediately launch a fresh
+    /// world (the recovery loop does exactly that).
+    pub fn try_run<R, F>(&self, f: F) -> Result<Vec<R>, WorldError>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        let (results, panics) = self.launch(f, |_comm| {});
+        Self::collect(results, panics)
     }
 
     /// Like [`World::run`], but installs a [`crate::check::DeliveryPolicy`]
@@ -68,12 +145,64 @@ impl World {
         F: Fn(&mut Comm) -> R + Sync,
         P: Fn(usize) -> Box<dyn crate::check::DeliveryPolicy> + Sync,
     {
-        self.run_inner(f, |comm| {
+        let (results, mut panics) = self.launch(f, |comm| {
             comm.set_delivery_policy(policy_for_rank(comm.rank()));
+        });
+        if let Some((_rank, payload)) = panics.drain(..).next() {
+            std::panic::resume_unwind(payload);
+        }
+        Self::unwrap_results(results)
+    }
+
+    /// Like [`World::try_run`], but arms each rank's fault injector first:
+    /// `plan_for_rank(rank)` returning `Some` installs that
+    /// [`crate::fault::FaultPlan`] on the rank. Injected faults surface as
+    /// rank diagnostics in the returned [`WorldError`] (or as handled
+    /// `CommError`s inside the program), never as hangs.
+    #[cfg(feature = "check")]
+    pub fn try_run_with_faults<R, F, P>(&self, plan_for_rank: P, f: F) -> Result<Vec<R>, WorldError>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+        P: Fn(usize) -> Option<crate::fault::FaultPlan> + Sync,
+    {
+        let (results, panics) = self.launch(f, |comm| {
+            if let Some(plan) = plan_for_rank(comm.rank()) {
+                comm.set_fault_plan(plan);
+            }
+        });
+        Self::collect(results, panics)
+    }
+
+    fn unwrap_results<R>(results: Vec<Option<R>>) -> Vec<R> {
+        results
+            .into_iter()
+            .map(|r| r.expect("non-panicked rank produced a result"))
+            .collect()
+    }
+
+    fn collect<R>(
+        results: Vec<Option<R>>,
+        panics: Vec<(usize, Box<dyn std::any::Any + Send>)>,
+    ) -> Result<Vec<R>, WorldError> {
+        if panics.is_empty() {
+            return Ok(Self::unwrap_results(results));
+        }
+        Err(WorldError {
+            failures: panics
+                .into_iter()
+                .map(|(rank, payload)| RankFailure {
+                    rank,
+                    message: panic_message(payload.as_ref()),
+                })
+                .collect(),
         })
     }
 
-    fn run_inner<R, F, S>(&self, f: F, setup: S) -> Vec<R>
+    /// Spawn all ranks, join all of them, and hand back per-rank results
+    /// plus the captured panic payloads in rank order. The common core of
+    /// every launch flavour.
+    fn launch<R, F, S>(&self, f: F, setup: S) -> LaunchOutcome<R>
     where
         R: Send,
         F: Fn(&mut Comm) -> R + Sync,
@@ -84,7 +213,7 @@ impl World {
             (0..self.size).map(|_| unbounded::<Envelope>()).unzip();
         let abort = Arc::new(AtomicBool::new(false));
 
-        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut panics: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
         let results: Vec<Option<R>> = std::thread::scope(|scope| {
             let handles: Vec<_> = receivers
                 .into_iter()
@@ -95,9 +224,20 @@ impl World {
                     let f = &f;
                     let setup = &setup;
                     let abort = Arc::clone(&abort);
+                    let (poll, watchdog) = (self.poll, self.watchdog);
                     scope.spawn(move || {
-                        let mut comm =
-                            Comm::new(rank, senders, rx, model, epoch, Arc::clone(&abort));
+                        let mut comm = Comm::new(
+                            rank,
+                            senders,
+                            rx,
+                            model,
+                            Supervision {
+                                epoch,
+                                abort: Arc::clone(&abort),
+                                poll,
+                                watchdog,
+                            },
+                        );
                         setup(&mut comm);
                         let result =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
@@ -105,38 +245,48 @@ impl World {
                             // Wake every rank blocked on this rank's output.
                             abort.store(true, Ordering::SeqCst);
                         }
-                        match result {
-                            Ok(r) => r,
-                            Err(payload) => std::panic::resume_unwind(payload),
-                        }
+                        result
                     })
                 })
                 .collect();
             // Drop the launcher's copies of the senders so that a rank
             // blocked in recv whose peers have all exited sees the channel
-            // close (and panics with a diagnostic) instead of hanging.
+            // close (and fails with a diagnostic) instead of hanging.
             drop(senders);
             handles
                 .into_iter()
-                .map(|h| match h.join() {
-                    Ok(r) => Some(r),
+                .enumerate()
+                .map(|(rank, h)| match h.join() {
+                    Ok(Ok(r)) => Some(r),
+                    Ok(Err(payload)) => {
+                        // Captured inside the rank: keep the payload so the
+                        // caller decides whether to re-raise or report.
+                        panics.push((rank, payload));
+                        None
+                    }
                     Err(payload) => {
-                        // Defer the panic until all threads are joined so we
-                        // never leak rank threads past this call.
-                        first_panic.get_or_insert(payload);
+                        // The thread died outside catch_unwind (e.g. a
+                        // panic while dropping); still record it.
+                        panics.push((rank, payload));
                         None
                     }
                 })
                 .collect()
         });
+        (results, panics)
+    }
+}
 
-        if let Some(payload) = first_panic {
-            std::panic::resume_unwind(payload);
-        }
-        results
-            .into_iter()
-            .map(|r| r.expect("non-panicked rank produced a result"))
-            .collect()
+type LaunchOutcome<R> = (Vec<Option<R>>, Vec<(usize, Box<dyn std::any::Any + Send>)>);
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -197,6 +347,54 @@ mod tests {
             });
         });
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn try_run_returns_results_when_all_ranks_succeed() {
+        let out = World::new(4).try_run(|comm| comm.rank() * 2);
+        assert_eq!(out.expect("no failures"), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn try_run_reports_every_failed_rank_in_order() {
+        // Rank 1 dies; ranks 0 and 2 block on it and must each abort with
+        // their own diagnostic — a clean teardown, not a panic race.
+        let err = World::new(3)
+            .try_run(|comm| {
+                if comm.rank() == 1 {
+                    panic!("boom on rank 1");
+                }
+                let _: u64 = comm.recv(1, 0);
+            })
+            .expect_err("the world must fail");
+        let ranks: Vec<usize> = err.failures.iter().map(|f| f.rank).collect();
+        assert_eq!(ranks, vec![0, 1, 2]);
+        assert!(err.failures[1].message.contains("boom on rank 1"));
+        for r in [0, 2] {
+            assert!(
+                err.failures[r].message.contains("another rank panicked"),
+                "rank {r} diagnostic: {}",
+                err.failures[r].message
+            );
+        }
+        // Display stitches the diagnostics together for logs.
+        let text = err.to_string();
+        assert!(text.contains("world aborted on 3 rank(s)"));
+        assert!(text.contains("rank 1: boom on rank 1"));
+    }
+
+    #[test]
+    fn try_run_does_not_unwind_the_caller() {
+        let res = std::panic::catch_unwind(|| {
+            World::new(2)
+                .try_run(|comm| {
+                    if comm.rank() == 0 {
+                        panic!("contained");
+                    }
+                })
+                .is_err()
+        });
+        assert_eq!(res.ok(), Some(true), "try_run must contain the panic");
     }
 
     #[test]

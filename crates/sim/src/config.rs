@@ -112,6 +112,11 @@ pub struct RunConfig {
     /// force beyond): a localized well that grows a depletion zone, as
     /// natural condensation does around a dominant droplet.
     pub pull_rmax: Option<f64>,
+    /// Take a distributed checkpoint (gather to rank 0) every this many
+    /// steps. 0 disables. The gather's communication cost is excluded from
+    /// the per-step stats so checkpointing never perturbs `t_step` — a
+    /// checkpointed run reports identically to an uncheckpointed one.
+    pub checkpoint_interval: u64,
 }
 
 impl RunConfig {
@@ -138,6 +143,7 @@ impl RunConfig {
             pull_corner: false,
             pull_frac: None,
             pull_rmax: None,
+            checkpoint_interval: 0,
         }
     }
 

@@ -77,8 +77,27 @@ pub fn digest_particles(particles: &[Particle]) -> u64 {
 /// the deterministic work model it must reproduce exactly; under wall
 /// clocks it is measurement noise and is skipped.
 pub fn digest_report(report: &RunReport, load_metric: LoadMetric) -> u64 {
-    let deterministic_loads = matches!(load_metric, LoadMetric::WorkModel { .. });
     let mut h = Fnv1a::new();
+    absorb_records(&mut h, report, load_metric);
+    h.write_u64(report.msgs_sent);
+    h.write_u64(report.bytes_sent);
+    h.finish()
+}
+
+/// Digest of the per-step record series only — [`digest_report`] without
+/// the run-total message counters. A run that recovers from a fault by
+/// restoring a checkpoint legitimately re-sends messages, so its totals
+/// differ from an uninterrupted run even though every simulated quantity
+/// is bitwise identical; this is the digest crash-recovery parity is
+/// asserted on.
+pub fn digest_records(report: &RunReport, load_metric: LoadMetric) -> u64 {
+    let mut h = Fnv1a::new();
+    absorb_records(&mut h, report, load_metric);
+    h.finish()
+}
+
+fn absorb_records(h: &mut Fnv1a, report: &RunReport, load_metric: LoadMetric) {
+    let deterministic_loads = matches!(load_metric, LoadMetric::WorkModel { .. });
     h.write_u64(report.records.len() as u64);
     for r in &report.records {
         h.write_u64(r.step);
@@ -97,9 +116,6 @@ pub fn digest_report(report: &RunReport, load_metric: LoadMetric) -> u64 {
         h.write_f64(r.potential);
         h.write_f64(r.temperature);
     }
-    h.write_u64(report.msgs_sent);
-    h.write_u64(report.bytes_sent);
-    h.finish()
 }
 
 /// Combined run digest: snapshot ⊕-chained with the report digest.
@@ -107,6 +123,17 @@ pub fn digest_run(report: &RunReport, snapshot: &[Particle], load_metric: LoadMe
     let mut h = Fnv1a::new();
     h.write_u64(digest_particles(snapshot));
     h.write_u64(digest_report(report, load_metric));
+    h.finish()
+}
+
+/// Combined recovery digest: like [`digest_run`] but over
+/// [`digest_records`], so a recovered run and an uninterrupted run of the
+/// same configuration must produce the **same** value (retransmitted
+/// message totals excluded).
+pub fn digest_recovery(report: &RunReport, snapshot: &[Particle], load_metric: LoadMetric) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(digest_particles(snapshot));
+    h.write_u64(digest_records(report, load_metric));
     h.finish()
 }
 

@@ -28,7 +28,7 @@ fn run_inner(cfg: &RunConfig, want_snapshot: bool) -> (RunReport, Option<Vec<Par
     assemble(results)
 }
 
-fn assemble(mut results: Vec<PeResult>) -> (RunReport, Option<Vec<Particle>>) {
+pub(crate) fn assemble(mut results: Vec<PeResult>) -> (RunReport, Option<Vec<Particle>>) {
     let comm_virtual: f64 = results.iter().map(|r| r.comm_stats.virtual_comm_s).sum();
     let msgs: u64 = results.iter().map(|r| r.comm_stats.msgs_sent).sum();
     let bytes: u64 = results.iter().map(|r| r.comm_stats.bytes_sent).sum();

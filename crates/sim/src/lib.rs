@@ -19,12 +19,18 @@ pub mod digest;
 pub mod driver;
 pub mod pe;
 pub mod plane;
+pub mod recover;
 pub mod report;
 mod stats;
 #[cfg(test)]
 mod wire_check;
 
 pub use config::{Lattice, LoadMetric, RunConfig};
-pub use digest::{digest_particles, digest_report, digest_run};
+pub use digest::{digest_particles, digest_records, digest_recovery, digest_report, digest_run};
 pub use driver::{run, run_serial, run_with_snapshot, serial_sim};
+#[cfg(feature = "check")]
+pub use recover::run_with_recovery_faulted;
+pub use recover::{
+    run_with_recovery, RecoveryError, RecoveryOptions, RecoveryOutcome, SimCheckpoint,
+};
 pub use report::{RunReport, StepRecord};

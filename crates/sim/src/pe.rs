@@ -31,10 +31,12 @@
 //! the load model and DLB decisions match the full-shell seed kernel.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
 
 use pcdlb_core::protocol::{DlbDecision, DlbProtocol};
 use pcdlb_domain::{Col, OwnershipMap, PillarLayout};
 use pcdlb_md::cells::CellSlab;
+use pcdlb_md::checkpoint::Checkpoint;
 use pcdlb_md::force::{disjoint_ranges_mut, PairKernel, WorkCounters};
 use pcdlb_md::integrate::{kick, kick_drift};
 use pcdlb_md::observe;
@@ -44,6 +46,7 @@ use pcdlb_mp::{collectives, Comm};
 
 use crate::clock::WallTimer;
 use crate::config::{Lattice, LoadMetric, RunConfig};
+use crate::recover::SimCheckpoint;
 use crate::report::{RunReport, StepRecord};
 use crate::stats::StatsPacket;
 
@@ -120,19 +123,78 @@ pub struct PeState {
     last_work: WorkCounters,
     last_force_virtual: f64,
     last_force_wall: f64,
-    last_comm_virtual: f64,
 }
 
 impl PeState {
     /// Build the PE's state and take ownership of its home-tile particles.
     pub fn new(rank: usize, cfg: &RunConfig) -> Self {
+        let mut pe = Self::scaffold(rank, cfg);
+        let layout = pe.layout;
+        let mut staging: BTreeMap<Col, Vec<Particle>> =
+            layout.tile_columns(rank).map(|c| (c, Vec::new())).collect();
+        for p in initial_particles(cfg) {
+            let col = pe.col_of(p.pos);
+            if layout.home_rank(col) == rank {
+                staging.get_mut(&col).expect("home column exists").push(p);
+            }
+        }
+        pe.columns = staging
+            .into_iter()
+            .map(|(c, v)| (c, pe.build_column(v)))
+            .collect();
+        pe
+    }
+
+    /// Rebuild a PE's state from a distributed checkpoint: replay the
+    /// checkpointed ownership into this rank's readable window and stage
+    /// the checkpointed particles into the columns this rank owns.
+    ///
+    /// Forces are *not* stored in the checkpoint — the caller recomputes
+    /// them, which reproduces the checkpointed run's force array bitwise:
+    /// the saved positions are exactly the positions those forces were
+    /// evaluated at (velocity Verlet only touches velocities after the
+    /// force pass).
+    pub fn from_checkpoint(rank: usize, cfg: &RunConfig, ck: &SimCheckpoint) -> Self {
+        let mut pe = Self::scaffold(rank, cfg);
+        assert_eq!(
+            ck.md.particles.len(),
+            cfg.n_particles,
+            "checkpoint particle count does not match the configuration"
+        );
+        for &(col, owner) in &ck.ownership {
+            if pe.in_window(col) {
+                pe.ownership.set_owner(col, owner);
+            }
+        }
+        let mut staging: BTreeMap<Col, Vec<Particle>> = pe
+            .ownership
+            .owned_columns(rank)
+            .into_iter()
+            .map(|c| (c, Vec::new()))
+            .collect();
+        for p in &ck.md.particles {
+            let col = pe.col_of(p.pos);
+            if pe.ownership.owner_of(col) == rank {
+                staging.get_mut(&col).expect("owned column exists").push(*p);
+            }
+        }
+        pe.columns = staging
+            .into_iter()
+            .map(|(c, v)| (c, pe.build_column(v)))
+            .collect();
+        pe
+    }
+
+    /// The state shell shared by [`PeState::new`] and
+    /// [`PeState::from_checkpoint`]: everything but the particle columns.
+    fn scaffold(rank: usize, cfg: &RunConfig) -> Self {
         let layout = PillarLayout::new(cfg.nc, cfg.torus());
         let ownership = OwnershipMap::initial(layout);
         let protocol = cfg
             .dlb
             .then(|| DlbProtocol::new(layout, rank).with_min_relative_gain(cfg.dlb_min_gain));
         let neighbors = layout.torus().distinct_neighbors8(rank);
-        let mut pe = Self {
+        Self {
             cfg: cfg.clone(),
             layout,
             rank,
@@ -149,21 +211,7 @@ impl PeState {
             last_work: WorkCounters::default(),
             last_force_virtual: 0.0,
             last_force_wall: 0.0,
-            last_comm_virtual: 0.0,
-        };
-        let mut staging: BTreeMap<Col, Vec<Particle>> =
-            layout.tile_columns(rank).map(|c| (c, Vec::new())).collect();
-        for p in initial_particles(cfg) {
-            let col = pe.col_of(p.pos);
-            if layout.home_rank(col) == rank {
-                staging.get_mut(&col).expect("home column exists").push(p);
-            }
         }
-        pe.columns = staging
-            .into_iter()
-            .map(|(c, v)| (c, pe.build_column(v)))
-            .collect();
-        pe
     }
 
     /// Number of particles this PE currently owns.
@@ -612,9 +660,11 @@ impl PeState {
         transferred: u64,
         wall_s: f64,
     ) -> Option<StepRecord> {
-        let comm_virtual = comm.stats().virtual_comm_s;
-        let comm_delta = comm_virtual - self.last_comm_virtual;
-        self.last_comm_virtual = comm_virtual;
+        // Lap accumulator, not a running-total subtraction: the delta for
+        // an identical message sequence is bitwise identical no matter
+        // what was charged before it (checkpoint gathers shift the
+        // running total's rounding base; laps always start from 0.0).
+        let comm_delta = comm.lap_virtual_comm();
 
         let empty: usize = self.columns.values().map(CellSlab::empty_cells).sum();
         let kinetic: f64 = self
@@ -635,7 +685,13 @@ impl PeState {
             kinetic,
             transferred,
         };
-        crate::stats::collect_step_record(comm, &self.cfg, step, packet, wall_s)
+        let rec = crate::stats::collect_step_record(comm, &self.cfg, step, packet, wall_s);
+        // The stats gather itself is bookkeeping, not simulation
+        // communication: charge it to no step, so each step's comm delta
+        // covers exactly its own phases. A restored run (which re-runs no
+        // past gathers) then reproduces every t_step bitwise.
+        let _ = comm.lap_virtual_comm();
+        rec
     }
 
     /// Run one full step. Returns `Some(record)` on rank 0.
@@ -654,6 +710,43 @@ impl PeState {
         self.thermostat(comm, step);
         let wall = t0.elapsed_s();
         self.collect_stats(comm, step, transferred, wall)
+    }
+
+    /// Gather a restartable distributed checkpoint to rank 0
+    /// (collective; every rank must call it at the same step). `records`
+    /// is rank 0's per-step series so far, embedded so a restore can
+    /// reproduce the full report. The gather's virtual comm cost is
+    /// excluded from the next step's delta, so checkpointing never
+    /// changes any reported `t_step`.
+    fn take_checkpoint(
+        &mut self,
+        comm: &mut Comm,
+        step: u64,
+        records: &[StepRecord],
+    ) -> Option<SimCheckpoint> {
+        let own_cols: Vec<Col> = self.columns.keys().copied().collect();
+        let own_parts: Vec<Particle> = self
+            .columns
+            .values()
+            .flat_map(|slab| slab.particles().iter().copied())
+            .collect();
+        let gathered = collectives::gather(comm, tags::CKPT_GATHER, (own_parts, own_cols));
+        let ck = gathered.map(|chunks| {
+            let mut particles = Vec::new();
+            let mut ownership = Vec::new();
+            for (rank, (parts, cols)) in chunks.into_iter().enumerate() {
+                particles.extend(parts);
+                ownership.extend(cols.into_iter().map(|c| (c, rank)));
+            }
+            ownership.sort_unstable_by_key(|&(c, _)| c);
+            SimCheckpoint {
+                md: Checkpoint::new(step, self.box_len, particles),
+                ownership,
+                records: records.to_vec(),
+            }
+        });
+        let _ = comm.lap_virtual_comm();
+        ck
     }
 
     /// Gather the full particle set to rank 0, sorted by id.
@@ -703,17 +796,54 @@ fn wrap_z(nc: usize, box_len: f64, cz: usize, dz: i64) -> (usize, f64) {
 
 /// The SPMD entry point: run the whole simulation on this rank.
 pub fn pe_main(comm: &mut Comm, cfg: &RunConfig, want_snapshot: bool) -> PeResult {
+    pe_main_recoverable(comm, cfg, want_snapshot, None, None)
+}
+
+/// [`pe_main`] with checkpoint/restart hooks: `start` resumes from a
+/// distributed checkpoint (every rank must pass the same one), and when
+/// `cfg.checkpoint_interval > 0` the ranks gather a fresh checkpoint to
+/// rank 0 every interval, deposited into `sink`. The trajectory, the
+/// per-step records, and the final snapshot are bitwise identical to an
+/// uninterrupted, uncheckpointed run.
+pub(crate) fn pe_main_recoverable(
+    comm: &mut Comm,
+    cfg: &RunConfig,
+    want_snapshot: bool,
+    start: Option<&SimCheckpoint>,
+    sink: Option<&Mutex<Option<SimCheckpoint>>>,
+) -> PeResult {
     let run_start = WallTimer::start();
-    let mut pe = PeState::new(comm.rank(), cfg);
-    // Initial forces need an initial ghost exchange.
+    let (mut pe, start_step, mut records) = match start {
+        Some(ck) => (
+            PeState::from_checkpoint(comm.rank(), cfg, ck),
+            ck.md.step,
+            if comm.rank() == 0 {
+                ck.records.clone()
+            } else {
+                Vec::new()
+            },
+        ),
+        None => (PeState::new(comm.rank(), cfg), 0, Vec::new()),
+    };
+    // Initial forces need an initial ghost exchange. On a restore this
+    // recomputes exactly the force array the checkpointed run held (see
+    // `PeState::from_checkpoint`).
     pe.exchange_ghosts(comm);
     pe.compute_forces();
-    pe.last_comm_virtual = comm.stats().virtual_comm_s;
+    let _ = comm.lap_virtual_comm();
 
-    let mut records = Vec::new();
-    for step in 1..=cfg.steps {
+    for step in start_step + 1..=cfg.steps {
         if let Some(rec) = pe.step(comm, step) {
             records.push(rec);
+        }
+        if cfg.checkpoint_interval > 0
+            && step.is_multiple_of(cfg.checkpoint_interval)
+            && step < cfg.steps
+        {
+            let ck = pe.take_checkpoint(comm, step, &records);
+            if let (Some(ck), Some(sink)) = (ck, sink) {
+                *sink.lock().expect("checkpoint sink poisoned") = Some(ck);
+            }
         }
     }
     let snapshot = if want_snapshot {

@@ -166,6 +166,11 @@ fn every_sent_payload_type_matches_the_reference_encoding() {
         &vec![(1u64, 2u64, 3u64, vec![particle(11), particle(12)])],
         "cube ghost payload",
     );
+    // pe.rs: CKPT_GATHER carries (Vec<Particle>, Vec<Col>).
+    check(
+        &(vec![particle(4), particle(5)], vec![Col::new(0, 1)]),
+        "checkpoint gather payload",
+    );
     // stats.rs: STATS gathers a StatsPacket per rank.
     check(
         &StatsPacket {
