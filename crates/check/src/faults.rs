@@ -17,6 +17,10 @@
 //!   past the rank's send count simply never fire (the run completes on
 //!   the first attempt), so the sweep covers the whole run without
 //!   needing per-rank send totals.
+//! - **Checkpoint-phase kills**: kill each non-root rank at each of its
+//!   `CKPT_GATHER` contribution sends ([`FaultPlan::kill_on_tag`]) — the
+//!   checkpoint being assembled dies mid-gather, so the relaunch must
+//!   fall back to the previous complete one and still restore parity.
 //! - **Seeded fault matrix**: [`FaultPlan::seeded`] schedules drawn per
 //!   `(seed, rank)` mix drops, delays, duplicates, truncations and
 //!   kills on the first launch. Non-kill faults surface as structured
@@ -32,6 +36,8 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::Duration;
 
+use pcdlb_core::protocol::tags;
+use pcdlb_mp::collectives::ctag;
 use pcdlb_mp::fault::splitmix64;
 use pcdlb_mp::FaultPlan;
 use pcdlb_sim::config::{Lattice, RunConfig};
@@ -51,6 +57,12 @@ pub struct FaultSweepOutcome {
     pub seeded_runs: usize,
     /// Seeded runs where at least one fault forced a relaunch.
     pub faults_fired: usize,
+    /// Checkpoint-phase kill runs performed (one per `(rank, gather)`
+    /// pair: each non-root rank killed at each of its `CKPT_GATHER`
+    /// contribution sends).
+    pub ckpt_runs: usize,
+    /// Checkpoint-phase kill runs whose kill actually fired.
+    pub ckpt_kills_fired: usize,
     /// Parity or recovery failures (empty when the invariant holds).
     pub violations: Vec<String>,
 }
@@ -95,6 +107,8 @@ pub fn fault_sweep(stride: u64, seeds: usize) -> FaultSweepOutcome {
         kills_fired: 0,
         seeded_runs: 0,
         faults_fired: 0,
+        ckpt_runs: 0,
+        ckpt_kills_fired: 0,
         violations: Vec::new(),
     };
     let reference = match run_with_recovery(&cfg, &opts) {
@@ -136,6 +150,43 @@ pub fn fault_sweep(stride: u64, seeds: usize) -> FaultSweepOutcome {
         }
     }
 
+    // Checkpoint-phase kills: dying *inside* the CKPT_GATHER collective is
+    // the nastiest spot for recovery — the checkpoint being assembled is
+    // lost mid-gather and the relaunch must fall back to the previous one.
+    // Kill each non-root rank at each of its checkpoint-contribution sends
+    // (rank 0 only receives in a gather, so it has no such send op; its
+    // checkpoint-phase deaths are covered by the plain kill-point sweep).
+    let ckpt_wire_tag = ctag(tags::CKPT_GATHER, 0);
+    let ckpt_gathers = cfg
+        .steps
+        .saturating_sub(1)
+        .checked_div(cfg.checkpoint_interval)
+        .unwrap_or(0);
+    for rank in 1..cfg.p {
+        for nth in 0..ckpt_gathers {
+            let res = run_with_recovery_faulted(&cfg, &opts, |attempt, r| {
+                (attempt == 0 && r == rank).then(|| FaultPlan::kill_on_tag(ckpt_wire_tag, nth))
+            });
+            out.ckpt_runs += 1;
+            match res {
+                Ok(o) => {
+                    if o.attempts > 1 {
+                        out.ckpt_kills_fired += 1;
+                    }
+                    if o.digest != reference.digest {
+                        out.violations.push(format!(
+                            "ckpt-kill(rank {rank}, gather {nth}): digest {:#018x} != reference {:#018x} after {} attempt(s)",
+                            o.digest, reference.digest, o.attempts
+                        ));
+                    }
+                }
+                Err(e) => out.violations.push(format!(
+                    "ckpt-kill(rank {rank}, gather {nth}): unrecovered: {e}"
+                )),
+            }
+        }
+    }
+
     for seed in 1..=seeds as u64 {
         let res = run_with_recovery_faulted(&cfg, &opts, |attempt, rank| {
             if attempt > 0 {
@@ -170,7 +221,7 @@ pub fn fault_sweep(stride: u64, seeds: usize) -> FaultSweepOutcome {
 
 /// Run `f` on a worker thread, failing with a diagnostic if it does not
 /// finish within `timeout` — the no-hang backstop for sweep runs.
-fn run_under_timeout<T: Send + 'static>(
+pub(crate) fn run_under_timeout<T: Send + 'static>(
     timeout: Duration,
     what: &str,
     f: impl FnOnce() -> T + Send + 'static,
@@ -209,6 +260,12 @@ mod tests {
         assert!(out.kill_runs >= 2 * 4, "at least two points per rank");
         assert!(out.kills_fired > 0, "the low kill points must fire");
         assert_eq!(out.seeded_runs, 2);
+        // 3 non-root ranks × 4 checkpoint gathers, every one a real kill.
+        assert_eq!(out.ckpt_runs, 3 * 4);
+        assert_eq!(
+            out.ckpt_kills_fired, out.ckpt_runs,
+            "each rank sends exactly one contribution per gather, so every checkpoint-phase kill must fire"
+        );
         assert_ne!(out.reference_digest, 0);
     }
 

@@ -24,11 +24,24 @@
 //! A fourth property arrived with the recovery subsystem:
 //!
 //! 4. **Crash recovery restores bitwise parity** ([`faults`]): killing
-//!    any rank at any send op — or injecting seeded drop / delay /
-//!    duplicate / truncate schedules — and restarting from the last
-//!    distributed checkpoint must reproduce the uninterrupted run's
-//!    records and particle state exactly, checked by sweeping kill
-//!    points across a 2×2 run under a global no-hang timeout.
+//!    any rank at any send op — or mid checkpoint gather, or injecting
+//!    seeded drop / delay / duplicate / truncate schedules — and
+//!    restarting from the last distributed checkpoint must reproduce
+//!    the uninterrupted run's records and particle state exactly,
+//!    checked by sweeping kill points across a 2×2 run under a global
+//!    no-hang timeout.
+//!
+//! A fifth arrived with degraded-mode survivor takeover:
+//!
+//! 5. **Buddy takeover is sound** ([`takeover`]): the buddy map is
+//!    total, deterministic, and 8-neighbour-adjacent on every grid; the
+//!    merged dual-role schedule a surviving thread runs after adopting
+//!    a dead virtual rank is deadlock-free (checked by a dedicated
+//!    thread-program executor, since the rank-keyed blocking-wait graph
+//!    no longer applies); and killing ranks at strided send ops on 2×2
+//!    and 3×3 worlds completes — degraded on `n − 1` threads or via
+//!    full relaunch — with `digest_recovery` bitwise equal to the
+//!    fault-free reference.
 //!
 //! [`lint`] adds a repo lint pass for the hazards that produce such bugs:
 //! wall-clock reads in deterministic crates, hash-order iteration in
@@ -42,4 +55,5 @@ pub mod faults;
 pub mod invariant;
 pub mod lint;
 pub mod schedule;
+pub mod takeover;
 pub mod verify;

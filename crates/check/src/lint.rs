@@ -1,6 +1,6 @@
 //! Repo lint pass for determinism and protocol-robustness hazards.
 //!
-//! Four rules, each scoped to the code where the hazard is real:
+//! Five rules, each scoped to the code where the hazard is real:
 //!
 //! - `wallclock-in-deterministic-crate`: no `Instant::now` / `SystemTime`
 //!   in `pcdlb-md`, `pcdlb-core`, `pcdlb-domain`, `pcdlb-sim`. Physics and
@@ -20,6 +20,14 @@
 //!   be converted to a structured `CommError` or individually audited and
 //!   allowlisted as guarding a local invariant (a poisoned lock, a
 //!   just-checked index) that no remote input can violate.
+//! - `unbounded-recv-in-recovery-path`: no indefinitely blocking
+//!   `.recv(...)` in the files recovery and takeover flow through
+//!   (`pe.rs`, `recover.rs`, `takeover.rs` in `pcdlb-sim`). A recovery
+//!   path waiting forever on a peer that may already be dead defeats the
+//!   no-hang guarantee; waits there must be `recv_deadline` (which
+//!   escalates to a world abort) or an audited step-schedule receive
+//!   whose matching send the static verifier proves and whose liveness
+//!   the watchdog bounds — each allowlisted individually.
 //!
 //! The scanner is textual by design (no rustc plumbing): it skips
 //! `#[cfg(test)]` blocks by brace counting and strips `//` comments
@@ -121,6 +129,19 @@ const RULES: &[Rule] = &[
             "crates/core/src/protocol.rs",
         ],
         patterns: &[".expect("],
+    },
+    Rule {
+        name: "unbounded-recv-in-recovery-path",
+        dirs: &[],
+        files: &[
+            "crates/sim/src/pe.rs",
+            "crates/sim/src/recover.rs",
+            "crates/sim/src/takeover.rs",
+        ],
+        // `.recv(` / `.recv::<` match the indefinitely blocking receive
+        // only: `recv_deadline` and `try_recv` have a different character
+        // after "recv" and stay legal.
+        patterns: &[".recv(", ".recv::<"],
     },
 ];
 
@@ -384,6 +405,28 @@ mod tests {
             .collect();
         assert_eq!(hits, vec![1], "only the unaudited expect is reported");
         assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn unbounded_recv_in_recovery_path_is_flagged_but_deadline_recv_is_not() {
+        let fx = Fixture::new(&[(
+            "crates/sim/src/takeover.rs",
+            concat!(
+                "fn barrier(comm: &mut Comm) {\n",
+                "    let x: u64 = comm.recv(0, tags::TAKEOVER_GO);\n",
+                "    let y = comm.recv::<u64>(1, tags::TAKEOVER_READY);\n",
+                "    let ok = comm.recv_deadline::<u64>(0, tags::TAKEOVER_GO, t);\n",
+                "}\n",
+            ),
+        )]);
+        let r = run_lints(&fx.root).expect("lint runs");
+        let lines: Vec<usize> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == "unbounded-recv-in-recovery-path")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(lines, vec![2, 3], "deadline-bounded receives stay legal");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! pcdlb-check verify     [--max-side N] [--max-m M] [--max-states K]
 //! pcdlb-check interleave [--steps S] [--dfs-runs N] [--seeded-runs N]
 //! pcdlb-check faults     [--stride N] [--seeds N] [--timeout-s N]
+//! pcdlb-check takeover   [--stride N] [--max-side N] [--timeout-s N]
 //! pcdlb-check lint       [--root PATH]
 //! pcdlb-check all
 //! ```
@@ -19,6 +20,7 @@ use pcdlb_check::explore::{config_2x2, explore};
 use pcdlb_check::faults::fault_sweep_with_timeout;
 use pcdlb_check::invariant::{verify_invariant, InvariantConfig};
 use pcdlb_check::lint::run_lints;
+use pcdlb_check::takeover::takeover_sweep_with_timeout;
 use pcdlb_check::verify::verify_protocol;
 
 fn main() -> ExitCode {
@@ -34,10 +36,12 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(rest),
         "interleave" => cmd_interleave(rest),
         "faults" => cmd_faults(rest),
+        "takeover" => cmd_takeover(rest),
         "lint" => cmd_lint(rest),
         "all" => cmd_verify(&[])
             .and_then(|()| cmd_interleave(&[]))
             .and_then(|()| cmd_faults(&[]))
+            .and_then(|()| cmd_takeover(&[]))
             .and_then(|()| cmd_lint(&[])),
         "--help" | "-h" | "help" => {
             usage();
@@ -68,6 +72,11 @@ fn usage() {
          \u{20}          at every --stride'th send op (default 16) plus --seeds\n\
          \u{20}          (default 6) seeded mixed-fault schedules, all under a\n\
          \u{20}          global --timeout-s (default 600) no-hang deadline\n\
+         takeover   degraded-mode takeover check: static buddy-map and\n\
+         \u{20}          merged dual-role schedule verification up to --max-side\n\
+         \u{20}          (default 6), then kill each rank of a 2x2 and a 3x3 run\n\
+         \u{20}          at every --stride'th send op (default 32) asserting\n\
+         \u{20}          bitwise recovery parity, under --timeout-s (default 900)\n\
          lint       hazard lint over the repo tree (--root .)"
     );
 }
@@ -156,8 +165,14 @@ fn cmd_faults(rest: &[String]) -> Result<(), String> {
     let (stride, seeds, timeout_s) = (v[0] as u64, v[1], v[2] as u64);
     let out = fault_sweep_with_timeout(stride, seeds, Duration::from_secs(timeout_s))?;
     println!(
-        "faults: {} kill-point runs ({} fired), {} seeded runs ({} faulted), reference digest {:#018x}",
-        out.kill_runs, out.kills_fired, out.seeded_runs, out.faults_fired, out.reference_digest
+        "faults: {} kill-point runs ({} fired), {} checkpoint-phase kills ({} fired), {} seeded runs ({} faulted), reference digest {:#018x}",
+        out.kill_runs,
+        out.kills_fired,
+        out.ckpt_runs,
+        out.ckpt_kills_fired,
+        out.seeded_runs,
+        out.faults_fired,
+        out.reference_digest
     );
     if !out.violations.is_empty() {
         for v in &out.violations {
@@ -167,6 +182,32 @@ fn cmd_faults(rest: &[String]) -> Result<(), String> {
             "{} recovery-parity violation(s)",
             out.violations.len()
         ));
+    }
+    Ok(())
+}
+
+fn cmd_takeover(rest: &[String]) -> Result<(), String> {
+    let v = opts(
+        rest,
+        &[("--stride", 32), ("--max-side", 6), ("--timeout-s", 900)],
+    )?;
+    let (stride, max_side, timeout_s) = (v[0] as u64, v[1], v[2] as u64);
+    let out = takeover_sweep_with_timeout(stride, max_side, Duration::from_secs(timeout_s))?;
+    println!(
+        "takeover: {} buddy cases, {} merged schedules, {} kill runs ({} fired: {} degraded, {} relaunched), {} second-death run(s)",
+        out.buddy_checks,
+        out.merged_schedules,
+        out.kill_runs,
+        out.kills_fired,
+        out.degraded,
+        out.relaunched,
+        out.second_death_runs
+    );
+    if !out.violations.is_empty() {
+        for v in &out.violations {
+            eprintln!("  {v}");
+        }
+        return Err(format!("{} takeover violation(s)", out.violations.len()));
     }
     Ok(())
 }

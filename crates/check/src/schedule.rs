@@ -74,6 +74,8 @@ pub struct ScheduleOpts {
     pub stats: bool,
     /// Include the periodic distributed-checkpoint gather.
     pub checkpoint: bool,
+    /// Include the periodic invariant-sentinel gather.
+    pub sentinel: bool,
     /// Include the end-of-run snapshot gather.
     pub snapshot: bool,
 }
@@ -87,6 +89,7 @@ impl ScheduleOpts {
             thermostat: true,
             stats: true,
             checkpoint: true,
+            sentinel: true,
             snapshot: true,
         }
     }
@@ -143,6 +146,9 @@ pub fn step_schedule(side: usize, opts: &ScheduleOpts) -> StepSchedule {
         }
         if opts.checkpoint {
             gather_ops(&mut ops, CommPhase::Checkpoint, p, r, tags::CKPT_GATHER);
+        }
+        if opts.sentinel {
+            gather_ops(&mut ops, CommPhase::Sentinel, p, r, tags::SENTINEL);
         }
         if opts.snapshot {
             gather_ops(&mut ops, CommPhase::Snapshot, p, r, tags::SNAPSHOT);

@@ -1,0 +1,580 @@
+//! Verification of the degraded-mode survivor-takeover protocol.
+//!
+//! When a rank dies mid-run, `pcdlb-sim`'s takeover path
+//! (`crates/sim/src/takeover.rs`) has a deterministically chosen buddy
+//! survivor adopt the dead **virtual rank** and drive both ranks' slots
+//! in every communication phase from one OS thread. Three things must
+//! hold for that to be sound, and this module checks each:
+//!
+//! - **The buddy map is well-formed** ([`check_buddy_map`]): total and
+//!   deterministic over every grid, never maps a rank to itself, always
+//!   lands on an 8-neighbour (the adopter already exchanges with every
+//!   rank the adoptee talked to), and preserves virtual-rank coverage —
+//!   after one adoption the survivors' role sets still partition
+//!   `0..P`.
+//! - **The merged dual-role schedule is deadlock-free**
+//!   ([`check_merged_schedules`]): folding the dead rank's per-step
+//!   operations into its buddy's thread under the simulator's
+//!   interleaving rule (point-to-point phases post both roles' sends
+//!   before either role receives; gather-shaped phases run whole-role
+//!   descending; broadcast halves ascending) must leave every thread
+//!   able to run to completion with all channels drained. The
+//!   single-thread-two-ranks execution model needs its own checker
+//!   ([`run_thread_schedules`]): the static blocking-wait-graph check in
+//!   [`crate::verify`] keys receives by *rank*, which no longer equals
+//!   *thread* once a thread hosts two ranks.
+//! - **Real kill points recover bitwise** ([`takeover_sweep`]): kill
+//!   each rank of a 2×2 (DDM-only) and a 3×3 (DLB) world at strided
+//!   send ops and assert the run completes — degraded on `n − 1`
+//!   threads where the ladder absorbs the death, via full relaunch
+//!   where it cannot — with `digest_recovery` bitwise equal to the
+//!   fault-free reference. A two-death schedule per config checks the
+//!   escalation rung: the second death must fall back to a clean full
+//!   relaunch without hanging.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use pcdlb_core::protocol::tags::{self, CommPhase};
+use pcdlb_mp::collectives::COLLECTIVE_BIT;
+use pcdlb_mp::{FaultPlan, Torus2d};
+use pcdlb_sim::config::{Lattice, RunConfig};
+use pcdlb_sim::{run_with_takeover, run_with_takeover_faulted, RecoveryOptions};
+
+use crate::faults::run_under_timeout;
+use crate::schedule::{step_schedule, Op, PhasedOp, ScheduleOpts, StepSchedule};
+use crate::verify::LEGAL_DELTAS;
+
+/// Check the buddy map on every square grid with side `2..=max_side`.
+/// Returns human-readable violations (empty for a correct map).
+pub fn check_buddy_map(max_side: usize) -> (usize, Vec<String>) {
+    let mut checked = 0;
+    let mut out = Vec::new();
+    for side in 2..=max_side.max(2) {
+        let torus = Torus2d::new(side, side);
+        let p = torus.len();
+        for dead in 0..p {
+            checked += 1;
+            let buddy = torus.buddy(dead);
+            if buddy == dead {
+                out.push(format!("side {side}: buddy({dead}) = {dead} (self)"));
+                continue;
+            }
+            if buddy >= p {
+                out.push(format!("side {side}: buddy({dead}) = {buddy} out of range"));
+                continue;
+            }
+            if torus.buddy(dead) != buddy {
+                out.push(format!("side {side}: buddy({dead}) is not deterministic"));
+            }
+            if !torus.distinct_neighbors8(dead).contains(&buddy) {
+                out.push(format!(
+                    "side {side}: buddy({dead}) = {buddy} is not an 8-neighbour — \
+                     the adopter would need channels it never opened"
+                ));
+            }
+            // Coverage: after the buddy adopts, the survivors' role sets
+            // must still partition the full virtual-rank set.
+            let mut roles: Vec<usize> = (0..p).filter(|&r| r != dead).collect();
+            roles.push(dead);
+            roles.sort_unstable();
+            if roles != (0..p).collect::<Vec<usize>>() {
+                out.push(format!(
+                    "side {side}: adoption of {dead} by {buddy} breaks virtual-rank coverage"
+                ));
+            }
+        }
+    }
+    (checked, out)
+}
+
+fn op_tag(po: &PhasedOp) -> u64 {
+    let (Op::Send { tag, .. } | Op::Recv { tag, .. }) = po.op;
+    tag
+}
+
+/// The pre-namespacing base tag of a collective wire tag.
+fn base_tag(wire: u64) -> u64 {
+    (wire & !COLLECTIVE_BIT) >> 8
+}
+
+fn ops_of<'a>(
+    s: &'a StepSchedule,
+    v: usize,
+    phase: CommPhase,
+) -> impl Iterator<Item = PhasedOp> + 'a {
+    s.ranks[v]
+        .iter()
+        .copied()
+        .filter(move |po| po.phase == phase)
+}
+
+/// Fold a thread's role set into one program-ordered operation sequence
+/// under the simulator's dual-role interleaving rule (`step_multi` /
+/// `run_roles` in `crates/sim/src/takeover.rs`):
+///
+/// - point-to-point phases: every role's sends (roles ascending), then
+///   every role's receives (roles ascending);
+/// - the thermostat: the KE-gather half whole-role *descending* (the
+///   non-root role's contribution is posted before the root role starts
+///   receiving), the scale-broadcast half ascending (a binomial-tree
+///   parent is always a lower rank, so the lower role never waits on its
+///   own thread's higher role);
+/// - the remaining gather-shaped phases (stats, checkpoint, sentinel,
+///   snapshot): whole-role descending.
+///
+/// With a single role this reproduces the rank's schedule order exactly.
+pub fn merge_roles(s: &StepSchedule, roles: &[usize]) -> Vec<(usize, PhasedOp)> {
+    let mut out = Vec::new();
+    for phase in [
+        CommPhase::Migrate,
+        CommPhase::DlbLoad,
+        CommPhase::DlbDecision,
+        CommPhase::DlbCellXfer,
+        CommPhase::Ghost,
+    ] {
+        for &v in roles {
+            out.extend(
+                ops_of(s, v, phase)
+                    .filter(|po| matches!(po.op, Op::Send { .. }))
+                    .map(|po| (v, po)),
+            );
+        }
+        for &v in roles {
+            out.extend(
+                ops_of(s, v, phase)
+                    .filter(|po| matches!(po.op, Op::Recv { .. }))
+                    .map(|po| (v, po)),
+            );
+        }
+    }
+    for &v in roles.iter().rev() {
+        out.extend(
+            ops_of(s, v, CommPhase::Thermostat)
+                .filter(|po| base_tag(op_tag(po)) == tags::KE_GATHER)
+                .map(|po| (v, po)),
+        );
+    }
+    for &v in roles {
+        out.extend(
+            ops_of(s, v, CommPhase::Thermostat)
+                .filter(|po| base_tag(op_tag(po)) == tags::KE_BCAST)
+                .map(|po| (v, po)),
+        );
+    }
+    for phase in [
+        CommPhase::Stats,
+        CommPhase::Checkpoint,
+        CommPhase::Sentinel,
+        CommPhase::Snapshot,
+    ] {
+        for &v in roles.iter().rev() {
+            out.extend(ops_of(s, v, phase).map(|po| (v, po)));
+        }
+    }
+    out
+}
+
+/// The degraded world as thread programs: one merged sequence per
+/// surviving physical rank (ascending), the buddy's carrying both its
+/// own role and the dead rank's.
+pub fn merged_thread_schedule(
+    s: &StepSchedule,
+    dead: usize,
+    buddy: usize,
+) -> Vec<Vec<(usize, PhasedOp)>> {
+    (0..s.p)
+        .filter(|&r| r != dead)
+        .map(|r| {
+            if r == buddy {
+                let mut roles = vec![buddy, dead];
+                roles.sort_unstable();
+                merge_roles(s, &roles)
+            } else {
+                merge_roles(s, &[r])
+            }
+        })
+        .collect()
+}
+
+/// Execute a set of thread programs under the runtime's semantics —
+/// sends are non-blocking, a receive blocks until a matching message
+/// exists on its `(src, dst, tag)` channel — and report a deadlock or an
+/// undrained channel. Executing an operation never disables another, so
+/// running each thread as far as it can go, round-robin to a fixpoint,
+/// is both sound and complete for this model.
+pub fn run_thread_schedules(threads: &[Vec<(usize, PhasedOp)>]) -> Result<(), String> {
+    let mut cursor = vec![0usize; threads.len()];
+    let mut chan: BTreeMap<(usize, usize, u64), u64> = BTreeMap::new();
+    loop {
+        let mut progressed = false;
+        for (t, ops) in threads.iter().enumerate() {
+            while let Some(&(v, po)) = ops.get(cursor[t]) {
+                match po.op {
+                    Op::Send { to, tag } => {
+                        *chan.entry((v, to, tag)).or_insert(0) += 1;
+                    }
+                    Op::Recv { from, tag } => match chan.get_mut(&(from, v, tag)) {
+                        Some(n) if *n > 0 => *n -= 1,
+                        _ => break,
+                    },
+                }
+                cursor[t] += 1;
+                progressed = true;
+            }
+        }
+        let done = cursor.iter().zip(threads).all(|(&c, ops)| c == ops.len());
+        if done {
+            if let Some((&(src, dst, tag), n)) = chan.iter().find(|&(_, &n)| n > 0) {
+                return Err(format!(
+                    "{n} undrained message(s) on (src {src}, dst {dst}, tag {tag})"
+                ));
+            }
+            return Ok(());
+        }
+        if !progressed {
+            let stuck: Vec<String> = threads
+                .iter()
+                .enumerate()
+                .filter(|&(t, ops)| cursor[t] < ops.len())
+                .map(|(t, ops)| {
+                    let (v, po) = ops[cursor[t]];
+                    format!("thread {t} (as vrank {v}) blocked at {:?}", po.op)
+                })
+                .collect();
+            return Err(format!("deadlock: {}", stuck.join("; ")));
+        }
+    }
+}
+
+/// Check deadlock freedom of every merged dual-role schedule: for each
+/// grid side `2..=max_side`, each dead rank, and a scenario sweep (the
+/// base schedule; the full schedule; on sides 3–4 every single legal DLB
+/// transfer, which covers transfers into, out of, and past the merged
+/// thread). Returns `(schedules checked, violations)`.
+pub fn check_merged_schedules(max_side: usize) -> (usize, Vec<String>) {
+    let mut checked = 0;
+    let mut out = Vec::new();
+    for side in 2..=max_side.max(2) {
+        let torus = Torus2d::new(side, side);
+        let p = torus.len();
+        let mut scenarios: Vec<ScheduleOpts> = vec![
+            ScheduleOpts::default(),
+            ScheduleOpts {
+                dlb: side >= 3,
+                ..ScheduleOpts::full()
+            },
+        ];
+        if (3..=4).contains(&side) {
+            for r in 0..p {
+                for (di, dj) in LEGAL_DELTAS {
+                    scenarios.push(ScheduleOpts {
+                        dlb: true,
+                        decisions: vec![(r, torus.neighbor(r, di, dj))],
+                        ..ScheduleOpts::full()
+                    });
+                }
+            }
+        }
+        for opts in &scenarios {
+            let s = step_schedule(side, opts);
+            for dead in 0..p {
+                let buddy = torus.buddy(dead);
+                checked += 1;
+                if let Err(e) = run_thread_schedules(&merged_thread_schedule(&s, dead, buddy)) {
+                    out.push(format!(
+                        "side {side}, dead {dead} (buddy {buddy}), scenario {:?}: {e}",
+                        opts.decisions
+                    ));
+                }
+            }
+        }
+    }
+    (checked, out)
+}
+
+/// What the takeover sweep observed.
+#[derive(Debug, Clone)]
+pub struct TakeoverSweepOutcome {
+    /// `(side, dead)` buddy-map cases checked statically.
+    pub buddy_checks: usize,
+    /// Merged dual-role schedules checked for deadlock freedom.
+    pub merged_schedules: usize,
+    /// Runtime kill-point runs performed across both configs.
+    pub kill_runs: usize,
+    /// Kill-point runs whose kill actually fired.
+    pub kills_fired: usize,
+    /// Fired kills absorbed fully in place (degraded completion on
+    /// `n − 1` threads: one launch, one takeover).
+    pub degraded: usize,
+    /// Fired kills that fell back to a full relaunch (legitimate for the
+    /// narrow completion-handshake window; must stay the exception).
+    pub relaunched: usize,
+    /// Two-death escalation runs performed (one per config).
+    pub second_death_runs: usize,
+    /// Static or parity failures (empty when the protocol holds).
+    pub violations: Vec<String>,
+}
+
+/// Recovery knobs for sweep runs (mirrors the fault sweep's rationale).
+fn sweep_opts() -> RecoveryOptions {
+    RecoveryOptions {
+        max_attempts: 6,
+        poll: Duration::from_millis(2),
+        watchdog: Duration::from_secs(10),
+    }
+}
+
+/// The two sweep workloads: the 2×2 DDM-only recovery configuration the
+/// fault sweep uses, and a 3×3 clustered DLB run — the smallest grid on
+/// which a takeover thread drives two ranks through the load/decision/
+/// cell-transfer exchanges. Both gather the invariant sentinel so the
+/// degraded path is also exercised under it.
+fn sweep_configs() -> Vec<(&'static str, RunConfig)> {
+    let mut c2 = crate::faults::sweep_config();
+    c2.sentinel_interval = 6;
+    let mut c3 = RunConfig::new(600, 9, 9, 0.05);
+    c3.lattice = Lattice::Cluster { fill: 0.5 };
+    c3.steps = 20;
+    c3.dlb = true;
+    c3.seed = 3;
+    c3.thermostat_interval = 10;
+    c3.checkpoint_interval = 5;
+    c3.sentinel_interval = 6;
+    c3.validate();
+    vec![("2x2", c2), ("3x3", c3)]
+}
+
+/// The full takeover check: static buddy map, merged-schedule deadlock
+/// freedom, and the runtime kill-point sweep at the given send-op
+/// `stride`.
+pub fn takeover_sweep(stride: u64, max_side: usize) -> TakeoverSweepOutcome {
+    let stride = stride.max(1);
+    let mut out = TakeoverSweepOutcome {
+        buddy_checks: 0,
+        merged_schedules: 0,
+        kill_runs: 0,
+        kills_fired: 0,
+        degraded: 0,
+        relaunched: 0,
+        second_death_runs: 0,
+        violations: Vec::new(),
+    };
+    let (buddy_checks, mut v) = check_buddy_map(max_side);
+    out.buddy_checks = buddy_checks;
+    out.violations.append(&mut v);
+    let (merged, mut v) = check_merged_schedules(max_side);
+    out.merged_schedules = merged;
+    out.violations.append(&mut v);
+
+    let opts = sweep_opts();
+    for (name, cfg) in sweep_configs() {
+        let reference = match run_with_takeover(&cfg, &opts) {
+            Ok(r) => r,
+            Err(e) => {
+                out.violations
+                    .push(format!("{name}: fault-free reference run failed: {e}"));
+                continue;
+            }
+        };
+        if reference.attempts != 1 || reference.takeovers != 0 {
+            out.violations.push(format!(
+                "{name}: fault-free reference took {} attempt(s), {} takeover(s)",
+                reference.attempts, reference.takeovers
+            ));
+        }
+        // Mean-plus-margin per-rank send bound, as in the fault sweep.
+        let max_op = reference.report.msgs_sent / cfg.p as u64 + cfg.steps;
+        let mut config_degraded = 0usize;
+        for rank in 0..cfg.p {
+            for op in (0..max_op).step_by(stride as usize) {
+                let res = run_with_takeover_faulted(&cfg, &opts, |attempt, r| {
+                    (attempt == 0 && r == rank).then(|| FaultPlan::kill_at(op))
+                });
+                out.kill_runs += 1;
+                match res {
+                    Ok(o) => {
+                        if o.attempts > 1 || o.takeovers > 0 {
+                            out.kills_fired += 1;
+                        }
+                        if o.attempts == 1 && o.takeovers > 0 {
+                            out.degraded += 1;
+                            config_degraded += 1;
+                        } else if o.attempts > 1 {
+                            out.relaunched += 1;
+                        }
+                        if o.digest != reference.digest {
+                            out.violations.push(format!(
+                                "{name} kill(rank {rank}, op {op}): digest {:#018x} != reference \
+                                 {:#018x} ({} attempt(s), {} takeover(s))",
+                                o.digest, reference.digest, o.attempts, o.takeovers
+                            ));
+                        }
+                    }
+                    Err(e) => out.violations.push(format!(
+                        "{name} kill(rank {rank}, op {op}): unrecovered: {e}"
+                    )),
+                }
+            }
+        }
+        if config_degraded == 0 {
+            out.violations.push(format!(
+                "{name}: no kill point was absorbed in place — the takeover rung never engaged"
+            ));
+        }
+        // Escalation rung: a second death in the same launch must fall
+        // back to a clean full relaunch (no hang, parity preserved).
+        let (op_a, op_b) = (max_op / 2, max_op * 3 / 4);
+        let res = run_with_takeover_faulted(&cfg, &opts, |attempt, r| {
+            if attempt != 0 {
+                return None;
+            }
+            match r {
+                1 => Some(FaultPlan::kill_at(op_a)),
+                2 => Some(FaultPlan::kill_at(op_b)),
+                _ => None,
+            }
+        });
+        out.second_death_runs += 1;
+        match res {
+            Ok(o) => {
+                if o.attempts < 2 {
+                    out.violations.push(format!(
+                        "{name} second-death(ops {op_a}/{op_b}): completed in {} attempt(s) — \
+                         the second kill never fired or was wrongly absorbed",
+                        o.attempts
+                    ));
+                }
+                if o.digest != reference.digest {
+                    out.violations.push(format!(
+                        "{name} second-death(ops {op_a}/{op_b}): digest {:#018x} != reference {:#018x}",
+                        o.digest, reference.digest
+                    ));
+                }
+            }
+            Err(e) => out.violations.push(format!(
+                "{name} second-death(ops {op_a}/{op_b}): unrecovered: {e}"
+            )),
+        }
+    }
+    out
+}
+
+/// [`takeover_sweep`] under a global wall-clock `timeout` — the sweep
+/// checks the no-hang guarantee, so a hang must fail, not wedge CI.
+pub fn takeover_sweep_with_timeout(
+    stride: u64,
+    max_side: usize,
+    timeout: Duration,
+) -> Result<TakeoverSweepOutcome, String> {
+    run_under_timeout(timeout, "takeover sweep", move || {
+        takeover_sweep(stride, max_side)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buddy_map_is_total_adjacent_and_coverage_preserving() {
+        let (checked, violations) = check_buddy_map(6);
+        assert!(violations.is_empty(), "{violations:#?}");
+        // 4 + 9 + 16 + 25 + 36 dead-rank cases.
+        assert_eq!(checked, 90);
+    }
+
+    #[test]
+    fn merged_dual_role_schedules_are_deadlock_free() {
+        let (checked, violations) = check_merged_schedules(5);
+        assert!(violations.is_empty(), "{violations:#?}");
+        assert!(checked > 1000, "swept {checked} merged schedules");
+    }
+
+    #[test]
+    fn single_role_merge_reproduces_the_rank_schedule() {
+        let s = step_schedule(3, &ScheduleOpts::full());
+        for r in 0..s.p {
+            let merged: Vec<PhasedOp> = merge_roles(&s, &[r])
+                .into_iter()
+                .map(|(_, po)| po)
+                .collect();
+            assert_eq!(merged, s.ranks[r], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn the_checker_detects_a_recv_before_send_cycle() {
+        let mk = |op| PhasedOp {
+            phase: CommPhase::Migrate,
+            op,
+        };
+        // Two threads, each receiving before posting the send the other
+        // blocks on.
+        let threads = vec![
+            vec![
+                (0, mk(Op::Recv { from: 1, tag: 4 })),
+                (0, mk(Op::Send { to: 1, tag: 4 })),
+            ],
+            vec![
+                (1, mk(Op::Recv { from: 0, tag: 4 })),
+                (1, mk(Op::Send { to: 0, tag: 4 })),
+            ],
+        ];
+        let err = run_thread_schedules(&threads).expect_err("must deadlock");
+        assert!(err.contains("deadlock"), "{err}");
+    }
+
+    #[test]
+    fn the_checker_detects_a_same_thread_gather_inversion() {
+        // A thread holding the gather root (role 0) and a contributor
+        // (role 1), wrongly merged ascending: role 0 blocks on role 1's
+        // contribution, which its own thread only posts later.
+        let mk = |op| PhasedOp {
+            phase: CommPhase::Stats,
+            op,
+        };
+        let threads = vec![
+            vec![
+                (0, mk(Op::Recv { from: 1, tag: 12 })),
+                (0, mk(Op::Recv { from: 2, tag: 12 })),
+                (1, mk(Op::Send { to: 0, tag: 12 })),
+            ],
+            vec![(2, mk(Op::Send { to: 0, tag: 12 }))],
+        ];
+        let err = run_thread_schedules(&threads).expect_err("must deadlock");
+        assert!(err.contains("blocked at"), "{err}");
+        // The correct (descending) merge of the same ops is clean.
+        let threads = vec![
+            vec![
+                (1, mk(Op::Send { to: 0, tag: 12 })),
+                (0, mk(Op::Recv { from: 1, tag: 12 })),
+                (0, mk(Op::Recv { from: 2, tag: 12 })),
+            ],
+            vec![(2, mk(Op::Send { to: 0, tag: 12 }))],
+        ];
+        run_thread_schedules(&threads).expect("descending merge is deadlock-free");
+    }
+
+    #[test]
+    fn the_checker_detects_an_undrained_channel() {
+        let mk = |op| PhasedOp {
+            phase: CommPhase::Migrate,
+            op,
+        };
+        let threads = vec![vec![(0, mk(Op::Send { to: 1, tag: 4 }))], vec![]];
+        let err = run_thread_schedules(&threads).expect_err("must report the leak");
+        assert!(err.contains("undrained"), "{err}");
+    }
+
+    #[test]
+    fn tiny_takeover_sweep_holds_parity_on_both_grids() {
+        // A coarse stride keeps this a smoke test; the fine-grained sweep
+        // is `pcdlb-check takeover` (CI's takeover-matrix job).
+        let out = takeover_sweep(199, 4);
+        assert!(out.violations.is_empty(), "{:#?}", out.violations);
+        assert!(out.kills_fired > 0, "the low kill points must fire");
+        assert!(out.degraded > 0, "at least one in-place takeover per sweep");
+        assert_eq!(out.second_death_runs, 2);
+    }
+}

@@ -326,10 +326,7 @@ pub fn verify_protocol(max_side: usize) -> VerifyReport {
                 scenarios.push(ScheduleOpts {
                     dlb: true,
                     decisions: (0..p).map(|r| (r, torus.neighbor(r, di, dj))).collect(),
-                    thermostat: true,
-                    stats: true,
-                    checkpoint: true,
-                    snapshot: true,
+                    ..ScheduleOpts::full()
                 });
             }
         }

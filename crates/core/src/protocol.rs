@@ -64,6 +64,22 @@ pub mod tags {
     /// every owned column's particles plus the ownership view, so rank 0
     /// can assemble a restartable [`pcdlb-sim`] checkpoint.
     pub const CKPT_GATHER: u64 = 14;
+    /// Periodic (collective): runtime invariant sentinel gather to rank 0
+    /// — per-rank particle counts and owned columns, checked for global
+    /// conservation and exact ownership partition.
+    pub const SENTINEL: u64 = 15;
+    /// Takeover barrier (p2p): survivor READY announcement to the barrier
+    /// root after adopting/epoch-advancing.
+    pub const TAKEOVER_READY: u64 = 6;
+    /// Takeover barrier (p2p): root GO release once every survivor is
+    /// ready.
+    pub const TAKEOVER_GO: u64 = 7;
+    /// Completion handshake (p2p, takeover worlds): per-virtual-rank DONE
+    /// notification to virtual rank 0 at end of run.
+    pub const TAKEOVER_DONE: u64 = 8;
+    /// Completion handshake (p2p, takeover worlds): rank 0's ACK releasing
+    /// a DONE sender to exit.
+    pub const TAKEOVER_ACK: u64 = 9;
 
     /// The communication phases of one simulated step, in program order.
     /// Every blocking receive in `pcdlb-sim`'s pillar step belongs to
@@ -89,6 +105,14 @@ pub mod tags {
         Snapshot,
         /// Periodic distributed checkpoint gather (collective).
         Checkpoint,
+        /// Periodic invariant-sentinel gather (collective). Not part of
+        /// the baseline step schedule: present only when the sentinel is
+        /// enabled, and always downstream of `Checkpoint`.
+        Sentinel,
+        /// Takeover barrier + completion handshake (p2p, takeover worlds
+        /// only). Never appears in the per-step schedule; its receives are
+        /// deadline-bounded rather than schedule-matched.
+        Takeover,
     }
 
     /// One row of [`TAG_TABLE`]: a tag, its name, the phase that uses it,
@@ -168,6 +192,36 @@ pub mod tags {
             name: "CKPT_GATHER",
             phase: CommPhase::Checkpoint,
             collective: true,
+        },
+        TagSpec {
+            tag: SENTINEL,
+            name: "SENTINEL",
+            phase: CommPhase::Sentinel,
+            collective: true,
+        },
+        TagSpec {
+            tag: TAKEOVER_READY,
+            name: "TAKEOVER_READY",
+            phase: CommPhase::Takeover,
+            collective: false,
+        },
+        TagSpec {
+            tag: TAKEOVER_GO,
+            name: "TAKEOVER_GO",
+            phase: CommPhase::Takeover,
+            collective: false,
+        },
+        TagSpec {
+            tag: TAKEOVER_DONE,
+            name: "TAKEOVER_DONE",
+            phase: CommPhase::Takeover,
+            collective: false,
+        },
+        TagSpec {
+            tag: TAKEOVER_ACK,
+            name: "TAKEOVER_ACK",
+            phase: CommPhase::Takeover,
+            collective: false,
         },
     ];
 }

@@ -13,18 +13,38 @@
 //! - Message payloads are typed; receiving with the wrong type panics with
 //!   a diagnostic, since in an SPMD program that is always a protocol bug.
 //!
+//! # Virtual ranks and takeover
+//!
+//! Every endpoint speaks in **virtual ranks**: the stable rank ids of the
+//! n-rank protocol. Normally each OS thread holds exactly one virtual rank
+//! (its own), but in a takeover-enabled world
+//! ([`crate::world::World::with_takeover`]) a survivor may [`Comm::adopt`]
+//! a dead rank's virtual rank and then serve both, switching between them
+//! with [`Comm::act_as`]. Each adopted identity is a [`Persona`]-internal
+//! record with its own stats, virtual-time lap, and (in `check` builds)
+//! sequence counters, so per-virtual-rank accounting is unchanged by who
+//! physically hosts the rank. Envelopes carry their virtual destination
+//! and a **takeover epoch**; receivers silently drop envelopes from dead
+//! epochs and park envelopes from future epochs until
+//! [`Comm::advance_epoch`] re-admits them, so stale pre-death traffic can
+//! never corrupt the resumed run.
+//!
 //! # Failure surface
 //!
 //! Every failure a rank can observe is a [`CommError`]: a dead peer, a
-//! world abort (another rank panicked), a watchdog/deadline expiry, or —
-//! in `check` builds with fault injection — a detected transport fault
-//! (lost / duplicated / reordered / truncated message). The fast-path API
-//! (`send`, `recv`, `sendrecv`) panics with the error's message, which in
-//! an SPMD simulation is the right default: the world tears down and
-//! [`crate::world::World::try_run`] turns the per-rank panics into
-//! per-rank diagnostics. Programs that want to *handle* failure (e.g. a
-//! recovery driver) use [`Comm::try_send`] and [`Comm::recv_deadline`],
-//! which return `Result` instead.
+//! world abort (another rank panicked), a watchdog/deadline expiry, a
+//! takeover interrupt, or — in `check` builds with fault injection — a
+//! detected transport fault (lost / duplicated / reordered / truncated
+//! message). The fast-path API (`send`, `recv`, `sendrecv`) panics with
+//! the error's message, which in an SPMD simulation is the right default:
+//! the world tears down and [`crate::world::World::try_run`] turns the
+//! per-rank panics into per-rank diagnostics. The one exception is a
+//! takeover interrupt ([`CommErrorKind::Interrupted`]), which the fast
+//! path raises as a typed [`TakeoverInterrupt`] panic payload so a
+//! degraded-mode runner can catch it, absorb the death, and resume.
+//! Programs that want to *handle* failure (e.g. a recovery driver) use
+//! [`Comm::try_send`] and [`Comm::recv_deadline`], which return `Result`
+//! instead.
 //!
 //! Blocking receives are bounded by a **watchdog deadline** (configured on
 //! the [`crate::world::World`], default [`DEFAULT_WATCHDOG`]): a peer that
@@ -32,12 +52,12 @@
 //! keeps a sender to every mailbox — used to hang the world forever; now
 //! it surfaces as a structured timeout within the deadline.
 //!
-//! Every send/receive also charges the [`CostModel`] time to the rank's
-//! virtual communication clock and bumps the [`CommStats`] counters.
+//! Every send/receive also charges the [`CostModel`] time to the virtual
+//! rank's communication clock and bumps its [`CommStats`] counters.
 
 use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -63,6 +83,25 @@ pub const DEFAULT_POLL_INTERVAL: Duration = Duration::from_millis(20);
 /// [`crate::world::World::with_watchdog`].
 pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(60);
 
+/// How many times a transiently failing send is retried in place (with
+/// bounded exponential backoff) before the failure escalates as a
+/// [`CommErrorKind::Transport`] error. Exercised by the `check` feature's
+/// `FailSend` fault kind; the bound is what keeps a *persistent* fault
+/// from stalling the protocol behind an endless retry loop.
+pub const SEND_RETRY_LIMIT: u32 = 4;
+
+/// Base backoff before the first send retry; doubles on each subsequent
+/// attempt up to [`SEND_RETRY_LIMIT`].
+#[cfg(feature = "check")]
+const SEND_RETRY_BASE: Duration = Duration::from_micros(200);
+
+/// Typed panic payload raised (via `std::panic::panic_any`) by the
+/// panicking `send`/`recv` wrappers when a rank dies in a takeover-enabled
+/// world. A degraded-mode runner catches the unwind, downcasts to this
+/// type, and runs the takeover protocol instead of tearing the world down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TakeoverInterrupt;
+
 /// What went wrong in a communication call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommErrorKind {
@@ -73,13 +112,16 @@ pub enum CommErrorKind {
     Aborted,
     /// No matching message arrived within the watchdog/deadline window.
     Timeout,
-    /// A per-source sequence-number check failed at arrival: a message was
-    /// dropped, duplicated, or reordered in transit (`check` builds with
-    /// fault injection).
+    /// A per-source sequence-number check failed at arrival (a message was
+    /// dropped, duplicated, or reordered in transit), or a send's bounded
+    /// retry budget was exhausted (`check` builds with fault injection).
     Transport,
     /// The payload was truncated on the wire (`check` builds with fault
     /// injection).
     Truncated,
+    /// A rank died in a takeover-enabled world: the operation was
+    /// interrupted so the survivor can run the takeover protocol.
+    Interrupted,
 }
 
 /// Structured communication failure: who observed it, which peer and tag
@@ -149,6 +191,19 @@ impl CommError {
         )
     }
 
+    fn interrupted(rank: usize, op: &str, peer: usize, tag: Tag) -> Self {
+        Self::new(
+            CommErrorKind::Interrupted,
+            rank,
+            peer,
+            tag,
+            format!(
+                "rank {rank} {op}(peer={peer}, tag={tag}) interrupted: a rank died and \
+                 takeover is pending"
+            ),
+        )
+    }
+
     #[cfg(feature = "check")]
     fn transport(rank: usize, peer: usize, tag: Tag, expected: u64, got: u64) -> Self {
         let what = if got < expected {
@@ -164,6 +219,20 @@ impl CommError {
             format!(
                 "rank {rank} detected a transport fault from rank {peer} (tag={tag}): \
                  expected seq {expected}, got {got} (message {what})"
+            ),
+        )
+    }
+
+    #[cfg(feature = "check")]
+    fn send_failed(rank: usize, peer: usize, tag: Tag, op: u64, retries: u32) -> Self {
+        Self::new(
+            CommErrorKind::Transport,
+            rank,
+            peer,
+            tag,
+            format!(
+                "rank {rank} send(dst={peer}, tag={tag}): transient transport failure at \
+                 send op {op} persisted after {retries} bounded-backoff retries"
             ),
         )
     }
@@ -191,6 +260,13 @@ impl std::error::Error for CommError {}
 /// A message in flight.
 pub(crate) struct Envelope {
     pub(crate) src: usize,
+    /// Virtual destination rank. In a takeover world a mailbox can serve
+    /// two virtual ranks; matching at the receiver is by `(dst, src, tag)`.
+    pub(crate) dst: usize,
+    /// Takeover epoch at send time. Receivers drop envelopes from older
+    /// epochs (stale pre-death traffic) and park envelopes from newer
+    /// epochs until their own [`Comm::advance_epoch`].
+    pub(crate) epoch: u64,
     pub(crate) tag: Tag,
     pub(crate) wire_bytes: usize,
     pub(crate) payload: Box<dyn Any + Send>,
@@ -205,7 +281,7 @@ pub(crate) struct Envelope {
     pub(crate) truncated: bool,
 }
 
-/// Communication counters for one rank.
+/// Communication counters for one virtual rank.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CommStats {
     /// Messages sent by this rank.
@@ -220,22 +296,72 @@ pub struct CommStats {
     pub virtual_comm_s: f64,
 }
 
+/// One virtual rank served by an endpoint: its identity plus everything
+/// accounted per virtual rank rather than per OS thread, so a survivor
+/// serving two ranks keeps two independent clocks and counter sets — the
+/// property that keeps per-step virtual-time accounting (and hence
+/// `digest_recovery`) bitwise identical in degraded mode.
+struct Persona {
+    vrank: usize,
+    stats: CommStats,
+    /// Virtual comm seconds accrued since the last lap for this rank.
+    lap_virtual_s: f64,
+    /// Next sequence number to stamp on a send, per destination.
+    #[cfg(feature = "check")]
+    send_seq: Vec<u64>,
+    /// Next sequence number expected at arrival, per source.
+    #[cfg(feature = "check")]
+    recv_seq: Vec<u64>,
+}
+
+impl Persona {
+    fn new(vrank: usize, size: usize) -> Self {
+        // `size` keys the per-peer sequence vectors in check builds.
+        let _ = size;
+        Self {
+            vrank,
+            stats: CommStats::default(),
+            lap_virtual_s: 0.0,
+            #[cfg(feature = "check")]
+            send_seq: vec![0; size],
+            #[cfg(feature = "check")]
+            recv_seq: vec![0; size],
+        }
+    }
+}
+
 /// One rank's endpoint into the world.
 pub struct Comm {
-    rank: usize,
+    /// Physical thread index: the virtual rank this thread was born as.
+    phys: usize,
     size: usize,
+    /// Virtual ranks served by this thread; index `active` is current.
+    personas: Vec<Persona>,
+    active: usize,
     senders: Vec<Sender<Envelope>>,
     inbox: Receiver<Envelope>,
     /// Arrived-but-unmatched messages, searched before the channel.
     pending: VecDeque<Envelope>,
+    /// Envelopes from a future takeover epoch, parked until
+    /// [`Comm::advance_epoch`] re-admits them.
+    future: VecDeque<Envelope>,
+    /// Current takeover epoch: 0 until the first takeover completes.
+    epoch_num: u64,
     model: CostModel,
-    stats: CommStats,
-    /// Virtual comm seconds accrued since the last [`Comm::lap_virtual_comm`].
-    lap_virtual_s: f64,
-    epoch: Instant,
+    started: Instant,
     /// Set when any rank in the world panics; receives poll it so a dead
     /// peer aborts the world instead of deadlocking it.
     abort: Arc<AtomicBool>,
+    /// True in a [`crate::world::World::with_takeover`] world: rank death
+    /// raises [`TakeoverInterrupt`] instead of tearing the world down.
+    takeover: bool,
+    /// Count of registered rank deaths (takeover worlds).
+    deaths: Arc<AtomicUsize>,
+    /// Per-original-rank death flags (takeover worlds).
+    dead: Arc<Vec<AtomicBool>>,
+    /// Physical thread currently hosting each virtual rank. Identity until
+    /// an adoption rewrites the dead rank's slot.
+    routes: Arc<Vec<AtomicUsize>>,
     /// Sleep quantum between abort-flag / deadline checks while blocked.
     poll: Duration,
     /// Deadline for blocking receives with no explicit timeout.
@@ -248,25 +374,24 @@ pub struct Comm {
     /// The controlled scheduler deciding cross-source delivery order.
     #[cfg(feature = "check")]
     delivery: Option<Box<dyn crate::check::DeliveryPolicy>>,
-    /// Next sequence number to stamp on a send, per destination.
-    #[cfg(feature = "check")]
-    send_seq: Vec<u64>,
-    /// Next sequence number expected at arrival, per source.
-    #[cfg(feature = "check")]
-    recv_seq: Vec<u64>,
     /// Installed fault schedule (see [`crate::fault`]); `None` = faultless.
     #[cfg(feature = "check")]
     injector: Option<crate::fault::FaultInjector>,
 }
 
 /// The world-level supervision state every rank's [`Comm`] shares: the
-/// common epoch for wall timestamps, the world abort flag, and the
-/// pacing of blocking receives (poll quantum + watchdog deadline).
+/// common epoch for wall timestamps, the world abort flag, the pacing of
+/// blocking receives (poll quantum + watchdog deadline), and the takeover
+/// registries (death count and flags, virtual-rank routing table).
 pub(crate) struct Supervision {
     pub(crate) epoch: Instant,
     pub(crate) abort: Arc<AtomicBool>,
     pub(crate) poll: Duration,
     pub(crate) watchdog: Duration,
+    pub(crate) takeover: bool,
+    pub(crate) deaths: Arc<AtomicUsize>,
+    pub(crate) dead: Arc<Vec<AtomicBool>>,
+    pub(crate) routes: Arc<Vec<AtomicUsize>>,
 }
 
 impl Comm {
@@ -279,26 +404,28 @@ impl Comm {
     ) -> Self {
         let size = senders.len();
         Self {
-            rank,
+            phys: rank,
             size,
+            personas: vec![Persona::new(rank, size)],
+            active: 0,
             senders,
             inbox,
             pending: VecDeque::new(),
+            future: VecDeque::new(),
+            epoch_num: 0,
             model,
-            stats: CommStats::default(),
-            lap_virtual_s: 0.0,
-            epoch: sup.epoch,
+            started: sup.epoch,
             abort: sup.abort,
+            takeover: sup.takeover,
+            deaths: sup.deaths,
+            dead: sup.dead,
+            routes: sup.routes,
             poll: sup.poll,
             watchdog: sup.watchdog,
             #[cfg(feature = "check")]
             streams: (0..size).map(|_| VecDeque::new()).collect(),
             #[cfg(feature = "check")]
             delivery: None,
-            #[cfg(feature = "check")]
-            send_seq: vec![0; size],
-            #[cfg(feature = "check")]
-            recv_seq: vec![0; size],
             #[cfg(feature = "check")]
             injector: None,
         }
@@ -319,10 +446,18 @@ impl Comm {
         self.injector = Some(crate::fault::FaultInjector::new(plan));
     }
 
-    /// This rank's id, `0..size`.
+    /// The **active virtual rank**, `0..size`. Equal to the physical
+    /// thread index until [`Comm::act_as`] switches personas.
     #[inline]
     pub fn rank(&self) -> usize {
-        self.rank
+        self.personas[self.active].vrank
+    }
+
+    /// The physical thread index (the virtual rank this thread was born
+    /// as); never changes across adoptions.
+    #[inline]
+    pub fn phys_rank(&self) -> usize {
+        self.phys
     }
 
     /// Number of ranks in the world.
@@ -331,28 +466,161 @@ impl Comm {
         self.size
     }
 
+    /// The virtual ranks this thread currently serves, in adoption order.
+    pub fn roles(&self) -> Vec<usize> {
+        self.personas.iter().map(|p| p.vrank).collect()
+    }
+
+    /// Switch the active persona to `vrank`. Panics if this thread does
+    /// not hold that virtual rank (a protocol bug, not a runtime fault).
+    pub fn act_as(&mut self, vrank: usize) {
+        self.active = self
+            .personas
+            .iter()
+            .position(|p| p.vrank == vrank)
+            .unwrap_or_else(|| {
+                panic!(
+                    "act_as({vrank}): thread {} holds only {:?}",
+                    self.phys,
+                    self.roles()
+                )
+            });
+    }
+
+    /// Adopt a dead rank's virtual rank: this thread becomes its host and
+    /// future sends to `vrank` (from every rank) are rerouted here. The
+    /// adopted persona starts with fresh stats, laps, and sequence
+    /// counters; the caller is expected to [`Comm::advance_epoch`] next so
+    /// every rank's counters restart together. One adoption per thread:
+    /// a second death escalates to relaunch instead.
+    pub fn adopt(&mut self, vrank: usize) {
+        assert!(
+            self.takeover,
+            "adopt({vrank}): not a takeover-enabled world"
+        );
+        assert!(vrank < self.size, "adopt: vrank {vrank} out of range");
+        assert!(
+            self.dead[vrank].load(Ordering::SeqCst),
+            "adopt({vrank}): rank is not registered dead"
+        );
+        assert!(
+            self.personas.len() < 2,
+            "adopt({vrank}): thread {} already serves two ranks",
+            self.phys
+        );
+        assert!(
+            self.personas.iter().all(|p| p.vrank != vrank),
+            "adopt({vrank}): already held"
+        );
+        self.personas.push(Persona::new(vrank, self.size));
+        self.routes[vrank].store(self.phys, Ordering::SeqCst);
+    }
+
+    /// Move this endpoint to takeover epoch `new_epoch`: discard every
+    /// buffered envelope from the old epoch (stale pre-death traffic),
+    /// reset all per-persona sequence counters, and re-admit any parked
+    /// future-epoch envelopes. Every surviving rank calls this with the
+    /// same epoch number during takeover, so post-takeover sequence
+    /// numbering restarts coherently world-wide.
+    pub fn advance_epoch(&mut self, new_epoch: u64) {
+        assert!(
+            new_epoch > self.epoch_num,
+            "advance_epoch({new_epoch}): already at epoch {}",
+            self.epoch_num
+        );
+        self.epoch_num = new_epoch;
+        self.pending.clear();
+        #[cfg(feature = "check")]
+        {
+            for s in &mut self.streams {
+                s.clear();
+            }
+            for p in &mut self.personas {
+                p.send_seq.iter_mut().for_each(|s| *s = 0);
+                p.recv_seq.iter_mut().for_each(|s| *s = 0);
+            }
+        }
+        let parked = std::mem::take(&mut self.future);
+        for env in parked {
+            if let Err(e) = self.admit(env) {
+                // A transport fault straddling the epoch boundary: fatal
+                // here, which in a takeover world escalates to relaunch.
+                panic!("{e}");
+            }
+        }
+    }
+
+    /// Current takeover epoch (0 until a takeover completes).
+    pub fn epoch(&self) -> u64 {
+        self.epoch_num
+    }
+
+    /// Number of rank deaths registered so far in this world.
+    pub fn deaths_observed(&self) -> usize {
+        self.deaths.load(Ordering::SeqCst)
+    }
+
+    /// The ranks registered dead so far, ascending.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        self.dead
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.load(Ordering::SeqCst))
+            .map(|(r, _)| r)
+            .collect()
+    }
+
+    /// The world watchdog deadline (used by runners to bound their own
+    /// handshake receives).
+    pub fn watchdog(&self) -> Duration {
+        self.watchdog
+    }
+
+    /// True when this world was launched with
+    /// [`World::with_takeover`](crate::World::with_takeover) — runners use
+    /// it to decide whether the degraded-mode completion handshake runs.
+    pub fn takeover_enabled(&self) -> bool {
+        self.takeover
+    }
+
+    /// Raise the world abort flag, waking every blocked rank with a
+    /// structured `Aborted` failure. A runner that decides a situation is
+    /// unrecoverable in place (e.g. a second death, an invariant-sentinel
+    /// violation) calls this *before* its fatal panic so the launch layer
+    /// records a deliberate abort rather than another absorbable death.
+    pub fn abort_world(&self) {
+        self.abort.store(true, Ordering::SeqCst);
+    }
+
+    /// True when a death has been registered that this endpoint has not
+    /// yet absorbed by advancing its epoch.
+    fn takeover_pending(&self) -> bool {
+        self.takeover && self.deaths.load(Ordering::SeqCst) as u64 > self.epoch_num
+    }
+
     /// Seconds of wall time since the world started (`MPI_Wtime`
     /// equivalent). On a timeshared host this measures elapsed real time,
     /// not per-rank compute; experiments that need per-rank *load* use the
     /// simulator's deterministic work model instead.
     pub fn wtime(&self) -> f64 {
-        self.epoch.elapsed().as_secs_f64()
+        self.started.elapsed().as_secs_f64()
     }
 
-    /// Communication counters accumulated so far.
+    /// Communication counters accumulated so far by the active persona.
     pub fn stats(&self) -> CommStats {
-        self.stats
+        self.personas[self.active].stats
     }
 
-    /// Virtual communication seconds accrued since the previous call (or
-    /// since construction), resetting the lap accumulator to exactly
-    /// zero. Unlike subtracting two [`CommStats::virtual_comm_s`]
-    /// readings, every lap sum starts from `0.0`, so an identical message
-    /// sequence yields a bitwise-identical delta regardless of what was
-    /// charged before it — the property the simulator's per-step
-    /// communication accounting (and checkpoint neutrality) relies on.
+    /// Virtual communication seconds accrued by the active persona since
+    /// its previous lap (or since construction), resetting the lap
+    /// accumulator to exactly zero. Unlike subtracting two
+    /// [`CommStats::virtual_comm_s`] readings, every lap sum starts from
+    /// `0.0`, so an identical message sequence yields a bitwise-identical
+    /// delta regardless of what was charged before it — the property the
+    /// simulator's per-step communication accounting (and checkpoint
+    /// neutrality) relies on.
     pub fn lap_virtual_comm(&mut self) -> f64 {
-        std::mem::take(&mut self.lap_virtual_s)
+        std::mem::take(&mut self.personas[self.active].lap_virtual_s)
     }
 
     /// The cost model in force.
@@ -360,24 +628,29 @@ impl Comm {
         &self.model
     }
 
-    /// Send `value` to rank `dst` with `tag`. Never blocks. Sending to
-    /// self is allowed (the message is delivered through the same mailbox).
-    /// Panics with the [`CommError`] diagnostic if the destination is gone
-    /// — naming the peer and tag, and noting a world abort when that is
-    /// the cause; programs that want to survive a dead peer use
-    /// [`Comm::try_send`].
+    /// Send `value` to virtual rank `dst` with `tag`. Never blocks.
+    /// Sending to self is allowed (the message is delivered through the
+    /// same mailbox). Panics with the [`CommError`] diagnostic if the
+    /// destination is gone — naming the peer and tag, and noting a world
+    /// abort when that is the cause — or raises [`TakeoverInterrupt`] when
+    /// the failure is an absorbable rank death in a takeover world;
+    /// programs that want to survive a dead peer use [`Comm::try_send`].
     pub fn send<T>(&mut self, dst: usize, tag: Tag, value: T)
     where
         T: Any + Send + WireSize,
     {
         if let Err(e) = self.try_send(dst, tag, value) {
+            if e.kind == CommErrorKind::Interrupted {
+                std::panic::panic_any(TakeoverInterrupt);
+            }
             panic!("{e}");
         }
     }
 
     /// Fallible send: like [`Comm::send`], but a dead destination (or a
-    /// world abort) comes back as `Err(CommError)` instead of a panic.
-    /// Accounting (stats, virtual time) reflects the attempt either way.
+    /// world abort, or a pending takeover) comes back as `Err(CommError)`
+    /// instead of a panic. Accounting (stats, virtual time) reflects the
+    /// attempt either way.
     pub fn try_send<T>(&mut self, dst: usize, tag: Tag, value: T) -> Result<(), CommError>
     where
         T: Any + Send + WireSize,
@@ -387,22 +660,29 @@ impl Comm {
             "send: dst {dst} out of range (size {})",
             self.size
         );
+        if self.takeover_pending() {
+            return Err(CommError::interrupted(self.rank(), "send", dst, tag));
+        }
         let wire_bytes = value.wire_size();
-        self.stats.msgs_sent += 1;
-        self.stats.bytes_sent += wire_bytes as u64;
-        let t = self.model.message_time(self.rank, dst, wire_bytes);
-        self.stats.virtual_comm_s += t;
-        self.lap_virtual_s += t;
+        let src = self.rank();
+        let t = self.model.message_time(src, dst, wire_bytes);
+        let persona = &mut self.personas[self.active];
+        persona.stats.msgs_sent += 1;
+        persona.stats.bytes_sent += wire_bytes as u64;
+        persona.stats.virtual_comm_s += t;
+        persona.lap_virtual_s += t;
         let env = Envelope {
-            src: self.rank,
+            src,
+            dst,
+            epoch: self.epoch_num,
             tag,
             wire_bytes,
             payload: Box::new(value),
             type_name: std::any::type_name::<T>(),
             #[cfg(feature = "check")]
             seq: {
-                let seq = self.send_seq[dst];
-                self.send_seq[dst] += 1;
+                let seq = persona.send_seq[dst];
+                persona.send_seq[dst] += 1;
                 seq
             },
             #[cfg(feature = "check")]
@@ -418,16 +698,22 @@ impl Comm {
         }
     }
 
-    /// Put one envelope on the destination's mailbox, routing a closed
-    /// channel through the abort-flag diagnostic: if the world is aborting
-    /// the error says so; otherwise it names the dead peer and the tag.
+    /// Put one envelope on its destination's mailbox (resolving the
+    /// virtual rank through the routing table), routing a closed channel
+    /// through the abort-flag diagnostic: if the world is aborting the
+    /// error says so; in a takeover world a closed mailbox is an
+    /// absorbable death and surfaces as `Interrupted`; otherwise it names
+    /// the dead peer and the tag.
     fn dispatch(&mut self, dst: usize, env: Envelope) -> Result<(), CommError> {
         let tag = env.tag;
-        if self.senders[dst].send(env).is_err() {
+        let host = self.routes[dst].load(Ordering::SeqCst);
+        if self.senders[host].send(env).is_err() {
             return Err(if self.abort.load(Ordering::Relaxed) {
-                CommError::aborted(self.rank, "send", dst, tag)
+                CommError::aborted(self.rank(), "send", dst, tag)
+            } else if self.takeover {
+                CommError::interrupted(self.rank(), "send", dst, tag)
             } else {
-                CommError::peer_dead(self.rank, "send", dst, tag)
+                CommError::peer_dead(self.rank(), "send", dst, tag)
             });
         }
         Ok(())
@@ -436,11 +722,36 @@ impl Comm {
     /// Dispatch under the fault injector: each logical send is one fault
     /// opportunity; the injected fault decides what actually reaches the
     /// wire. Sequence numbers were already assigned, so a dropped or
-    /// delayed envelope leaves a detectable gap at the receiver.
+    /// delayed envelope leaves a detectable gap at the receiver. Transient
+    /// send failures (`FailSend`) are retried here with bounded
+    /// exponential backoff — each retry consumes a fresh send-op index —
+    /// so a one-off glitch never escalates beyond this call, while a
+    /// persistent failure surfaces as a structured `Transport` error once
+    /// [`SEND_RETRY_LIMIT`] is exhausted.
     #[cfg(feature = "check")]
     fn dispatch_checked(&mut self, dst: usize, mut env: Envelope) -> Result<(), CommError> {
         use crate::fault::FaultKind;
-        let fired = self.injector.as_mut().and_then(|i| i.next_action());
+        let wire_tag = env.tag;
+        let mut fired = self.injector.as_mut().and_then(|i| i.next_action(wire_tag));
+        let mut attempts = 0u32;
+        while let Some((op, FaultKind::FailSend)) = fired {
+            attempts += 1;
+            if attempts > SEND_RETRY_LIMIT {
+                // The message never reached the wire and the caller is
+                // told so: roll back the sequence number so the failure
+                // is not *also* reported as a silent loss at the receiver.
+                self.personas[self.active].send_seq[dst] -= 1;
+                return Err(CommError::send_failed(
+                    self.rank(),
+                    dst,
+                    wire_tag,
+                    op,
+                    SEND_RETRY_LIMIT,
+                ));
+            }
+            std::thread::sleep(SEND_RETRY_BASE * (1 << (attempts - 1)));
+            fired = self.injector.as_mut().and_then(|i| i.next_action(wire_tag));
+        }
         match fired {
             None => {
                 self.dispatch(dst, env)?;
@@ -448,7 +759,8 @@ impl Comm {
             }
             Some((op, FaultKind::KillRank)) => panic!(
                 "rank {} killed by injected fault at send op {op} (dst={dst}, tag={})",
-                self.rank, env.tag
+                self.rank(),
+                env.tag
             ),
             Some((_, FaultKind::DropMessage)) => Ok(()),
             Some((_, FaultKind::TruncatePayload)) => {
@@ -463,6 +775,8 @@ impl Comm {
                 // downcast could observe the dummy payload.
                 let dup = Envelope {
                     src: env.src,
+                    dst: env.dst,
+                    epoch: env.epoch,
                     tag: env.tag,
                     wire_bytes: env.wire_bytes,
                     payload: Box::new(()),
@@ -487,6 +801,7 @@ impl Comm {
                 }
                 Ok(())
             }
+            Some((_, FaultKind::FailSend)) => unreachable!("retry loop consumed FailSend"),
         }
     }
 
@@ -504,27 +819,31 @@ impl Comm {
         }
     }
 
-    /// Receive the next message from `src` with `tag`, blocking until one
-    /// arrives or the world watchdog expires. Panics with the [`CommError`]
-    /// diagnostic on abort, timeout, or a detected transport fault, and on
-    /// payload type mismatch; [`Comm::recv_deadline`] is the
-    /// `Result`-returning form.
+    /// Receive the next message from `src` with `tag` (addressed to the
+    /// active persona), blocking until one arrives or the world watchdog
+    /// expires. Panics with the [`CommError`] diagnostic on abort,
+    /// timeout, or a detected transport fault, and on payload type
+    /// mismatch; raises [`TakeoverInterrupt`] on an absorbable rank death;
+    /// [`Comm::recv_deadline`] is the `Result`-returning form.
     pub fn recv<T>(&mut self, src: usize, tag: Tag) -> T
     where
         T: Any + Send + WireSize,
     {
         match self.recv_envelope(src, tag, None) {
             Ok(env) => self.unpack_or_panic(env),
+            Err(e) if e.kind == CommErrorKind::Interrupted => {
+                std::panic::panic_any(TakeoverInterrupt)
+            }
             Err(e) => panic!("{e}"),
         }
     }
 
     /// Fallible receive with an explicit deadline: blocks up to `timeout`
     /// for a message from `src` with `tag`. Every failure — dead peer,
-    /// world abort, deadline expiry, detected transport fault, truncated
-    /// payload — comes back as `Err(CommError)`. A zero `timeout` makes
-    /// this a structured probe. Payload type mismatch still panics (it is
-    /// a protocol bug, not a runtime fault).
+    /// world abort, deadline expiry, pending takeover, detected transport
+    /// fault, truncated payload — comes back as `Err(CommError)`. A zero
+    /// `timeout` makes this a structured probe. Payload type mismatch
+    /// still panics (it is a protocol bug, not a runtime fault).
     pub fn recv_deadline<T>(
         &mut self,
         src: usize,
@@ -537,16 +856,16 @@ impl Comm {
         let env = self.recv_envelope(src, tag, Some(timeout))?;
         #[cfg(feature = "check")]
         if env.truncated {
-            return Err(CommError::truncated(self.rank, env.src, env.tag));
+            return Err(CommError::truncated(self.rank(), env.src, env.tag));
         }
         Ok(self.unpack(env))
     }
 
     /// The blocking-receive engine shared by `recv` and `recv_deadline`:
-    /// match the pending buffer, advance the delivery policy (`check`
-    /// builds), and otherwise wait on the mailbox in `poll`-sized slices so
-    /// the abort flag and the deadline are both observed promptly. `None`
-    /// timeout means the world watchdog.
+    /// notice a pending takeover, match the pending buffer, advance the
+    /// delivery policy (`check` builds), and otherwise wait on the mailbox
+    /// in `poll`-sized slices so the abort flag and the deadline are both
+    /// observed promptly. `None` timeout means the world watchdog.
     fn recv_envelope(
         &mut self,
         src: usize,
@@ -561,6 +880,12 @@ impl Comm {
         let limit = timeout.unwrap_or(self.watchdog);
         let deadline = Instant::now() + limit;
         loop {
+            // Checked before the pending buffer so even a satisfiable
+            // receive notices a death promptly and the world converges on
+            // the takeover barrier instead of racing ahead on stale state.
+            if self.takeover_pending() {
+                return Err(CommError::interrupted(self.rank(), "recv", src, tag));
+            }
             if let Some(env) = self.match_pending(src, tag) {
                 return Ok(env);
             }
@@ -573,35 +898,53 @@ impl Comm {
             }
             let now = Instant::now();
             if now >= deadline {
-                return Err(CommError::timeout(self.rank, src, tag, limit));
+                return Err(CommError::timeout(self.rank(), src, tag, limit));
             }
             match self.inbox.recv_timeout(self.poll.min(deadline - now)) {
                 Ok(env) => self.admit(env)?,
                 Err(RecvTimeoutError::Timeout) => {
+                    // A pending takeover outranks the abort flag: when a
+                    // second death both registers and aborts, survivors
+                    // must still surface the interrupt so the runner can
+                    // observe the death count and escalate to relaunch.
+                    if self.takeover_pending() {
+                        return Err(CommError::interrupted(self.rank(), "recv", src, tag));
+                    }
                     if self.abort.load(Ordering::Relaxed) {
-                        return Err(CommError::aborted(self.rank, "recv", src, tag));
+                        return Err(CommError::aborted(self.rank(), "recv", src, tag));
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
-                    return Err(CommError::peer_dead(self.rank, "recv", src, tag));
+                    return Err(CommError::peer_dead(self.rank(), "recv", src, tag));
                 }
             }
         }
     }
 
-    /// Remove and return the first pending message matching `(src, tag)`.
+    /// Remove and return the first pending message matching `(src, tag)`
+    /// addressed to the active persona.
     fn match_pending(&mut self, src: usize, tag: Tag) -> Option<Envelope> {
+        let me = self.personas[self.active].vrank;
         let pos = self
             .pending
             .iter()
-            .position(|e| e.src == src && e.tag == tag)?;
+            .position(|e| e.src == src && e.tag == tag && e.dst == me)?;
         Some(self.pending.remove(pos).expect("position was valid"))
     }
 
-    /// Accept one physically-arrived envelope: verify its per-source
-    /// sequence number (`check` builds) and route it to its stream (policy
-    /// mode) or straight to the pending buffer.
+    /// Accept one physically-arrived envelope: apply the epoch admission
+    /// rules (drop stale, park future), verify its per-source sequence
+    /// number (`check` builds), and route it to its stream (policy mode)
+    /// or straight to the pending buffer.
     fn admit(&mut self, env: Envelope) -> Result<(), CommError> {
+        if env.epoch < self.epoch_num {
+            // Stale pre-takeover traffic: silently dropped by design.
+            return Ok(());
+        }
+        if env.epoch > self.epoch_num {
+            self.future.push_back(env);
+            return Ok(());
+        }
         #[cfg(feature = "check")]
         {
             self.note_arrival(&env)?;
@@ -614,30 +957,36 @@ impl Comm {
         Ok(())
     }
 
-    /// Per-source sequence check at arrival. Per-(src, dst) links are FIFO,
-    /// so in a faultless world arrivals are always in send order; any gap
-    /// or repeat is an injected (or real) transport fault, reported against
+    /// Per-source sequence check at arrival, against the counters of the
+    /// persona the envelope addresses. Per-(src, dst) links are FIFO, so
+    /// in a faultless world arrivals are always in send order; any gap or
+    /// repeat is an injected (or real) transport fault, reported against
     /// the arriving message's source and tag.
     #[cfg(feature = "check")]
     fn note_arrival(&mut self, env: &Envelope) -> Result<(), CommError> {
-        let expected = self.recv_seq[env.src];
+        let Some(p) = self.personas.iter_mut().find(|p| p.vrank == env.dst) else {
+            // Not addressed to any persona here: impossible under the
+            // routing + epoch rules, but never worth crashing over.
+            return Ok(());
+        };
+        let expected = p.recv_seq[env.src];
         if env.seq != expected {
+            let observer = p.vrank;
             return Err(CommError::transport(
-                self.rank, env.src, env.tag, expected, env.seq,
+                observer, env.src, env.tag, expected, env.seq,
             ));
         }
-        self.recv_seq[env.src] = expected + 1;
+        p.recv_seq[env.src] = expected + 1;
         Ok(())
     }
 
-    /// Move everything that has physically arrived into the per-source
-    /// streams (no policy involvement: per-source FIFO is the network's
-    /// own guarantee).
+    /// Move everything that has physically arrived through the admission
+    /// rules and into the per-source streams (no policy involvement:
+    /// per-source FIFO is the network's own guarantee).
     #[cfg(feature = "check")]
     fn pump_streams(&mut self) -> Result<(), CommError> {
         while let Ok(env) = self.inbox.try_recv() {
-            self.note_arrival(&env)?;
-            self.streams[env.src].push_back(env);
+            self.admit(env)?;
         }
         Ok(())
     }
@@ -658,8 +1007,9 @@ impl Comm {
         if candidates.is_empty() {
             return false;
         }
+        let me = self.personas[self.active].vrank;
         let policy = self.delivery.as_mut().expect("deliver_one needs a policy");
-        let i = policy.choose(self.rank, &candidates);
+        let i = policy.choose(me, &candidates);
         assert!(
             i < candidates.len(),
             "delivery policy chose {i} of {} candidates",
@@ -700,7 +1050,12 @@ impl Comm {
             if let Err(e) = self.pump_streams() {
                 panic!("{e}");
             }
-            if !self.pending.iter().any(|e| e.src == src && e.tag == tag) {
+            let me = self.personas[self.active].vrank;
+            if !self
+                .pending
+                .iter()
+                .any(|e| e.src == src && e.tag == tag && e.dst == me)
+            {
                 self.deliver_one();
             }
             let env = self.match_pending(src, tag)?;
@@ -724,7 +1079,7 @@ impl Comm {
     {
         #[cfg(feature = "check")]
         if env.truncated {
-            let e = CommError::truncated(self.rank, env.src, env.tag);
+            let e = CommError::truncated(self.rank(), env.src, env.tag);
             panic!("{e}");
         }
         self.unpack(env)
@@ -734,11 +1089,12 @@ impl Comm {
     where
         T: Any + Send + WireSize,
     {
-        self.stats.msgs_recvd += 1;
-        self.stats.bytes_recvd += env.wire_bytes as u64;
-        let t = self.model.message_time(env.src, self.rank, env.wire_bytes);
-        self.stats.virtual_comm_s += t;
-        self.lap_virtual_s += t;
+        let t = self.model.message_time(env.src, env.dst, env.wire_bytes);
+        let persona = &mut self.personas[self.active];
+        persona.stats.msgs_recvd += 1;
+        persona.stats.bytes_recvd += env.wire_bytes as u64;
+        persona.stats.virtual_comm_s += t;
+        persona.lap_virtual_s += t;
         let src = env.src;
         let tag = env.tag;
         let sent_type = env.type_name;
@@ -747,7 +1103,7 @@ impl Comm {
             Err(_) => panic!(
                 "recv type mismatch on rank {} for (src={src}, tag={tag}): \
                  sender sent `{sent_type}`, receiver expected `{}`",
-                self.rank,
+                self.rank(),
                 std::any::type_name::<T>()
             ),
         }
@@ -1081,5 +1437,34 @@ mod tests {
             }
         });
         assert_eq!(out, vec![1, 0]);
+    }
+
+    #[test]
+    fn epoch_advance_drops_stale_and_readmits_future_envelopes() {
+        // Rank 0 sends one message per epoch plus one that is never
+        // received before the boundary; rank 1 must see the epoch-0
+        // message, then — after advancing — the epoch-1 message, while the
+        // unconsumed epoch-0 straggler vanishes instead of corrupting the
+        // resumed run.
+        let out = World::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, 10u64); // epoch 0, consumed
+                comm.send(1, 2, 66u64); // epoch 0, never consumed (stale)
+                comm.send(1, 3, ()); // epoch-0 sync marker
+                comm.advance_epoch(1);
+                comm.send(1, 1, 20u64); // epoch 1
+                0
+            } else {
+                assert_eq!(comm.recv::<u64>(0, 1), 10);
+                let () = comm.recv(0, 3); // both epoch-0 messages arrived
+                comm.advance_epoch(1);
+                assert_eq!(comm.recv::<u64>(0, 1), 20);
+                // The stale tag-2 envelope was dropped at the boundary.
+                assert!(comm.try_recv::<u64>(0, 2).is_none());
+                assert_eq!(comm.pending_len(), 0);
+                1
+            }
+        });
+        assert_eq!(out, vec![0, 1]);
     }
 }

@@ -42,6 +42,14 @@ pub enum FaultKind {
     TruncatePayload,
     /// Panic the sending rank at the fault site.
     KillRank,
+    /// Transient send failure: the send attempt fails without consuming
+    /// the message; the comm layer retries it in place with bounded
+    /// exponential backoff (each retry is a fresh fault opportunity, so a
+    /// run of consecutive `FailSend` sites models a fault that persists
+    /// across retries). Deliberately **not** in [`ALL_FAULT_KINDS`]: it
+    /// exercises the retry path, not the loss-detection path, and adding
+    /// it would reshuffle every seeded plan.
+    FailSend,
 }
 
 /// Every injectable fault kind, in a fixed order (seeded plans index into
@@ -55,10 +63,15 @@ pub const ALL_FAULT_KINDS: [FaultKind; 5] = [
 ];
 
 /// A deterministic per-rank fault schedule: `(send-op index, fault)` pairs,
-/// at most one fault per op, sorted ascending.
+/// at most one fault per op, sorted ascending, plus optional
+/// **tag-triggered** sites keyed by `(wire tag, nth send on that tag)` —
+/// the primitive that lets a sweep kill a rank *inside* a specific
+/// protocol phase (e.g. the checkpoint gather) without knowing its global
+/// send-op index.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     sites: Vec<(u64, FaultKind)>,
+    tag_sites: Vec<(crate::comm::Tag, u64, FaultKind)>,
 }
 
 impl FaultPlan {
@@ -67,7 +80,10 @@ impl FaultPlan {
     pub fn new(mut sites: Vec<(u64, FaultKind)>) -> Self {
         sites.sort_by_key(|&(op, _)| op);
         sites.dedup_by_key(|&mut (op, _)| op);
-        Self { sites }
+        Self {
+            sites,
+            tag_sites: Vec::new(),
+        }
     }
 
     /// A single fault at send op `op`.
@@ -78,6 +94,27 @@ impl FaultPlan {
     /// Kill the rank at send op `op` — the kill-point sweep's primitive.
     pub fn kill_at(op: u64) -> Self {
         Self::single(op, FaultKind::KillRank)
+    }
+
+    /// Kill the rank at its `nth` (0-based) send carrying `wire_tag` —
+    /// the phase-targeted kill primitive (e.g. mid checkpoint gather).
+    pub fn kill_on_tag(wire_tag: crate::comm::Tag, nth: u64) -> Self {
+        Self {
+            sites: Vec::new(),
+            tag_sites: vec![(wire_tag, nth, FaultKind::KillRank)],
+        }
+    }
+
+    /// A run of `count` consecutive transient send failures starting at
+    /// send op `first_op`. With `count <=` the comm layer's retry limit
+    /// the send eventually goes through; beyond it the failure escalates
+    /// as a structured `Transport` error.
+    pub fn fail_sends(first_op: u64, count: u32) -> Self {
+        Self::new(
+            (0..count as u64)
+                .map(|i| (first_op + i, FaultKind::FailSend))
+                .collect(),
+        )
     }
 
     /// A pseudo-random plan: `count` distinct fault sites drawn uniformly
@@ -110,9 +147,15 @@ impl FaultPlan {
         &self.sites
     }
 
+    /// The tag-triggered fault sites: `(wire tag, nth send on that tag,
+    /// fault)`.
+    pub fn tag_sites(&self) -> &[(crate::comm::Tag, u64, FaultKind)] {
+        &self.tag_sites
+    }
+
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.sites.is_empty()
+        self.sites.is_empty() && self.tag_sites.is_empty()
     }
 }
 
@@ -133,6 +176,8 @@ pub(crate) struct FaultInjector {
     plan: FaultPlan,
     cursor: usize,
     op: u64,
+    /// Sends seen so far per wire tag, for tag-triggered sites.
+    tag_counts: std::collections::BTreeMap<crate::comm::Tag, u64>,
     /// A delay-faulted envelope waiting for the next send to the same
     /// destination: `(dst, envelope)`.
     pub(crate) held: Option<(usize, crate::comm::Envelope)>,
@@ -144,20 +189,33 @@ impl FaultInjector {
             plan,
             cursor: 0,
             op: 0,
+            tag_counts: std::collections::BTreeMap::new(),
             held: None,
         }
     }
 
-    /// Advance the send-op counter; returns the fault scheduled at this op,
-    /// if any, tagged with the op index for diagnostics.
-    pub(crate) fn next_action(&mut self) -> Option<(u64, FaultKind)> {
+    /// Advance the send-op and per-tag counters; returns the fault
+    /// scheduled at this op (op-indexed sites take precedence over
+    /// tag-triggered ones), tagged with the op index for diagnostics.
+    pub(crate) fn next_action(&mut self, wire_tag: crate::comm::Tag) -> Option<(u64, FaultKind)> {
         let op = self.op;
         self.op += 1;
+        let count = self.tag_counts.entry(wire_tag).or_insert(0);
+        let nth = *count;
+        *count += 1;
         if let Some(&(site, kind)) = self.plan.sites.get(self.cursor) {
             if site == op {
                 self.cursor += 1;
                 return Some((op, kind));
             }
+        }
+        if let Some(&(_, _, kind)) = self
+            .plan
+            .tag_sites
+            .iter()
+            .find(|&&(t, n, _)| t == wire_tag && n == nth)
+        {
+            return Some((op, kind));
         }
         None
     }
@@ -208,7 +266,7 @@ mod tests {
             (1, FaultKind::DropMessage),
             (3, FaultKind::KillRank),
         ]));
-        let fired: Vec<_> = (0..6).map(|_| inj.next_action()).collect();
+        let fired: Vec<_> = (0..6).map(|_| inj.next_action(0)).collect();
         assert_eq!(
             fired,
             vec![
@@ -356,6 +414,72 @@ mod tests {
                 .to_string()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn tag_triggered_sites_fire_on_the_nth_send_of_that_tag() {
+        let mut inj = FaultInjector::new(FaultPlan::kill_on_tag(7, 1));
+        // Sends on other tags do not advance tag 7's counter; the kill
+        // fires on the second tag-7 send regardless of global op index.
+        assert_eq!(inj.next_action(3), None);
+        assert_eq!(inj.next_action(7), None);
+        assert_eq!(inj.next_action(3), None);
+        assert_eq!(inj.next_action(7), Some((3, FaultKind::KillRank)));
+        assert_eq!(inj.next_action(7), None);
+    }
+
+    #[test]
+    fn transient_send_failures_are_retried_through() {
+        // Every retry consumes a send-op index, so a burst equal to the
+        // retry limit still goes through — the glitch never escalates.
+        let out = fault_world()
+            .try_run_with_faults(
+                plans_for_rank0(FaultPlan::fail_sends(0, crate::comm::SEND_RETRY_LIMIT)),
+                |comm| {
+                    if comm.rank() == 0 {
+                        comm.send(1, 1, 42u64);
+                        0
+                    } else {
+                        comm.recv::<u64>(0, 1)
+                    }
+                },
+            )
+            .expect("retries absorb the transient failure");
+        assert_eq!(out[1], 42);
+    }
+
+    #[test]
+    fn persistent_send_failure_exhausts_the_retry_budget() {
+        // One more consecutive failure than the budget: try_send must
+        // surface a structured Transport error, not spin forever.
+        let out = fault_world()
+            .try_run_with_faults(
+                plans_for_rank0(FaultPlan::fail_sends(0, crate::comm::SEND_RETRY_LIMIT + 1)),
+                |comm| {
+                    if comm.rank() == 0 {
+                        let err = comm
+                            .try_send(1, 1, 42u64)
+                            .expect_err("the failure persists past every retry");
+                        assert_eq!(err.kind, CommErrorKind::Transport);
+                        assert_eq!((err.peer, err.tag), (1, 1));
+                        // Later sends succeed: the budget is per call.
+                        comm.send(1, 2, 7u64);
+                        err.message().to_string()
+                    } else {
+                        let v = comm
+                            .recv_deadline::<u64>(0, 2, Duration::from_secs(2))
+                            .expect("the post-failure send arrives");
+                        assert_eq!(v, 7);
+                        String::new()
+                    }
+                },
+            )
+            .expect("handled structurally");
+        assert!(
+            out[0].contains("transient transport failure") && out[0].contains("retries"),
+            "diagnostic: {}",
+            out[0]
+        );
     }
 
     #[test]

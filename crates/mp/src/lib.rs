@@ -47,10 +47,11 @@ pub mod topology;
 pub mod wire;
 pub mod world;
 
-pub use comm::{Comm, CommError, CommErrorKind, CommStats, Tag};
+pub use comm::SEND_RETRY_LIMIT;
+pub use comm::{Comm, CommError, CommErrorKind, CommStats, Tag, TakeoverInterrupt};
 pub use cost::CostModel;
 #[cfg(feature = "check")]
 pub use fault::{FaultKind, FaultPlan};
 pub use topology::{Torus2d, Torus3d};
 pub use wire::WireSize;
-pub use world::{RankFailure, World, WorldError};
+pub use world::{DegradedOutcome, RankFailure, World, WorldError};

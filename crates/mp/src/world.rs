@@ -12,7 +12,7 @@
 //! one diagnostic per failed rank — the clean-teardown surface a recovery
 //! driver (e.g. `pcdlb-sim`'s `run_with_recovery`) builds on.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -52,6 +52,20 @@ impl std::fmt::Display for WorldError {
 
 impl std::error::Error for WorldError {}
 
+/// Outcome of a degraded-capable launch ([`World::try_run_degraded`]):
+/// per-rank results in **virtual-rank** order (`None` for ranks that died
+/// and were absorbed by takeover — their role's result, if any, is
+/// returned by the surviving thread that adopted them) plus the list of
+/// ranks registered dead during the run.
+#[derive(Debug)]
+pub struct DegradedOutcome<R> {
+    /// Per-thread results in original rank order; `None` where the thread
+    /// died.
+    pub results: Vec<Option<R>>,
+    /// Ranks registered dead (absorbed deaths), ascending.
+    pub dead: Vec<usize>,
+}
+
 /// Configuration for an SPMD launch.
 #[derive(Debug, Clone)]
 pub struct World {
@@ -59,6 +73,7 @@ pub struct World {
     model: CostModel,
     poll: Duration,
     watchdog: Duration,
+    takeover: bool,
 }
 
 impl World {
@@ -71,7 +86,23 @@ impl World {
             model: CostModel::default(),
             poll: DEFAULT_POLL_INTERVAL,
             watchdog: DEFAULT_WATCHDOG,
+            takeover: false,
         }
+    }
+
+    /// Enable degraded mode: a single rank death no longer aborts the
+    /// world. Instead the death is registered (see
+    /// [`crate::comm::Comm::deaths_observed`]), every blocked survivor is
+    /// interrupted with a [`crate::comm::TakeoverInterrupt`], and the
+    /// program is expected to run a takeover protocol
+    /// ([`crate::comm::Comm::adopt`] + [`crate::comm::Comm::advance_epoch`])
+    /// and continue on n−1 threads. A **second** death sets the world
+    /// abort flag — degraded capacity is one absorbed death per launch;
+    /// beyond that the caller falls back to a full relaunch. Pair with
+    /// [`World::try_run_degraded`].
+    pub fn with_takeover(mut self) -> Self {
+        self.takeover = true;
+        self
     }
 
     /// Replace the interconnect cost model.
@@ -113,7 +144,7 @@ impl World {
         R: Send,
         F: Fn(&mut Comm) -> R + Sync,
     {
-        let (results, mut panics) = self.launch(f, |_comm| {});
+        let (results, mut panics, _dead) = self.launch(f, |_comm| {});
         if let Some((_rank, payload)) = panics.drain(..).next() {
             std::panic::resume_unwind(payload);
         }
@@ -130,8 +161,46 @@ impl World {
         R: Send,
         F: Fn(&mut Comm) -> R + Sync,
     {
-        let (results, panics) = self.launch(f, |_comm| {});
+        let (results, panics, _dead) = self.launch(f, |_comm| {});
         Self::collect(results, panics)
+    }
+
+    /// Run `f` on every rank of a [`World::with_takeover`] world, treating
+    /// registered (absorbed) rank deaths as expected degradation rather
+    /// than failure: `Ok` as long as every panic belongs to a registered
+    /// dead rank, with `None` results in the dead slots. Any *other* panic
+    /// — including survivors aborted by a second death — is a
+    /// [`WorldError`] and the caller should relaunch from the checkpoint.
+    pub fn try_run_degraded<R, F>(&self, f: F) -> Result<DegradedOutcome<R>, WorldError>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        assert!(self.takeover, "try_run_degraded requires with_takeover()");
+        let (results, panics, dead) = self.launch(f, |_comm| {});
+        Self::collect_degraded(results, panics, dead)
+    }
+
+    /// [`World::try_run_degraded`] with per-rank fault plans installed
+    /// first (`check` builds) — the takeover kill-point sweep's entry.
+    #[cfg(feature = "check")]
+    pub fn try_run_degraded_with_faults<R, F, P>(
+        &self,
+        plan_for_rank: P,
+        f: F,
+    ) -> Result<DegradedOutcome<R>, WorldError>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+        P: Fn(usize) -> Option<crate::fault::FaultPlan> + Sync,
+    {
+        assert!(self.takeover, "try_run_degraded requires with_takeover()");
+        let (results, panics, dead) = self.launch(f, |comm| {
+            if let Some(plan) = plan_for_rank(comm.rank()) {
+                comm.set_fault_plan(plan);
+            }
+        });
+        Self::collect_degraded(results, panics, dead)
     }
 
     /// Like [`World::run`], but installs a [`crate::check::DeliveryPolicy`]
@@ -145,7 +214,7 @@ impl World {
         F: Fn(&mut Comm) -> R + Sync,
         P: Fn(usize) -> Box<dyn crate::check::DeliveryPolicy> + Sync,
     {
-        let (results, mut panics) = self.launch(f, |comm| {
+        let (results, mut panics, _dead) = self.launch(f, |comm| {
             comm.set_delivery_policy(policy_for_rank(comm.rank()));
         });
         if let Some((_rank, payload)) = panics.drain(..).next() {
@@ -166,7 +235,7 @@ impl World {
         F: Fn(&mut Comm) -> R + Sync,
         P: Fn(usize) -> Option<crate::fault::FaultPlan> + Sync,
     {
-        let (results, panics) = self.launch(f, |comm| {
+        let (results, panics, _dead) = self.launch(f, |comm| {
             if let Some(plan) = plan_for_rank(comm.rank()) {
                 comm.set_fault_plan(plan);
             }
@@ -179,6 +248,28 @@ impl World {
             .into_iter()
             .map(|r| r.expect("non-panicked rank produced a result"))
             .collect()
+    }
+
+    /// Partition captured panics into absorbed deaths (registered in
+    /// `dead`) and genuine failures; only the latter fail the launch.
+    fn collect_degraded<R>(
+        results: Vec<Option<R>>,
+        panics: Vec<(usize, Box<dyn std::any::Any + Send>)>,
+        dead: Vec<usize>,
+    ) -> Result<DegradedOutcome<R>, WorldError> {
+        let failures: Vec<RankFailure> = panics
+            .into_iter()
+            .filter(|(rank, _)| !dead.contains(rank))
+            .map(|(rank, payload)| RankFailure {
+                rank,
+                message: panic_message(payload.as_ref()),
+            })
+            .collect();
+        if failures.is_empty() {
+            Ok(DegradedOutcome { results, dead })
+        } else {
+            Err(WorldError { failures })
+        }
     }
 
     fn collect<R>(
@@ -212,6 +303,12 @@ impl World {
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..self.size).map(|_| unbounded::<Envelope>()).unzip();
         let abort = Arc::new(AtomicBool::new(false));
+        let deaths = Arc::new(AtomicUsize::new(0));
+        let dead: Arc<Vec<AtomicBool>> =
+            Arc::new((0..self.size).map(|_| AtomicBool::new(false)).collect());
+        let routes: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..self.size).map(AtomicUsize::new).collect());
+        let takeover = self.takeover;
 
         let mut panics: Vec<(usize, Box<dyn std::any::Any + Send>)> = Vec::new();
         let results: Vec<Option<R>> = std::thread::scope(|scope| {
@@ -224,6 +321,9 @@ impl World {
                     let f = &f;
                     let setup = &setup;
                     let abort = Arc::clone(&abort);
+                    let deaths = Arc::clone(&deaths);
+                    let dead = Arc::clone(&dead);
+                    let routes = Arc::clone(&routes);
                     let (poll, watchdog) = (self.poll, self.watchdog);
                     scope.spawn(move || {
                         let mut comm = Comm::new(
@@ -236,14 +336,30 @@ impl World {
                                 abort: Arc::clone(&abort),
                                 poll,
                                 watchdog,
+                                takeover,
+                                deaths: Arc::clone(&deaths),
+                                dead: Arc::clone(&dead),
+                                routes,
                             },
                         );
                         setup(&mut comm);
                         let result =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
                         if result.is_err() {
-                            // Wake every rank blocked on this rank's output.
-                            abort.store(true, Ordering::SeqCst);
+                            if takeover && !abort.load(Ordering::SeqCst) {
+                                // Degraded mode: register the death so the
+                                // survivors can absorb it in place. Capacity
+                                // is one death per launch; a second sets the
+                                // abort flag and the caller relaunches.
+                                dead[rank].store(true, Ordering::SeqCst);
+                                if deaths.fetch_add(1, Ordering::SeqCst) + 1 >= 2 {
+                                    abort.store(true, Ordering::SeqCst);
+                                }
+                            } else {
+                                // Wake every rank blocked on this rank's
+                                // output.
+                                abort.store(true, Ordering::SeqCst);
+                            }
                         }
                         result
                     })
@@ -273,11 +389,21 @@ impl World {
                 })
                 .collect()
         });
-        (results, panics)
+        let dead_ranks: Vec<usize> = dead
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.load(Ordering::SeqCst))
+            .map(|(r, _)| r)
+            .collect();
+        (results, panics, dead_ranks)
     }
 }
 
-type LaunchOutcome<R> = (Vec<Option<R>>, Vec<(usize, Box<dyn std::any::Any + Send>)>);
+type LaunchOutcome<R> = (
+    Vec<Option<R>>,
+    Vec<(usize, Box<dyn std::any::Any + Send>)>,
+    Vec<usize>,
+);
 
 /// Best-effort extraction of a panic payload's message.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -405,6 +531,72 @@ mod tests {
             b >= a
         });
         assert!(out.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn degraded_world_reroutes_to_the_adopting_survivor() {
+        // Rank 1 dies; rank 0 is interrupted, adopts rank 1's virtual
+        // rank, advances the epoch, and then exchanges a message *with the
+        // adopted rank* — send and recv both resolving virtual rank 1 to
+        // thread 0. The launch reports the death as degradation, not
+        // failure.
+        use crate::comm::TakeoverInterrupt;
+        let out = World::new(2)
+            .with_takeover()
+            .try_run_degraded(|comm| {
+                if comm.phys_rank() == 1 {
+                    panic!("simulated PE death");
+                }
+                let interrupted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _: u64 = comm.recv(1, 7);
+                }));
+                let payload = interrupted.expect_err("rank 1 never sends");
+                assert!(payload.downcast_ref::<TakeoverInterrupt>().is_some());
+                assert_eq!(comm.deaths_observed(), 1);
+                assert_eq!(comm.dead_ranks(), vec![1]);
+                comm.adopt(1);
+                comm.advance_epoch(1);
+                comm.act_as(1);
+                assert_eq!(comm.rank(), 1);
+                comm.send(0, 9, 123u64);
+                comm.act_as(0);
+                let got = comm.recv::<u64>(1, 9);
+                assert_eq!(comm.roles(), vec![0, 1]);
+                got
+            })
+            .expect("a single death must be absorbed");
+        assert_eq!(out.dead, vec![1]);
+        assert_eq!(out.results[0], Some(123));
+        assert!(out.results[1].is_none());
+    }
+
+    #[test]
+    fn second_death_aborts_the_degraded_world() {
+        // Two ranks die: degraded capacity is exhausted, the abort flag
+        // goes up, and the survivor's interrupt handling observes two
+        // registered deaths — the signal to fall back to a full relaunch.
+        use crate::comm::TakeoverInterrupt;
+        let out = World::new(3)
+            .with_takeover()
+            .try_run_degraded(|comm| {
+                if comm.phys_rank() > 0 {
+                    panic!("simulated PE death");
+                }
+                let interrupted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _: u64 = comm.recv(1, 7);
+                }));
+                let payload = interrupted.expect_err("peers never send");
+                assert!(payload.downcast_ref::<TakeoverInterrupt>().is_some());
+                // Both deaths may not be registered at the instant of the
+                // first interrupt; wait for the registry to settle.
+                while comm.deaths_observed() < 2 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                comm.dead_ranks().len()
+            })
+            .expect("the survivor itself completed cleanly");
+        assert_eq!(out.dead, vec![1, 2]);
+        assert_eq!(out.results[0], Some(2));
     }
 
     #[test]

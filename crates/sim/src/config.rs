@@ -117,6 +117,15 @@ pub struct RunConfig {
     /// the per-step stats so checkpointing never perturbs `t_step` — a
     /// checkpointed run reports identically to an uncheckpointed one.
     pub checkpoint_interval: u64,
+    /// Run the global invariant sentinel every this many steps. 0 disables
+    /// (the default). When it fires, the ranks gather their particle count
+    /// and owned-column set to rank 0, which asserts global particle-count
+    /// conservation and that the ownership map is an exact partition of
+    /// the `nc²` columns. A violation aborts the world with a structured
+    /// diagnostic — under the recovery driver that escalates to a rollback
+    /// to the last checkpoint. Like checkpointing, the sentinel gather is
+    /// excluded from the per-step stats, so it never perturbs `t_step`.
+    pub sentinel_interval: u64,
 }
 
 impl RunConfig {
@@ -144,6 +153,7 @@ impl RunConfig {
             pull_frac: None,
             pull_rmax: None,
             checkpoint_interval: 0,
+            sentinel_interval: 0,
         }
     }
 

@@ -22,15 +22,17 @@ pub mod plane;
 pub mod recover;
 pub mod report;
 mod stats;
+pub mod takeover;
 #[cfg(test)]
 mod wire_check;
 
 pub use config::{Lattice, LoadMetric, RunConfig};
 pub use digest::{digest_particles, digest_records, digest_recovery, digest_report, digest_run};
 pub use driver::{run, run_serial, run_with_snapshot, serial_sim};
-#[cfg(feature = "check")]
-pub use recover::run_with_recovery_faulted;
 pub use recover::{
-    run_with_recovery, RecoveryError, RecoveryOptions, RecoveryOutcome, SimCheckpoint,
+    run_with_recovery, run_with_takeover, RecoveryError, RecoveryOptions, RecoveryOutcome,
+    SimCheckpoint,
 };
+#[cfg(feature = "check")]
+pub use recover::{run_with_recovery_faulted, run_with_takeover_faulted};
 pub use report::{RunReport, StepRecord};

@@ -257,7 +257,7 @@ impl PeState {
     /// Phase 1: half-kick with current forces, then drift and wrap. The
     /// flat force array is the owned columns concatenated in ascending
     /// column order, so a running base index realigns it.
-    fn kick_drift_all(&mut self) {
+    pub(crate) fn kick_drift_all(&mut self) {
         let dt = self.cfg.dt;
         let box_len = self.box_len;
         let mut base = 0usize;
@@ -275,8 +275,12 @@ impl PeState {
         debug_assert_eq!(base, self.forces.len());
     }
 
-    /// Phase 2: rebin locally and ship emigrants to neighbour owners.
-    fn migrate(&mut self, comm: &mut Comm) {
+    /// Phase 2, send half: rebin locally and ship emigrants to neighbour
+    /// owners. Returns the retained-particle staging for
+    /// [`PeState::migrate_recv`]; splitting the phase lets a thread
+    /// running two virtual ranks post *both* ranks' sends before either
+    /// blocks in a receive.
+    pub(crate) fn migrate_send(&mut self, comm: &mut Comm) -> BTreeMap<Col, Vec<Particle>> {
         // Route every owned particle into a per-column staging list (or an
         // outgoing payload), then rebuild the slabs once — the column key
         // set is preserved exactly (ownership only changes in `dlb`).
@@ -317,6 +321,15 @@ impl PeState {
             let payload = outgoing.remove(&nb).unwrap_or_default();
             comm.send(nb, tags::MIGRATE, payload);
         }
+        staging
+    }
+
+    /// Phase 2, receive half: collect immigrants and rebuild the columns.
+    pub(crate) fn migrate_recv(
+        &mut self,
+        comm: &mut Comm,
+        mut staging: BTreeMap<Col, Vec<Particle>>,
+    ) {
         for &nb in &self.neighbors {
             let incoming: Vec<Particle> = comm.recv(nb, tags::MIGRATE);
             for p in incoming {
@@ -350,57 +363,87 @@ impl PeState {
         self.ownership.owner_of(col)
     }
 
-    /// Phase 3: the DLB exchange. Returns the number of transfers this PE
-    /// participated in as sender.
-    fn dlb(&mut self, comm: &mut Comm) -> u64 {
-        let Some(protocol) = self.protocol else {
-            return 0;
-        };
+    /// Phase 3 (DLB), step 1 send half: post last-step execution times to
+    /// the 8-neighbourhood. All DLB halves are no-ops when DLB is off.
+    pub(crate) fn dlb_send_load(&mut self, comm: &mut Comm) {
+        if self.protocol.is_none() {
+            return;
+        }
         let own_load = self.last_load();
-        // Step 1: exchange last-step execution times.
         for &nb in &self.neighbors {
             comm.send(nb, tags::LOAD, own_load);
         }
+    }
+
+    /// Phase 3, step 1 receive half + steps 2–3: collect neighbour loads,
+    /// find the fastest PE, and apply the case rules. Returns this PE's
+    /// decision in wire form, ready for [`PeState::dlb_send_decision`].
+    pub(crate) fn dlb_recv_load_and_decide(&mut self, comm: &mut Comm) -> Option<(Col, u64, u64)> {
+        let protocol = self.protocol?;
+        let own_load = self.last_load();
         let nbr_loads: Vec<(usize, f64)> = self
             .neighbors
             .iter()
             .map(|&nb| (nb, comm.recv::<f64>(nb, tags::LOAD)))
             .collect();
-        // Step 2–3: fastest PE and the case rules.
         let fastest = protocol.fastest_pe(own_load, &nbr_loads);
         let my_decision = protocol.decide(&self.ownership, fastest);
         if let Some(d) = &my_decision {
             debug_assert!(DlbProtocol::validate(&self.layout, &self.ownership, d).is_ok());
         }
-        // Step 4: broadcast the decision to the neighbourhood.
-        let wire: Option<(Col, u64, u64)> =
-            my_decision.map(|d| (d.col, d.from as u64, d.to as u64));
+        my_decision.map(|d| (d.col, d.from as u64, d.to as u64))
+    }
+
+    /// Phase 3, step 4 send half: broadcast this PE's decision to the
+    /// neighbourhood (`None` travels too — every neighbour expects one
+    /// message).
+    pub(crate) fn dlb_send_decision(&mut self, comm: &mut Comm, wire: Option<(Col, u64, u64)>) {
+        if self.protocol.is_none() {
+            return;
+        }
         for &nb in &self.neighbors {
             comm.send(nb, tags::DECISION, wire);
         }
-        let mut decisions: Vec<DlbDecision> = my_decision.into_iter().collect();
+    }
+
+    /// Phase 3, step 4 receive half: collect the neighbourhood's
+    /// decisions, merge this PE's own, and apply the ownership updates in
+    /// deterministic order (the windowed view ignores decisions about
+    /// unreadable columns). Returns the merged decision list for the
+    /// cell-transfer halves.
+    pub(crate) fn dlb_recv_decisions(
+        &mut self,
+        comm: &mut Comm,
+        wire: Option<(Col, u64, u64)>,
+    ) -> Vec<DlbDecision> {
+        if self.protocol.is_none() {
+            return Vec::new();
+        }
+        let to_decision = |(col, from, to): (Col, u64, u64)| DlbDecision {
+            col,
+            from: from as usize,
+            to: to as usize,
+        };
+        let mut decisions: Vec<DlbDecision> = wire.map(to_decision).into_iter().collect();
         for &nb in &self.neighbors {
-            if let Some((col, from, to)) = comm.recv::<Option<(Col, u64, u64)>>(nb, tags::DECISION)
-            {
-                decisions.push(DlbDecision {
-                    col,
-                    from: from as usize,
-                    to: to as usize,
-                });
+            if let Some(w) = comm.recv::<Option<(Col, u64, u64)>>(nb, tags::DECISION) {
+                decisions.push(to_decision(w));
             }
         }
-        // Apply in deterministic order; windowed view ignores decisions
-        // about unreadable columns.
         decisions.sort_unstable_by_key(|d| d.from);
-        let mut sent = 0u64;
         for d in &decisions {
             if self.in_window(d.col) {
                 self.ownership.set_owner(d.col, d.to);
             }
         }
-        // Data movement: send the particles of columns we gave away, then
-        // receive columns granted to us (ordered by sender rank).
-        for d in &decisions {
+        decisions
+    }
+
+    /// Phase 3, data-movement send half: ship the particles of columns
+    /// this PE gave away. Returns the number of transfers sent.
+    pub(crate) fn dlb_send_cells(&mut self, comm: &mut Comm, decisions: &[DlbDecision]) -> u64 {
+        let mut sent = 0u64;
+        for d in decisions {
             if d.from == self.rank {
                 let slab = self
                     .columns
@@ -412,7 +455,13 @@ impl PeState {
                 sent += 1;
             }
         }
-        for d in &decisions {
+        sent
+    }
+
+    /// Phase 3, data-movement receive half: collect columns granted to
+    /// this PE (ordered by sender rank).
+    pub(crate) fn dlb_recv_cells(&mut self, comm: &mut Comm, decisions: &[DlbDecision]) {
+        for d in decisions {
             if d.to == self.rank {
                 let flat: Vec<Particle> = comm.recv(d.from, tags::CELL_XFER);
                 debug_assert!(flat.iter().all(|p| self.col_of(p.pos) == d.col));
@@ -420,11 +469,10 @@ impl PeState {
                 self.columns.insert(d.col, slab);
             }
         }
-        sent
     }
 
-    /// Phase 4: ghost exchange with the 8 neighbours.
-    fn exchange_ghosts(&mut self, comm: &mut Comm) {
+    /// Phase 4, send half: post ghost columns to the 8 neighbours.
+    pub(crate) fn ghosts_send(&mut self, comm: &mut Comm) {
         let grid = self.layout.grid();
         // For each owned column, every neighbouring owner needs its data.
         let mut to_send: BTreeMap<usize, BTreeSet<Col>> = BTreeMap::new();
@@ -451,6 +499,10 @@ impl PeState {
             self.rank,
             to_send.keys()
         );
+    }
+
+    /// Phase 4, receive half: collect the neighbours' ghost columns.
+    pub(crate) fn ghosts_recv(&mut self, comm: &mut Comm) {
         let mut ghosts = BTreeMap::new();
         for &nb in &self.neighbors {
             let payload: Vec<(Col, Vec<Particle>)> = comm.recv(nb, tags::GHOST);
@@ -469,7 +521,7 @@ impl PeState {
     /// (owned homes only) and then the 13 forward offsets, storing into
     /// whichever side(s) of each pair this PE owns. Pairs between two
     /// ghost cells are other PEs' work and are skipped.
-    fn compute_forces(&mut self) {
+    pub(crate) fn compute_forces(&mut self) {
         let t0 = WallTimer::start();
         let mut work = WorkCounters::default();
         // Flat force storage over owned columns, ascending column order.
@@ -604,7 +656,7 @@ impl PeState {
     }
 
     /// Phase 6: second half-kick with the fresh forces.
-    fn kick_all(&mut self) {
+    pub(crate) fn kick_all(&mut self) {
         let dt = self.cfg.dt;
         let mut base = 0usize;
         for slab in self.columns.values_mut() {
@@ -621,12 +673,16 @@ impl PeState {
         debug_assert_eq!(base, self.forces.len());
     }
 
-    /// Phase 7: periodic global velocity rescale via an id-ordered kinetic
-    /// energy sum (bitwise identical to the serial reference).
-    fn thermostat(&mut self, comm: &mut Comm, step: u64) -> bool {
+    /// Phase 7, gather half: periodic global velocity rescale via an
+    /// id-ordered kinetic energy sum (bitwise identical to the serial
+    /// reference). Returns `None` when the thermostat does not fire this
+    /// step, otherwise `Some(scale)` where `scale` is the factor computed
+    /// on the gather root (rank 0) and `None` elsewhere — feed it to
+    /// [`PeState::thermostat_apply`].
+    pub(crate) fn thermostat_gather(&mut self, comm: &mut Comm, step: u64) -> Option<Option<f64>> {
         let th = self.cfg.thermostat();
         if !th.fires_at(step) {
-            return false;
+            return None;
         }
         let kes: Vec<(u64, f64)> = self
             .columns
@@ -635,25 +691,29 @@ impl PeState {
             .map(|p| (p.id, 0.5 * p.vel.norm2()))
             .collect();
         let gathered = collectives::gather(comm, tags::KE_GATHER, kes);
-        let scale = gathered.map(|chunks| {
+        Some(gathered.map(|chunks| {
             let mut all: Vec<(u64, f64)> = chunks.into_iter().flatten().collect();
             all.sort_unstable_by_key(|&(id, _)| id);
             debug_assert_eq!(all.len(), self.cfg.n_particles);
             let ke: f64 = all.iter().map(|&(_, k)| k).sum();
             let t_now = observe::temperature_from_ke(ke, self.cfg.n_particles);
             th.scale_factor(t_now)
-        });
+        }))
+    }
+
+    /// Phase 7, broadcast-and-apply half: broadcast the scale factor from
+    /// rank 0 and rescale this PE's velocities.
+    pub(crate) fn thermostat_apply(&mut self, comm: &mut Comm, scale: Option<f64>) {
         let s = collectives::bcast(comm, tags::KE_BCAST, scale);
         for slab in self.columns.values_mut() {
             for p in slab.particles_mut() {
                 p.vel = p.vel * s;
             }
         }
-        true
     }
 
     /// Phase 8: gather per-PE statistics; rank 0 assembles the record.
-    fn collect_stats(
+    pub(crate) fn collect_stats(
         &mut self,
         comm: &mut Comm,
         step: u64,
@@ -694,20 +754,33 @@ impl PeState {
         rec
     }
 
-    /// Run one full step. Returns `Some(record)` on rank 0.
+    /// Run one full step on a single-role rank. Returns `Some(record)` on
+    /// rank 0. The dual-role degraded path in [`crate::takeover`] drives
+    /// the same halves in its interleaved order; this is the reference
+    /// single-role sequence.
     pub fn step(&mut self, comm: &mut Comm, step: u64) -> Option<StepRecord> {
         let t0 = WallTimer::start();
         self.kick_drift_all();
-        self.migrate(comm);
+        let staging = self.migrate_send(comm);
+        self.migrate_recv(comm, staging);
         let transferred = if self.cfg.dlb && step.is_multiple_of(self.cfg.dlb_interval) {
-            self.dlb(comm)
+            self.dlb_send_load(comm);
+            let wire = self.dlb_recv_load_and_decide(comm);
+            self.dlb_send_decision(comm, wire);
+            let decisions = self.dlb_recv_decisions(comm, wire);
+            let sent = self.dlb_send_cells(comm, &decisions);
+            self.dlb_recv_cells(comm, &decisions);
+            sent
         } else {
             0
         };
-        self.exchange_ghosts(comm);
+        self.ghosts_send(comm);
+        self.ghosts_recv(comm);
         self.compute_forces();
         self.kick_all();
-        self.thermostat(comm, step);
+        if let Some(scale) = self.thermostat_gather(comm, step) {
+            self.thermostat_apply(comm, scale);
+        }
         let wall = t0.elapsed_s();
         self.collect_stats(comm, step, transferred, wall)
     }
@@ -718,7 +791,7 @@ impl PeState {
     /// reproduce the full report. The gather's virtual comm cost is
     /// excluded from the next step's delta, so checkpointing never
     /// changes any reported `t_step`.
-    fn take_checkpoint(
+    pub(crate) fn take_checkpoint(
         &mut self,
         comm: &mut Comm,
         step: u64,
@@ -747,6 +820,34 @@ impl PeState {
         });
         let _ = comm.lap_virtual_comm();
         ck
+    }
+
+    /// Runtime invariant sentinel: every `cfg.sentinel_interval` steps
+    /// (collective; 0 disables), gather each rank's particle count and
+    /// owned-column set to rank 0 and check the two global invariants the
+    /// whole scheme rests on — particle-count conservation and the
+    /// ownership map being an exact partition of the `nc²` columns. A
+    /// violation means state corruption that checkpoints would silently
+    /// propagate, so the world is aborted with a structured diagnostic;
+    /// under the recovery/takeover drivers that escalates to a rollback
+    /// (relaunch from the last checkpoint). Digest-neutral: the gather's
+    /// lap cost is discarded like the checkpoint gather's.
+    pub(crate) fn sentinel_check(&mut self, comm: &mut Comm, step: u64) {
+        if self.cfg.sentinel_interval == 0 || !step.is_multiple_of(self.cfg.sentinel_interval) {
+            return;
+        }
+        let own_cols: Vec<Col> = self.columns.keys().copied().collect();
+        let count = self.num_particles() as u64;
+        if let Some(chunks) = collectives::gather(comm, tags::SENTINEL, (count, own_cols)) {
+            if let Err(report) = validate_sentinel(&self.cfg, step, &chunks) {
+                // Raise the abort flag first: this panic is an intentional
+                // escalation, not a rank death — a takeover world must
+                // tear down and relaunch, not adopt the sentinel's rank.
+                comm.abort_world();
+                panic!("{report}");
+            }
+        }
+        let _ = comm.lap_virtual_comm();
     }
 
     /// Gather the full particle set to rank 0, sorted by id.
@@ -794,6 +895,71 @@ fn wrap_z(nc: usize, box_len: f64, cz: usize, dz: i64) -> (usize, f64) {
     }
 }
 
+/// A sentinel violation: which global invariant broke, at which step,
+/// with enough context to localise the corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SentinelReport {
+    /// Step at which the sentinel fired.
+    pub step: u64,
+    /// What broke, per violated invariant (non-empty).
+    pub violations: Vec<String>,
+}
+
+impl std::fmt::Display for SentinelReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sentinel violation at step {}: {}",
+            self.step,
+            self.violations.join("; ")
+        )
+    }
+}
+
+/// Check the gathered per-rank `(particle count, owned columns)` chunks
+/// against the two global invariants: the counts sum to `cfg.n_particles`
+/// and the owned-column sets form an exact partition of the `nc²`
+/// columns. Pure so it unit-tests without a world.
+pub(crate) fn validate_sentinel(
+    cfg: &RunConfig,
+    step: u64,
+    chunks: &[(u64, Vec<Col>)],
+) -> Result<(), SentinelReport> {
+    let mut violations = Vec::new();
+    let total: u64 = chunks.iter().map(|(n, _)| n).sum();
+    if total != cfg.n_particles as u64 {
+        violations.push(format!(
+            "global particle count {total} != configured {} (per-rank: {:?})",
+            cfg.n_particles,
+            chunks.iter().map(|(n, _)| *n).collect::<Vec<_>>()
+        ));
+    }
+    let mut owners: BTreeMap<Col, Vec<usize>> = BTreeMap::new();
+    for (rank, (_, cols)) in chunks.iter().enumerate() {
+        for &c in cols {
+            owners.entry(c).or_default().push(rank);
+        }
+    }
+    for (c, ranks) in &owners {
+        if ranks.len() > 1 {
+            violations.push(format!("column {c:?} owned by multiple ranks {ranks:?}"));
+        }
+    }
+    let owned = owners.len();
+    let expect = cfg.nc * cfg.nc;
+    if owned != expect || owners.keys().any(|c| c.cx >= cfg.nc || c.cy >= cfg.nc) {
+        violations.push(format!(
+            "ownership covers {owned} distinct columns, expected the full {expect} ({}×{}) grid",
+            cfg.nc, cfg.nc
+        ));
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(SentinelReport { step, violations })
+    }
+}
+
 /// The SPMD entry point: run the whole simulation on this rank.
 pub fn pe_main(comm: &mut Comm, cfg: &RunConfig, want_snapshot: bool) -> PeResult {
     pe_main_recoverable(comm, cfg, want_snapshot, None, None)
@@ -812,58 +978,12 @@ pub(crate) fn pe_main_recoverable(
     start: Option<&SimCheckpoint>,
     sink: Option<&Mutex<Option<SimCheckpoint>>>,
 ) -> PeResult {
-    let run_start = WallTimer::start();
-    let (mut pe, start_step, mut records) = match start {
-        Some(ck) => (
-            PeState::from_checkpoint(comm.rank(), cfg, ck),
-            ck.md.step,
-            if comm.rank() == 0 {
-                ck.records.clone()
-            } else {
-                Vec::new()
-            },
-        ),
-        None => (PeState::new(comm.rank(), cfg), 0, Vec::new()),
-    };
-    // Initial forces need an initial ghost exchange. On a restore this
-    // recomputes exactly the force array the checkpointed run held (see
-    // `PeState::from_checkpoint`).
-    pe.exchange_ghosts(comm);
-    pe.compute_forces();
-    let _ = comm.lap_virtual_comm();
-
-    for step in start_step + 1..=cfg.steps {
-        if let Some(rec) = pe.step(comm, step) {
-            records.push(rec);
-        }
-        if cfg.checkpoint_interval > 0
-            && step.is_multiple_of(cfg.checkpoint_interval)
-            && step < cfg.steps
-        {
-            let ck = pe.take_checkpoint(comm, step, &records);
-            if let (Some(ck), Some(sink)) = (ck, sink) {
-                *sink.lock().expect("checkpoint sink poisoned") = Some(ck);
-            }
-        }
-    }
-    let snapshot = if want_snapshot {
-        pe.gather_snapshot(comm)
-    } else {
-        None
-    };
-    let comm_stats = comm.stats();
-    let report = (comm.rank() == 0).then(|| RunReport {
-        records,
-        comm_virtual_s: 0.0, // aggregated by the driver from all ranks
-        msgs_sent: 0,
-        bytes_sent: 0,
-        wall_s: run_start.elapsed_s(),
-    });
-    PeResult {
-        report,
-        snapshot,
-        comm_stats,
-    }
+    // One role — this rank's own. The multi-role loop degenerates to
+    // exactly the historical single-role phase order, message for
+    // message, so digests are unchanged.
+    let roles = [comm.rank()];
+    let mut out = crate::takeover::run_roles(comm, cfg, &roles, start, sink, want_snapshot);
+    out.swap_remove(0).1
 }
 
 #[cfg(test)]
@@ -948,6 +1068,44 @@ mod tests {
         assert!(p3
             .iter()
             .all(|q| q.pos.x < half + 1e-9 && q.pos.y < half + 1e-9 && q.pos.z < half + 1e-9));
+    }
+
+    #[test]
+    fn sentinel_accepts_an_exact_partition_with_conserved_count() {
+        let cfg = RunConfig::new(216, 4, 4, 0.2);
+        // 4 ranks, 16 columns split 4/4/4/4, counts summing to 216.
+        let chunks: Vec<(u64, Vec<Col>)> = (0..4)
+            .map(|r| {
+                let cols = (0..4).map(|i| Col::new(r, i)).collect();
+                (54, cols)
+            })
+            .collect();
+        assert_eq!(validate_sentinel(&cfg, 7, &chunks), Ok(()));
+    }
+
+    #[test]
+    fn sentinel_flags_lost_particles_and_broken_partitions() {
+        let cfg = RunConfig::new(216, 4, 4, 0.2);
+        let good: Vec<(u64, Vec<Col>)> = (0..4)
+            .map(|r| (54, (0..4).map(|i| Col::new(r, i)).collect()))
+            .collect();
+        // Lost particles.
+        let mut lost = good.clone();
+        lost[2].0 = 53;
+        let e = validate_sentinel(&cfg, 9, &lost).unwrap_err();
+        assert_eq!(e.step, 9);
+        assert!(e.to_string().contains("particle count 215"), "{e}");
+        // A column claimed twice (and therefore one missing).
+        let mut dup = good.clone();
+        dup[0].1[0] = Col::new(1, 0);
+        let e = validate_sentinel(&cfg, 9, &dup).unwrap_err();
+        assert!(e.to_string().contains("owned by multiple ranks"), "{e}");
+        assert!(e.to_string().contains("15 distinct columns"), "{e}");
+        // A column off the grid.
+        let mut off = good;
+        off[3].1[3] = Col::new(9, 9);
+        let e = validate_sentinel(&cfg, 9, &off).unwrap_err();
+        assert!(e.to_string().contains("expected the full 16"), "{e}");
     }
 
     #[test]

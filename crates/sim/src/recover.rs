@@ -213,6 +213,10 @@ pub struct RecoveryOutcome {
     pub digest: u64,
     /// Number of launches it took (1 = no fault).
     pub attempts: usize,
+    /// Number of rank deaths the completing launch absorbed *in place*
+    /// by buddy takeover ([`run_with_takeover`]) instead of a relaunch.
+    /// Always 0 on the plain [`run_with_recovery`] path.
+    pub takeovers: usize,
     /// Per-launch failure diagnostics for the attempts that died.
     pub failures: Vec<WorldError>,
 }
@@ -276,6 +280,124 @@ where
     })
 }
 
+/// Run a configuration with the full escalation ladder: the world is
+/// launched in takeover mode, so a single rank death is absorbed *in
+/// place* — the dead rank's buddy survivor adopts its virtual rank and
+/// the run continues degraded on `n − 1` threads (see
+/// [`crate::takeover`]) — while anything worse (a second death, a
+/// takeover barrier timeout, an invariant-sentinel violation) tears the
+/// world down and relaunches from the last checkpoint like
+/// [`run_with_recovery`]. Degraded completions satisfy the same
+/// [`digest_recovery`] parity invariant as uninterrupted runs.
+pub fn run_with_takeover(
+    cfg: &RunConfig,
+    opts: &RecoveryOptions,
+) -> Result<RecoveryOutcome, RecoveryError> {
+    run_takeover_attempts(cfg, opts, |_attempt, world, sink| {
+        world.try_run_degraded(|comm| crate::takeover::takeover_main(comm, cfg, true, sink))
+    })
+}
+
+/// [`run_with_takeover`] under seeded fault injection (`check` feature):
+/// `plans(attempt, rank)` supplies each rank's fault plan for each
+/// launch. The takeover kill-point sweep in `pcdlb-check` drives this
+/// and asserts digest parity and degraded completion at every kill site.
+#[cfg(feature = "check")]
+pub fn run_with_takeover_faulted<P>(
+    cfg: &RunConfig,
+    opts: &RecoveryOptions,
+    plans: P,
+) -> Result<RecoveryOutcome, RecoveryError>
+where
+    P: Fn(usize, usize) -> Option<pcdlb_mp::FaultPlan> + Sync,
+{
+    run_takeover_attempts(cfg, opts, |attempt, world, sink| {
+        world.try_run_degraded_with_faults(
+            |rank| plans(attempt, rank),
+            |comm| crate::takeover::takeover_main(comm, cfg, true, sink),
+        )
+    })
+}
+
+type RolePeResults = Vec<(usize, PeResult)>;
+
+fn run_takeover_attempts<A>(
+    cfg: &RunConfig,
+    opts: &RecoveryOptions,
+    attempt_fn: A,
+) -> Result<RecoveryOutcome, RecoveryError>
+where
+    A: Fn(
+        usize,
+        &World,
+        &Mutex<Option<SimCheckpoint>>,
+    ) -> Result<pcdlb_mp::DegradedOutcome<RolePeResults>, WorldError>,
+{
+    cfg.validate();
+    assert!(opts.max_attempts > 0, "need at least one attempt");
+    let sink: Mutex<Option<SimCheckpoint>> = Mutex::new(None);
+    let mut failures = Vec::new();
+    for attempt in 0..opts.max_attempts {
+        let world = World::new(cfg.p)
+            .with_cost_model(CostModel::t3e(Some(cfg.torus())))
+            .with_poll_interval(opts.poll)
+            .with_watchdog(opts.watchdog)
+            .with_takeover();
+        match attempt_fn(attempt, &world, &sink) {
+            Ok(outcome) => {
+                // Reassemble the virtual-rank results from whichever
+                // threads ended up holding them.
+                let takeovers = outcome.dead.len();
+                let mut by_vrank: Vec<Option<PeResult>> = (0..cfg.p).map(|_| None).collect();
+                for (v, r) in outcome.results.into_iter().flatten().flatten() {
+                    by_vrank[v] = Some(r);
+                }
+                if by_vrank.iter().any(Option::is_none) {
+                    // A death slipped into the post-handshake tail: some
+                    // virtual rank finished nowhere. The degraded result
+                    // is incomplete — fall back to a full relaunch.
+                    let missing: Vec<usize> = by_vrank
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| r.is_none())
+                        .map(|(v, _)| v)
+                        .collect();
+                    failures.push(WorldError {
+                        failures: missing
+                            .into_iter()
+                            .map(|rank| pcdlb_mp::RankFailure {
+                                rank,
+                                message: "virtual rank unaccounted for after a degraded run \
+                                          — relaunching from the last checkpoint"
+                                    .to_string(),
+                            })
+                            .collect(),
+                    });
+                    continue;
+                }
+                let results: Vec<PeResult> =
+                    by_vrank.into_iter().map(|r| r.expect("checked")).collect();
+                let (report, snapshot) = assemble(results);
+                let snapshot = snapshot.expect("recovery runs always gather a snapshot");
+                let digest = digest_recovery(&report, &snapshot, cfg.load_metric);
+                return Ok(RecoveryOutcome {
+                    report,
+                    snapshot,
+                    digest,
+                    attempts: attempt + 1,
+                    takeovers,
+                    failures,
+                });
+            }
+            Err(e) => failures.push(e),
+        }
+    }
+    Err(RecoveryError {
+        attempts: opts.max_attempts,
+        failures,
+    })
+}
+
 fn run_recovery_attempts<A>(
     cfg: &RunConfig,
     opts: &RecoveryOptions,
@@ -311,6 +433,7 @@ where
                     snapshot,
                     digest,
                     attempts: attempt + 1,
+                    takeovers: 0,
                     failures,
                 });
             }
@@ -449,6 +572,82 @@ mod tests {
             assert_eq!((a.step, a.t_step.to_bits()), (b.step, b.t_step.to_bits()));
             assert_eq!(a.kinetic.to_bits(), b.kinetic.to_bits());
         }
+    }
+
+    #[test]
+    fn takeover_without_faults_matches_plain_recovery_bitwise() {
+        let cfg = recovery_cfg();
+        let out = run_with_takeover(&cfg, &quick_opts()).expect("no faults");
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.takeovers, 0);
+        assert!(out.failures.is_empty());
+        let reference = run_with_recovery(&cfg, &quick_opts()).expect("no faults");
+        assert_eq!(out.digest, reference.digest);
+        assert_eq!(out.snapshot, reference.snapshot);
+    }
+
+    #[test]
+    fn takeover_runs_with_sentinel_are_digest_neutral() {
+        let cfg = recovery_cfg();
+        let mut watched = recovery_cfg();
+        watched.sentinel_interval = 4;
+        let plain = run_with_takeover(&cfg, &quick_opts()).expect("no faults");
+        let out = run_with_takeover(&watched, &quick_opts()).expect("sentinel is quiet");
+        assert_eq!(out.attempts, 1);
+        assert_eq!(
+            out.digest, plain.digest,
+            "a quiet sentinel must not perturb any reported step"
+        );
+        assert_eq!(out.snapshot, plain.snapshot);
+    }
+
+    #[cfg(feature = "check")]
+    #[test]
+    fn takeover_absorbs_one_death_without_a_relaunch() {
+        use pcdlb_mp::FaultPlan;
+        let cfg = recovery_cfg();
+        let reference = run_with_recovery(&cfg, &quick_opts()).expect("fault-free");
+        // Kill rank 2 mid-run: its east buddy (rank 3 on the 2×2 torus)
+        // must adopt virtual rank 2 and the same launch must complete
+        // degraded on 3 OS threads.
+        let out = run_with_takeover_faulted(&cfg, &quick_opts(), |attempt, rank| {
+            (attempt == 0 && rank == 2).then(|| FaultPlan::kill_at(160))
+        })
+        .expect("the launch absorbs the death in place");
+        assert_eq!(out.attempts, 1, "a single death must not cost a relaunch");
+        assert_eq!(out.takeovers, 1);
+        assert!(out.failures.is_empty());
+        assert_eq!(
+            out.digest, reference.digest,
+            "degraded run must be bitwise identical to the uninterrupted run"
+        );
+        assert_eq!(out.snapshot, reference.snapshot);
+    }
+
+    #[cfg(feature = "check")]
+    #[test]
+    fn second_death_escalates_to_a_full_relaunch() {
+        use pcdlb_mp::FaultPlan;
+        let cfg = recovery_cfg();
+        let reference = run_with_recovery(&cfg, &quick_opts()).expect("fault-free");
+        // Two ranks die in attempt 0: the first is absorbed, the second
+        // aborts the degraded world, and attempt 1 completes clean.
+        let out = run_with_takeover_faulted(&cfg, &quick_opts(), |attempt, rank| {
+            if attempt != 0 {
+                return None;
+            }
+            match rank {
+                1 => Some(FaultPlan::kill_at(120)),
+                2 => Some(FaultPlan::kill_at(160)),
+                _ => None,
+            }
+        })
+        .expect("the relaunch recovers");
+        assert_eq!(out.attempts, 2, "two deaths must fall back to a relaunch");
+        assert_eq!(out.takeovers, 0, "the completing launch was undegraded");
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.digest, reference.digest);
+        assert_eq!(out.snapshot, reference.snapshot);
     }
 
     #[cfg(feature = "check")]

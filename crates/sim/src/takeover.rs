@@ -1,0 +1,400 @@
+//! Degraded-mode survivor takeover: continue the run on PE death without
+//! a global restart.
+//!
+//! The recovery loop in [`crate::recover`] treats any rank death as fatal
+//! to the whole world: tear down all `P` threads, restore the last
+//! checkpoint, relaunch. This module implements the cheaper middle rung
+//! of the escalation ladder — when one rank dies mid-run, a
+//! deterministically chosen *buddy* survivor adopts the dead rank's
+//! **virtual rank** (its permanent cells, its current DLB ownership, its
+//! slot in every 8-neighbour exchange) and the world continues on `n − 1`
+//! OS threads with the virtual `n`-rank topology unchanged:
+//!
+//! 1. the dead rank's panic is registered by the launch layer; every
+//!    survivor's next communication call raises
+//!    [`TakeoverInterrupt`](pcdlb_mp::TakeoverInterrupt);
+//! 2. each survivor unwinds to [`takeover_main`]'s catch point, drops its
+//!    in-progress [`PeState`]s, and runs [`handle_takeover`]: the buddy
+//!    ([`Torus2d::buddy`](pcdlb_mp::Torus2d::buddy), the east neighbour)
+//!    adopts the dead virtual rank, everyone advances the wire epoch
+//!    (flushing in-flight traffic from the dead world generation), and a
+//!    deadline-bounded READY/GO barrier re-synchronises the survivors;
+//! 3. all survivors re-read the shared checkpoint sink and re-enter
+//!    [`run_roles`] from the last checkpoint (or step 0), the adopting
+//!    thread now driving **two** virtual ranks through every phase.
+//!
+//! Dual-role phase interleaving is what keeps the degraded world
+//! deadlock-free: point-to-point phases post *both* roles' sends before
+//! either role blocks in a receive; gather-shaped phases run whole-role
+//! in descending role order (the non-root role's send is posted before
+//! the root role starts receiving); broadcast halves run ascending (a
+//! binomial-tree parent is always a lower rank). `pcdlb-check takeover`
+//! verifies the merged schedules mechanically and sweeps real kill points.
+//!
+//! Because each virtual rank keeps its own communication-cost persona,
+//! every per-step `comm_virtual_delta` — and therefore every reported
+//! `t_step` — is **bitwise identical** to an uninterrupted run's: the
+//! degraded run passes the same `digest_recovery` parity check as a
+//! full-relaunch recovery.
+//!
+//! Escalation: a transient send failure is retried inside `pcdlb-mp`; a
+//! first rank death is absorbed here; a second death in the same launch,
+//! a takeover barrier timeout, or an invariant-sentinel violation aborts
+//! the world and falls back to the full relaunch loop in
+//! [`crate::recover`].
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
+
+use pcdlb_core::protocol::tags;
+use pcdlb_md::Particle;
+use pcdlb_mp::{Comm, TakeoverInterrupt};
+
+use crate::clock::WallTimer;
+use crate::config::RunConfig;
+use crate::pe::{PeResult, PeState};
+use crate::recover::SimCheckpoint;
+use crate::report::{RunReport, StepRecord};
+
+/// The degraded-capable SPMD entry point: run this thread's virtual
+/// rank(s) to completion, absorbing at most one rank death per launch by
+/// buddy takeover. Returns one [`PeResult`] per virtual rank this thread
+/// ended the run holding.
+pub(crate) fn takeover_main(
+    comm: &mut Comm,
+    cfg: &RunConfig,
+    want_snapshot: bool,
+    sink: &Mutex<Option<SimCheckpoint>>,
+) -> Vec<(usize, PeResult)> {
+    let mut roles = vec![comm.rank()];
+    loop {
+        // Every (re-)entry resumes from whatever checkpoint the sink
+        // holds: the previous attempt's on a relaunch, the current run's
+        // own after a takeover, or none at all (step 0).
+        let start = sink.lock().unwrap_or_else(PoisonError::into_inner).clone();
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            run_roles(comm, cfg, &roles, start.as_ref(), Some(sink), want_snapshot)
+        }));
+        match attempt {
+            Ok(results) => return results,
+            Err(payload) => {
+                if payload.downcast_ref::<TakeoverInterrupt>().is_none() {
+                    // Not a takeover signal (a real bug, an injected kill,
+                    // a sentinel abort): die like any other rank.
+                    resume_unwind(payload);
+                }
+                handle_takeover(comm, cfg, &mut roles);
+            }
+        }
+    }
+}
+
+/// Absorb a single rank death: adopt on the buddy, advance the epoch,
+/// and re-synchronise the survivors. Panics (after raising the world
+/// abort flag) when the situation is beyond in-place repair — a second
+/// death in the same launch or a barrier timeout — which escalates to
+/// the full-relaunch rung of the recovery ladder.
+fn handle_takeover(comm: &mut Comm, cfg: &RunConfig, roles: &mut Vec<usize>) {
+    let deaths = comm.deaths_observed();
+    if deaths != 1 {
+        comm.abort_world();
+        panic!(
+            "rank {}: {deaths} rank deaths in one launch — escalating to full relaunch",
+            comm.phys_rank()
+        );
+    }
+    let dead = comm.dead_ranks()[0];
+    let buddy = cfg.torus().buddy(dead);
+    if roles.contains(&buddy) {
+        comm.adopt(dead);
+        roles.push(dead);
+        roles.sort_unstable();
+    }
+    // One epoch per absorbed death: stale traffic from before the death
+    // is dropped, early traffic from faster survivors is parked until
+    // this endpoint catches up.
+    comm.advance_epoch(deaths as u64);
+    takeover_barrier(comm);
+}
+
+/// Deadline-bounded survivor barrier: every live thread reports READY to
+/// the lowest live physical rank, which answers GO once all have
+/// reported. Run *after* adoption and the epoch advance, so when the
+/// barrier opens every virtual rank is routable again and nobody can
+/// race ahead into the new generation against a survivor still
+/// unwinding. Any timeout aborts the world (full relaunch) — the barrier
+/// can never hang.
+fn takeover_barrier(comm: &mut Comm) {
+    let dead = comm.dead_ranks();
+    let live: Vec<usize> = (0..comm.size()).filter(|r| !dead.contains(r)).collect();
+    let root = live[0];
+    let me = comm.phys_rank();
+    let timeout = comm.watchdog();
+    let epoch = comm.epoch();
+    // Barrier traffic runs on each live thread's primary persona — the
+    // virtual rank equal to its physical rank, which is never adopted.
+    comm.act_as(me);
+    if me == root {
+        for &r in live.iter().filter(|&&r| r != root) {
+            if let Err(e) = comm.recv_deadline::<u64>(r, tags::TAKEOVER_READY, timeout) {
+                comm.abort_world();
+                panic!("takeover barrier failed awaiting READY: {e}");
+            }
+        }
+        for &r in live.iter().filter(|&&r| r != root) {
+            comm.send(r, tags::TAKEOVER_GO, epoch);
+        }
+    } else {
+        comm.send(root, tags::TAKEOVER_READY, epoch);
+        match comm.recv_deadline::<u64>(root, tags::TAKEOVER_GO, timeout) {
+            Ok(e) => debug_assert_eq!(e, epoch, "takeover barrier epoch mismatch"),
+            Err(e) => {
+                comm.abort_world();
+                panic!("takeover barrier failed awaiting GO: {e}");
+            }
+        }
+    }
+}
+
+/// Drive one or two virtual ranks through the whole simulation. With a
+/// single role this emits exactly the historical single-role message
+/// sequence; with two, [`step_multi`]'s interleaving keeps the world
+/// deadlock-free. Checkpoints land in `sink`; in takeover worlds a
+/// deadline-bounded completion handshake keeps every thread alive until
+/// the whole world has finished, so a late death still interrupts
+/// someone who can absorb it.
+pub(crate) fn run_roles(
+    comm: &mut Comm,
+    cfg: &RunConfig,
+    roles: &[usize],
+    start: Option<&SimCheckpoint>,
+    sink: Option<&Mutex<Option<SimCheckpoint>>>,
+    want_snapshot: bool,
+) -> Vec<(usize, PeResult)> {
+    let run_start = WallTimer::start();
+    let start_step = start.map_or(0, |ck| ck.md.step);
+    let mut records: Vec<StepRecord> = if roles.contains(&0) {
+        start.map(|ck| ck.records.clone()).unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    let mut pes: Vec<(usize, PeState)> = roles
+        .iter()
+        .map(|&v| {
+            let pe = match start {
+                Some(ck) => PeState::from_checkpoint(v, cfg, ck),
+                None => PeState::new(v, cfg),
+            };
+            (v, pe)
+        })
+        .collect();
+
+    // Initial forces need an initial ghost exchange (split-phase across
+    // roles). On a restore this recomputes exactly the force array the
+    // checkpointed run held (see `PeState::from_checkpoint`).
+    for (v, pe) in pes.iter_mut() {
+        comm.act_as(*v);
+        pe.ghosts_send(comm);
+    }
+    for (v, pe) in pes.iter_mut() {
+        comm.act_as(*v);
+        pe.ghosts_recv(comm);
+    }
+    for (_, pe) in pes.iter_mut() {
+        pe.compute_forces();
+    }
+    for (v, _) in pes.iter() {
+        comm.act_as(*v);
+        let _ = comm.lap_virtual_comm();
+    }
+
+    for step in start_step + 1..=cfg.steps {
+        for rec in step_multi(comm, cfg, &mut pes, step).into_iter().flatten() {
+            records.push(rec);
+        }
+        if cfg.checkpoint_interval > 0
+            && step.is_multiple_of(cfg.checkpoint_interval)
+            && step < cfg.steps
+        {
+            // Gather-shaped: whole-role, descending.
+            for (v, pe) in pes.iter_mut().rev() {
+                comm.act_as(*v);
+                let recs_for: &[StepRecord] = if *v == 0 { &records } else { &[] };
+                let ck = pe.take_checkpoint(comm, step, recs_for);
+                if let (Some(ck), Some(sink)) = (ck, sink) {
+                    *sink.lock().unwrap_or_else(PoisonError::into_inner) = Some(ck);
+                }
+            }
+        }
+        for (v, pe) in pes.iter_mut().rev() {
+            comm.act_as(*v);
+            pe.sentinel_check(comm, step);
+        }
+    }
+
+    let mut snapshot0: Option<Vec<Particle>> = None;
+    if want_snapshot {
+        for (v, pe) in pes.iter_mut().rev() {
+            comm.act_as(*v);
+            let snap = pe.gather_snapshot(comm);
+            if *v == 0 {
+                snapshot0 = snap;
+            }
+        }
+    }
+    if comm.takeover_enabled() {
+        completion_handshake(comm, roles);
+    }
+
+    let mut records = Some(records);
+    pes.into_iter()
+        .map(|(v, _pe)| {
+            comm.act_as(v);
+            let comm_stats = comm.stats();
+            let report = (v == 0).then(|| RunReport {
+                records: records.take().expect("role 0 appears once"),
+                comm_virtual_s: 0.0, // aggregated by the driver from all ranks
+                msgs_sent: 0,
+                bytes_sent: 0,
+                wall_s: run_start.elapsed_s(),
+            });
+            let snapshot = if v == 0 { snapshot0.take() } else { None };
+            (
+                v,
+                PeResult {
+                    report,
+                    snapshot,
+                    comm_stats,
+                },
+            )
+        })
+        .collect()
+}
+
+/// One full step over this thread's role set, with the dual-role-safe
+/// interleaving: point-to-point phases post every role's sends
+/// (ascending) before any role receives (ascending); gather-shaped
+/// phases run whole-role descending; the thermostat broadcast runs
+/// ascending. With one role this is byte-identical to
+/// [`PeState::step`]'s sequence.
+fn step_multi(
+    comm: &mut Comm,
+    cfg: &RunConfig,
+    pes: &mut [(usize, PeState)],
+    step: u64,
+) -> Vec<Option<StepRecord>> {
+    let t0 = WallTimer::start();
+    for (_, pe) in pes.iter_mut() {
+        pe.kick_drift_all();
+    }
+    // Migration.
+    let mut staging = Vec::with_capacity(pes.len());
+    for (v, pe) in pes.iter_mut() {
+        comm.act_as(*v);
+        staging.push(pe.migrate_send(comm));
+    }
+    for ((v, pe), st) in pes.iter_mut().zip(staging) {
+        comm.act_as(*v);
+        pe.migrate_recv(comm, st);
+    }
+    // DLB: three send/recv rounds (loads, decisions, cell transfers).
+    let mut transferred = vec![0u64; pes.len()];
+    if cfg.dlb && step.is_multiple_of(cfg.dlb_interval) {
+        for (v, pe) in pes.iter_mut() {
+            comm.act_as(*v);
+            pe.dlb_send_load(comm);
+        }
+        let mut wires = Vec::with_capacity(pes.len());
+        for (v, pe) in pes.iter_mut() {
+            comm.act_as(*v);
+            wires.push(pe.dlb_recv_load_and_decide(comm));
+        }
+        for (i, (v, pe)) in pes.iter_mut().enumerate() {
+            comm.act_as(*v);
+            pe.dlb_send_decision(comm, wires[i]);
+        }
+        let mut decisions = Vec::with_capacity(pes.len());
+        for (i, (v, pe)) in pes.iter_mut().enumerate() {
+            comm.act_as(*v);
+            decisions.push(pe.dlb_recv_decisions(comm, wires[i]));
+        }
+        for (i, (v, pe)) in pes.iter_mut().enumerate() {
+            comm.act_as(*v);
+            transferred[i] = pe.dlb_send_cells(comm, &decisions[i]);
+        }
+        for (i, (v, pe)) in pes.iter_mut().enumerate() {
+            comm.act_as(*v);
+            pe.dlb_recv_cells(comm, &decisions[i]);
+        }
+    }
+    // Ghost exchange, then the local force pass and second half-kick.
+    for (v, pe) in pes.iter_mut() {
+        comm.act_as(*v);
+        pe.ghosts_send(comm);
+    }
+    for (v, pe) in pes.iter_mut() {
+        comm.act_as(*v);
+        pe.ghosts_recv(comm);
+    }
+    for (_, pe) in pes.iter_mut() {
+        pe.compute_forces();
+        pe.kick_all();
+    }
+    // Thermostat: KE gather descending, scale broadcast ascending.
+    let mut scales: Vec<Option<Option<f64>>> = vec![None; pes.len()];
+    for (i, (v, pe)) in pes.iter_mut().enumerate().rev() {
+        comm.act_as(*v);
+        scales[i] = pe.thermostat_gather(comm, step);
+    }
+    for (i, (v, pe)) in pes.iter_mut().enumerate() {
+        if let Some(scale) = scales[i] {
+            comm.act_as(*v);
+            pe.thermostat_apply(comm, scale);
+        }
+    }
+    // Statistics gather: whole-role, descending.
+    let wall = t0.elapsed_s();
+    let mut recs: Vec<Option<StepRecord>> = vec![None; pes.len()];
+    for (i, (v, pe)) in pes.iter_mut().enumerate().rev() {
+        comm.act_as(*v);
+        recs[i] = pe.collect_stats(comm, step, transferred[i], wall);
+    }
+    recs
+}
+
+/// Completion handshake for takeover worlds: every virtual rank ≠ 0
+/// reports DONE to virtual rank 0, which ACKs each after hearing from
+/// all. No thread returns (taking its personas with it) while another
+/// thread could still need a survivor to absorb a death — except the
+/// unavoidable Two-Generals tail between the root's ACK fan-out and the
+/// last ACK receipt, where a death times the barrier out and falls back
+/// to a full relaunch. Every receive is deadline-bounded, so the
+/// handshake can never hang. Runs after the final lap consumption, so it
+/// is digest-neutral by construction.
+fn completion_handshake(comm: &mut Comm, roles: &[usize]) {
+    let timeout = comm.watchdog();
+    let n = comm.size();
+    for &v in roles.iter().filter(|&&v| v != 0) {
+        comm.act_as(v);
+        comm.send(0, tags::TAKEOVER_DONE, ());
+    }
+    if roles.contains(&0) {
+        comm.act_as(0);
+        for src in 1..n {
+            if let Err(e) = comm.recv_deadline::<()>(src, tags::TAKEOVER_DONE, timeout) {
+                comm.abort_world();
+                panic!("completion handshake failed awaiting DONE: {e}");
+            }
+        }
+        for dst in 1..n {
+            comm.send(dst, tags::TAKEOVER_ACK, ());
+        }
+    }
+    for &v in roles.iter().filter(|&&v| v != 0) {
+        comm.act_as(v);
+        if let Err(e) = comm.recv_deadline::<()>(0, tags::TAKEOVER_ACK, timeout) {
+            comm.abort_world();
+            panic!("completion handshake failed awaiting ACK: {e}");
+        }
+    }
+}
