@@ -11,12 +11,19 @@
 //!    `WorkCounters`, so checks/sec are directly comparable; the reported
 //!    `speedup` is the headline number (target ≥ 1.6×).
 //! 2. **Whole steps per second** — the serial reference and the SPMD
-//!    simulator on 2×2 and 3×3 PE grids (ranks are threads; on a
-//!    single-core host the parallel rows measure protocol overhead, not
-//!    speedup — see README).
+//!    simulator swept over P ∈ {1, 4, 9, 16} PE grids (ranks are
+//!    threads; on a single-core host the parallel rows measure protocol
+//!    overhead, not speedup — see README). The sweep writes
+//!    `BENCH_scaling.json` with speedups vs serial and, when built with
+//!    `--features phase-timing`, a wall-clock per-phase breakdown
+//!    (force / ghost / migrate / DLB) summed over ranks.
 //!
 //! Usage: `cargo run --release -p pcdlb-bench --bin steps_per_sec`
-//! (options: `--nc`, `--density`, `--iters`, `--steps`, `--out`).
+//! (options: `--nc`, `--density`, `--iters`, `--steps`, `--out`,
+//! `--scaling-out`, `--assert-p4-ratio <min>`). The assertion flag makes
+//! the run fail when the P = 4 speedup is below `<min>`, but downgrades
+//! to a warning on hosts with fewer than 4 hardware threads, where a
+//! parallel speedup is physically impossible.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -25,7 +32,7 @@ use pcdlb_bench::{full_shell_forces, Args};
 use pcdlb_md::force::ExternalPull;
 use pcdlb_md::serial::compute_forces_half_shell;
 use pcdlb_md::{init, CellGrid, LennardJones, PairKernel, Vec3};
-use pcdlb_sim::{run, serial_sim, RunConfig};
+use pcdlb_sim::{run_with_phase_times, serial_sim, PhaseTimes, RunConfig};
 
 /// One kernel's timing over `iters` repeated full force passes.
 struct KernelTiming {
@@ -59,6 +66,9 @@ struct StepRow {
     steps: u64,
     seconds: f64,
     pair_checks: u64,
+    /// Per-phase wall-clock totals over all ranks; all zeros unless the
+    /// `phase-timing` feature is enabled (or for the serial row).
+    phase: PhaseTimes,
 }
 
 fn json_row(out: &mut String, row: &StepRow) {
@@ -72,6 +82,28 @@ fn json_row(out: &mut String, row: &StepRow) {
     );
 }
 
+fn json_scaling_row(out: &mut String, row: &StepRow, serial_sps: f64) {
+    let sps = row.steps as f64 / row.seconds;
+    let _ = write!(
+        out,
+        "    {{ \"mode\": \"{}\", \"p\": {}, \"steps\": {}, \"seconds\": {:.6}, \
+         \"steps_per_sec\": {:.3}, \"speedup_vs_serial\": {:.3}, \
+         \"phases\": {{ \"force\": {:.6}, \"ghost\": {:.6}, \"migrate\": {:.6}, \
+         \"dlb\": {:.6}, \"total\": {:.6} }} }}",
+        row.mode,
+        row.p,
+        row.steps,
+        row.seconds,
+        sps,
+        sps / serial_sps,
+        row.phase.force,
+        row.phase.ghost,
+        row.phase.migrate,
+        row.phase.dlb,
+        row.phase.total()
+    );
+}
+
 fn main() {
     let args = Args::parse();
     // nc must divide evenly onto every torus side used below (1, 2, 3).
@@ -80,6 +112,9 @@ fn main() {
     let iters = args.get_u64("iters", 20);
     let steps = args.get_u64("steps", 30);
     let out_path = args.get("out", "BENCH_force.json").to_string();
+    let scaling_path = args.get("scaling-out", "BENCH_scaling.json").to_string();
+    // 0.0 disables the assertion (the default).
+    let assert_p4 = args.get_f64("assert-p4-ratio", 0.0);
 
     // --- 1. Force phase: full-shell baseline vs half-shell kernel. ---
     let box_len = 2.56 * nc as f64;
@@ -115,7 +150,7 @@ fn main() {
         half.seconds_per_call * 1e3
     );
 
-    // --- 2. Whole steps/sec: serial vs 2×2 vs 3×3. ---
+    // --- 2. Whole steps/sec: serial vs P ∈ {4, 9, 16} SPMD grids. ---
     let mk_cfg = |p: usize| {
         let mut cfg = RunConfig::new(n, nc, p, density);
         cfg.steps = steps;
@@ -139,12 +174,13 @@ fn main() {
         steps,
         seconds: start.elapsed().as_secs_f64(),
         pair_checks: serial_checks,
+        phase: PhaseTimes::default(),
     });
 
-    for p in [4usize, 9] {
+    for p in [4usize, 9, 16] {
         let cfg = mk_cfg(p);
         let start = Instant::now();
-        let report = run(&cfg);
+        let (report, phase) = run_with_phase_times(&cfg);
         let seconds = start.elapsed().as_secs_f64();
         rows.push(StepRow {
             mode: "spmd",
@@ -152,6 +188,7 @@ fn main() {
             steps,
             seconds,
             pair_checks: report.records.iter().map(|r| r.pair_checks).sum(),
+            phase,
         });
     }
     for r in &rows {
@@ -195,4 +232,53 @@ fn main() {
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     eprintln!("wrote {out_path}");
+
+    // --- Emit BENCH_scaling.json: the P-sweep with phase breakdowns. ---
+    let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let serial_sps = rows[0].steps as f64 / rows[0].seconds;
+    let p4_speedup = rows
+        .iter()
+        .find(|r| r.p == 4)
+        .map(|r| (r.steps as f64 / r.seconds) / serial_sps)
+        .expect("P = 4 row present");
+
+    let mut scaling = String::new();
+    scaling.push_str("{\n");
+    let _ = writeln!(
+        scaling,
+        "  \"config\": {{ \"nc\": {nc}, \"density\": {density}, \"n_particles\": {n}, \
+         \"steps\": {steps} }},"
+    );
+    let _ = writeln!(scaling, "  \"hardware_threads\": {hw_threads},");
+    let _ = writeln!(
+        scaling,
+        "  \"phase_timing_enabled\": {},",
+        cfg!(feature = "phase-timing")
+    );
+    let _ = writeln!(scaling, "  \"p4_speedup_vs_serial\": {p4_speedup:.3},");
+    scaling.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json_scaling_row(&mut scaling, row, serial_sps);
+        scaling.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    scaling.push_str("  ]\n}\n");
+    std::fs::write(&scaling_path, &scaling).unwrap_or_else(|e| panic!("write {scaling_path}: {e}"));
+    eprintln!("wrote {scaling_path}");
+
+    if assert_p4 > 0.0 {
+        if hw_threads < 4 {
+            eprintln!(
+                "warning: P = 4 speedup is {p4_speedup:.2}x (goal >= {assert_p4}), but this \
+                 host has only {hw_threads} hardware thread(s) — 4 ranks time-share cores, so \
+                 the goal is unattainable here; skipping the assertion"
+            );
+        } else {
+            assert!(
+                p4_speedup >= assert_p4,
+                "P = 4 speedup {p4_speedup:.2}x is below the required {assert_p4}x \
+                 on a {hw_threads}-thread host"
+            );
+            eprintln!("P = 4 speedup {p4_speedup:.2}x meets the {assert_p4}x goal");
+        }
+    }
 }

@@ -1,6 +1,6 @@
 //! Repo lint pass for determinism and protocol-robustness hazards.
 //!
-//! Five rules, each scoped to the code where the hazard is real:
+//! Six rules, each scoped to the code where the hazard is real:
 //!
 //! - `wallclock-in-deterministic-crate`: no `Instant::now` / `SystemTime`
 //!   in `pcdlb-md`, `pcdlb-core`, `pcdlb-domain`, `pcdlb-sim`. Physics and
@@ -28,6 +28,14 @@
 //!   escalates to a world abort) or an audited step-schedule receive
 //!   whose matching send the static verifier proves and whose liveness
 //!   the watchdog bounds — each allowlisted individually.
+//! - `per-step-allocation-in-hot-path`: no allocating constructors
+//!   (`Vec::new`, `vec![`, `BTreeMap::new`, `BTreeSet::new`, `.to_vec()`,
+//!   `.collect()`) in the files the steady-state step flows through
+//!   (`pe.rs`, `takeover.rs` in `pcdlb-sim`). The overlapped step is
+//!   allocation-free by construction — pooled frames, retained scratch —
+//!   and a stray allocation silently reintroduces per-step heap churn.
+//!   Cold paths (scaffolding, checkpointing, recovery, reporting) are
+//!   audited line by line in `lint-allow.txt`.
 //!
 //! The scanner is textual by design (no rustc plumbing): it skips
 //! `#[cfg(test)]` blocks by brace counting and strips `//` comments
@@ -142,6 +150,19 @@ const RULES: &[Rule] = &[
         // only: `recv_deadline` and `try_recv` have a different character
         // after "recv" and stay legal.
         patterns: &[".recv(", ".recv::<"],
+    },
+    Rule {
+        name: "per-step-allocation-in-hot-path",
+        dirs: &[],
+        files: &["crates/sim/src/pe.rs", "crates/sim/src/takeover.rs"],
+        patterns: &[
+            "Vec::new(",
+            "vec![",
+            "BTreeMap::new(",
+            "BTreeSet::new(",
+            ".to_vec()",
+            ".collect()",
+        ],
     },
 ];
 
@@ -427,6 +448,29 @@ mod tests {
             .map(|f| f.line)
             .collect();
         assert_eq!(lines, vec![2, 3], "deadline-bounded receives stay legal");
+    }
+
+    #[test]
+    fn per_step_allocation_in_hot_path_is_flagged() {
+        let fx = Fixture::new(&[(
+            "crates/sim/src/pe.rs",
+            concat!(
+                "fn ghosts_send(&mut self) {\n",
+                "    let mut payload = Vec::new();\n",
+                "    let ids: Vec<u64> = parts.iter().map(|p| p.id).collect();\n",
+                "    let copy = parts.to_vec();\n",
+                "    frame.parts.extend_from_slice(parts); // pooled: fine\n",
+                "}\n",
+            ),
+        )]);
+        let r = run_lints(&fx.root).expect("lint runs");
+        let lines: Vec<usize> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == "per-step-allocation-in-hot-path")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(lines, vec![2, 3, 4], "pooled reuse must stay legal");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use pcdlb_check::explore::{config_2x2, explore};
+use pcdlb_check::explore::{config_2x2, config_2x2_sequenced, explore};
 use pcdlb_check::faults::fault_sweep_with_timeout;
 use pcdlb_check::invariant::{verify_invariant, InvariantConfig};
 use pcdlb_check::lint::run_lints;
@@ -67,7 +67,9 @@ fn usage() {
          \u{20}          (default 6), and the permanent-cell invariant search up\n\
          \u{20}          to --max-m (default 3), --max-states (default 20000)\n\
          interleave determinism check: explore message-delivery orders on a\n\
-         \u{20}          2x2 PE run (--steps 6 --dfs-runs 24 --seeded-runs 24)\n\
+         \u{20}          2x2 PE run (--steps 6 --dfs-runs 24 --seeded-runs 24),\n\
+         \u{20}          sweeping both the overlapped and sequenced schedules\n\
+         \u{20}          and requiring a single common digest\n\
          faults     crash-recovery parity sweep: kill each rank of a 2x2 run\n\
          \u{20}          at every --stride'th send op (default 16) plus --seeds\n\
          \u{20}          (default 6) seeded mixed-fault schedules, all under a\n\
@@ -139,19 +141,34 @@ fn cmd_interleave(rest: &[String]) -> Result<(), String> {
         rest,
         &[("--steps", 6), ("--dfs-runs", 24), ("--seeded-runs", 24)],
     )?;
-    let cfg = config_2x2(v[0] as u64);
-    let out = explore(&cfg, v[1], v[2]);
-    println!(
-        "interleave: {} runs, {} distinct delivery orders (max arity {}), {} digest(s)",
-        out.runs,
-        out.distinct_orders,
-        out.max_arity,
-        out.digests.len()
-    );
-    if out.digests.len() != 1 {
+    // Two sweeps: the overlapped schedule (interior forces race ghost
+    // delivery) and the sequenced recv-then-compute schedule. Each must
+    // be delivery-order independent, and both must land on the same
+    // digest — no interleaving may make the overlap observable.
+    let mut digests = std::collections::BTreeSet::new();
+    for (label, cfg) in [
+        ("overlapped", config_2x2(v[0] as u64)),
+        ("sequenced", config_2x2_sequenced(v[0] as u64)),
+    ] {
+        let out = explore(&cfg, v[1], v[2]);
+        println!(
+            "interleave[{label}]: {} runs, {} distinct delivery orders (max arity {}), {} digest(s)",
+            out.runs,
+            out.distinct_orders,
+            out.max_arity,
+            out.digests.len()
+        );
+        if out.digests.len() != 1 {
+            return Err(format!(
+                "{label} simulation digest depends on message-delivery order: {:?}",
+                out.digests
+            ));
+        }
+        digests.extend(out.digests);
+    }
+    if digests.len() != 1 {
         return Err(format!(
-            "simulation digest depends on message-delivery order: {:?}",
-            out.digests
+            "overlapped and sequenced schedules disagree: {digests:?}"
         ));
     }
     Ok(())

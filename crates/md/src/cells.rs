@@ -124,6 +124,63 @@ impl CellSlab {
         Self { offsets, parts }
     }
 
+    /// Rebuild the slab in place from a drained particle list, reusing
+    /// both internal buffers — the steady-state rebinning path of the
+    /// parallel simulator, which must not allocate once the buffers have
+    /// grown to their working capacity. The sort is unstable, which is
+    /// safe because `(cell, id)` keys are unique (particle ids are), and
+    /// `sort_unstable_by_key` needs no scratch allocation (unlike the
+    /// `sort_by_cached_key` used by [`CellSlab::build`]).
+    pub fn rebuild_from<F>(&mut self, n_cells: usize, parts: &mut Vec<Particle>, cell_of: F)
+    where
+        F: Fn(&Particle) -> usize,
+    {
+        self.parts.clear();
+        self.parts.append(parts);
+        self.parts.sort_unstable_by_key(|p| {
+            let c = cell_of(p);
+            debug_assert!(c < n_cells, "cell index {c} out of range (< {n_cells})");
+            (c, p.id)
+        });
+        self.rebuild_offsets(n_cells, cell_of);
+    }
+
+    /// Rebuild the slab in place from a slice that is *already* in the
+    /// canonical `(cell, id)` order — the ghost-receive path, whose
+    /// sender ships each column's flat array in exactly that order. No
+    /// sort, no allocation once the buffers have grown to capacity.
+    pub fn rebuild_sorted<F>(&mut self, n_cells: usize, parts: &[Particle], cell_of: F)
+    where
+        F: Fn(&Particle) -> usize,
+    {
+        self.parts.clear();
+        self.parts.extend_from_slice(parts);
+        debug_assert!(
+            self.parts
+                .windows(2)
+                .all(|w| (cell_of(&w[0]), w[0].id) < (cell_of(&w[1]), w[1].id)),
+            "rebuild_sorted input is not in (cell, id) order"
+        );
+        self.rebuild_offsets(n_cells, cell_of);
+    }
+
+    /// Recompute the CSR offset table for the current (sorted) `parts`.
+    fn rebuild_offsets<F>(&mut self, n_cells: usize, cell_of: F)
+    where
+        F: Fn(&Particle) -> usize,
+    {
+        self.offsets.clear();
+        self.offsets.resize(n_cells + 1, 0);
+        for p in &self.parts {
+            let c = cell_of(p);
+            debug_assert!(c < n_cells, "cell index {c} out of range (< {n_cells})");
+            self.offsets[c + 1] += 1;
+        }
+        for i in 0..n_cells {
+            self.offsets[i + 1] += self.offsets[i];
+        }
+    }
+
     /// Number of cells.
     pub fn n_cells(&self) -> usize {
         self.offsets.len() - 1
@@ -564,6 +621,44 @@ mod tests {
         assert_eq!(slab.cell(3)[0].id, 1);
         assert_eq!(slab.empty_cells(), 1);
         assert_eq!(slab.range(1), 1..3);
+    }
+
+    #[test]
+    fn rebuild_from_matches_build_and_reuses_buffers() {
+        let mk =
+            |id: u64, cell: usize| Particle::at_rest(id, Vec3::new(cell as f64 + 0.5, 0.0, 0.0));
+        let cell_of = |p: &Particle| p.pos.x as usize;
+        let parts = vec![mk(7, 2), mk(1, 0), mk(3, 2), mk(2, 0)];
+        let built = CellSlab::build(4, parts.clone(), cell_of);
+        let mut slab = CellSlab::empty(4);
+        let mut staging = parts;
+        slab.rebuild_from(4, &mut staging, cell_of);
+        assert!(staging.is_empty(), "input is drained");
+        assert_eq!(slab.particles(), built.particles());
+        assert_eq!(slab.offsets, built.offsets);
+        // Rebuilding again with fewer particles reuses capacity.
+        let cap = slab.parts.capacity();
+        staging.push(mk(9, 1));
+        slab.rebuild_from(4, &mut staging, cell_of);
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.cell(1)[0].id, 9);
+        assert_eq!(slab.parts.capacity(), cap);
+    }
+
+    #[test]
+    fn rebuild_sorted_matches_build_without_sorting() {
+        let mk =
+            |id: u64, cell: usize| Particle::at_rest(id, Vec3::new(cell as f64 + 0.5, 0.0, 0.0));
+        let cell_of = |p: &Particle| p.pos.x as usize;
+        // Already in (cell, id) order, as a ghost sender would ship it.
+        let parts = vec![mk(1, 0), mk(2, 0), mk(3, 2), mk(7, 2)];
+        let built = CellSlab::build(4, parts.clone(), cell_of);
+        let mut slab = CellSlab::empty(4);
+        slab.rebuild_sorted(4, &parts, cell_of);
+        assert_eq!(slab.particles(), built.particles());
+        assert_eq!(slab.offsets, built.offsets);
+        assert_eq!(slab.range(2), 2..4);
+        assert_eq!(slab.empty_cells(), 2);
     }
 
     proptest! {

@@ -321,27 +321,71 @@ impl PairKernel {
         shift: Vec3,
         w: &mut WorkCounters,
     ) {
-        match (fa, fb) {
-            (Some(fa), Some(fb)) => self.pair_impl::<true, true>(a, fa, b, fb, shift, w),
-            (Some(fa), None) => self.pair_impl::<true, false>(a, fa, b, &mut [], shift, w),
-            (None, Some(fb)) => self.pair_impl::<false, true>(a, &mut [], b, fb, shift, w),
-            (None, None) => {}
+        let stores = fa.is_some() as u64 + fb.is_some() as u64;
+        self.accumulate_pair_credited(a, fa, b, fb, shift, Some(0.5 * stores as f64), w);
+    }
+
+    /// [`PairKernel::accumulate_pair`] with the energy/virial credit
+    /// decoupled from the stored sides: `credit` is the weight applied to
+    /// each in-range combination's potential and virial (`None` skips the
+    /// energy accumulation entirely, leaving the f64 counters untouched).
+    ///
+    /// The overlapped SPMD schedule needs this split because it evaluates
+    /// a pair straddling the interior/boundary frontier twice — once per
+    /// pass, storing one side each — and must credit the pair's energy
+    /// exactly once, at the pass that owns the pair's *home* cell, with
+    /// the same weight (`0.5 × owned sides`) the fused single pass uses.
+    /// Any other assignment would permute the f64 energy sums between the
+    /// fused and overlapped schedules and break their bitwise parity.
+    /// Force storage and the u64 work counters still follow `fa`/`fb`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn accumulate_pair_credited(
+        &self,
+        a: &[Particle],
+        fa: Option<&mut [Vec3]>,
+        b: &[Particle],
+        fb: Option<&mut [Vec3]>,
+        shift: Vec3,
+        credit: Option<f64>,
+        w: &mut WorkCounters,
+    ) {
+        match (fa, fb, credit) {
+            (Some(fa), Some(fb), Some(c)) => {
+                self.pair_impl::<true, true, true>(a, fa, b, fb, shift, c, w)
+            }
+            (Some(fa), None, Some(c)) => {
+                self.pair_impl::<true, false, true>(a, fa, b, &mut [], shift, c, w)
+            }
+            (None, Some(fb), Some(c)) => {
+                self.pair_impl::<false, true, true>(a, &mut [], b, fb, shift, c, w)
+            }
+            (Some(fa), Some(fb), None) => {
+                self.pair_impl::<true, true, false>(a, fa, b, fb, shift, 0.0, w)
+            }
+            (Some(fa), None, None) => {
+                self.pair_impl::<true, false, false>(a, fa, b, &mut [], shift, 0.0, w)
+            }
+            (None, Some(fb), None) => {
+                self.pair_impl::<false, true, false>(a, &mut [], b, fb, shift, 0.0, w)
+            }
+            (None, None, _) => {}
         }
     }
 
-    fn pair_impl<const SA: bool, const SB: bool>(
+    #[allow(clippy::too_many_arguments)]
+    fn pair_impl<const SA: bool, const SB: bool, const CREDIT: bool>(
         &self,
         a: &[Particle],
         fa: &mut [Vec3],
         b: &[Particle],
         fb: &mut [Vec3],
         shift: Vec3,
+        credit: f64,
         w: &mut WorkCounters,
     ) {
         debug_assert!(!SA || a.len() == fa.len());
         debug_assert!(!SB || b.len() == fb.len());
         let stores = SA as u64 + SB as u64;
-        let half = 0.5 * stores as f64;
         let rcut2 = self.lj.rcut2();
         w.pair_checks += stores * a.len() as u64 * b.len() as u64;
         for (i, pa) in a.iter().enumerate() {
@@ -358,8 +402,10 @@ impl PairKernel {
                     if SB {
                         fb[j] += f;
                     }
-                    w.potential += half * self.lj.energy_r2(r2);
-                    w.virial += half * for_r * r2;
+                    if CREDIT {
+                        w.potential += credit * self.lj.energy_r2(r2);
+                        w.virial += credit * for_r * r2;
+                    }
                 }
             }
         }
@@ -550,6 +596,63 @@ mod tests {
         assert_eq!(w.interacting_pairs, w_ref.interacting_pairs);
         assert_eq!(w.potential, w_ref.potential);
         assert_eq!(w.virial, w_ref.virial);
+    }
+
+    #[test]
+    fn credited_split_evaluation_matches_fused_bitwise() {
+        // The overlapped schedule's contract: evaluating a pair twice —
+        // once storing each side — with the full credit attached to
+        // exactly one evaluation reproduces the fused both-sides call
+        // bitwise (forces, energy, and counters alike).
+        let k = PairKernel::new(LennardJones::paper());
+        let a = gas_cell(0, 9, Vec3::ZERO, 5);
+        let b = gas_cell(100, 11, Vec3::new(2.56, 0.0, 0.0), 6);
+        let shift = Vec3::new(0.75, -1.25, 0.5);
+        let mut fa_fused = vec![Vec3::ZERO; a.len()];
+        let mut fb_fused = vec![Vec3::ZERO; b.len()];
+        let mut w_fused = WorkCounters::default();
+        k.accumulate_pair(
+            &a,
+            Some(&mut fa_fused),
+            &b,
+            Some(&mut fb_fused),
+            shift,
+            &mut w_fused,
+        );
+        let mut fa = vec![Vec3::ZERO; a.len()];
+        let mut fb = vec![Vec3::ZERO; b.len()];
+        let mut w = WorkCounters::default();
+        k.accumulate_pair_credited(&a, None, &b, Some(&mut fb), shift, None, &mut w);
+        k.accumulate_pair_credited(&a, Some(&mut fa), &b, None, shift, Some(1.0), &mut w);
+        assert_eq!(fa, fa_fused);
+        assert_eq!(fb, fb_fused);
+        assert_eq!(w.pair_checks, w_fused.pair_checks);
+        assert_eq!(w.interacting_pairs, w_fused.interacting_pairs);
+        assert_eq!(w.potential.to_bits(), w_fused.potential.to_bits());
+        assert_eq!(w.virial.to_bits(), w_fused.virial.to_bits());
+    }
+
+    #[test]
+    fn credit_none_leaves_energy_untouched() {
+        let k = PairKernel::new(LennardJones::paper());
+        let a = gas_cell(0, 6, Vec3::ZERO, 8);
+        let b = gas_cell(50, 6, Vec3::new(2.56, 0.0, 0.0), 9);
+        let mut fa = vec![Vec3::ZERO; a.len()];
+        let mut w = WorkCounters {
+            potential: -3.5,
+            virial: 2.25,
+            ..WorkCounters::default()
+        };
+        k.accumulate_pair_credited(&a, Some(&mut fa), &b, None, Vec3::ZERO, None, &mut w);
+        // Not even a `+= 0.0` happened: -0.0 + 0.0 would flip the sign bit.
+        assert_eq!(w.potential.to_bits(), (-3.5f64).to_bits());
+        assert_eq!(w.virial.to_bits(), 2.25f64.to_bits());
+        assert!(w.pair_checks > 0);
+        // Forces still match the plain single-side call.
+        let mut fa_ref = vec![Vec3::ZERO; a.len()];
+        let mut w_ref = WorkCounters::default();
+        k.accumulate_pair(&a, Some(&mut fa_ref), &b, None, Vec3::ZERO, &mut w_ref);
+        assert_eq!(fa, fa_ref);
     }
 
     #[test]

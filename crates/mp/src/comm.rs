@@ -12,6 +12,10 @@
 //!   sender's messages travel a FIFO channel).
 //! - Message payloads are typed; receiving with the wrong type panics with
 //!   a diagnostic, since in an SPMD program that is always a protocol bug.
+//! - Payloads move between threads by pointer, never re-encoded; a hot
+//!   path that wants to reuse its send buffers across steps sends
+//!   `Arc<T>` values drawn from a [`crate::pool::BufferPool`] (the cost
+//!   model charges the inner `T`'s wire size either way).
 //!
 //! # Virtual ranks and takeover
 //!

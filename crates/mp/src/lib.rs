@@ -43,6 +43,7 @@ pub mod comm;
 pub mod cost;
 #[cfg(feature = "check")]
 pub mod fault;
+pub mod pool;
 pub mod topology;
 pub mod wire;
 pub mod world;
@@ -52,6 +53,7 @@ pub use comm::{Comm, CommError, CommErrorKind, CommStats, Tag, TakeoverInterrupt
 pub use cost::CostModel;
 #[cfg(feature = "check")]
 pub use fault::{FaultKind, FaultPlan};
+pub use pool::BufferPool;
 pub use topology::{Torus2d, Torus3d};
 pub use wire::WireSize;
 pub use world::{DegradedOutcome, RankFailure, World, WorldError};

@@ -71,6 +71,15 @@ impl<A: WireSize, B: WireSize, C: WireSize, D: WireSize> WireSize for (A, B, C, 
     }
 }
 
+/// Pooled payloads are sent as `Arc<T>` so the buffer can be reused for
+/// the next step without re-encoding; on a real wire only the inner value
+/// would travel, so that is what the cost model charges.
+impl<T: WireSize> WireSize for std::sync::Arc<T> {
+    fn wire_size(&self) -> usize {
+        (**self).wire_size()
+    }
+}
+
 impl WireSize for String {
     fn wire_size(&self) -> usize {
         8 + self.len()
@@ -125,5 +134,12 @@ mod tests {
     #[test]
     fn string_counts_bytes() {
         assert_eq!("abc".to_string().wire_size(), 11);
+    }
+
+    #[test]
+    fn arc_charges_the_inner_value() {
+        let v: Vec<f64> = vec![1.0, 2.0];
+        let inner = v.wire_size();
+        assert_eq!(std::sync::Arc::new(v).wire_size(), inner);
     }
 }

@@ -117,6 +117,16 @@ pub struct RunConfig {
     /// the per-step stats so checkpointing never perturbs `t_step` — a
     /// checkpointed run reports identically to an uncheckpointed one.
     pub checkpoint_interval: u64,
+    /// Overlap communication with interior computation: post ghost sends,
+    /// compute forces for interior columns (whose half-shell stencil
+    /// touches no ghost column) while neighbour payloads are in flight,
+    /// then drain the receives and finish the boundary columns. The
+    /// overlapped and sequenced schedules are bitwise identical in every
+    /// output (forces, energies, work counters, digests) — the split
+    /// only reorders *which pass* evaluates a pair, never the canonical
+    /// per-slot summation order. Default on; `false` restores the fully
+    /// sequenced exchange-then-compute step.
+    pub overlap: bool,
     /// Run the global invariant sentinel every this many steps. 0 disables
     /// (the default). When it fires, the ranks gather their particle count
     /// and owned-column set to rank 0, which asserts global particle-count
@@ -153,6 +163,7 @@ impl RunConfig {
             pull_frac: None,
             pull_rmax: None,
             checkpoint_interval: 0,
+            overlap: true,
             sentinel_interval: 0,
         }
     }

@@ -19,16 +19,19 @@
 //! integer cell arithmetic — the same convention as the serial grid, so
 //! the floating-point force sums are identical.
 
+use std::sync::Arc;
+
 use pcdlb_md::cells::HALF_OFFSETS_13;
 use pcdlb_md::force::{PairKernel, WorkCounters};
 use pcdlb_md::integrate::{kick, kick_drift};
 use pcdlb_md::observe;
 use pcdlb_md::vec3::Vec3;
 use pcdlb_md::Particle;
-use pcdlb_mp::{collectives, Comm, CostModel, Torus3d, World};
+use pcdlb_mp::{collectives, BufferPool, Comm, CostModel, Torus3d, World};
 
 use crate::clock::WallTimer;
 use crate::config::{LoadMetric, RunConfig};
+use crate::frame::CubeBlockFrame;
 use crate::pe::initial_particles;
 use crate::report::{RunReport, StepRecord};
 use crate::stats::StatsPacket;
@@ -142,6 +145,8 @@ struct CubePe {
     cells: Vec<Vec<Particle>>,
     /// Forces for own cells only, indexed like the interior of `cells`.
     forces: Vec<Vec<Vec3>>,
+    /// Pooled ghost-frame send buffers, reused across steps.
+    ghost_pool: BufferPool<CubeBlockFrame>,
     last_work: WorkCounters,
     last_force_virtual: f64,
     last_force_wall: f64,
@@ -167,6 +172,7 @@ impl CubePe {
             kernel: PairKernel::new(cfg.lj),
             cells: vec![Vec::new(); halo],
             forces: vec![Vec::new(); s * s * s],
+            ghost_pool: BufferPool::new(),
             last_work: WorkCounters::default(),
             last_force_virtual: 0.0,
             last_force_wall: 0.0,
@@ -363,7 +369,8 @@ impl CubePe {
             self.cells[idx].clear();
         }
 
-        type GhostPayload = Vec<(u64, u64, u64, Vec<Particle>)>;
+        // Pooled flat frames: byte-identical on the wire to the nested
+        // `Vec<(u64, u64, u64, Vec<Particle>)>` payloads they replace.
         let k = self.torus;
         for (di, d) in DIRS26.iter().enumerate() {
             // Slab of own cells the neighbour in direction d needs.
@@ -374,7 +381,9 @@ impl CubePe {
                     _ => 0..s,
                 }
             };
-            let mut payload: GhostPayload = Vec::new();
+            let mut buf = self.ghost_pool.checkout();
+            let frame = Arc::get_mut(&mut buf).expect("fresh pool checkout is uniquely owned");
+            frame.clear();
             for i in range1(d.0) {
                 for j in range1(d.1) {
                     for l in range1(d.2) {
@@ -384,18 +393,19 @@ impl CubePe {
                             (self.origin.1 + j as usize) as u64,
                             (self.origin.2 + l as usize) as u64,
                         );
-                        payload.push((g.0, g.1, g.2, self.cells[idx].clone()));
+                        frame.push_block(g, &self.cells[idx]);
                     }
                 }
             }
             let peer = k.neighbor(self.rank, d.0, d.1, d.2);
-            comm.send(peer, tags::GHOST_BASE + di as u64, payload);
+            comm.send(peer, tags::GHOST_BASE + di as u64, Arc::clone(&buf));
+            self.ghost_pool.checkin(buf);
         }
         for d in DIRS26 {
             let peer = k.neighbor(self.rank, d.0, d.1, d.2);
             let opp = dir_index((-d.0, -d.1, -d.2));
-            let payload: GhostPayload = comm.recv(peer, tags::GHOST_BASE + opp);
-            for (gx, gy, gz, parts) in payload {
+            let frame: Arc<CubeBlockFrame> = comm.recv(peer, tags::GHOST_BASE + opp);
+            for ((gx, gy, gz), parts) in frame.iter_blocks() {
                 let g = (gx as usize, gy as usize, gz as usize);
                 let Some(nl) = self.local_of_global(g) else {
                     continue; // a shared slab cell this rank doesn't border
@@ -407,7 +417,8 @@ impl CubePe {
                 // On a k = 2 torus the same canonical cell arrives from
                 // several directions with identical content; last write
                 // wins (they are equal by construction).
-                self.cells[idx] = parts;
+                self.cells[idx].clear();
+                self.cells[idx].extend_from_slice(parts);
             }
         }
     }

@@ -5,12 +5,27 @@ use pcdlb_mp::{CostModel, World};
 
 use crate::config::RunConfig;
 use crate::pe::{pe_main, PeResult};
-use crate::report::RunReport;
+use crate::report::{PhaseTimes, RunReport};
 
 /// Run a configuration to completion; returns rank 0's report with
 /// communication totals aggregated over all ranks.
 pub fn run(cfg: &RunConfig) -> RunReport {
     run_inner(cfg, false).0
+}
+
+/// Like [`run`], but also returns the wall-clock phase breakdown summed
+/// over all ranks — all zeros unless the `wallclock-instrumentation`
+/// feature is enabled. The scaling bench uses this to report where each
+/// configuration spends its time.
+pub fn run_with_phase_times(cfg: &RunConfig) -> (RunReport, PhaseTimes) {
+    cfg.validate();
+    let world = World::new(cfg.p).with_cost_model(CostModel::t3e(Some(cfg.torus())));
+    let results: Vec<PeResult> = world.run(|comm| pe_main(comm, cfg, false));
+    let mut phases = PhaseTimes::default();
+    for r in &results {
+        phases.merge(&r.phase_times);
+    }
+    (assemble(results).0, phases)
 }
 
 /// Like [`run`], but also gathers the final particle state (sorted by

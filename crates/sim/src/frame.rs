@@ -1,0 +1,198 @@
+//! Flat framed message payloads for the steady-state hot path.
+//!
+//! The exchange phases used to ship nested payloads — e.g. one
+//! `Vec<(Col, Vec<Particle>)>` per neighbour for ghosts — which costs one
+//! heap allocation per column per step. A *frame* carries the same data
+//! as two flat arrays: a column (or block) directory with per-entry
+//! particle counts, and one contiguous particle array holding every
+//! column's particles back to back in the canonical `(cell, id)` order.
+//! Frames are `Default + Send + Sync`, so a [`pcdlb_mp::BufferPool`] can
+//! keep them alive across steps and the sender refills them in place.
+//!
+//! # Wire format (and why the byte counts are unchanged)
+//!
+//! The modelled wire encoding of [`GhostFrame`] is: `u64` column count;
+//! per column `cx: u64, cy: u64, count: u64`; then the particles back to
+//! back with **no** second length prefix (the total is the sum of the
+//! per-column counts). That is byte-for-byte the size of the old nested
+//! encoding — `8 + 24·cols + 56·parts` either way — so `CommStats`,
+//! every reported `t_step`, and the digests that absorb `bytes_sent` are
+//! bitwise unchanged by the flattening. [`CubeBlockFrame`] follows the
+//! same scheme with 3-D block coordinates (`8 + 32·blocks + 56·parts`),
+//! and [`ParticleFrame`] is exactly a length-prefixed particle array
+//! (`8 + 56·parts`), identical to the `Vec<Particle>` it replaces.
+//! `wire_check.rs` pins each equivalence against a reference encoder.
+
+use pcdlb_domain::Col;
+use pcdlb_md::Particle;
+use pcdlb_mp::WireSize;
+
+/// One neighbour's ghost shipment in the column decomposition: a column
+/// directory plus all columns' particles, flat and contiguous.
+#[derive(Debug, Clone, Default)]
+pub struct GhostFrame {
+    /// `(column, particle count)`, in ascending column order.
+    pub cols: Vec<(Col, u32)>,
+    /// Every column's particles back to back, each column's slice in the
+    /// sender's canonical `(cell, id)` order.
+    pub parts: Vec<Particle>,
+}
+
+impl GhostFrame {
+    /// Empty both arrays, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.cols.clear();
+        self.parts.clear();
+    }
+
+    /// Append one column's particle slice.
+    pub fn push_col(&mut self, col: Col, parts: &[Particle]) {
+        self.cols.push((col, parts.len() as u32));
+        self.parts.extend_from_slice(parts);
+    }
+
+    /// Iterate `(column, particle slice)` in shipment order.
+    pub fn iter_cols(&self) -> impl Iterator<Item = (Col, &[Particle])> {
+        let mut off = 0usize;
+        self.cols.iter().map(move |&(col, n)| {
+            let s = &self.parts[off..off + n as usize];
+            off += n as usize;
+            (col, s)
+        })
+    }
+}
+
+impl WireSize for GhostFrame {
+    fn wire_size(&self) -> usize {
+        // u64 count + (cx, cy, count) per column + flat particles with no
+        // second prefix — byte-identical to the old nested
+        // `Vec<(Col, Vec<Particle>)>` encoding.
+        8 + 24 * self.cols.len() + self.parts.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+/// A flat particle shipment (migration, cell transfer): identical wire
+/// bytes to the `Vec<Particle>` it replaces, but poolable and refillable
+/// in place.
+#[derive(Debug, Clone, Default)]
+pub struct ParticleFrame {
+    /// The particles, id-sorted.
+    pub parts: Vec<Particle>,
+}
+
+impl WireSize for ParticleFrame {
+    fn wire_size(&self) -> usize {
+        8 + self.parts.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+/// One neighbour's ghost shipment in the cube decomposition: 3-D block
+/// coordinates instead of columns.
+#[derive(Debug, Clone, Default)]
+pub struct CubeBlockFrame {
+    /// `(bx, by, bz, particle count)` per block, in shipment order.
+    pub blocks: Vec<(u64, u64, u64, u32)>,
+    /// Every block's particles back to back.
+    pub parts: Vec<Particle>,
+}
+
+impl CubeBlockFrame {
+    /// Empty both arrays, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+        self.parts.clear();
+    }
+
+    /// Append one block's particle slice.
+    pub fn push_block(&mut self, key: (u64, u64, u64), parts: &[Particle]) {
+        self.blocks.push((key.0, key.1, key.2, parts.len() as u32));
+        self.parts.extend_from_slice(parts);
+    }
+
+    /// Iterate `(block key, particle slice)` in shipment order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = ((u64, u64, u64), &[Particle])> {
+        let mut off = 0usize;
+        self.blocks.iter().map(move |&(x, y, z, n)| {
+            let s = &self.parts[off..off + n as usize];
+            off += n as usize;
+            ((x, y, z), s)
+        })
+    }
+}
+
+impl WireSize for CubeBlockFrame {
+    fn wire_size(&self) -> usize {
+        // u64 count + (bx, by, bz, count) per block + flat particles —
+        // byte-identical to the old `Vec<(u64, u64, u64, Vec<Particle>)>`.
+        8 + 32 * self.blocks.len() + self.parts.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcdlb_md::Vec3;
+
+    fn parts(n: usize) -> Vec<Particle> {
+        (0..n)
+            .map(|i| Particle::at_rest(i as u64, Vec3::new(i as f64, 0.0, 0.0)))
+            .collect()
+    }
+
+    #[test]
+    fn ghost_frame_matches_nested_encoding_bytes() {
+        let ps = parts(5);
+        let mut frame = GhostFrame::default();
+        frame.push_col(Col::new(0, 1), &ps[0..2]);
+        frame.push_col(Col::new(2, 3), &ps[2..2]);
+        frame.push_col(Col::new(4, 4), &ps[2..5]);
+        let nested: Vec<(Col, Vec<Particle>)> = vec![
+            (Col::new(0, 1), ps[0..2].to_vec()),
+            (Col::new(2, 3), vec![]),
+            (Col::new(4, 4), ps[2..5].to_vec()),
+        ];
+        assert_eq!(frame.wire_size(), nested.wire_size());
+        // Round-trip: the iterator reproduces the nested view.
+        let back: Vec<(Col, Vec<Particle>)> =
+            frame.iter_cols().map(|(c, s)| (c, s.to_vec())).collect();
+        assert_eq!(back, nested);
+    }
+
+    #[test]
+    fn particle_frame_matches_vec_encoding_bytes() {
+        let ps = parts(4);
+        let frame = ParticleFrame { parts: ps.clone() };
+        assert_eq!(frame.wire_size(), ps.wire_size());
+        assert_eq!(
+            ParticleFrame::default().wire_size(),
+            Vec::<Particle>::new().wire_size()
+        );
+    }
+
+    #[test]
+    fn cube_frame_matches_nested_encoding_bytes() {
+        let ps = parts(6);
+        let mut frame = CubeBlockFrame::default();
+        frame.push_block((1, 2, 3), &ps[0..4]);
+        frame.push_block((4, 5, 6), &ps[4..6]);
+        let nested: Vec<(u64, u64, u64, Vec<Particle>)> =
+            vec![(1, 2, 3, ps[0..4].to_vec()), (4, 5, 6, ps[4..6].to_vec())];
+        assert_eq!(frame.wire_size(), nested.wire_size());
+        let back: Vec<(u64, u64, u64, Vec<Particle>)> = frame
+            .iter_blocks()
+            .map(|((x, y, z), s)| (x, y, z, s.to_vec()))
+            .collect();
+        assert_eq!(back, nested);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let ps = parts(8);
+        let mut frame = GhostFrame::default();
+        frame.push_col(Col::new(0, 0), &ps);
+        let cap = frame.parts.capacity();
+        frame.clear();
+        assert!(frame.cols.is_empty() && frame.parts.is_empty());
+        assert_eq!(frame.parts.capacity(), cap);
+    }
+}

@@ -17,6 +17,7 @@ pub mod config;
 pub mod cube;
 pub mod digest;
 pub mod driver;
+pub mod frame;
 pub mod pe;
 pub mod plane;
 pub mod recover;
@@ -28,11 +29,11 @@ mod wire_check;
 
 pub use config::{Lattice, LoadMetric, RunConfig};
 pub use digest::{digest_particles, digest_records, digest_recovery, digest_report, digest_run};
-pub use driver::{run, run_serial, run_with_snapshot, serial_sim};
+pub use driver::{run, run_serial, run_with_phase_times, run_with_snapshot, serial_sim};
 pub use recover::{
     run_with_recovery, run_with_takeover, RecoveryError, RecoveryOptions, RecoveryOutcome,
     SimCheckpoint,
 };
 #[cfg(feature = "check")]
 pub use recover::{run_with_recovery_faulted, run_with_takeover_faulted};
-pub use report::{RunReport, StepRecord};
+pub use report::{PhaseTimes, RunReport, StepRecord};

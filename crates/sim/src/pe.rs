@@ -13,7 +13,13 @@
 //!    the decision, and transfer the moved column's particles;
 //! 4. **ghost exchange** — every owned column adjacent to a
 //!    neighbour-owned column is sent to that neighbour;
-//! 5. force computation over own + ghost cells (work counted);
+//! 5. force computation over own + ghost cells (work counted). By
+//!    default this is *overlapped* with phase 4: after the ghost sends
+//!    are posted, forces among **interior** columns (whose half-shell
+//!    stencil touches no ghost column) are computed while the neighbour
+//!    payloads are in flight; the receives are drained only then, and a
+//!    second pass finishes the **frontier** pairs. See
+//!    [`RunConfig::overlap`] and the pass rules on `force_pass`;
 //! 6. second half-kick;
 //! 7. periodic thermostat (id-ordered global kinetic-energy sum, so the
 //!    scale factor is bitwise identical to the serial reference);
@@ -31,7 +37,7 @@
 //! the load model and DLB decisions match the full-shell seed kernel.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use pcdlb_core::protocol::{DlbDecision, DlbProtocol};
 use pcdlb_domain::{Col, OwnershipMap, PillarLayout};
@@ -42,12 +48,13 @@ use pcdlb_md::integrate::{kick, kick_drift};
 use pcdlb_md::observe;
 use pcdlb_md::vec3::Vec3;
 use pcdlb_md::{init, Particle};
-use pcdlb_mp::{collectives, Comm};
+use pcdlb_mp::{collectives, BufferPool, Comm};
 
 use crate::clock::WallTimer;
 use crate::config::{Lattice, LoadMetric, RunConfig};
+use crate::frame::{GhostFrame, ParticleFrame};
 use crate::recover::SimCheckpoint;
-use crate::report::{RunReport, StepRecord};
+use crate::report::{PhaseTimes, RunReport, StepRecord};
 use crate::stats::StatsPacket;
 
 // Wire tags live next to the protocol rules in `pcdlb-core`, where the
@@ -60,9 +67,64 @@ use pcdlb_core::protocol::tags;
 /// they enumerate `pcdlb_md::cells::HALF_OFFSETS_13` in canonical order.
 const FORWARD_XY: [(i64, i64); 5] = [(0, 0), (0, 1), (1, -1), (1, 0), (1, 1)];
 
-/// A resolved forward neighbour column: its slab, x/y periodic shifts,
-/// and (when owned by this PE) its base offset into the force array.
-type ForwardCol<'a> = Option<(&'a CellSlab, f64, f64, Option<usize>)>;
+/// How a column relates to this PE's ghost frontier. Derived purely from
+/// the ownership map, so it only changes when ownership does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColClass {
+    /// Owned, and all 8 cross-section neighbours are owned too: none of
+    /// its pairs involve ghost data, so its forces can be computed while
+    /// ghost payloads are still in flight.
+    Interior,
+    /// Owned, but at least one cross-section neighbour is a ghost column:
+    /// its pairs must wait for the ghost receive.
+    Frontier,
+    /// Not owned; mirrored from a neighbour each step.
+    Ghost,
+}
+
+/// Which force pass is running. `Fused` is the sequenced single pass
+/// (`overlap = false`); `Interior` + `Boundary` together are the
+/// overlapped schedule and produce bitwise-identical results: every pair
+/// is *stored* at the same canonical per-slot position either way, and
+/// its energy is credited by exactly one pass with the fused weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ForcePass {
+    Fused,
+    Interior,
+    Boundary,
+}
+
+/// Which pass stores force contributions into a column of this class.
+fn stores_in(pass: ForcePass, class: ColClass) -> bool {
+    match pass {
+        ForcePass::Fused => class != ColClass::Ghost,
+        ForcePass::Interior => class == ColClass::Interior,
+        ForcePass::Boundary => class == ColClass::Frontier,
+    }
+}
+
+/// Whether a home column of `class` runs its own-home work — the
+/// intra-cell triangle, the external pull, and the energy credit for its
+/// ring pairs — in `pass`. Exactly one of `Interior`/`Boundary` is true
+/// for every class, so the overlapped schedule credits each pair's
+/// energy once, at its canonical home position.
+fn home_runs_in(pass: ForcePass, class: ColClass) -> bool {
+    match pass {
+        ForcePass::Fused => true,
+        ForcePass::Interior => class == ColClass::Interior,
+        ForcePass::Boundary => class != ColClass::Interior,
+    }
+}
+
+/// A resolved forward neighbour column in the force pass: its slab, x/y
+/// periodic shifts, its force-array base (when owned), and its class.
+struct ColRef<'a> {
+    slab: &'a CellSlab,
+    sx: f64,
+    sy: f64,
+    base: Option<usize>,
+    class: ColClass,
+}
 
 /// What each rank hands back to the driver when the run finishes.
 pub struct PeResult {
@@ -72,6 +134,9 @@ pub struct PeResult {
     pub snapshot: Option<Vec<Particle>>,
     /// This rank's communication counters.
     pub comm_stats: pcdlb_mp::CommStats,
+    /// This rank's accumulated wall-clock phase breakdown (all zeros
+    /// without the `wallclock-instrumentation` feature).
+    pub phase_times: PhaseTimes,
 }
 
 /// Generate the full initial particle set for a config — deterministic,
@@ -123,6 +188,38 @@ pub struct PeState {
     last_work: WorkCounters,
     last_force_virtual: f64,
     last_force_wall: f64,
+    /// True when ownership (or the owned-column set) changed since the
+    /// ownership-derived caches below were rebuilt.
+    routes_dirty: bool,
+    /// Per-neighbour ghost routing (parallel to `neighbors`): the owned
+    /// columns each neighbour needs as ghosts, ascending, deduplicated.
+    ghost_routes: Vec<Vec<Col>>,
+    /// Home columns this PE sees — owned ∪ ghost, ascending — with each
+    /// column's frontier class. The force passes iterate this list; the
+    /// ghost entries' keys double as the expected ghost-receive set.
+    home_cols: Vec<(Col, ColClass)>,
+    /// Per-home force-array base offsets (`None` for ghost homes),
+    /// parallel to `home_cols`; refilled by `force_prologue` each step.
+    home_base: Vec<Option<usize>>,
+    /// Per-home work-counter buckets, parallel to `home_cols`, folded
+    /// ascending into `last_work` — the same fold in both schedules, so
+    /// fused and overlapped energy sums are bitwise identical.
+    col_work: Vec<WorkCounters>,
+    /// Retained-particle staging for migration; key set kept equal to
+    /// `columns`' so the per-step rebinning reuses every allocation.
+    migrate_staging: BTreeMap<Col, Vec<Particle>>,
+    /// Per-neighbour emigrant staging, parallel to `neighbors`.
+    migrate_out: Vec<Vec<Particle>>,
+    /// DLB neighbour-load scratch.
+    nbr_loads: Vec<(usize, f64)>,
+    /// Pooled ghost-frame send buffers, reused across steps.
+    ghost_pool: BufferPool<GhostFrame>,
+    /// Pooled flat-particle send buffers (migration, cell transfer).
+    part_pool: BufferPool<ParticleFrame>,
+    /// Wall time of the current step's force pass(es) so far.
+    force_wall_accum: f64,
+    /// Accumulated per-phase wall times over the run.
+    phase: PhaseTimes,
 }
 
 impl PeState {
@@ -194,6 +291,7 @@ impl PeState {
             .dlb
             .then(|| DlbProtocol::new(layout, rank).with_min_relative_gain(cfg.dlb_min_gain));
         let neighbors = layout.torus().distinct_neighbors8(rank);
+        let n_nbrs = neighbors.len();
         Self {
             cfg: cfg.clone(),
             layout,
@@ -211,6 +309,18 @@ impl PeState {
             last_work: WorkCounters::default(),
             last_force_virtual: 0.0,
             last_force_wall: 0.0,
+            routes_dirty: true,
+            ghost_routes: vec![Vec::new(); n_nbrs],
+            home_cols: Vec::new(),
+            home_base: Vec::new(),
+            col_work: Vec::new(),
+            migrate_staging: BTreeMap::new(),
+            migrate_out: vec![Vec::new(); n_nbrs],
+            nbr_loads: Vec::new(),
+            ghost_pool: BufferPool::new(),
+            part_pool: BufferPool::new(),
+            force_wall_accum: 0.0,
+            phase: PhaseTimes::default(),
         }
     }
 
@@ -275,92 +385,161 @@ impl PeState {
         debug_assert_eq!(base, self.forces.len());
     }
 
-    /// Phase 2, send half: rebin locally and ship emigrants to neighbour
-    /// owners. Returns the retained-particle staging for
-    /// [`PeState::migrate_recv`]; splitting the phase lets a thread
-    /// running two virtual ranks post *both* ranks' sends before either
-    /// blocks in a receive.
-    pub(crate) fn migrate_send(&mut self, comm: &mut Comm) -> BTreeMap<Col, Vec<Particle>> {
-        // Route every owned particle into a per-column staging list (or an
-        // outgoing payload), then rebuild the slabs once — the column key
-        // set is preserved exactly (ownership only changes in `dlb`).
-        let mut staging: BTreeMap<Col, Vec<Particle>> =
-            self.columns.keys().map(|&c| (c, Vec::new())).collect();
-        let mut outgoing: BTreeMap<usize, Vec<Particle>> = BTreeMap::new();
-        for slab in std::mem::take(&mut self.columns).into_values() {
-            for p in slab.into_particles() {
-                let ncol = self.col_of(p.pos);
-                let owner = self.ownership.owner_of(ncol);
-                if owner == self.rank {
-                    staging
-                        .get_mut(&ncol)
-                        .unwrap_or_else(|| {
-                            panic!(
-                                "rank {}: missing storage for owned column {ncol:?}",
-                                self.rank
-                            )
-                        })
-                        .push(p);
-                } else {
-                    debug_assert!(
-                        self.neighbors.contains(&owner),
-                        "rank {}: particle {} jumped to column {ncol:?} owned by \
-                         non-neighbour {owner} — time step too large",
-                        self.rank,
-                        p.id
-                    );
-                    outgoing.entry(owner).or_default().push(p);
-                }
-            }
-        }
-        // Deterministic payloads: order emigrants by id.
-        for v in outgoing.values_mut() {
-            v.sort_unstable_by_key(|p| p.id);
-        }
-        for &nb in &self.neighbors {
-            let payload = outgoing.remove(&nb).unwrap_or_default();
-            comm.send(nb, tags::MIGRATE, payload);
-        }
-        staging
-    }
-
-    /// Phase 2, receive half: collect immigrants and rebuild the columns.
-    pub(crate) fn migrate_recv(
-        &mut self,
-        comm: &mut Comm,
-        mut staging: BTreeMap<Col, Vec<Particle>>,
-    ) {
-        for &nb in &self.neighbors {
-            let incoming: Vec<Particle> = comm.recv(nb, tags::MIGRATE);
-            for p in incoming {
-                let ncol = self.col_of(p.pos);
-                debug_assert_eq!(
-                    self.ownership.owner_of(ncol),
-                    self.rank,
-                    "rank {}: received particle {} for column {ncol:?} it does not own",
-                    self.rank,
-                    p.id
-                );
-                staging
-                    .get_mut(&ncol)
-                    .unwrap_or_else(|| {
-                        panic!(
-                            "rank {}: missing storage for owned column {ncol:?}",
-                            self.rank
-                        )
-                    })
-                    .push(p);
-            }
-        }
-        self.columns = staging
-            .into_iter()
-            .map(|(c, v)| (c, self.build_column(v)))
-            .collect();
-    }
-
     fn ownership_owner(&self, col: Col) -> usize {
         debug_assert!(self.in_window(col), "reading owner outside window");
         self.ownership.owner_of(col)
+    }
+
+    /// Rebuild the ownership-derived caches when ownership (or the
+    /// owned-column set) changed: the per-neighbour ghost routes, the
+    /// classified home-column list, and the ghost/staging key sets. Cold
+    /// path — runs at startup and after a DLB transfer, never in the
+    /// steady state, so its allocations stay off the hot path.
+    fn refresh_caches(&mut self) {
+        if !self.routes_dirty {
+            return;
+        }
+        self.routes_dirty = false;
+        let grid = self.layout.grid();
+        for r in &mut self.ghost_routes {
+            r.clear();
+        }
+        self.home_cols.clear();
+        let mut ghost_cols: BTreeSet<Col> = BTreeSet::new();
+        for &col in self.columns.keys() {
+            let mut class = ColClass::Interior;
+            for n in grid.neighbors8(col) {
+                let owner = self.ownership_owner(n);
+                if owner != self.rank {
+                    class = ColClass::Frontier;
+                    ghost_cols.insert(n);
+                    let i = self.neighbors.binary_search(&owner).unwrap_or_else(|_| {
+                        panic!(
+                            "rank {}: ghost target {owner} is not a neighbour",
+                            self.rank
+                        )
+                    });
+                    // `columns.keys()` is ascending, so deduplicating
+                    // against the route's tail keeps it sorted and unique.
+                    if self.ghost_routes[i].last() != Some(&col) {
+                        self.ghost_routes[i].push(col);
+                    }
+                }
+            }
+            self.home_cols.push((col, class));
+        }
+        // Keep the ghost slabs' key set equal to the expected receive
+        // set, preserving the allocations of surviving columns.
+        let nc = self.nc;
+        self.ghosts.retain(|c, _| ghost_cols.contains(c));
+        for &c in &ghost_cols {
+            self.ghosts.entry(c).or_insert_with(|| CellSlab::empty(nc));
+            self.home_cols.push((c, ColClass::Ghost));
+        }
+        self.home_cols.sort_unstable_by_key(|&(c, _)| c);
+        // Keep the migration staging key set equal to the owned columns'.
+        let columns = &self.columns;
+        self.migrate_staging.retain(|c, _| columns.contains_key(c));
+        for &c in columns.keys() {
+            self.migrate_staging.entry(c).or_default();
+        }
+    }
+
+    /// Phase 2, send half: rebin locally and ship emigrants to neighbour
+    /// owners; retained particles stay staged in `migrate_staging` for
+    /// [`PeState::migrate_recv`]. Splitting the phase lets a thread
+    /// running two virtual ranks post *both* ranks' sends before either
+    /// blocks in a receive. Allocation-free in the steady state: the
+    /// staging lists, per-neighbour outboxes, and pooled send frames are
+    /// all reused across steps.
+    pub(crate) fn migrate_send(&mut self, comm: &mut Comm) {
+        self.refresh_caches();
+        let t0 = WallTimer::start();
+        for v in self.migrate_staging.values_mut() {
+            v.clear();
+        }
+        for v in &mut self.migrate_out {
+            v.clear();
+        }
+        let (cell_len, nc, rank) = (self.cell_len, self.nc, self.rank);
+        let col_at = move |pos: Vec3| {
+            let f = |v: f64| ((v / cell_len) as usize).min(nc - 1);
+            Col::new(f(pos.x), f(pos.y))
+        };
+        let columns = &self.columns;
+        let ownership = &self.ownership;
+        let neighbors = &self.neighbors;
+        let staging = &mut self.migrate_staging;
+        let out = &mut self.migrate_out;
+        for slab in columns.values() {
+            for p in slab.particles() {
+                let ncol = col_at(p.pos);
+                let owner = ownership.owner_of(ncol);
+                if owner == rank {
+                    staging
+                        .get_mut(&ncol)
+                        .unwrap_or_else(|| {
+                            panic!("rank {rank}: missing storage for owned column {ncol:?}")
+                        })
+                        .push(*p);
+                } else {
+                    let i = neighbors.binary_search(&owner).unwrap_or_else(|_| {
+                        panic!(
+                            "rank {rank}: particle {} jumped to column {ncol:?} owned by \
+                             non-neighbour {owner} — time step too large",
+                            p.id
+                        )
+                    });
+                    out[i].push(*p);
+                }
+            }
+        }
+        for (i, &nb) in self.neighbors.iter().enumerate() {
+            let mut buf = self.part_pool.checkout();
+            let frame = Arc::get_mut(&mut buf).expect("fresh pool checkout is uniquely owned");
+            frame.parts.clear();
+            frame.parts.extend_from_slice(&self.migrate_out[i]);
+            // Deterministic payloads: order emigrants by id.
+            frame.parts.sort_unstable_by_key(|p| p.id);
+            comm.send(nb, tags::MIGRATE, Arc::clone(&buf));
+            self.part_pool.checkin(buf);
+        }
+        self.phase.migrate += t0.elapsed_s();
+    }
+
+    /// Phase 2, receive half: collect immigrants and rebuild the columns
+    /// in place, reusing every slab's storage.
+    pub(crate) fn migrate_recv(&mut self, comm: &mut Comm) {
+        let t0 = WallTimer::start();
+        let rank = self.rank;
+        for &nb in &self.neighbors {
+            let incoming: Arc<ParticleFrame> = comm.recv(nb, tags::MIGRATE);
+            for p in &incoming.parts {
+                let ncol = self.col_of(p.pos);
+                debug_assert_eq!(
+                    self.ownership.owner_of(ncol),
+                    rank,
+                    "rank {rank}: received particle {} for column {ncol:?} it does not own",
+                    p.id
+                );
+                self.migrate_staging
+                    .get_mut(&ncol)
+                    .unwrap_or_else(|| {
+                        panic!("rank {rank}: missing storage for owned column {ncol:?}")
+                    })
+                    .push(*p);
+            }
+        }
+        let (cell_len, nc) = (self.cell_len, self.nc);
+        let zbin = move |p: &Particle| ((p.pos.z / cell_len) as usize).min(nc - 1);
+        let staging = &mut self.migrate_staging;
+        for (col, slab) in self.columns.iter_mut() {
+            let staged = staging
+                .get_mut(col)
+                .expect("staging key set matches the owned columns");
+            slab.rebuild_from(nc, staged, zbin);
+        }
+        self.phase.migrate += t0.elapsed_s();
     }
 
     /// Phase 3 (DLB), step 1 send half: post last-step execution times to
@@ -369,10 +548,12 @@ impl PeState {
         if self.protocol.is_none() {
             return;
         }
+        let t0 = WallTimer::start();
         let own_load = self.last_load();
         for &nb in &self.neighbors {
             comm.send(nb, tags::LOAD, own_load);
         }
+        self.phase.dlb += t0.elapsed_s();
     }
 
     /// Phase 3, step 1 receive half + steps 2–3: collect neighbour loads,
@@ -380,17 +561,19 @@ impl PeState {
     /// decision in wire form, ready for [`PeState::dlb_send_decision`].
     pub(crate) fn dlb_recv_load_and_decide(&mut self, comm: &mut Comm) -> Option<(Col, u64, u64)> {
         let protocol = self.protocol?;
+        let t0 = WallTimer::start();
         let own_load = self.last_load();
-        let nbr_loads: Vec<(usize, f64)> = self
-            .neighbors
-            .iter()
-            .map(|&nb| (nb, comm.recv::<f64>(nb, tags::LOAD)))
-            .collect();
-        let fastest = protocol.fastest_pe(own_load, &nbr_loads);
+        self.nbr_loads.clear();
+        for &nb in &self.neighbors {
+            let load = comm.recv::<f64>(nb, tags::LOAD);
+            self.nbr_loads.push((nb, load));
+        }
+        let fastest = protocol.fastest_pe(own_load, &self.nbr_loads);
         let my_decision = protocol.decide(&self.ownership, fastest);
         if let Some(d) = &my_decision {
             debug_assert!(DlbProtocol::validate(&self.layout, &self.ownership, d).is_ok());
         }
+        self.phase.dlb += t0.elapsed_s();
         my_decision.map(|d| (d.col, d.from as u64, d.to as u64))
     }
 
@@ -401,9 +584,11 @@ impl PeState {
         if self.protocol.is_none() {
             return;
         }
+        let t0 = WallTimer::start();
         for &nb in &self.neighbors {
             comm.send(nb, tags::DECISION, wire);
         }
+        self.phase.dlb += t0.elapsed_s();
     }
 
     /// Phase 3, step 4 receive half: collect the neighbourhood's
@@ -419,6 +604,7 @@ impl PeState {
         if self.protocol.is_none() {
             return Vec::new();
         }
+        let t0 = WallTimer::start();
         let to_decision = |(col, from, to): (Col, u64, u64)| DlbDecision {
             col,
             from: from as usize,
@@ -436,12 +622,19 @@ impl PeState {
                 self.ownership.set_owner(d.col, d.to);
             }
         }
+        // Ownership moved: the routing/class caches must be rebuilt
+        // before the next ghost exchange or force pass.
+        if !decisions.is_empty() {
+            self.routes_dirty = true;
+        }
+        self.phase.dlb += t0.elapsed_s();
         decisions
     }
 
     /// Phase 3, data-movement send half: ship the particles of columns
     /// this PE gave away. Returns the number of transfers sent.
     pub(crate) fn dlb_send_cells(&mut self, comm: &mut Comm, decisions: &[DlbDecision]) -> u64 {
+        let t0 = WallTimer::start();
         let mut sent = 0u64;
         for d in decisions {
             if d.from == self.rank {
@@ -449,71 +642,107 @@ impl PeState {
                     .columns
                     .remove(&d.col)
                     .expect("sender owns the column data");
-                let mut flat = slab.into_particles();
-                flat.sort_unstable_by_key(|p| p.id);
-                comm.send(d.to, tags::CELL_XFER, flat);
+                let mut buf = self.part_pool.checkout();
+                let frame = Arc::get_mut(&mut buf).expect("fresh pool checkout is uniquely owned");
+                frame.parts.clear();
+                frame.parts.extend_from_slice(slab.particles());
+                frame.parts.sort_unstable_by_key(|p| p.id);
+                comm.send(d.to, tags::CELL_XFER, Arc::clone(&buf));
+                self.part_pool.checkin(buf);
                 sent += 1;
             }
         }
+        self.phase.dlb += t0.elapsed_s();
         sent
     }
 
     /// Phase 3, data-movement receive half: collect columns granted to
     /// this PE (ordered by sender rank).
     pub(crate) fn dlb_recv_cells(&mut self, comm: &mut Comm, decisions: &[DlbDecision]) {
+        let t0 = WallTimer::start();
         for d in decisions {
             if d.to == self.rank {
-                let flat: Vec<Particle> = comm.recv(d.from, tags::CELL_XFER);
-                debug_assert!(flat.iter().all(|p| self.col_of(p.pos) == d.col));
-                let slab = self.build_column(flat);
+                let flat: Arc<ParticleFrame> = comm.recv(d.from, tags::CELL_XFER);
+                debug_assert!(flat.parts.iter().all(|p| self.col_of(p.pos) == d.col));
+                let slab = self.build_column(flat.parts.clone());
                 self.columns.insert(d.col, slab);
             }
         }
+        self.phase.dlb += t0.elapsed_s();
     }
 
-    /// Phase 4, send half: post ghost columns to the 8 neighbours.
+    /// Phase 4, send half: post ghost columns to the 8 neighbours, one
+    /// pooled [`GhostFrame`] per neighbour along the cached routes — the
+    /// same columns, bytes, and message count as the nested per-column
+    /// payloads this replaces, without any per-step allocation.
     pub(crate) fn ghosts_send(&mut self, comm: &mut Comm) {
-        let grid = self.layout.grid();
-        // For each owned column, every neighbouring owner needs its data.
-        let mut to_send: BTreeMap<usize, BTreeSet<Col>> = BTreeMap::new();
-        for &col in self.columns.keys() {
-            for n in grid.neighbors8(col) {
-                let owner = self.ownership_owner(n);
-                if owner != self.rank {
-                    to_send.entry(owner).or_default().insert(col);
-                }
+        self.refresh_caches();
+        let t0 = WallTimer::start();
+        for (i, &nb) in self.neighbors.iter().enumerate() {
+            let mut buf = self.ghost_pool.checkout();
+            let frame = Arc::get_mut(&mut buf).expect("fresh pool checkout is uniquely owned");
+            frame.clear();
+            for &col in &self.ghost_routes[i] {
+                frame.push_col(col, self.columns[&col].particles());
             }
+            comm.send(nb, tags::GHOST, Arc::clone(&buf));
+            self.ghost_pool.checkin(buf);
         }
-        for &nb in &self.neighbors {
-            let payload: Vec<(Col, Vec<Particle>)> = to_send
-                .remove(&nb)
-                .unwrap_or_default()
-                .into_iter()
-                .map(|c| (c, self.columns[&c].particles().to_vec()))
-                .collect();
-            comm.send(nb, tags::GHOST, payload);
-        }
-        debug_assert!(
-            to_send.is_empty(),
-            "rank {}: ghost targets {:?} are not neighbours",
-            self.rank,
-            to_send.keys()
-        );
+        self.phase.ghost += t0.elapsed_s();
     }
 
-    /// Phase 4, receive half: collect the neighbours' ghost columns.
+    /// Phase 4, receive half: drain the neighbours' ghost frames into the
+    /// retained ghost slabs. Each column arrives already in the sender's
+    /// canonical (cell, id) order, so the rebuild is a straight copy — no
+    /// sort, no allocation in the steady state.
     pub(crate) fn ghosts_recv(&mut self, comm: &mut Comm) {
-        let mut ghosts = BTreeMap::new();
+        let t0 = WallTimer::start();
+        let rank = self.rank;
+        let (cell_len, nc) = (self.cell_len, self.nc);
+        let zbin = move |p: &Particle| ((p.pos.z / cell_len) as usize).min(nc - 1);
+        let mut received = 0usize;
         for &nb in &self.neighbors {
-            let payload: Vec<(Col, Vec<Particle>)> = comm.recv(nb, tags::GHOST);
-            for (col, flat) in payload {
-                ghosts.insert(col, self.build_column(flat));
+            let frame: Arc<GhostFrame> = comm.recv(nb, tags::GHOST);
+            for (col, parts) in frame.iter_cols() {
+                self.ghosts
+                    .get_mut(&col)
+                    .unwrap_or_else(|| {
+                        panic!("rank {rank}: received unexpected ghost column {col:?}")
+                    })
+                    .rebuild_sorted(nc, parts, zbin);
+                received += 1;
             }
         }
-        self.ghosts = ghosts;
+        // Every ghost column is owned by exactly one neighbour, so the
+        // frames cover the expected set exactly once per step.
+        debug_assert_eq!(received, self.ghosts.len());
+        self.phase.ghost += t0.elapsed_s();
     }
 
-    /// Phase 5: force computation in the canonical half-shell order (see
+    /// Lay out the flat force array over the owned columns (home-column
+    /// order, ghost entries skipped — the same ascending concatenation as
+    /// before) and reset the per-home work buckets. Runs at the start of
+    /// a `Fused` or `Interior` pass; a `Boundary` pass continues the
+    /// arrays its `Interior` pass laid out.
+    fn force_prologue(&mut self) {
+        self.home_base.clear();
+        self.home_base.resize(self.home_cols.len(), None);
+        let mut total = 0usize;
+        for (i, &(col, class)) in self.home_cols.iter().enumerate() {
+            if class != ColClass::Ghost {
+                self.home_base[i] = Some(total);
+                total += self.columns[&col].len();
+            }
+        }
+        self.forces.clear();
+        self.forces.resize(total, Vec3::ZERO);
+        self.col_work.clear();
+        self.col_work
+            .resize(self.home_cols.len(), WorkCounters::default());
+        self.force_wall_accum = 0.0;
+    }
+
+    /// Phase 5: one force pass in the canonical half-shell order (see
     /// module docs); counts full-shell work and measures wall time.
     ///
     /// Home cells are all columns this PE can see — owned *and* ghost — in
@@ -521,138 +750,222 @@ impl PeState {
     /// (owned homes only) and then the 13 forward offsets, storing into
     /// whichever side(s) of each pair this PE owns. Pairs between two
     /// ghost cells are other PEs' work and are skipped.
-    pub(crate) fn compute_forces(&mut self) {
+    ///
+    /// `Fused` does all of that in one pass. `Interior` + `Boundary`
+    /// split it for the overlapped schedule: the `Interior` pass stores
+    /// only into interior columns (which by definition touch no ghost
+    /// data) and so can run while ghost payloads are in flight; the
+    /// `Boundary` pass stores the frontier remainder after `ghosts_recv`.
+    /// A pair that straddles the frontier (interior home or neighbour,
+    /// frontier other side) is *evaluated* in both passes — each pass
+    /// stores only its own side, at the identical slot position the fused
+    /// pass would use, and exactly one pass credits the pair's energy
+    /// (decided by `home_runs_in`, always with the fused ½·sides weight)
+    /// into the home's [`WorkCounters`] bucket. Folding the buckets in
+    /// ascending home order then reproduces the fused pass's sums
+    /// *bitwise*: same addends, same order, per force slot and per energy
+    /// bucket.
+    fn force_pass(&mut self, pass: ForcePass) {
+        self.refresh_caches();
         let t0 = WallTimer::start();
-        let mut work = WorkCounters::default();
-        // Flat force storage over owned columns, ascending column order.
-        let mut base_of: BTreeMap<Col, usize> = BTreeMap::new();
-        let mut total = 0usize;
-        for (col, slab) in &self.columns {
-            base_of.insert(*col, total);
-            total += slab.len();
+        if pass != ForcePass::Boundary {
+            self.force_prologue();
         }
-        let mut forces = vec![Vec3::ZERO; total];
         let nc = self.nc;
         let box_len = self.box_len;
         let pull = self.cfg.pull();
-        // Home columns: owned ∪ ghost, ascending — the serial global cell
-        // order restricted to the cells this PE can see.
-        let mut homes: Vec<(Col, &CellSlab)> = self
-            .columns
-            .iter()
-            .chain(self.ghosts.iter())
-            .map(|(c, s)| (*c, s))
-            .collect();
-        homes.sort_unstable_by_key(|&(c, _)| c);
-        for (col, slab) in homes {
-            let hbase = base_of.get(&col).copied();
+        let rank = self.rank;
+        let kernel = &self.kernel;
+        let columns = &self.columns;
+        let ghosts = &self.ghosts;
+        let home_cols = &self.home_cols;
+        let home_base = &self.home_base;
+        let forces = &mut self.forces;
+        let col_work = &mut self.col_work;
+        let slab_of = |col: Col, class: ColClass| -> &CellSlab {
+            match class {
+                ColClass::Ghost => &ghosts[&col],
+                _ => &columns[&col],
+            }
+        };
+        for (hi, &(col, class)) in home_cols.iter().enumerate() {
+            if pass == ForcePass::Interior && class == ColClass::Ghost {
+                // A ghost home's pairs all involve ghost data: nothing to
+                // do before the receive. (Frontier homes DO run here —
+                // their pairs with interior neighbours must store the
+                // interior side now, at its canonical slot position.)
+                continue;
+            }
+            let home_here = home_runs_in(pass, class);
+            let store_h = stores_in(pass, class);
+            let slab = slab_of(col, class);
+            let hbase = home_base[hi];
+            let w = &mut col_work[hi];
             // Prefetch the forward cross-section columns with their
-            // periodic shifts and (if owned) force base offsets. A ghost
-            // home may lack forward neighbours — those pairs belong to
-            // other PEs; an owned home never may.
-            let ring: Vec<ForwardCol> = FORWARD_XY
-                .iter()
-                .map(|&(dx, dy)| {
-                    let (ncol, sx, sy) = wrap_col(nc, box_len, col, dx, dy);
-                    let found = self.columns.get(&ncol).or_else(|| self.ghosts.get(&ncol));
-                    match found {
-                        Some(s) => Some((s, sx, sy, base_of.get(&ncol).copied())),
-                        None => {
-                            assert!(
-                                hbase.is_none(),
-                                "rank {}: missing neighbour column {ncol:?} of {col:?}",
-                                self.rank
-                            );
-                            None
-                        }
+            // periodic shifts, classes, and (if owned) force bases. A
+            // ghost home may lack forward neighbours — those pairs belong
+            // to other PEs; an owned home never may.
+            let ring: [Option<ColRef>; 5] = std::array::from_fn(|g| {
+                let (dx, dy) = FORWARD_XY[g];
+                let (ncol, sx, sy) = wrap_col(nc, box_len, col, dx, dy);
+                match home_cols.binary_search_by_key(&ncol, |&(c, _)| c) {
+                    Ok(ni) => {
+                        let nclass = home_cols[ni].1;
+                        Some(ColRef {
+                            slab: slab_of(ncol, nclass),
+                            sx,
+                            sy,
+                            base: home_base[ni],
+                            class: nclass,
+                        })
                     }
-                })
-                .collect();
+                    Err(_) => {
+                        assert!(
+                            hbase.is_none(),
+                            "rank {rank}: missing neighbour column {ncol:?} of {col:?}"
+                        );
+                        None
+                    }
+                }
+            });
             for cz in 0..nc {
                 let hr = slab.range(cz);
                 if hr.is_empty() {
                     continue;
                 }
                 let targets = slab.cell(cz);
-                if let Some(hb) = hbase {
-                    self.kernel.accumulate_intra(
-                        targets,
-                        &mut forces[hb + hr.start..hb + hr.end],
-                        &mut work,
-                    );
+                if home_here {
+                    if let Some(hb) = hbase {
+                        kernel.accumulate_intra(
+                            targets,
+                            &mut forces[hb + hr.start..hb + hr.end],
+                            w,
+                        );
+                    }
                 }
                 for (gi, entry) in ring.iter().enumerate() {
-                    let Some((nslab, sx, sy, nbase)) = entry else {
+                    let Some(nref) = entry else {
                         continue;
                     };
-                    if hbase.is_none() && nbase.is_none() {
-                        continue; // both columns ghost: another PE's pairs
+                    let store_n = stores_in(pass, nref.class);
+                    if !store_h && !store_n {
+                        // Nothing of this pair is stored in this pass:
+                        // either both sides are ghost (another PE's pair,
+                        // skipped in every pass) or the other pass owns
+                        // both stores.
+                        continue;
                     }
+                    // Exactly one pass runs the home's side of the ring
+                    // (`home_here`) and credits the pair's energy with
+                    // the weight the fused pass would use.
+                    let owned_sides =
+                        (class != ColClass::Ghost) as u64 + (nref.class != ColClass::Ghost) as u64;
+                    let credit = home_here.then_some(0.5 * owned_sides as f64);
                     let dzs: &[i64] = if gi == 0 { &[1] } else { &[-1, 0, 1] };
                     for &dz in dzs {
                         let (nz, sz) = wrap_z(nc, box_len, cz, dz);
-                        let nr = nslab.range(nz);
+                        let nr = nref.slab.range(nz);
                         if nr.is_empty() {
                             continue;
                         }
-                        let neighbors = nslab.cell(nz);
-                        let shift = Vec3::new(*sx, *sy, sz);
-                        match (hbase, nbase) {
+                        let neighbors = nref.slab.cell(nz);
+                        let shift = Vec3::new(nref.sx, nref.sy, sz);
+                        let ha = store_h.then(|| hbase.expect("stored home column is owned"));
+                        let na = store_n.then(|| nref.base.expect("stored neighbour is owned"));
+                        match (ha, na) {
                             (Some(hb), Some(nb)) => {
                                 let (fa, fb) = disjoint_ranges_mut(
-                                    &mut forces,
+                                    forces,
                                     hb + hr.start..hb + hr.end,
                                     nb + nr.start..nb + nr.end,
                                 );
-                                self.kernel.accumulate_pair(
+                                kernel.accumulate_pair_credited(
                                     targets,
                                     Some(fa),
                                     neighbors,
                                     Some(fb),
                                     shift,
-                                    &mut work,
+                                    credit,
+                                    w,
                                 );
                             }
-                            (Some(hb), None) => self.kernel.accumulate_pair(
+                            (Some(hb), None) => kernel.accumulate_pair_credited(
                                 targets,
                                 Some(&mut forces[hb + hr.start..hb + hr.end]),
                                 neighbors,
                                 None,
                                 shift,
-                                &mut work,
+                                credit,
+                                w,
                             ),
-                            (None, Some(nb)) => self.kernel.accumulate_pair(
+                            (None, Some(nb)) => kernel.accumulate_pair_credited(
                                 targets,
                                 None,
                                 neighbors,
                                 Some(&mut forces[nb + nr.start..nb + nr.end]),
                                 shift,
-                                &mut work,
+                                credit,
+                                w,
                             ),
-                            (None, None) => unreachable!(),
+                            (None, None) => unreachable!("pair with no stored side was skipped"),
                         }
                     }
                 }
-                if let Some(hb) = hbase {
-                    if !pull.is_none() {
-                        for (p, f) in targets
-                            .iter()
-                            .zip(forces[hb + hr.start..hb + hr.end].iter_mut())
-                        {
-                            *f += pull.force(p.pos, box_len);
-                            work.potential += pull.energy(p.pos, box_len);
+                if home_here {
+                    if let Some(hb) = hbase {
+                        if !pull.is_none() {
+                            for (p, f) in targets
+                                .iter()
+                                .zip(forces[hb + hr.start..hb + hr.end].iter_mut())
+                            {
+                                *f += pull.force(p.pos, box_len);
+                                w.potential += pull.energy(p.pos, box_len);
+                            }
                         }
                     }
                 }
             }
         }
-        self.forces = forces;
-        self.last_work = work;
-        self.last_force_wall = t0.elapsed_s();
-        self.last_force_virtual = match self.cfg.load_metric {
-            LoadMetric::WorkModel { sec_per_pair } => work.pair_checks as f64 * sec_per_pair,
-            LoadMetric::WallClock => self.last_force_wall,
-        };
+        let dt = t0.elapsed_s();
+        self.force_wall_accum += dt;
+        self.phase.force += dt;
+        if pass != ForcePass::Interior {
+            // Final pass of the step: fold the per-home buckets in
+            // ascending order — the identical fold for both schedules —
+            // and publish the step's load numbers.
+            let mut work = WorkCounters::default();
+            for w in &self.col_work {
+                work.merge(w);
+            }
+            self.last_work = work;
+            self.last_force_wall = self.force_wall_accum;
+            self.last_force_virtual = match self.cfg.load_metric {
+                LoadMetric::WorkModel { sec_per_pair } => work.pair_checks as f64 * sec_per_pair,
+                LoadMetric::WallClock => self.last_force_wall,
+            };
+        }
+    }
+
+    /// Phase 5, sequenced: the whole force computation in one pass.
+    pub(crate) fn compute_forces(&mut self) {
+        self.force_pass(ForcePass::Fused);
+    }
+
+    /// Phase 5a (overlap): interior pairs only — touches no ghost data,
+    /// so it runs while the ghost payloads are still in flight.
+    pub(crate) fn compute_forces_interior(&mut self) {
+        self.force_pass(ForcePass::Interior);
+    }
+
+    /// Phase 5b (overlap): the frontier remainder, after [`PeState::ghosts_recv`].
+    pub(crate) fn compute_forces_boundary(&mut self) {
+        self.force_pass(ForcePass::Boundary);
+    }
+
+    /// This PE's accumulated wall-clock phase breakdown (all zeros
+    /// without the `wallclock-instrumentation` feature).
+    pub fn phase_times(&self) -> PhaseTimes {
+        self.phase
     }
 
     /// Phase 6: second half-kick with the fresh forces.
@@ -761,8 +1074,8 @@ impl PeState {
     pub fn step(&mut self, comm: &mut Comm, step: u64) -> Option<StepRecord> {
         let t0 = WallTimer::start();
         self.kick_drift_all();
-        let staging = self.migrate_send(comm);
-        self.migrate_recv(comm, staging);
+        self.migrate_send(comm);
+        self.migrate_recv(comm);
         let transferred = if self.cfg.dlb && step.is_multiple_of(self.cfg.dlb_interval) {
             self.dlb_send_load(comm);
             let wire = self.dlb_recv_load_and_decide(comm);
@@ -775,8 +1088,17 @@ impl PeState {
             0
         };
         self.ghosts_send(comm);
-        self.ghosts_recv(comm);
-        self.compute_forces();
+        if self.cfg.overlap {
+            // Overlapped schedule: interior pairs run while the ghost
+            // payloads posted above are still in flight; the receive is
+            // drained only when the frontier remainder needs it.
+            self.compute_forces_interior();
+            self.ghosts_recv(comm);
+            self.compute_forces_boundary();
+        } else {
+            self.ghosts_recv(comm);
+            self.compute_forces();
+        }
         self.kick_all();
         if let Some(scale) = self.thermostat_gather(comm, step) {
             self.thermostat_apply(comm, scale);

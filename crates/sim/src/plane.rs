@@ -24,6 +24,7 @@
 //!   reference.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use pcdlb_md::cells::CellSlab;
 use pcdlb_md::force::{disjoint_ranges_mut, PairKernel, WorkCounters};
@@ -31,10 +32,11 @@ use pcdlb_md::integrate::{kick, kick_drift};
 use pcdlb_md::observe;
 use pcdlb_md::vec3::Vec3;
 use pcdlb_md::Particle;
-use pcdlb_mp::{collectives, Comm, CostModel, World};
+use pcdlb_mp::{collectives, BufferPool, Comm, CostModel, World};
 
 use crate::clock::WallTimer;
 use crate::config::{LoadMetric, RunConfig};
+use crate::frame::ParticleFrame;
 use crate::pe::initial_particles;
 use crate::report::{RunReport, StepRecord};
 use crate::stats::StatsPacket;
@@ -100,6 +102,8 @@ struct PlanePe {
     /// order, aligned with each slab's particle order.
     forces: Vec<Vec3>,
     ghosts: BTreeMap<usize, CellSlab>,
+    /// Pooled `(plane index, particles)` ghost send buffers.
+    ghost_pool: BufferPool<(u64, ParticleFrame)>,
     last_work: WorkCounters,
     last_force_virtual: f64,
     last_force_wall: f64,
@@ -127,6 +131,7 @@ impl PlanePe {
             planes: BTreeMap::new(),
             forces: Vec::new(),
             ghosts: BTreeMap::new(),
+            ghost_pool: BufferPool::new(),
             last_work: WorkCounters::default(),
             last_force_virtual: 0.0,
             last_force_wall: 0.0,
@@ -324,20 +329,32 @@ impl PlanePe {
         self.planes.insert(cx, slab);
     }
 
-    /// Phase 4: ghost planes from the ring neighbours.
+    /// Phase 4: ghost planes from the ring neighbours. Sends pooled
+    /// `(plane, ParticleFrame)` buffers — byte-identical on the wire to
+    /// the `(u64, Vec<Particle>)` payloads they replace.
     fn exchange_ghosts(&mut self, comm: &mut Comm) {
         self.ghosts.clear();
         if self.p < 2 {
             return; // all planes are local
         }
-        let top = self.planes[&(self.hi - 1)].particles().to_vec();
-        let bottom = self.planes[&self.lo].particles().to_vec();
-        comm.send(self.next(), tags::GHOST_UP, ((self.hi - 1) as u64, top));
-        comm.send(self.prev(), tags::GHOST_DOWN, (self.lo as u64, bottom));
-        let (cx_prev, from_prev): (u64, Vec<Particle>) = comm.recv(self.prev(), tags::GHOST_UP);
-        let (cx_next, from_next): (u64, Vec<Particle>) = comm.recv(self.next(), tags::GHOST_DOWN);
-        for (cx, flat) in [(cx_prev as usize, from_prev), (cx_next as usize, from_next)] {
-            self.ghosts.insert(cx, self.build_plane(flat));
+        for (cx, dst, tag) in [
+            (self.hi - 1, self.next(), tags::GHOST_UP),
+            (self.lo, self.prev(), tags::GHOST_DOWN),
+        ] {
+            let mut buf = self.ghost_pool.checkout();
+            let pair = Arc::get_mut(&mut buf).expect("fresh pool checkout is uniquely owned");
+            pair.0 = cx as u64;
+            pair.1.parts.clear();
+            pair.1.parts.extend_from_slice(self.planes[&cx].particles());
+            comm.send(dst, tag, Arc::clone(&buf));
+            self.ghost_pool.checkin(buf);
+        }
+        let from_prev: Arc<(u64, ParticleFrame)> = comm.recv(self.prev(), tags::GHOST_UP);
+        let from_next: Arc<(u64, ParticleFrame)> = comm.recv(self.next(), tags::GHOST_DOWN);
+        for pair in [&from_prev, &from_next] {
+            let (cx, frame) = &**pair;
+            self.ghosts
+                .insert(*cx as usize, self.build_plane(frame.parts.clone()));
         }
     }
 

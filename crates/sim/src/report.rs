@@ -63,6 +63,38 @@ impl StepRecord {
     }
 }
 
+/// Wall-clock seconds accumulated per step phase, summed over a run. All
+/// zeros unless the `wallclock-instrumentation` feature is enabled (the
+/// timers compile to no-ops otherwise); purely informational — phase
+/// times never feed `StepRecord`, digests, or DLB decisions, so enabling
+/// the feature cannot perturb a run's reported results.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Force computation (interior + boundary passes, or the fused pass).
+    pub force: f64,
+    /// Ghost exchange (sends + receives + ghost-slab rebuilds).
+    pub ghost: f64,
+    /// Migration (routing, sends, receives, column rebuilds).
+    pub migrate: f64,
+    /// DLB load exchange, decision, and cell transfers.
+    pub dlb: f64,
+}
+
+impl PhaseTimes {
+    /// Accumulate another rank's (or run's) phase times into this one.
+    pub fn merge(&mut self, other: &PhaseTimes) {
+        self.force += other.force;
+        self.ghost += other.ghost;
+        self.migrate += other.migrate;
+        self.dlb += other.dlb;
+    }
+
+    /// Sum of all tracked phases.
+    pub fn total(&self) -> f64 {
+        self.force + self.ghost + self.migrate + self.dlb
+    }
+}
+
 /// A whole run's results (rank 0's view).
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {

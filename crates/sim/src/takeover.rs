@@ -173,11 +173,12 @@ pub(crate) fn run_roles(
 ) -> Vec<(usize, PeResult)> {
     let run_start = WallTimer::start();
     let start_step = start.map_or(0, |ck| ck.md.step);
-    let mut records: Vec<StepRecord> = if roles.contains(&0) {
-        start.map(|ck| ck.records.clone()).unwrap_or_default()
-    } else {
-        Vec::new()
-    };
+    let mut records: Vec<StepRecord> = Vec::new();
+    if roles.contains(&0) {
+        if let Some(ck) = start {
+            records = ck.records.clone();
+        }
+    }
     let mut pes: Vec<(usize, PeState)> = roles
         .iter()
         .map(|&v| {
@@ -191,17 +192,32 @@ pub(crate) fn run_roles(
 
     // Initial forces need an initial ghost exchange (split-phase across
     // roles). On a restore this recomputes exactly the force array the
-    // checkpointed run held (see `PeState::from_checkpoint`).
+    // checkpointed run held (see `PeState::from_checkpoint`). The
+    // overlapped schedule applies here too: both roles' sends are posted,
+    // then both run their interior pairs, before either drains a receive.
     for (v, pe) in pes.iter_mut() {
         comm.act_as(*v);
         pe.ghosts_send(comm);
     }
-    for (v, pe) in pes.iter_mut() {
-        comm.act_as(*v);
-        pe.ghosts_recv(comm);
-    }
-    for (_, pe) in pes.iter_mut() {
-        pe.compute_forces();
+    if cfg.overlap {
+        for (_, pe) in pes.iter_mut() {
+            pe.compute_forces_interior();
+        }
+        for (v, pe) in pes.iter_mut() {
+            comm.act_as(*v);
+            pe.ghosts_recv(comm);
+        }
+        for (_, pe) in pes.iter_mut() {
+            pe.compute_forces_boundary();
+        }
+    } else {
+        for (v, pe) in pes.iter_mut() {
+            comm.act_as(*v);
+            pe.ghosts_recv(comm);
+        }
+        for (_, pe) in pes.iter_mut() {
+            pe.compute_forces();
+        }
     }
     for (v, _) in pes.iter() {
         comm.act_as(*v);
@@ -248,7 +264,7 @@ pub(crate) fn run_roles(
 
     let mut records = Some(records);
     pes.into_iter()
-        .map(|(v, _pe)| {
+        .map(|(v, pe)| {
             comm.act_as(v);
             let comm_stats = comm.stats();
             let report = (v == 0).then(|| RunReport {
@@ -265,6 +281,7 @@ pub(crate) fn run_roles(
                     report,
                     snapshot,
                     comm_stats,
+                    phase_times: pe.phase_times(),
                 },
             )
         })
@@ -287,15 +304,14 @@ fn step_multi(
     for (_, pe) in pes.iter_mut() {
         pe.kick_drift_all();
     }
-    // Migration.
-    let mut staging = Vec::with_capacity(pes.len());
+    // Migration (retained particles stay staged inside each PE).
     for (v, pe) in pes.iter_mut() {
         comm.act_as(*v);
-        staging.push(pe.migrate_send(comm));
+        pe.migrate_send(comm);
     }
-    for ((v, pe), st) in pes.iter_mut().zip(staging) {
+    for (v, pe) in pes.iter_mut() {
         comm.act_as(*v);
-        pe.migrate_recv(comm, st);
+        pe.migrate_recv(comm);
     }
     // DLB: three send/recv rounds (loads, decisions, cell transfers).
     let mut transferred = vec![0u64; pes.len()];
@@ -327,17 +343,35 @@ fn step_multi(
             pe.dlb_recv_cells(comm, &decisions[i]);
         }
     }
-    // Ghost exchange, then the local force pass and second half-kick.
+    // Ghost exchange, then the local force pass(es) and second
+    // half-kick. Under the overlapped schedule every role posts its
+    // sends and computes its interior pairs before any role drains a
+    // receive, so dual-role threads overlap both personas' exchanges.
     for (v, pe) in pes.iter_mut() {
         comm.act_as(*v);
         pe.ghosts_send(comm);
     }
-    for (v, pe) in pes.iter_mut() {
-        comm.act_as(*v);
-        pe.ghosts_recv(comm);
+    if cfg.overlap {
+        for (_, pe) in pes.iter_mut() {
+            pe.compute_forces_interior();
+        }
+        for (v, pe) in pes.iter_mut() {
+            comm.act_as(*v);
+            pe.ghosts_recv(comm);
+        }
+        for (_, pe) in pes.iter_mut() {
+            pe.compute_forces_boundary();
+        }
+    } else {
+        for (v, pe) in pes.iter_mut() {
+            comm.act_as(*v);
+            pe.ghosts_recv(comm);
+        }
+        for (_, pe) in pes.iter_mut() {
+            pe.compute_forces();
+        }
     }
     for (_, pe) in pes.iter_mut() {
-        pe.compute_forces();
         pe.kick_all();
     }
     // Thermostat: KE gather descending, scale broadcast ascending.

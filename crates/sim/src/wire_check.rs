@@ -9,10 +9,13 @@
 //! 1-byte discriminant plus the payload, and tuples/structs concatenate
 //! their fields.
 
+use std::sync::Arc;
+
 use pcdlb_domain::Col;
 use pcdlb_md::{Particle, Vec3};
 use pcdlb_mp::WireSize;
 
+use crate::frame::{CubeBlockFrame, GhostFrame, ParticleFrame};
 use crate::stats::StatsPacket;
 
 /// Reference encoder: actually serialize the value and count the bytes.
@@ -106,6 +109,49 @@ impl RefEncode for Col {
     }
 }
 
+impl<T: RefEncode> RefEncode for Arc<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        // Arc is a local-ownership wrapper; only the inner value is wired.
+        (**self).encode(out);
+    }
+}
+
+impl RefEncode for GhostFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        // u64 column count; per column cx, cy, count; then the particles
+        // flat with no second length prefix.
+        (self.cols.len() as u64).encode(out);
+        for &(col, n) in &self.cols {
+            col.encode(out);
+            (n as u64).encode(out);
+        }
+        for p in &self.parts {
+            p.encode(out);
+        }
+    }
+}
+
+impl RefEncode for ParticleFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.parts.encode(out);
+    }
+}
+
+impl RefEncode for CubeBlockFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.blocks.len() as u64).encode(out);
+        for &(x, y, z, n) in &self.blocks {
+            x.encode(out);
+            y.encode(out);
+            z.encode(out);
+            (n as u64).encode(out);
+        }
+        for p in &self.parts {
+            p.encode(out);
+        }
+    }
+}
+
 impl RefEncode for StatsPacket {
     fn encode(&self, out: &mut Vec<u8>) {
         self.cells.encode(out);
@@ -139,33 +185,52 @@ fn particle(id: u64) -> Particle {
 
 #[test]
 fn every_sent_payload_type_matches_the_reference_encoding() {
-    // pe.rs: MIGRATE / CELL_XFER / SNAPSHOT carry Vec<Particle>.
+    // pe.rs: SNAPSHOT carries Vec<Particle>.
     check(&Vec::<Particle>::new(), "empty Vec<Particle>");
     check(&vec![particle(0), particle(1)], "Vec<Particle>");
+    // pe.rs: MIGRATE / CELL_XFER carry pooled Arc<ParticleFrame>.
+    check(
+        &Arc::new(ParticleFrame {
+            parts: vec![particle(0), particle(1)],
+        }),
+        "Arc<ParticleFrame>",
+    );
+    check(
+        &Arc::new(ParticleFrame::default()),
+        "empty Arc<ParticleFrame>",
+    );
     // pe.rs: LOAD carries f64; KE_BCAST broadcasts the f64 scale.
     check(&1.5f64, "f64 load");
     // pe.rs: DECISION carries Option<(Col, u64, u64)>.
     check(&None::<(Col, u64, u64)>, "DECISION None");
     check(&Some((Col::new(2, 3), 4u64, 5u64)), "DECISION Some");
-    // pe.rs: GHOST carries Vec<(Col, Vec<Particle>)>.
-    check(
-        &vec![
-            (Col::new(0, 0), vec![particle(7)]),
-            (Col::new(1, 5), Vec::new()),
-        ],
-        "pillar ghost payload",
-    );
+    // pe.rs: GHOST carries pooled Arc<GhostFrame>.
+    {
+        let mut frame = GhostFrame::default();
+        frame.push_col(Col::new(0, 0), &[particle(7)]);
+        frame.push_col(Col::new(1, 5), &[]);
+        check(&Arc::new(frame), "pillar ghost frame");
+    }
     // pe.rs / plane.rs / cube.rs: KE_GATHER carries Vec<(u64, f64)>.
     check(&vec![(0u64, 0.5f64), (3u64, 1.25f64)], "KE gather");
     // plane.rs: LOAD_UP / LOAD_DOWN carry (u64, u64, f64).
     check(&(0u64, 4u64, 2.5f64), "plane load triple");
-    // plane.rs: GHOST_UP / GHOST_DOWN carry (u64, Vec<Particle>).
-    check(&(3u64, vec![particle(9)]), "plane ghost payload");
-    // cube.rs: GHOST carries Vec<(u64, u64, u64, Vec<Particle>)>.
+    // plane.rs: GHOST_UP / GHOST_DOWN carry pooled Arc<(u64, ParticleFrame)>.
     check(
-        &vec![(1u64, 2u64, 3u64, vec![particle(11), particle(12)])],
-        "cube ghost payload",
+        &Arc::new((
+            3u64,
+            ParticleFrame {
+                parts: vec![particle(9)],
+            },
+        )),
+        "plane ghost frame",
     );
+    // cube.rs: GHOST carries pooled Arc<CubeBlockFrame>.
+    {
+        let mut frame = CubeBlockFrame::default();
+        frame.push_block((1, 2, 3), &[particle(11), particle(12)]);
+        check(&Arc::new(frame), "cube ghost frame");
+    }
     // pe.rs: CKPT_GATHER carries (Vec<Particle>, Vec<Col>).
     check(
         &(vec![particle(4), particle(5)], vec![Col::new(0, 1)]),
