@@ -43,6 +43,19 @@
 //!    full relaunch — with `digest_recovery` bitwise equal to the
 //!    fault-free reference.
 //!
+//! A sixth deepens the third from digest equality to typed safety:
+//!
+//! 6. **The protocol state machine is safe on every explored
+//!    interleaving** ([`model`]): a stateful model checker replays the
+//!    simulator under controlled delivery with full protocol event
+//!    tracing, prunes commuting delivery choices with a dynamic
+//!    partial-order reduction (independence from blocking exact-match
+//!    consumption, sleep-set dedup, visited-state hashing), and checks
+//!    per-stream sequence gaplessness, non-overtaking consumption,
+//!    epoch monotonicity, pool checkout/checkin balance, single
+//!    adoption per death, and sentinel conservation on every trace —
+//!    each violation reported with its minimal offending event window.
+//!
 //! [`lint`] adds a repo lint pass for the hazards that produce such bugs:
 //! wall-clock reads in deterministic crates, hash-order iteration in
 //! protocol-facing code, and `unwrap()` / unaudited `expect()` on
@@ -54,6 +67,7 @@ pub mod explore;
 pub mod faults;
 pub mod invariant;
 pub mod lint;
+pub mod model;
 pub mod schedule;
 pub mod takeover;
 pub mod verify;

@@ -81,6 +81,12 @@ pub struct LintReport {
     pub files_scanned: usize,
     /// Findings suppressed by the allowlist.
     pub suppressed: usize,
+    /// Allowlist entries that suppressed nothing — stale audits whose
+    /// code has since been fixed or removed. Rendered as the original
+    /// `rule  path-suffix  line-substring` lines. `--strict-allow` turns
+    /// these into failures so the allowlist can only shrink with the
+    /// code it audits.
+    pub dead_allows: Vec<String>,
 }
 
 struct Rule {
@@ -199,9 +205,10 @@ pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
     out
 }
 
-fn allowed(entry: &[AllowEntry], finding: &LintFinding) -> bool {
+/// Index of the first allowlist entry suppressing `finding`, if any.
+fn allowed(entry: &[AllowEntry], finding: &LintFinding) -> Option<usize> {
     let path = finding.file.to_string_lossy().replace('\\', "/");
-    entry.iter().any(|e| {
+    entry.iter().position(|e| {
         (e.rule == "*" || e.rule == finding.rule)
             && path.ends_with(&e.file_suffix)
             && finding.snippet.contains(&e.substring)
@@ -277,6 +284,7 @@ pub fn run_lints(root: &Path) -> io::Result<LintReport> {
         Err(e) => return Err(e),
     };
     let mut report = LintReport::default();
+    let mut entry_hits = vec![0usize; allow.len()];
     for rule in RULES {
         let mut files: Vec<PathBuf> = Vec::new();
         for d in rule.dirs {
@@ -294,7 +302,8 @@ pub fn run_lints(root: &Path) -> io::Result<LintReport> {
             let mut found = Vec::new();
             scan_source(rule, file, &source, &mut found);
             for f in found {
-                if allowed(&allow, &f) {
+                if let Some(i) = allowed(&allow, &f) {
+                    entry_hits[i] += 1;
                     report.suppressed += 1;
                 } else {
                     report.findings.push(f);
@@ -302,6 +311,12 @@ pub fn run_lints(root: &Path) -> io::Result<LintReport> {
             }
         }
     }
+    report.dead_allows = allow
+        .iter()
+        .zip(&entry_hits)
+        .filter(|&(_, &hits)| hits == 0)
+        .map(|(e, _)| format!("{}  {}  {}", e.rule, e.file_suffix, e.substring))
+        .collect();
     Ok(report)
 }
 
@@ -502,6 +517,53 @@ mod tests {
     }
 
     #[test]
+    fn dead_allowlist_entry_is_reported_and_live_one_is_not() {
+        let fx = Fixture::new(&[
+            (
+                "crates/mp/src/channel.rs",
+                "fn lock() { self.q.lock().unwrap(); }\n",
+            ),
+            (
+                "lint-allow.txt",
+                concat!(
+                    "unwrap-in-send-recv-path channel.rs lock().unwrap()\n",
+                    "unwrap-in-send-recv-path channel.rs pop().unwrap()\n",
+                ),
+            ),
+        ]);
+        let r = run_lints(&fx.root).expect("lint runs");
+        assert_eq!(r.suppressed, 1);
+        assert_eq!(
+            r.dead_allows,
+            vec!["unwrap-in-send-recv-path  channel.rs  pop().unwrap()".to_string()],
+            "the entry whose code was fixed must surface as dead"
+        );
+    }
+
+    #[test]
+    fn shadowed_allowlist_entry_counts_as_dead() {
+        // Two entries both match the same finding; only the first gets
+        // credit, so the redundant second is reported dead.
+        let fx = Fixture::new(&[
+            (
+                "crates/mp/src/channel.rs",
+                "fn lock() { self.q.lock().unwrap(); }\n",
+            ),
+            (
+                "lint-allow.txt",
+                concat!(
+                    "* channel.rs lock().unwrap()\n",
+                    "unwrap-in-send-recv-path channel.rs lock().unwrap()\n",
+                ),
+            ),
+        ]);
+        let r = run_lints(&fx.root).expect("lint runs");
+        assert_eq!(r.suppressed, 1);
+        assert_eq!(r.dead_allows.len(), 1);
+        assert!(r.dead_allows[0].starts_with("unwrap-in-send-recv-path"));
+    }
+
+    #[test]
     fn cfg_test_attribute_on_single_item_skips_only_that_item() {
         let fx = Fixture::new(&[(
             "crates/domain/src/lib.rs",
@@ -529,6 +591,11 @@ mod tests {
                 .map(|f| f.to_string())
                 .collect::<Vec<_>>()
                 .join("\n")
+        );
+        assert!(
+            r.dead_allows.is_empty(),
+            "stale lint-allow.txt entries:\n{}",
+            r.dead_allows.join("\n")
         );
         assert!(r.files_scanned > 10);
     }

@@ -5,7 +5,9 @@
 //! pcdlb-check interleave [--steps S] [--dfs-runs N] [--seeded-runs N]
 //! pcdlb-check faults     [--stride N] [--seeds N] [--timeout-s N]
 //! pcdlb-check takeover   [--stride N] [--max-side N] [--timeout-s N]
-//! pcdlb-check lint       [--root PATH]
+//! pcdlb-check model      [--steps S] [--steps-3x3 S] [--max-runs N]
+//!                        [--runs-3x3 N] [--grid 0|2|3]
+//! pcdlb-check lint       [--root PATH] [--strict-allow]
 //! pcdlb-check all
 //! ```
 //!
@@ -20,6 +22,7 @@ use pcdlb_check::explore::{config_2x2, config_2x2_sequenced, explore};
 use pcdlb_check::faults::fault_sweep_with_timeout;
 use pcdlb_check::invariant::{verify_invariant, InvariantConfig};
 use pcdlb_check::lint::run_lints;
+use pcdlb_check::model::{model_check, standard_cases, Reduction};
 use pcdlb_check::takeover::takeover_sweep_with_timeout;
 use pcdlb_check::verify::verify_protocol;
 
@@ -37,12 +40,14 @@ fn main() -> ExitCode {
         "interleave" => cmd_interleave(rest),
         "faults" => cmd_faults(rest),
         "takeover" => cmd_takeover(rest),
+        "model" => cmd_model(rest),
         "lint" => cmd_lint(rest),
         "all" => cmd_verify(&[])
             .and_then(|()| cmd_interleave(&[]))
             .and_then(|()| cmd_faults(&[]))
             .and_then(|()| cmd_takeover(&[]))
-            .and_then(|()| cmd_lint(&[])),
+            .and_then(|()| cmd_model(&[]))
+            .and_then(|()| cmd_lint(&["--strict-allow".to_string()])),
         "--help" | "-h" | "help" => {
             usage();
             return ExitCode::SUCCESS;
@@ -60,7 +65,7 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: pcdlb-check <verify|interleave|faults|lint|all> [options]\n\
+        "usage: pcdlb-check <verify|interleave|faults|takeover|model|lint|all> [options]\n\
          \n\
          verify     static protocol verification: tag table, send/recv\n\
          \u{20}          matching, deadlock freedom on all grids up to --max-side\n\
@@ -79,7 +84,17 @@ fn usage() {
          \u{20}          (default 6), then kill each rank of a 2x2 and a 3x3 run\n\
          \u{20}          at every --stride'th send op (default 32) asserting\n\
          \u{20}          bitwise recovery parity, under --timeout-s (default 900)\n\
-         lint       hazard lint over the repo tree (--root .)"
+         model      stateful protocol model checker: DFS over delivery\n\
+         \u{20}          interleavings with partial-order reduction, checking the\n\
+         \u{20}          typed safety properties (seq gaplessness, non-overtaking,\n\
+         \u{20}          epoch monotonicity, pool balance, single adoption,\n\
+         \u{20}          sentinel conservation) on every explored trace; matrix of\n\
+         \u{20}          2x2 drained-frontier + 3x3 budget-bounded POR cases,\n\
+         \u{20}          both schedules, with and\n\
+         \u{20}          without takeover (--steps 6 --steps-3x3 6 --max-runs 200\n\
+         \u{20}          --runs-3x3 10 --grid 0|2|3); emits a JSON summary line\n\
+         lint       hazard lint over the repo tree (--root .); --strict-allow\n\
+         \u{20}          also fails on allowlist entries matching no source line"
     );
 }
 
@@ -229,14 +244,122 @@ fn cmd_takeover(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_model(rest: &[String]) -> Result<(), String> {
+    let v = opts(
+        rest,
+        &[
+            ("--steps", 6),
+            ("--steps-3x3", 6),
+            ("--max-runs", 200),
+            ("--runs-3x3", 10),
+            ("--grid", 0),
+        ],
+    )?;
+    let (steps_2x2, steps_3x3, max_runs, runs_3x3, grid) =
+        (v[0] as u64, v[1] as u64, v[2], v[3], v[4]);
+    if grid != 0 && grid != 2 && grid != 3 {
+        return Err(format!("`--grid` must be 0 (all), 2 or 3, got {grid}"));
+    }
+    let cases = standard_cases(steps_2x2, steps_3x3, max_runs, runs_3x3, grid);
+    let mut failures: Vec<String> = Vec::new();
+    let mut json_cases: Vec<String> = Vec::new();
+    for case in &cases {
+        let out = model_check(case)?;
+        let mode = match out.mode {
+            Reduction::Exhaustive => "exhaustive",
+            Reduction::Por => "por",
+        };
+        println!(
+            "model[{}]: {} runs ({}, {}), {} states, {} choice points (max arity {}), \
+             {} forks, pruned {} independent / {} sleep / {} visited, \
+             unreduced >= {} ({:.1}x reduction), {} events, {} digest(s), {} violation(s)",
+            out.label,
+            out.runs,
+            mode,
+            if out.exhausted {
+                "exhausted"
+            } else {
+                "budget-capped"
+            },
+            out.distinct_states,
+            out.choice_points,
+            out.max_arity,
+            out.forks,
+            out.pruned_independent,
+            out.pruned_sleep,
+            out.pruned_visited,
+            out.unreduced_estimate,
+            out.reduction_factor(),
+            out.events,
+            out.digests.len(),
+            out.violations.len(),
+        );
+        for viol in &out.violations {
+            eprintln!("  {viol}");
+        }
+        json_cases.push(format!(
+            "{{\"label\":\"{}\",\"mode\":\"{}\",\"runs\":{},\"exhausted\":{},\
+             \"distinct_states\":{},\"choice_points\":{},\"max_arity\":{},\"forks\":{},\
+             \"pruned_independent\":{},\"pruned_sleep\":{},\"pruned_visited\":{},\
+             \"unreduced_estimate\":{},\"reduction_factor\":{:.2},\"events\":{},\
+             \"digests\":{},\"violations\":{}}}",
+            out.label,
+            mode,
+            out.runs,
+            out.exhausted,
+            out.distinct_states,
+            out.choice_points,
+            out.max_arity,
+            out.forks,
+            out.pruned_independent,
+            out.pruned_sleep,
+            out.pruned_visited,
+            out.unreduced_estimate,
+            out.reduction_factor(),
+            out.events,
+            out.digests.len(),
+            out.violations.len(),
+        ));
+        if !out.violations.is_empty() {
+            failures.push(format!(
+                "{}: {} property violation(s)",
+                out.label,
+                out.violations.len()
+            ));
+        }
+        if case.kill.is_none() && !out.exhausted {
+            failures.push(format!(
+                "{}: DPOR frontier did not drain within {} runs — fault-free \
+                 cases must be verified exhaustively up to independence",
+                out.label, case.max_runs
+            ));
+        }
+        if (case.kill.is_some() || out.label.starts_with("3x3")) && out.reduction_factor() < 10.0 {
+            failures.push(format!(
+                "{}: partial-order reduction only {:.1}x (< 10x required)",
+                out.label,
+                out.reduction_factor()
+            ));
+        }
+    }
+    println!("{{\"model\":{{\"cases\":[{}]}}}}", json_cases.join(","));
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
 fn cmd_lint(rest: &[String]) -> Result<(), String> {
     let mut root = PathBuf::from(".");
+    let mut strict_allow = false;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--root" => {
                 root = PathBuf::from(it.next().ok_or("`--root` needs a path")?);
             }
+            "--strict-allow" => strict_allow = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -251,16 +374,26 @@ fn cmd_lint(rest: &[String]) -> Result<(), String> {
         ));
     }
     println!(
-        "lint: {} files scanned, {} finding(s), {} suppressed by allowlist",
+        "lint: {} files scanned, {} finding(s), {} suppressed by allowlist, {} dead allow(s)",
         report.files_scanned,
         report.findings.len(),
-        report.suppressed
+        report.suppressed,
+        report.dead_allows.len()
     );
     if !report.findings.is_empty() {
         for f in &report.findings {
             eprintln!("  {f}");
         }
         return Err(format!("{} lint violation(s)", report.findings.len()));
+    }
+    if strict_allow && !report.dead_allows.is_empty() {
+        for d in &report.dead_allows {
+            eprintln!("  dead allowlist entry: {d}");
+        }
+        return Err(format!(
+            "{} allowlist entr(y/ies) suppress nothing — remove them from lint-allow.txt",
+            report.dead_allows.len()
+        ));
     }
     Ok(())
 }

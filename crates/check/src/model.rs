@@ -1,0 +1,1210 @@
+//! The stateful protocol model checker: explore message-delivery
+//! interleavings of real simulator runs, prune commuting alternatives
+//! with a dynamic partial-order reduction, and check **typed safety
+//! properties** on every explored trace — not just digest equality.
+//!
+//! # How it works
+//!
+//! Each run executes the actual simulator under a
+//! [`ReplayPolicy`](pcdlb_mp::check::ReplayPolicy) prefix (exactly like
+//! [`crate::explore`]) with every rank thread bound to a protocol event
+//! log ([`ProtocolEvent`]): sends, admissions, delivery choices (with the
+//! full candidate set), consumptions (flagged when made through a
+//! timing-sensitive probe), epoch advances, parks, stale drops, persona
+//! adoptions, pool checkouts/checkins, aborts, and the simulator's
+//! conservation sentinels.
+//!
+//! The DFS over replay prefixes then forks alternatives at delivery
+//! choice points — but, in [`Reduction::Por`] mode, only *dependent*
+//! ones:
+//!
+//! - **Independence.** Two delivery alternatives at a choice point
+//!   commute when both messages are later consumed by *blocking
+//!   exact-match* receives. Blocking `recv(src, tag)` consumption cannot
+//!   observe inter-stream delivery order (per-source FIFO is preserved
+//!   either way), so swapping the two deliveries provably reaches the
+//!   same state; the alternative is pruned (`pruned_independent`). An
+//!   alternative is dependent — and forked — when either message is
+//!   consumed through a probe (`try_recv` / `recv_deadline`, as in the
+//!   takeover barriers) or is never consumed at all (its delivery races
+//!   a death or shutdown).
+//! - **Sleep sets.** A fork target identical to one already queued or
+//!   explored (same full per-rank prefix) is skipped
+//!   (`pruned_sleep`) — the backtrack-set dedup of DPOR.
+//! - **State hashing.** Each run's canonical per-rank event projection
+//!   is hashed; a run that lands on an already-visited state spawns no
+//!   further forks (`pruned_visited`).
+//!
+//! [`Reduction::Exhaustive`] forks every alternative regardless — the
+//! brute-force baseline. Even a two-step 2×2 run has ~75 choice points
+//! of arity up to 3 per trace, so unreduced DFS cannot drain any real
+//! configuration; exhaustive mode exists to validate the explorer on
+//! small synthetic budgets (the exhaustive and reduced explorations must
+//! agree on digests and properties over the traces both reach) and to
+//! size the brute-force frontier the reduction is measured against. The
+//! standard matrix therefore verifies 2×2 worlds *exhaustively up to the
+//! independence relation*: [`Reduction::Por`] with the drain requirement
+//! (`exhausted == true`), meaning every non-commuting interleaving was
+//! explored.
+//!
+//! The reported `unreduced_estimate` is a *conservative lower bound* on
+//! what exhaustive DFS would explore: every prefix the reduced search
+//! runs would also be run exhaustively, plus every distinct alternative
+//! it pruned would have been queued as at least one more run. The true
+//! exhaustive count compounds per-branch and is strictly larger.
+//!
+//! # Property catalogue
+//!
+//! Checked on every explored trace, each violation reported with the
+//! minimal offending event window (the last few events of the stream the
+//! property tracks):
+//!
+//! | property            | statement                                                              |
+//! |---------------------|------------------------------------------------------------------------|
+//! | `send-gapless`      | per (src, dst) stream and epoch, sent seqs are 0, 1, 2, … with no gap  |
+//! | `admit-gapless`     | per (dst, src) stream and epoch, admitted seqs are 0, 1, 2, …          |
+//! | `recv-non-overtaking` | per (dst, src, tag) and epoch, consumed seqs strictly increase       |
+//! | `epoch-monotone`    | epochs only advance; admits match, parks exceed, stale drops trail the current epoch |
+//! | `pool-balance`      | every checkin matches an outstanding checkout; clean pool drop leaves none outstanding |
+//! | `adopt-once`        | a virtual rank is adopted at most once per registered death            |
+//! | `sentinel-conservation` | every complete sentinel round sums to the configured particle count |
+//!
+//! Takeover runs reuse the same machinery through
+//! [`run_with_takeover_instrumented`]: the replay prefix drives attempt
+//! 0 (where the kill fires), logs accumulate across attempts segmented
+//! by `Birth` markers, and the probe-consumed barrier traffic makes the
+//! post-death window exactly where the checker forks.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use pcdlb_mp::check::{
+    new_event_log, ChoiceTrace, DeliveryPolicy, EventLog, ProtocolEvent, ReplayPolicy, TraceHandle,
+};
+use pcdlb_mp::{FaultPlan, Tag};
+use pcdlb_sim::config::{Lattice, RunConfig};
+use pcdlb_sim::digest::Fnv1a;
+use pcdlb_sim::driver::run_digest_instrumented;
+use pcdlb_sim::{run_with_takeover, run_with_takeover_instrumented, RecoveryOptions};
+
+// ---------------------------------------------------------------------------
+// Outcome types
+// ---------------------------------------------------------------------------
+
+/// One typed safety-property violation, with the minimal offending event
+/// window for diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PropertyViolation {
+    /// Which property failed (see the module-level catalogue).
+    pub property: &'static str,
+    /// Physical rank whose event log exhibits the violation (`usize::MAX`
+    /// for cross-rank properties).
+    pub rank: usize,
+    /// What went wrong, with the concrete stream/key and values.
+    pub detail: String,
+    /// The offending tail of the relevant event stream, oldest first —
+    /// only events the property actually tracks, ending at the violation.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for PropertyViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.rank == usize::MAX {
+            write!(f, "[{}] {}", self.property, self.detail)?;
+        } else {
+            write!(f, "[{}] rank {}: {}", self.property, self.rank, self.detail)?;
+        }
+        for ev in &self.trace {
+            write!(f, "\n      {ev}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Whether the checker prunes commuting delivery alternatives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reduction {
+    /// Fork every alternative at every choice point (2×2 validation).
+    Exhaustive,
+    /// Fork only dependent alternatives (sleep sets + state hashing).
+    Por,
+}
+
+/// What one model-checking case observed.
+#[derive(Debug, Clone)]
+pub struct ModelOutcome {
+    /// Case label, e.g. `3x3-overlapped-takeover`.
+    pub label: String,
+    /// Reduction mode the case ran under.
+    pub mode: Reduction,
+    /// Simulator runs executed.
+    pub runs: usize,
+    /// True when the DFS frontier drained within the run budget — every
+    /// discovered (non-pruned) alternative was explored.
+    pub exhausted: bool,
+    /// Distinct end-state digests — must be a singleton.
+    pub digests: BTreeSet<u64>,
+    /// Distinct canonical event-projection hashes seen.
+    pub distinct_states: usize,
+    /// Delivery choice points observed (cumulative over runs).
+    pub choice_points: usize,
+    /// Largest candidate set at any choice point.
+    pub max_arity: usize,
+    /// Alternatives actually queued for exploration.
+    pub forks: usize,
+    /// Alternatives pruned because both deliveries commute (consumed by
+    /// blocking exact-match receives).
+    pub pruned_independent: usize,
+    /// Fork targets dropped as already queued/explored (sleep set).
+    pub pruned_sleep: usize,
+    /// Runs landing on an already-visited state hash (no further forks).
+    pub pruned_visited: usize,
+    /// Conservative lower bound on the exhaustive-DFS run count for the
+    /// same frontier (see the module docs).
+    pub unreduced_estimate: usize,
+    /// Protocol events recorded across all runs.
+    pub events: usize,
+    /// Deduplicated property violations across all explored traces.
+    pub violations: Vec<PropertyViolation>,
+}
+
+impl ModelOutcome {
+    /// Explored-interleaving reduction vs the unreduced lower bound.
+    pub fn reduction_factor(&self) -> f64 {
+        if self.runs == 0 {
+            return 1.0;
+        }
+        self.unreduced_estimate as f64 / self.runs as f64
+    }
+
+    /// True when every explored trace satisfied every property and all
+    /// digests agree.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.digests.len() <= 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed safety properties
+// ---------------------------------------------------------------------------
+
+/// Tail window of the events `pred` selects, up to and including index
+/// `upto`, rendered for a violation report.
+fn window(
+    events: &[ProtocolEvent],
+    upto: usize,
+    pred: impl Fn(&ProtocolEvent) -> bool,
+) -> Vec<String> {
+    const WINDOW: usize = 6;
+    let mut picked: Vec<String> = events[..=upto]
+        .iter()
+        .filter(|e| pred(e))
+        .map(|e| e.to_string())
+        .collect();
+    if picked.len() > WINDOW {
+        picked.drain(..picked.len() - WINDOW);
+        picked.insert(0, "…".to_string());
+    }
+    picked
+}
+
+/// Per-thread stream state, reset at every `Birth` (relaunch boundary).
+#[derive(Default)]
+struct ThreadState {
+    /// Current wire epoch.
+    epoch: u64,
+    /// (src, dst) → (epoch, next expected seq) for sends.
+    send: BTreeMap<(usize, usize), (u64, u64)>,
+    /// (dst, src) → (epoch, next expected seq) for admissions.
+    admit: BTreeMap<(usize, usize), (u64, u64)>,
+    /// (dst, src, tag, epoch) → last consumed seq.
+    recv: BTreeMap<(usize, usize, Tag, u64), u64>,
+    /// pool id → outstanding checked-out slots.
+    pools: BTreeMap<u64, BTreeSet<usize>>,
+}
+
+/// Gapless-stream step shared by `send-gapless` and `admit-gapless`:
+/// seqs restart at 0 whenever the stream's epoch moves forward and
+/// otherwise increment by exactly 1.
+fn gapless_step(
+    entry: &mut (u64, u64),
+    fresh: bool,
+    epoch: u64,
+    seq: u64,
+    what: &str,
+) -> Result<(), String> {
+    if fresh || epoch > entry.0 {
+        *entry = (epoch, 0);
+    } else if epoch < entry.0 {
+        return Err(format!(
+            "{what} regressed to epoch {epoch} after epoch {}",
+            entry.0
+        ));
+    }
+    if seq != entry.1 {
+        return Err(format!(
+            "{what} seq {} expected, got {seq} (epoch {epoch})",
+            entry.1
+        ));
+    }
+    entry.1 += 1;
+    Ok(())
+}
+
+/// Check every per-thread property on one rank's event log. Violations
+/// carry the offending stream's event window.
+pub fn check_thread_properties(rank: usize, events: &[ProtocolEvent]) -> Vec<PropertyViolation> {
+    let mut out = Vec::new();
+    let mut st = ThreadState::default();
+    for (i, ev) in events.iter().enumerate() {
+        match *ev {
+            ProtocolEvent::Birth { .. } => st = ThreadState::default(),
+            ProtocolEvent::Send {
+                src,
+                dst,
+                seq,
+                epoch,
+                ..
+            } => {
+                let fresh = !st.send.contains_key(&(src, dst));
+                let entry = st.send.entry((src, dst)).or_default();
+                if let Err(detail) =
+                    gapless_step(entry, fresh, epoch, seq, &format!("send {src}->{dst}"))
+                {
+                    out.push(PropertyViolation {
+                        property: "send-gapless",
+                        rank,
+                        detail,
+                        trace: window(events, i, |e| {
+                            matches!(e, ProtocolEvent::Send { src: s, dst: d, .. } if *s == src && *d == dst)
+                        }),
+                    });
+                }
+            }
+            ProtocolEvent::Admit {
+                dst,
+                src,
+                seq,
+                epoch,
+                ..
+            } => {
+                let fresh = !st.admit.contains_key(&(dst, src));
+                let entry = st.admit.entry((dst, src)).or_default();
+                if let Err(detail) =
+                    gapless_step(entry, fresh, epoch, seq, &format!("admit {src}->{dst}"))
+                {
+                    out.push(PropertyViolation {
+                        property: "admit-gapless",
+                        rank,
+                        detail,
+                        trace: window(events, i, |e| {
+                            matches!(e, ProtocolEvent::Admit { dst: d, src: s, .. } if *d == dst && *s == src)
+                        }),
+                    });
+                }
+                if epoch != st.epoch {
+                    out.push(PropertyViolation {
+                        property: "epoch-monotone",
+                        rank,
+                        detail: format!(
+                            "admitted {src}->{dst} from epoch {epoch} while at epoch {}",
+                            st.epoch
+                        ),
+                        trace: window(events, i, |e| {
+                            matches!(
+                                e,
+                                ProtocolEvent::Admit { .. }
+                                    | ProtocolEvent::EpochAdvance { .. }
+                                    | ProtocolEvent::Park { .. }
+                                    | ProtocolEvent::DropStale { .. }
+                            )
+                        }),
+                    });
+                }
+            }
+            ProtocolEvent::Recv {
+                dst,
+                src,
+                tag,
+                seq,
+                epoch,
+                ..
+            } => {
+                let key = (dst, src, tag, epoch);
+                if let Some(&last) = st.recv.get(&key) {
+                    if seq <= last {
+                        out.push(PropertyViolation {
+                            property: "recv-non-overtaking",
+                            rank,
+                            detail: format!(
+                                "consumed {src}->{dst} tag {tag} seq {seq} after seq {last} (epoch {epoch})"
+                            ),
+                            trace: window(events, i, |e| {
+                                matches!(e, ProtocolEvent::Recv { dst: d, src: s, tag: t, .. }
+                                         if *d == dst && *s == src && *t == tag)
+                            }),
+                        });
+                    }
+                }
+                st.recv.insert(key, seq);
+            }
+            ProtocolEvent::Park {
+                src, dst, epoch, ..
+            } => {
+                if epoch <= st.epoch {
+                    out.push(PropertyViolation {
+                        property: "epoch-monotone",
+                        rank,
+                        detail: format!(
+                            "parked {src}->{dst} from epoch {epoch} while at epoch {} (not future)",
+                            st.epoch
+                        ),
+                        trace: window(events, i, |e| {
+                            matches!(
+                                e,
+                                ProtocolEvent::Park { .. } | ProtocolEvent::EpochAdvance { .. }
+                            )
+                        }),
+                    });
+                }
+            }
+            ProtocolEvent::DropStale {
+                src, dst, epoch, ..
+            } => {
+                if epoch >= st.epoch {
+                    out.push(PropertyViolation {
+                        property: "epoch-monotone",
+                        rank,
+                        detail: format!(
+                            "dropped {src}->{dst} from epoch {epoch} as stale while at epoch {}",
+                            st.epoch
+                        ),
+                        trace: window(events, i, |e| {
+                            matches!(
+                                e,
+                                ProtocolEvent::DropStale { .. }
+                                    | ProtocolEvent::EpochAdvance { .. }
+                            )
+                        }),
+                    });
+                }
+            }
+            ProtocolEvent::EpochAdvance { epoch, .. } => {
+                if epoch <= st.epoch {
+                    out.push(PropertyViolation {
+                        property: "epoch-monotone",
+                        rank,
+                        detail: format!("epoch advanced backwards: {} -> {epoch}", st.epoch),
+                        trace: window(events, i, |e| {
+                            matches!(e, ProtocolEvent::EpochAdvance { .. })
+                        }),
+                    });
+                }
+                st.epoch = epoch;
+            }
+            ProtocolEvent::PoolCheckout { pool, slot } => {
+                if !st.pools.entry(pool).or_default().insert(slot) {
+                    out.push(PropertyViolation {
+                        property: "pool-balance",
+                        rank,
+                        detail: format!(
+                            "pool {pool} handed out slot {slot:#x} while it was already checked out"
+                        ),
+                        trace: window(events, i, |e| {
+                            matches!(e, ProtocolEvent::PoolCheckout { pool: p, .. }
+                                     | ProtocolEvent::PoolCheckin { pool: p, .. } if *p == pool)
+                        }),
+                    });
+                }
+            }
+            ProtocolEvent::PoolCheckin { pool, slot } => {
+                if !st.pools.entry(pool).or_default().remove(&slot) {
+                    out.push(PropertyViolation {
+                        property: "pool-balance",
+                        rank,
+                        detail: format!(
+                            "pool {pool} checkin of slot {slot:#x} that was not checked out (double checkin or foreign buffer)"
+                        ),
+                        trace: window(events, i, |e| {
+                            matches!(e, ProtocolEvent::PoolCheckout { pool: p, .. }
+                                     | ProtocolEvent::PoolCheckin { pool: p, .. } if *p == pool)
+                        }),
+                    });
+                }
+            }
+            ProtocolEvent::PoolDrop { pool, panicking } => {
+                let outstanding = st.pools.remove(&pool).unwrap_or_default();
+                if !panicking && !outstanding.is_empty() {
+                    out.push(PropertyViolation {
+                        property: "pool-balance",
+                        rank,
+                        detail: format!(
+                            "pool {pool} dropped cleanly with {} buffer(s) still checked out",
+                            outstanding.len()
+                        ),
+                        trace: window(events, i, |e| {
+                            matches!(e, ProtocolEvent::PoolCheckout { pool: p, .. }
+                                     | ProtocolEvent::PoolCheckin { pool: p, .. }
+                                     | ProtocolEvent::PoolDrop { pool: p, .. } if *p == pool)
+                        }),
+                    });
+                }
+            }
+            ProtocolEvent::Candidate { .. }
+            | ProtocolEvent::Deliver { .. }
+            | ProtocolEvent::Adopt { .. }
+            | ProtocolEvent::Death { .. }
+            | ProtocolEvent::Abort { .. }
+            | ProtocolEvent::Sentinel { .. } => {}
+        }
+    }
+    out
+}
+
+/// Check the cross-rank properties (`adopt-once`,
+/// `sentinel-conservation`) over all rank logs of one exploration run.
+pub fn check_global_properties(
+    n_particles: u64,
+    p: usize,
+    logs: &[Vec<ProtocolEvent>],
+) -> Vec<PropertyViolation> {
+    let mut out = Vec::new();
+
+    // adopt-once: a virtual rank may be adopted at most once per
+    // registered death of that rank, across the whole world.
+    let mut deaths: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut adopts: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for events in logs {
+        for ev in events {
+            match *ev {
+                ProtocolEvent::Death { rank } => *deaths.entry(rank).or_default() += 1,
+                ProtocolEvent::Adopt { vrank, .. } => {
+                    adopts.entry(vrank).or_default().push(ev.to_string())
+                }
+                _ => {}
+            }
+        }
+    }
+    for (vrank, seen) in &adopts {
+        let died = deaths.get(vrank).copied().unwrap_or(0);
+        if seen.len() > died {
+            out.push(PropertyViolation {
+                property: "adopt-once",
+                rank: usize::MAX,
+                detail: format!(
+                    "virtual rank {vrank} adopted {} time(s) but died {died} time(s)",
+                    seen.len()
+                ),
+                trace: seen.clone(),
+            });
+        }
+    }
+
+    // sentinel-conservation: for every (attempt, step) sentinel round in
+    // which ALL virtual ranks reported, the (last-reported) counts must
+    // sum to the configured particle total. Rounds truncated by a death
+    // are skipped; post-takeover re-execution overwrites earlier reports.
+    let mut rounds: BTreeMap<(usize, u64), BTreeMap<usize, u64>> = BTreeMap::new();
+    for events in logs {
+        let mut attempt = 0usize;
+        let mut born = false;
+        for ev in events {
+            match *ev {
+                ProtocolEvent::Birth { .. } => {
+                    if born {
+                        attempt += 1;
+                    }
+                    born = true;
+                }
+                ProtocolEvent::Sentinel { rank, step, count } => {
+                    rounds
+                        .entry((attempt, step))
+                        .or_default()
+                        .insert(rank, count);
+                }
+                _ => {}
+            }
+        }
+    }
+    for ((attempt, step), counts) in &rounds {
+        if counts.len() == p {
+            let total: u64 = counts.values().sum();
+            if total != n_particles {
+                out.push(PropertyViolation {
+                    property: "sentinel-conservation",
+                    rank: usize::MAX,
+                    detail: format!(
+                        "step {step} (attempt {attempt}): ranks report {total} particles, expected {n_particles}"
+                    ),
+                    trace: counts
+                        .iter()
+                        .map(|(r, c)| format!("sentinel r{r} step {step}: {c}"))
+                        .collect(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// All properties over one run's per-rank logs.
+pub fn check_all_properties(
+    n_particles: u64,
+    p: usize,
+    logs: &[Vec<ProtocolEvent>],
+) -> Vec<PropertyViolation> {
+    let mut out = Vec::new();
+    for (rank, events) in logs.iter().enumerate() {
+        out.extend(check_thread_properties(rank, events));
+    }
+    out.extend(check_global_properties(n_particles, p, logs));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Choice-point reconstruction and the independence relation
+// ---------------------------------------------------------------------------
+
+/// A delivery choice point reconstructed from a `Candidate*`/`Deliver`
+/// run in one rank's event log.
+#[derive(Debug, Clone)]
+struct Choice {
+    /// All candidate stream heads, ordered by source rank (the order the
+    /// policy saw them in).
+    candidates: Vec<(usize, usize, Tag, u64, u64)>, // (dst, src, tag, seq, epoch)
+    /// Index of the delivered candidate.
+    taken: usize,
+}
+
+/// Reconstruct the first-launch-segment choice points of one rank's log.
+/// The k-th reconstructed choice corresponds to the k-th entry of the
+/// rank's [`ChoiceTrace`] (the policy is consulted exactly once per
+/// delivery).
+fn choice_points(events: &[ProtocolEvent]) -> Vec<Choice> {
+    let mut out = Vec::new();
+    let mut pending: Vec<(usize, usize, Tag, u64, u64)> = Vec::new();
+    let mut births = 0;
+    for ev in events {
+        match *ev {
+            ProtocolEvent::Birth { .. } => {
+                births += 1;
+                if births > 1 {
+                    break; // forks only drive the first launch's policy
+                }
+            }
+            ProtocolEvent::Candidate {
+                dst,
+                src,
+                tag,
+                seq,
+                epoch,
+            } => pending.push((dst, src, tag, seq, epoch)),
+            ProtocolEvent::Deliver {
+                dst,
+                src,
+                tag,
+                seq,
+                epoch,
+                ..
+            } => {
+                pending.push((dst, src, tag, seq, epoch));
+                pending.sort_unstable_by_key(|&(_, s, ..)| s);
+                let taken = pending
+                    .iter()
+                    .position(|&(_, s, t, q, e)| (s, t, q, e) == (src, tag, seq, epoch))
+                    .expect("delivered head among candidates");
+                out.push(Choice {
+                    candidates: std::mem::take(&mut pending),
+                    taken,
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// How each delivered message was eventually consumed in the first
+/// launch segment: `Some(probe)` when a matching `Recv` exists, `None`
+/// when it was never consumed.
+fn consumption(events: &[ProtocolEvent]) -> BTreeMap<(usize, usize, Tag, u64, u64), bool> {
+    let mut map = BTreeMap::new();
+    let mut births = 0;
+    for ev in events {
+        match *ev {
+            ProtocolEvent::Birth { .. } => {
+                births += 1;
+                if births > 1 {
+                    break;
+                }
+            }
+            ProtocolEvent::Recv {
+                dst,
+                src,
+                tag,
+                seq,
+                epoch,
+                probe,
+            } => {
+                // A message is consumed once; keep the strongest signal
+                // (probe) if the key somehow repeats.
+                let e = map.entry((dst, src, tag, seq, epoch)).or_insert(probe);
+                *e = *e || probe;
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+/// Is swapping the delivery of `candidates[alt]` ahead of
+/// `candidates[taken]` observable? See the module docs: only when either
+/// message is probe-consumed or never consumed.
+fn dependent(
+    choice: &Choice,
+    alt: usize,
+    consumed: &BTreeMap<(usize, usize, Tag, u64, u64), bool>,
+) -> bool {
+    let observable = |c: &(usize, usize, Tag, u64, u64)| match consumed.get(c) {
+        Some(&probe) => probe, // probe consumption sees ordering
+        None => true,          // never consumed: races shutdown/death
+    };
+    observable(&choice.candidates[choice.taken]) || observable(&choice.candidates[alt])
+}
+
+/// Canonical per-rank projection hash of one run's full event trace —
+/// the visited-state key for revisit pruning.
+fn state_hash(logs: &[Vec<ProtocolEvent>]) -> u64 {
+    let mut h = Fnv1a::new();
+    for (rank, events) in logs.iter().enumerate() {
+        h.write_u64(rank as u64);
+        h.write_u64(events.len() as u64);
+        for ev in events {
+            // The Display form is a faithful canonical rendering of every
+            // event variant (tested in pcdlb-mp); hashing it avoids a
+            // second serialisation of the whole alphabet.
+            for b in ev.to_string().as_bytes() {
+                h.write_u64(*b as u64);
+            }
+        }
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------------
+
+/// One model-checking case: a configuration plus exploration knobs.
+pub struct ModelCase {
+    /// Display label, e.g. `2x2-overlapped`.
+    pub label: String,
+    /// Simulator configuration to model-check.
+    pub cfg: RunConfig,
+    /// Reduction mode.
+    pub mode: Reduction,
+    /// Run budget; the DFS stops (non-exhausted) when it is spent.
+    pub max_runs: usize,
+    /// `Some((rank, op))`: kill `rank` at send op `op` on attempt 0 and
+    /// model-check the takeover/recovery protocol.
+    pub kill: Option<(usize, u64)>,
+}
+
+/// Recovery knobs for takeover cases (short watchdog: these runs inject
+/// real deaths and must not hang the matrix).
+fn model_recovery_opts() -> RecoveryOptions {
+    RecoveryOptions {
+        max_attempts: 6,
+        poll: Duration::from_millis(2),
+        watchdog: Duration::from_secs(10),
+    }
+}
+
+/// Execute one run under replay `prefixes`, with full instrumentation.
+/// Returns the digest, per-rank choice traces and per-rank event logs.
+#[allow(clippy::type_complexity)]
+fn run_once(
+    case: &ModelCase,
+    prefixes: &[Vec<usize>],
+) -> Result<(u64, Vec<ChoiceTrace>, Vec<Vec<ProtocolEvent>>), String> {
+    let p = case.cfg.p;
+    let handles: Arc<Mutex<Vec<Option<TraceHandle>>>> = Arc::new(Mutex::new(vec![None; p]));
+    let logs: Vec<EventLog> = (0..p).map(|_| new_event_log()).collect();
+    let digest = match case.kill {
+        None => {
+            let handles_in = Arc::clone(&handles);
+            let logs_in = logs.clone();
+            run_digest_instrumented(
+                &case.cfg,
+                move |rank| {
+                    let (policy, handle) =
+                        ReplayPolicy::new(prefixes.get(rank).cloned().unwrap_or_default());
+                    handles_in.lock().expect("handle table")[rank] = Some(handle);
+                    Box::new(policy) as Box<dyn DeliveryPolicy>
+                },
+                move |rank| logs_in[rank].clone(),
+            )
+        }
+        Some((kill_rank, kill_op)) => {
+            let handles_in = Arc::clone(&handles);
+            let logs_in = logs.clone();
+            let outcome = run_with_takeover_instrumented(
+                &case.cfg,
+                &model_recovery_opts(),
+                |attempt, rank| {
+                    (attempt == 0 && rank == kill_rank).then(|| FaultPlan::kill_at(kill_op))
+                },
+                move |attempt, rank| {
+                    // The replay prefix steers attempt 0 (where the kill
+                    // fires); relaunches run the deterministic default
+                    // order.
+                    let prefix = if attempt == 0 {
+                        prefixes.get(rank).cloned().unwrap_or_default()
+                    } else {
+                        Vec::new()
+                    };
+                    let (policy, handle) = ReplayPolicy::new(prefix);
+                    if attempt == 0 {
+                        handles_in.lock().expect("handle table")[rank] = Some(handle);
+                    }
+                    Box::new(policy) as Box<dyn DeliveryPolicy>
+                },
+                move |_attempt, rank| logs_in[rank].clone(),
+            )
+            .map_err(|e| format!("takeover run failed to complete: {e:?}"))?;
+            outcome.digest
+        }
+    };
+    let traces = handles
+        .lock()
+        .expect("handle table")
+        .iter()
+        .map(|h| {
+            h.as_ref()
+                .map(|h| h.lock().expect("trace").clone())
+                .unwrap_or_default()
+        })
+        .collect();
+    let events = logs
+        .iter()
+        .map(|l| l.lock().expect("event log").clone())
+        .collect();
+    Ok((digest, traces, events))
+}
+
+/// Model-check one case: DFS over replay prefixes with the configured
+/// reduction, checking every property on every explored trace.
+pub fn model_check(case: &ModelCase) -> Result<ModelOutcome, String> {
+    let p = case.cfg.p;
+    let mut out = ModelOutcome {
+        label: case.label.clone(),
+        mode: case.mode,
+        runs: 0,
+        exhausted: true,
+        digests: BTreeSet::new(),
+        distinct_states: 0,
+        choice_points: 0,
+        max_arity: 0,
+        forks: 0,
+        pruned_independent: 0,
+        pruned_sleep: 0,
+        pruned_visited: 0,
+        unreduced_estimate: 1,
+        events: 0,
+        violations: Vec::new(),
+    };
+    // For takeover cases the explored digests must also equal the
+    // fault-free reference — recovery parity folded into the digest set.
+    if case.kill.is_some() {
+        let reference = run_with_takeover(&case.cfg, &model_recovery_opts())
+            .map_err(|e| format!("fault-free takeover reference failed: {e:?}"))?;
+        out.digests.insert(reference.digest);
+    }
+    let mut seen_violations: BTreeSet<(&'static str, usize, String)> = BTreeSet::new();
+    let mut visited: BTreeSet<u64> = BTreeSet::new();
+    // Sleep set: every prefix ever queued (explored or waiting).
+    let mut queued: BTreeSet<Vec<Vec<usize>>> = BTreeSet::new();
+    // What exhaustive DFS would have queued from the same runs.
+    let mut brute_queued: BTreeSet<Vec<Vec<usize>>> = BTreeSet::new();
+    let initial = vec![Vec::new(); p];
+    queued.insert(initial.clone());
+    let mut stack: Vec<Vec<Vec<usize>>> = vec![initial];
+    while let Some(prefixes) = stack.pop() {
+        if out.runs >= case.max_runs {
+            out.exhausted = false;
+            break;
+        }
+        let (digest, traces, logs) = run_once(case, &prefixes)?;
+        out.runs += 1;
+        out.digests.insert(digest);
+        out.events += logs.iter().map(Vec::len).sum::<usize>();
+        for v in check_all_properties(case.cfg.n_particles as u64, p, &logs) {
+            if seen_violations.insert((v.property, v.rank, v.detail.clone())) {
+                out.violations.push(v);
+            }
+        }
+        if !visited.insert(state_hash(&logs)) {
+            out.pruned_visited += 1;
+            continue; // revisited state: nothing new can fork from here
+        }
+        out.distinct_states += 1;
+        for rank in 0..p {
+            let choices = choice_points(&logs[rank]);
+            let consumed = consumption(&logs[rank]);
+            let trace = &traces[rank];
+            for (i, choice) in choices.iter().enumerate() {
+                out.choice_points += 1;
+                let arity = choice.candidates.len();
+                out.max_arity = out.max_arity.max(arity);
+                debug_assert!(
+                    i >= trace.len() || trace[i].arity == arity,
+                    "event log and choice trace disagree at rank {rank} choice {i}"
+                );
+                if arity < 2 || i < prefixes[rank].len() || i >= trace.len() {
+                    continue;
+                }
+                for alt in 0..arity {
+                    if alt == choice.taken {
+                        continue;
+                    }
+                    let mut next = prefixes.clone();
+                    next[rank] = trace[..i].iter().map(|c| c.taken).collect();
+                    next[rank].push(alt);
+                    brute_queued.insert(next.clone());
+                    let fork = match case.mode {
+                        Reduction::Exhaustive => true,
+                        Reduction::Por => {
+                            if dependent(choice, alt, &consumed) {
+                                true
+                            } else {
+                                out.pruned_independent += 1;
+                                false
+                            }
+                        }
+                    };
+                    if fork {
+                        if queued.insert(next.clone()) {
+                            stack.push(next);
+                            out.forks += 1;
+                        } else {
+                            out.pruned_sleep += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.unreduced_estimate = 1 + brute_queued.len();
+    if out.digests.len() > 1 {
+        out.violations.push(PropertyViolation {
+            property: "digest-equality",
+            rank: usize::MAX,
+            detail: format!(
+                "explored interleavings produced {} distinct digests: {:?}",
+                out.digests.len(),
+                out.digests
+            ),
+            trace: Vec::new(),
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// The standard case matrix
+// ---------------------------------------------------------------------------
+
+/// 2×2 model configuration: [`crate::explore::config_2x2`] with the
+/// conservation sentinel active so `sentinel-conservation` has traffic.
+fn model_config_2x2(steps: u64, overlap: bool) -> RunConfig {
+    let mut cfg = crate::explore::config_2x2(steps);
+    cfg.overlap = overlap;
+    cfg.sentinel_interval = 3;
+    cfg.checkpoint_interval = 2;
+    cfg.validate();
+    cfg
+}
+
+/// 3×3 model configuration: the clustered DLB workload of the takeover
+/// sweep, shortened — the smallest grid where a takeover persona drives
+/// two ranks through the full load/decision/cell-transfer protocol.
+fn model_config_3x3(steps: u64, overlap: bool) -> RunConfig {
+    let mut cfg = RunConfig::new(600, 9, 9, 0.05);
+    cfg.lattice = Lattice::Cluster { fill: 0.5 };
+    cfg.steps = steps;
+    cfg.dlb = true;
+    cfg.seed = 3;
+    cfg.overlap = overlap;
+    cfg.thermostat_interval = 4;
+    cfg.checkpoint_interval = 3;
+    cfg.sentinel_interval = 3;
+    cfg.validate();
+    cfg
+}
+
+/// The standard model-checking matrix driven by `pcdlb-check model`:
+/// 2×2 exhaustive up to independence — POR that must *drain* (both
+/// schedules, plus takeover) — and 3×3 POR-bounded (both schedules,
+/// plus overlapped takeover). Fault-free cases must exhaust; the driver
+/// gates takeover and 3×3 cases on the reported reduction factor.
+pub fn standard_cases(
+    steps_2x2: u64,
+    steps_3x3: u64,
+    max_runs_2x2: usize,
+    max_runs_3x3: usize,
+    grid: usize,
+) -> Vec<ModelCase> {
+    let mut cases = Vec::new();
+    if grid == 0 || grid == 2 {
+        cases.push(ModelCase {
+            label: "2x2-overlapped".into(),
+            cfg: model_config_2x2(steps_2x2, true),
+            mode: Reduction::Por,
+            max_runs: max_runs_2x2,
+            kill: None,
+        });
+        cases.push(ModelCase {
+            label: "2x2-sequenced".into(),
+            cfg: model_config_2x2(steps_2x2, false),
+            mode: Reduction::Por,
+            max_runs: max_runs_2x2,
+            kill: None,
+        });
+        cases.push(ModelCase {
+            label: "2x2-overlapped-takeover".into(),
+            cfg: model_config_2x2(steps_2x2, true),
+            mode: Reduction::Por,
+            max_runs: max_runs_3x3,
+            kill: Some((1, 24)),
+        });
+    }
+    if grid == 0 || grid == 3 {
+        cases.push(ModelCase {
+            label: "3x3-overlapped".into(),
+            cfg: model_config_3x3(steps_3x3, true),
+            mode: Reduction::Por,
+            max_runs: max_runs_3x3,
+            kill: None,
+        });
+        cases.push(ModelCase {
+            label: "3x3-sequenced".into(),
+            cfg: model_config_3x3(steps_3x3, false),
+            mode: Reduction::Por,
+            max_runs: max_runs_3x3,
+            kill: None,
+        });
+        cases.push(ModelCase {
+            label: "3x3-overlapped-takeover".into(),
+            cfg: model_config_3x3(steps_3x3, true),
+            mode: Reduction::Por,
+            max_runs: max_runs_3x3,
+            kill: Some((1, 24)),
+        });
+    }
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev_send(src: usize, dst: usize, tag: Tag, seq: u64, epoch: u64) -> ProtocolEvent {
+        ProtocolEvent::Send {
+            src,
+            dst,
+            tag,
+            seq,
+            epoch,
+        }
+    }
+
+    #[test]
+    fn gapless_send_stream_passes_and_gap_fails() {
+        let birth = ProtocolEvent::Birth { rank: 0 };
+        let ok = vec![
+            birth,
+            ev_send(0, 1, 7, 0, 0),
+            ev_send(0, 1, 7, 1, 0),
+            ev_send(0, 2, 7, 0, 0),
+        ];
+        assert!(check_thread_properties(0, &ok).is_empty());
+        let gap = vec![birth, ev_send(0, 1, 7, 0, 0), ev_send(0, 1, 7, 2, 0)];
+        let v = check_thread_properties(0, &gap);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].property, "send-gapless");
+        assert!(!v[0].trace.is_empty(), "violation carries its event window");
+    }
+
+    #[test]
+    fn epoch_bump_resets_streams_and_regression_fails() {
+        let ok = vec![
+            ProtocolEvent::Birth { rank: 0 },
+            ev_send(0, 1, 7, 0, 0),
+            ev_send(0, 1, 7, 1, 0),
+            ev_send(0, 1, 7, 0, 1), // epoch 1: stream restarts at 0
+        ];
+        assert!(check_thread_properties(0, &ok).is_empty());
+        let regress = vec![
+            ProtocolEvent::Birth { rank: 0 },
+            ev_send(0, 1, 7, 0, 1),
+            ev_send(0, 1, 7, 0, 0), // epoch went backwards
+        ];
+        let v = check_thread_properties(0, &regress);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].property, "send-gapless");
+    }
+
+    #[test]
+    fn birth_resets_all_stream_state() {
+        let relaunch = vec![
+            ProtocolEvent::Birth { rank: 0 },
+            ev_send(0, 1, 7, 0, 0),
+            ev_send(0, 1, 7, 1, 0),
+            ProtocolEvent::Birth { rank: 0 },
+            ev_send(0, 1, 7, 0, 0), // fresh world: seq restarts
+        ];
+        assert!(check_thread_properties(0, &relaunch).is_empty());
+    }
+
+    #[test]
+    fn pool_double_checkin_and_leak_are_caught() {
+        let double = vec![
+            ProtocolEvent::Birth { rank: 0 },
+            ProtocolEvent::PoolCheckout {
+                pool: 1,
+                slot: 0x10,
+            },
+            ProtocolEvent::PoolCheckin {
+                pool: 1,
+                slot: 0x10,
+            },
+            ProtocolEvent::PoolCheckin {
+                pool: 1,
+                slot: 0x10,
+            },
+        ];
+        let v = check_thread_properties(0, &double);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].property, "pool-balance");
+        let leak = vec![
+            ProtocolEvent::Birth { rank: 0 },
+            ProtocolEvent::PoolCheckout {
+                pool: 1,
+                slot: 0x10,
+            },
+            ProtocolEvent::PoolDrop {
+                pool: 1,
+                panicking: false,
+            },
+        ];
+        let v = check_thread_properties(0, &leak);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("still checked out"));
+        // Unwind teardown legitimately abandons in-flight buffers.
+        let unwind = vec![
+            ProtocolEvent::Birth { rank: 0 },
+            ProtocolEvent::PoolCheckout {
+                pool: 1,
+                slot: 0x10,
+            },
+            ProtocolEvent::PoolDrop {
+                pool: 1,
+                panicking: true,
+            },
+        ];
+        assert!(check_thread_properties(0, &unwind).is_empty());
+    }
+
+    #[test]
+    fn adopt_without_death_is_caught() {
+        let logs = vec![vec![
+            ProtocolEvent::Birth { rank: 0 },
+            ProtocolEvent::Adopt { phys: 0, vrank: 1 },
+        ]];
+        let v = check_global_properties(100, 2, &logs);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].property, "adopt-once");
+        let legal = vec![
+            vec![
+                ProtocolEvent::Birth { rank: 0 },
+                ProtocolEvent::Adopt { phys: 0, vrank: 1 },
+            ],
+            vec![
+                ProtocolEvent::Birth { rank: 1 },
+                ProtocolEvent::Death { rank: 1 },
+            ],
+        ];
+        assert!(check_global_properties(100, 2, &legal).is_empty());
+    }
+
+    #[test]
+    fn sentinel_round_sum_mismatch_is_caught() {
+        let logs = vec![
+            vec![
+                ProtocolEvent::Birth { rank: 0 },
+                ProtocolEvent::Sentinel {
+                    rank: 0,
+                    step: 3,
+                    count: 40,
+                },
+            ],
+            vec![
+                ProtocolEvent::Birth { rank: 1 },
+                ProtocolEvent::Sentinel {
+                    rank: 1,
+                    step: 3,
+                    count: 59, // one particle missing
+                },
+            ],
+        ];
+        let v = check_global_properties(100, 2, &logs);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].property, "sentinel-conservation");
+        // Incomplete rounds (a rank died mid-gather) are not violations.
+        let partial = vec![logs[0].clone()];
+        assert!(check_global_properties(100, 2, &partial).is_empty());
+    }
+
+    #[test]
+    fn choice_points_reconstruct_candidates_and_taken() {
+        let events = vec![
+            ProtocolEvent::Birth { rank: 2 },
+            ProtocolEvent::Candidate {
+                dst: 2,
+                src: 0,
+                tag: 7,
+                seq: 0,
+                epoch: 0,
+            },
+            ProtocolEvent::Deliver {
+                dst: 2,
+                src: 3,
+                tag: 9,
+                seq: 1,
+                epoch: 0,
+                arity: 2,
+            },
+        ];
+        let cps = choice_points(&events);
+        assert_eq!(cps.len(), 1);
+        assert_eq!(cps[0].candidates.len(), 2);
+        assert_eq!(cps[0].taken, 1, "src 3 sorts after src 0");
+    }
+
+    #[test]
+    fn blocking_consumption_is_independent_probe_is_dependent() {
+        let choice = Choice {
+            candidates: vec![(2, 0, 7, 0, 0), (2, 3, 9, 1, 0)],
+            taken: 1,
+        };
+        let mut consumed = BTreeMap::new();
+        consumed.insert((2, 0, 7, 0, 0), false);
+        consumed.insert((2, 3, 9, 1, 0), false);
+        assert!(!dependent(&choice, 0, &consumed), "both blocking: commute");
+        consumed.insert((2, 0, 7, 0, 0), true);
+        assert!(dependent(&choice, 0, &consumed), "probe consumption");
+        consumed.remove(&(2, 0, 7, 0, 0));
+        assert!(dependent(&choice, 0, &consumed), "unconsumed message");
+    }
+}

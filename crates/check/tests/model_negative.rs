@@ -1,0 +1,337 @@
+//! Seeded-mutation tests for the protocol model checker: take a *legal*
+//! event trace — hand-built or captured from a real instrumented 2×2
+//! run — inject one protocol bug, and assert the matching typed property
+//! (and only it) catches the mutation. This is the checker's checker:
+//! a property that cannot see its target bug is dead weight.
+
+use pcdlb_check::model::{
+    check_all_properties, check_global_properties, check_thread_properties, model_check,
+    standard_cases,
+};
+use pcdlb_mp::check::{new_event_log, DeliveryPolicy, EventLog, ProtocolEvent, ReplayPolicy};
+use pcdlb_sim::driver::run_digest_instrumented;
+
+// ---------------------------------------------------------------------------
+// Hand-built traces
+// ---------------------------------------------------------------------------
+
+/// A small legal per-rank trace exercising every per-thread property:
+/// two send streams, an epoch advance with a post-advance admission,
+/// ordered consumption, and a balanced pool session.
+fn legal_thread_trace() -> Vec<ProtocolEvent> {
+    vec![
+        ProtocolEvent::Birth { rank: 0 },
+        ProtocolEvent::PoolCheckout {
+            pool: 1,
+            slot: 0xa0,
+        },
+        ProtocolEvent::Send {
+            src: 0,
+            dst: 1,
+            tag: 7,
+            seq: 0,
+            epoch: 0,
+        },
+        ProtocolEvent::Send {
+            src: 0,
+            dst: 1,
+            tag: 7,
+            seq: 1,
+            epoch: 0,
+        },
+        ProtocolEvent::Admit {
+            dst: 0,
+            src: 1,
+            tag: 7,
+            seq: 0,
+            epoch: 0,
+        },
+        ProtocolEvent::Recv {
+            dst: 0,
+            src: 1,
+            tag: 7,
+            seq: 0,
+            epoch: 0,
+            probe: false,
+        },
+        ProtocolEvent::Admit {
+            dst: 0,
+            src: 1,
+            tag: 7,
+            seq: 1,
+            epoch: 0,
+        },
+        ProtocolEvent::Recv {
+            dst: 0,
+            src: 1,
+            tag: 7,
+            seq: 1,
+            epoch: 0,
+            probe: false,
+        },
+        ProtocolEvent::EpochAdvance { rank: 0, epoch: 1 },
+        ProtocolEvent::Admit {
+            dst: 0,
+            src: 1,
+            tag: 9,
+            seq: 0,
+            epoch: 1,
+        },
+        ProtocolEvent::PoolCheckin {
+            pool: 1,
+            slot: 0xa0,
+        },
+        ProtocolEvent::PoolDrop {
+            pool: 1,
+            panicking: false,
+        },
+    ]
+}
+
+/// Every mutation below starts from a trace the checker accepts.
+#[test]
+fn legal_trace_is_clean() {
+    assert!(check_thread_properties(0, &legal_thread_trace()).is_empty());
+}
+
+/// Mutation: skip a seq increment — the second send jumps 0 → 2.
+#[test]
+fn skipped_seq_increment_is_caught_by_send_gapless() {
+    let mut t = legal_thread_trace();
+    let pos = t
+        .iter()
+        .position(|e| matches!(e, ProtocolEvent::Send { seq: 1, .. }))
+        .expect("trace has a second send");
+    t[pos] = ProtocolEvent::Send {
+        src: 0,
+        dst: 1,
+        tag: 7,
+        seq: 2,
+        epoch: 0,
+    };
+    let v = check_thread_properties(0, &t);
+    assert_eq!(v.len(), 1, "exactly the targeted property fires: {v:?}");
+    assert_eq!(v[0].property, "send-gapless");
+    assert!(v[0].detail.contains("seq 1 expected"), "{}", v[0].detail);
+}
+
+/// Mutation: omit an epoch bump — the receiver admits epoch-1 traffic
+/// without ever having advanced past epoch 0.
+#[test]
+fn omitted_epoch_bump_is_caught_by_epoch_monotone() {
+    let mut t = legal_thread_trace();
+    t.retain(|e| !matches!(e, ProtocolEvent::EpochAdvance { .. }));
+    let v = check_thread_properties(0, &t);
+    assert!(
+        v.iter().any(|v| v.property == "epoch-monotone"),
+        "missing advance must surface as an epoch violation: {v:?}"
+    );
+}
+
+/// Mutation: epoch advance goes backwards.
+#[test]
+fn epoch_regression_is_caught_by_epoch_monotone() {
+    let mut t = legal_thread_trace();
+    t.push(ProtocolEvent::EpochAdvance { rank: 0, epoch: 0 });
+    let v = check_thread_properties(0, &t);
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].property, "epoch-monotone");
+    assert!(v[0].detail.contains("backwards"), "{}", v[0].detail);
+}
+
+/// Mutation: double-checkin a pool buffer.
+#[test]
+fn double_checkin_is_caught_by_pool_balance() {
+    let mut t = legal_thread_trace();
+    let pos = t
+        .iter()
+        .position(|e| matches!(e, ProtocolEvent::PoolCheckin { .. }))
+        .expect("trace has a checkin");
+    t.insert(pos + 1, t[pos]);
+    let v = check_thread_properties(0, &t);
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].property, "pool-balance");
+    assert!(v[0].detail.contains("double checkin"), "{}", v[0].detail);
+}
+
+/// Mutation: consume seq 1 before seq 0 on the same stream.
+#[test]
+fn reordered_consumption_is_caught_by_recv_non_overtaking() {
+    let mut t = legal_thread_trace();
+    let recvs: Vec<usize> = t
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, ProtocolEvent::Recv { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(recvs.len(), 2);
+    t.swap(recvs[0], recvs[1]);
+    let v = check_thread_properties(0, &t);
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].property, "recv-non-overtaking");
+    assert!(v[0].detail.contains("seq 0 after seq 1"), "{}", v[0].detail);
+}
+
+/// Mutation: adopt the same dead rank twice (one registered death).
+#[test]
+fn double_adoption_is_caught_by_adopt_once() {
+    let logs = vec![
+        vec![
+            ProtocolEvent::Birth { rank: 0 },
+            ProtocolEvent::Adopt { phys: 0, vrank: 2 },
+        ],
+        vec![
+            ProtocolEvent::Birth { rank: 1 },
+            ProtocolEvent::Adopt { phys: 1, vrank: 2 },
+        ],
+        vec![
+            ProtocolEvent::Birth { rank: 2 },
+            ProtocolEvent::Death { rank: 2 },
+        ],
+    ];
+    let v = check_global_properties(100, 3, &logs);
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].property, "adopt-once");
+}
+
+// ---------------------------------------------------------------------------
+// Mutations of real captured logs
+// ---------------------------------------------------------------------------
+
+/// Run the real 2×2 simulator with full instrumentation (default
+/// delivery order) and return the per-rank event logs.
+fn captured_2x2_logs() -> (Vec<Vec<ProtocolEvent>>, u64, usize) {
+    let case = &standard_cases(4, 4, 50, 5, 2)[0];
+    let logs: Vec<EventLog> = (0..case.cfg.p).map(|_| new_event_log()).collect();
+    let log_refs = logs.clone();
+    run_digest_instrumented(
+        &case.cfg,
+        |_rank| {
+            let (policy, _trace) = ReplayPolicy::new(Vec::new());
+            Box::new(policy) as Box<dyn DeliveryPolicy>
+        },
+        move |rank| log_refs[rank].clone(),
+    );
+    let rank_logs = logs
+        .iter()
+        .map(|l| l.lock().expect("log lock").clone())
+        .collect();
+    (rank_logs, case.cfg.n_particles as u64, case.cfg.p)
+}
+
+/// The unmutated capture satisfies every property — the baseline every
+/// seeded deletion below perturbs.
+#[test]
+fn captured_logs_are_clean_and_mutations_are_caught() {
+    let (logs, n_particles, p) = captured_2x2_logs();
+    assert!(logs.iter().all(|l| !l.is_empty()), "instrumentation ran");
+    assert!(
+        check_all_properties(n_particles, p, &logs).is_empty(),
+        "real run must satisfy every property"
+    );
+
+    // Seeded deletion: drop the first admission of a stream that admits
+    // again in the same epoch. The survivor's seq now has a gap.
+    let mut mutated = logs.clone();
+    let (rank, pos) = find_deletable_admit(&mutated).expect("2x2 run admits repeatedly");
+    mutated[rank].remove(pos);
+    let v = check_all_properties(n_particles, p, &mutated);
+    assert!(
+        v.iter().any(|v| v.property == "admit-gapless"),
+        "deleting an admission must open a seq gap: {v:?}"
+    );
+
+    // Seeded corruption: one sentinel report loses a particle; the
+    // round's conservation sum no longer matches.
+    let mut mutated = logs.clone();
+    let (rank, pos, ev) = find_sentinel(&mutated).expect("sentinel interval fired");
+    if let ProtocolEvent::Sentinel {
+        rank: r,
+        step,
+        count,
+    } = ev
+    {
+        mutated[rank][pos] = ProtocolEvent::Sentinel {
+            rank: r,
+            step,
+            count: count - 1,
+        };
+    }
+    let v = check_all_properties(n_particles, p, &mutated);
+    assert!(
+        v.iter().any(|v| v.property == "sentinel-conservation"),
+        "losing a particle must break the sentinel sum: {v:?}"
+    );
+
+    // Seeded duplication: replay a pool checkin.
+    let mut mutated = logs;
+    let (rank, pos) = find_checkin(&mutated).expect("pools cycle during a run");
+    let dup = mutated[rank][pos];
+    mutated[rank].insert(pos + 1, dup);
+    let v = check_all_properties(n_particles, p, &mutated);
+    assert!(
+        v.iter().any(|v| v.property == "pool-balance"),
+        "a replayed checkin must unbalance the pool: {v:?}"
+    );
+}
+
+fn find_deletable_admit(logs: &[Vec<ProtocolEvent>]) -> Option<(usize, usize)> {
+    for (rank, events) in logs.iter().enumerate() {
+        for (i, ev) in events.iter().enumerate() {
+            if let ProtocolEvent::Admit {
+                dst,
+                src,
+                seq: 0,
+                epoch,
+                ..
+            } = *ev
+            {
+                let succ = events.iter().skip(i + 1).any(|e| {
+                    matches!(*e, ProtocolEvent::Admit { dst: d, src: s, seq: 1, epoch: ep, .. }
+                             if d == dst && s == src && ep == epoch)
+                });
+                if succ {
+                    return Some((rank, i));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn find_sentinel(logs: &[Vec<ProtocolEvent>]) -> Option<(usize, usize, ProtocolEvent)> {
+    for (rank, events) in logs.iter().enumerate() {
+        for (i, ev) in events.iter().enumerate() {
+            if matches!(ev, ProtocolEvent::Sentinel { count, .. } if *count > 0) {
+                return Some((rank, i, *ev));
+            }
+        }
+    }
+    None
+}
+
+fn find_checkin(logs: &[Vec<ProtocolEvent>]) -> Option<(usize, usize)> {
+    for (rank, events) in logs.iter().enumerate() {
+        for (i, ev) in events.iter().enumerate() {
+            if matches!(ev, ProtocolEvent::PoolCheckin { .. }) {
+                return Some((rank, i));
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the checker accepts the real protocol
+// ---------------------------------------------------------------------------
+
+/// A short 2×2 case drains its DPOR frontier with zero violations and a
+/// single digest — the positive control for the mutations above.
+#[test]
+fn short_2x2_model_check_is_clean_and_exhausts() {
+    let case = &standard_cases(3, 3, 50, 5, 2)[0];
+    let out = model_check(case).expect("model check runs");
+    assert!(out.exhausted, "2x2 frontier must drain: {out:?}");
+    assert!(out.clean(), "violations or digest split: {out:?}");
+    assert!(out.choice_points > 0, "instrumentation observed choices");
+}

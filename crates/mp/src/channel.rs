@@ -18,8 +18,16 @@
 //! - senders are cheaply cloneable and `Sync`, one per destination rank.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+// Under `--cfg loom` the queue's sync primitives come from the loom shim,
+// so `tests/loom.rs` can model-check send/recv/disconnect handoffs. The
+// shim passes through to plain std behaviour outside `loom::model`, so the
+// rest of the crate (which runs on real threads) is unaffected.
+#[cfg(loom)]
+use loom::sync::{Arc, Condvar, Mutex};
+#[cfg(not(loom))]
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Error returned by [`Sender::send`] when all receivers are gone; carries
 /// the unsent value back like `std::sync::mpsc::SendError`.

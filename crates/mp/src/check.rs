@@ -27,6 +27,7 @@
 //! [`ReplayPolicy`] clamps an out-of-range prefix choice instead of
 //! failing, and the explorer deduplicates runs by their *observed* traces.
 
+use std::cell::RefCell;
 use std::sync::{Arc, Mutex};
 
 use crate::comm::Tag;
@@ -144,6 +145,308 @@ impl DeliveryPolicy for SeededPolicy {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Protocol event traces
+// ---------------------------------------------------------------------------
+
+/// One protocol-level action observed on an instrumented rank thread.
+///
+/// The model checker in `pcdlb-check` consumes these streams: delivery
+/// choice points are reconstructed from the `Candidate*`/`Deliver` runs,
+/// the independence relation is derived from how each delivered message
+/// was eventually consumed (`Recv` with or without `probe`), and the typed
+/// safety properties are predicates over whole per-thread traces.
+///
+/// Every variant is `Copy`; emission is a `Vec` push behind a mutex, so an
+/// instrumented run stays cheap and an uninstrumented one pays only a
+/// thread-local `Option` check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolEvent {
+    /// A world launch bound this thread's `Comm` to the installed event
+    /// log. Separates attempt segments when logs accumulate across
+    /// relaunches: every per-thread property resets its state here.
+    Birth {
+        /// Physical rank of the thread.
+        rank: usize,
+    },
+    /// A message left `src` for `dst` with the persona's next sequence
+    /// number on that destination stream.
+    Send {
+        /// Sending virtual rank (active persona).
+        src: usize,
+        /// Destination virtual rank.
+        dst: usize,
+        /// Wire tag.
+        tag: Tag,
+        /// Per-(src, dst) stream sequence number.
+        seq: u64,
+        /// Sender's wire epoch.
+        epoch: u64,
+    },
+    /// An arrival passed the receiver's epoch gate and sequence check and
+    /// was admitted into its per-source stream (or matched directly).
+    Admit {
+        /// Receiving virtual rank (the envelope's addressee).
+        dst: usize,
+        /// Sending virtual rank.
+        src: usize,
+        /// Wire tag.
+        tag: Tag,
+        /// Stream sequence number.
+        seq: u64,
+        /// Wire epoch it was sent under.
+        epoch: u64,
+    },
+    /// A non-chosen stream head available at a delivery choice point.
+    /// A maximal run of `Candidate` events followed by one `Deliver`
+    /// reconstructs the full choice (candidates ordered by source rank).
+    Candidate {
+        /// Addressee of the stream-head envelope.
+        dst: usize,
+        /// Source rank of the stream.
+        src: usize,
+        /// Wire tag of the head message.
+        tag: Tag,
+        /// Stream sequence number of the head message.
+        seq: u64,
+        /// Wire epoch of the head message.
+        epoch: u64,
+    },
+    /// The delivery the installed [`DeliveryPolicy`] chose at a choice
+    /// point with `arity` candidates.
+    Deliver {
+        /// Addressee of the delivered envelope.
+        dst: usize,
+        /// Source rank of the chosen stream.
+        src: usize,
+        /// Wire tag.
+        tag: Tag,
+        /// Stream sequence number.
+        seq: u64,
+        /// Wire epoch.
+        epoch: u64,
+        /// Number of candidates offered (≥ 1).
+        arity: usize,
+    },
+    /// A message was consumed by the application. `probe` marks
+    /// timing-sensitive consumption (`try_recv` / `recv_deadline`), whose
+    /// outcome can observe delivery order — the model checker treats such
+    /// messages as dependent with every racing alternative.
+    Recv {
+        /// Consuming virtual rank.
+        dst: usize,
+        /// Sending virtual rank.
+        src: usize,
+        /// Wire tag.
+        tag: Tag,
+        /// Stream sequence number.
+        seq: u64,
+        /// Wire epoch.
+        epoch: u64,
+        /// Consumed through a deadline/probe receive.
+        probe: bool,
+    },
+    /// An arrival from a *future* epoch was parked until this thread
+    /// advances.
+    Park {
+        /// Receiving virtual rank.
+        dst: usize,
+        /// Sending virtual rank.
+        src: usize,
+        /// Wire tag.
+        tag: Tag,
+        /// Stream sequence number.
+        seq: u64,
+        /// Wire epoch (> receiver's current).
+        epoch: u64,
+    },
+    /// An arrival from a *stale* epoch was dropped.
+    DropStale {
+        /// Receiving virtual rank.
+        dst: usize,
+        /// Sending virtual rank.
+        src: usize,
+        /// Wire tag.
+        tag: Tag,
+        /// Stream sequence number.
+        seq: u64,
+        /// Wire epoch (< receiver's current).
+        epoch: u64,
+    },
+    /// This thread advanced its wire epoch (takeover re-synchronisation).
+    EpochAdvance {
+        /// Physical rank of the thread.
+        rank: usize,
+        /// The new epoch (strictly greater than the previous one).
+        epoch: u64,
+    },
+    /// This thread adopted a dead rank's virtual rank as a second persona.
+    Adopt {
+        /// Physical rank of the adopter.
+        phys: usize,
+        /// Virtual rank adopted.
+        vrank: usize,
+    },
+    /// This thread's body panicked and the death was registered for
+    /// takeover (world in takeover mode, no abort in flight).
+    Death {
+        /// Physical rank that died.
+        rank: usize,
+    },
+    /// This thread raised the world-abort flag.
+    Abort {
+        /// Physical rank that aborted.
+        rank: usize,
+    },
+    /// A buffer left a [`BufferPool`](crate::pool::BufferPool).
+    PoolCheckout {
+        /// Process-unique pool id.
+        pool: u64,
+        /// Address identity of the checked-out buffer.
+        slot: usize,
+    },
+    /// A buffer was returned to a pool.
+    PoolCheckin {
+        /// Process-unique pool id.
+        pool: u64,
+        /// Address identity of the returned buffer.
+        slot: usize,
+    },
+    /// A pool was dropped. `panicking` distinguishes unwind teardown
+    /// (where outstanding buffers are expected) from a clean drop.
+    PoolDrop {
+        /// Process-unique pool id.
+        pool: u64,
+        /// Whether the owning thread was panicking at drop time.
+        panicking: bool,
+    },
+    /// Application-level conservation report: this rank owned `count`
+    /// particles when the step-`step` sentinel fired (emitted by the
+    /// simulator, not by `Comm`).
+    Sentinel {
+        /// Reporting virtual rank.
+        rank: usize,
+        /// Simulation step of the sentinel round.
+        step: u64,
+        /// Particles owned by this rank at that step.
+        count: u64,
+    },
+}
+
+impl std::fmt::Display for ProtocolEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use ProtocolEvent::*;
+        match *self {
+            Birth { rank } => write!(f, "birth r{rank}"),
+            Send {
+                src,
+                dst,
+                tag,
+                seq,
+                epoch,
+            } => write!(f, "send {src}->{dst} tag {tag} seq {seq} ep {epoch}"),
+            Admit {
+                dst,
+                src,
+                tag,
+                seq,
+                epoch,
+            } => write!(f, "admit {src}->{dst} tag {tag} seq {seq} ep {epoch}"),
+            Candidate {
+                dst,
+                src,
+                tag,
+                seq,
+                epoch,
+            } => write!(f, "cand {src}->{dst} tag {tag} seq {seq} ep {epoch}"),
+            Deliver {
+                dst,
+                src,
+                tag,
+                seq,
+                epoch,
+                arity,
+            } => write!(
+                f,
+                "deliver {src}->{dst} tag {tag} seq {seq} ep {epoch} (arity {arity})"
+            ),
+            Recv {
+                dst,
+                src,
+                tag,
+                seq,
+                epoch,
+                probe,
+            } => write!(
+                f,
+                "recv {src}->{dst} tag {tag} seq {seq} ep {epoch}{}",
+                if probe { " (probe)" } else { "" }
+            ),
+            Park {
+                dst,
+                src,
+                tag,
+                seq,
+                epoch,
+            } => write!(f, "park {src}->{dst} tag {tag} seq {seq} ep {epoch}"),
+            DropStale {
+                dst,
+                src,
+                tag,
+                seq,
+                epoch,
+            } => write!(f, "drop-stale {src}->{dst} tag {tag} seq {seq} ep {epoch}"),
+            EpochAdvance { rank, epoch } => write!(f, "epoch-advance r{rank} -> {epoch}"),
+            Adopt { phys, vrank } => write!(f, "adopt r{phys} += v{vrank}"),
+            Death { rank } => write!(f, "death r{rank}"),
+            Abort { rank } => write!(f, "abort r{rank}"),
+            PoolCheckout { pool, slot } => write!(f, "pool {pool} checkout {slot:#x}"),
+            PoolCheckin { pool, slot } => write!(f, "pool {pool} checkin {slot:#x}"),
+            PoolDrop { pool, panicking } => write!(
+                f,
+                "pool {pool} drop{}",
+                if panicking { " (panicking)" } else { "" }
+            ),
+            Sentinel { rank, step, count } => {
+                write!(f, "sentinel v{rank} step {step} count {count}")
+            }
+        }
+    }
+}
+
+/// A shared per-thread event log. The world launcher installs one per
+/// rank thread; the model checker reads them back after the run.
+pub type EventLog = Arc<Mutex<Vec<ProtocolEvent>>>;
+
+/// A fresh, empty event log.
+pub fn new_event_log() -> EventLog {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    /// Where this thread's protocol events go, if anywhere. Rank threads
+    /// are fresh OS threads per launch, so no cross-run leakage.
+    static EVENT_SINK: RefCell<Option<EventLog>> = const { RefCell::new(None) };
+}
+
+/// Bind this thread's protocol events to `log`. Installed by the
+/// instrumented world launchers from each rank's own thread before the
+/// rank body runs; logs may be shared across launches (events append).
+pub fn install_event_log(log: EventLog) {
+    EVENT_SINK.with(|s| *s.borrow_mut() = Some(log));
+}
+
+/// Record one protocol event on this thread's installed log; a no-op when
+/// no log is installed. Public so higher layers (the simulator's sentinel
+/// hook) can contribute application-level events to the same trace.
+pub fn emit(ev: ProtocolEvent) {
+    EVENT_SINK.with(|s| {
+        if let Some(log) = s.borrow().as_ref() {
+            log.lock().expect("event log lock").push(ev);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +489,37 @@ mod tests {
             assert_eq!(ca, b.choose(0, &c));
             assert!(ca < n);
         }
+    }
+
+    #[test]
+    fn event_sink_records_only_when_installed() {
+        // No sink installed on this thread yet: emission is a no-op.
+        emit(ProtocolEvent::Birth { rank: 9 });
+        let log = new_event_log();
+        install_event_log(Arc::clone(&log));
+        emit(ProtocolEvent::Birth { rank: 1 });
+        emit(ProtocolEvent::EpochAdvance { rank: 1, epoch: 2 });
+        let got = log.lock().unwrap().clone();
+        assert_eq!(
+            got,
+            vec![
+                ProtocolEvent::Birth { rank: 1 },
+                ProtocolEvent::EpochAdvance { rank: 1, epoch: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn event_display_is_compact() {
+        let ev = ProtocolEvent::Deliver {
+            dst: 2,
+            src: 1,
+            tag: 7,
+            seq: 3,
+            epoch: 0,
+            arity: 2,
+        };
+        assert_eq!(ev.to_string(), "deliver 1->2 tag 7 seq 3 ep 0 (arity 2)");
     }
 
     #[test]

@@ -518,6 +518,11 @@ impl Comm {
         );
         self.personas.push(Persona::new(vrank, self.size));
         self.routes[vrank].store(self.phys, Ordering::SeqCst);
+        #[cfg(feature = "check")]
+        crate::check::emit(crate::check::ProtocolEvent::Adopt {
+            phys: self.phys,
+            vrank,
+        });
     }
 
     /// Move this endpoint to takeover epoch `new_epoch`: discard every
@@ -532,6 +537,11 @@ impl Comm {
             "advance_epoch({new_epoch}): already at epoch {}",
             self.epoch_num
         );
+        #[cfg(feature = "check")]
+        crate::check::emit(crate::check::ProtocolEvent::EpochAdvance {
+            rank: self.phys,
+            epoch: new_epoch,
+        });
         self.epoch_num = new_epoch;
         self.pending.clear();
         #[cfg(feature = "check")]
@@ -593,6 +603,8 @@ impl Comm {
     /// violation) calls this *before* its fatal panic so the launch layer
     /// records a deliberate abort rather than another absorbable death.
     pub fn abort_world(&self) {
+        #[cfg(feature = "check")]
+        crate::check::emit(crate::check::ProtocolEvent::Abort { rank: self.phys });
         self.abort.store(true, Ordering::SeqCst);
     }
 
@@ -694,7 +706,21 @@ impl Comm {
         };
         #[cfg(feature = "check")]
         {
-            self.dispatch_checked(dst, env)
+            let (sent_seq, sent_epoch) = (env.seq, env.epoch);
+            let res = self.dispatch_checked(dst, env);
+            // Only a message that reached the wire counts as sent: a
+            // rolled-back send (retry exhaustion) must not appear in the
+            // event trace or the gaplessness property would misfire.
+            if res.is_ok() {
+                crate::check::emit(crate::check::ProtocolEvent::Send {
+                    src,
+                    dst,
+                    tag,
+                    seq: sent_seq,
+                    epoch: sent_epoch,
+                });
+            }
+            res
         }
         #[cfg(not(feature = "check"))]
         {
@@ -823,6 +849,21 @@ impl Comm {
         }
     }
 
+    /// Record a consumption event for `env`. `probe` marks the
+    /// timing-sensitive paths (`try_recv`, `recv_deadline`) whose outcome
+    /// depends on what has been delivered so far.
+    #[cfg(feature = "check")]
+    fn emit_recv(env: &Envelope, probe: bool) {
+        crate::check::emit(crate::check::ProtocolEvent::Recv {
+            dst: env.dst,
+            src: env.src,
+            tag: env.tag,
+            seq: env.seq,
+            epoch: env.epoch,
+            probe,
+        });
+    }
+
     /// Receive the next message from `src` with `tag` (addressed to the
     /// active persona), blocking until one arrives or the world watchdog
     /// expires. Panics with the [`CommError`] diagnostic on abort,
@@ -834,7 +875,11 @@ impl Comm {
         T: Any + Send + WireSize,
     {
         match self.recv_envelope(src, tag, None) {
-            Ok(env) => self.unpack_or_panic(env),
+            Ok(env) => {
+                #[cfg(feature = "check")]
+                Self::emit_recv(&env, false);
+                self.unpack_or_panic(env)
+            }
             Err(e) if e.kind == CommErrorKind::Interrupted => {
                 std::panic::panic_any(TakeoverInterrupt)
             }
@@ -859,8 +904,11 @@ impl Comm {
     {
         let env = self.recv_envelope(src, tag, Some(timeout))?;
         #[cfg(feature = "check")]
-        if env.truncated {
-            return Err(CommError::truncated(self.rank(), env.src, env.tag));
+        {
+            Self::emit_recv(&env, true);
+            if env.truncated {
+                return Err(CommError::truncated(self.rank(), env.src, env.tag));
+            }
         }
         Ok(self.unpack(env))
     }
@@ -943,15 +991,38 @@ impl Comm {
     fn admit(&mut self, env: Envelope) -> Result<(), CommError> {
         if env.epoch < self.epoch_num {
             // Stale pre-takeover traffic: silently dropped by design.
+            #[cfg(feature = "check")]
+            crate::check::emit(crate::check::ProtocolEvent::DropStale {
+                dst: env.dst,
+                src: env.src,
+                tag: env.tag,
+                seq: env.seq,
+                epoch: env.epoch,
+            });
             return Ok(());
         }
         if env.epoch > self.epoch_num {
+            #[cfg(feature = "check")]
+            crate::check::emit(crate::check::ProtocolEvent::Park {
+                dst: env.dst,
+                src: env.src,
+                tag: env.tag,
+                seq: env.seq,
+                epoch: env.epoch,
+            });
             self.future.push_back(env);
             return Ok(());
         }
         #[cfg(feature = "check")]
         {
             self.note_arrival(&env)?;
+            crate::check::emit(crate::check::ProtocolEvent::Admit {
+                dst: env.dst,
+                src: env.src,
+                tag: env.tag,
+                seq: env.seq,
+                epoch: env.epoch,
+            });
             if self.delivery.is_some() {
                 self.streams[env.src].push_back(env);
                 return Ok(());
@@ -999,13 +1070,19 @@ impl Comm {
     /// Returns false when every stream is empty.
     #[cfg(feature = "check")]
     fn deliver_one(&mut self) -> bool {
+        // (src, tag, seq, epoch, dst) of each stream head, parallel to
+        // `candidates` — the event trace records the full choice so the
+        // model checker can reconstruct it.
+        let mut heads: Vec<(usize, Tag, u64, u64, usize)> = Vec::new();
         let candidates: Vec<crate::check::Candidate> = self
             .streams
             .iter()
             .enumerate()
             .filter_map(|(src, q)| {
-                q.front()
-                    .map(|e| crate::check::Candidate { src, tag: e.tag })
+                q.front().map(|e| {
+                    heads.push((src, e.tag, e.seq, e.epoch, e.dst));
+                    crate::check::Candidate { src, tag: e.tag }
+                })
             })
             .collect();
         if candidates.is_empty() {
@@ -1019,6 +1096,26 @@ impl Comm {
             "delivery policy chose {i} of {} candidates",
             candidates.len()
         );
+        for (j, &(src, tag, seq, epoch, dst)) in heads.iter().enumerate() {
+            if j != i {
+                crate::check::emit(crate::check::ProtocolEvent::Candidate {
+                    dst,
+                    src,
+                    tag,
+                    seq,
+                    epoch,
+                });
+            }
+        }
+        let (src, tag, seq, epoch, dst) = heads[i];
+        crate::check::emit(crate::check::ProtocolEvent::Deliver {
+            dst,
+            src,
+            tag,
+            seq,
+            epoch,
+            arity: candidates.len(),
+        });
         let env = self.streams[candidates[i].src]
             .pop_front()
             .expect("candidate stream had a head");
@@ -1063,6 +1160,7 @@ impl Comm {
                 self.deliver_one();
             }
             let env = self.match_pending(src, tag)?;
+            Self::emit_recv(&env, true);
             return Some(self.unpack_or_panic(env));
         }
         // Drain the channel into pending so we see everything that arrived.
@@ -1072,6 +1170,8 @@ impl Comm {
             }
         }
         let env = self.match_pending(src, tag)?;
+        #[cfg(feature = "check")]
+        Self::emit_recv(&env, true);
         Some(self.unpack_or_panic(env))
     }
 
@@ -1334,6 +1434,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "real-time deadline expiry is meaningless under interpretation"
+    )]
     fn recv_deadline_times_out_then_succeeds() {
         let out = World::new(2).run(|comm| {
             if comm.rank() == 0 {
@@ -1373,6 +1477,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "sub-second watchdog races the interpreter")]
     fn watchdog_converts_a_silent_peer_into_a_panic_with_diagnostic() {
         // Rank 1 exits without ever sending; its mailbox senders stay open
         // (every rank holds one to every mailbox), so before the watchdog

@@ -281,6 +281,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "short watchdog/deadline budgets race the interpreter")]
     fn dropped_message_is_detected_as_a_sequence_gap() {
         // Rank 0's first send is swallowed; the second arrives with seq 1
         // while rank 1 expects seq 0 — a structured transport fault, not a
@@ -310,6 +311,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "short watchdog/deadline budgets race the interpreter")]
     fn duplicated_message_is_detected_as_a_replay() {
         let res = fault_world().try_run_with_faults(
             plans_for_rank0(FaultPlan::single(0, FaultKind::DuplicateMessage)),
@@ -336,6 +338,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "short watchdog/deadline budgets race the interpreter")]
     fn delayed_message_is_detected_as_a_reordering() {
         let res = fault_world().try_run_with_faults(
             plans_for_rank0(FaultPlan::single(0, FaultKind::DelayMessage)),
@@ -359,6 +362,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "short watchdog/deadline budgets race the interpreter")]
     fn truncated_payload_is_detected_before_unpacking() {
         let res = fault_world().try_run_with_faults(
             plans_for_rank0(FaultPlan::single(0, FaultKind::TruncatePayload)),
@@ -380,6 +384,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "short watchdog/deadline budgets race the interpreter")]
     fn killed_rank_surfaces_on_itself_and_its_blocked_peer() {
         let err = fault_world()
             .try_run_with_faults(plans_for_rank0(FaultPlan::kill_at(1)), |comm| {
@@ -400,6 +405,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "short watchdog/deadline budgets race the interpreter")]
     fn same_plan_produces_identical_diagnostics() {
         let run = || {
             fault_world()
@@ -417,6 +423,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "short watchdog/deadline budgets race the interpreter")]
     fn tag_triggered_sites_fire_on_the_nth_send_of_that_tag() {
         let mut inj = FaultInjector::new(FaultPlan::kill_on_tag(7, 1));
         // Sends on other tags do not advance tag 7's counter; the kill
@@ -429,6 +436,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "short watchdog/deadline budgets race the interpreter")]
     fn transient_send_failures_are_retried_through() {
         // Every retry consumes a send-op index, so a burst equal to the
         // retry limit still goes through — the glitch never escalates.
@@ -449,6 +457,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "short watchdog/deadline budgets race the interpreter")]
     fn persistent_send_failure_exhausts_the_retry_budget() {
         // One more consecutive failure than the budget: try_send must
         // surface a structured Transport error, not spin forever.

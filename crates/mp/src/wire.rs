@@ -80,6 +80,15 @@ impl<T: WireSize> WireSize for std::sync::Arc<T> {
     }
 }
 
+/// Same charging rule for the loom-shim `Arc` the pool uses under
+/// `--cfg loom`, so the pooled-send tests type-check in loom builds.
+#[cfg(loom)]
+impl<T: WireSize> WireSize for loom::sync::Arc<T> {
+    fn wire_size(&self) -> usize {
+        (**self).wire_size()
+    }
+}
+
 impl WireSize for String {
     fn wire_size(&self) -> usize {
         8 + self.len()

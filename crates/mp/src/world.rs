@@ -223,6 +223,66 @@ impl World {
         Self::unwrap_results(results)
     }
 
+    /// Like [`World::run_with_delivery`], but additionally binds each rank
+    /// thread to an event log before the program starts:
+    /// `log_for_rank(rank)` is called once per rank on that rank's own
+    /// thread and every protocol-level action the rank performs is
+    /// appended to the returned log (see [`crate::check::ProtocolEvent`]),
+    /// starting with a [`Birth`](crate::check::ProtocolEvent::Birth)
+    /// marker. The model checker in `pcdlb-check` runs worlds through this
+    /// entry and checks its safety properties over the collected logs.
+    #[cfg(feature = "check")]
+    pub fn run_instrumented<R, F, P, L>(&self, policy_for_rank: P, log_for_rank: L, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+        P: Fn(usize) -> Box<dyn crate::check::DeliveryPolicy> + Sync,
+        L: Fn(usize) -> crate::check::EventLog + Sync,
+    {
+        let (results, mut panics, _dead) = self.launch(f, |comm| {
+            crate::check::install_event_log(log_for_rank(comm.rank()));
+            crate::check::emit(crate::check::ProtocolEvent::Birth { rank: comm.rank() });
+            comm.set_delivery_policy(policy_for_rank(comm.rank()));
+        });
+        if let Some((_rank, payload)) = panics.drain(..).next() {
+            std::panic::resume_unwind(payload);
+        }
+        Self::unwrap_results(results)
+    }
+
+    /// The instrumented form of [`World::try_run_degraded_with_faults`]:
+    /// per-rank fault plans *and* a delivery policy *and* an event log are
+    /// installed on every rank thread before the program starts. Logs may
+    /// be shared across launches — each launch appends a fresh
+    /// [`Birth`](crate::check::ProtocolEvent::Birth) marker, which is how
+    /// the model checker segments relaunch attempts.
+    #[cfg(feature = "check")]
+    pub fn try_run_degraded_instrumented<R, F, P, Q, L>(
+        &self,
+        plan_for_rank: Q,
+        policy_for_rank: P,
+        log_for_rank: L,
+        f: F,
+    ) -> Result<DegradedOutcome<R>, WorldError>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+        P: Fn(usize) -> Box<dyn crate::check::DeliveryPolicy> + Sync,
+        Q: Fn(usize) -> Option<crate::fault::FaultPlan> + Sync,
+        L: Fn(usize) -> crate::check::EventLog + Sync,
+    {
+        assert!(self.takeover, "try_run_degraded requires with_takeover()");
+        let (results, panics, dead) = self.launch(f, |comm| {
+            crate::check::install_event_log(log_for_rank(comm.rank()));
+            crate::check::emit(crate::check::ProtocolEvent::Birth { rank: comm.rank() });
+            comm.set_delivery_policy(policy_for_rank(comm.rank()));
+            if let Some(plan) = plan_for_rank(comm.rank()) {
+                comm.set_fault_plan(plan);
+            }
+        });
+        Self::collect_degraded(results, panics, dead)
+    }
+
     /// Like [`World::try_run`], but arms each rank's fault injector first:
     /// `plan_for_rank(rank)` returning `Some` installs that
     /// [`crate::fault::FaultPlan`] on the rank. Injected faults surface as
@@ -351,6 +411,8 @@ impl World {
                                 // survivors can absorb it in place. Capacity
                                 // is one death per launch; a second sets the
                                 // abort flag and the caller relaunches.
+                                #[cfg(feature = "check")]
+                                crate::check::emit(crate::check::ProtocolEvent::Death { rank });
                                 dead[rank].store(true, Ordering::SeqCst);
                                 if deaths.fetch_add(1, Ordering::SeqCst) + 1 >= 2 {
                                     abort.store(true, Ordering::SeqCst);
@@ -600,6 +662,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "64 interpreted threads are far too slow")]
     fn many_ranks_oversubscribed() {
         // 64 ranks on however few cores the host has must still complete.
         let out = World::new(64).run(|comm| {

@@ -78,6 +78,30 @@ where
     )
 }
 
+/// Like [`run_digest_with_policy`], but additionally binds each rank
+/// thread to a protocol event log (`log_for_rank`), so the model checker
+/// in `pcdlb-check` gets both the determinism digest and the full
+/// per-rank [`ProtocolEvent`](pcdlb_mp::check::ProtocolEvent) traces of
+/// the run.
+#[cfg(feature = "check")]
+pub fn run_digest_instrumented<P, L>(cfg: &RunConfig, policy_for_rank: P, log_for_rank: L) -> u64
+where
+    P: Fn(usize) -> Box<dyn pcdlb_mp::check::DeliveryPolicy> + Sync,
+    L: Fn(usize) -> pcdlb_mp::check::EventLog + Sync,
+{
+    cfg.validate();
+    let world = World::new(cfg.p).with_cost_model(CostModel::t3e(Some(cfg.torus())));
+    let results: Vec<PeResult> = world.run_instrumented(policy_for_rank, log_for_rank, |comm| {
+        pe_main(comm, cfg, true)
+    });
+    let (report, snapshot) = assemble(results);
+    crate::digest::digest_run(
+        &report,
+        &snapshot.expect("snapshot requested"),
+        cfg.load_metric,
+    )
+}
+
 /// Run the serial reference simulator on the same configuration,
 /// returning the final particle state (sorted by id). Uses the identical
 /// initial condition, integrator, thermostat and pair-summation order as

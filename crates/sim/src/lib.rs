@@ -35,5 +35,7 @@ pub use recover::{
     SimCheckpoint,
 };
 #[cfg(feature = "check")]
-pub use recover::{run_with_recovery_faulted, run_with_takeover_faulted};
+pub use recover::{
+    run_with_recovery_faulted, run_with_takeover_faulted, run_with_takeover_instrumented,
+};
 pub use report::{PhaseTimes, RunReport, StepRecord};

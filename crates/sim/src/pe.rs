@@ -1160,6 +1160,12 @@ impl PeState {
         }
         let own_cols: Vec<Col> = self.columns.keys().copied().collect();
         let count = self.num_particles() as u64;
+        #[cfg(feature = "check")]
+        pcdlb_mp::check::emit(pcdlb_mp::check::ProtocolEvent::Sentinel {
+            rank: comm.rank(),
+            step,
+            count,
+        });
         if let Some(chunks) = collectives::gather(comm, tags::SENTINEL, (count, own_cols)) {
             if let Err(report) = validate_sentinel(&self.cfg, step, &chunks) {
                 // Raise the abort flag first: this panic is an intentional

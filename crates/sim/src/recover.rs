@@ -319,6 +319,36 @@ where
     })
 }
 
+/// [`run_with_takeover_faulted`] with full model-checker instrumentation:
+/// besides the per-attempt fault plans, `policies(attempt, rank)` installs
+/// each rank's delivery policy and `logs(attempt, rank)` binds each rank
+/// thread to a protocol event log (see
+/// [`ProtocolEvent`](pcdlb_mp::check::ProtocolEvent)). Returning the same
+/// log for every attempt accumulates one trace per physical rank,
+/// segmented by `Birth` markers — the shape the model checker consumes.
+#[cfg(feature = "check")]
+pub fn run_with_takeover_instrumented<P, Q, L>(
+    cfg: &RunConfig,
+    opts: &RecoveryOptions,
+    plans: P,
+    policies: Q,
+    logs: L,
+) -> Result<RecoveryOutcome, RecoveryError>
+where
+    P: Fn(usize, usize) -> Option<pcdlb_mp::FaultPlan> + Sync,
+    Q: Fn(usize, usize) -> Box<dyn pcdlb_mp::check::DeliveryPolicy> + Sync,
+    L: Fn(usize, usize) -> pcdlb_mp::check::EventLog + Sync,
+{
+    run_takeover_attempts(cfg, opts, |attempt, world, sink| {
+        world.try_run_degraded_instrumented(
+            |rank| plans(attempt, rank),
+            |rank| policies(attempt, rank),
+            |rank| logs(attempt, rank),
+            |comm| crate::takeover::takeover_main(comm, cfg, true, sink),
+        )
+    })
+}
+
 type RolePeResults = Vec<(usize, PeResult)>;
 
 fn run_takeover_attempts<A>(

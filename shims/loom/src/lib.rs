@@ -1,0 +1,1002 @@
+//! In-tree stand-in for the `loom` concurrency model checker.
+//!
+//! The real loom is not vendorable here (offline build), so this shim
+//! implements the subset of its API the workspace uses, backed by a
+//! genuine — if much simpler — schedule explorer:
+//!
+//! - [`model`] runs the closure repeatedly, once per distinct schedule,
+//!   until the DFS over scheduling choices is exhausted.
+//! - Every logical thread is a real OS thread, but a cooperative token
+//!   scheduler lets exactly **one** run at a time. Each instrumented
+//!   operation (atomic access, mutex lock/unlock, `Arc` clone/drop,
+//!   condvar wait/notify, spawn) is a *schedule point*: the scheduler may
+//!   switch to any other runnable thread there, and each point with ≥ 2
+//!   runnable threads is a recorded branching choice the DFS backtracks
+//!   over.
+//! - Blocked threads (mutex contention, condvar waits, joins) are tracked
+//!   as blocked — never spun — so "every thread blocked" is detected
+//!   exactly. A blocked state with only *timed* condvar waiters wakes one
+//!   of them with a timeout (that is the only way time "passes" here); a
+//!   blocked state with none is reported as a deadlock, which doubles as
+//!   a lost-wakeup detector: see [`deadlock_breaks`].
+//!
+//! Limitations vs. real loom, accepted deliberately: memory ordering is
+//! sequentially consistent only (orderings are ignored), `notify_one`
+//! wakes the lowest-id waiter rather than branching over wake orders, and
+//! there is no preemption bounding — exploration is exhaustive up to
+//! `LOOM_MAX_ITERATIONS` (default 20 000).
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::{Arc as StdArc, Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+use std::time::Duration;
+
+/// Panic payload used to unwind cooperating threads when the model is
+/// torn down (deadlock, or a panic on another thread).
+struct Teardown;
+
+/// How a non-runnable thread is blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockOn {
+    /// Waiting to acquire the mutex with this id.
+    Lock(usize),
+    /// Waiting on the condvar with this id; `timed` waits may be woken by
+    /// the deadlock-breaker with a timeout.
+    Cond { cond: usize, timed: bool },
+    /// Waiting for the thread with this id to finish.
+    Join(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    /// Called `yield_now`: not schedulable until some other thread runs
+    /// (all Yielded threads revert to Runnable after the next pick), so a
+    /// yielding spin loop always lets its peers make progress.
+    Yielded,
+    Blocked(BlockOn),
+    Finished,
+}
+
+/// One recorded scheduling decision: how many threads were runnable and
+/// which (by index into the sorted runnable set) ran.
+#[derive(Debug, Clone, Copy)]
+struct Choice {
+    arity: usize,
+    taken: usize,
+}
+
+#[derive(Default)]
+struct Sched {
+    states: Vec<TState>,
+    /// Deadlock-break wakeups set this; consumed by the woken waiter.
+    timed_out: Vec<bool>,
+    current: usize,
+    prefix: Vec<usize>,
+    trace: Vec<Choice>,
+    /// First non-teardown panic payload of any thread.
+    panic: Option<Box<dyn Any + Send>>,
+    tearing_down: bool,
+    handles: Vec<Option<std::thread::JoinHandle<()>>>,
+    deadlock_breaks: usize,
+    /// Involuntary context switches taken so far this iteration; bounded
+    /// by `LOOM_MAX_PREEMPTIONS` (default 2), like real loom, to keep the
+    /// schedule space tractable. Voluntary switches (block, yield,
+    /// finish) are always free.
+    preemptions: usize,
+}
+
+fn preemption_bound() -> usize {
+    std::env::var("LOOM_MAX_PREEMPTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+use std::any::Any;
+
+struct Scheduler {
+    m: StdMutex<Sched>,
+    cv: StdCondvar,
+}
+
+impl Scheduler {
+    fn new(prefix: Vec<usize>) -> Self {
+        Self {
+            m: StdMutex::new(Sched {
+                prefix,
+                ..Sched::default()
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, Sched> {
+        self.m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn register(&self) -> usize {
+        let mut s = self.locked();
+        s.states.push(TState::Runnable);
+        s.timed_out.push(false);
+        s.handles.push(None);
+        s.states.len() - 1
+    }
+
+    /// Pick the next thread to run. Called with the lock held by whichever
+    /// thread just yielded, blocked, or finished.
+    fn pick(&self, s: &mut Sched) {
+        if s.tearing_down {
+            self.cv.notify_all();
+            return;
+        }
+        let mut runnable: Vec<usize> = (0..s.states.len())
+            .filter(|&i| s.states[i] == TState::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            // Yielded threads are schedulable again once nobody else is.
+            for i in 0..s.states.len() {
+                if s.states[i] == TState::Yielded {
+                    s.states[i] = TState::Runnable;
+                    runnable.push(i);
+                }
+            }
+        }
+        if runnable.is_empty() {
+            // Only time itself can unblock a timed condvar waiter; model
+            // its expiry exactly when nothing else can happen.
+            let timed: Option<usize> = (0..s.states.len()).find(|&i| {
+                matches!(
+                    s.states[i],
+                    TState::Blocked(BlockOn::Cond { timed: true, .. })
+                )
+            });
+            if let Some(t) = timed {
+                s.states[t] = TState::Runnable;
+                s.timed_out[t] = true;
+                s.deadlock_breaks += 1;
+                if s.deadlock_breaks > 1024 {
+                    s.panic = Some(Box::new(
+                        "loom shim: livelock — over 1024 timed-wait expiries with no progress"
+                            .to_string(),
+                    ));
+                    s.tearing_down = true;
+                    self.cv.notify_all();
+                    return;
+                }
+                s.current = t;
+                self.cv.notify_all();
+                return;
+            }
+            if s.states.iter().all(|t| *t == TState::Finished) {
+                self.cv.notify_all();
+                return;
+            }
+            s.panic = Some(Box::new(format!(
+                "loom shim: deadlock — every live thread is blocked ({:?})",
+                s.states
+            )));
+            s.tearing_down = true;
+            self.cv.notify_all();
+            return;
+        }
+        // A switch away from a still-runnable current thread is a
+        // preemption; once the budget is spent the current thread runs on
+        // uninterrupted (no branching choice recorded).
+        let cur = s.current;
+        let cur_runnable = runnable.contains(&cur);
+        if cur_runnable && s.preemptions >= preemption_bound() {
+            for i in 0..s.states.len() {
+                if s.states[i] == TState::Yielded {
+                    s.states[i] = TState::Runnable;
+                }
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let taken = if runnable.len() == 1 {
+            0
+        } else {
+            let depth = s.trace.len();
+            let want = s.prefix.get(depth).copied().unwrap_or(0);
+            let taken = want.min(runnable.len() - 1);
+            s.trace.push(Choice {
+                arity: runnable.len(),
+                taken,
+            });
+            taken
+        };
+        let chosen = runnable[taken];
+        if cur_runnable && chosen != cur {
+            s.preemptions += 1;
+        }
+        s.current = chosen;
+        // Whoever was parked by yield_now has now "seen" another pick;
+        // they compete again from the next schedule point on.
+        for i in 0..s.states.len() {
+            if s.states[i] == TState::Yielded {
+                s.states[i] = TState::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Wait (really blocked, no spin) until this thread holds the token.
+    /// Panics with [`Teardown`] if the model is being torn down.
+    fn wait_for_token(&self, me: usize) {
+        let mut s = self.locked();
+        loop {
+            if s.tearing_down {
+                drop(s);
+                std::panic::panic_any(Teardown);
+            }
+            if s.current == me && s.states[me] == TState::Runnable {
+                return;
+            }
+            s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Schedule point: offer the token to any runnable thread (including
+    /// this one), then wait to run again.
+    fn yield_point(&self, me: usize) {
+        {
+            let mut s = self.locked();
+            self.pick(&mut s);
+        }
+        self.wait_for_token(me);
+    }
+
+    /// Voluntary yield: park this thread as `Yielded` so the next pick
+    /// must choose someone else if anyone else can run (free — not a
+    /// preemption). A yielding spin loop therefore cannot starve peers.
+    fn yield_soft(&self, me: usize) {
+        {
+            let mut s = self.locked();
+            s.states[me] = TState::Yielded;
+            self.pick(&mut s);
+        }
+        self.wait_for_token(me);
+    }
+
+    /// Block this thread on `on` and run something else; returns once the
+    /// thread has been woken *and* scheduled. Returns the timed-out flag.
+    fn block_on(&self, me: usize, on: BlockOn) -> bool {
+        {
+            let mut s = self.locked();
+            s.states[me] = TState::Blocked(on);
+            self.pick(&mut s);
+        }
+        self.wait_for_token(me);
+        let mut s = self.locked();
+        std::mem::take(&mut s.timed_out[me])
+    }
+
+    /// Wake every thread blocked on mutex `id` (they re-contend).
+    fn unlocked(&self, id: usize) {
+        let mut s = self.locked();
+        for i in 0..s.states.len() {
+            if s.states[i] == TState::Blocked(BlockOn::Lock(id)) {
+                s.states[i] = TState::Runnable;
+            }
+        }
+    }
+
+    fn notify(&self, cond_id: usize, all: bool) {
+        let mut s = self.locked();
+        for i in 0..s.states.len() {
+            if matches!(s.states[i], TState::Blocked(BlockOn::Cond { cond, .. }) if cond == cond_id)
+            {
+                s.states[i] = TState::Runnable;
+                s.timed_out[i] = false;
+                if !all {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Mark this thread finished, wake joiners, and pass the token on.
+    fn finish(&self, me: usize) {
+        let mut s = self.locked();
+        s.states[me] = TState::Finished;
+        for i in 0..s.states.len() {
+            if s.states[i] == TState::Blocked(BlockOn::Join(me)) {
+                s.states[i] = TState::Runnable;
+            }
+        }
+        self.pick(&mut s);
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut s = self.locked();
+        if payload.downcast_ref::<Teardown>().is_none() && s.panic.is_none() {
+            s.panic = Some(payload);
+        }
+        s.tearing_down = true;
+        self.cv.notify_all();
+    }
+
+    fn wait_all_finished(&self) {
+        let mut s = self.locked();
+        loop {
+            let live = s.states.iter().any(|t| !matches!(t, TState::Finished));
+            if !live {
+                return;
+            }
+            s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+thread_local! {
+    /// (scheduler, my logical thread id) — set on every model thread.
+    static CURRENT: RefCell<Option<(StdArc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+fn with_current<R>(f: impl FnOnce(&StdArc<Scheduler>, usize) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|(s, id)| f(s, *id)))
+}
+
+/// Schedule point on the calling thread; no-op outside [`model`]. Called
+/// by every instrumented operation, and usable directly as
+/// `loom::thread::yield_now`.
+fn schedule_point() {
+    if std::thread::panicking() {
+        return;
+    }
+    let ctx = with_current(|s, id| (StdArc::clone(s), id));
+    if let Some((s, id)) = ctx {
+        s.yield_point(id);
+    }
+}
+
+/// Number of timed-wait expiries the deadlock-breaker had to inject in
+/// the *current* iteration. Correct wakeup protocols never need one: a
+/// test can assert this is `0` to prove no wakeup was lost (the blocked
+/// thread was always woken by a notify, never rescued by its timeout).
+/// Returns 0 outside [`model`].
+pub fn deadlock_breaks() -> usize {
+    with_current(|s, _| s.locked().deadlock_breaks).unwrap_or(0)
+}
+
+fn spawn_logical<T: Send + 'static>(
+    sched: &StdArc<Scheduler>,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> thread::JoinHandle<T> {
+    let id = sched.register();
+    let slot: StdArc<StdMutex<Option<std::thread::Result<T>>>> = StdArc::new(StdMutex::new(None));
+    let sc = StdArc::clone(sched);
+    let out = StdArc::clone(&slot);
+    let real = std::thread::spawn(move || {
+        CURRENT.with(|c| *c.borrow_mut() = Some((StdArc::clone(&sc), id)));
+        let run = || {
+            sc.wait_for_token(id);
+            f()
+        };
+        let result = catch_unwind(AssertUnwindSafe(run));
+        match result {
+            Ok(v) => {
+                *out.lock().unwrap_or_else(PoisonError::into_inner) = Some(Ok(v));
+            }
+            Err(payload) => {
+                sc.record_panic(payload);
+                *out.lock().unwrap_or_else(PoisonError::into_inner) =
+                    Some(Err(Box::new(Teardown) as Box<dyn Any + Send>));
+            }
+        }
+        sc.finish(id);
+    });
+    sched.locked().handles[id] = Some(real);
+    thread::JoinHandle {
+        id,
+        slot,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+fn max_iterations() -> usize {
+    std::env::var("LOOM_MAX_ITERATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000)
+}
+
+/// Explore every schedule of `f` (up to `LOOM_MAX_ITERATIONS`). Panics
+/// propagate out of the first failing iteration; exceeding the iteration
+/// budget is itself a failure (the state space must be bounded).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = StdArc::new(f);
+    let mut prefix: Vec<usize> = Vec::new();
+    let cap = max_iterations();
+    for iter in 0.. {
+        assert!(
+            iter < cap,
+            "loom shim: exceeded {cap} schedule iterations (set LOOM_MAX_ITERATIONS to raise)"
+        );
+        let sched = StdArc::new(Scheduler::new(prefix.clone()));
+        let g = StdArc::clone(&f);
+        let root = spawn_logical(&sched, move || g());
+        {
+            let mut s = sched.locked();
+            sched.pick(&mut s);
+        }
+        sched.wait_all_finished();
+        let handles: Vec<_> = {
+            let mut s = sched.locked();
+            s.handles.iter_mut().filter_map(Option::take).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        drop(root);
+        let mut s = sched.locked();
+        if let Some(p) = s.panic.take() {
+            drop(s);
+            resume_unwind(p);
+        }
+        // DFS backtrack: bump the deepest choice with an unexplored
+        // sibling, truncating everything after it.
+        let mut next: Option<Vec<usize>> = None;
+        for i in (0..s.trace.len()).rev() {
+            if s.trace[i].taken + 1 < s.trace[i].arity {
+                let mut p: Vec<usize> = s.trace[..i].iter().map(|c| c.taken).collect();
+                p.push(s.trace[i].taken + 1);
+                next = Some(p);
+                break;
+            }
+        }
+        match next {
+            Some(p) => prefix = p,
+            None => break,
+        }
+    }
+}
+
+pub mod thread {
+    //! Model-aware threads.
+    use super::*;
+
+    /// Handle to a logical model thread.
+    pub struct JoinHandle<T> {
+        pub(crate) id: usize,
+        pub(crate) slot: StdArc<StdMutex<Option<std::thread::Result<T>>>>,
+        pub(crate) _not_send: std::marker::PhantomData<*const ()>,
+    }
+
+    /// Spawn a logical thread inside [`model`]. Panics if called outside.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let sched =
+            with_current(|s, _| StdArc::clone(s)).expect("loom::thread::spawn outside loom::model");
+        let h = spawn_logical(&sched, f);
+        schedule_point();
+        h
+    }
+
+    /// Explicit schedule point with loom's yield semantics: the calling
+    /// thread is not scheduled again until every other runnable thread
+    /// has had a chance to run, so yielding spin loops make progress
+    /// visible instead of starving their peers.
+    pub fn yield_now() {
+        if std::thread::panicking() {
+            return;
+        }
+        let ctx = with_current(|s, id| (StdArc::clone(s), id));
+        if let Some((s, id)) = ctx {
+            s.yield_soft(id);
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish and take its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            let ctx = with_current(|s, id| (StdArc::clone(s), id))
+                .expect("loom JoinHandle::join outside loom::model");
+            let (sched, me) = ctx;
+            let finished = |s: &Sched| matches!(s.states.get(self.id), Some(TState::Finished));
+            if !finished(&sched.locked()) {
+                sched.block_on(me, BlockOn::Join(self.id));
+            }
+            self.slot
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .expect("joined thread left no result")
+        }
+    }
+}
+
+pub mod sync {
+    //! Model-aware `std::sync` lookalikes.
+    use super::*;
+    use std::ops::{Deref, DerefMut};
+
+    /// Mutex/condvar instance ids (process-global; only intra-iteration
+    /// identity matters).
+    static NEXT_SYNC_ID: StdAtomicUsize = StdAtomicUsize::new(0);
+
+    fn next_id() -> usize {
+        NEXT_SYNC_ID.fetch_add(1, StdOrdering::Relaxed)
+    }
+
+    /// Model-checked `Arc`: clone, drop, `strong_count` and `get_mut` are
+    /// schedule points, so receiver-side drops interleave with
+    /// sender-side uniqueness checks under every explored schedule.
+    #[derive(Debug)]
+    pub struct Arc<T: ?Sized>(StdArc<T>);
+
+    impl<T> Arc<T> {
+        /// See `std::sync::Arc::new`.
+        pub fn new(v: T) -> Self {
+            Self(StdArc::new(v))
+        }
+
+        /// See `std::sync::Arc::strong_count` (schedule point).
+        pub fn strong_count(this: &Self) -> usize {
+            schedule_point();
+            StdArc::strong_count(&this.0)
+        }
+
+        /// See `std::sync::Arc::get_mut` (schedule point).
+        pub fn get_mut(this: &mut Self) -> Option<&mut T> {
+            schedule_point();
+            StdArc::get_mut(&mut this.0)
+        }
+
+        /// See `std::sync::Arc::as_ptr`.
+        pub fn as_ptr(this: &Self) -> *const T {
+            StdArc::as_ptr(&this.0)
+        }
+
+        /// See `std::sync::Arc::ptr_eq`.
+        pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+            StdArc::ptr_eq(&a.0, &b.0)
+        }
+    }
+
+    impl<T: ?Sized> Clone for Arc<T> {
+        fn clone(&self) -> Self {
+            schedule_point();
+            Self(StdArc::clone(&self.0))
+        }
+    }
+
+    impl<T: ?Sized> Drop for Arc<T> {
+        fn drop(&mut self) {
+            // The refcount decrement is a schedule point too (it is the
+            // interesting half of the pool-uniqueness race), but never
+            // reschedule while unwinding.
+            schedule_point();
+        }
+    }
+
+    impl<T: ?Sized> Deref for Arc<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    /// Model-checked mutex. Contended acquisition blocks the logical
+    /// thread in the scheduler (no OS blocking, no spinning).
+    #[derive(Debug)]
+    pub struct Mutex<T> {
+        inner: StdMutex<T>,
+        id: usize,
+    }
+
+    /// RAII guard; unlocking is a schedule point.
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T> Mutex<T> {
+        /// See `std::sync::Mutex::new`.
+        pub fn new(v: T) -> Self {
+            Self {
+                inner: StdMutex::new(v),
+                id: next_id(),
+            }
+        }
+
+        fn acquire(&self) -> std::sync::MutexGuard<'_, T> {
+            let ctx = with_current(|s, id| (StdArc::clone(s), id));
+            match ctx {
+                Some((sched, me)) => loop {
+                    match self.inner.try_lock() {
+                        Ok(g) => return g,
+                        Err(std::sync::TryLockError::Poisoned(e)) => return e.into_inner(),
+                        Err(std::sync::TryLockError::WouldBlock) => {
+                            sched.block_on(me, BlockOn::Lock(self.id));
+                        }
+                    }
+                },
+                None => self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            }
+        }
+
+        /// See `std::sync::Mutex::lock`; acquisition is a schedule point
+        /// and never reports poisoning.
+        pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+            schedule_point();
+            Ok(MutexGuard {
+                lock: self,
+                inner: Some(self.acquire()),
+            })
+        }
+    }
+
+    impl<'a, T> Drop for MutexGuard<'a, T> {
+        fn drop(&mut self) {
+            self.inner.take();
+            let ctx = with_current(|s, id| (StdArc::clone(s), id));
+            if let Some((sched, _me)) = ctx {
+                sched.unlocked(self.lock.id);
+                schedule_point();
+            }
+        }
+    }
+
+    impl<'a, T> Deref for MutexGuard<'a, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard live")
+        }
+    }
+
+    impl<'a, T> DerefMut for MutexGuard<'a, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard live")
+        }
+    }
+
+    /// Result of a timed condvar wait.
+    #[derive(Debug, Clone, Copy)]
+    pub struct WaitTimeoutResult(pub(crate) bool);
+
+    impl WaitTimeoutResult {
+        /// True when the wait ended by timeout rather than a notify.
+        pub fn timed_out(&self) -> bool {
+            self.0
+        }
+    }
+
+    /// Model-checked condvar. In the model, a timed wait "times out" only
+    /// when every other thread is blocked (the only moment time passes);
+    /// an untimed wait with no possible notifier is a detected deadlock.
+    #[derive(Debug)]
+    pub struct Condvar {
+        std: StdCondvar,
+        id: usize,
+    }
+
+    impl Condvar {
+        /// See `std::sync::Condvar::new`.
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Self {
+                std: StdCondvar::new(),
+                id: next_id(),
+            }
+        }
+
+        fn wait_inner<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            timed: bool,
+            dur: Option<Duration>,
+        ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+            let ctx = with_current(|s, id| (StdArc::clone(s), id));
+            match ctx {
+                Some((sched, me)) => {
+                    // Release the mutex and register as a waiter in ONE
+                    // scheduler transaction — a notify between the two
+                    // would otherwise be lost (the race real condvars
+                    // close by releasing-and-registering atomically).
+                    let lock = guard.lock;
+                    let mut g = guard;
+                    let std_guard = g.inner.take().expect("guard live");
+                    std::mem::forget(g); // side effects done manually below
+                    {
+                        let mut s = sched.locked();
+                        s.states[me] = TState::Blocked(BlockOn::Cond {
+                            cond: self.id,
+                            timed,
+                        });
+                        drop(std_guard);
+                        for i in 0..s.states.len() {
+                            if s.states[i] == TState::Blocked(BlockOn::Lock(lock.id)) {
+                                s.states[i] = TState::Runnable;
+                            }
+                        }
+                        sched.pick(&mut s);
+                    }
+                    sched.wait_for_token(me);
+                    let timed_out = {
+                        let mut s = sched.locked();
+                        std::mem::take(&mut s.timed_out[me])
+                    };
+                    (
+                        MutexGuard {
+                            lock,
+                            inner: Some(lock.acquire()),
+                        },
+                        WaitTimeoutResult(timed_out),
+                    )
+                }
+                None => {
+                    // Passthrough outside the model: real std wait.
+                    let lock = guard.lock;
+                    let mut g = guard;
+                    let std_guard = g.inner.take().expect("guard live");
+                    drop(g);
+                    match dur {
+                        Some(d) => {
+                            let (sg, r) = self
+                                .std
+                                .wait_timeout(std_guard, d)
+                                .unwrap_or_else(PoisonError::into_inner);
+                            (
+                                MutexGuard {
+                                    lock,
+                                    inner: Some(sg),
+                                },
+                                WaitTimeoutResult(r.timed_out()),
+                            )
+                        }
+                        None => {
+                            let sg = self
+                                .std
+                                .wait(std_guard)
+                                .unwrap_or_else(PoisonError::into_inner);
+                            (
+                                MutexGuard {
+                                    lock,
+                                    inner: Some(sg),
+                                },
+                                WaitTimeoutResult(false),
+                            )
+                        }
+                    }
+                }
+            }
+        }
+
+        /// See `std::sync::Condvar::wait`.
+        pub fn wait<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+        ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+            let (g, _) = self.wait_inner(guard, false, None);
+            Ok(g)
+        }
+
+        /// See `std::sync::Condvar::wait_timeout`.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: Duration,
+        ) -> std::sync::LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            Ok(self.wait_inner(guard, true, Some(dur)))
+        }
+
+        /// See `std::sync::Condvar::notify_one`. Wakes the lowest-id
+        /// waiter (deterministic; wake order is not a branching choice).
+        pub fn notify_one(&self) {
+            self.std.notify_one();
+            if let Some((sched, _)) = with_current(|s, id| (StdArc::clone(s), id)) {
+                sched.notify(self.id, false);
+                schedule_point();
+            }
+        }
+
+        /// See `std::sync::Condvar::notify_all`.
+        pub fn notify_all(&self) {
+            self.std.notify_all();
+            if let Some((sched, _)) = with_current(|s, id| (StdArc::clone(s), id)) {
+                sched.notify(self.id, true);
+                schedule_point();
+            }
+        }
+    }
+
+    pub mod atomic {
+        //! Model-aware atomics: every access is a schedule point;
+        //! orderings are accepted and ignored (SC semantics only).
+        use super::schedule_point;
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_shim {
+            ($name:ident, $std:ty, $ty:ty) => {
+                /// Model-checked atomic (see the module docs).
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    /// See the `std::sync::atomic` counterpart.
+                    pub fn new(v: $ty) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    /// See the `std::sync::atomic` counterpart.
+                    pub fn load(&self, _: Ordering) -> $ty {
+                        schedule_point();
+                        self.0.load(Ordering::SeqCst)
+                    }
+
+                    /// See the `std::sync::atomic` counterpart.
+                    pub fn store(&self, v: $ty, _: Ordering) {
+                        schedule_point();
+                        self.0.store(v, Ordering::SeqCst)
+                    }
+
+                    /// See the `std::sync::atomic` counterpart.
+                    pub fn swap(&self, v: $ty, _: Ordering) -> $ty {
+                        schedule_point();
+                        self.0.swap(v, Ordering::SeqCst)
+                    }
+
+                    /// See the `std::sync::atomic` counterpart.
+                    pub fn compare_exchange(
+                        &self,
+                        cur: $ty,
+                        new: $ty,
+                        _: Ordering,
+                        _: Ordering,
+                    ) -> Result<$ty, $ty> {
+                        schedule_point();
+                        self.0
+                            .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        atomic_shim!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        atomic_shim!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        atomic_shim!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+        impl AtomicBool {
+            /// See `std::sync::atomic::AtomicBool::fetch_or`.
+            pub fn fetch_or(&self, v: bool, _: Ordering) -> bool {
+                schedule_point();
+                self.0.fetch_or(v, Ordering::SeqCst)
+            }
+        }
+
+        impl AtomicUsize {
+            /// See `std::sync::atomic::AtomicUsize::fetch_add`.
+            pub fn fetch_add(&self, v: usize, _: Ordering) -> usize {
+                schedule_point();
+                self.0.fetch_add(v, Ordering::SeqCst)
+            }
+        }
+
+        impl AtomicU64 {
+            /// See `std::sync::atomic::AtomicU64::fetch_add`.
+            pub fn fetch_add(&self, v: u64, _: Ordering) -> u64 {
+                schedule_point();
+                self.0.fetch_add(v, Ordering::SeqCst)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+    use std::sync::Mutex as StdMutex;
+
+    /// Two racing load-then-store increments must lose an update in some
+    /// explored schedule — the classic interleaving the model must find.
+    #[test]
+    fn model_finds_lost_update() {
+        let finals: std::sync::Arc<StdMutex<Vec<usize>>> =
+            std::sync::Arc::new(StdMutex::new(Vec::new()));
+        let sink = std::sync::Arc::clone(&finals);
+        super::model(move || {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    super::thread::spawn(move || {
+                        let v = n.load(Ordering::SeqCst);
+                        n.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            sink.lock().unwrap().push(n.load(Ordering::SeqCst));
+        });
+        let finals = finals.lock().unwrap();
+        assert!(finals.contains(&2), "sequential schedules explored");
+        assert!(
+            finals.contains(&1),
+            "the lost-update interleaving must be explored (finals: {finals:?})"
+        );
+    }
+
+    /// Atomic fetch_add never loses an update under any schedule.
+    #[test]
+    fn model_passes_correct_counter() {
+        super::model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    super::thread::spawn(move || {
+                        n.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    /// ABBA lock ordering must be detected as a deadlock, not a hang.
+    #[test]
+    fn model_detects_deadlock() {
+        let res = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let t = super::thread::spawn(move || {
+                    let _ga = a2.lock().unwrap();
+                    let _gb = b2.lock().unwrap();
+                });
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+                drop((_ga, _gb));
+                let _ = t.join();
+            });
+        });
+        let err = res.expect_err("ABBA must deadlock in some schedule");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("deadlock"), "diagnostic: {msg}");
+    }
+
+    /// A waiting thread woken only by notify: no deadlock-break needed,
+    /// and the handoff completes under every schedule.
+    #[test]
+    fn condvar_handoff_needs_no_timeout_rescue() {
+        super::model(|| {
+            let slot = Arc::new((Mutex::new(None::<u32>), Condvar::new()));
+            let s2 = Arc::clone(&slot);
+            let t = super::thread::spawn(move || {
+                let (m, cv) = (&s2.0, &s2.1);
+                let mut g = m.lock().unwrap();
+                *g = Some(7);
+                drop(g);
+                cv.notify_one();
+            });
+            let (m, cv) = (&slot.0, &slot.1);
+            let mut g = m.lock().unwrap();
+            while g.is_none() {
+                g = cv
+                    .wait_timeout(g, std::time::Duration::from_secs(60))
+                    .unwrap()
+                    .0;
+            }
+            assert_eq!(*g, Some(7));
+            drop(g);
+            t.join().unwrap();
+            assert_eq!(super::deadlock_breaks(), 0, "no lost wakeup");
+        });
+    }
+}
