@@ -18,12 +18,22 @@
 //!    `--features phase-timing`, a wall-clock per-phase breakdown
 //!    (force / ghost / migrate / DLB) summed over ranks.
 //!
+//! Every SPMD row also carries `bytes_on_wire`: per-phase byte totals of
+//! the frames actually shipped (delta ghost frames, coalesced step
+//! messages) next to the bytes the same content would cost as pre-diet
+//! full frames — `ghost_ratio` is the comm-volume-diet figure of merit.
+//! Unlike the timings these are deterministic, so CI gates on them.
+//!
 //! Usage: `cargo run --release -p pcdlb-bench --bin steps_per_sec`
 //! (options: `--nc`, `--density`, `--iters`, `--steps`, `--out`,
-//! `--scaling-out`, `--assert-p4-ratio <min>`). The assertion flag makes
-//! the run fail when the P = 4 speedup is below `<min>`, but downgrades
-//! to a warning on hosts with fewer than 4 hardware threads, where a
-//! parallel speedup is physically impossible.
+//! `--scaling-out`, `--assert-p4-ratio <min>`,
+//! `--assert-p9-ghost-ratio <min>`). `--assert-p4-ratio` makes the run
+//! fail when the P = 4 speedup is below `<min>`, but downgrades to a
+//! warning on hosts with fewer than 4 hardware threads, where a parallel
+//! speedup is physically impossible. `--assert-p9-ghost-ratio` fails the
+//! run when the P = 9 ghost-phase wire bytes are not at least `<min>`
+//! times smaller than the full-frame baseline (no hardware caveat: byte
+//! counts are deterministic).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -32,7 +42,7 @@ use pcdlb_bench::{full_shell_forces, Args};
 use pcdlb_md::force::ExternalPull;
 use pcdlb_md::serial::compute_forces_half_shell;
 use pcdlb_md::{init, CellGrid, LennardJones, PairKernel, Vec3};
-use pcdlb_sim::{run_with_phase_times, serial_sim, PhaseTimes, RunConfig};
+use pcdlb_sim::{run_with_phase_times, serial_sim, PhaseTimes, RunConfig, WireBytes};
 
 /// One kernel's timing over `iters` repeated full force passes.
 struct KernelTiming {
@@ -69,6 +79,9 @@ struct StepRow {
     /// Per-phase wall-clock totals over all ranks; all zeros unless the
     /// `phase-timing` feature is enabled (or for the serial row).
     phase: PhaseTimes,
+    /// Per-phase bytes-on-wire totals over all ranks (deterministic;
+    /// always live). Zeros for the serial row.
+    wire: WireBytes,
 }
 
 fn json_row(out: &mut String, row: &StepRow) {
@@ -89,7 +102,10 @@ fn json_scaling_row(out: &mut String, row: &StepRow, serial_sps: f64) {
         "    {{ \"mode\": \"{}\", \"p\": {}, \"steps\": {}, \"seconds\": {:.6}, \
          \"steps_per_sec\": {:.3}, \"speedup_vs_serial\": {:.3}, \
          \"phases\": {{ \"force\": {:.6}, \"ghost\": {:.6}, \"migrate\": {:.6}, \
-         \"dlb\": {:.6}, \"total\": {:.6} }} }}",
+         \"dlb\": {:.6}, \"total\": {:.6} }}, \
+         \"bytes_on_wire\": {{ \"ghost\": {}, \"ghost_baseline\": {}, \
+         \"ghost_ratio\": {:.3}, \"migrate\": {}, \"migrate_baseline\": {}, \
+         \"dlb\": {}, \"total\": {} }} }}",
         row.mode,
         row.p,
         row.steps,
@@ -100,8 +116,24 @@ fn json_scaling_row(out: &mut String, row: &StepRow, serial_sps: f64) {
         row.phase.ghost,
         row.phase.migrate,
         row.phase.dlb,
-        row.phase.total()
+        row.phase.total(),
+        row.wire.ghost,
+        row.wire.ghost_baseline,
+        ghost_ratio(&row.wire),
+        row.wire.migrate,
+        row.wire.migrate_baseline,
+        row.wire.dlb,
+        row.wire.total()
     );
+}
+
+/// Comm-volume-diet figure of merit: how many times smaller the ghost
+/// phase is on the wire than the pre-diet full-frame layout.
+fn ghost_ratio(wire: &WireBytes) -> f64 {
+    if wire.ghost == 0 {
+        return 1.0;
+    }
+    wire.ghost_baseline as f64 / wire.ghost as f64
 }
 
 fn main() {
@@ -113,8 +145,9 @@ fn main() {
     let steps = args.get_u64("steps", 30);
     let out_path = args.get("out", "BENCH_force.json").to_string();
     let scaling_path = args.get("scaling-out", "BENCH_scaling.json").to_string();
-    // 0.0 disables the assertion (the default).
+    // 0.0 disables the assertions (the default).
     let assert_p4 = args.get_f64("assert-p4-ratio", 0.0);
+    let assert_p9_ghost = args.get_f64("assert-p9-ghost-ratio", 0.0);
 
     // --- 1. Force phase: full-shell baseline vs half-shell kernel. ---
     let box_len = 2.56 * nc as f64;
@@ -175,12 +208,13 @@ fn main() {
         seconds: start.elapsed().as_secs_f64(),
         pair_checks: serial_checks,
         phase: PhaseTimes::default(),
+        wire: WireBytes::default(),
     });
 
     for p in [4usize, 9, 16] {
         let cfg = mk_cfg(p);
         let start = Instant::now();
-        let (report, phase) = run_with_phase_times(&cfg);
+        let (report, phase, wire) = run_with_phase_times(&cfg);
         let seconds = start.elapsed().as_secs_f64();
         rows.push(StepRow {
             mode: "spmd",
@@ -189,15 +223,29 @@ fn main() {
             seconds,
             pair_checks: report.records.iter().map(|r| r.pair_checks).sum(),
             phase,
+            wire,
         });
     }
     for r in &rows {
-        eprintln!(
-            "{:>6} P={}: {:.2} steps/sec",
-            r.mode,
-            r.p,
-            r.steps as f64 / r.seconds
-        );
+        if r.wire.total() == 0 {
+            eprintln!(
+                "{:>6} P={}: {:.2} steps/sec",
+                r.mode,
+                r.p,
+                r.steps as f64 / r.seconds
+            );
+        } else {
+            eprintln!(
+                "{:>6} P={}: {:.2} steps/sec, ghost {} B on wire \
+                 (full-frame baseline {} B, {:.2}x smaller)",
+                r.mode,
+                r.p,
+                r.steps as f64 / r.seconds,
+                r.wire.ghost,
+                r.wire.ghost_baseline,
+                ghost_ratio(&r.wire)
+            );
+        }
     }
 
     // --- Emit BENCH_force.json (hand-rolled; no serde in the workspace). ---
@@ -280,5 +328,20 @@ fn main() {
             );
             eprintln!("P = 4 speedup {p4_speedup:.2}x meets the {assert_p4}x goal");
         }
+    }
+
+    if assert_p9_ghost > 0.0 {
+        // Byte counts are deterministic, so this gate has no
+        // hardware-thread caveat: a regression is a code change.
+        let p9 = rows.iter().find(|r| r.p == 9).expect("P = 9 row present");
+        let ratio = ghost_ratio(&p9.wire);
+        assert!(
+            ratio >= assert_p9_ghost,
+            "P = 9 ghost bytes-on-wire ratio {ratio:.2}x is below the required \
+             {assert_p9_ghost}x ({} B shipped vs {} B full-frame baseline)",
+            p9.wire.ghost,
+            p9.wire.ghost_baseline
+        );
+        eprintln!("P = 9 ghost wire ratio {ratio:.2}x meets the {assert_p9_ghost}x goal");
     }
 }

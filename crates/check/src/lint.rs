@@ -31,7 +31,8 @@
 //! - `per-step-allocation-in-hot-path`: no allocating constructors
 //!   (`Vec::new`, `vec![`, `BTreeMap::new`, `BTreeSet::new`, `.to_vec()`,
 //!   `.collect()`) in the files the steady-state step flows through
-//!   (`pe.rs`, `takeover.rs` in `pcdlb-sim`). The overlapped step is
+//!   (`frame.rs`, `pe.rs`, `takeover.rs` in `pcdlb-sim`). The overlapped
+//!   step is
 //!   allocation-free by construction — pooled frames, retained scratch —
 //!   and a stray allocation silently reintroduces per-step heap churn.
 //!   Cold paths (scaffolding, checkpointing, recovery, reporting) are
@@ -160,7 +161,11 @@ const RULES: &[Rule] = &[
     Rule {
         name: "per-step-allocation-in-hot-path",
         dirs: &[],
-        files: &["crates/sim/src/pe.rs", "crates/sim/src/takeover.rs"],
+        files: &[
+            "crates/sim/src/frame.rs",
+            "crates/sim/src/pe.rs",
+            "crates/sim/src/takeover.rs",
+        ],
         patterns: &[
             "Vec::new(",
             "vec![",

@@ -105,11 +105,13 @@ pub fn step_schedule(side: usize, opts: &ScheduleOpts) -> StepSchedule {
     for r in 0..p {
         let mut ops: Vec<PhasedOp> = Vec::new();
         let nbrs = torus.distinct_neighbors8(r);
-        // Phase: migration — sends to all distinct neighbours (ascending),
-        // then the matching receives in the same order.
-        neighbourhood_exchange(&mut ops, CommPhase::Migrate, r, &nbrs, tags::MIGRATE);
+        // Phase: migration — round 1 of the coalesced step message
+        // (migrants + DLB load when due): sends to all distinct
+        // neighbours (ascending), then the matching receives in the same
+        // order. Per-(src, dst, tag) FIFO keeps round 1 and round 2 of
+        // the shared STEP_FRAME tag matched.
+        neighbourhood_exchange(&mut ops, CommPhase::Migrate, r, &nbrs, tags::STEP_FRAME);
         if opts.dlb {
-            neighbourhood_exchange(&mut ops, CommPhase::DlbLoad, r, &nbrs, tags::LOAD);
             neighbourhood_exchange(&mut ops, CommPhase::DlbDecision, r, &nbrs, tags::DECISION);
             // Cell transfers: senders first, then receivers, each walking
             // the decision list in `from` order (the simulator's order).
@@ -136,7 +138,8 @@ pub fn step_schedule(side: usize, opts: &ScheduleOpts) -> StepSchedule {
                 }
             }
         }
-        neighbourhood_exchange(&mut ops, CommPhase::Ghost, r, &nbrs, tags::GHOST);
+        // Phase: ghosts — round 2 of the coalesced step message.
+        neighbourhood_exchange(&mut ops, CommPhase::Ghost, r, &nbrs, tags::STEP_FRAME);
         if opts.thermostat {
             gather_ops(&mut ops, CommPhase::Thermostat, p, r, tags::KE_GATHER);
             bcast_ops(&mut ops, CommPhase::Thermostat, p, r, tags::KE_BCAST);
@@ -264,7 +267,7 @@ mod tests {
                     *op,
                     Op::Send {
                         to: *nb,
-                        tag: tags::MIGRATE
+                        tag: tags::STEP_FRAME
                     }
                 );
             }

@@ -128,7 +128,6 @@ pub fn merge_roles(s: &StepSchedule, roles: &[usize]) -> Vec<(usize, PhasedOp)> 
     let mut out = Vec::new();
     for phase in [
         CommPhase::Migrate,
-        CommPhase::DlbLoad,
         CommPhase::DlbDecision,
         CommPhase::DlbCellXfer,
         CommPhase::Ghost,

@@ -40,8 +40,9 @@ fn tag_collision_in_table_is_caught() {
 
 #[test]
 fn tag_collision_in_schedule_is_caught() {
-    // Mutation: one rank's LOAD send goes out with the MIGRATE tag — a
-    // same-phase duplicate on that (src, dst) plus a matching failure.
+    // Mutation: one rank's DECISION send goes out with the STEP_FRAME
+    // tag — a stray third round on that (src, dst) stream plus a
+    // matching failure on the starved DECISION receive.
     let mut s = step_schedule(
         3,
         &ScheduleOpts {
@@ -51,14 +52,14 @@ fn tag_collision_in_schedule_is_caught() {
     );
     let victim = s.ranks[4]
         .iter_mut()
-        .find(|po| po.phase == CommPhase::DlbLoad && matches!(po.op, Op::Send { .. }))
-        .expect("rank 4 sends loads");
+        .find(|po| po.phase == CommPhase::DlbDecision && matches!(po.op, Op::Send { .. }))
+        .expect("rank 4 sends decisions");
     let Op::Send { to, .. } = victim.op else {
         unreachable!()
     };
     victim.op = Op::Send {
         to,
-        tag: tags::MIGRATE,
+        tag: tags::STEP_FRAME,
     };
     let vs = verify_schedule(&s);
     assert!(

@@ -42,16 +42,18 @@ use crate::permanent::is_movable;
 /// collective tag can never collide with a point-to-point tag even if
 /// the numbers overlap.
 pub mod tags {
-    /// Phase 2 (DLB step 1): last-step execution times to the 8-neighbourhood.
-    pub const LOAD: u64 = 1;
     /// Phase 2 (DLB step 4): chosen `Option<DlbDecision>` to the 8-neighbourhood.
     pub const DECISION: u64 = 2;
     /// Phase 2 (DLB data movement): particle payload of a transferred column.
     pub const CELL_XFER: u64 = 3;
-    /// Phase 1: particles that crossed a column boundary, to the new owner.
-    pub const MIGRATE: u64 = 4;
-    /// Phase 3: boundary-column particle copies to the 8-neighbourhood.
-    pub const GHOST: u64 = 5;
+    /// The coalesced per-neighbour step message: each step a rank sends
+    /// exactly two framed messages to each of its 8 neighbours under this
+    /// one tag — round 1 carries boundary-crossing migrants plus (on DLB
+    /// steps) the sender's last-step load, round 2 carries the
+    /// delta-encodable boundary-shell ghost frame. Sub-frame presence
+    /// headers inside the frame distinguish the rounds; per-(src,dst,tag)
+    /// FIFO ordering keeps the two rounds matched.
+    pub const STEP_FRAME: u64 = 16;
     /// Phase 5 (collective): kinetic-energy gather to rank 0.
     pub const KE_GATHER: u64 = 10;
     /// Phase 5 (collective): thermostat scale factor broadcast from rank 0.
@@ -87,10 +89,10 @@ pub mod tags {
     /// (no message sent in one phase is received in another).
     #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
     pub enum CommPhase {
-        /// Boundary-crossing particle migration (8-neighbourhood).
+        /// Round-1 coalesced exchange (8-neighbourhood): boundary-crossing
+        /// particle migration, with last-step loads riding along on DLB
+        /// steps (the former standalone load exchange).
         Migrate,
-        /// DLB load exchange (8-neighbourhood).
-        DlbLoad,
         /// DLB decision broadcast (8-neighbourhood).
         DlbDecision,
         /// DLB column payload movement (decision-driven).
@@ -133,16 +135,14 @@ pub mod tags {
     /// checks this table for uniqueness per namespace and builds the
     /// per-phase message-flow graph from it.
     pub const TAG_TABLE: &[TagSpec] = &[
+        // STEP_FRAME is the one per-neighbour point-to-point tag of the
+        // steady-state step: round 1 in the Migrate phase, round 2 in the
+        // Ghost phase. The table records the first phase that uses it;
+        // FIFO per (src, dst, tag) keeps the rounds unambiguous.
         TagSpec {
-            tag: MIGRATE,
-            name: "MIGRATE",
+            tag: STEP_FRAME,
+            name: "STEP_FRAME",
             phase: CommPhase::Migrate,
-            collective: false,
-        },
-        TagSpec {
-            tag: LOAD,
-            name: "LOAD",
-            phase: CommPhase::DlbLoad,
             collective: false,
         },
         TagSpec {
@@ -155,12 +155,6 @@ pub mod tags {
             tag: CELL_XFER,
             name: "CELL_XFER",
             phase: CommPhase::DlbCellXfer,
-            collective: false,
-        },
-        TagSpec {
-            tag: GHOST,
-            name: "GHOST",
-            phase: CommPhase::Ghost,
             collective: false,
         },
         TagSpec {

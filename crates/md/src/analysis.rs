@@ -48,7 +48,10 @@ pub fn radial_distribution(
         for j in 0..i {
             let r = minimum_image(particles[i].pos, particles[j].pos, box_len).norm();
             if r < rmax {
-                counts[(r / dr) as usize] += 1;
+                // `dr = rmax/bins` can round *down*, so a distance one ulp
+                // below `rmax` may divide to exactly `bins` — clamp onto
+                // the outer bin instead of indexing past the histogram.
+                counts[((r / dr) as usize).min(bins - 1)] += 1;
             }
         }
     }
@@ -180,6 +183,28 @@ mod tests {
                 assert_eq!(*v, 0.0, "no pairs closer than the spacing (r = {r})");
             }
         }
+    }
+
+    #[test]
+    fn gr_pair_on_the_outer_bin_edge_lands_in_the_last_bin() {
+        // With rmax = 0.5 and bins = 3, dr rounds down, so a separation
+        // one ulp below rmax divides to exactly 3.0 — this indexed past
+        // the histogram before the clamp.
+        let a = Particle::at_rest(0, Vec3::ZERO);
+        let b = Particle::at_rest(1, Vec3::new(0.499_999_999_999_999_94, 0.0, 0.0));
+        let g = radial_distribution(&[a, b], 10.0, 0.5, 3);
+        assert_eq!(g.len(), 3);
+        assert!(g[2].1 > 0.0, "edge pair must land in the last bin");
+    }
+
+    #[test]
+    fn gr_pair_at_exactly_r_max_is_excluded_without_panicking() {
+        // Bins span (0, rmax]: a pair sitting exactly on rmax is outside
+        // the histogram, not a crash.
+        let a = Particle::at_rest(0, Vec3::ZERO);
+        let b = Particle::at_rest(1, Vec3::new(0.5, 0.0, 0.0));
+        let g = radial_distribution(&[a, b], 10.0, 0.5, 3);
+        assert!(g.iter().all(|&(_, v)| v == 0.0));
     }
 
     #[test]

@@ -25,6 +25,32 @@ use std::ops::Range;
 use crate::vec3::Vec3;
 use crate::Particle;
 
+/// Axis bin of coordinate `v` on an `nc`-cell axis of cell length
+/// `cell_len` — the one binning rule shared by the serial grid and every
+/// parallel decomposition (columns, planes, cube blocks).
+///
+/// Coordinates nominally lie in `[0, L)`, but two floating-point edges
+/// leak through the periodic wrap: `rem_euclid` can return exactly `L`
+/// for a tiny negative input (clamped inward onto the last cell, matching
+/// the stored position at the far edge), and unwrapped callers can hand
+/// in slightly-negative values. A negative `f64` cast to `usize`
+/// saturates to 0, which silently binned a far-edge particle into cell 0;
+/// instead, wrap negatives into `[0, L)` first and then bin. For
+/// non-negative coordinates this is bitwise-identical to the historical
+/// divide-and-clamp, so force sums are unchanged.
+#[inline]
+pub fn axis_bin(v: f64, cell_len: f64, nc: usize) -> usize {
+    let v = if v >= 0.0 {
+        v
+    } else {
+        // rem_euclid of a tiny negative can round to exactly L; the clamp
+        // below folds that onto the last cell, adjacent to where the
+        // particle actually sits.
+        v.rem_euclid(cell_len * nc as f64)
+    };
+    ((v / cell_len) as usize).min(nc - 1)
+}
+
 /// The 27 neighbour offsets (including the home cell, `(0,0,0)`) in the
 /// canonical lexicographic order shared by the serial and parallel force
 /// loops.
@@ -291,15 +317,11 @@ impl CellGrid {
     }
 
     /// The cell containing `pos` (which must lie in `[0, L)³`; positions
-    /// exactly at `L` due to floating-point wrap are clamped inward).
+    /// exactly at `L` due to floating-point wrap are clamped inward, and
+    /// slightly-negative post-wrap coordinates are wrapped — see
+    /// [`axis_bin`]).
     pub fn cell_of(&self, pos: Vec3) -> CellCoord {
-        let f = |v: f64| -> usize {
-            debug_assert!(
-                (0.0..=self.box_len).contains(&v),
-                "position {v} outside box"
-            );
-            ((v / self.cell_len) as usize).min(self.nc - 1)
-        };
+        let f = |v: f64| axis_bin(v, self.cell_len, self.nc);
         CellCoord::new(f(pos.x), f(pos.y), f(pos.z))
     }
 
@@ -401,7 +423,7 @@ impl CellGrid {
         let total = self.total_cells();
         // Capture geometry by value: the closure must not borrow `self`.
         let (nc, cell_len) = (self.nc, self.cell_len);
-        let axis = move |v: f64| ((v / cell_len) as usize).min(nc - 1);
+        let axis = move |v: f64| axis_bin(v, cell_len, nc);
         self.slab = CellSlab::build(total, parts, |p| {
             (axis(p.pos.x) * nc + axis(p.pos.y)) * nc + axis(p.pos.z)
         });
@@ -678,6 +700,31 @@ mod tests {
                     prop_assert_eq!(g.cell_of(p.pos), c);
                 }
             }
+        }
+
+        #[test]
+        fn prop_axis_bin_in_range_and_consistent(v in -30.0f64..30.0, nc in 1usize..8) {
+            let cell_len = 12.0 / nc as f64;
+            let bin = axis_bin(v, cell_len, nc);
+            prop_assert!(bin < nc);
+            // Non-negative coordinates reproduce the historical divide-
+            // and-clamp bitwise (exactly-L and beyond clamp inward);
+            // negative coordinates bin where their wrapped image would.
+            if v >= 0.0 {
+                prop_assert_eq!(bin, ((v / cell_len) as usize).min(nc - 1));
+            } else {
+                let wrapped = v.rem_euclid(cell_len * nc as f64);
+                prop_assert_eq!(bin, axis_bin(wrapped, cell_len, nc));
+            }
+        }
+
+        #[test]
+        fn prop_axis_bin_tiny_negative_stays_off_cell_zero(mag in 1e-18f64..1e-12, nc in 2usize..8) {
+            // The bug under test: a slightly-negative post-wrap coordinate
+            // cast to usize saturated to 0, teleporting a far-edge
+            // particle into cell 0.
+            let cell_len = 12.0 / nc as f64;
+            prop_assert_eq!(axis_bin(-mag, cell_len, nc), nc - 1);
         }
 
         #[test]

@@ -32,7 +32,7 @@ pub mod serial;
 pub mod thermostat;
 pub mod vec3;
 
-pub use cells::{CellCoord, CellGrid};
+pub use cells::{axis_bin, CellCoord, CellGrid};
 pub use force::{PairKernel, WorkCounters};
 pub use lj::LennardJones;
 pub use serial::SerialSim;

@@ -136,6 +136,14 @@ pub struct RunConfig {
     /// to the last checkpoint. Like checkpointing, the sentinel gather is
     /// excluded from the per-step stats, so it never perturbs `t_step`.
     pub sentinel_interval: u64,
+    /// Delta-encode ghost shell frames against the previous step's frame
+    /// per (neighbour, direction). The sender ships whichever encoding is
+    /// smaller per frame (a redrawn shell degrades to a full frame), and
+    /// always sends full on an invalid channel (startup, restore,
+    /// takeover epoch bump). Affects only the actual bytes on the wire
+    /// (`bytes_on_wire` counters); the cost model charges the canonical
+    /// content-based size either way, so digests are identical on and off.
+    pub delta_ghosts: bool,
 }
 
 impl RunConfig {
@@ -165,6 +173,7 @@ impl RunConfig {
             checkpoint_interval: 0,
             overlap: true,
             sentinel_interval: 0,
+            delta_ghosts: true,
         }
     }
 

@@ -26,12 +26,12 @@ use pcdlb_md::force::{PairKernel, WorkCounters};
 use pcdlb_md::integrate::{kick, kick_drift};
 use pcdlb_md::observe;
 use pcdlb_md::vec3::Vec3;
-use pcdlb_md::Particle;
+use pcdlb_md::{axis_bin, Particle};
 use pcdlb_mp::{collectives, BufferPool, Comm, CostModel, Torus3d, World};
 
 use crate::clock::WallTimer;
 use crate::config::{LoadMetric, RunConfig};
-use crate::frame::CubeBlockFrame;
+use crate::frame::{DeltaChannel, GhostShellFrame};
 use crate::pe::initial_particles;
 use crate::report::{RunReport, StepRecord};
 use crate::stats::StatsPacket;
@@ -146,7 +146,19 @@ struct CubePe {
     /// Forces for own cells only, indexed like the interior of `cells`.
     forces: Vec<Vec<Vec3>>,
     /// Pooled ghost-frame send buffers, reused across steps.
-    ghost_pool: BufferPool<CubeBlockFrame>,
+    ghost_pool: BufferPool<GhostShellFrame>,
+    /// Per-direction ghost delta channels (parallel to `DIRS26`), send
+    /// and receive sides. DDM-only: no ownership moves, so the channels
+    /// stay valid after the first full frame.
+    tx_chan: Vec<DeltaChannel>,
+    rx_chan: Vec<DeltaChannel>,
+    /// Retained delta-decode output scratch.
+    decode_scratch: Vec<(u64, Vec3)>,
+    /// Per-halo-cell claim stamps for the receive scatter (`1 + dir`):
+    /// on a `k = 2` torus the same canonical cell arrives from several
+    /// directions with identical content, so the first direction to
+    /// deliver into a halo slot claims it and later directions skip.
+    halo_seen: Vec<u8>,
     last_work: WorkCounters,
     last_force_virtual: f64,
     last_force_wall: f64,
@@ -173,6 +185,10 @@ impl CubePe {
             cells: vec![Vec::new(); halo],
             forces: vec![Vec::new(); s * s * s],
             ghost_pool: BufferPool::new(),
+            tx_chan: (0..26).map(|_| DeltaChannel::default()).collect(),
+            rx_chan: (0..26).map(|_| DeltaChannel::default()).collect(),
+            decode_scratch: Vec::new(),
+            halo_seen: vec![0; halo],
             last_work: WorkCounters::default(),
             last_force_virtual: 0.0,
             last_force_wall: 0.0,
@@ -192,7 +208,7 @@ impl CubePe {
     }
 
     fn axis(&self, v: f64) -> usize {
-        ((v / self.cell_len) as usize).min(self.nc - 1)
+        axis_bin(v, self.cell_len, self.nc)
     }
 
     fn global_cell(&self, pos: Vec3) -> (usize, usize, usize) {
@@ -349,10 +365,15 @@ impl CubePe {
         self.sort_all_cells();
     }
 
-    /// Phase 3: ghost exchange with all 26 neighbours. Payloads carry the
-    /// global cell coordinates so binning is exact integer arithmetic.
+    /// Phase 3: ghost exchange with all 26 neighbours. Each direction
+    /// ships a boundary-shell [`GhostShellFrame`] of `(id, pos)` pairs —
+    /// no block directory, no velocities, nothing for empty cells — and
+    /// delta-encodes against the previous step's frame on its own
+    /// [`DeltaChannel`]. The receiver re-bins each ghost by its position
+    /// (the same `axis_bin` the sender binned it with, so the mapping is
+    /// exact) and re-derives the halo slot via `local_of_global`.
     fn exchange_ghosts(&mut self, comm: &mut Comm) {
-        // Clear the halo shell.
+        // Clear the halo shell and the per-step claim stamps.
         let s = self.s as i64;
         let shell: Vec<usize> = (-1..=s)
             .flat_map(|i| {
@@ -368,9 +389,9 @@ impl CubePe {
         for idx in shell {
             self.cells[idx].clear();
         }
+        self.halo_seen.iter_mut().for_each(|x| *x = 0);
 
-        // Pooled flat frames: byte-identical on the wire to the nested
-        // `Vec<(u64, u64, u64, Vec<Particle>)>` payloads they replace.
+        let delta_ok = self.cfg.delta_ghosts;
         let k = self.torus;
         for (di, d) in DIRS26.iter().enumerate() {
             // Slab of own cells the neighbour in direction d needs.
@@ -381,32 +402,33 @@ impl CubePe {
                     _ => 0..s,
                 }
             };
-            let mut buf = self.ghost_pool.checkout();
-            let frame = Arc::get_mut(&mut buf).expect("fresh pool checkout is uniquely owned");
-            frame.clear();
+            let w = s + 2;
+            let halo_at =
+                |l: (i64, i64, i64)| (((l.0 + 1) * w + (l.1 + 1)) * w + (l.2 + 1)) as usize;
+            let chan = &mut self.tx_chan[di];
             for i in range1(d.0) {
                 for j in range1(d.1) {
                     for l in range1(d.2) {
-                        let idx = self.halo_index((i, j, l));
-                        let g = (
-                            (self.origin.0 + i as usize) as u64,
-                            (self.origin.1 + j as usize) as u64,
-                            (self.origin.2 + l as usize) as u64,
-                        );
-                        frame.push_block(g, &self.cells[idx]);
+                        let idx = halo_at((i, j, l));
+                        chan.scratch
+                            .extend(self.cells[idx].iter().map(|q| (q.id, q.pos)));
                     }
                 }
             }
+            let mut buf = self.ghost_pool.checkout();
+            let frame = Arc::get_mut(&mut buf).expect("fresh pool checkout is uniquely owned");
+            chan.encode_into(delta_ok, frame);
             let peer = k.neighbor(self.rank, d.0, d.1, d.2);
             comm.send(peer, tags::GHOST_BASE + di as u64, Arc::clone(&buf));
             self.ghost_pool.checkin(buf);
         }
-        for d in DIRS26 {
+        for (di, d) in DIRS26.iter().enumerate() {
             let peer = k.neighbor(self.rank, d.0, d.1, d.2);
             let opp = dir_index((-d.0, -d.1, -d.2));
-            let frame: Arc<CubeBlockFrame> = comm.recv(peer, tags::GHOST_BASE + opp);
-            for ((gx, gy, gz), parts) in frame.iter_blocks() {
-                let g = (gx as usize, gy as usize, gz as usize);
+            let frame: Arc<GhostShellFrame> = comm.recv(peer, tags::GHOST_BASE + opp);
+            self.rx_chan[di].decode_into(&frame, &mut self.decode_scratch);
+            for &(id, pos) in &self.decode_scratch {
+                let g = self.global_cell(pos);
                 let Some(nl) = self.local_of_global(g) else {
                     continue; // a shared slab cell this rank doesn't border
                 };
@@ -415,10 +437,18 @@ impl CubePe {
                 }
                 let idx = self.halo_index(nl);
                 // On a k = 2 torus the same canonical cell arrives from
-                // several directions with identical content; last write
-                // wins (they are equal by construction).
-                self.cells[idx].clear();
-                self.cells[idx].extend_from_slice(parts);
+                // several directions with identical content; the first
+                // direction to deliver into a slot claims it, so no
+                // ghost is stored twice. Decode order is ascending id,
+                // so each claimed cell ends id-sorted — the same order
+                // the block frames used to deliver.
+                let claim = di as u8 + 1;
+                if self.halo_seen[idx] == 0 {
+                    self.halo_seen[idx] = claim;
+                } else if self.halo_seen[idx] != claim {
+                    continue;
+                }
+                self.cells[idx].push(Particle::at_rest(id, pos));
             }
         }
     }

@@ -5,7 +5,7 @@ use pcdlb_mp::{CostModel, World};
 
 use crate::config::RunConfig;
 use crate::pe::{pe_main, PeResult};
-use crate::report::{PhaseTimes, RunReport};
+use crate::report::{PhaseTimes, RunReport, WireBytes};
 
 /// Run a configuration to completion; returns rank 0's report with
 /// communication totals aggregated over all ranks.
@@ -13,19 +13,23 @@ pub fn run(cfg: &RunConfig) -> RunReport {
     run_inner(cfg, false).0
 }
 
-/// Like [`run`], but also returns the wall-clock phase breakdown summed
-/// over all ranks — all zeros unless the `wallclock-instrumentation`
-/// feature is enabled. The scaling bench uses this to report where each
-/// configuration spends its time.
-pub fn run_with_phase_times(cfg: &RunConfig) -> (RunReport, PhaseTimes) {
+/// Like [`run`], but also returns the wall-clock phase breakdown and the
+/// per-phase bytes-on-wire counters, both summed over all ranks. Phase
+/// times are all zeros unless the `wallclock-instrumentation` feature is
+/// enabled; the byte counters are always live (and deterministic). The
+/// scaling bench uses both to report where each configuration spends its
+/// time and its wire budget.
+pub fn run_with_phase_times(cfg: &RunConfig) -> (RunReport, PhaseTimes, WireBytes) {
     cfg.validate();
     let world = World::new(cfg.p).with_cost_model(CostModel::t3e(Some(cfg.torus())));
     let results: Vec<PeResult> = world.run(|comm| pe_main(comm, cfg, false));
     let mut phases = PhaseTimes::default();
+    let mut wire = WireBytes::default();
     for r in &results {
         phases.merge(&r.phase_times);
+        wire.merge(&r.wire_bytes);
     }
-    (assemble(results).0, phases)
+    (assemble(results).0, phases, wire)
 }
 
 /// Like [`run`], but also gathers the final particle state (sorted by

@@ -1,73 +1,299 @@
 //! Flat framed message payloads for the steady-state hot path.
 //!
-//! The exchange phases used to ship nested payloads — e.g. one
-//! `Vec<(Col, Vec<Particle>)>` per neighbour for ghosts — which costs one
-//! heap allocation per column per step. A *frame* carries the same data
-//! as two flat arrays: a column (or block) directory with per-entry
-//! particle counts, and one contiguous particle array holding every
-//! column's particles back to back in the canonical `(cell, id)` order.
-//! Frames are `Default + Send + Sync`, so a [`pcdlb_mp::BufferPool`] can
-//! keep them alive across steps and the sender refills them in place.
+//! The exchange phases ship pooled *frames* instead of nested payloads:
+//! frames are `Default + Send + Sync`, live in a [`pcdlb_mp::BufferPool`]
+//! across steps, and are refilled in place, so the hot path allocates
+//! nothing in steady state.
 //!
-//! # Wire format (and why the byte counts are unchanged)
+//! # The coalesced step message
 //!
-//! The modelled wire encoding of [`GhostFrame`] is: `u64` column count;
-//! per column `cx: u64, cy: u64, count: u64`; then the particles back to
-//! back with **no** second length prefix (the total is the sum of the
-//! per-column counts). That is byte-for-byte the size of the old nested
-//! encoding — `8 + 24·cols + 56·parts` either way — so `CommStats`,
-//! every reported `t_step`, and the digests that absorb `bytes_sent` are
-//! bitwise unchanged by the flattening. [`CubeBlockFrame`] follows the
-//! same scheme with 3-D block coordinates (`8 + 32·blocks + 56·parts`),
-//! and [`ParticleFrame`] is exactly a length-prefixed particle array
-//! (`8 + 56·parts`), identical to the `Vec<Particle>` it replaces.
-//! `wire_check.rs` pins each equivalence against a reference encoder.
+//! Each step a rank sends exactly two [`StepFrame`]s to each neighbour
+//! under the single `tags::STEP_FRAME` tag. Round 1 carries boundary
+//! crossers (migrants) plus — on DLB steps — the sender's last-step load;
+//! round 2 carries the boundary-shell ghost frame. One-byte sub-frame
+//! presence headers say which sections are populated, and per-(src, dst,
+//! tag) FIFO ordering keeps the rounds matched.
+//!
+//! # Ghost shell frames and delta encoding
+//!
+//! Ghosts ship as `(id, position)` pairs only ([`GhostPart`], 32 bytes):
+//! force evaluation never reads a ghost's velocity, so the 24 velocity
+//! bytes of a full `Particle` never cross the wire. There is no column or
+//! block directory either — the receiver re-bins each ghost by its
+//! position, which also makes empty-cell traffic vanish structurally.
+//!
+//! Between steps, shell membership is mostly stable and positions move by
+//! ~`dt·v`, so a [`DeltaChannel`] pairs each (neighbour, direction) with
+//! its previous frame and sends the diff: a survival bitmap over the
+//! previous membership (ascending id), the survivors' new positions (24
+//! bytes each), and the arrivals (32 bytes each). The sender computes
+//! both encodings' exact sizes and ships whichever is smaller, so a
+//! membership discontinuity (a DLB transfer redrawing the shell, a
+//! moving plane boundary) degrades to a full frame instead of a bloated
+//! delta; an invalid channel — at startup, after a restore, or when the
+//! takeover epoch advanced — always sends full. A frame is
+//! self-describing (`delta` flag), so only the sender needs this logic;
+//! the receiver checks an FNV fingerprint of the membership it holds
+//! against the one the delta was computed from and panics on any
+//! mismatch (a protocol bug, not a recoverable condition).
+//!
+//! # Canonical vs encoded bytes
+//!
+//! [`WireSize::wire_size`] — what the interconnect cost model charges —
+//! is *content-based*: `1 + 8 + 32·n` for a shell frame holding `n`
+//! ghosts, whether it travels as a delta or as a full frame. Virtual
+//! time feeds `t_step` and the run digests, and fallbacks fire on
+//! non-deterministic events (takeovers), so charging the actual encoding
+//! would break bitwise reproducibility. The actual layout size is
+//! reported separately through [`WireSize::encoded_size`], which feeds
+//! the `bytes_on_wire` counters only.
+//!
+//! `wire_check.rs` pins both layouts against a reference encoder.
 
-use pcdlb_domain::Col;
-use pcdlb_md::Particle;
+use pcdlb_md::{Particle, Vec3};
 use pcdlb_mp::WireSize;
 
-/// One neighbour's ghost shipment in the column decomposition: a column
-/// directory plus all columns' particles, flat and contiguous.
-#[derive(Debug, Clone, Default)]
-pub struct GhostFrame {
-    /// `(column, particle count)`, in ascending column order.
-    pub cols: Vec<(Col, u32)>,
-    /// Every column's particles back to back, each column's slice in the
-    /// sender's canonical `(cell, id)` order.
-    pub parts: Vec<Particle>,
+/// One ghost particle on the wire: id + position. Velocities are never
+/// read from ghosts, so they never travel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GhostPart {
+    /// Particle id.
+    pub id: u64,
+    /// Wrapped position in the global box.
+    pub pos: Vec3,
 }
 
-impl GhostFrame {
-    /// Empty both arrays, keeping their capacity.
-    pub fn clear(&mut self) {
-        self.cols.clear();
-        self.parts.clear();
-    }
-
-    /// Append one column's particle slice.
-    pub fn push_col(&mut self, col: Col, parts: &[Particle]) {
-        self.cols.push((col, parts.len() as u32));
-        self.parts.extend_from_slice(parts);
-    }
-
-    /// Iterate `(column, particle slice)` in shipment order.
-    pub fn iter_cols(&self) -> impl Iterator<Item = (Col, &[Particle])> {
-        let mut off = 0usize;
-        self.cols.iter().map(move |&(col, n)| {
-            let s = &self.parts[off..off + n as usize];
-            off += n as usize;
-            (col, s)
-        })
-    }
-}
-
-impl WireSize for GhostFrame {
+impl WireSize for GhostPart {
     fn wire_size(&self) -> usize {
-        // u64 count + (cx, cy, count) per column + flat particles with no
-        // second prefix — byte-identical to the old nested
-        // `Vec<(Col, Vec<Particle>)>` encoding.
-        8 + 24 * self.cols.len() + self.parts.iter().map(WireSize::wire_size).sum::<usize>()
+        // u64 id + 3 × f64 position.
+        32
+    }
+}
+
+/// FNV-1a over a membership list — the fingerprint a delta frame carries
+/// so the receiver can prove its previous frame matches the sender's.
+fn fnv_ids(ids: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &id in ids {
+        for b in id.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// One boundary-shell ghost shipment: either the full `(id, pos)` list or
+/// a delta against the previous frame on the same [`DeltaChannel`].
+#[derive(Debug, Clone, Default)]
+pub struct GhostShellFrame {
+    /// `false`: `full` is populated. `true`: the delta sections are.
+    pub delta: bool,
+    /// Full frame: the shell content, ascending id.
+    pub full: Vec<GhostPart>,
+    /// Delta: size of the previous membership the diff was computed from.
+    pub prev_len: u32,
+    /// Delta: FNV-1a fingerprint of that membership.
+    pub prev_check: u64,
+    /// Delta: survival bitmap over the previous membership, ascending id,
+    /// bit `i` of byte `i / 8` = previous id `i` is still in the shell.
+    pub survive: Vec<u8>,
+    /// Delta: survivors' new positions, in previous-membership order.
+    pub moved: Vec<Vec3>,
+    /// Delta: ghosts not in the previous membership, ascending id.
+    pub arrivals: Vec<GhostPart>,
+}
+
+impl GhostShellFrame {
+    /// Empty every section, keeping capacity.
+    pub fn clear(&mut self) {
+        self.delta = false;
+        self.full.clear();
+        self.prev_len = 0;
+        self.prev_check = 0;
+        self.survive.clear();
+        self.moved.clear();
+        self.arrivals.clear();
+    }
+
+    /// Number of ghosts the decoded frame holds.
+    pub fn content_len(&self) -> usize {
+        if self.delta {
+            self.moved.len() + self.arrivals.len()
+        } else {
+            self.full.len()
+        }
+    }
+}
+
+impl WireSize for GhostShellFrame {
+    fn wire_size(&self) -> usize {
+        // Canonical (content-based): delta flag + length-prefixed flat
+        // `(id, pos)` list, regardless of how the frame is encoded.
+        1 + 8 + 32 * self.content_len()
+    }
+
+    fn encoded_size(&self) -> usize {
+        if self.delta {
+            // flag + prev_len + prev_check + bitmap + survivor positions
+            // + arrivals (each section length-prefixed).
+            1 + 4
+                + 8
+                + (8 + self.survive.len())
+                + (8 + 24 * self.moved.len())
+                + (8 + 32 * self.arrivals.len())
+        } else {
+            1 + 8 + 32 * self.full.len()
+        }
+    }
+}
+
+/// Sender- or receiver-side state of one delta stream: the membership of
+/// the previous frame, kept in ascending id order. One channel per
+/// (neighbour, direction); symmetric on both ends because every frame
+/// deterministically updates it.
+#[derive(Debug, Default)]
+pub struct DeltaChannel {
+    /// False until the first frame after construction/reset: the next
+    /// encode must produce a full frame.
+    valid: bool,
+    /// Takeover epoch the channel state belongs to.
+    epoch: u64,
+    /// Previous frame's membership, ascending id.
+    ids: Vec<u64>,
+    /// Encode-side staging: callers push the current shell content here
+    /// (any order) before [`DeltaChannel::encode_into`].
+    pub scratch: Vec<(u64, Vec3)>,
+}
+
+impl DeltaChannel {
+    /// Forget the previous frame; the next encode sends a full frame.
+    pub fn reset(&mut self) {
+        self.valid = false;
+        self.ids.clear();
+    }
+
+    /// Reset the channel if the takeover epoch moved (the peer's channel
+    /// state may have been rebuilt from a checkpoint).
+    pub fn sync_epoch(&mut self, epoch: u64) {
+        if self.epoch != epoch {
+            self.epoch = epoch;
+            self.reset();
+        }
+    }
+
+    /// Encode the staged `scratch` content into `frame` — as a delta
+    /// against the previous frame or as a full frame, whichever is
+    /// smaller on the wire — then roll the channel forward. An invalid
+    /// channel (startup, restore, takeover epoch bump) or `!delta_ok`
+    /// always produces a full frame. `scratch` is sorted in place and
+    /// drained.
+    pub fn encode_into(&mut self, delta_ok: bool, frame: &mut GhostShellFrame) {
+        frame.clear();
+        self.scratch.sort_unstable_by_key(|e| e.0);
+        debug_assert!(
+            self.scratch.windows(2).all(|w| w[0].0 < w[1].0),
+            "duplicate ghost id staged on a delta channel"
+        );
+        // Min-size choice: a merge walk over the two sorted id lists
+        // counts survivors, which fixes both encodings' exact sizes. A
+        // membership discontinuity (a DLB transfer redrew the shell)
+        // simply makes the full frame win — no reset plumbing needed,
+        // since the frame is self-describing either way.
+        let use_delta = delta_ok && self.valid && {
+            let mut survivors = 0usize;
+            let mut j = 0usize;
+            for &id in &self.ids {
+                while j < self.scratch.len() && self.scratch[j].0 < id {
+                    j += 1;
+                }
+                if j < self.scratch.len() && self.scratch[j].0 == id {
+                    survivors += 1;
+                }
+            }
+            let arrivals = self.scratch.len() - survivors;
+            let delta_size = 37 + self.ids.len().div_ceil(8) + 24 * survivors + 32 * arrivals;
+            let full_size = 9 + 32 * self.scratch.len();
+            delta_size < full_size
+        };
+        if use_delta {
+            frame.delta = true;
+            frame.prev_len = self.ids.len() as u32;
+            frame.prev_check = fnv_ids(&self.ids);
+            let mut byte = 0u8;
+            for (i, &id) in self.ids.iter().enumerate() {
+                if let Ok(k) = self.scratch.binary_search_by_key(&id, |e| e.0) {
+                    byte |= 1 << (i % 8);
+                    frame.moved.push(self.scratch[k].1);
+                }
+                if i % 8 == 7 {
+                    frame.survive.push(byte);
+                    byte = 0;
+                }
+            }
+            if !self.ids.is_empty() && !self.ids.len().is_multiple_of(8) {
+                frame.survive.push(byte);
+            }
+            for &(id, pos) in &self.scratch {
+                if self.ids.binary_search(&id).is_err() {
+                    frame.arrivals.push(GhostPart { id, pos });
+                }
+            }
+        } else {
+            frame.delta = false;
+            frame
+                .full
+                .extend(self.scratch.iter().map(|&(id, pos)| GhostPart { id, pos }));
+        }
+        self.ids.clear();
+        self.ids.extend(self.scratch.iter().map(|e| e.0));
+        self.valid = true;
+        self.scratch.clear();
+    }
+
+    /// Decode `frame` into `out` as `(id, pos)` in ascending id order,
+    /// then roll the channel forward. Panics if a delta frame arrives on
+    /// a channel whose previous membership does not match the one the
+    /// delta was computed from — that is a protocol bug, not a
+    /// recoverable condition.
+    pub fn decode_into(&mut self, frame: &GhostShellFrame, out: &mut Vec<(u64, Vec3)>) {
+        out.clear();
+        if frame.delta {
+            assert!(
+                self.valid && self.ids.len() == frame.prev_len as usize,
+                "delta ghost frame against a desynchronised channel \
+                 (have {} previous ids, frame diffed {})",
+                self.ids.len(),
+                frame.prev_len
+            );
+            assert_eq!(
+                fnv_ids(&self.ids),
+                frame.prev_check,
+                "delta ghost frame fingerprint mismatch"
+            );
+            let mut mi = 0usize;
+            let mut ai = 0usize;
+            for (i, &id) in self.ids.iter().enumerate() {
+                if frame.survive[i / 8] >> (i % 8) & 1 == 1 {
+                    while ai < frame.arrivals.len() && frame.arrivals[ai].id < id {
+                        out.push((frame.arrivals[ai].id, frame.arrivals[ai].pos));
+                        ai += 1;
+                    }
+                    out.push((id, frame.moved[mi]));
+                    mi += 1;
+                }
+            }
+            while ai < frame.arrivals.len() {
+                out.push((frame.arrivals[ai].id, frame.arrivals[ai].pos));
+                ai += 1;
+            }
+            debug_assert_eq!(mi, frame.moved.len());
+        } else {
+            out.extend(frame.full.iter().map(|g| (g.id, g.pos)));
+        }
+        self.ids.clear();
+        self.ids.extend(out.iter().map(|e| e.0));
+        self.valid = true;
     }
 }
 
@@ -86,113 +312,260 @@ impl WireSize for ParticleFrame {
     }
 }
 
-/// One neighbour's ghost shipment in the cube decomposition: 3-D block
-/// coordinates instead of columns.
+/// The coalesced per-neighbour step message: one-byte presence headers
+/// select which sections travel. Round 1 = migrants (+ load on DLB
+/// steps); round 2 = the ghost shell.
 #[derive(Debug, Clone, Default)]
-pub struct CubeBlockFrame {
-    /// `(bx, by, bz, particle count)` per block, in shipment order.
-    pub blocks: Vec<(u64, u64, u64, u32)>,
-    /// Every block's particles back to back.
-    pub parts: Vec<Particle>,
+pub struct StepFrame {
+    /// Round-1 marker: the migrant section travels.
+    pub has_migrants: bool,
+    /// Particles that crossed into the destination's columns, id-sorted.
+    pub migrants: ParticleFrame,
+    /// Sender's last-step load; `Some` only in round 1 of a DLB step.
+    pub load: Option<f64>,
+    /// Round-2 marker: the ghost section travels.
+    pub has_ghosts: bool,
+    /// Boundary-shell ghosts.
+    pub ghosts: GhostShellFrame,
 }
 
-impl CubeBlockFrame {
-    /// Empty both arrays, keeping their capacity.
-    pub fn clear(&mut self) {
-        self.blocks.clear();
-        self.parts.clear();
+impl StepFrame {
+    /// Reshape a pooled frame for round 1, keeping buffer capacity.
+    pub fn begin_round1(&mut self, load: Option<f64>) {
+        self.has_migrants = true;
+        self.migrants.parts.clear();
+        self.load = load;
+        self.has_ghosts = false;
+        self.ghosts.clear();
     }
 
-    /// Append one block's particle slice.
-    pub fn push_block(&mut self, key: (u64, u64, u64), parts: &[Particle]) {
-        self.blocks.push((key.0, key.1, key.2, parts.len() as u32));
-        self.parts.extend_from_slice(parts);
-    }
-
-    /// Iterate `(block key, particle slice)` in shipment order.
-    pub fn iter_blocks(&self) -> impl Iterator<Item = ((u64, u64, u64), &[Particle])> {
-        let mut off = 0usize;
-        self.blocks.iter().map(move |&(x, y, z, n)| {
-            let s = &self.parts[off..off + n as usize];
-            off += n as usize;
-            ((x, y, z), s)
-        })
+    /// Reshape a pooled frame for round 2, keeping buffer capacity.
+    pub fn begin_round2(&mut self) {
+        self.has_migrants = false;
+        self.migrants.parts.clear();
+        self.load = None;
+        self.has_ghosts = true;
+        self.ghosts.clear();
     }
 }
 
-impl WireSize for CubeBlockFrame {
+impl WireSize for StepFrame {
     fn wire_size(&self) -> usize {
-        // u64 count + (bx, by, bz, count) per block + flat particles —
-        // byte-identical to the old `Vec<(u64, u64, u64, Vec<Particle>)>`.
-        8 + 32 * self.blocks.len() + self.parts.iter().map(WireSize::wire_size).sum::<usize>()
+        // migrant header + section, load Option, ghost header + section.
+        let m = if self.has_migrants {
+            self.migrants.wire_size()
+        } else {
+            0
+        };
+        let g = if self.has_ghosts {
+            self.ghosts.wire_size()
+        } else {
+            0
+        };
+        1 + m + self.load.wire_size() + 1 + g
+    }
+
+    fn encoded_size(&self) -> usize {
+        let m = if self.has_migrants {
+            self.migrants.encoded_size()
+        } else {
+            0
+        };
+        let g = if self.has_ghosts {
+            self.ghosts.encoded_size()
+        } else {
+            0
+        };
+        1 + m + self.load.wire_size() + 1 + g
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pcdlb_md::Vec3;
 
-    fn parts(n: usize) -> Vec<Particle> {
+    fn shell(n: usize, off: f64) -> Vec<(u64, Vec3)> {
         (0..n)
-            .map(|i| Particle::at_rest(i as u64, Vec3::new(i as f64, 0.0, 0.0)))
+            .map(|i| (i as u64 * 3, Vec3::new(i as f64 + off, off, 0.0)))
             .collect()
     }
 
     #[test]
-    fn ghost_frame_matches_nested_encoding_bytes() {
-        let ps = parts(5);
-        let mut frame = GhostFrame::default();
-        frame.push_col(Col::new(0, 1), &ps[0..2]);
-        frame.push_col(Col::new(2, 3), &ps[2..2]);
-        frame.push_col(Col::new(4, 4), &ps[2..5]);
-        let nested: Vec<(Col, Vec<Particle>)> = vec![
-            (Col::new(0, 1), ps[0..2].to_vec()),
-            (Col::new(2, 3), vec![]),
-            (Col::new(4, 4), ps[2..5].to_vec()),
-        ];
-        assert_eq!(frame.wire_size(), nested.wire_size());
-        // Round-trip: the iterator reproduces the nested view.
-        let back: Vec<(Col, Vec<Particle>)> =
-            frame.iter_cols().map(|(c, s)| (c, s.to_vec())).collect();
-        assert_eq!(back, nested);
+    fn full_frame_roundtrip_on_fresh_channels() {
+        let mut tx = DeltaChannel::default();
+        let mut rx = DeltaChannel::default();
+        let mut frame = GhostShellFrame::default();
+        let content = shell(5, 0.0);
+        tx.scratch.extend(content.iter().copied());
+        tx.encode_into(true, &mut frame);
+        assert!(!frame.delta, "fresh channel must send a full frame");
+        assert_eq!(frame.wire_size(), frame.encoded_size());
+        let mut out = Vec::new();
+        rx.decode_into(&frame, &mut out);
+        assert_eq!(out, content);
     }
 
     #[test]
-    fn particle_frame_matches_vec_encoding_bytes() {
-        let ps = parts(4);
-        let frame = ParticleFrame { parts: ps.clone() };
-        assert_eq!(frame.wire_size(), ps.wire_size());
-        assert_eq!(
-            ParticleFrame::default().wire_size(),
-            Vec::<Particle>::new().wire_size()
-        );
+    fn delta_roundtrip_with_moves_departures_and_arrivals() {
+        let mut tx = DeltaChannel::default();
+        let mut rx = DeltaChannel::default();
+        let mut frame = GhostShellFrame::default();
+        let mut out = Vec::new();
+        tx.scratch.extend(shell(10, 0.0));
+        tx.encode_into(true, &mut frame);
+        rx.decode_into(&frame, &mut out);
+        // Step 2: ids 0,3,…,27 shift; id 0 departs; ids 1 and 50 arrive.
+        let mut next: Vec<(u64, Vec3)> = shell(10, 0.25)[1..].to_vec();
+        next.push((1, Vec3::new(9.0, 9.0, 9.0)));
+        next.push((50, Vec3::new(2.0, 2.0, 2.0)));
+        tx.scratch.extend(next.iter().copied());
+        tx.encode_into(true, &mut frame);
+        assert!(frame.delta);
+        assert_eq!(frame.moved.len(), 9);
+        assert_eq!(frame.arrivals.len(), 2);
+        // The delta is smaller on the wire than the canonical full frame.
+        assert!(frame.encoded_size() < frame.wire_size());
+        rx.decode_into(&frame, &mut out);
+        next.sort_unstable_by_key(|e| e.0);
+        assert_eq!(out, next);
     }
 
     #[test]
-    fn cube_frame_matches_nested_encoding_bytes() {
-        let ps = parts(6);
-        let mut frame = CubeBlockFrame::default();
-        frame.push_block((1, 2, 3), &ps[0..4]);
-        frame.push_block((4, 5, 6), &ps[4..6]);
-        let nested: Vec<(u64, u64, u64, Vec<Particle>)> =
-            vec![(1, 2, 3, ps[0..4].to_vec()), (4, 5, 6, ps[4..6].to_vec())];
-        assert_eq!(frame.wire_size(), nested.wire_size());
-        let back: Vec<(u64, u64, u64, Vec<Particle>)> = frame
-            .iter_blocks()
-            .map(|((x, y, z), s)| (x, y, z, s.to_vec()))
+    fn empty_shells_ship_as_minimal_full_frames() {
+        // An empty-to-empty delta would cost 37 bytes of section headers;
+        // the min-size choice ships the 9-byte empty full frame instead.
+        let mut tx = DeltaChannel::default();
+        let mut rx = DeltaChannel::default();
+        let mut frame = GhostShellFrame::default();
+        let mut out = Vec::new();
+        tx.encode_into(true, &mut frame);
+        rx.decode_into(&frame, &mut out);
+        tx.encode_into(true, &mut frame);
+        assert!(!frame.delta, "empty delta loses to empty full on size");
+        assert_eq!(frame.encoded_size(), 9);
+        rx.decode_into(&frame, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn total_turnover_ships_full_not_bloated_delta() {
+        // Disjoint membership: every previous ghost departs, every new
+        // one arrives. The delta (bitmap + 32-byte arrivals) would exceed
+        // the full frame, so the sender must pick full.
+        let mut tx = DeltaChannel::default();
+        let mut rx = DeltaChannel::default();
+        let mut frame = GhostShellFrame::default();
+        let mut out = Vec::new();
+        tx.scratch.extend(shell(8, 0.0));
+        tx.encode_into(true, &mut frame);
+        rx.decode_into(&frame, &mut out);
+        let next: Vec<(u64, Vec3)> = (0..8)
+            .map(|i| (i as u64 * 3 + 1, Vec3::new(i as f64, 1.0, 2.0)))
             .collect();
-        assert_eq!(back, nested);
+        tx.scratch.extend(next.iter().copied());
+        tx.encode_into(true, &mut frame);
+        assert!(!frame.delta, "total turnover must fall back to full");
+        rx.decode_into(&frame, &mut out);
+        assert_eq!(out, next);
     }
 
     #[test]
-    fn clear_keeps_capacity() {
-        let ps = parts(8);
-        let mut frame = GhostFrame::default();
-        frame.push_col(Col::new(0, 0), &ps);
-        let cap = frame.parts.capacity();
-        frame.clear();
-        assert!(frame.cols.is_empty() && frame.parts.is_empty());
-        assert_eq!(frame.parts.capacity(), cap);
+    fn reset_forces_full_fallback() {
+        // The DLB-ownership-move fallback: an invalidated channel resends
+        // a full frame and the receiver resynchronises off it.
+        let mut tx = DeltaChannel::default();
+        let mut rx = DeltaChannel::default();
+        let mut frame = GhostShellFrame::default();
+        let mut out = Vec::new();
+        tx.scratch.extend(shell(4, 0.0));
+        tx.encode_into(true, &mut frame);
+        rx.decode_into(&frame, &mut out);
+        tx.reset();
+        let content = shell(6, 0.5);
+        tx.scratch.extend(content.iter().copied());
+        tx.encode_into(true, &mut frame);
+        assert!(!frame.delta, "reset channel must fall back to full");
+        rx.decode_into(&frame, &mut out);
+        assert_eq!(out, content);
+    }
+
+    #[test]
+    fn epoch_bump_forces_full_fallback() {
+        let mut tx = DeltaChannel::default();
+        let mut frame = GhostShellFrame::default();
+        tx.sync_epoch(0);
+        tx.scratch.extend(shell(4, 0.0));
+        tx.encode_into(true, &mut frame);
+        tx.sync_epoch(1); // takeover epoch advanced
+        tx.scratch.extend(shell(4, 0.1));
+        tx.encode_into(true, &mut frame);
+        assert!(!frame.delta, "epoch bump must fall back to full");
+        tx.sync_epoch(1); // same epoch: no reset
+        tx.scratch.extend(shell(4, 0.2));
+        tx.encode_into(true, &mut frame);
+        assert!(frame.delta);
+    }
+
+    #[test]
+    fn delta_disabled_always_sends_full() {
+        let mut tx = DeltaChannel::default();
+        let mut frame = GhostShellFrame::default();
+        for k in 0..3 {
+            tx.scratch.extend(shell(4, k as f64 * 0.1));
+            tx.encode_into(false, &mut frame);
+            assert!(!frame.delta);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "desynchronised")]
+    fn delta_against_wrong_membership_panics() {
+        let mut tx = DeltaChannel::default();
+        let mut rx = DeltaChannel::default();
+        let mut frame = GhostShellFrame::default();
+        let mut out = Vec::new();
+        tx.scratch.extend(shell(4, 0.0));
+        tx.encode_into(true, &mut frame);
+        rx.decode_into(&frame, &mut out);
+        // Receiver's channel diverges (simulated corruption).
+        rx.reset();
+        rx.decode_into(&frame, &mut out); // full frame: fine, resyncs with 4 ids
+        out.pop();
+        rx.ids.pop();
+        tx.scratch.extend(shell(4, 0.1));
+        tx.encode_into(true, &mut frame);
+        rx.decode_into(&frame, &mut out);
+    }
+
+    #[test]
+    fn shell_frame_canonical_size_is_content_based() {
+        let mut tx = DeltaChannel::default();
+        let mut frame = GhostShellFrame::default();
+        tx.scratch.extend(shell(7, 0.0));
+        tx.encode_into(true, &mut frame);
+        let full_wire = frame.wire_size();
+        assert_eq!(full_wire, 1 + 8 + 32 * 7);
+        tx.scratch.extend(shell(7, 0.5));
+        tx.encode_into(true, &mut frame);
+        assert!(frame.delta);
+        // Same content count ⇒ same canonical size, different encoding.
+        assert_eq!(frame.wire_size(), full_wire);
+        assert_eq!(frame.encoded_size(), 1 + 4 + 8 + (8 + 1) + (8 + 24 * 7) + 8);
+    }
+
+    #[test]
+    fn step_frame_sections_toggle_their_bytes() {
+        let mut f = StepFrame::default();
+        f.begin_round1(None);
+        assert_eq!(f.wire_size(), 1 + 8 + 1 + 1); // header + empty migrants + None + header
+        f.begin_round1(Some(0.25));
+        assert_eq!(f.wire_size(), 1 + 8 + 9 + 1);
+        f.migrants
+            .parts
+            .push(pcdlb_md::Particle::at_rest(0, Vec3::ZERO));
+        assert_eq!(f.wire_size(), 1 + 8 + 56 + 9 + 1);
+        f.begin_round2();
+        assert_eq!(f.wire_size(), 1 + 1 + 1 + (1 + 8));
+        assert_eq!(f.wire_size(), f.encoded_size());
     }
 }

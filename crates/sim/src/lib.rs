@@ -38,4 +38,4 @@ pub use recover::{
 pub use recover::{
     run_with_recovery_faulted, run_with_takeover_faulted, run_with_takeover_instrumented,
 };
-pub use report::{PhaseTimes, RunReport, StepRecord};
+pub use report::{PhaseTimes, RunReport, StepRecord, WireBytes};

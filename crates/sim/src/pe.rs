@@ -6,13 +6,17 @@
 //! communication phases in between:
 //!
 //! 1. half-kick + drift (positions move);
-//! 2. **migration** — particles that crossed into a neighbour-owned column
-//!    are shipped to their new owner;
-//! 3. **DLB** (optional) — exchange last-step force times with the 8
-//!    neighbours, pick the fastest PE, apply the Case 1–3 rules, broadcast
-//!    the decision, and transfer the moved column's particles;
-//! 4. **ghost exchange** — every owned column adjacent to a
-//!    neighbour-owned column is sent to that neighbour;
+//! 2. **round 1** — one coalesced [`StepFrame`] per neighbour under
+//!    `tags::STEP_FRAME`: particles that crossed into a neighbour-owned
+//!    column are shipped to their new owner, with the sender's last-step
+//!    force time riding along on DLB steps;
+//! 3. **DLB** (optional) — from the round-1 loads, pick the fastest PE
+//!    locally, apply the Case 1–3 rules, broadcast the decision, and
+//!    transfer the moved column's particles;
+//! 4. **ghost exchange (round 2)** — the boundary-shell ghosts of every
+//!    owned column adjacent to a neighbour-owned column are sent to that
+//!    neighbour as `(id, pos)` pairs, delta-encoded against the previous
+//!    step's frame per channel (see [`crate::frame`]);
 //! 5. force computation over own + ghost cells (work counted). By
 //!    default this is *overlapped* with phase 4: after the ghost sends
 //!    are posted, forces among **interior** columns (whose half-shell
@@ -47,14 +51,14 @@ use pcdlb_md::force::{disjoint_ranges_mut, PairKernel, WorkCounters};
 use pcdlb_md::integrate::{kick, kick_drift};
 use pcdlb_md::observe;
 use pcdlb_md::vec3::Vec3;
-use pcdlb_md::{init, Particle};
-use pcdlb_mp::{collectives, BufferPool, Comm};
+use pcdlb_md::{axis_bin, init, Particle};
+use pcdlb_mp::{collectives, BufferPool, Comm, WireSize};
 
 use crate::clock::WallTimer;
 use crate::config::{Lattice, LoadMetric, RunConfig};
-use crate::frame::{GhostFrame, ParticleFrame};
+use crate::frame::{DeltaChannel, ParticleFrame, StepFrame};
 use crate::recover::SimCheckpoint;
-use crate::report::{PhaseTimes, RunReport, StepRecord};
+use crate::report::{PhaseTimes, RunReport, StepRecord, WireBytes};
 use crate::stats::StatsPacket;
 
 // Wire tags live next to the protocol rules in `pcdlb-core`, where the
@@ -137,6 +141,8 @@ pub struct PeResult {
     /// This rank's accumulated wall-clock phase breakdown (all zeros
     /// without the `wallclock-instrumentation` feature).
     pub phase_times: PhaseTimes,
+    /// This rank's per-phase actual-vs-baseline byte counts.
+    pub wire_bytes: WireBytes,
 }
 
 /// Generate the full initial particle set for a config — deterministic,
@@ -210,12 +216,27 @@ pub struct PeState {
     migrate_staging: BTreeMap<Col, Vec<Particle>>,
     /// Per-neighbour emigrant staging, parallel to `neighbors`.
     migrate_out: Vec<Vec<Particle>>,
-    /// DLB neighbour-load scratch.
+    /// DLB neighbour-load scratch, filled from the round-1 step frames.
     nbr_loads: Vec<(usize, f64)>,
-    /// Pooled ghost-frame send buffers, reused across steps.
-    ghost_pool: BufferPool<GhostFrame>,
-    /// Pooled flat-particle send buffers (migration, cell transfer).
+    /// Per-neighbour ghost delta channels, send side (parallel to
+    /// `neighbors`): reset whenever a DLB decision dirties the routes, so
+    /// the next frame is a full fallback.
+    send_chan: Vec<DeltaChannel>,
+    /// Per-neighbour ghost delta channels, receive side. Never reset in
+    /// steady state — a full frame is self-describing and resynchronises
+    /// the channel on arrival.
+    recv_chan: Vec<DeltaChannel>,
+    /// Retained ghost re-binning staging; key set kept equal to
+    /// `ghosts`' so the per-step scatter reuses every allocation.
+    ghost_staging: BTreeMap<Col, Vec<Particle>>,
+    /// Retained delta-decode output scratch.
+    ghost_decode: Vec<(u64, Vec3)>,
+    /// Pooled coalesced step-message send buffers, reused across steps.
+    step_pool: BufferPool<StepFrame>,
+    /// Pooled flat-particle send buffers (cell transfer).
     part_pool: BufferPool<ParticleFrame>,
+    /// Per-phase actual-vs-baseline byte accounting for this rank.
+    wire: WireBytes,
     /// Wall time of the current step's force pass(es) so far.
     force_wall_accum: f64,
     /// Accumulated per-phase wall times over the run.
@@ -317,8 +338,13 @@ impl PeState {
             migrate_staging: BTreeMap::new(),
             migrate_out: vec![Vec::new(); n_nbrs],
             nbr_loads: Vec::new(),
-            ghost_pool: BufferPool::new(),
+            send_chan: (0..n_nbrs).map(|_| DeltaChannel::default()).collect(),
+            recv_chan: (0..n_nbrs).map(|_| DeltaChannel::default()).collect(),
+            ghost_staging: BTreeMap::new(),
+            ghost_decode: Vec::new(),
+            step_pool: BufferPool::new(),
             part_pool: BufferPool::new(),
+            wire: WireBytes::default(),
             force_wall_accum: 0.0,
             phase: PhaseTimes::default(),
         }
@@ -330,7 +356,7 @@ impl PeState {
     }
 
     fn col_of(&self, pos: Vec3) -> Col {
-        let f = |v: f64| ((v / self.cell_len) as usize).min(self.nc - 1);
+        let f = |v: f64| axis_bin(v, self.cell_len, self.nc);
         Col::new(f(pos.x), f(pos.y))
     }
 
@@ -338,9 +364,7 @@ impl PeState {
     fn build_column(&self, parts: Vec<Particle>) -> CellSlab {
         let cell_len = self.cell_len;
         let nc = self.nc;
-        CellSlab::build(nc, parts, move |p| {
-            ((p.pos.z / cell_len) as usize).min(nc - 1)
-        })
+        CellSlab::build(nc, parts, move |p| axis_bin(p.pos.z, cell_len, nc))
     }
 
     /// True when `col`'s home tile lies in this PE's readable 3×3 tile
@@ -428,12 +452,15 @@ impl PeState {
             }
             self.home_cols.push((col, class));
         }
-        // Keep the ghost slabs' key set equal to the expected receive
-        // set, preserving the allocations of surviving columns.
+        // Keep the ghost slabs' (and ghost staging's) key sets equal to
+        // the expected receive set, preserving the allocations of
+        // surviving columns.
         let nc = self.nc;
         self.ghosts.retain(|c, _| ghost_cols.contains(c));
+        self.ghost_staging.retain(|c, _| ghost_cols.contains(c));
         for &c in &ghost_cols {
             self.ghosts.entry(c).or_insert_with(|| CellSlab::empty(nc));
+            self.ghost_staging.entry(c).or_default();
             self.home_cols.push((c, ColClass::Ghost));
         }
         self.home_cols.sort_unstable_by_key(|&(c, _)| c);
@@ -443,16 +470,22 @@ impl PeState {
         for &c in columns.keys() {
             self.migrate_staging.entry(c).or_default();
         }
+        // No delta-channel reset here: an ownership move may redraw the
+        // shells discontinuously, but the sender picks the smaller of
+        // delta and full encodings per frame, so a redrawn shell just
+        // ships as a full frame and both ends roll forward off it.
     }
 
-    /// Phase 2, send half: rebin locally and ship emigrants to neighbour
-    /// owners; retained particles stay staged in `migrate_staging` for
-    /// [`PeState::migrate_recv`]. Splitting the phase lets a thread
-    /// running two virtual ranks post *both* ranks' sends before either
-    /// blocks in a receive. Allocation-free in the steady state: the
-    /// staging lists, per-neighbour outboxes, and pooled send frames are
-    /// all reused across steps.
-    pub(crate) fn migrate_send(&mut self, comm: &mut Comm) {
+    /// Phase 2 (+ the DLB load ride-along), send half: rebin locally and
+    /// ship one round-1 [`StepFrame`] — emigrants, plus this PE's
+    /// last-step load on DLB steps — to each neighbour owner under
+    /// `tags::STEP_FRAME`; retained particles stay staged in
+    /// `migrate_staging` for [`PeState::step_recv_round1`]. Splitting the
+    /// phase lets a thread running two virtual ranks post *both* ranks'
+    /// sends before either blocks in a receive. Allocation-free in the
+    /// steady state: the staging lists, per-neighbour outboxes, and
+    /// pooled send frames are all reused across steps.
+    pub(crate) fn step_send_round1(&mut self, comm: &mut Comm, dlb_now: bool) {
         self.refresh_caches();
         let t0 = WallTimer::start();
         for v in self.migrate_staging.values_mut() {
@@ -463,7 +496,7 @@ impl PeState {
         }
         let (cell_len, nc, rank) = (self.cell_len, self.nc, self.rank);
         let col_at = move |pos: Vec3| {
-            let f = |v: f64| ((v / cell_len) as usize).min(nc - 1);
+            let f = |v: f64| axis_bin(v, cell_len, nc);
             Col::new(f(pos.x), f(pos.y))
         };
         let columns = &self.columns;
@@ -494,27 +527,45 @@ impl PeState {
                 }
             }
         }
+        let load = dlb_now.then(|| self.last_load());
         for (i, &nb) in self.neighbors.iter().enumerate() {
-            let mut buf = self.part_pool.checkout();
+            let mut buf = self.step_pool.checkout();
             let frame = Arc::get_mut(&mut buf).expect("fresh pool checkout is uniquely owned");
-            frame.parts.clear();
-            frame.parts.extend_from_slice(&self.migrate_out[i]);
+            frame.begin_round1(load);
+            frame.migrants.parts.extend_from_slice(&self.migrate_out[i]);
             // Deterministic payloads: order emigrants by id.
-            frame.parts.sort_unstable_by_key(|p| p.id);
-            comm.send(nb, tags::MIGRATE, Arc::clone(&buf));
-            self.part_pool.checkin(buf);
+            frame.migrants.parts.sort_unstable_by_key(|p| p.id);
+            self.wire.migrate += frame.encoded_size() as u64;
+            // Pre-diet layout: one flat particle message, plus a separate
+            // 8-byte load message on DLB steps.
+            self.wire.migrate_baseline +=
+                (8 + 56 * frame.migrants.parts.len() as u64) + if dlb_now { 8 } else { 0 };
+            comm.send(nb, tags::STEP_FRAME, Arc::clone(&buf));
+            self.step_pool.checkin(buf);
         }
         self.phase.migrate += t0.elapsed_s();
     }
 
-    /// Phase 2, receive half: collect immigrants and rebuild the columns
+    /// Phase 2, receive half: collect immigrants (and, on DLB steps, the
+    /// neighbour loads riding in the same frames) and rebuild the columns
     /// in place, reusing every slab's storage.
-    pub(crate) fn migrate_recv(&mut self, comm: &mut Comm) {
+    pub(crate) fn step_recv_round1(&mut self, comm: &mut Comm, dlb_now: bool) {
         let t0 = WallTimer::start();
         let rank = self.rank;
+        self.nbr_loads.clear();
         for &nb in &self.neighbors {
-            let incoming: Arc<ParticleFrame> = comm.recv(nb, tags::MIGRATE);
-            for p in &incoming.parts {
+            let incoming: Arc<StepFrame> = comm.recv(nb, tags::STEP_FRAME);
+            debug_assert!(
+                incoming.has_migrants && !incoming.has_ghosts,
+                "rank {rank}: round-1 frame from {nb} has the wrong sections"
+            );
+            if dlb_now {
+                let load = incoming
+                    .load
+                    .expect("round-1 frame on a DLB step carries the sender's load");
+                self.nbr_loads.push((nb, load));
+            }
+            for p in &incoming.migrants.parts {
                 let ncol = self.col_of(p.pos);
                 debug_assert_eq!(
                     self.ownership.owner_of(ncol),
@@ -531,7 +582,7 @@ impl PeState {
             }
         }
         let (cell_len, nc) = (self.cell_len, self.nc);
-        let zbin = move |p: &Particle| ((p.pos.z / cell_len) as usize).min(nc - 1);
+        let zbin = move |p: &Particle| axis_bin(p.pos.z, cell_len, nc);
         let staging = &mut self.migrate_staging;
         for (col, slab) in self.columns.iter_mut() {
             let staged = staging
@@ -542,32 +593,17 @@ impl PeState {
         self.phase.migrate += t0.elapsed_s();
     }
 
-    /// Phase 3 (DLB), step 1 send half: post last-step execution times to
-    /// the 8-neighbourhood. All DLB halves are no-ops when DLB is off.
-    pub(crate) fn dlb_send_load(&mut self, comm: &mut Comm) {
-        if self.protocol.is_none() {
-            return;
-        }
-        let t0 = WallTimer::start();
-        let own_load = self.last_load();
-        for &nb in &self.neighbors {
-            comm.send(nb, tags::LOAD, own_load);
-        }
-        self.phase.dlb += t0.elapsed_s();
-    }
-
-    /// Phase 3, step 1 receive half + steps 2–3: collect neighbour loads,
-    /// find the fastest PE, and apply the case rules. Returns this PE's
-    /// decision in wire form, ready for [`PeState::dlb_send_decision`].
-    pub(crate) fn dlb_recv_load_and_decide(&mut self, comm: &mut Comm) -> Option<(Col, u64, u64)> {
+    /// Phase 3 (DLB), steps 2–3: from the neighbour loads collected in
+    /// round 1, find the fastest PE and apply the case rules — purely
+    /// local now that the loads ride the round-1 frames. Returns this
+    /// PE's decision in wire form, ready for
+    /// [`PeState::dlb_send_decision`]. All DLB halves are no-ops when DLB
+    /// is off.
+    pub(crate) fn dlb_decide(&mut self) -> Option<(Col, u64, u64)> {
         let protocol = self.protocol?;
         let t0 = WallTimer::start();
         let own_load = self.last_load();
-        self.nbr_loads.clear();
-        for &nb in &self.neighbors {
-            let load = comm.recv::<f64>(nb, tags::LOAD);
-            self.nbr_loads.push((nb, load));
-        }
+        debug_assert_eq!(self.nbr_loads.len(), self.neighbors.len());
         let fastest = protocol.fastest_pe(own_load, &self.nbr_loads);
         let my_decision = protocol.decide(&self.ownership, fastest);
         if let Some(d) = &my_decision {
@@ -586,6 +622,7 @@ impl PeState {
         }
         let t0 = WallTimer::start();
         for &nb in &self.neighbors {
+            self.wire.dlb += wire.encoded_size() as u64;
             comm.send(nb, tags::DECISION, wire);
         }
         self.phase.dlb += t0.elapsed_s();
@@ -647,6 +684,7 @@ impl PeState {
                 frame.parts.clear();
                 frame.parts.extend_from_slice(slab.particles());
                 frame.parts.sort_unstable_by_key(|p| p.id);
+                self.wire.dlb += frame.encoded_size() as u64;
                 comm.send(d.to, tags::CELL_XFER, Arc::clone(&buf));
                 self.part_pool.checkin(buf);
                 sent += 1;
@@ -671,51 +709,80 @@ impl PeState {
         self.phase.dlb += t0.elapsed_s();
     }
 
-    /// Phase 4, send half: post ghost columns to the 8 neighbours, one
-    /// pooled [`GhostFrame`] per neighbour along the cached routes — the
-    /// same columns, bytes, and message count as the nested per-column
-    /// payloads this replaces, without any per-step allocation.
+    /// Phase 4 (round 2), send half: post the boundary-shell ghosts to
+    /// the 8 neighbours, one pooled round-2 [`StepFrame`] per neighbour
+    /// along the cached routes. Each frame ships `(id, pos)` pairs only —
+    /// no velocities, no column directory, nothing for empty cells — and
+    /// is delta-encoded against the previous step's frame on the same
+    /// channel whenever the channel is valid (see [`DeltaChannel`]).
     pub(crate) fn ghosts_send(&mut self, comm: &mut Comm) {
         self.refresh_caches();
         let t0 = WallTimer::start();
+        let delta_ok = self.cfg.delta_ghosts;
+        let epoch = comm.epoch();
         for (i, &nb) in self.neighbors.iter().enumerate() {
-            let mut buf = self.ghost_pool.checkout();
-            let frame = Arc::get_mut(&mut buf).expect("fresh pool checkout is uniquely owned");
-            frame.clear();
+            let chan = &mut self.send_chan[i];
+            chan.sync_epoch(epoch);
+            let mut baseline = 8u64;
             for &col in &self.ghost_routes[i] {
-                frame.push_col(col, self.columns[&col].particles());
+                let parts = self.columns[&col].particles();
+                baseline += 24 + 56 * parts.len() as u64;
+                chan.scratch.extend(parts.iter().map(|p| (p.id, p.pos)));
             }
-            comm.send(nb, tags::GHOST, Arc::clone(&buf));
-            self.ghost_pool.checkin(buf);
+            let mut buf = self.step_pool.checkout();
+            let frame = Arc::get_mut(&mut buf).expect("fresh pool checkout is uniquely owned");
+            frame.begin_round2();
+            chan.encode_into(delta_ok, &mut frame.ghosts);
+            self.wire.ghost += frame.encoded_size() as u64;
+            // Pre-diet layout: full particles with a per-column directory.
+            self.wire.ghost_baseline += baseline;
+            comm.send(nb, tags::STEP_FRAME, Arc::clone(&buf));
+            self.step_pool.checkin(buf);
         }
         self.phase.ghost += t0.elapsed_s();
     }
 
-    /// Phase 4, receive half: drain the neighbours' ghost frames into the
-    /// retained ghost slabs. Each column arrives already in the sender's
-    /// canonical (cell, id) order, so the rebuild is a straight copy — no
-    /// sort, no allocation in the steady state.
+    /// Phase 4 (round 2), receive half: decode the neighbours' ghost
+    /// frames through the per-channel delta state, re-bin each ghost by
+    /// its position into the retained staging lists, and rebuild the
+    /// ghost slabs in place — same `(cell, id)` order as before, no
+    /// allocation in the steady state.
     pub(crate) fn ghosts_recv(&mut self, comm: &mut Comm) {
         let t0 = WallTimer::start();
         let rank = self.rank;
         let (cell_len, nc) = (self.cell_len, self.nc);
-        let zbin = move |p: &Particle| ((p.pos.z / cell_len) as usize).min(nc - 1);
-        let mut received = 0usize;
-        for &nb in &self.neighbors {
-            let frame: Arc<GhostFrame> = comm.recv(nb, tags::GHOST);
-            for (col, parts) in frame.iter_cols() {
-                self.ghosts
+        let col_at = move |pos: Vec3| {
+            let f = |v: f64| axis_bin(v, cell_len, nc);
+            Col::new(f(pos.x), f(pos.y))
+        };
+        for v in self.ghost_staging.values_mut() {
+            v.clear();
+        }
+        for (i, &nb) in self.neighbors.iter().enumerate() {
+            let frame: Arc<StepFrame> = comm.recv(nb, tags::STEP_FRAME);
+            debug_assert!(
+                frame.has_ghosts && !frame.has_migrants,
+                "rank {rank}: round-2 frame from {nb} has the wrong sections"
+            );
+            self.recv_chan[i].decode_into(&frame.ghosts, &mut self.ghost_decode);
+            for &(id, pos) in &self.ghost_decode {
+                let col = col_at(pos);
+                self.ghost_staging
                     .get_mut(&col)
                     .unwrap_or_else(|| {
                         panic!("rank {rank}: received unexpected ghost column {col:?}")
                     })
-                    .rebuild_sorted(nc, parts, zbin);
-                received += 1;
+                    .push(Particle::at_rest(id, pos));
             }
         }
-        // Every ghost column is owned by exactly one neighbour, so the
-        // frames cover the expected set exactly once per step.
-        debug_assert_eq!(received, self.ghosts.len());
+        let zbin = move |p: &Particle| axis_bin(p.pos.z, cell_len, nc);
+        let staging = &mut self.ghost_staging;
+        for (col, slab) in self.ghosts.iter_mut() {
+            let staged = staging
+                .get_mut(col)
+                .expect("ghost staging key set matches the expected ghost columns");
+            slab.rebuild_from(nc, staged, zbin);
+        }
         self.phase.ghost += t0.elapsed_s();
     }
 
@@ -968,6 +1035,11 @@ impl PeState {
         self.phase
     }
 
+    /// This PE's accumulated per-phase actual-vs-baseline byte counts.
+    pub fn wire_bytes(&self) -> WireBytes {
+        self.wire
+    }
+
     /// Phase 6: second half-kick with the fresh forces.
     pub(crate) fn kick_all(&mut self) {
         let dt = self.cfg.dt;
@@ -1073,12 +1145,12 @@ impl PeState {
     /// single-role sequence.
     pub fn step(&mut self, comm: &mut Comm, step: u64) -> Option<StepRecord> {
         let t0 = WallTimer::start();
+        let dlb_now = self.cfg.dlb && step.is_multiple_of(self.cfg.dlb_interval);
         self.kick_drift_all();
-        self.migrate_send(comm);
-        self.migrate_recv(comm);
-        let transferred = if self.cfg.dlb && step.is_multiple_of(self.cfg.dlb_interval) {
-            self.dlb_send_load(comm);
-            let wire = self.dlb_recv_load_and_decide(comm);
+        self.step_send_round1(comm, dlb_now);
+        self.step_recv_round1(comm, dlb_now);
+        let transferred = if dlb_now {
+            let wire = self.dlb_decide();
             self.dlb_send_decision(comm, wire);
             let decisions = self.dlb_recv_decisions(comm, wire);
             let sent = self.dlb_send_cells(comm, &decisions);

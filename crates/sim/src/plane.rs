@@ -31,12 +31,12 @@ use pcdlb_md::force::{disjoint_ranges_mut, PairKernel, WorkCounters};
 use pcdlb_md::integrate::{kick, kick_drift};
 use pcdlb_md::observe;
 use pcdlb_md::vec3::Vec3;
-use pcdlb_md::Particle;
+use pcdlb_md::{axis_bin, Particle};
 use pcdlb_mp::{collectives, BufferPool, Comm, CostModel, World};
 
 use crate::clock::WallTimer;
 use crate::config::{LoadMetric, RunConfig};
-use crate::frame::ParticleFrame;
+use crate::frame::{DeltaChannel, GhostShellFrame};
 use crate::pe::initial_particles;
 use crate::report::{RunReport, StepRecord};
 use crate::stats::StatsPacket;
@@ -102,8 +102,14 @@ struct PlanePe {
     /// order, aligned with each slab's particle order.
     forces: Vec<Vec3>,
     ghosts: BTreeMap<usize, CellSlab>,
-    /// Pooled `(plane index, particles)` ghost send buffers.
-    ghost_pool: BufferPool<(u64, ParticleFrame)>,
+    /// Pooled boundary-shell ghost send buffers.
+    ghost_pool: BufferPool<GhostShellFrame>,
+    /// Delta streams for the two outgoing ghost directions (up, down).
+    tx_chan: [DeltaChannel; 2],
+    /// Delta streams for the two incoming ghost directions (up, down).
+    rx_chan: [DeltaChannel; 2],
+    /// Decoded `(id, pos)` ghosts, reused across steps.
+    decode_scratch: Vec<(u64, Vec3)>,
     last_work: WorkCounters,
     last_force_virtual: f64,
     last_force_wall: f64,
@@ -132,6 +138,9 @@ impl PlanePe {
             forces: Vec::new(),
             ghosts: BTreeMap::new(),
             ghost_pool: BufferPool::new(),
+            tx_chan: [DeltaChannel::default(), DeltaChannel::default()],
+            rx_chan: [DeltaChannel::default(), DeltaChannel::default()],
+            decode_scratch: Vec::new(),
             last_work: WorkCounters::default(),
             last_force_virtual: 0.0,
             last_force_wall: 0.0,
@@ -153,14 +162,14 @@ impl PlanePe {
     }
 
     fn axis(&self, v: f64) -> usize {
-        ((v / self.cell_len) as usize).min(self.nc - 1)
+        axis_bin(v, self.cell_len, self.nc)
     }
 
     /// Bin a flat particle list into one plane's `nc²` cells.
     fn build_plane(&self, parts: Vec<Particle>) -> CellSlab {
         let cell_len = self.cell_len;
         let nc = self.nc;
-        let axis = move |v: f64| ((v / cell_len) as usize).min(nc - 1);
+        let axis = move |v: f64| axis_bin(v, cell_len, nc);
         CellSlab::build(nc * nc, parts, move |q| axis(q.pos.y) * nc + axis(q.pos.z))
     }
 
@@ -271,6 +280,7 @@ impl PlanePe {
 
         let gain = self.cfg.dlb_min_gain.max(0.0);
         let heavier = |a: f64, b: f64| a > b * (1.0 + gain) && a > b;
+        let (old_lo, old_hi) = (self.lo, self.hi);
         let mut sent = 0u64;
 
         // Boundary at my `lo` (index = rank; interior iff rank > 0).
@@ -313,6 +323,15 @@ impl PlanePe {
                 sent += 1;
             }
         }
+        // A boundary move swaps which plane a ghost stream carries —
+        // near-total membership turnover — so restart the affected
+        // streams with a full frame (the receiver resyncs off it).
+        if self.lo != old_lo {
+            self.tx_chan[1].reset();
+        }
+        if self.hi != old_hi {
+            self.tx_chan[0].reset();
+        }
         sent
     }
 
@@ -329,32 +348,55 @@ impl PlanePe {
         self.planes.insert(cx, slab);
     }
 
-    /// Phase 4: ghost planes from the ring neighbours. Sends pooled
-    /// `(plane, ParticleFrame)` buffers — byte-identical on the wire to
-    /// the `(u64, Vec<Particle>)` payloads they replace.
+    /// Phase 4: ghost planes from the ring neighbours, shipped as
+    /// boundary-shell [`GhostShellFrame`]s of `(id, pos)` pairs and
+    /// delta-encoded per direction. No plane index travels: slabs are
+    /// contiguous, so the plane a stream carries is always `lo − 1`
+    /// (from below) or `hi` (from above), wrapped at the seam.
     fn exchange_ghosts(&mut self, comm: &mut Comm) {
         self.ghosts.clear();
         if self.p < 2 {
             return; // all planes are local
         }
-        for (cx, dst, tag) in [
+        let delta_ok = self.cfg.delta_ghosts;
+        for (ci, (cx, dst, tag)) in [
             (self.hi - 1, self.next(), tags::GHOST_UP),
             (self.lo, self.prev(), tags::GHOST_DOWN),
-        ] {
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let chan = &mut self.tx_chan[ci];
+            chan.scratch
+                .extend(self.planes[&cx].particles().iter().map(|q| (q.id, q.pos)));
             let mut buf = self.ghost_pool.checkout();
-            let pair = Arc::get_mut(&mut buf).expect("fresh pool checkout is uniquely owned");
-            pair.0 = cx as u64;
-            pair.1.parts.clear();
-            pair.1.parts.extend_from_slice(self.planes[&cx].particles());
+            let frame = Arc::get_mut(&mut buf).expect("fresh pool checkout is uniquely owned");
+            chan.encode_into(delta_ok, frame);
             comm.send(dst, tag, Arc::clone(&buf));
             self.ghost_pool.checkin(buf);
         }
-        let from_prev: Arc<(u64, ParticleFrame)> = comm.recv(self.prev(), tags::GHOST_UP);
-        let from_next: Arc<(u64, ParticleFrame)> = comm.recv(self.next(), tags::GHOST_DOWN);
-        for pair in [&from_prev, &from_next] {
-            let (cx, frame) = &**pair;
-            self.ghosts
-                .insert(*cx as usize, self.build_plane(frame.parts.clone()));
+        for (ci, (src, tag, cx)) in [
+            (
+                self.prev(),
+                tags::GHOST_UP,
+                (self.lo + self.nc - 1) % self.nc,
+            ),
+            (self.next(), tags::GHOST_DOWN, self.hi % self.nc),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let frame: Arc<GhostShellFrame> = comm.recv(src, tag);
+            self.rx_chan[ci].decode_into(&frame, &mut self.decode_scratch);
+            // Ghost velocities are never read: the force pass only needs
+            // positions, and the thermostat/KE sums walk owned planes.
+            let parts: Vec<Particle> = self
+                .decode_scratch
+                .iter()
+                .map(|&(id, pos)| Particle::at_rest(id, pos))
+                .collect();
+            debug_assert!(parts.iter().all(|q| self.axis(q.pos.x) == cx));
+            self.ghosts.insert(cx, self.build_plane(parts));
         }
     }
 

@@ -95,6 +95,47 @@ impl PhaseTimes {
     }
 }
 
+/// Actual bytes shipped per communication phase, summed over a run, next
+/// to the bytes the same content would have cost as plain full frames.
+/// "Actual" means the current encoding (delta ghost frames, coalesced
+/// step messages, shell-only ghosts); "baseline" reconstructs the pre-diet
+/// layout (full `Particle` ghosts per route column with an 8-byte
+/// per-column header, separate migrate/load messages). The ratio
+/// `ghost_baseline / ghost` is the comm-volume-diet figure of merit.
+/// Deterministic given a deterministic trajectory — unlike [`PhaseTimes`]
+/// these are byte counts, not clocks — so CI can gate on them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireBytes {
+    /// Ghost-phase bytes actually shipped (encoded frames).
+    pub ghost: u64,
+    /// Ghost-phase bytes under the pre-diet full-frame layout.
+    pub ghost_baseline: u64,
+    /// Migration-phase bytes actually shipped (round-1 step frames,
+    /// including the DLB loads that ride along).
+    pub migrate: u64,
+    /// Migration + load bytes under the pre-diet separate-message layout.
+    pub migrate_baseline: u64,
+    /// DLB decision and cell-transfer bytes (same layout before and
+    /// after the diet; tracked for the per-phase breakdown).
+    pub dlb: u64,
+}
+
+impl WireBytes {
+    /// Accumulate another rank's (or run's) byte counts into this one.
+    pub fn merge(&mut self, other: &WireBytes) {
+        self.ghost += other.ghost;
+        self.ghost_baseline += other.ghost_baseline;
+        self.migrate += other.migrate;
+        self.migrate_baseline += other.migrate_baseline;
+        self.dlb += other.dlb;
+    }
+
+    /// Total bytes actually shipped across tracked phases.
+    pub fn total(&self) -> u64 {
+        self.ghost + self.migrate + self.dlb
+    }
+}
+
 /// A whole run's results (rank 0's view).
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {

@@ -282,6 +282,7 @@ pub(crate) fn run_roles(
                     snapshot,
                     comm_stats,
                     phase_times: pe.phase_times(),
+                    wire_bytes: pe.wire_bytes(),
                 },
             )
         })
@@ -301,29 +302,27 @@ fn step_multi(
     step: u64,
 ) -> Vec<Option<StepRecord>> {
     let t0 = WallTimer::start();
+    let dlb_now = cfg.dlb && step.is_multiple_of(cfg.dlb_interval);
     for (_, pe) in pes.iter_mut() {
         pe.kick_drift_all();
     }
-    // Migration (retained particles stay staged inside each PE).
+    // Round 1: migration plus the DLB load ride-along (retained
+    // particles stay staged inside each PE).
     for (v, pe) in pes.iter_mut() {
         comm.act_as(*v);
-        pe.migrate_send(comm);
+        pe.step_send_round1(comm, dlb_now);
     }
     for (v, pe) in pes.iter_mut() {
         comm.act_as(*v);
-        pe.migrate_recv(comm);
+        pe.step_recv_round1(comm, dlb_now);
     }
-    // DLB: three send/recv rounds (loads, decisions, cell transfers).
+    // DLB: a local decision from the round-1 loads, then two send/recv
+    // rounds (decisions, cell transfers).
     let mut transferred = vec![0u64; pes.len()];
-    if cfg.dlb && step.is_multiple_of(cfg.dlb_interval) {
-        for (v, pe) in pes.iter_mut() {
-            comm.act_as(*v);
-            pe.dlb_send_load(comm);
-        }
+    if dlb_now {
         let mut wires = Vec::with_capacity(pes.len());
-        for (v, pe) in pes.iter_mut() {
-            comm.act_as(*v);
-            wires.push(pe.dlb_recv_load_and_decide(comm));
+        for (_, pe) in pes.iter_mut() {
+            wires.push(pe.dlb_decide());
         }
         for (i, (v, pe)) in pes.iter_mut().enumerate() {
             comm.act_as(*v);

@@ -15,7 +15,7 @@ use pcdlb_domain::Col;
 use pcdlb_md::{Particle, Vec3};
 use pcdlb_mp::WireSize;
 
-use crate::frame::{CubeBlockFrame, GhostFrame, ParticleFrame};
+use crate::frame::{DeltaChannel, GhostPart, GhostShellFrame, ParticleFrame, StepFrame};
 use crate::stats::StatsPacket;
 
 /// Reference encoder: actually serialize the value and count the bytes.
@@ -32,6 +32,18 @@ trait RefEncode {
 impl RefEncode for u64 {
     fn encode(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl RefEncode for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl RefEncode for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
     }
 }
 
@@ -116,38 +128,50 @@ impl<T: RefEncode> RefEncode for Arc<T> {
     }
 }
 
-impl RefEncode for GhostFrame {
-    fn encode(&self, out: &mut Vec<u8>) {
-        // u64 column count; per column cx, cy, count; then the particles
-        // flat with no second length prefix.
-        (self.cols.len() as u64).encode(out);
-        for &(col, n) in &self.cols {
-            col.encode(out);
-            (n as u64).encode(out);
-        }
-        for p in &self.parts {
-            p.encode(out);
-        }
-    }
-}
-
 impl RefEncode for ParticleFrame {
     fn encode(&self, out: &mut Vec<u8>) {
         self.parts.encode(out);
     }
 }
 
-impl RefEncode for CubeBlockFrame {
+impl RefEncode for GhostPart {
     fn encode(&self, out: &mut Vec<u8>) {
-        (self.blocks.len() as u64).encode(out);
-        for &(x, y, z, n) in &self.blocks {
-            x.encode(out);
-            y.encode(out);
-            z.encode(out);
-            (n as u64).encode(out);
+        self.id.encode(out);
+        self.pos.encode(out);
+    }
+}
+
+impl RefEncode for GhostShellFrame {
+    /// The *actual* layout (what `encoded_size` reports): a 1-byte delta
+    /// flag, then either the length-prefixed full list or the delta
+    /// sections (u32 prev_len, u64 fingerprint, then the length-prefixed
+    /// bitmap, survivor positions, and arrivals).
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.delta as u8).encode(out);
+        if self.delta {
+            self.prev_len.encode(out);
+            self.prev_check.encode(out);
+            self.survive.encode(out);
+            self.moved.encode(out);
+            self.arrivals.encode(out);
+        } else {
+            self.full.encode(out);
         }
-        for p in &self.parts {
-            p.encode(out);
+    }
+}
+
+impl RefEncode for StepFrame {
+    /// The actual layout: 1-byte presence header + migrant section,
+    /// Option-encoded load, 1-byte presence header + ghost section.
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.has_migrants as u8).encode(out);
+        if self.has_migrants {
+            self.migrants.encode(out);
+        }
+        self.load.encode(out);
+        (self.has_ghosts as u8).encode(out);
+        if self.has_ghosts {
+            self.ghosts.encode(out);
         }
     }
 }
@@ -175,6 +199,16 @@ fn check<T: WireSize + RefEncode>(value: &T, what: &str) {
     );
 }
 
+/// For frames whose canonical and actual layouts diverge (delta ghost
+/// frames): the reference encoder pins the actual layout.
+fn check_encoded<T: WireSize + RefEncode>(value: &T, what: &str) {
+    assert_eq!(
+        value.encoded_size(),
+        value.encoded_len(),
+        "encoded_size mismatch for {what}"
+    );
+}
+
 fn particle(id: u64) -> Particle {
     Particle {
         id,
@@ -188,7 +222,7 @@ fn every_sent_payload_type_matches_the_reference_encoding() {
     // pe.rs: SNAPSHOT carries Vec<Particle>.
     check(&Vec::<Particle>::new(), "empty Vec<Particle>");
     check(&vec![particle(0), particle(1)], "Vec<Particle>");
-    // pe.rs: MIGRATE / CELL_XFER carry pooled Arc<ParticleFrame>.
+    // pe.rs: CELL_XFER carries pooled Arc<ParticleFrame>.
     check(
         &Arc::new(ParticleFrame {
             parts: vec![particle(0), particle(1)],
@@ -199,38 +233,51 @@ fn every_sent_payload_type_matches_the_reference_encoding() {
         &Arc::new(ParticleFrame::default()),
         "empty Arc<ParticleFrame>",
     );
-    // pe.rs: LOAD carries f64; KE_BCAST broadcasts the f64 scale.
-    check(&1.5f64, "f64 load");
+    // pe.rs / plane.rs: KE_BCAST broadcasts the f64 scale.
+    check(&1.5f64, "f64 scale");
     // pe.rs: DECISION carries Option<(Col, u64, u64)>.
     check(&None::<(Col, u64, u64)>, "DECISION None");
     check(&Some((Col::new(2, 3), 4u64, 5u64)), "DECISION Some");
-    // pe.rs: GHOST carries pooled Arc<GhostFrame>.
+    // pe.rs: STEP_FRAME round 1 carries migrants (+ load on DLB steps).
     {
-        let mut frame = GhostFrame::default();
-        frame.push_col(Col::new(0, 0), &[particle(7)]);
-        frame.push_col(Col::new(1, 5), &[]);
-        check(&Arc::new(frame), "pillar ghost frame");
+        let mut frame = StepFrame::default();
+        frame.begin_round1(None);
+        frame.migrants.parts.push(particle(7));
+        check(&Arc::new(frame), "round-1 step frame");
+        let mut dlb = StepFrame::default();
+        dlb.begin_round1(Some(0.75));
+        check(&Arc::new(dlb), "round-1 step frame with load");
+    }
+    // pe.rs: STEP_FRAME round 2 carries the ghost shell; plane.rs and
+    // cube.rs ship the bare shell frame on their own ghost tags.
+    {
+        let mut tx = DeltaChannel::default();
+        let mut frame = StepFrame::default();
+        frame.begin_round2();
+        for i in 0..6u64 {
+            tx.scratch.push((i * 2, Vec3::new(i as f64, 1.0, 1.5)));
+        }
+        tx.encode_into(true, &mut frame.ghosts);
+        assert!(!frame.ghosts.delta, "first frame is full");
+        check(&Arc::new(frame.clone()), "round-2 step frame, full ghosts");
+        // Second frame on the channel: a real delta (moves + one leave +
+        // one join), enough survivors for the delta to win on size.
+        for i in 1..6u64 {
+            tx.scratch.push((i * 2, Vec3::new(i as f64, 1.25, 1.5)));
+        }
+        tx.scratch.push((11, Vec3::new(3.0, 3.0, 3.0)));
+        tx.encode_into(true, &mut frame.ghosts);
+        assert!(frame.ghosts.delta);
+        check_encoded(&frame.ghosts, "delta ghost shell");
+        check_encoded(&Arc::new(frame.clone()), "round-2 step frame, delta");
+        // The canonical charge stays content-based under either encoding.
+        assert_eq!(frame.ghosts.wire_size(), 1 + 8 + 32 * 6);
+        check(&GhostShellFrame::default(), "empty ghost shell");
     }
     // pe.rs / plane.rs / cube.rs: KE_GATHER carries Vec<(u64, f64)>.
     check(&vec![(0u64, 0.5f64), (3u64, 1.25f64)], "KE gather");
     // plane.rs: LOAD_UP / LOAD_DOWN carry (u64, u64, f64).
     check(&(0u64, 4u64, 2.5f64), "plane load triple");
-    // plane.rs: GHOST_UP / GHOST_DOWN carry pooled Arc<(u64, ParticleFrame)>.
-    check(
-        &Arc::new((
-            3u64,
-            ParticleFrame {
-                parts: vec![particle(9)],
-            },
-        )),
-        "plane ghost frame",
-    );
-    // cube.rs: GHOST carries pooled Arc<CubeBlockFrame>.
-    {
-        let mut frame = CubeBlockFrame::default();
-        frame.push_block((1, 2, 3), &[particle(11), particle(12)]);
-        check(&Arc::new(frame), "cube ghost frame");
-    }
     // pe.rs: CKPT_GATHER carries (Vec<Particle>, Vec<Col>).
     check(
         &(vec![particle(4), particle(5)], vec![Col::new(0, 1)]),
