@@ -24,16 +24,26 @@
 //! full frames — `ghost_ratio` is the comm-volume-diet figure of merit.
 //! Unlike the timings these are deterministic, so CI gates on them.
 //!
+//! A third, heterogeneous scenario runs the P = 9 grid twice under a
+//! drifting per-PE [`SpeedSchedule`] — once with the work-based
+//! LoadMetric, once speed-aware — and records each run's mean relative
+//! time imbalance `(F_max − F_min) / F_ave` over the back half of the
+//! run. The figures derive from modelled virtual step times, not wall
+//! clock, so they are deterministic and gateable.
+//!
 //! Usage: `cargo run --release -p pcdlb-bench --bin steps_per_sec`
 //! (options: `--nc`, `--density`, `--iters`, `--steps`, `--out`,
 //! `--scaling-out`, `--assert-p4-ratio <min>`,
-//! `--assert-p9-ghost-ratio <min>`). `--assert-p4-ratio` makes the run
-//! fail when the P = 4 speedup is below `<min>`, but downgrades to a
-//! warning on hosts with fewer than 4 hardware threads, where a parallel
-//! speedup is physically impossible. `--assert-p9-ghost-ratio` fails the
-//! run when the P = 9 ghost-phase wire bytes are not at least `<min>`
-//! times smaller than the full-frame baseline (no hardware caveat: byte
-//! counts are deterministic).
+//! `--assert-p9-ghost-ratio <min>`, `--assert-hetero-gain <min>`).
+//! `--assert-p4-ratio` makes the run fail when the P = 4 speedup is
+//! below `<min>`, but downgrades to a warning on hosts with fewer than
+//! 4 hardware threads, where a parallel speedup is physically
+//! impossible. `--assert-p9-ghost-ratio` fails the run when the P = 9
+//! ghost-phase wire bytes are not at least `<min>` times smaller than
+//! the full-frame baseline (no hardware caveat: byte counts are
+//! deterministic). `--assert-hetero-gain` fails the run when the
+//! speed-aware metric does not cut the heterogeneous time imbalance by
+//! at least `<min>`× vs work-based (also deterministic).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -42,7 +52,10 @@ use pcdlb_bench::{full_shell_forces, Args};
 use pcdlb_md::force::ExternalPull;
 use pcdlb_md::serial::compute_forces_half_shell;
 use pcdlb_md::{init, CellGrid, LennardJones, PairKernel, Vec3};
-use pcdlb_sim::{run_with_phase_times, serial_sim, PhaseTimes, RunConfig, WireBytes};
+use pcdlb_sim::{
+    run, run_with_phase_times, serial_sim, PhaseTimes, RunConfig, RunReport, SpeedSchedule,
+    WireBytes,
+};
 
 /// One kernel's timing over `iters` repeated full force passes.
 struct KernelTiming {
@@ -136,6 +149,32 @@ fn ghost_ratio(wire: &WireBytes) -> f64 {
     wire.ghost_baseline as f64 / wire.ghost as f64
 }
 
+/// Mean relative time imbalance `(F_max − F_min) / F_ave` over the back
+/// half of a run (DLB has warmed up by then). With a speed schedule
+/// installed the `f_*` figures are modelled virtual times — pure
+/// functions of the config, so deterministic across hosts.
+fn mean_time_imbalance(records: &[pcdlb_sim::StepRecord]) -> f64 {
+    let tail = &records[records.len() / 2..];
+    tail.iter()
+        .map(|r| (r.f_max - r.f_min) / r.f_ave)
+        .sum::<f64>()
+        / tail.len() as f64
+}
+
+fn json_hetero_row(out: &mut String, metric: &str, report: &RunReport, seconds: f64) {
+    let steps = report.records.len() as f64;
+    let transfers: u32 = report.records.iter().map(|r| r.transfers).sum();
+    let _ = write!(
+        out,
+        "      {{ \"metric\": \"{}\", \"steps_per_sec\": {:.3}, \
+         \"time_imbalance\": {:.4}, \"transfers\": {} }}",
+        metric,
+        steps / seconds,
+        mean_time_imbalance(&report.records),
+        transfers
+    );
+}
+
 fn main() {
     let args = Args::parse();
     // nc must divide evenly onto every torus side used below (1, 2, 3).
@@ -148,6 +187,7 @@ fn main() {
     // 0.0 disables the assertions (the default).
     let assert_p4 = args.get_f64("assert-p4-ratio", 0.0);
     let assert_p9_ghost = args.get_f64("assert-p9-ghost-ratio", 0.0);
+    let assert_hetero = args.get_f64("assert-hetero-gain", 0.0);
 
     // --- 1. Force phase: full-shell baseline vs half-shell kernel. ---
     let box_len = 2.56 * nc as f64;
@@ -226,6 +266,43 @@ fn main() {
             wire,
         });
     }
+    // --- 3. Heterogeneous machine: work-based vs speed-aware DLB. ---
+    // A drifting per-PE speed schedule on the P = 9 grid (fast torus
+    // column west of the slow one, so the paper's NW-directed transfer
+    // rules give the bottleneck a legal shed route). The work-based
+    // LoadMetric sees uniform work and does nothing; the speed-aware
+    // metric sees the speed spread as *time* imbalance and moves cells
+    // toward the fast PEs. The imbalance figures derive from the
+    // modelled virtual step times (`f_max/f_ave/f_min`), not wall
+    // clock, so they are deterministic and CI can gate on them.
+    let hetero_base = [0.5f64, 1.0, 2.0];
+    let (hetero_amplitude, hetero_period) = (0.2f64, 16u64);
+    let mk_hetero = |speed_aware: bool| {
+        let mut cfg = mk_cfg(9);
+        cfg.speed = Some(SpeedSchedule {
+            base: hetero_base.to_vec(),
+            amplitude: hetero_amplitude,
+            period: hetero_period,
+        });
+        cfg.speed_aware = speed_aware;
+        cfg
+    };
+    let run_hetero = |speed_aware: bool| {
+        let start = Instant::now();
+        let report = run(&mk_hetero(speed_aware));
+        let seconds = start.elapsed().as_secs_f64();
+        (report, seconds)
+    };
+    let (hetero_work, hetero_work_secs) = run_hetero(false);
+    let (hetero_time, hetero_time_secs) = run_hetero(true);
+    let imb_work = mean_time_imbalance(&hetero_work.records);
+    let imb_time = mean_time_imbalance(&hetero_time.records);
+    let hetero_gain = imb_work / imb_time;
+    eprintln!(
+        "hetero P=9: time imbalance {imb_work:.3} (work-based) -> {imb_time:.3} \
+         (speed-aware), {hetero_gain:.2}x gain"
+    );
+
     for r in &rows {
         if r.wire.total() == 0 {
             eprintln!(
@@ -309,7 +386,25 @@ fn main() {
         json_scaling_row(&mut scaling, row, serial_sps);
         scaling.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    scaling.push_str("  ]\n}\n");
+    scaling.push_str("  ],\n");
+    scaling.push_str("  \"heterogeneous\": {\n");
+    let _ = writeln!(
+        scaling,
+        "    \"p\": 9, \"speed_base\": [{}], \"speed_amplitude\": {hetero_amplitude}, \
+         \"speed_period\": {hetero_period},",
+        hetero_base
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    scaling.push_str("    \"rows\": [\n");
+    json_hetero_row(&mut scaling, "work", &hetero_work, hetero_work_secs);
+    scaling.push_str(",\n");
+    json_hetero_row(&mut scaling, "time", &hetero_time, hetero_time_secs);
+    scaling.push_str("\n    ],\n");
+    let _ = writeln!(scaling, "    \"time_imbalance_gain\": {hetero_gain:.3}");
+    scaling.push_str("  }\n}\n");
     std::fs::write(&scaling_path, &scaling).unwrap_or_else(|e| panic!("write {scaling_path}: {e}"));
     eprintln!("wrote {scaling_path}");
 
@@ -343,5 +438,18 @@ fn main() {
             p9.wire.ghost_baseline
         );
         eprintln!("P = 9 ghost wire ratio {ratio:.2}x meets the {assert_p9_ghost}x goal");
+    }
+
+    if assert_hetero > 0.0 {
+        // The imbalance figures come from modelled virtual step times,
+        // so like the ghost-byte gate this one has no hardware caveat:
+        // a regression is a code change.
+        assert!(
+            hetero_gain >= assert_hetero,
+            "speed-aware DLB time-imbalance gain {hetero_gain:.2}x is below the \
+             required {assert_hetero}x (imbalance {imb_time:.3} speed-aware vs \
+             {imb_work:.3} work-based)"
+        );
+        eprintln!("hetero time-imbalance gain {hetero_gain:.2}x meets the {assert_hetero}x goal");
     }
 }

@@ -56,6 +56,18 @@
 //!    adoption per death, and sentinel conservation on every trace —
 //!    each violation reported with its minimal offending event window.
 //!
+//! A seventh arrived with elastic world resizing:
+//!
+//! 7. **Elastic resizing preserves physics and absorbs faults**
+//!    ([`resize`]): shrink and grow plans at several step boundaries on
+//!    two cell grids must conserve the particle count, keep the record
+//!    series complete, and land bitwise on the serial reference (and on
+//!    the plane and cube decompositions) — and killing any rank inside
+//!    the resize window itself (the drain checkpoint gather, the
+//!    READY/GO resume barrier, or any strided send op of any
+//!    generation) must complete with `digest_recovery` bitwise equal to
+//!    the fault-free elastic reference.
+//!
 //! [`lint`] adds a repo lint pass for the hazards that produce such bugs:
 //! wall-clock reads in deterministic crates, hash-order iteration in
 //! protocol-facing code, and `unwrap()` / unaudited `expect()` on
@@ -68,6 +80,7 @@ pub mod faults;
 pub mod invariant;
 pub mod lint;
 pub mod model;
+pub mod resize;
 pub mod schedule;
 pub mod takeover;
 pub mod verify;

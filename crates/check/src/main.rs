@@ -5,6 +5,7 @@
 //! pcdlb-check interleave [--steps S] [--dfs-runs N] [--seeded-runs N]
 //! pcdlb-check faults     [--stride N] [--seeds N] [--timeout-s N]
 //! pcdlb-check takeover   [--stride N] [--max-side N] [--timeout-s N]
+//! pcdlb-check resize     [--stride N] [--timeout-s N]
 //! pcdlb-check model      [--steps S] [--steps-3x3 S] [--max-runs N]
 //!                        [--runs-3x3 N] [--grid 0|2|3]
 //! pcdlb-check lint       [--root PATH] [--strict-allow]
@@ -23,6 +24,7 @@ use pcdlb_check::faults::fault_sweep_with_timeout;
 use pcdlb_check::invariant::{verify_invariant, InvariantConfig};
 use pcdlb_check::lint::run_lints;
 use pcdlb_check::model::{model_check, standard_cases, Reduction};
+use pcdlb_check::resize::resize_sweep_with_timeout;
 use pcdlb_check::takeover::takeover_sweep_with_timeout;
 use pcdlb_check::verify::verify_protocol;
 
@@ -40,12 +42,14 @@ fn main() -> ExitCode {
         "interleave" => cmd_interleave(rest),
         "faults" => cmd_faults(rest),
         "takeover" => cmd_takeover(rest),
+        "resize" => cmd_resize(rest),
         "model" => cmd_model(rest),
         "lint" => cmd_lint(rest),
         "all" => cmd_verify(&[])
             .and_then(|()| cmd_interleave(&[]))
             .and_then(|()| cmd_faults(&[]))
             .and_then(|()| cmd_takeover(&[]))
+            .and_then(|()| cmd_resize(&[]))
             .and_then(|()| cmd_model(&[]))
             .and_then(|()| cmd_lint(&["--strict-allow".to_string()])),
         "--help" | "-h" | "help" => {
@@ -65,7 +69,7 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: pcdlb-check <verify|interleave|faults|takeover|model|lint|all> [options]\n\
+        "usage: pcdlb-check <verify|interleave|faults|takeover|resize|model|lint|all> [options]\n\
          \n\
          verify     static protocol verification: tag table, send/recv\n\
          \u{20}          matching, deadlock freedom on all grids up to --max-side\n\
@@ -84,6 +88,12 @@ fn usage() {
          \u{20}          (default 6), then kill each rank of a 2x2 and a 3x3 run\n\
          \u{20}          at every --stride'th send op (default 32) asserting\n\
          \u{20}          bitwise recovery parity, under --timeout-s (default 900)\n\
+         resize     elastic-resize sweep: shrink/grow parity plans at several\n\
+         \u{20}          boundaries on two grids (serial/plane/cube bitwise\n\
+         \u{20}          parity), then kill every drain-gather contributor,\n\
+         \u{20}          every resize-barrier participant, and each rank of each\n\
+         \u{20}          generation at every --stride'th send op (default 24),\n\
+         \u{20}          under --timeout-s (default 900)\n\
          model      stateful protocol model checker: DFS over delivery\n\
          \u{20}          interleavings with partial-order reduction, checking the\n\
          \u{20}          typed safety properties (seq gaplessness, non-overtaking,\n\
@@ -240,6 +250,33 @@ fn cmd_takeover(rest: &[String]) -> Result<(), String> {
             eprintln!("  {v}");
         }
         return Err(format!("{} takeover violation(s)", out.violations.len()));
+    }
+    Ok(())
+}
+
+fn cmd_resize(rest: &[String]) -> Result<(), String> {
+    let v = opts(rest, &[("--stride", 24), ("--timeout-s", 900)])?;
+    let (stride, timeout_s) = (v[0] as u64, v[1] as u64);
+    let out = resize_sweep_with_timeout(stride, Duration::from_secs(timeout_s))?;
+    println!(
+        "resize: {} parity plans, {} drain kills ({} fired), {} barrier kills ({} fired), {} kill-point runs ({} fired), reference digest {:#018x}",
+        out.parity_runs,
+        out.drain_runs,
+        out.drain_kills_fired,
+        out.barrier_runs,
+        out.barrier_kills_fired,
+        out.kill_runs,
+        out.kills_fired,
+        out.reference_digest
+    );
+    if !out.violations.is_empty() {
+        for v in &out.violations {
+            eprintln!("  {v}");
+        }
+        return Err(format!(
+            "{} elastic-resize violation(s)",
+            out.violations.len()
+        ));
     }
     Ok(())
 }

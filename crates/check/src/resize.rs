@@ -1,0 +1,366 @@
+//! The elastic-resize sweep: parity and fault absorption across world
+//! generations.
+//!
+//! `pcdlb-sim`'s elastic driver ([`pcdlb_sim::run_elastic`]) claims that
+//! a run which drains, remaps its torus to a different PE count, and
+//! resumes — possibly several times, in both directions — produces the
+//! **bitwise identical** particle state of an uninterrupted serial run,
+//! and that the full recovery ladder (buddy takeover, checkpoint
+//! relaunch) keeps working *through* the resize machinery itself. One
+//! hand-picked resize point cannot substantiate either claim. This
+//! module sweeps both:
+//!
+//! - **Parity sweep**: shrink and grow plans at several step boundaries
+//!   on two cell grids (4³ and 6³, with and without DLB), each checked
+//!   for particle-count conservation, a complete per-step record series,
+//!   single-launch generations, and bitwise snapshot parity against the
+//!   serial reference — and, on the DLB grid, against the plane and cube
+//!   decompositions too. Ownership-partition validity is enforced inside
+//!   the drain remap (it panics on a duplicate or missing owner), and
+//!   the per-generation sentinel aborts any run that breaks conservation
+//!   mid-flight, so a clean completion is itself the audit.
+//! - **Drain-gather kills**: with periodic checkpoints off, the only
+//!   `CKPT_GATHER` traffic is the resize drains — kill each non-root
+//!   rank of each draining generation at its drain contribution send and
+//!   require digest parity with the fault-free elastic reference.
+//! - **Resize-barrier kills**: kill each rank of each resumed generation
+//!   inside the `RESIZE_READY`/`RESIZE_GO` barrier itself (non-root
+//!   ranks at their READY send, the root at its first GO send) and
+//!   require the same parity.
+//! - **Strided kill sweep**: kill every rank of every generation at
+//!   strided send ops across the whole elastic run, covering deaths
+//!   before, inside, and after each resize window.
+//!
+//! Every sweep runs under a global wall-clock timeout: the no-hang
+//! guarantee extends to the resize barrier (deadline-bounded, aborts on
+//! expiry), so a hang is reported as a failure rather than wedging CI.
+
+use std::time::Duration;
+
+use pcdlb_core::protocol::tags;
+use pcdlb_mp::collectives::ctag;
+use pcdlb_mp::FaultPlan;
+use pcdlb_sim::config::{Lattice, RunConfig};
+use pcdlb_sim::cube::run_cube_with_snapshot;
+use pcdlb_sim::plane::run_plane_with_snapshot;
+use pcdlb_sim::{
+    run_elastic, run_elastic_faulted, run_serial, RecoveryOptions, ResizeOutcome, ResizePlan,
+};
+
+use crate::faults::run_under_timeout;
+
+/// What a resize sweep observed.
+#[derive(Debug, Clone)]
+pub struct ResizeSweepOutcome {
+    /// `digest_recovery` of the fault-free elastic reference every
+    /// faulted run is compared against.
+    pub reference_digest: u64,
+    /// Parity cases checked (one per `(config, plan)` pair).
+    pub parity_runs: usize,
+    /// Drain-gather kill runs performed.
+    pub drain_runs: usize,
+    /// Drain-gather kill runs whose kill actually fired.
+    pub drain_kills_fired: usize,
+    /// Resize-barrier kill runs performed.
+    pub barrier_runs: usize,
+    /// Resize-barrier kill runs whose kill actually fired.
+    pub barrier_kills_fired: usize,
+    /// Strided kill-point runs performed.
+    pub kill_runs: usize,
+    /// Strided kill-point runs whose kill actually fired.
+    pub kills_fired: usize,
+    /// Parity or recovery failures (empty when the invariants hold).
+    pub violations: Vec<String>,
+}
+
+/// The 4³-grid sweep workload: the recovery tests' small-but-busy 2×2
+/// configuration (clustered start, mid-run thermostat), extended with a
+/// sentinel cadence so every generation audits conservation.
+fn cfg_4(checkpoint_interval: u64) -> RunConfig {
+    let mut cfg = RunConfig::new(216, 4, 4, 0.2);
+    cfg.dlb = false;
+    cfg.steps = 24;
+    cfg.thermostat_interval = 10;
+    cfg.lattice = Lattice::Cluster { fill: 0.8 };
+    cfg.seed = 11;
+    cfg.checkpoint_interval = checkpoint_interval;
+    cfg.sentinel_interval = 4;
+    cfg
+}
+
+/// The 6³-grid workload: a 3×3 torus running DLB, resized through a 2×2
+/// generation (DLB auto-gated off) and back.
+fn cfg_6() -> RunConfig {
+    let mut cfg = RunConfig::new(343, 6, 9, 0.08);
+    cfg.dlb = true;
+    cfg.steps = 18;
+    cfg.thermostat_interval = 7;
+    cfg.lattice = Lattice::Cluster { fill: 0.8 };
+    cfg.seed = 13;
+    cfg.checkpoint_interval = 6;
+    cfg.sentinel_interval = 3;
+    cfg
+}
+
+fn sweep_opts() -> RecoveryOptions {
+    RecoveryOptions {
+        max_attempts: 6,
+        poll: Duration::from_millis(2),
+        watchdog: Duration::from_secs(10),
+    }
+}
+
+/// The PE count of each world generation a plan launches, `cfg.p` first.
+fn generation_ps(cfg: &RunConfig, plan: &ResizePlan) -> Vec<usize> {
+    let mut ps = vec![cfg.p];
+    ps.extend(plan.stages.iter().map(|s| s.p));
+    ps
+}
+
+/// Check one elastic outcome against the serial reference: conservation,
+/// complete records, one launch per generation, bitwise snapshot parity.
+fn check_parity(
+    label: &str,
+    cfg: &RunConfig,
+    plan: &ResizePlan,
+    out: &ResizeOutcome,
+    violations: &mut Vec<String>,
+) {
+    if out.snapshot.len() != cfg.n_particles {
+        violations.push(format!(
+            "{label}: snapshot holds {} of {} particles",
+            out.snapshot.len(),
+            cfg.n_particles
+        ));
+    }
+    if out.report.records.len() != cfg.steps as usize
+        || out
+            .report
+            .records
+            .iter()
+            .enumerate()
+            .any(|(i, r)| r.step != i as u64 + 1)
+    {
+        violations.push(format!(
+            "{label}: record series incomplete ({} of {} steps)",
+            out.report.records.len(),
+            cfg.steps
+        ));
+    }
+    if out.attempts != generation_ps(cfg, plan).len() {
+        violations.push(format!(
+            "{label}: {} launches for {} generations on a fault-free run",
+            out.attempts,
+            generation_ps(cfg, plan).len()
+        ));
+    }
+    if out.snapshot != run_serial(cfg) {
+        violations.push(format!("{label}: snapshot diverged from the serial run"));
+    }
+}
+
+/// Sweep resize parity (shrink and grow at several boundaries on both
+/// grids) and kill every interesting point of the resize window at the
+/// given send-op `stride`, asserting elastic parity for each.
+pub fn resize_sweep(stride: u64) -> ResizeSweepOutcome {
+    let stride = stride.max(1);
+    let mut out = ResizeSweepOutcome {
+        reference_digest: 0,
+        parity_runs: 0,
+        drain_runs: 0,
+        drain_kills_fired: 0,
+        barrier_runs: 0,
+        barrier_kills_fired: 0,
+        kill_runs: 0,
+        kills_fired: 0,
+        violations: Vec::new(),
+    };
+    let opts = sweep_opts();
+
+    // ---- Parity sweep: boundaries and directions on the 4³ grid. ----
+    let parity_plans = [
+        ResizePlan::new().resize(8, 16).resize(16, 4), // grow, shrink back
+        ResizePlan::new().resize(12, 16),              // grow and stay grown
+        ResizePlan::new().resize(5, 1).resize(10, 16).resize(18, 4), // through serial
+        ResizePlan::new().resize(4, 16).resize(8, 1).resize(20, 16), // every direction
+    ];
+    for (i, plan) in parity_plans.iter().enumerate() {
+        let cfg = cfg_4(5);
+        let label = format!("parity[4³ plan {i}]");
+        out.parity_runs += 1;
+        match run_elastic(&cfg, plan, &opts) {
+            Ok(o) => check_parity(&label, &cfg, plan, &o, &mut out.violations),
+            Err(e) => out.violations.push(format!("{label}: failed: {e}")),
+        }
+    }
+    // The 6³ DLB grid, additionally checked against the plane and cube
+    // decompositions — the same physics under all three.
+    {
+        let cfg = cfg_6();
+        let plan = ResizePlan::new().resize(6, 4).resize(12, 9);
+        let label = "parity[6³ dlb]";
+        out.parity_runs += 1;
+        match run_elastic(&cfg, &plan, &opts) {
+            Ok(o) => {
+                check_parity(label, &cfg, &plan, &o, &mut out.violations);
+                let mut plane_cfg = cfg.clone();
+                plane_cfg.p = 3;
+                plane_cfg.dlb = false;
+                if o.snapshot != run_plane_with_snapshot(&plane_cfg).1 {
+                    out.violations
+                        .push(format!("{label}: diverged from the plane decomposition"));
+                }
+                let mut cube_cfg = cfg.clone();
+                cube_cfg.p = 8;
+                cube_cfg.dlb = false;
+                if o.snapshot != run_cube_with_snapshot(&cube_cfg).1 {
+                    out.violations
+                        .push(format!("{label}: diverged from the cube decomposition"));
+                }
+            }
+            Err(e) => out.violations.push(format!("{label}: failed: {e}")),
+        }
+    }
+
+    // ---- Kill sweeps through the resize window on the 4³ grid. ----
+    // Periodic checkpoints off: the only CKPT_GATHER traffic is the two
+    // resize drains, so drain kills land in the drain window by
+    // construction (and every relaunch replays from the drain boundary
+    // or step 0, exercising the generation restart path).
+    let cfg = cfg_4(0);
+    let plan = ResizePlan::new().resize(8, 16).resize(16, 4);
+    let gen_ps = generation_ps(&cfg, &plan);
+    let reference = match run_elastic(&cfg, &plan, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            out.violations
+                .push(format!("fault-free elastic reference failed: {e}"));
+            return out;
+        }
+    };
+    out.reference_digest = reference.digest;
+    let mut check_faulted =
+        |label: String, runs: &mut usize, fired: &mut usize, res: Result<ResizeOutcome, _>| {
+            *runs += 1;
+            match res {
+                Ok(o) => {
+                    if o.takeovers > 0 || o.attempts > gen_ps.len() {
+                        *fired += 1;
+                    }
+                    if o.digest != reference.digest {
+                        out.violations.push(format!(
+                            "{label}: digest {:#018x} != reference {:#018x} after {} launch(es)",
+                            o.digest, reference.digest, o.attempts
+                        ));
+                    }
+                }
+                Err(e) => out.violations.push(format!("{label}: unrecovered: {e}")),
+            }
+        };
+
+    // Drain-gather kills: each non-root rank of each draining generation
+    // (the root only receives in a gather) at its contribution send.
+    let drain_tag = ctag(tags::CKPT_GATHER, 0);
+    let (mut drain_runs, mut drain_fired) = (0, 0);
+    for (launch, &p) in gen_ps.iter().enumerate().take(gen_ps.len() - 1) {
+        for rank in 1..p {
+            let res = run_elastic_faulted(&cfg, &plan, &opts, |l, r| {
+                (l == launch && r == rank).then(|| FaultPlan::kill_on_tag(drain_tag, 0))
+            });
+            check_faulted(
+                format!("drain-kill(launch {launch}, rank {rank})"),
+                &mut drain_runs,
+                &mut drain_fired,
+                res,
+            );
+        }
+    }
+
+    // Barrier kills: each rank of each resumed generation inside the
+    // READY/GO barrier — non-root ranks die at their READY send, the
+    // root at its first GO send.
+    let (mut barrier_runs, mut barrier_fired) = (0, 0);
+    for (launch, &p) in gen_ps.iter().enumerate().skip(1) {
+        for rank in 0..p {
+            let fault = if rank == 0 {
+                FaultPlan::kill_on_tag(tags::RESIZE_GO, 0)
+            } else {
+                FaultPlan::kill_on_tag(tags::RESIZE_READY, 0)
+            };
+            let res = run_elastic_faulted(&cfg, &plan, &opts, |l, r| {
+                (l == launch && r == rank).then(|| fault.clone())
+            });
+            check_faulted(
+                format!("barrier-kill(launch {launch}, rank {rank})"),
+                &mut barrier_runs,
+                &mut barrier_fired,
+                res,
+            );
+        }
+    }
+
+    // Strided kill sweep across every generation: op indices past a
+    // rank's real send count simply never fire, so a generous shared
+    // bound covers each generation without per-rank totals.
+    let max_op = reference.report.msgs_sent / cfg.p as u64 + cfg.steps;
+    let (mut kill_runs, mut kills_fired) = (0, 0);
+    for (launch, &p) in gen_ps.iter().enumerate() {
+        for rank in 0..p {
+            for op in (0..max_op).step_by(stride as usize) {
+                let res = run_elastic_faulted(&cfg, &plan, &opts, |l, r| {
+                    (l == launch && r == rank).then(|| FaultPlan::kill_at(op))
+                });
+                check_faulted(
+                    format!("kill(launch {launch}, rank {rank}, op {op})"),
+                    &mut kill_runs,
+                    &mut kills_fired,
+                    res,
+                );
+            }
+        }
+    }
+    out.drain_runs = drain_runs;
+    out.drain_kills_fired = drain_fired;
+    out.barrier_runs = barrier_runs;
+    out.barrier_kills_fired = barrier_fired;
+    out.kill_runs = kill_runs;
+    out.kills_fired = kills_fired;
+    out
+}
+
+/// [`resize_sweep`] under a global wall-clock `timeout`.
+pub fn resize_sweep_with_timeout(
+    stride: u64,
+    timeout: Duration,
+) -> Result<ResizeSweepOutcome, String> {
+    run_under_timeout(timeout, "resize sweep", move || resize_sweep(stride))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarse_sweep_holds_elastic_parity() {
+        // A coarse stride keeps this a smoke test; the fine-grained sweep
+        // is `pcdlb-check resize` (CI's resize-matrix job).
+        let out = resize_sweep(499);
+        assert!(out.violations.is_empty(), "{:#?}", out.violations);
+        assert_eq!(out.parity_runs, 5);
+        // 3 + 15 non-root drain contributors, every one a real kill.
+        assert_eq!(out.drain_runs, 18);
+        assert_eq!(
+            out.drain_kills_fired, out.drain_runs,
+            "each draining rank sends exactly one contribution, so every drain kill must fire"
+        );
+        // 16 + 4 ranks across the two resumed generations.
+        assert_eq!(out.barrier_runs, 20);
+        assert_eq!(
+            out.barrier_kills_fired, out.barrier_runs,
+            "every rank of a resumed generation crosses the barrier, so every barrier kill must fire"
+        );
+        assert!(out.kill_runs >= 24, "one strided point per (launch, rank)");
+        assert!(out.kills_fired > 0, "the low kill points must fire");
+        assert_ne!(out.reference_digest, 0);
+    }
+}

@@ -82,6 +82,13 @@ pub mod tags {
     /// Completion handshake (p2p, takeover worlds): rank 0's ACK releasing
     /// a DONE sender to exit.
     pub const TAKEOVER_ACK: u64 = 9;
+    /// Resize barrier (p2p, elastic worlds): READY announcement to the
+    /// barrier root after a relaunched generation comes up on the remapped
+    /// torus.
+    pub const RESIZE_READY: u64 = 17;
+    /// Resize barrier (p2p, elastic worlds): root GO release once every
+    /// rank of the new generation has reported READY.
+    pub const RESIZE_GO: u64 = 18;
 
     /// The communication phases of one simulated step, in program order.
     /// Every blocking receive in `pcdlb-sim`'s pillar step belongs to
@@ -115,6 +122,11 @@ pub mod tags {
         /// only). Never appears in the per-step schedule; its receives are
         /// deadline-bounded rather than schedule-matched.
         Takeover,
+        /// Elastic resize barrier (p2p, elastic worlds only): runs once at
+        /// the start of each relaunched generation, before the first step
+        /// on the remapped torus. Like `Takeover`, never part of the
+        /// per-step schedule; its receives are deadline-bounded.
+        Resize,
     }
 
     /// One row of [`TAG_TABLE`]: a tag, its name, the phase that uses it,
@@ -215,6 +227,18 @@ pub mod tags {
             tag: TAKEOVER_ACK,
             name: "TAKEOVER_ACK",
             phase: CommPhase::Takeover,
+            collective: false,
+        },
+        TagSpec {
+            tag: RESIZE_READY,
+            name: "RESIZE_READY",
+            phase: CommPhase::Resize,
+            collective: false,
+        },
+        TagSpec {
+            tag: RESIZE_GO,
+            name: "RESIZE_GO",
+            phase: CommPhase::Resize,
             collective: false,
         },
     ];

@@ -358,8 +358,13 @@ pub struct Comm {
     /// Envelopes from a future takeover epoch, parked until
     /// [`Comm::advance_epoch`] re-admits them.
     future: VecDeque<Envelope>,
-    /// Current takeover epoch: 0 until the first takeover completes.
+    /// Current wire epoch: `base_epoch` until the first takeover completes,
+    /// then `base_epoch + deaths absorbed`.
     epoch_num: u64,
+    /// Epoch this world launched at (see
+    /// [`crate::world::World::with_base_epoch`]). Deaths absorbed within
+    /// this launch are counted relative to this base.
+    base_epoch: u64,
     model: CostModel,
     started: Instant,
     /// Set when any rank in the world panics; receives poll it so a dead
@@ -402,6 +407,7 @@ pub(crate) struct Supervision {
     pub(crate) poll: Duration,
     pub(crate) watchdog: Duration,
     pub(crate) takeover: bool,
+    pub(crate) base_epoch: u64,
     pub(crate) deaths: Arc<AtomicUsize>,
     pub(crate) dead: Arc<Vec<AtomicBool>>,
     pub(crate) routes: Arc<Vec<AtomicUsize>>,
@@ -425,7 +431,8 @@ impl Comm {
             inbox,
             pending: VecDeque::new(),
             future: VecDeque::new(),
-            epoch_num: 0,
+            epoch_num: sup.base_epoch,
+            base_epoch: sup.base_epoch,
             model,
             started: sup.epoch,
             abort: sup.abort,
@@ -573,9 +580,16 @@ impl Comm {
         }
     }
 
-    /// Current takeover epoch (0 until a takeover completes).
+    /// Current wire epoch (the launch's base epoch until a takeover
+    /// completes).
     pub fn epoch(&self) -> u64 {
         self.epoch_num
+    }
+
+    /// The epoch this world launched at (see
+    /// [`World::with_base_epoch`](crate::World::with_base_epoch)).
+    pub fn base_epoch(&self) -> u64 {
+        self.base_epoch
     }
 
     /// Number of rank deaths registered so far in this world.
@@ -620,7 +634,8 @@ impl Comm {
     /// True when a death has been registered that this endpoint has not
     /// yet absorbed by advancing its epoch.
     fn takeover_pending(&self) -> bool {
-        self.takeover && self.deaths.load(Ordering::SeqCst) as u64 > self.epoch_num
+        self.takeover
+            && self.deaths.load(Ordering::SeqCst) as u64 > self.epoch_num - self.base_epoch
     }
 
     /// Seconds of wall time since the world started (`MPI_Wtime`

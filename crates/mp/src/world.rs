@@ -74,6 +74,7 @@ pub struct World {
     poll: Duration,
     watchdog: Duration,
     takeover: bool,
+    base_epoch: u64,
 }
 
 impl World {
@@ -87,6 +88,7 @@ impl World {
             poll: DEFAULT_POLL_INTERVAL,
             watchdog: DEFAULT_WATCHDOG,
             takeover: false,
+            base_epoch: 0,
         }
     }
 
@@ -125,6 +127,18 @@ impl World {
     pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
         assert!(!watchdog.is_zero(), "watchdog deadline must be non-zero");
         self.watchdog = watchdog;
+        self
+    }
+
+    /// Start every rank's wire epoch at `base` instead of zero. An elastic
+    /// driver that relaunches the world across resize generations bumps the
+    /// base each generation, so any envelope stamped by a stale generation
+    /// (e.g. a message drained late from a previous world's channel set) is
+    /// dropped by the ordinary epoch admission logic rather than corrupting
+    /// the new run. Within a launch, takeover still advances the epoch by
+    /// one per absorbed death *relative to this base*.
+    pub fn with_base_epoch(mut self, base: u64) -> Self {
+        self.base_epoch = base;
         self
     }
 
@@ -385,6 +399,7 @@ impl World {
                     let dead = Arc::clone(&dead);
                     let routes = Arc::clone(&routes);
                     let (poll, watchdog) = (self.poll, self.watchdog);
+                    let base_epoch = self.base_epoch;
                     scope.spawn(move || {
                         let mut comm = Comm::new(
                             rank,
@@ -397,6 +412,7 @@ impl World {
                                 poll,
                                 watchdog,
                                 takeover,
+                                base_epoch,
                                 deaths: Arc::clone(&deaths),
                                 dead: Arc::clone(&dead),
                                 routes,

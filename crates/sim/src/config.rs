@@ -34,6 +34,67 @@ impl Default for LoadMetric {
     }
 }
 
+/// A deterministic per-PE speed model emulating heterogeneous and
+/// time-varying processors (shared nodes, thermal throttling, Grid-style
+/// background load): rank `r`'s speed factor at step `s` is a base
+/// factor (cycled from `base` by rank) modulated by a triangle wave of
+/// the given `amplitude` and `period`, phase-shifted per rank so the
+/// ranks drift against each other. Speed 1.0 = the reference processor;
+/// 0.5 = half as fast (modelled force time doubles).
+///
+/// The schedule is a pure function of `(rank, step)` — no clocks, no
+/// RNG — so heterogeneous runs stay bitwise reproducible and
+/// checkpoint/restart/takeover replay the exact same speeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedSchedule {
+    /// Per-rank base speed factors, cycled by `rank % base.len()`. All
+    /// must be > 0.
+    pub base: Vec<f64>,
+    /// Drift amplitude as a fraction of the base factor, in `[0, 1)`:
+    /// the instantaneous factor swings across
+    /// `base·(1 ± amplitude)`. 0 = static heterogeneity.
+    pub amplitude: f64,
+    /// Triangle-wave period in steps. 0 = static heterogeneity.
+    pub period: u64,
+}
+
+impl SpeedSchedule {
+    /// A static heterogeneous machine: fixed per-rank factors, no drift.
+    pub fn fixed(base: Vec<f64>) -> Self {
+        Self {
+            base,
+            amplitude: 0.0,
+            period: 0,
+        }
+    }
+
+    /// Rank `rank`'s speed factor at step `step` (always > 0 for a
+    /// validated schedule).
+    pub fn speed(&self, rank: usize, step: u64) -> f64 {
+        let base = self.base[rank % self.base.len()];
+        if self.period == 0 || self.amplitude == 0.0 {
+            return base;
+        }
+        // Deterministic triangle wave, phase-shifted per rank (the ×97
+        // stride just spreads ranks across the period).
+        let x = ((step + rank as u64 * 97) % self.period) as f64 / self.period as f64;
+        let tri = 4.0 * (x - 0.5).abs() - 1.0; // in [-1, 1]
+        base * (1.0 + self.amplitude * tri)
+    }
+}
+
+/// Test-only fault injection: corrupt one rank's ghost delta receive
+/// channel (neighbour index `nbr`) until a desync fires once, exercising
+/// the degrade-and-resync path end to end. `None` in production.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesyncInject {
+    /// Rank whose receive channel is corrupted.
+    pub rank: usize,
+    /// Index into that rank's ascending neighbour list.
+    pub nbr: usize,
+}
+
 /// Initial particle placement.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Lattice {
@@ -144,6 +205,25 @@ pub struct RunConfig {
     /// (`bytes_on_wire` counters); the cost model charges the canonical
     /// content-based size either way, so digests are identical on and off.
     pub delta_ghosts: bool,
+    /// Heterogeneous-machine emulation: per-PE speed factors, optionally
+    /// drifting over time (see [`SpeedSchedule`]). `None` (the default)
+    /// models the paper's dedicated equal-speed T3E CPUs. With a schedule
+    /// installed, each rank's modelled force time becomes
+    /// `work / speed(rank, step)` — the imbalance the balancer sees (and
+    /// Fmax/Fave/Fmin report) is then *time* imbalance, which differs
+    /// from work imbalance exactly when speeds differ. Requires the
+    /// [`LoadMetric::WorkModel`] metric.
+    pub speed: Option<SpeedSchedule>,
+    /// With a [`SpeedSchedule`] installed, feed the speed-adjusted *time*
+    /// to the DLB decision (equalise time on unequal processors — the
+    /// Zhakhovskii-style metric). `false` keeps the paper's work-based
+    /// metric as the balancing signal even on a heterogeneous machine
+    /// (reporting still shows time), which is the baseline the bench
+    /// compares against. No effect without a schedule.
+    pub speed_aware: bool,
+    /// Test-only ghost-desync fault injection; `None` in production.
+    #[doc(hidden)]
+    pub ghost_desync_inject: Option<DesyncInject>,
 }
 
 impl RunConfig {
@@ -174,6 +254,9 @@ impl RunConfig {
             overlap: true,
             sentinel_interval: 0,
             delta_ghosts: true,
+            speed: None,
+            speed_aware: false,
+            ghost_desync_inject: None,
         }
     }
 
@@ -302,6 +385,20 @@ impl RunConfig {
                 self.p
             );
         }
+        if let Some(s) = &self.speed {
+            assert!(
+                matches!(self.load_metric, LoadMetric::WorkModel { .. }),
+                "a speed schedule models time on top of the work model; \
+                 it cannot combine with the WallClock metric"
+            );
+            assert!(!s.base.is_empty(), "speed schedule needs base factors");
+            assert!(s.base.iter().all(|&b| b > 0.0), "speed factors must be > 0");
+            assert!(
+                (0.0..1.0).contains(&s.amplitude),
+                "speed drift amplitude must be in [0, 1); got {}",
+                s.amplitude
+            );
+        }
     }
 }
 
@@ -365,6 +462,75 @@ mod tests {
     fn ddm_only_allowed_on_tiny_torus() {
         let mut c = RunConfig::new(8000, 8, 4, 0.2);
         c.dlb = false;
+        c.validate();
+    }
+
+    #[test]
+    fn speed_schedule_is_deterministic_positive_and_bounded() {
+        let s = SpeedSchedule {
+            base: vec![1.0, 0.5, 0.8],
+            amplitude: 0.4,
+            period: 16,
+        };
+        for rank in 0..9 {
+            let b = s.base[rank % 3];
+            for step in 0..64 {
+                let v = s.speed(rank, step);
+                assert_eq!(v, s.speed(rank, step), "pure function of (rank, step)");
+                assert!(v > 0.0);
+                assert!(v >= b * (1.0 - s.amplitude) - 1e-12);
+                assert!(v <= b * (1.0 + s.amplitude) + 1e-12);
+            }
+            // The wave actually drifts over a period. (Half-period
+            // points can coincide — the triangle is symmetric — so scan
+            // the whole period for movement.)
+            assert!((1..s.period).any(|st| s.speed(rank, st) != s.speed(rank, 0)));
+        }
+        // Static schedules ignore step entirely.
+        let fixed = SpeedSchedule::fixed(vec![2.0, 0.25]);
+        assert_eq!(fixed.speed(0, 0), 2.0);
+        assert_eq!(fixed.speed(1, 999), 0.25);
+        assert_eq!(fixed.speed(2, 7), 2.0, "base factors cycle by rank");
+    }
+
+    #[test]
+    fn speed_schedule_phases_differ_between_ranks() {
+        let s = SpeedSchedule {
+            base: vec![1.0],
+            amplitude: 0.5,
+            period: 32,
+        };
+        // Same base, different phase: at some step the two ranks must
+        // disagree, or the drift could never create imbalance.
+        assert!((0..32).any(|t| s.speed(0, t) != s.speed(1, t)));
+    }
+
+    #[test]
+    #[should_panic(expected = "WallClock")]
+    fn speed_schedule_requires_the_work_model() {
+        let mut c = RunConfig::from_p_m_density(9, 2, 0.2);
+        c.load_metric = LoadMetric::WallClock;
+        c.speed = Some(SpeedSchedule::fixed(vec![1.0, 0.5]));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be > 0")]
+    fn zero_speed_factors_rejected() {
+        let mut c = RunConfig::from_p_m_density(9, 2, 0.2);
+        c.speed = Some(SpeedSchedule::fixed(vec![1.0, 0.0]));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn full_amplitude_drift_rejected() {
+        let mut c = RunConfig::from_p_m_density(9, 2, 0.2);
+        c.speed = Some(SpeedSchedule {
+            base: vec![1.0],
+            amplitude: 1.0,
+            period: 8,
+        });
         c.validate();
     }
 }

@@ -426,7 +426,11 @@ impl CubePe {
             let peer = k.neighbor(self.rank, d.0, d.1, d.2);
             let opp = dir_index((-d.0, -d.1, -d.2));
             let frame: Arc<GhostShellFrame> = comm.recv(peer, tags::GHOST_BASE + opp);
-            self.rx_chan[di].decode_into(&frame, &mut self.decode_scratch);
+            // The cube baseline has no degraded path: a desync here is a
+            // protocol bug, not a recoverable runtime condition.
+            self.rx_chan[di]
+                .decode_into(&frame, &mut self.decode_scratch)
+                .expect("cube ghost streams never desynchronise");
             for &(id, pos) in &self.decode_scratch {
                 let g = self.global_cell(pos);
                 let Some(nl) = self.local_of_global(g) else {

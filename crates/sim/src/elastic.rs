@@ -1,0 +1,695 @@
+//! Elastic world resizing: survive PEs that join or leave mid-run.
+//!
+//! The recovery ladder so far handles PEs that *die*: buddy takeover
+//! absorbs one death in place ([`crate::takeover`]) and checkpoint
+//! relaunch handles anything worse ([`crate::recover`]). This module adds
+//! the rung above both: a planned change of the PE count itself. A
+//! [`ResizePlan`] names step boundaries at which the world switches from
+//! `P` to `P ± k` ranks; [`run_elastic`] executes the run as a sequence of
+//! world *generations*, one per PE count:
+//!
+//! 1. **Drain** — the outgoing generation runs to the boundary step and
+//!    takes a forced checkpoint gather there (the `drain` flag of
+//!    [`crate::takeover::run_roles`]), so the complete world state — MD
+//!    phase space, ownership view, rank 0's record history — sits in the
+//!    shared [`SimCheckpoint`] sink.
+//! 2. **Remap** — the virtual torus is rebuilt for the new PE count
+//!    ([`Torus2d::remap`]) and the drained ownership view is rewritten to
+//!    the new layout's initial home map, which satisfies the
+//!    permanent-cell invariant by construction; DLB re-adapts from there.
+//!    The drain is audited on the way through: exact particle-count
+//!    conservation and an exact one-owner-per-column partition.
+//! 3. **Resume** — a fresh world launches on the new PE set with a bumped
+//!    wire-epoch base ([`pcdlb_mp::World::with_base_epoch`]), so any
+//!    frame stamped by a stale generation is dropped by the ordinary
+//!    epoch admission logic, and a deadline-bounded RESIZE_READY/GO
+//!    barrier holds the first step until every rank of the remapped torus
+//!    is up.
+//!
+//! Each generation keeps the full escalation ladder underneath it: one
+//! rank death is absorbed by buddy takeover inside the generation, and
+//! anything worse relaunches the generation from its own last checkpoint
+//! (at worst the drain boundary). The headline property carries over:
+//! because DLB and domain decomposition move ownership but never physics,
+//! an elastic run's final particle state is **bitwise identical** to an
+//! uninterrupted serial run — no matter how many resizes, in which
+//! direction, at which boundaries.
+
+use std::sync::{Mutex, PoisonError};
+
+use pcdlb_domain::PillarLayout;
+use pcdlb_md::Particle;
+use pcdlb_mp::{CostModel, DegradedOutcome, Torus2d, World, WorldError};
+
+use crate::config::RunConfig;
+use crate::digest::digest_recovery;
+use crate::driver::assemble;
+use crate::pe::PeResult;
+use crate::recover::{RecoveryError, RecoveryOptions, SimCheckpoint};
+use crate::report::RunReport;
+use crate::takeover::takeover_main;
+
+/// Wire-epoch stride between world generations. Within one launch the
+/// epoch advances by one per absorbed death (capacity: one), so any
+/// stride ≥ 2 keeps generations disjoint; 64 leaves room to spare.
+const GENERATION_EPOCH_STRIDE: u64 = 64;
+
+/// One planned resize: after `at_step` completes, the world continues on
+/// `p` PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResizeStage {
+    /// Drain boundary: the last step the outgoing generation executes.
+    pub at_step: u64,
+    /// PE count from `at_step + 1` on (a perfect square whose torus side
+    /// divides `nc`, like any square-pillar PE count).
+    pub p: usize,
+}
+
+/// An ordered set of [`ResizeStage`]s applied over one run. An empty
+/// plan makes [`run_elastic`] equivalent to
+/// [`run_with_takeover`](crate::recover::run_with_takeover).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResizePlan {
+    /// The stages, strictly increasing in `at_step`.
+    pub stages: Vec<ResizeStage>,
+}
+
+impl ResizePlan {
+    /// An empty plan (no resizes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a resize to `p` PEs after `at_step` completes (builder).
+    pub fn resize(mut self, at_step: u64, p: usize) -> Self {
+        self.stages.push(ResizeStage { at_step, p });
+        self
+    }
+
+    /// Panics on an ill-formed plan: boundaries must be strictly
+    /// increasing inside `(0, cfg.steps)`, and every target PE count must
+    /// be a perfect square whose torus side divides `nc`.
+    fn validate(&self, cfg: &RunConfig) {
+        let mut prev = 0u64;
+        for s in &self.stages {
+            assert!(
+                s.at_step > prev,
+                "resize boundaries must be strictly increasing and positive (got {} after {prev})",
+                s.at_step
+            );
+            assert!(
+                s.at_step < cfg.steps,
+                "resize at step {} is at or past the end of the {}-step run",
+                s.at_step,
+                cfg.steps
+            );
+            let side = (s.p as f64).sqrt().round() as usize;
+            assert!(
+                s.p > 0 && side * side == s.p,
+                "resize target {} is not a perfect-square PE count",
+                s.p
+            );
+            assert!(
+                cfg.nc.is_multiple_of(side),
+                "resize target {}: torus side {side} does not divide nc = {}",
+                s.p,
+                cfg.nc
+            );
+            prev = s.at_step;
+        }
+    }
+
+    /// The run as generations: `(start, end]` step ranges with their PE
+    /// counts, `cfg.p` first.
+    fn segments(&self, cfg: &RunConfig) -> Vec<Segment> {
+        let mut segs = Vec::with_capacity(self.stages.len() + 1);
+        let (mut start, mut p) = (0, cfg.p);
+        for s in &self.stages {
+            segs.push(Segment {
+                start,
+                end: s.at_step,
+                p,
+            });
+            (start, p) = (s.at_step, s.p);
+        }
+        segs.push(Segment {
+            start,
+            end: cfg.steps,
+            p,
+        });
+        segs
+    }
+}
+
+/// One world generation: steps `(start, end]` on `p` PEs.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    start: u64,
+    end: u64,
+    p: usize,
+}
+
+/// Per-generation audit record in a [`ResizeOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResizeGeneration {
+    /// PE count of this generation.
+    pub p: usize,
+    /// First step this generation executed.
+    pub first_step: u64,
+    /// Last step this generation executed (its drain boundary, or the
+    /// run's end).
+    pub last_step: u64,
+    /// Launches this generation took (1 = no relaunch).
+    pub attempts: usize,
+    /// Rank deaths this generation absorbed in place by buddy takeover.
+    pub takeovers: usize,
+}
+
+/// What an elastic run produced — the resize rung of the recovery
+/// ladder, mirroring [`RecoveryOutcome`](crate::recover::RecoveryOutcome)
+/// plus the per-generation history.
+#[derive(Debug)]
+pub struct ResizeOutcome {
+    /// Rank 0's assembled report: the **complete** record series from
+    /// step 1 across every generation (records ride the drain
+    /// checkpoints), with run-total message counters from the final
+    /// generation only.
+    pub report: RunReport,
+    /// Final particle state, id-sorted — bitwise identical to an
+    /// uninterrupted serial run.
+    pub snapshot: Vec<Particle>,
+    /// [`digest_recovery`] of the outcome.
+    pub digest: u64,
+    /// Total launches across all generations (= number of generations
+    /// when nothing failed).
+    pub attempts: usize,
+    /// Total rank deaths absorbed in place across all generations.
+    pub takeovers: usize,
+    /// Per-launch failure diagnostics for launches that died.
+    pub failures: Vec<WorldError>,
+    /// One entry per generation, in run order.
+    pub generations: Vec<ResizeGeneration>,
+}
+
+/// Run a configuration elastically over `plan`: the world starts on
+/// `cfg.p` PEs and, at each planned boundary, drains to a checkpoint,
+/// remaps the torus to the new PE count, and resumes on a fresh PE set —
+/// with buddy takeover and checkpoint relaunch underneath each
+/// generation exactly as in
+/// [`run_with_takeover`](crate::recover::run_with_takeover).
+pub fn run_elastic(
+    cfg: &RunConfig,
+    plan: &ResizePlan,
+    opts: &RecoveryOptions,
+) -> Result<ResizeOutcome, RecoveryError> {
+    run_elastic_attempts(
+        cfg,
+        plan,
+        opts,
+        |_launch, world, seg_cfg, sink, drain, sync| {
+            world.try_run_degraded(|comm| takeover_main(comm, seg_cfg, true, sink, drain, sync))
+        },
+    )
+}
+
+/// [`run_elastic`] under seeded fault injection (`check` feature):
+/// `plans(launch, rank)` supplies each rank's fault plan per world
+/// launch, numbered globally across generations and relaunches. The
+/// resize kill sweep in `pcdlb-check` drives this through the drain
+/// gather and the resize barrier and asserts digest parity at every kill
+/// site.
+#[cfg(feature = "check")]
+pub fn run_elastic_faulted<P>(
+    cfg: &RunConfig,
+    plan: &ResizePlan,
+    opts: &RecoveryOptions,
+    plans: P,
+) -> Result<ResizeOutcome, RecoveryError>
+where
+    P: Fn(usize, usize) -> Option<pcdlb_mp::FaultPlan> + Sync,
+{
+    run_elastic_attempts(
+        cfg,
+        plan,
+        opts,
+        |launch, world, seg_cfg, sink, drain, sync| {
+            world.try_run_degraded_with_faults(
+                |rank| plans(launch, rank),
+                |comm| takeover_main(comm, seg_cfg, true, sink, drain, sync),
+            )
+        },
+    )
+}
+
+type RolePeResults = Vec<(usize, PeResult)>;
+
+fn run_elastic_attempts<A>(
+    cfg: &RunConfig,
+    plan: &ResizePlan,
+    opts: &RecoveryOptions,
+    attempt_fn: A,
+) -> Result<ResizeOutcome, RecoveryError>
+where
+    A: Fn(
+        usize,
+        &World,
+        &RunConfig,
+        &Mutex<Option<SimCheckpoint>>,
+        bool,
+        bool,
+    ) -> Result<DegradedOutcome<RolePeResults>, WorldError>,
+{
+    cfg.validate();
+    plan.validate(cfg);
+    assert!(opts.max_attempts > 0, "need at least one attempt");
+    let segments = plan.segments(cfg);
+    let last_gen = segments.len() - 1;
+    // One sink across all generations: each generation drains into it and
+    // the next resumes from it (after the ownership remap).
+    let sink: Mutex<Option<SimCheckpoint>> = Mutex::new(None);
+    let mut failures = Vec::new();
+    let mut launches = 0usize;
+    let mut takeovers_total = 0usize;
+    let mut generations = Vec::new();
+    let mut final_results: Option<Vec<PeResult>> = None;
+
+    for (gen, seg) in segments.iter().enumerate() {
+        let mut seg_cfg = cfg.clone();
+        seg_cfg.p = seg.p;
+        seg_cfg.steps = seg.end;
+        // DLB needs a torus side ≥ 3: a generation too small for it runs
+        // DDM-only, and DLB resumes on the next big-enough torus.
+        seg_cfg.dlb = cfg.dlb && seg.p >= 9;
+        if gen > 0 {
+            let mut guard = sink.lock().unwrap_or_else(PoisonError::into_inner);
+            let ck = guard
+                .as_mut()
+                .expect("the previous generation drained a checkpoint");
+            remap_drained_checkpoint(ck, cfg, seg.start, seg.p);
+        }
+        let drain = gen < last_gen;
+        let sync = gen > 0;
+        let mut seg_ok = false;
+        for seg_attempt in 0..opts.max_attempts {
+            let seg_attempts = seg_attempt + 1;
+            let launch = launches;
+            launches += 1;
+            let world = World::new(seg.p)
+                .with_cost_model(CostModel::t3e(Some(Torus2d::square(seg.p))))
+                .with_poll_interval(opts.poll)
+                .with_watchdog(opts.watchdog)
+                .with_takeover()
+                .with_base_epoch(gen as u64 * GENERATION_EPOCH_STRIDE);
+            match attempt_fn(launch, &world, &seg_cfg, &sink, drain, sync) {
+                Ok(outcome) => {
+                    let takeovers = outcome.dead.len();
+                    let mut by_vrank: Vec<Option<PeResult>> = (0..seg.p).map(|_| None).collect();
+                    for (v, r) in outcome.results.into_iter().flatten().flatten() {
+                        by_vrank[v] = Some(r);
+                    }
+                    if by_vrank.iter().any(Option::is_none) {
+                        // A death slipped into the post-handshake tail:
+                        // incomplete degraded result, relaunch the
+                        // generation (same as the takeover ladder).
+                        failures.push(unaccounted(&by_vrank));
+                        continue;
+                    }
+                    if drain {
+                        let guard = sink.lock().unwrap_or_else(PoisonError::into_inner);
+                        let ck = guard.as_ref().expect("drain deposits a checkpoint");
+                        assert_eq!(
+                            ck.md.step, seg.end,
+                            "drain checkpoint must sit exactly on the resize boundary"
+                        );
+                    }
+                    takeovers_total += takeovers;
+                    generations.push(ResizeGeneration {
+                        p: seg.p,
+                        first_step: seg.start + 1,
+                        last_step: seg.end,
+                        attempts: seg_attempts,
+                        takeovers,
+                    });
+                    if gen == last_gen {
+                        final_results =
+                            Some(by_vrank.into_iter().map(|r| r.expect("checked")).collect());
+                    }
+                    seg_ok = true;
+                    break;
+                }
+                Err(e) => failures.push(e),
+            }
+        }
+        if !seg_ok {
+            return Err(RecoveryError {
+                attempts: launches,
+                failures,
+            });
+        }
+    }
+
+    let results = final_results.expect("the final generation completed");
+    let (report, snapshot) = assemble(results);
+    let snapshot = snapshot.expect("elastic runs always gather a snapshot");
+    let digest = digest_recovery(&report, &snapshot, cfg.load_metric);
+    Ok(ResizeOutcome {
+        report,
+        snapshot,
+        digest,
+        attempts: launches,
+        takeovers: takeovers_total,
+        failures,
+        generations,
+    })
+}
+
+/// Audit a drained checkpoint and rewrite its ownership view onto the
+/// `new_p` torus. The audits are the resize-boundary conservation laws:
+/// the checkpoint sits exactly on the boundary step, holds every
+/// particle, and partitions the column grid with exactly one owner per
+/// column. The rewrite resets every column to its home pillar under the
+/// new layout — the unique assignment that satisfies the permanent-cell
+/// invariant on any torus.
+fn remap_drained_checkpoint(ck: &mut SimCheckpoint, cfg: &RunConfig, boundary: u64, new_p: usize) {
+    assert_eq!(
+        ck.md.step, boundary,
+        "drain checkpoint at step {} but the resize boundary is {boundary}",
+        ck.md.step
+    );
+    assert_eq!(
+        ck.md.particles.len(),
+        cfg.n_particles,
+        "resize drain lost particles: checkpoint holds {} of {}",
+        ck.md.particles.len(),
+        cfg.n_particles
+    );
+    let layout = PillarLayout::new(cfg.nc, Torus2d::square(new_p));
+    let grid = layout.grid();
+    assert_eq!(
+        ck.ownership.len(),
+        grid.len(),
+        "drained ownership view covers {} of {} columns",
+        ck.ownership.len(),
+        grid.len()
+    );
+    let mut seen = vec![false; grid.len()];
+    for (c, owner) in ck.ownership.iter_mut() {
+        let idx = grid.index(*c);
+        assert!(
+            !seen[idx],
+            "column {c:?} owned twice in the drained checkpoint"
+        );
+        seen[idx] = true;
+        *owner = layout.home_rank(*c);
+    }
+}
+
+fn unaccounted(by_vrank: &[Option<PeResult>]) -> WorldError {
+    WorldError {
+        failures: by_vrank
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_none())
+            .map(|(v, _)| pcdlb_mp::RankFailure {
+                rank: v,
+                message: "virtual rank unaccounted for after a degraded run \
+                          — relaunching the generation from its last checkpoint"
+                    .to_string(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    use crate::config::Lattice;
+    use crate::cube::run_cube_with_snapshot;
+    use crate::driver::{run, run_serial};
+    use crate::plane::run_plane_with_snapshot;
+    use crate::recover::run_with_takeover;
+    use crate::SpeedSchedule;
+
+    /// The recovery workload from `crate::recover`'s tests: 2×2 DDM,
+    /// clustered start, thermostat mid-run, periodic checkpoints.
+    fn elastic_cfg() -> RunConfig {
+        let mut cfg = RunConfig::new(216, 4, 4, 0.2);
+        cfg.dlb = false;
+        cfg.steps = 24;
+        cfg.thermostat_interval = 10;
+        cfg.lattice = Lattice::Cluster { fill: 0.8 };
+        cfg.seed = 11;
+        cfg.checkpoint_interval = 5;
+        cfg.sentinel_interval = 4;
+        cfg
+    }
+
+    fn quick_opts() -> RecoveryOptions {
+        RecoveryOptions {
+            max_attempts: 3,
+            poll: Duration::from_millis(2),
+            watchdog: Duration::from_secs(20),
+        }
+    }
+
+    #[test]
+    fn empty_plan_matches_takeover_bitwise() {
+        let cfg = elastic_cfg();
+        let out = run_elastic(&cfg, &ResizePlan::new(), &quick_opts()).expect("no faults");
+        let reference = run_with_takeover(&cfg, &quick_opts()).expect("no faults");
+        assert_eq!(out.digest, reference.digest);
+        assert_eq!(out.snapshot, reference.snapshot);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.takeovers, 0);
+        assert_eq!(out.generations.len(), 1);
+        assert_eq!(
+            out.generations[0],
+            ResizeGeneration {
+                p: 4,
+                first_step: 1,
+                last_step: 24,
+                attempts: 1,
+                takeovers: 0
+            }
+        );
+    }
+
+    #[test]
+    fn grow_then_shrink_preserves_physics_bitwise() {
+        let cfg = elastic_cfg();
+        let plan = ResizePlan::new().resize(8, 16).resize(16, 4);
+        let out = run_elastic(&cfg, &plan, &quick_opts()).expect("no faults");
+        // Conservation plus bitwise physics parity with the serial
+        // reference, across a grow to 4×4 and a shrink back to 2×2 — the
+        // decomposition (and how often it changes) never touches physics.
+        assert_eq!(out.snapshot.len(), cfg.n_particles);
+        assert_eq!(out.snapshot, run_serial(&cfg));
+        // The record series is complete across all three generations.
+        assert_eq!(out.report.records.len(), cfg.steps as usize);
+        for (i, r) in out.report.records.iter().enumerate() {
+            assert_eq!(r.step, i as u64 + 1);
+        }
+        assert_eq!(out.attempts, 3, "one launch per generation");
+        let ps: Vec<usize> = out.generations.iter().map(|g| g.p).collect();
+        assert_eq!(ps, vec![4, 16, 4]);
+        assert_eq!(
+            out.generations[1],
+            ResizeGeneration {
+                p: 16,
+                first_step: 9,
+                last_step: 16,
+                attempts: 1,
+                takeovers: 0
+            }
+        );
+    }
+
+    #[test]
+    fn shrink_to_serial_and_back_preserves_physics_bitwise() {
+        // Down to a single PE (every other PE "left"), then back up: the
+        // degenerate torus is a legal generation like any other.
+        let cfg = elastic_cfg();
+        let plan = ResizePlan::new().resize(8, 1).resize(16, 4);
+        let out = run_elastic(&cfg, &plan, &quick_opts()).expect("no faults");
+        assert_eq!(out.snapshot, run_serial(&cfg));
+        let ps: Vec<usize> = out.generations.iter().map(|g| g.p).collect();
+        assert_eq!(ps, vec![4, 1, 4]);
+    }
+
+    /// A 6³-cell workload whose base torus (3×3) runs DLB, resized down
+    /// to 2×2 (DLB auto-gated off) and back up (DLB resumes).
+    fn dlb_cfg() -> RunConfig {
+        let mut cfg = RunConfig::new(343, 6, 9, 0.08);
+        cfg.dlb = true;
+        cfg.steps = 18;
+        cfg.thermostat_interval = 7;
+        cfg.lattice = Lattice::Cluster { fill: 0.8 };
+        cfg.seed = 13;
+        cfg.checkpoint_interval = 6;
+        cfg.sentinel_interval = 3;
+        cfg
+    }
+
+    #[test]
+    fn resize_parity_across_grids_and_decompositions() {
+        let cfg = dlb_cfg();
+        let plan = ResizePlan::new().resize(6, 4).resize(12, 9);
+        let out = run_elastic(&cfg, &plan, &quick_opts()).expect("no faults");
+        // Sentinel ran every 3 steps in every generation (a violation
+        // would have aborted the run) — this run completing IS the
+        // sentinel-clean continuation claim.
+        assert_eq!(out.snapshot.len(), cfg.n_particles);
+        let serial = run_serial(&cfg);
+        assert_eq!(out.snapshot, serial, "elastic vs serial");
+        // The same physics under the other two decompositions.
+        let mut plane_cfg = cfg.clone();
+        plane_cfg.p = 3;
+        plane_cfg.dlb = false;
+        let (_, plane_snap) = run_plane_with_snapshot(&plane_cfg);
+        assert_eq!(out.snapshot, plane_snap, "elastic vs plane");
+        let mut cube_cfg = cfg.clone();
+        cube_cfg.p = 8;
+        cube_cfg.dlb = false;
+        let (_, cube_snap) = run_cube_with_snapshot(&cube_cfg);
+        assert_eq!(out.snapshot, cube_snap, "elastic vs cube");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unordered_plans_are_rejected() {
+        let cfg = elastic_cfg();
+        let plan = ResizePlan::new().resize(16, 16).resize(8, 4);
+        let _ = run_elastic(&cfg, &plan, &quick_opts());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide nc")]
+    fn incompatible_grid_targets_are_rejected() {
+        let cfg = elastic_cfg(); // nc = 4: side 3 does not divide it
+        let plan = ResizePlan::new().resize(8, 9);
+        let _ = run_elastic(&cfg, &plan, &quick_opts());
+    }
+
+    #[cfg(feature = "check")]
+    #[test]
+    fn kill_during_the_drain_gather_is_absorbed_in_place() {
+        use pcdlb_core::protocol::tags;
+        use pcdlb_mp::collectives::ctag;
+        use pcdlb_mp::FaultPlan;
+        let mut cfg = elastic_cfg();
+        // No periodic checkpoints: the only CKPT_GATHER traffic is the
+        // two resize drains, so a tag-targeted kill lands inside the
+        // drain window by construction.
+        cfg.checkpoint_interval = 0;
+        let plan = ResizePlan::new().resize(8, 16).resize(16, 4);
+        let reference = run_elastic(&cfg, &plan, &quick_opts()).expect("fault-free");
+        let out = run_elastic_faulted(&cfg, &plan, &quick_opts(), |launch, rank| {
+            (launch == 0 && rank == 1)
+                .then(|| FaultPlan::kill_on_tag(ctag(tags::CKPT_GATHER, 0), 0))
+        })
+        .expect("the drain-window death is absorbed");
+        assert_eq!(out.attempts, 3, "no generation needed a relaunch");
+        assert_eq!(out.takeovers, 1);
+        assert_eq!(out.digest, reference.digest);
+        assert_eq!(out.snapshot, reference.snapshot);
+    }
+
+    #[cfg(feature = "check")]
+    #[test]
+    fn kill_during_the_resize_barrier_is_absorbed_in_place() {
+        use pcdlb_core::protocol::tags;
+        use pcdlb_mp::FaultPlan;
+        let cfg = elastic_cfg();
+        let plan = ResizePlan::new().resize(8, 16).resize(16, 4);
+        let reference = run_elastic(&cfg, &plan, &quick_opts()).expect("fault-free");
+        // Launch 1 is the first post-remap generation; rank 2 dies on its
+        // RESIZE_READY send, i.e. inside the barrier itself. The barrier
+        // unwinds as a takeover, the buddy adopts, and the survivors
+        // re-run the barrier at the advanced epoch.
+        let out = run_elastic_faulted(&cfg, &plan, &quick_opts(), |launch, rank| {
+            (launch == 1 && rank == 2).then(|| FaultPlan::kill_on_tag(tags::RESIZE_READY, 0))
+        })
+        .expect("the barrier death is absorbed");
+        assert_eq!(out.attempts, 3, "no generation needed a relaunch");
+        assert_eq!(out.takeovers, 1);
+        assert_eq!(out.digest, reference.digest);
+        assert_eq!(out.snapshot, reference.snapshot);
+    }
+
+    /// Uniform-work heterogeneous machine: the only imbalance is speed.
+    fn hetero_cfg(speed_aware: bool) -> RunConfig {
+        let mut cfg = RunConfig::new(343, 6, 9, 0.08);
+        cfg.dlb = true;
+        cfg.steps = 30;
+        cfg.seed = 17;
+        // Fast PEs sit west of slow ones (torus columns 0.6 → 1.0 → 1.4,
+        // wrapping), so the paper's NW-directed transfer rules give the
+        // slow column a legal Case-1 route toward the fastest PEs.
+        cfg.speed = Some(SpeedSchedule {
+            base: vec![0.5, 1.0, 2.0],
+            amplitude: 0.2,
+            period: 16,
+        });
+        cfg.speed_aware = speed_aware;
+        cfg
+    }
+
+    /// Mean relative time imbalance `(F_max − F_min) / F_ave` over the
+    /// back half of the run (DLB has warmed up by then).
+    fn mean_time_imbalance(records: &[crate::report::StepRecord]) -> f64 {
+        let tail = &records[records.len() / 2..];
+        tail.iter()
+            .map(|r| (r.f_max - r.f_min) / r.f_ave)
+            .sum::<f64>()
+            / tail.len() as f64
+    }
+
+    #[test]
+    fn speed_aware_dlb_reduces_time_imbalance() {
+        let work_based = run(&hetero_cfg(false));
+        let speed_aware = run(&hetero_cfg(true));
+        // With uniform work, the work-based metric sees nothing to do;
+        // the speed-aware metric sees the speed spread as time imbalance
+        // and moves cells toward the fast PEs.
+        let transfers: u32 = speed_aware.records.iter().map(|r| r.transfers).sum();
+        assert!(transfers > 0, "speed-aware DLB must act on a speed spread");
+        let imb_work = mean_time_imbalance(&work_based.records);
+        let imb_time = mean_time_imbalance(&speed_aware.records);
+        assert!(
+            imb_time < 0.8 * imb_work,
+            "speed-aware DLB must cut time imbalance: {imb_time:.3} vs {imb_work:.3}"
+        );
+    }
+
+    #[test]
+    fn speed_schedules_never_touch_physics() {
+        // Heterogeneous speeds redirect DLB traffic (ownership) but the
+        // particle state stays bitwise identical: time-aware balancing
+        // inherits the decomposition-independence theorem.
+        let mut plain = hetero_cfg(false);
+        plain.speed = None;
+        let serial = run_serial(&plain);
+        for cfg in [hetero_cfg(false), hetero_cfg(true)] {
+            let (_, snap) = crate::driver::run_with_snapshot(&cfg);
+            assert_eq!(snap, serial, "speed_aware={} run diverged", cfg.speed_aware);
+        }
+    }
+
+    #[test]
+    fn elastic_run_with_drifting_speeds_stays_bitwise_serial() {
+        // The full tentpole in one: PEs join, leave, and drift in speed
+        // mid-run; physics still lands bitwise on the serial reference.
+        let mut cfg = dlb_cfg();
+        cfg.speed = Some(SpeedSchedule {
+            base: vec![1.0, 0.7, 1.3],
+            amplitude: 0.2,
+            period: 8,
+        });
+        cfg.speed_aware = true;
+        let plan = ResizePlan::new().resize(6, 4).resize(12, 9);
+        let out = run_elastic(&cfg, &plan, &quick_opts()).expect("no faults");
+        assert_eq!(out.snapshot, run_serial(&cfg));
+    }
+}

@@ -34,8 +34,14 @@
 //! takeover epoch advanced — always sends full. A frame is
 //! self-describing (`delta` flag), so only the sender needs this logic;
 //! the receiver checks an FNV fingerprint of the membership it holds
-//! against the one the delta was computed from and panics on any
-//! mismatch (a protocol bug, not a recoverable condition).
+//! against the one the delta was computed from, and a mismatch is a
+//! structured [`DesyncError`] — the channel resets itself and the caller
+//! chooses how to recover. The torus protocol in [`crate::pe`] degrades:
+//! it drops that neighbour's ghosts for one step and raises the `resync`
+//! bit in its next round-1 [`StepFrame`], which makes the peer reset its
+//! send channel so the very next ghost frame arrives full and the stream
+//! is clean again. One desynced channel costs one degraded step on one
+//! rank instead of killing the world.
 //!
 //! # Canonical vs encoded bytes
 //!
@@ -82,6 +88,51 @@ fn fnv_ids(ids: &[u64]) -> u64 {
     }
     h
 }
+
+/// A delta ghost frame arrived on a channel whose previous membership
+/// does not match the one the delta was computed from. The decode side
+/// resets its channel before returning this, so the stream recovers as
+/// soon as the sender falls back to a full frame (which the torus
+/// protocol requests via the round-1 `resync` bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesyncError {
+    /// The membership sizes disagree (or the channel held no previous
+    /// frame at all): `have` ids locally vs the `framed` count the delta
+    /// was diffed against.
+    Membership {
+        /// Ids held on the receive channel.
+        have: usize,
+        /// `prev_len` the frame carried.
+        framed: u32,
+    },
+    /// Sizes agree but the FNV-1a fingerprints differ: same-length
+    /// memberships with different ids.
+    Fingerprint {
+        /// Fingerprint of the locally held membership.
+        have: u64,
+        /// `prev_check` the frame carried.
+        framed: u64,
+    },
+}
+
+impl std::fmt::Display for DesyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DesyncError::Membership { have, framed } => write!(
+                f,
+                "delta ghost frame against a desynchronised channel \
+                 (have {have} previous ids, frame diffed {framed})"
+            ),
+            DesyncError::Fingerprint { have, framed } => write!(
+                f,
+                "delta ghost frame fingerprint mismatch \
+                 (have {have:#018x}, frame diffed {framed:#018x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DesyncError {}
 
 /// One boundary-shell ghost shipment: either the full `(id, pos)` list or
 /// a delta against the previous frame on the same [`DeltaChannel`].
@@ -252,25 +303,37 @@ impl DeltaChannel {
     }
 
     /// Decode `frame` into `out` as `(id, pos)` in ascending id order,
-    /// then roll the channel forward. Panics if a delta frame arrives on
-    /// a channel whose previous membership does not match the one the
-    /// delta was computed from — that is a protocol bug, not a
-    /// recoverable condition.
-    pub fn decode_into(&mut self, frame: &GhostShellFrame, out: &mut Vec<(u64, Vec3)>) {
+    /// then roll the channel forward. A delta frame arriving on a channel
+    /// whose previous membership does not match the one the delta was
+    /// computed from is a [`DesyncError`]: the channel resets itself,
+    /// `out` is left empty, and the caller decides how to recover (the
+    /// torus protocol skips the neighbour's ghosts for one step and
+    /// requests a full-frame resync; full frames always decode, so the
+    /// stream heals as soon as one arrives).
+    pub fn decode_into(
+        &mut self,
+        frame: &GhostShellFrame,
+        out: &mut Vec<(u64, Vec3)>,
+    ) -> Result<(), DesyncError> {
         out.clear();
         if frame.delta {
-            assert!(
-                self.valid && self.ids.len() == frame.prev_len as usize,
-                "delta ghost frame against a desynchronised channel \
-                 (have {} previous ids, frame diffed {})",
-                self.ids.len(),
-                frame.prev_len
-            );
-            assert_eq!(
-                fnv_ids(&self.ids),
-                frame.prev_check,
-                "delta ghost frame fingerprint mismatch"
-            );
+            if !self.valid || self.ids.len() != frame.prev_len as usize {
+                let err = DesyncError::Membership {
+                    have: self.ids.len(),
+                    framed: frame.prev_len,
+                };
+                self.reset();
+                return Err(err);
+            }
+            let have = fnv_ids(&self.ids);
+            if have != frame.prev_check {
+                let err = DesyncError::Fingerprint {
+                    have,
+                    framed: frame.prev_check,
+                };
+                self.reset();
+                return Err(err);
+            }
             let mut mi = 0usize;
             let mut ai = 0usize;
             for (i, &id) in self.ids.iter().enumerate() {
@@ -294,6 +357,20 @@ impl DeltaChannel {
         self.ids.clear();
         self.ids.extend(out.iter().map(|e| e.0));
         self.valid = true;
+        Ok(())
+    }
+
+    /// Test hook: corrupt the channel's previous-membership record so the
+    /// next delta decode fails the fingerprint check. Used by the desync
+    /// negative tests; never called on a healthy path.
+    #[doc(hidden)]
+    pub fn poison_membership(&mut self) {
+        if let Some(last) = self.ids.last_mut() {
+            *last ^= 1;
+        } else {
+            self.ids.push(u64::MAX);
+            self.valid = true;
+        }
     }
 }
 
@@ -319,6 +396,12 @@ impl WireSize for ParticleFrame {
 pub struct StepFrame {
     /// Round-1 marker: the migrant section travels.
     pub has_migrants: bool,
+    /// Round-1 ghost-resync request: the receiver of the *previous* ghost
+    /// frame on this neighbour pair hit a [`DesyncError`] and asks the
+    /// sender to reset its delta channel, so this step's round-2 frame
+    /// arrives full. Rides bit 1 of the round-1 presence header byte —
+    /// zero extra wire bytes, and never set on a healthy stream.
+    pub resync: bool,
     /// Particles that crossed into the destination's columns, id-sorted.
     pub migrants: ParticleFrame,
     /// Sender's last-step load; `Some` only in round 1 of a DLB step.
@@ -333,6 +416,7 @@ impl StepFrame {
     /// Reshape a pooled frame for round 1, keeping buffer capacity.
     pub fn begin_round1(&mut self, load: Option<f64>) {
         self.has_migrants = true;
+        self.resync = false;
         self.migrants.parts.clear();
         self.load = load;
         self.has_ghosts = false;
@@ -342,6 +426,7 @@ impl StepFrame {
     /// Reshape a pooled frame for round 2, keeping buffer capacity.
     pub fn begin_round2(&mut self) {
         self.has_migrants = false;
+        self.resync = false;
         self.migrants.parts.clear();
         self.load = None;
         self.has_ghosts = true;
@@ -401,7 +486,7 @@ mod tests {
         assert!(!frame.delta, "fresh channel must send a full frame");
         assert_eq!(frame.wire_size(), frame.encoded_size());
         let mut out = Vec::new();
-        rx.decode_into(&frame, &mut out);
+        rx.decode_into(&frame, &mut out).expect("in sync");
         assert_eq!(out, content);
     }
 
@@ -413,7 +498,7 @@ mod tests {
         let mut out = Vec::new();
         tx.scratch.extend(shell(10, 0.0));
         tx.encode_into(true, &mut frame);
-        rx.decode_into(&frame, &mut out);
+        rx.decode_into(&frame, &mut out).expect("in sync");
         // Step 2: ids 0,3,…,27 shift; id 0 departs; ids 1 and 50 arrive.
         let mut next: Vec<(u64, Vec3)> = shell(10, 0.25)[1..].to_vec();
         next.push((1, Vec3::new(9.0, 9.0, 9.0)));
@@ -425,7 +510,7 @@ mod tests {
         assert_eq!(frame.arrivals.len(), 2);
         // The delta is smaller on the wire than the canonical full frame.
         assert!(frame.encoded_size() < frame.wire_size());
-        rx.decode_into(&frame, &mut out);
+        rx.decode_into(&frame, &mut out).expect("in sync");
         next.sort_unstable_by_key(|e| e.0);
         assert_eq!(out, next);
     }
@@ -439,11 +524,11 @@ mod tests {
         let mut frame = GhostShellFrame::default();
         let mut out = Vec::new();
         tx.encode_into(true, &mut frame);
-        rx.decode_into(&frame, &mut out);
+        rx.decode_into(&frame, &mut out).expect("in sync");
         tx.encode_into(true, &mut frame);
         assert!(!frame.delta, "empty delta loses to empty full on size");
         assert_eq!(frame.encoded_size(), 9);
-        rx.decode_into(&frame, &mut out);
+        rx.decode_into(&frame, &mut out).expect("in sync");
         assert!(out.is_empty());
     }
 
@@ -458,14 +543,14 @@ mod tests {
         let mut out = Vec::new();
         tx.scratch.extend(shell(8, 0.0));
         tx.encode_into(true, &mut frame);
-        rx.decode_into(&frame, &mut out);
+        rx.decode_into(&frame, &mut out).expect("in sync");
         let next: Vec<(u64, Vec3)> = (0..8)
             .map(|i| (i as u64 * 3 + 1, Vec3::new(i as f64, 1.0, 2.0)))
             .collect();
         tx.scratch.extend(next.iter().copied());
         tx.encode_into(true, &mut frame);
         assert!(!frame.delta, "total turnover must fall back to full");
-        rx.decode_into(&frame, &mut out);
+        rx.decode_into(&frame, &mut out).expect("in sync");
         assert_eq!(out, next);
     }
 
@@ -479,13 +564,13 @@ mod tests {
         let mut out = Vec::new();
         tx.scratch.extend(shell(4, 0.0));
         tx.encode_into(true, &mut frame);
-        rx.decode_into(&frame, &mut out);
+        rx.decode_into(&frame, &mut out).expect("in sync");
         tx.reset();
         let content = shell(6, 0.5);
         tx.scratch.extend(content.iter().copied());
         tx.encode_into(true, &mut frame);
         assert!(!frame.delta, "reset channel must fall back to full");
-        rx.decode_into(&frame, &mut out);
+        rx.decode_into(&frame, &mut out).expect("in sync");
         assert_eq!(out, content);
     }
 
@@ -518,23 +603,51 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "desynchronised")]
-    fn delta_against_wrong_membership_panics() {
+    fn delta_against_wrong_membership_is_a_structured_error_and_resyncs() {
         let mut tx = DeltaChannel::default();
         let mut rx = DeltaChannel::default();
         let mut frame = GhostShellFrame::default();
         let mut out = Vec::new();
         tx.scratch.extend(shell(4, 0.0));
         tx.encode_into(true, &mut frame);
-        rx.decode_into(&frame, &mut out);
-        // Receiver's channel diverges (simulated corruption).
-        rx.reset();
-        rx.decode_into(&frame, &mut out); // full frame: fine, resyncs with 4 ids
-        out.pop();
-        rx.ids.pop();
+        rx.decode_into(&frame, &mut out).expect("in sync");
+        // Receiver's membership record diverges (simulated corruption):
+        // same length, different ids, so the fingerprint catches it.
+        rx.poison_membership();
         tx.scratch.extend(shell(4, 0.1));
         tx.encode_into(true, &mut frame);
-        rx.decode_into(&frame, &mut out);
+        assert!(frame.delta, "stable shell must have shipped a delta");
+        let err = rx
+            .decode_into(&frame, &mut out)
+            .expect_err("fingerprint must catch the corruption");
+        assert!(matches!(err, DesyncError::Fingerprint { .. }), "{err}");
+        assert!(err.to_string().contains("fingerprint mismatch"), "{err}");
+        assert!(out.is_empty(), "a failed decode must deliver nothing");
+        // The failed decode reset the receive channel, so the next delta
+        // is a Membership error (no previous frame held at all)...
+        let err = rx
+            .decode_into(&frame, &mut out)
+            .expect_err("reset channel cannot take a delta");
+        assert!(
+            matches!(err, DesyncError::Membership { have: 0, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("desynchronised"), "{err}");
+        // ...and a full frame (what the resync request elicits from the
+        // sender) heals the stream completely.
+        tx.reset();
+        let content = shell(4, 0.2);
+        tx.scratch.extend(content.iter().copied());
+        tx.encode_into(true, &mut frame);
+        assert!(!frame.delta, "reset sender must fall back to full");
+        rx.decode_into(&frame, &mut out)
+            .expect("full frame resyncs");
+        assert_eq!(out, content);
+        // Back in steady state: deltas flow again.
+        tx.scratch.extend(shell(4, 0.3));
+        tx.encode_into(true, &mut frame);
+        assert!(frame.delta);
+        rx.decode_into(&frame, &mut out).expect("in sync again");
     }
 
     #[test]

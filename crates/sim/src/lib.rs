@@ -17,6 +17,7 @@ pub mod config;
 pub mod cube;
 pub mod digest;
 pub mod driver;
+pub mod elastic;
 pub mod frame;
 pub mod pe;
 pub mod plane;
@@ -27,9 +28,12 @@ pub mod takeover;
 #[cfg(test)]
 mod wire_check;
 
-pub use config::{Lattice, LoadMetric, RunConfig};
+pub use config::{Lattice, LoadMetric, RunConfig, SpeedSchedule};
 pub use digest::{digest_particles, digest_records, digest_recovery, digest_report, digest_run};
 pub use driver::{run, run_serial, run_with_phase_times, run_with_snapshot, serial_sim};
+#[cfg(feature = "check")]
+pub use elastic::run_elastic_faulted;
+pub use elastic::{run_elastic, ResizeOutcome, ResizePlan, ResizeStage};
 pub use recover::{
     run_with_recovery, run_with_takeover, RecoveryError, RecoveryOptions, RecoveryOutcome,
     SimCheckpoint,

@@ -143,6 +143,10 @@ pub struct PeResult {
     pub phase_times: PhaseTimes,
     /// This rank's per-phase actual-vs-baseline byte counts.
     pub wire_bytes: WireBytes,
+    /// Ghost delta decodes this rank absorbed by degrading (skip one
+    /// neighbour's ghosts for a step + full-frame resync). Always 0 on a
+    /// healthy protocol.
+    pub ghost_desyncs: u64,
 }
 
 /// Generate the full initial particle set for a config — deterministic,
@@ -194,6 +198,15 @@ pub struct PeState {
     last_work: WorkCounters,
     last_force_virtual: f64,
     last_force_wall: f64,
+    /// The load value fed to the DLB decision. Equal to
+    /// `last_force_virtual` except on a heterogeneous machine balancing
+    /// with the work-based baseline metric (`speed_aware = false`), where
+    /// reporting shows *time* but the balancer still sees raw work.
+    last_balance: f64,
+    /// The step currently being computed (the checkpointed step after a
+    /// restore, before the first live step). Feeds the speed schedule so
+    /// drifting speeds replay bitwise across restarts and takeovers.
+    cur_step: u64,
     /// True when ownership (or the owned-column set) changed since the
     /// ownership-derived caches below were rebuilt.
     routes_dirty: bool,
@@ -224,8 +237,16 @@ pub struct PeState {
     send_chan: Vec<DeltaChannel>,
     /// Per-neighbour ghost delta channels, receive side. Never reset in
     /// steady state — a full frame is self-describing and resynchronises
-    /// the channel on arrival.
+    /// the channel on arrival. A [`DesyncError`](crate::frame::DesyncError)
+    /// resets the channel and raises the matching `ghost_resync_req` bit.
     recv_chan: Vec<DeltaChannel>,
+    /// Per-neighbour ghost-resync requests (parallel to `neighbors`): set
+    /// when a delta decode from that neighbour failed; rides the next
+    /// round-1 frame so the peer restarts the stream with a full frame.
+    ghost_resync_req: Vec<bool>,
+    /// Ghost delta decodes that failed and were absorbed by degrading
+    /// (skip that neighbour's ghosts for one step, request a resync).
+    ghost_desyncs: u64,
     /// Retained ghost re-binning staging; key set kept equal to
     /// `ghosts`' so the per-step scatter reuses every allocation.
     ghost_staging: BTreeMap<Col, Vec<Particle>>,
@@ -300,6 +321,10 @@ impl PeState {
             .into_iter()
             .map(|(c, v)| (c, pe.build_column(v)))
             .collect();
+        // The initial force pass after a restore recomputes the
+        // checkpointed step's forces — with drifting speeds, its
+        // published load numbers must use the checkpointed step too.
+        pe.cur_step = ck.md.step;
         pe
     }
 
@@ -330,6 +355,8 @@ impl PeState {
             last_work: WorkCounters::default(),
             last_force_virtual: 0.0,
             last_force_wall: 0.0,
+            last_balance: 0.0,
+            cur_step: 0,
             routes_dirty: true,
             ghost_routes: vec![Vec::new(); n_nbrs],
             home_cols: Vec::new(),
@@ -340,6 +367,8 @@ impl PeState {
             nbr_loads: Vec::new(),
             send_chan: (0..n_nbrs).map(|_| DeltaChannel::default()).collect(),
             recv_chan: (0..n_nbrs).map(|_| DeltaChannel::default()).collect(),
+            ghost_resync_req: vec![false; n_nbrs],
+            ghost_desyncs: 0,
             ghost_staging: BTreeMap::new(),
             ghost_decode: Vec::new(),
             step_pool: BufferPool::new(),
@@ -375,13 +404,10 @@ impl PeState {
         di.abs() <= 1 && dj.abs() <= 1
     }
 
-    /// The load value fed to the balancer and reported as F (per the
-    /// configured metric).
+    /// The load value fed to the balancer (per the configured metric and
+    /// speed-awareness; see the `last_balance` field).
     fn last_load(&self) -> f64 {
-        match self.cfg.load_metric {
-            LoadMetric::WorkModel { .. } => self.last_force_virtual,
-            LoadMetric::WallClock => self.last_force_wall,
-        }
+        self.last_balance
     }
 
     // ------------------------------------------------------------------
@@ -532,6 +558,10 @@ impl PeState {
             let mut buf = self.step_pool.checkout();
             let frame = Arc::get_mut(&mut buf).expect("fresh pool checkout is uniquely owned");
             frame.begin_round1(load);
+            // A failed ghost decode last step asks this neighbour to
+            // restart its delta stream with a full frame (zero wire
+            // bytes: the request rides the presence header).
+            frame.resync = std::mem::take(&mut self.ghost_resync_req[i]);
             frame.migrants.parts.extend_from_slice(&self.migrate_out[i]);
             // Deterministic payloads: order emigrants by id.
             frame.migrants.parts.sort_unstable_by_key(|p| p.id);
@@ -553,12 +583,18 @@ impl PeState {
         let t0 = WallTimer::start();
         let rank = self.rank;
         self.nbr_loads.clear();
-        for &nb in &self.neighbors {
+        for (i, &nb) in self.neighbors.iter().enumerate() {
             let incoming: Arc<StepFrame> = comm.recv(nb, tags::STEP_FRAME);
             debug_assert!(
                 incoming.has_migrants && !incoming.has_ghosts,
                 "rank {rank}: round-1 frame from {nb} has the wrong sections"
             );
+            if incoming.resync {
+                // The peer failed to decode our last ghost delta:
+                // restart the stream so this step's round-2 frame (sent
+                // after round-1 receives) arrives full and resyncs it.
+                self.send_chan[i].reset();
+            }
             if dlb_now {
                 let load = incoming
                     .load
@@ -764,7 +800,25 @@ impl PeState {
                 frame.has_ghosts && !frame.has_migrants,
                 "rank {rank}: round-2 frame from {nb} has the wrong sections"
             );
-            self.recv_chan[i].decode_into(&frame.ghosts, &mut self.ghost_decode);
+            if let Some(inject) = self.cfg.ghost_desync_inject {
+                // Fault-injection hook (tests only): corrupt this
+                // channel's membership record until a desync fires once.
+                if inject.rank == rank && inject.nbr == i && self.ghost_desyncs == 0 {
+                    self.recv_chan[i].poison_membership();
+                }
+            }
+            if self.recv_chan[i]
+                .decode_into(&frame.ghosts, &mut self.ghost_decode)
+                .is_err()
+            {
+                // A desynchronised delta stream: the decode delivered
+                // nothing and reset the channel. Degrade — run this step
+                // without that neighbour's ghosts — and request a
+                // full-frame resync in the next round-1 frame rather
+                // than killing the world over one bad stream.
+                self.ghost_resync_req[i] = true;
+                self.ghost_desyncs += 1;
+            }
             for &(id, pos) in &self.ghost_decode {
                 let col = col_at(pos);
                 self.ghost_staging
@@ -1006,9 +1060,23 @@ impl PeState {
             }
             self.last_work = work;
             self.last_force_wall = self.force_wall_accum;
-            self.last_force_virtual = match self.cfg.load_metric {
+            // Raw metric value: modelled work seconds or measured wall.
+            let raw = match self.cfg.load_metric {
                 LoadMetric::WorkModel { sec_per_pair } => work.pair_checks as f64 * sec_per_pair,
                 LoadMetric::WallClock => self.last_force_wall,
+            };
+            // On a heterogeneous machine the *reported* force time is the
+            // modelled elapsed time on this step's processor speed; the
+            // *balanced* quantity is that time only under the speed-aware
+            // metric, raw work under the paper's baseline.
+            self.last_force_virtual = match &self.cfg.speed {
+                Some(s) => raw / s.speed(self.rank, self.cur_step),
+                None => raw,
+            };
+            self.last_balance = if self.cfg.speed_aware {
+                self.last_force_virtual
+            } else {
+                raw
             };
         }
     }
@@ -1038,6 +1106,19 @@ impl PeState {
     /// This PE's accumulated per-phase actual-vs-baseline byte counts.
     pub fn wire_bytes(&self) -> WireBytes {
         self.wire
+    }
+
+    /// Ghost delta decodes that failed and were absorbed by degrading
+    /// (always 0 on a healthy protocol).
+    pub fn ghost_desyncs(&self) -> u64 {
+        self.ghost_desyncs
+    }
+
+    /// Mark the step about to be computed (feeds the per-step speed
+    /// schedule). Called at the top of every step by both the single-role
+    /// and the dual-role drivers.
+    pub(crate) fn begin_step(&mut self, step: u64) {
+        self.cur_step = step;
     }
 
     /// Phase 6: second half-kick with the fresh forces.
@@ -1145,6 +1226,7 @@ impl PeState {
     /// single-role sequence.
     pub fn step(&mut self, comm: &mut Comm, step: u64) -> Option<StepRecord> {
         let t0 = WallTimer::start();
+        self.begin_step(step);
         let dlb_now = self.cfg.dlb && step.is_multiple_of(self.cfg.dlb_interval);
         self.kick_drift_all();
         self.step_send_round1(comm, dlb_now);
@@ -1382,7 +1464,7 @@ pub(crate) fn pe_main_recoverable(
     // exactly the historical single-role phase order, message for
     // message, so digests are unchanged.
     let roles = [comm.rank()];
-    let mut out = crate::takeover::run_roles(comm, cfg, &roles, start, sink, want_snapshot);
+    let mut out = crate::takeover::run_roles(comm, cfg, &roles, start, sink, want_snapshot, false);
     out.swap_remove(0).1
 }
 
@@ -1468,6 +1550,40 @@ mod tests {
         assert!(p3
             .iter()
             .all(|q| q.pos.x < half + 1e-9 && q.pos.y < half + 1e-9 && q.pos.z < half + 1e-9));
+    }
+
+    #[test]
+    fn ghost_desync_degrades_one_step_and_resyncs() {
+        use crate::config::DesyncInject;
+        use pcdlb_mp::{CostModel, World};
+        // A poisoned ghost delta channel must not kill the world: the
+        // receiver degrades for one step, requests a full-frame resync
+        // via the round-1 bit, and the stream heals — exactly one desync
+        // over the whole run, with conservation intact (the sentinel
+        // would abort the run otherwise).
+        let mut cfg = RunConfig::new(216, 4, 4, 0.2);
+        cfg.dlb = false;
+        cfg.steps = 12;
+        cfg.lattice = Lattice::Cluster { fill: 0.8 };
+        cfg.seed = 11;
+        cfg.sentinel_interval = 2;
+        cfg.ghost_desync_inject = Some(DesyncInject { rank: 1, nbr: 0 });
+        cfg.validate();
+        let world = World::new(cfg.p).with_cost_model(CostModel::t3e(Some(cfg.torus())));
+        let results: Vec<PeResult> = world.run(|comm| pe_main(comm, &cfg, true));
+        let desyncs: u64 = results.iter().map(|r| r.ghost_desyncs).sum();
+        assert_eq!(
+            desyncs, 1,
+            "the poisoned stream desyncs once and the resync heals it"
+        );
+        let snapshot = results[0].snapshot.as_ref().expect("rank 0 snapshot");
+        assert_eq!(snapshot.len(), cfg.n_particles, "conservation holds");
+        // The uninjected run is desync-free.
+        let mut clean_cfg = cfg.clone();
+        clean_cfg.ghost_desync_inject = None;
+        let clean_world = World::new(cfg.p).with_cost_model(CostModel::t3e(Some(cfg.torus())));
+        let clean: Vec<PeResult> = clean_world.run(|comm| pe_main(comm, &clean_cfg, true));
+        assert_eq!(clean.iter().map(|r| r.ghost_desyncs).sum::<u64>(), 0);
     }
 
     #[test]

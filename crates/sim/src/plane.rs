@@ -387,7 +387,11 @@ impl PlanePe {
         .enumerate()
         {
             let frame: Arc<GhostShellFrame> = comm.recv(src, tag);
-            self.rx_chan[ci].decode_into(&frame, &mut self.decode_scratch);
+            // The plane baseline has no degraded path: a desync here is a
+            // protocol bug, not a recoverable runtime condition.
+            self.rx_chan[ci]
+                .decode_into(&frame, &mut self.decode_scratch)
+                .expect("plane ghost streams never desynchronise");
             // Ghost velocities are never read: the force pass only needs
             // positions, and the thermostat/KE sums walk owned planes.
             let parts: Vec<Particle> = self

@@ -294,7 +294,9 @@ pub fn run_with_takeover(
     opts: &RecoveryOptions,
 ) -> Result<RecoveryOutcome, RecoveryError> {
     run_takeover_attempts(cfg, opts, |_attempt, world, sink| {
-        world.try_run_degraded(|comm| crate::takeover::takeover_main(comm, cfg, true, sink))
+        world.try_run_degraded(|comm| {
+            crate::takeover::takeover_main(comm, cfg, true, sink, false, false)
+        })
     })
 }
 
@@ -314,7 +316,7 @@ where
     run_takeover_attempts(cfg, opts, |attempt, world, sink| {
         world.try_run_degraded_with_faults(
             |rank| plans(attempt, rank),
-            |comm| crate::takeover::takeover_main(comm, cfg, true, sink),
+            |comm| crate::takeover::takeover_main(comm, cfg, true, sink, false, false),
         )
     })
 }
@@ -344,7 +346,7 @@ where
             |rank| plans(attempt, rank),
             |rank| policies(attempt, rank),
             |rank| logs(attempt, rank),
-            |comm| crate::takeover::takeover_main(comm, cfg, true, sink),
+            |comm| crate::takeover::takeover_main(comm, cfg, true, sink, false, false),
         )
     })
 }

@@ -48,7 +48,7 @@ use std::sync::{Mutex, PoisonError};
 
 use pcdlb_core::protocol::tags;
 use pcdlb_md::Particle;
-use pcdlb_mp::{Comm, TakeoverInterrupt};
+use pcdlb_mp::{Comm, CommError, CommErrorKind, TakeoverInterrupt};
 
 use crate::clock::WallTimer;
 use crate::config::RunConfig;
@@ -60,11 +60,18 @@ use crate::report::{RunReport, StepRecord};
 /// rank(s) to completion, absorbing at most one rank death per launch by
 /// buddy takeover. Returns one [`PeResult`] per virtual rank this thread
 /// ended the run holding.
+///
+/// `drain` forces a final checkpoint gather at `cfg.steps` (the elastic
+/// resize drain — see [`crate::elastic`]); `resize_sync` runs the
+/// deadline-bounded resize barrier before the first step, so a relaunched
+/// generation only proceeds once every rank of the remapped torus is up.
 pub(crate) fn takeover_main(
     comm: &mut Comm,
     cfg: &RunConfig,
     want_snapshot: bool,
     sink: &Mutex<Option<SimCheckpoint>>,
+    drain: bool,
+    resize_sync: bool,
 ) -> Vec<(usize, PeResult)> {
     let mut roles = vec![comm.rank()];
     loop {
@@ -73,7 +80,21 @@ pub(crate) fn takeover_main(
         // own after a takeover, or none at all (step 0).
         let start = sink.lock().unwrap_or_else(PoisonError::into_inner).clone();
         let attempt = catch_unwind(AssertUnwindSafe(|| {
-            run_roles(comm, cfg, &roles, start.as_ref(), Some(sink), want_snapshot)
+            // The barrier sits inside the catch: a death mid-barrier
+            // unwinds as a TakeoverInterrupt like any other phase, and
+            // every survivor re-runs the barrier at the advanced epoch.
+            if resize_sync {
+                resize_barrier(comm);
+            }
+            run_roles(
+                comm,
+                cfg,
+                &roles,
+                start.as_ref(),
+                Some(sink),
+                want_snapshot,
+                drain,
+            )
         }));
         match attempt {
             Ok(results) => return results,
@@ -110,10 +131,11 @@ fn handle_takeover(comm: &mut Comm, cfg: &RunConfig, roles: &mut Vec<usize>) {
         roles.push(dead);
         roles.sort_unstable();
     }
-    // One epoch per absorbed death: stale traffic from before the death
-    // is dropped, early traffic from faster survivors is parked until
-    // this endpoint catches up.
-    comm.advance_epoch(deaths as u64);
+    // One epoch per absorbed death (relative to the launch's base epoch,
+    // which an elastic driver bumps per resize generation): stale traffic
+    // from before the death is dropped, early traffic from faster
+    // survivors is parked until this endpoint catches up.
+    comm.advance_epoch(comm.base_epoch() + deaths as u64);
     takeover_barrier(comm);
 }
 
@@ -156,13 +178,64 @@ fn takeover_barrier(comm: &mut Comm) {
     }
 }
 
+/// Deadline-bounded generation barrier for elastic resizes: every live
+/// thread of a freshly remapped world reports READY to the lowest live
+/// physical rank, which answers GO once all have reported. Runs before
+/// the first step of a resized generation so no rank races ahead into
+/// the new torus against a peer that has not come up yet. Structurally
+/// identical to [`takeover_barrier`] but on its own tags, so the
+/// schedule verifier can tell the two apart. Any timeout aborts the
+/// world (relaunch of the generation) — the barrier can never hang.
+/// Escalate a failed deadline-bounded control-flow receive from inside
+/// [`takeover_main`]'s catch region. An absorbable rank death surfaces
+/// as an interrupted receive and re-raises [`TakeoverInterrupt`] so the
+/// catch point absorbs it in place; anything else — a timeout, a world
+/// already aborting — raises the abort flag and escalates to a full
+/// relaunch. Never returns.
+fn escalate(comm: &mut Comm, what: &str, e: CommError) -> ! {
+    if e.kind == CommErrorKind::Interrupted {
+        std::panic::panic_any(TakeoverInterrupt);
+    }
+    comm.abort_world();
+    panic!("{what}: {e}");
+}
+
+fn resize_barrier(comm: &mut Comm) {
+    let dead = comm.dead_ranks();
+    let live: Vec<usize> = (0..comm.size()).filter(|r| !dead.contains(r)).collect();
+    let root = live[0];
+    let me = comm.phys_rank();
+    let timeout = comm.watchdog();
+    let epoch = comm.epoch();
+    comm.act_as(me);
+    if me == root {
+        for &r in live.iter().filter(|&&r| r != root) {
+            if let Err(e) = comm.recv_deadline::<u64>(r, tags::RESIZE_READY, timeout) {
+                escalate(comm, "resize barrier failed awaiting READY", e);
+            }
+        }
+        for &r in live.iter().filter(|&&r| r != root) {
+            comm.send(r, tags::RESIZE_GO, epoch);
+        }
+    } else {
+        comm.send(root, tags::RESIZE_READY, epoch);
+        match comm.recv_deadline::<u64>(root, tags::RESIZE_GO, timeout) {
+            Ok(e) => debug_assert_eq!(e, epoch, "resize barrier epoch mismatch"),
+            Err(e) => escalate(comm, "resize barrier failed awaiting GO", e),
+        }
+    }
+}
+
 /// Drive one or two virtual ranks through the whole simulation. With a
 /// single role this emits exactly the historical single-role message
 /// sequence; with two, [`step_multi`]'s interleaving keeps the world
 /// deadlock-free. Checkpoints land in `sink`; in takeover worlds a
 /// deadline-bounded completion handshake keeps every thread alive until
 /// the whole world has finished, so a late death still interrupts
-/// someone who can absorb it.
+/// someone who can absorb it. With `drain` set, a final checkpoint
+/// gather runs at `cfg.steps` even though no step follows it — the
+/// elastic resize drain, which hands the whole world state to the next
+/// generation.
 pub(crate) fn run_roles(
     comm: &mut Comm,
     cfg: &RunConfig,
@@ -170,6 +243,7 @@ pub(crate) fn run_roles(
     start: Option<&SimCheckpoint>,
     sink: Option<&Mutex<Option<SimCheckpoint>>>,
     want_snapshot: bool,
+    drain: bool,
 ) -> Vec<(usize, PeResult)> {
     let run_start = WallTimer::start();
     let start_step = start.map_or(0, |ck| ck.md.step);
@@ -228,10 +302,10 @@ pub(crate) fn run_roles(
         for rec in step_multi(comm, cfg, &mut pes, step).into_iter().flatten() {
             records.push(rec);
         }
-        if cfg.checkpoint_interval > 0
+        let periodic_ckpt = cfg.checkpoint_interval > 0
             && step.is_multiple_of(cfg.checkpoint_interval)
-            && step < cfg.steps
-        {
+            && step < cfg.steps;
+        if periodic_ckpt || (drain && step == cfg.steps) {
             // Gather-shaped: whole-role, descending.
             for (v, pe) in pes.iter_mut().rev() {
                 comm.act_as(*v);
@@ -283,6 +357,7 @@ pub(crate) fn run_roles(
                     comm_stats,
                     phase_times: pe.phase_times(),
                     wire_bytes: pe.wire_bytes(),
+                    ghost_desyncs: pe.ghost_desyncs(),
                 },
             )
         })
@@ -304,6 +379,7 @@ fn step_multi(
     let t0 = WallTimer::start();
     let dlb_now = cfg.dlb && step.is_multiple_of(cfg.dlb_interval);
     for (_, pe) in pes.iter_mut() {
+        pe.begin_step(step);
         pe.kick_drift_all();
     }
     // Round 1: migration plus the DLB load ride-along (retained
@@ -398,10 +474,11 @@ fn step_multi(
 /// Completion handshake for takeover worlds: every virtual rank ≠ 0
 /// reports DONE to virtual rank 0, which ACKs each after hearing from
 /// all. No thread returns (taking its personas with it) while another
-/// thread could still need a survivor to absorb a death — except the
-/// unavoidable Two-Generals tail between the root's ACK fan-out and the
-/// last ACK receipt, where a death times the barrier out and falls back
-/// to a full relaunch. Every receive is deadline-bounded, so the
+/// thread could still need a survivor to absorb a death. A death that
+/// interrupts the handshake is absorbed in place ([`escalate`] re-raises
+/// the takeover unwind); only a timeout — the unavoidable Two-Generals
+/// tail between the root's ACK fan-out and the last ACK receipt — falls
+/// back to a full relaunch. Every receive is deadline-bounded, so the
 /// handshake can never hang. Runs after the final lap consumption, so it
 /// is digest-neutral by construction.
 fn completion_handshake(comm: &mut Comm, roles: &[usize]) {
@@ -415,8 +492,7 @@ fn completion_handshake(comm: &mut Comm, roles: &[usize]) {
         comm.act_as(0);
         for src in 1..n {
             if let Err(e) = comm.recv_deadline::<()>(src, tags::TAKEOVER_DONE, timeout) {
-                comm.abort_world();
-                panic!("completion handshake failed awaiting DONE: {e}");
+                escalate(comm, "completion handshake failed awaiting DONE", e);
             }
         }
         for dst in 1..n {
@@ -426,8 +502,7 @@ fn completion_handshake(comm: &mut Comm, roles: &[usize]) {
     for &v in roles.iter().filter(|&&v| v != 0) {
         comm.act_as(v);
         if let Err(e) = comm.recv_deadline::<()>(0, tags::TAKEOVER_ACK, timeout) {
-            comm.abort_world();
-            panic!("completion handshake failed awaiting ACK: {e}");
+            escalate(comm, "completion handshake failed awaiting ACK", e);
         }
     }
 }

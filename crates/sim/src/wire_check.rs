@@ -162,9 +162,11 @@ impl RefEncode for GhostShellFrame {
 
 impl RefEncode for StepFrame {
     /// The actual layout: 1-byte presence header + migrant section,
-    /// Option-encoded load, 1-byte presence header + ghost section.
+    /// Option-encoded load, 1-byte presence header + ghost section. The
+    /// ghost-resync request bit rides bit 1 of the round-1 presence
+    /// header, so it costs no wire bytes.
     fn encode(&self, out: &mut Vec<u8>) {
-        (self.has_migrants as u8).encode(out);
+        ((self.has_migrants as u8) | ((self.resync as u8) << 1)).encode(out);
         if self.has_migrants {
             self.migrants.encode(out);
         }
@@ -247,6 +249,11 @@ fn every_sent_payload_type_matches_the_reference_encoding() {
         let mut dlb = StepFrame::default();
         dlb.begin_round1(Some(0.75));
         check(&Arc::new(dlb), "round-1 step frame with load");
+        let mut resync = StepFrame::default();
+        resync.begin_round1(None);
+        resync.resync = true;
+        // The resync bit packs into the presence header: same byte count.
+        check(&Arc::new(resync), "round-1 step frame with resync bit");
     }
     // pe.rs: STEP_FRAME round 2 carries the ghost shell; plane.rs and
     // cube.rs ship the bare shell frame on their own ghost tags.
