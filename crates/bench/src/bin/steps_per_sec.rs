@@ -95,6 +95,15 @@ struct StepRow {
     /// Per-phase bytes-on-wire totals over all ranks (deterministic;
     /// always live). Zeros for the serial row.
     wire: WireBytes,
+    /// Ghost delta-channel desyncs summed over all ranks (0 in healthy
+    /// runs; a healed desync costs one degraded step on one link).
+    ghost_desyncs: u64,
+    /// Link-layer retransmissions over all ranks (0 over the perfect
+    /// in-process transport).
+    retransmits: u64,
+    /// Failure-detector suspicion episodes over all ranks (0 over the
+    /// perfect in-process transport).
+    suspicions: u64,
 }
 
 fn json_row(out: &mut String, row: &StepRow) {
@@ -118,7 +127,9 @@ fn json_scaling_row(out: &mut String, row: &StepRow, serial_sps: f64) {
          \"dlb\": {:.6}, \"total\": {:.6} }}, \
          \"bytes_on_wire\": {{ \"ghost\": {}, \"ghost_baseline\": {}, \
          \"ghost_ratio\": {:.3}, \"migrate\": {}, \"migrate_baseline\": {}, \
-         \"dlb\": {}, \"total\": {} }} }}",
+         \"dlb\": {}, \"total\": {} }}, \
+         \"reliability\": {{ \"ghost_desyncs\": {}, \"retransmits\": {}, \
+         \"suspicions\": {} }} }}",
         row.mode,
         row.p,
         row.steps,
@@ -136,7 +147,10 @@ fn json_scaling_row(out: &mut String, row: &StepRow, serial_sps: f64) {
         row.wire.migrate,
         row.wire.migrate_baseline,
         row.wire.dlb,
-        row.wire.total()
+        row.wire.total(),
+        row.ghost_desyncs,
+        row.retransmits,
+        row.suspicions
     );
 }
 
@@ -249,6 +263,9 @@ fn main() {
         pair_checks: serial_checks,
         phase: PhaseTimes::default(),
         wire: WireBytes::default(),
+        ghost_desyncs: 0,
+        retransmits: 0,
+        suspicions: 0,
     });
 
     for p in [4usize, 9, 16] {
@@ -264,6 +281,9 @@ fn main() {
             pair_checks: report.records.iter().map(|r| r.pair_checks).sum(),
             phase,
             wire,
+            ghost_desyncs: report.ghost_desyncs,
+            retransmits: report.retransmits,
+            suspicions: report.suspicions,
         });
     }
     // --- 3. Heterogeneous machine: work-based vs speed-aware DLB. ---

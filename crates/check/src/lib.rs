@@ -68,6 +68,21 @@
 //!    generation) must complete with `digest_recovery` bitwise equal to
 //!    the fault-free elastic reference.
 //!
+//! An eighth arrived with the transport abstraction and its
+//! end-to-end reliability layer:
+//!
+//! 8. **The reliability layer is transparent** ([`chaos`]): runs over a
+//!    seeded lossy transport (frame drops, duplicates, bounded
+//!    reordering, timed bidirectional partitions) must land bitwise on
+//!    the serial reference across all three decompositions — including
+//!    record series, message counts and wire-byte accounting; a
+//!    partition window that closes mid-run must heal silently by
+//!    retransmission, a permanent isolation must escalate into the
+//!    recovery ladder (self-fence → buddy takeover) with
+//!    `digest_recovery` parity, and over the reliable in-process
+//!    transport the layer must be fully inert (zero retransmits) — all
+//!    under a global no-hang timeout.
+//!
 //! [`lint`] adds a repo lint pass for the hazards that produce such bugs:
 //! wall-clock reads in deterministic crates, hash-order iteration in
 //! protocol-facing code, and `unwrap()` / unaudited `expect()` on
@@ -75,6 +90,7 @@
 //!
 //! The `pcdlb-check` binary drives all of it; see `README.md`.
 
+pub mod chaos;
 pub mod explore;
 pub mod faults;
 pub mod invariant;

@@ -1,6 +1,6 @@
 //! Repo lint pass for determinism and protocol-robustness hazards.
 //!
-//! Six rules, each scoped to the code where the hazard is real:
+//! Seven rules, each scoped to the code where the hazard is real:
 //!
 //! - `wallclock-in-deterministic-crate`: no `Instant::now` / `SystemTime`
 //!   in `pcdlb-md`, `pcdlb-core`, `pcdlb-domain`, `pcdlb-sim`. Physics and
@@ -37,6 +37,15 @@
 //!   and a stray allocation silently reintroduces per-step heap churn.
 //!   Cold paths (scaffolding, checkpointing, recovery, reporting) are
 //!   audited line by line in `lint-allow.txt`.
+//! - `hardcoded-duration-in-comm-path`: no inline `Duration::from_*`
+//!   literals in the communication and recovery paths (`comm.rs`,
+//!   `world.rs`, `transport.rs` in `pcdlb-mp`; `recover.rs` in
+//!   `pcdlb-sim`). Timing knobs there — polls, watchdogs, retransmit
+//!   backoffs, heartbeat and suspicion horizons — must flow from the
+//!   named `DEFAULT_*` constants and `CommConfig`/`RecoveryOptions` so
+//!   callers can tune them; a literal buried mid-function is an
+//!   untunable magic timeout. The sanctioned definitions of the default
+//!   constants themselves are allowlisted individually.
 //!
 //! The scanner is textual by design (no rustc plumbing): it skips
 //! `#[cfg(test)]` blocks by brace counting and strips `//` comments
@@ -173,6 +182,24 @@ const RULES: &[Rule] = &[
             "BTreeSet::new(",
             ".to_vec()",
             ".collect()",
+        ],
+    },
+    Rule {
+        name: "hardcoded-duration-in-comm-path",
+        dirs: &[],
+        files: &[
+            "crates/mp/src/comm.rs",
+            "crates/mp/src/world.rs",
+            "crates/mp/src/transport.rs",
+            "crates/sim/src/recover.rs",
+        ],
+        // Integer-literal constructors only: `from_secs_f64(` has a
+        // different suffix and stays legal (virtual-time arithmetic).
+        patterns: &[
+            "Duration::from_millis(",
+            "Duration::from_secs(",
+            "Duration::from_micros(",
+            "Duration::from_nanos(",
         ],
     },
 ];
@@ -491,6 +518,28 @@ mod tests {
             .map(|f| f.line)
             .collect();
         assert_eq!(lines, vec![2, 3, 4], "pooled reuse must stay legal");
+    }
+
+    #[test]
+    fn hardcoded_duration_in_comm_path_is_flagged_but_float_secs_are_not() {
+        let fx = Fixture::new(&[(
+            "crates/mp/src/comm.rs",
+            concat!(
+                "fn wait(&self) {\n",
+                "    std::thread::sleep(Duration::from_millis(50));\n",
+                "    let t = Duration::from_secs(60);\n",
+                "    let v = Duration::from_secs_f64(self.cost.latency); // virtual time: fine\n",
+                "}\n",
+            ),
+        )]);
+        let r = run_lints(&fx.root).expect("lint runs");
+        let lines: Vec<usize> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == "hardcoded-duration-in-comm-path")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(lines, vec![2, 3], "float-seconds virtual time stays legal");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! pcdlb-check faults     [--stride N] [--seeds N] [--timeout-s N]
 //! pcdlb-check takeover   [--stride N] [--max-side N] [--timeout-s N]
 //! pcdlb-check resize     [--stride N] [--timeout-s N]
+//! pcdlb-check chaos      [--seeds N] [--timeout-s N]
 //! pcdlb-check model      [--steps S] [--steps-3x3 S] [--max-runs N]
 //!                        [--runs-3x3 N] [--grid 0|2|3]
 //! pcdlb-check lint       [--root PATH] [--strict-allow]
@@ -19,6 +20,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use pcdlb_check::chaos::chaos_sweep_with_timeout;
 use pcdlb_check::explore::{config_2x2, config_2x2_sequenced, explore};
 use pcdlb_check::faults::fault_sweep_with_timeout;
 use pcdlb_check::invariant::{verify_invariant, InvariantConfig};
@@ -43,6 +45,7 @@ fn main() -> ExitCode {
         "faults" => cmd_faults(rest),
         "takeover" => cmd_takeover(rest),
         "resize" => cmd_resize(rest),
+        "chaos" => cmd_chaos(rest),
         "model" => cmd_model(rest),
         "lint" => cmd_lint(rest),
         "all" => cmd_verify(&[])
@@ -50,6 +53,7 @@ fn main() -> ExitCode {
             .and_then(|()| cmd_faults(&[]))
             .and_then(|()| cmd_takeover(&[]))
             .and_then(|()| cmd_resize(&[]))
+            .and_then(|()| cmd_chaos(&[]))
             .and_then(|()| cmd_model(&[]))
             .and_then(|()| cmd_lint(&["--strict-allow".to_string()])),
         "--help" | "-h" | "help" => {
@@ -69,7 +73,7 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: pcdlb-check <verify|interleave|faults|takeover|resize|model|lint|all> [options]\n\
+        "usage: pcdlb-check <verify|interleave|faults|takeover|resize|chaos|model|lint|all> [options]\n\
          \n\
          verify     static protocol verification: tag table, send/recv\n\
          \u{20}          matching, deadlock freedom on all grids up to --max-side\n\
@@ -94,6 +98,12 @@ fn usage() {
          \u{20}          every resize-barrier participant, and each rank of each\n\
          \u{20}          generation at every --stride'th send op (default 24),\n\
          \u{20}          under --timeout-s (default 900)\n\
+         chaos      transport-chaos sweep: --seeds (default 3) disturbance\n\
+         \u{20}          seeds x loss rates over the lossy transport on all three\n\
+         \u{20}          decompositions, asserting bitwise serial parity, a healed\n\
+         \u{20}          partition window, a takeover-escalating permanent\n\
+         \u{20}          isolation, and an inert reliable baseline, under\n\
+         \u{20}          --timeout-s (default 600)\n\
          model      stateful protocol model checker: DFS over delivery\n\
          \u{20}          interleavings with partial-order reduction, checking the\n\
          \u{20}          typed safety properties (seq gaplessness, non-overtaking,\n\
@@ -275,6 +285,31 @@ fn cmd_resize(rest: &[String]) -> Result<(), String> {
         }
         return Err(format!(
             "{} elastic-resize violation(s)",
+            out.violations.len()
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_chaos(rest: &[String]) -> Result<(), String> {
+    let v = opts(rest, &[("--seeds", 3), ("--timeout-s", 600)])?;
+    let (seeds, timeout_s) = (v[0] as u64, v[1] as u64);
+    let out = chaos_sweep_with_timeout(seeds, Duration::from_secs(timeout_s))?;
+    println!(
+        "chaos: {} lossy parity runs, {} healed partition(s), {} takeover partition(s), {} reliable baseline run(s), {} retransmit(s), {} suspicion(s)",
+        out.parity_runs,
+        out.healed_partitions,
+        out.takeover_partitions,
+        out.inproc_runs,
+        out.retransmits,
+        out.suspicions
+    );
+    if !out.violations.is_empty() {
+        for v in &out.violations {
+            eprintln!("  {v}");
+        }
+        return Err(format!(
+            "{} transport-chaos violation(s)",
             out.violations.len()
         ));
     }

@@ -222,6 +222,10 @@ struct ThreadState {
     recv: BTreeMap<(usize, usize, Tag, u64), u64>,
     /// pool id → outstanding checked-out slots.
     pools: BTreeMap<u64, BTreeSet<usize>>,
+    /// Link layer: (src, dst) → last cumulative-ack point observed.
+    acks: BTreeMap<(usize, usize), u64>,
+    /// Failure detector: (rank, peer) pairs currently under suspicion.
+    suspected: BTreeSet<(usize, usize)>,
 }
 
 /// Gapless-stream step shared by `send-gapless` and `admit-gapless`:
@@ -402,6 +406,11 @@ pub fn check_thread_properties(rank: usize, events: &[ProtocolEvent]) -> Vec<Pro
                     });
                 }
                 st.epoch = epoch;
+                // The link layer resets with the wire epoch: cumulative
+                // acks restart at zero and detector state clears without
+                // an Unsuspect event, by design.
+                st.acks.clear();
+                st.suspected.clear();
             }
             ProtocolEvent::PoolCheckout { pool, slot } => {
                 if !st.pools.entry(pool).or_default().insert(slot) {
@@ -447,6 +456,73 @@ pub fn check_thread_properties(rank: usize, events: &[ProtocolEvent]) -> Vec<Pro
                             matches!(e, ProtocolEvent::PoolCheckout { pool: p, .. }
                                      | ProtocolEvent::PoolCheckin { pool: p, .. }
                                      | ProtocolEvent::PoolDrop { pool: p, .. } if *p == pool)
+                        }),
+                    });
+                }
+            }
+            ProtocolEvent::AckAdvance { src, dst, cum } => {
+                let prev = st.acks.get(&(src, dst)).copied();
+                if let Some(prev) = prev {
+                    if cum <= prev {
+                        out.push(PropertyViolation {
+                            property: "ack-monotone",
+                            rank,
+                            detail: format!(
+                                "link {src}->{dst} cumulative ack moved {prev} -> {cum} (not forward)"
+                            ),
+                            trace: window(events, i, |e| {
+                                matches!(e, ProtocolEvent::AckAdvance { src: s, dst: d, .. }
+                                         if *s == src && *d == dst)
+                            }),
+                        });
+                    }
+                }
+                st.acks.insert((src, dst), cum);
+            }
+            ProtocolEvent::Retransmit { src, dst, rseq } => {
+                if let Some(&cum) = st.acks.get(&(src, dst)) {
+                    if rseq < cum {
+                        out.push(PropertyViolation {
+                            property: "retransmit-valid",
+                            rank,
+                            detail: format!(
+                                "link {src}->{dst} retransmitted rseq {rseq} already covered by cum {cum}"
+                            ),
+                            trace: window(events, i, |e| {
+                                matches!(e, ProtocolEvent::Retransmit { src: s, dst: d, .. }
+                                         | ProtocolEvent::AckAdvance { src: s, dst: d, .. }
+                                         if *s == src && *d == dst)
+                            }),
+                        });
+                    }
+                }
+            }
+            ProtocolEvent::Suspect { rank: r, peer } => {
+                if !st.suspected.insert((r, peer)) {
+                    out.push(PropertyViolation {
+                        property: "suspect-episodic",
+                        rank,
+                        detail: format!(
+                            "r{r} re-suspected r{peer} without an intervening unsuspect"
+                        ),
+                        trace: window(events, i, |e| {
+                            matches!(e, ProtocolEvent::Suspect { rank: a, peer: b }
+                                     | ProtocolEvent::Unsuspect { rank: a, peer: b }
+                                     if *a == r && *b == peer)
+                        }),
+                    });
+                }
+            }
+            ProtocolEvent::Unsuspect { rank: r, peer } => {
+                if !st.suspected.remove(&(r, peer)) {
+                    out.push(PropertyViolation {
+                        property: "suspect-episodic",
+                        rank,
+                        detail: format!("r{r} cleared a suspicion of r{peer} it never raised"),
+                        trace: window(events, i, |e| {
+                            matches!(e, ProtocolEvent::Suspect { rank: a, peer: b }
+                                     | ProtocolEvent::Unsuspect { rank: a, peer: b }
+                                     if *a == r && *b == peer)
                         }),
                     });
                 }
@@ -1053,6 +1129,111 @@ mod tests {
         let v = check_thread_properties(0, &regress);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].property, "send-gapless");
+    }
+
+    #[test]
+    fn ack_monotone_catches_regression_and_retransmit_below_cum() {
+        let birth = ProtocolEvent::Birth { rank: 0 };
+        let ok = vec![
+            birth,
+            ProtocolEvent::Retransmit {
+                src: 0,
+                dst: 1,
+                rseq: 0,
+            },
+            ProtocolEvent::AckAdvance {
+                src: 0,
+                dst: 1,
+                cum: 1,
+            },
+            ProtocolEvent::Retransmit {
+                src: 0,
+                dst: 1,
+                rseq: 1,
+            },
+            ProtocolEvent::AckAdvance {
+                src: 0,
+                dst: 1,
+                cum: 3,
+            },
+        ];
+        assert!(check_thread_properties(0, &ok).is_empty());
+        let regress = vec![
+            birth,
+            ProtocolEvent::AckAdvance {
+                src: 0,
+                dst: 1,
+                cum: 3,
+            },
+            ProtocolEvent::AckAdvance {
+                src: 0,
+                dst: 1,
+                cum: 2,
+            },
+        ];
+        let v = check_thread_properties(0, &regress);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].property, "ack-monotone");
+        let stale_retx = vec![
+            birth,
+            ProtocolEvent::AckAdvance {
+                src: 0,
+                dst: 1,
+                cum: 3,
+            },
+            ProtocolEvent::Retransmit {
+                src: 0,
+                dst: 1,
+                rseq: 2,
+            },
+        ];
+        let v = check_thread_properties(0, &stale_retx);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].property, "retransmit-valid");
+    }
+
+    #[test]
+    fn suspicion_episodes_must_alternate_and_reset_on_epoch() {
+        let birth = ProtocolEvent::Birth { rank: 0 };
+        let ok = vec![
+            birth,
+            ProtocolEvent::Suspect { rank: 0, peer: 2 },
+            ProtocolEvent::Unsuspect { rank: 0, peer: 2 },
+            ProtocolEvent::Suspect { rank: 0, peer: 2 },
+        ];
+        assert!(check_thread_properties(0, &ok).is_empty());
+        let double = vec![
+            birth,
+            ProtocolEvent::Suspect { rank: 0, peer: 2 },
+            ProtocolEvent::Suspect { rank: 0, peer: 2 },
+        ];
+        let v = check_thread_properties(0, &double);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].property, "suspect-episodic");
+        let orphan_clear = vec![birth, ProtocolEvent::Unsuspect { rank: 0, peer: 2 }];
+        let v = check_thread_properties(0, &orphan_clear);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].property, "suspect-episodic");
+        // advance_epoch clears detector state without an Unsuspect, and
+        // the link's cumulative ack restarts at zero — neither is a
+        // violation after an EpochAdvance.
+        let epoch_reset = vec![
+            birth,
+            ProtocolEvent::Suspect { rank: 0, peer: 2 },
+            ProtocolEvent::AckAdvance {
+                src: 0,
+                dst: 1,
+                cum: 9,
+            },
+            ProtocolEvent::EpochAdvance { rank: 0, epoch: 1 },
+            ProtocolEvent::Suspect { rank: 0, peer: 2 },
+            ProtocolEvent::AckAdvance {
+                src: 0,
+                dst: 1,
+                cum: 1,
+            },
+        ];
+        assert!(check_thread_properties(0, &epoch_reset).is_empty());
     }
 
     #[test]

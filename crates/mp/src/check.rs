@@ -331,6 +331,41 @@ pub enum ProtocolEvent {
         /// Particles owned by this rank at that step.
         count: u64,
     },
+    /// The link layer retransmitted frame `rseq` on the physical link
+    /// `src -> dst` (lossy transports only).
+    Retransmit {
+        /// Physical sender host.
+        src: usize,
+        /// Physical destination host.
+        dst: usize,
+        /// Link sequence number of the retransmitted frame.
+        rseq: u64,
+    },
+    /// A cumulative ack advanced the sender's link window: every frame
+    /// with `rseq < cum` on `src -> dst` is now known delivered.
+    AckAdvance {
+        /// Physical sender host (whose window advanced).
+        src: usize,
+        /// Physical destination host (who acked).
+        dst: usize,
+        /// New cumulative ack point.
+        cum: u64,
+    },
+    /// The failure detector on `rank` started suspecting `peer` (quiet
+    /// beyond the adaptive suspicion threshold).
+    Suspect {
+        /// Suspecting physical rank.
+        rank: usize,
+        /// Suspected physical peer.
+        peer: usize,
+    },
+    /// `rank` heard from `peer` again and cleared its suspicion.
+    Unsuspect {
+        /// Formerly-suspecting physical rank.
+        rank: usize,
+        /// Formerly-suspected physical peer.
+        peer: usize,
+    },
 }
 
 impl std::fmt::Display for ProtocolEvent {
@@ -410,6 +445,10 @@ impl std::fmt::Display for ProtocolEvent {
             Sentinel { rank, step, count } => {
                 write!(f, "sentinel v{rank} step {step} count {count}")
             }
+            Retransmit { src, dst, rseq } => write!(f, "retx {src}->{dst} rseq {rseq}"),
+            AckAdvance { src, dst, cum } => write!(f, "ack-advance {src}->{dst} cum {cum}"),
+            Suspect { rank, peer } => write!(f, "suspect r{rank} ? r{peer}"),
+            Unsuspect { rank, peer } => write!(f, "unsuspect r{rank} ? r{peer}"),
         }
     }
 }

@@ -45,15 +45,24 @@ pub mod cost;
 pub mod fault;
 pub mod pool;
 pub mod topology;
+pub mod transport;
 pub mod wire;
 pub mod world;
 
 pub use comm::SEND_RETRY_LIMIT;
 pub use comm::{Comm, CommError, CommErrorKind, CommStats, Tag, TakeoverInterrupt};
+pub use comm::{
+    CommConfig, DEFAULT_HEARTBEAT_INTERVAL, DEFAULT_POLL_INTERVAL, DEFAULT_RETRANSMIT_BASE,
+    DEFAULT_RETRANSMIT_BUDGET, DEFAULT_RETRANSMIT_CAP, DEFAULT_SUSPICION_MAX,
+    DEFAULT_SUSPICION_MIN, DEFAULT_WATCHDOG,
+};
 pub use cost::CostModel;
 #[cfg(feature = "check")]
 pub use fault::{FaultKind, FaultPlan};
 pub use pool::BufferPool;
 pub use topology::{Torus2d, Torus3d};
+pub use transport::{
+    Fate, InProcTransport, Link, LossyProfile, LossyTransport, Partition, Transport,
+};
 pub use wire::WireSize;
 pub use world::{DegradedOutcome, RankFailure, World, WorldError};

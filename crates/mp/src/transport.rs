@@ -1,0 +1,394 @@
+//! Transport abstraction: what happens to a frame between two rank hosts.
+//!
+//! The in-process world delivers every envelope exactly once, in order,
+//! over the in-tree channel — a perfect network. Real substrates (Grid
+//! nodes, commodity clusters) drop, duplicate, reorder and stall frames.
+//! This module makes that difference a first-class, pluggable choice:
+//!
+//! - [`Transport`] decides the **fate** of each physical frame on each
+//!   directed link, as a *pure function* of the link and the frame's
+//!   per-link index. No clocks, no RNG state: the same transport object
+//!   assigns the same fates in every run, so chaos runs are replayable.
+//! - [`InProcTransport`] is the perfect network: every frame is
+//!   delivered. It reports itself [`Transport::reliable`], which keeps
+//!   the reliability layer in [`crate::comm`] a strict no-op — zero new
+//!   work on the hot path.
+//! - [`LossyTransport`] applies a seeded disturbance model per link:
+//!   probabilistic drop, duplication, bounded reordering (latency
+//!   expressed as "let k later frames overtake this one"), and timed
+//!   bidirectional partitions expressed in per-link frame-index windows.
+//!
+//! Fates are consulted **before** the physical channel send, so a
+//! "dropped" frame never reaches the receiver's mailbox and must be
+//! re-sent by the end-to-end reliability layer; a "delivered" frame is
+//! guaranteed present (the in-process channel underneath is reliable),
+//! so later retransmissions of it travel as header-only probes.
+//!
+//! Partitions are windows in frame-index space rather than wall time:
+//! every physical transmission attempt on a link — including
+//! retransmissions and heartbeats — consumes one index, so a partition
+//! window always heals under retransmit pressure and a chaos run never
+//! depends on host timing to terminate.
+
+/// One directed physical link: frames travelling from host thread `src`
+/// to host thread `dst`. Links are between **physical hosts**, not
+/// virtual ranks: after a takeover the adopted rank's traffic moves to
+/// its new host's links, exactly as a re-homed process would change
+/// network endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// Sending physical host (thread index).
+    pub src: usize,
+    /// Receiving physical host (thread index).
+    pub dst: usize,
+}
+
+/// What the transport does with one physical frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// The frame reaches the receiver's mailbox.
+    Deliver,
+    /// The frame vanishes; the sender keeps the payload for retransmit.
+    Drop,
+    /// The frame is delivered twice (the copy travels as a header-only
+    /// duplicate with the same link sequence number, so the receiver's
+    /// duplicate suppression absorbs it).
+    Duplicate,
+    /// The frame is delivered late: up to `k` subsequent frames on the
+    /// same link may overtake it (bounded reordering / latency jitter).
+    Delay(u8),
+}
+
+/// Decides the fate of each physical frame per directed link.
+///
+/// Implementations must be pure: `disturb(link, i)` returns the same
+/// fate every time it is asked, which is what makes a chaos run
+/// replayable and a resumed epoch deterministic.
+pub trait Transport: std::fmt::Debug + Send + Sync {
+    /// True when every frame is delivered exactly once, in order. The
+    /// reliability layer in [`crate::comm`] deactivates itself entirely
+    /// over a reliable transport.
+    fn reliable(&self) -> bool;
+
+    /// The fate of the `frame_index`-th physical frame on `link`.
+    fn disturb(&self, link: Link, frame_index: u64) -> Fate;
+}
+
+/// The perfect in-process network: every frame delivered, in order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InProcTransport;
+
+impl Transport for InProcTransport {
+    fn reliable(&self) -> bool {
+        true
+    }
+
+    fn disturb(&self, _link: Link, _frame_index: u64) -> Fate {
+        Fate::Deliver
+    }
+}
+
+/// A timed bidirectional partition between hosts `a` and `b`: every
+/// frame in either direction whose per-link frame index falls in
+/// `[from_frame, to_frame)` is dropped — data, retransmits, acks and
+/// heartbeats alike. Because indices advance on every transmission
+/// attempt, a finite window always heals under retransmit pressure;
+/// `to_frame = u64::MAX` models a permanent partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// One endpoint host.
+    pub a: usize,
+    /// The other endpoint host.
+    pub b: usize,
+    /// First per-link frame index affected.
+    pub from_frame: u64,
+    /// First per-link frame index past the window (exclusive).
+    pub to_frame: u64,
+}
+
+impl Partition {
+    fn covers(&self, link: Link, frame_index: u64) -> bool {
+        let pair = (link.src == self.a && link.dst == self.b)
+            || (link.src == self.b && link.dst == self.a);
+        pair && frame_index >= self.from_frame && frame_index < self.to_frame
+    }
+}
+
+/// A pure-data description of a [`LossyTransport`]'s disturbance model.
+///
+/// Being plain data (no trait objects), a profile can live inside a
+/// run configuration that derives `PartialEq`/`Clone` — the transport
+/// itself is constructed from the profile at world-build time. Rates
+/// are per-mille of physical frames; `seed` makes every run of the same
+/// profile assign identical fates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LossyProfile {
+    /// Seed for the per-frame fate hash.
+    pub seed: u64,
+    /// Fraction of frames dropped, per mille.
+    pub drop_per_mille: u32,
+    /// Fraction of frames duplicated, per mille.
+    pub dup_per_mille: u32,
+    /// Fraction of frames delayed (bounded reordering), per mille.
+    pub delay_per_mille: u32,
+    /// Maximum number of later frames that may overtake a delayed one.
+    pub delay_max: u8,
+    /// Timed bidirectional partitions, in per-link frame-index windows.
+    pub partitions: Vec<Partition>,
+}
+
+impl LossyProfile {
+    /// A profile with the given seed and no disturbances. Callers set
+    /// the rate fields and partitions they want.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Add partitions isolating `rank` from every other host of a
+    /// `size`-rank world, starting at per-link frame index `from_frame`
+    /// and lasting until `to_frame` (use `u64::MAX` for permanent).
+    pub fn isolate(mut self, rank: usize, size: usize, from_frame: u64, to_frame: u64) -> Self {
+        for other in 0..size {
+            if other != rank {
+                self.partitions.push(Partition {
+                    a: rank,
+                    b: other,
+                    from_frame,
+                    to_frame,
+                });
+            }
+        }
+        self
+    }
+
+    /// Panics with a descriptive message on an inconsistent profile.
+    pub fn validate(&self) {
+        let total = self.drop_per_mille + self.dup_per_mille + self.delay_per_mille;
+        assert!(
+            total <= 1000,
+            "LossyProfile: drop {} + dup {} + delay {} per mille exceeds 1000",
+            self.drop_per_mille,
+            self.dup_per_mille,
+            self.delay_per_mille
+        );
+        assert!(
+            self.delay_per_mille == 0 || self.delay_max >= 1,
+            "LossyProfile: delay_per_mille {} needs delay_max >= 1",
+            self.delay_per_mille
+        );
+        for p in &self.partitions {
+            assert!(
+                p.a != p.b,
+                "LossyProfile: partition endpoints must differ (got {} - {})",
+                p.a,
+                p.b
+            );
+            assert!(
+                p.from_frame < p.to_frame,
+                "LossyProfile: partition window [{}, {}) is empty",
+                p.from_frame,
+                p.to_frame
+            );
+        }
+    }
+}
+
+/// Seeded deterministic disturbance model. Every fate is a pure
+/// function of `(profile.seed, link, frame_index)` via a splitmix64
+/// finalizer, so two transports built from equal profiles agree on the
+/// fate of every frame ever sent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LossyTransport {
+    profile: LossyProfile,
+}
+
+impl LossyTransport {
+    /// Build the transport for `profile`; panics if the profile is
+    /// inconsistent (see [`LossyProfile::validate`]).
+    pub fn new(profile: LossyProfile) -> Self {
+        profile.validate();
+        Self { profile }
+    }
+
+    /// The profile this transport was built from.
+    pub fn profile(&self) -> &LossyProfile {
+        &self.profile
+    }
+
+    fn hash(&self, link: Link, frame_index: u64) -> u64 {
+        let mut z = self
+            .profile
+            .seed
+            .wrapping_add((link.src as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add((link.dst as u64 + 1).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add(frame_index.wrapping_mul(0x94d0_49bb_1331_11eb));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl Transport for LossyTransport {
+    fn reliable(&self) -> bool {
+        false
+    }
+
+    fn disturb(&self, link: Link, frame_index: u64) -> Fate {
+        if self
+            .profile
+            .partitions
+            .iter()
+            .any(|p| p.covers(link, frame_index))
+        {
+            return Fate::Drop;
+        }
+        let h = self.hash(link, frame_index);
+        let r = (h % 1000) as u32;
+        let p = &self.profile;
+        if r < p.drop_per_mille {
+            Fate::Drop
+        } else if r < p.drop_per_mille + p.dup_per_mille {
+            Fate::Duplicate
+        } else if r < p.drop_per_mille + p.dup_per_mille + p.delay_per_mille {
+            let span = p.delay_max.max(1) as u64;
+            Fate::Delay(1 + ((h >> 10) % span) as u8)
+        } else {
+            Fate::Deliver
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy(seed: u64) -> LossyTransport {
+        LossyTransport::new(LossyProfile {
+            seed,
+            drop_per_mille: 100,
+            dup_per_mille: 50,
+            delay_per_mille: 100,
+            delay_max: 3,
+            partitions: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn in_proc_is_reliable_and_always_delivers() {
+        let t = InProcTransport;
+        assert!(t.reliable());
+        for i in 0..64 {
+            assert_eq!(t.disturb(Link { src: 0, dst: 1 }, i), Fate::Deliver);
+        }
+    }
+
+    #[test]
+    fn fates_are_deterministic_and_replayable() {
+        let a = lossy(42);
+        let b = lossy(42);
+        let link = Link { src: 2, dst: 5 };
+        for i in 0..4096 {
+            assert_eq!(a.disturb(link, i), b.disturb(link, i));
+        }
+    }
+
+    #[test]
+    fn different_seeds_and_links_decorrelate() {
+        let a = lossy(1);
+        let b = lossy(2);
+        let link = Link { src: 0, dst: 1 };
+        let fa: Vec<Fate> = (0..512).map(|i| a.disturb(link, i)).collect();
+        let fb: Vec<Fate> = (0..512).map(|i| b.disturb(link, i)).collect();
+        assert_ne!(fa, fb, "seeds must decorrelate");
+        let rev: Vec<Fate> = (0..512)
+            .map(|i| a.disturb(Link { src: 1, dst: 0 }, i))
+            .collect();
+        assert_ne!(fa, rev, "link directions must decorrelate");
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let t = lossy(7);
+        let link = Link { src: 0, dst: 3 };
+        let n = 100_000u64;
+        let dropped = (0..n).filter(|&i| t.disturb(link, i) == Fate::Drop).count();
+        // 10% nominal; accept a generous band (hash, not exact stream).
+        assert!((5_000..15_000).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    fn delay_is_bounded_by_delay_max() {
+        let t = lossy(9);
+        let link = Link { src: 1, dst: 2 };
+        for i in 0..100_000 {
+            if let Fate::Delay(k) = t.disturb(link, i) {
+                assert!((1..=3).contains(&k), "delay {k} out of [1, 3]");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_drops_both_directions_within_window_only() {
+        let t = LossyTransport::new(LossyProfile {
+            seed: 0,
+            partitions: vec![Partition {
+                a: 0,
+                b: 1,
+                from_frame: 10,
+                to_frame: 20,
+            }],
+            ..LossyProfile::default()
+        });
+        for (src, dst) in [(0usize, 1usize), (1, 0)] {
+            let link = Link { src, dst };
+            for i in 0..30 {
+                let want = if (10..20).contains(&i) {
+                    Fate::Drop
+                } else {
+                    Fate::Deliver
+                };
+                assert_eq!(t.disturb(link, i), want, "link {src}->{dst} frame {i}");
+            }
+        }
+        // An uninvolved link is untouched.
+        assert_eq!(t.disturb(Link { src: 0, dst: 2 }, 15), Fate::Deliver);
+    }
+
+    #[test]
+    fn isolate_builds_partitions_to_every_peer() {
+        let p = LossyProfile::new(3).isolate(2, 4, 40, u64::MAX);
+        assert_eq!(p.partitions.len(), 3);
+        let t = LossyTransport::new(p);
+        for other in [0usize, 1, 3] {
+            assert_eq!(t.disturb(Link { src: 2, dst: other }, 40), Fate::Drop);
+            assert_eq!(t.disturb(Link { src: other, dst: 2 }, 39), Fate::Deliver);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 1000")]
+    fn profile_rejects_rates_over_unity() {
+        LossyTransport::new(LossyProfile {
+            drop_per_mille: 600,
+            dup_per_mille: 600,
+            ..LossyProfile::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn profile_rejects_empty_partition_window() {
+        LossyTransport::new(LossyProfile {
+            partitions: vec![Partition {
+                a: 0,
+                b: 1,
+                from_frame: 5,
+                to_frame: 5,
+            }],
+            ..LossyProfile::default()
+        });
+    }
+}

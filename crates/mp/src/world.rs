@@ -18,8 +18,12 @@ use std::time::{Duration, Instant};
 
 use crate::channel::unbounded;
 
-use crate::comm::{Comm, Envelope, Supervision, DEFAULT_POLL_INTERVAL, DEFAULT_WATCHDOG};
+use crate::comm::{
+    Comm, CommConfig, Envelope, ReliabilityParams, Supervision, DEFAULT_POLL_INTERVAL,
+    DEFAULT_WATCHDOG,
+};
 use crate::cost::CostModel;
+use crate::transport::{InProcTransport, LossyTransport, Transport};
 
 /// One rank's failure in a [`WorldError`]: the rank id and the panic
 /// message (a [`crate::comm::CommError`] diagnostic for comm-layer
@@ -75,6 +79,8 @@ pub struct World {
     watchdog: Duration,
     takeover: bool,
     base_epoch: u64,
+    transport: Arc<dyn Transport>,
+    rel: ReliabilityParams,
 }
 
 impl World {
@@ -89,6 +95,8 @@ impl World {
             watchdog: DEFAULT_WATCHDOG,
             takeover: false,
             base_epoch: 0,
+            transport: Arc::new(InProcTransport),
+            rel: ReliabilityParams::default(),
         }
     }
 
@@ -127,6 +135,32 @@ impl World {
     pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
         assert!(!watchdog.is_zero(), "watchdog deadline must be non-zero");
         self.watchdog = watchdog;
+        self
+    }
+
+    /// Replace the frame transport. [`InProcTransport`] (the default)
+    /// keeps the perfect in-process channels with zero additional hot-path
+    /// work; a [`LossyTransport`] activates the end-to-end reliability
+    /// layer (cumulative acks, selective retransmit, heartbeats, fencing)
+    /// in every rank's [`Comm`].
+    pub fn with_transport(mut self, transport: Arc<dyn Transport>) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Apply a full [`CommConfig`]: poll interval, watchdog, retry and
+    /// retransmission knobs, and — when `chaos` is set — a seeded
+    /// [`LossyTransport`] built from the profile. Panics if the config
+    /// fails validation, mirroring the other builder asserts.
+    pub fn with_comm_config(mut self, cfg: &CommConfig) -> Self {
+        cfg.validate();
+        self.poll = cfg.poll;
+        self.watchdog = cfg.watchdog;
+        self.rel = ReliabilityParams::from(cfg);
+        self.transport = match &cfg.chaos {
+            Some(profile) => Arc::new(LossyTransport::new(profile.clone())),
+            None => Arc::new(InProcTransport),
+        };
         self
     }
 
@@ -400,6 +434,8 @@ impl World {
                     let routes = Arc::clone(&routes);
                     let (poll, watchdog) = (self.poll, self.watchdog);
                     let base_epoch = self.base_epoch;
+                    let transport = Arc::clone(&self.transport);
+                    let rel = self.rel;
                     scope.spawn(move || {
                         let mut comm = Comm::new(
                             rank,
@@ -416,11 +452,19 @@ impl World {
                                 deaths: Arc::clone(&deaths),
                                 dead: Arc::clone(&dead),
                                 routes,
+                                transport,
+                                rel,
                             },
                         );
                         setup(&mut comm);
                         let result =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut comm)));
+                        if result.is_ok() {
+                            // Clean exit over a lossy transport: drain the
+                            // link layer so a dropped final frame is still
+                            // retransmitted before this sender disappears.
+                            comm.quiesce();
+                        }
                         if result.is_err() {
                             if takeover && !abort.load(Ordering::SeqCst) {
                                 // Degraded mode: register the death so the

@@ -7,7 +7,7 @@
 
 use pcdlb_md::lj::LennardJones;
 use pcdlb_md::thermostat::Thermostat;
-use pcdlb_mp::Torus2d;
+use pcdlb_mp::{CommConfig, Torus2d};
 
 /// How per-PE load (the force-computation "time" fed to the balancer and
 /// reported as Fmax/Fave/Fmin) is measured.
@@ -93,6 +93,11 @@ pub struct DesyncInject {
     pub rank: usize,
     /// Index into that rank's ascending neighbour list.
     pub nbr: usize,
+    /// How many desyncs to force, back to back (a "resync storm"). Each
+    /// corruption fires on the first delta frame after the previous
+    /// resync completes, so `times` mismatches degrade exactly `times`
+    /// steps. 0 is treated as 1.
+    pub times: u32,
 }
 
 /// Initial particle placement.
@@ -224,6 +229,11 @@ pub struct RunConfig {
     /// Test-only ghost-desync fault injection; `None` in production.
     #[doc(hidden)]
     pub ghost_desync_inject: Option<DesyncInject>,
+    /// Message-layer configuration: poll/watchdog deadlines, retry and
+    /// retransmission budgets, failure-detector horizons, and — for chaos
+    /// runs — a seeded lossy-transport profile. The default preserves the
+    /// compiled-in constants (and a perfect in-process transport).
+    pub comm: CommConfig,
 }
 
 impl RunConfig {
@@ -257,6 +267,7 @@ impl RunConfig {
             speed: None,
             speed_aware: false,
             ghost_desync_inject: None,
+            comm: CommConfig::default(),
         }
     }
 
@@ -399,6 +410,7 @@ impl RunConfig {
                 s.amplitude
             );
         }
+        self.comm.validate();
     }
 }
 

@@ -21,7 +21,9 @@ pub fn run(cfg: &RunConfig) -> RunReport {
 /// time and its wire budget.
 pub fn run_with_phase_times(cfg: &RunConfig) -> (RunReport, PhaseTimes, WireBytes) {
     cfg.validate();
-    let world = World::new(cfg.p).with_cost_model(CostModel::t3e(Some(cfg.torus())));
+    let world = World::new(cfg.p)
+        .with_cost_model(CostModel::t3e(Some(cfg.torus())))
+        .with_comm_config(&cfg.comm);
     let results: Vec<PeResult> = world.run(|comm| pe_main(comm, cfg, false));
     let mut phases = PhaseTimes::default();
     let mut wire = WireBytes::default();
@@ -42,7 +44,9 @@ pub fn run_with_snapshot(cfg: &RunConfig) -> (RunReport, Vec<Particle>) {
 
 fn run_inner(cfg: &RunConfig, want_snapshot: bool) -> (RunReport, Option<Vec<Particle>>) {
     cfg.validate();
-    let world = World::new(cfg.p).with_cost_model(CostModel::t3e(Some(cfg.torus())));
+    let world = World::new(cfg.p)
+        .with_cost_model(CostModel::t3e(Some(cfg.torus())))
+        .with_comm_config(&cfg.comm);
     let results: Vec<PeResult> = world.run(|comm| pe_main(comm, cfg, want_snapshot));
     assemble(results)
 }
@@ -51,11 +55,17 @@ pub(crate) fn assemble(mut results: Vec<PeResult>) -> (RunReport, Option<Vec<Par
     let comm_virtual: f64 = results.iter().map(|r| r.comm_stats.virtual_comm_s).sum();
     let msgs: u64 = results.iter().map(|r| r.comm_stats.msgs_sent).sum();
     let bytes: u64 = results.iter().map(|r| r.comm_stats.bytes_sent).sum();
+    let desyncs: u64 = results.iter().map(|r| r.ghost_desyncs).sum();
+    let retransmits: u64 = results.iter().map(|r| r.comm_stats.retransmits).sum();
+    let suspicions: u64 = results.iter().map(|r| r.comm_stats.suspicions).sum();
     let rank0 = results.swap_remove(0);
     let mut report = rank0.report.expect("rank 0 produces the report");
     report.comm_virtual_s = comm_virtual;
     report.msgs_sent = msgs;
     report.bytes_sent = bytes;
+    report.ghost_desyncs = desyncs;
+    report.retransmits = retransmits;
+    report.suspicions = suspicions;
     (report, rank0.snapshot)
 }
 
@@ -71,7 +81,9 @@ where
     P: Fn(usize) -> Box<dyn pcdlb_mp::check::DeliveryPolicy> + Sync,
 {
     cfg.validate();
-    let world = World::new(cfg.p).with_cost_model(CostModel::t3e(Some(cfg.torus())));
+    let world = World::new(cfg.p)
+        .with_cost_model(CostModel::t3e(Some(cfg.torus())))
+        .with_comm_config(&cfg.comm);
     let results: Vec<PeResult> =
         world.run_with_delivery(policy_for_rank, |comm| pe_main(comm, cfg, true));
     let (report, snapshot) = assemble(results);
@@ -94,7 +106,9 @@ where
     L: Fn(usize) -> pcdlb_mp::check::EventLog + Sync,
 {
     cfg.validate();
-    let world = World::new(cfg.p).with_cost_model(CostModel::t3e(Some(cfg.torus())));
+    let world = World::new(cfg.p)
+        .with_cost_model(CostModel::t3e(Some(cfg.torus())))
+        .with_comm_config(&cfg.comm);
     let results: Vec<PeResult> = world.run_instrumented(policy_for_rank, log_for_rank, |comm| {
         pe_main(comm, cfg, true)
     });

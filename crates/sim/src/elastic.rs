@@ -296,6 +296,7 @@ where
             launches += 1;
             let world = World::new(seg.p)
                 .with_cost_model(CostModel::t3e(Some(Torus2d::square(seg.p))))
+                .with_comm_config(&seg_cfg.comm)
                 .with_poll_interval(opts.poll)
                 .with_watchdog(opts.watchdog)
                 .with_takeover()

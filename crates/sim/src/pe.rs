@@ -802,8 +802,12 @@ impl PeState {
             );
             if let Some(inject) = self.cfg.ghost_desync_inject {
                 // Fault-injection hook (tests only): corrupt this
-                // channel's membership record until a desync fires once.
-                if inject.rank == rank && inject.nbr == i && self.ghost_desyncs == 0 {
+                // channel's membership record until `times` desyncs have
+                // fired — back-to-back corruptions model a resync storm.
+                if inject.rank == rank
+                    && inject.nbr == i
+                    && self.ghost_desyncs < inject.times.max(1) as u64
+                {
                     self.recv_chan[i].poison_membership();
                 }
             }
@@ -1567,7 +1571,11 @@ mod tests {
         cfg.lattice = Lattice::Cluster { fill: 0.8 };
         cfg.seed = 11;
         cfg.sentinel_interval = 2;
-        cfg.ghost_desync_inject = Some(DesyncInject { rank: 1, nbr: 0 });
+        cfg.ghost_desync_inject = Some(DesyncInject {
+            rank: 1,
+            nbr: 0,
+            times: 1,
+        });
         cfg.validate();
         let world = World::new(cfg.p).with_cost_model(CostModel::t3e(Some(cfg.torus())));
         let results: Vec<PeResult> = world.run(|comm| pe_main(comm, &cfg, true));
@@ -1584,6 +1592,67 @@ mod tests {
         let clean_world = World::new(cfg.p).with_cost_model(CostModel::t3e(Some(cfg.torus())));
         let clean: Vec<PeResult> = clean_world.run(|comm| pe_main(comm, &clean_cfg, true));
         assert_eq!(clean.iter().map(|r| r.ghost_desyncs).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn ghost_resync_storm_degrades_one_step_per_mismatch() {
+        use crate::config::DesyncInject;
+        use pcdlb_mp::{CostModel, World};
+        // Back-to-back fingerprint mismatches on one link: each desync
+        // degrades exactly one step (so `times` corruptions produce
+        // exactly `times` desyncs — never more), the stream heals after
+        // the storm, and the run completes with conservation intact
+        // rather than livelocking in degrade/resync ping-pong.
+        let mut cfg = RunConfig::new(216, 4, 4, 0.2);
+        cfg.dlb = false;
+        cfg.steps = 16;
+        cfg.lattice = Lattice::Cluster { fill: 0.8 };
+        cfg.seed = 11;
+        cfg.sentinel_interval = 2;
+        cfg.ghost_desync_inject = Some(DesyncInject {
+            rank: 1,
+            nbr: 0,
+            times: 3,
+        });
+        cfg.validate();
+        let world = World::new(cfg.p).with_cost_model(CostModel::t3e(Some(cfg.torus())));
+        let results: Vec<PeResult> = world.run(|comm| pe_main(comm, &cfg, true));
+        let desyncs: u64 = results.iter().map(|r| r.ghost_desyncs).sum();
+        assert_eq!(desyncs, 3, "one desync per injected mismatch, no echo");
+        let snapshot = results[0].snapshot.as_ref().expect("rank 0 snapshot");
+        assert_eq!(snapshot.len(), cfg.n_particles, "conservation holds");
+    }
+
+    #[test]
+    fn ghost_resync_storm_in_full_frame_mode_never_desyncs() {
+        use crate::config::DesyncInject;
+        use pcdlb_mp::{CostModel, World};
+        // With delta encoding off the sender always ships full frames, so
+        // membership poison has nothing to mismatch against: the storm
+        // injector is inert and the run completes without a single desync
+        // (the full-frame path cannot livelock on resync requests).
+        let mut cfg = RunConfig::new(216, 4, 4, 0.2);
+        cfg.dlb = false;
+        cfg.steps = 16;
+        cfg.lattice = Lattice::Cluster { fill: 0.8 };
+        cfg.seed = 11;
+        cfg.sentinel_interval = 2;
+        cfg.delta_ghosts = false;
+        cfg.ghost_desync_inject = Some(DesyncInject {
+            rank: 1,
+            nbr: 0,
+            times: 3,
+        });
+        cfg.validate();
+        let world = World::new(cfg.p).with_cost_model(CostModel::t3e(Some(cfg.torus())));
+        let results: Vec<PeResult> = world.run(|comm| pe_main(comm, &cfg, true));
+        assert_eq!(
+            results.iter().map(|r| r.ghost_desyncs).sum::<u64>(),
+            0,
+            "full frames decode unconditionally; poison cannot desync them"
+        );
+        let snapshot = results[0].snapshot.as_ref().expect("rank 0 snapshot");
+        assert_eq!(snapshot.len(), cfg.n_particles);
     }
 
     #[test]

@@ -690,7 +690,9 @@ pub fn run_plane_with_snapshot(cfg: &RunConfig) -> (RunReport, Vec<Particle>) {
 
 fn run_plane_inner(cfg: &RunConfig, want_snapshot: bool) -> (RunReport, Option<Vec<Particle>>) {
     validate_plane(cfg);
-    let world = World::new(cfg.p).with_cost_model(CostModel::t3e(None));
+    let world = World::new(cfg.p)
+        .with_cost_model(CostModel::t3e(None))
+        .with_comm_config(&cfg.comm);
     struct R {
         report: Option<RunReport>,
         snapshot: Option<Vec<Particle>>,
@@ -719,6 +721,9 @@ fn run_plane_inner(cfg: &RunConfig, want_snapshot: bool) -> (RunReport, Option<V
                 comm_virtual_s: 0.0,
                 msgs_sent: 0,
                 bytes_sent: 0,
+                ghost_desyncs: 0,
+                retransmits: 0,
+                suspicions: 0,
                 wall_s: run_start.elapsed_s(),
             }),
             snapshot,
@@ -728,10 +733,14 @@ fn run_plane_inner(cfg: &RunConfig, want_snapshot: bool) -> (RunReport, Option<V
     let comm_virtual: f64 = results.iter().map(|r| r.comm.virtual_comm_s).sum();
     let msgs: u64 = results.iter().map(|r| r.comm.msgs_sent).sum();
     let bytes: u64 = results.iter().map(|r| r.comm.bytes_sent).sum();
+    let retransmits: u64 = results.iter().map(|r| r.comm.retransmits).sum();
+    let suspicions: u64 = results.iter().map(|r| r.comm.suspicions).sum();
     let rank0 = results.swap_remove(0);
     let mut report = rank0.report.expect("rank 0 report");
     report.comm_virtual_s = comm_virtual;
     report.msgs_sent = msgs;
     report.bytes_sent = bytes;
+    report.retransmits = retransmits;
+    report.suspicions = suspicions;
     (report, rank0.snapshot)
 }

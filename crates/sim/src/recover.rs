@@ -372,6 +372,7 @@ where
     for attempt in 0..opts.max_attempts {
         let world = World::new(cfg.p)
             .with_cost_model(CostModel::t3e(Some(cfg.torus())))
+            .with_comm_config(&cfg.comm)
             .with_poll_interval(opts.poll)
             .with_watchdog(opts.watchdog)
             .with_takeover();
@@ -453,6 +454,7 @@ where
         let start = sink.lock().unwrap_or_else(PoisonError::into_inner).clone();
         let world = World::new(cfg.p)
             .with_cost_model(CostModel::t3e(Some(cfg.torus())))
+            .with_comm_config(&cfg.comm)
             .with_poll_interval(opts.poll)
             .with_watchdog(opts.watchdog);
         match attempt_fn(attempt, &world, start.as_ref(), &sink) {

@@ -147,6 +147,15 @@ pub struct RunReport {
     pub msgs_sent: u64,
     /// Total bytes sent across all PEs (wire-size accounting).
     pub bytes_sent: u64,
+    /// Ghost delta-channel desyncs summed over all PEs (each one degraded
+    /// a single step on a single link and forced a full-frame resync).
+    pub ghost_desyncs: u64,
+    /// Link-layer retransmissions summed over all PEs — always zero over
+    /// the perfect in-process transport.
+    pub retransmits: u64,
+    /// Failure-detector suspicion episodes summed over all PEs — always
+    /// zero over the perfect in-process transport.
+    pub suspicions: u64,
     /// Wall-clock duration of the whole run, seconds.
     pub wall_s: f64,
 }

@@ -346,6 +346,9 @@ pub(crate) fn run_roles(
                 comm_virtual_s: 0.0, // aggregated by the driver from all ranks
                 msgs_sent: 0,
                 bytes_sent: 0,
+                ghost_desyncs: 0,
+                retransmits: 0,
+                suspicions: 0,
                 wall_s: run_start.elapsed_s(),
             });
             let snapshot = if v == 0 { snapshot0.take() } else { None };
