@@ -3,13 +3,20 @@
 //!
 //! Two measurements:
 //!
-//! 1. **Force phase in isolation** — the seed's full-shell 27-offset pass
-//!    (`pcdlb_bench::full_shell_forces`, each pair evaluated from both
-//!    ends) against the production 13-offset half-shell pass
-//!    (`pcdlb_md::serial::compute_forces_half_shell`) on the same
-//!    paper-density gas grid. Both book identical full-shell
-//!    `WorkCounters`, so checks/sec are directly comparable; the reported
-//!    `speedup` is the headline number (target ≥ 1.6×).
+//! 1. **Force phase in isolation** — four kernels on the same
+//!    paper-density gas grid, in historical order: the seed's full-shell
+//!    27-offset pass (`pcdlb_bench::full_shell_forces`, each pair
+//!    evaluated from both ends), the production 13-offset half-shell
+//!    pass (`pcdlb_md::serial::compute_forces_half_shell`), its SoA
+//!    twin (`pcdlb_md::soa::compute_forces_half_shell_soa`, flat x/y/z
+//!    arrays the compiler can vectorize), and the Verlet replay of a
+//!    recorded CSR pair list (`VerletList`, candidates within
+//!    `r_c + skin`, including the per-call position reload production
+//!    pays). All four book identical full-shell `WorkCounters`, so
+//!    checks/sec are directly comparable; `speedup` (half vs full,
+//!    target ≥ 1.6×) and `soa_ratio` (best SoA-path vs half-shell,
+//!    target ≥ 1.3×) are the headline numbers, and
+//!    `checks_per_sec_trend` records the whole progression.
 //! 2. **Whole steps per second** — the serial reference and the SPMD
 //!    simulator swept over P ∈ {1, 4, 9, 16} PE grids (ranks are
 //!    threads; on a single-core host the parallel rows measure protocol
@@ -34,7 +41,11 @@
 //! Usage: `cargo run --release -p pcdlb-bench --bin steps_per_sec`
 //! (options: `--nc`, `--density`, `--iters`, `--steps`, `--out`,
 //! `--scaling-out`, `--assert-p4-ratio <min>`,
-//! `--assert-p9-ghost-ratio <min>`, `--assert-hetero-gain <min>`).
+//! `--assert-soa-ratio <min>`, `--assert-p9-ghost-ratio <min>`,
+//! `--assert-hetero-gain <min>`). `--assert-soa-ratio` makes the run
+//! fail when neither SoA-path kernel (SoA walk or Verlet replay) beats
+//! the half-shell baseline by `<min>`× — a same-host, same-run timing
+//! comparison, so no hardware-thread caveat applies.
 //! `--assert-p4-ratio` makes the run fail when the P = 4 speedup is
 //! below `<min>`, but downgrades to a warning on hosts with fewer than
 //! 4 hardware threads, where a parallel speedup is physically
@@ -49,9 +60,11 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use pcdlb_bench::{full_shell_forces, Args};
+use pcdlb_md::cells::HALF_OFFSETS_13;
 use pcdlb_md::force::ExternalPull;
 use pcdlb_md::serial::compute_forces_half_shell;
-use pcdlb_md::{init, CellGrid, LennardJones, PairKernel, Vec3};
+use pcdlb_md::soa::compute_forces_half_shell_soa;
+use pcdlb_md::{init, CellGrid, LennardJones, PairKernel, SegAction, SoaField, Vec3, VerletList};
 use pcdlb_sim::{
     run, run_with_phase_times, serial_sim, PhaseTimes, RunConfig, RunReport, SpeedSchedule,
     WireBytes,
@@ -200,6 +213,7 @@ fn main() {
     let scaling_path = args.get("scaling-out", "BENCH_scaling.json").to_string();
     // 0.0 disables the assertions (the default).
     let assert_p4 = args.get_f64("assert-p4-ratio", 0.0);
+    let assert_soa = args.get_f64("assert-soa-ratio", 0.0);
     let assert_p9_ghost = args.get_f64("assert-p9-ghost-ratio", 0.0);
     let assert_hetero = args.get_f64("assert-hetero-gain", 0.0);
 
@@ -222,19 +236,80 @@ fn main() {
     let half = time_kernel(iters, || {
         compute_forces_half_shell(&grid, &kernel, &ExternalPull::None, &mut forces).pair_checks
     });
-    assert_eq!(
-        full.pair_checks, half.pair_checks,
-        "work accounting diverged between kernels"
-    );
+    let mut soa = SoaField::new();
+    let soa_row = time_kernel(iters, || {
+        compute_forces_half_shell_soa(&grid, &kernel, &ExternalPull::None, &mut soa, &mut forces)
+            .pair_checks
+    });
+
+    // Verlet replay: record the CSR candidate list once (a rebuild step),
+    // then time the steady-state replay — including the per-call position
+    // reload and force fold the production epochs pay every step. The
+    // paper-tight cells leave `cell_len − r_c` of slack, which is exactly
+    // the skin budget a production epoch on this grid would have.
+    let skin = (grid.box_len() / nc as f64 - kernel.lj.rcut).max(0.0);
+    let reach2 = (kernel.lj.rcut + skin).powi(2);
+    let np = grid.num_particles();
+    soa.reset(np, np);
+    soa.load_positions(0, grid.particles());
+    let mut vlist = VerletList::new();
+    for idx in 0..grid.total_cells() {
+        let hr = grid.cell_range(idx);
+        if hr.is_empty() {
+            continue;
+        }
+        let home = grid.coord_of(idx);
+        vlist.record_intra(&soa, hr.clone(), reach2, 0, 0);
+        for offset in HALF_OFFSETS_13 {
+            let (ncell, shift) = grid.wrap_neighbor(home, offset);
+            let nr = grid.cell_range(grid.index(ncell));
+            if nr.is_empty() {
+                continue;
+            }
+            vlist.record_pair(&soa, hr.clone(), nr, shift, reach2, 0, 0, 0);
+        }
+    }
+    let box_len_grid = grid.box_len();
+    let verlet = time_kernel(iters, || {
+        soa.load_positions(0, grid.particles());
+        soa.zero_forces();
+        let mut w = [pcdlb_md::WorkCounters::default()];
+        vlist.replay(
+            &kernel,
+            &ExternalPull::None,
+            box_len_grid,
+            &mut soa,
+            |_| Some(SegAction::fused()),
+            &mut w,
+        );
+        soa.fold_forces(&mut forces);
+        w[0].pair_checks
+    });
+
+    for (name, row) in [("half", &half), ("soa", &soa_row), ("verlet", &verlet)] {
+        assert_eq!(
+            full.pair_checks, row.pair_checks,
+            "work accounting diverged between the full-shell and {name} kernels"
+        );
+    }
     let speedup = full.seconds_per_call / half.seconds_per_call;
+    let soa_speedup = half.seconds_per_call / soa_row.seconds_per_call;
+    let verlet_speedup = half.seconds_per_call / verlet.seconds_per_call;
+    let soa_ratio = soa_speedup.max(verlet_speedup);
     eprintln!(
-        "force phase: N = {n}, nc = {nc}, {} full-shell checks/pass",
+        "force phase: N = {n}, nc = {nc}, {} full-shell checks/pass, verlet skin {skin:.3}",
         full.pair_checks
     );
     eprintln!(
         "  full-shell {:.3} ms/pass, half-shell {:.3} ms/pass -> speedup {speedup:.2}x",
         full.seconds_per_call * 1e3,
         half.seconds_per_call * 1e3
+    );
+    eprintln!(
+        "  soa {:.3} ms/pass ({soa_speedup:.2}x vs half), verlet replay {:.3} ms/pass \
+         ({verlet_speedup:.2}x vs half) -> soa_ratio {soa_ratio:.2}x",
+        soa_row.seconds_per_call * 1e3,
+        verlet.seconds_per_call * 1e3
     );
 
     // --- 2. Whole steps/sec: serial vs P ∈ {4, 9, 16} SPMD grids. ---
@@ -366,7 +441,27 @@ fn main() {
          \"checks_per_sec\": {:.3e} }},",
         half.seconds_per_call, half.pair_checks, half.checks_per_sec
     );
-    let _ = writeln!(json, "    \"speedup\": {speedup:.3}");
+    let _ = writeln!(
+        json,
+        "    \"soa_half_shell\": {{ \"seconds_per_call\": {:.6e}, \"pair_checks_per_call\": {}, \
+         \"checks_per_sec\": {:.3e} }},",
+        soa_row.seconds_per_call, soa_row.pair_checks, soa_row.checks_per_sec
+    );
+    let _ = writeln!(
+        json,
+        "    \"verlet\": {{ \"seconds_per_call\": {:.6e}, \"pair_checks_per_call\": {}, \
+         \"checks_per_sec\": {:.3e}, \"skin\": {skin:.4} }},",
+        verlet.seconds_per_call, verlet.pair_checks, verlet.checks_per_sec
+    );
+    let _ = writeln!(
+        json,
+        "    \"checks_per_sec_trend\": [{:.3e}, {:.3e}, {:.3e}, {:.3e}],",
+        full.checks_per_sec, half.checks_per_sec, soa_row.checks_per_sec, verlet.checks_per_sec
+    );
+    let _ = writeln!(json, "    \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "    \"soa_speedup\": {soa_speedup:.3},");
+    let _ = writeln!(json, "    \"verlet_speedup\": {verlet_speedup:.3},");
+    let _ = writeln!(json, "    \"soa_ratio\": {soa_ratio:.3}");
     json.push_str("  },\n");
     json.push_str("  \"steps_per_sec\": [\n");
     for (i, row) in rows.iter().enumerate() {
@@ -443,6 +538,19 @@ fn main() {
             );
             eprintln!("P = 4 speedup {p4_speedup:.2}x meets the {assert_p4}x goal");
         }
+    }
+
+    if assert_soa > 0.0 {
+        // Both sides of this ratio come from the same single-threaded
+        // run on the same host, so unlike the P = 4 gate there is no
+        // hardware-thread caveat.
+        assert!(
+            soa_ratio >= assert_soa,
+            "SoA force-path speedup {soa_ratio:.2}x over the half-shell baseline is below \
+             the required {assert_soa}x (soa {soa_speedup:.2}x, verlet replay \
+             {verlet_speedup:.2}x)"
+        );
+        eprintln!("SoA force-path speedup {soa_ratio:.2}x meets the {assert_soa}x goal");
     }
 
     if assert_p9_ghost > 0.0 {

@@ -174,6 +174,10 @@ const RULES: &[Rule] = &[
             "crates/sim/src/frame.rs",
             "crates/sim/src/pe.rs",
             "crates/sim/src/takeover.rs",
+            // The SoA/Verlet force path runs every step: scratch must be
+            // retained (reset + reuse), never reallocated per pass.
+            "crates/md/src/soa.rs",
+            "crates/md/src/verlet.rs",
         ],
         patterns: &[
             "Vec::new(",

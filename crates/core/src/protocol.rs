@@ -89,6 +89,12 @@ pub mod tags {
     /// Resize barrier (p2p, elastic worlds): root GO release once every
     /// rank of the new generation has reported READY.
     pub const RESIZE_GO: u64 = 18;
+    /// Skin epochs (collective): per-rank max predicted squared travel
+    /// gathered to rank 0 at the top of each step (skin > 0 runs only).
+    pub const REBUILD_GATHER: u64 = 19;
+    /// Skin epochs (collective): rank 0's global max broadcast back, from
+    /// which every rank derives the identical rebuild-now decision.
+    pub const REBUILD_BCAST: u64 = 20;
 
     /// The communication phases of one simulated step, in program order.
     /// Every blocking receive in `pcdlb-sim`'s pillar step belongs to
@@ -96,6 +102,11 @@ pub mod tags {
     /// (no message sent in one phase is received in another).
     #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
     pub enum CommPhase {
+        /// Skin-epoch rebuild decision (collective): gather each rank's
+        /// max predicted travel, broadcast the global max. Only present
+        /// when `skin > 0`; runs before any particle state mutates so the
+        /// decision is a pure function of the pre-step state.
+        Rebuild,
         /// Round-1 coalesced exchange (8-neighbourhood): boundary-crossing
         /// particle migration, with last-step loads riding along on DLB
         /// steps (the former standalone load exchange).
@@ -240,6 +251,18 @@ pub mod tags {
             name: "RESIZE_GO",
             phase: CommPhase::Resize,
             collective: false,
+        },
+        TagSpec {
+            tag: REBUILD_GATHER,
+            name: "REBUILD_GATHER",
+            phase: CommPhase::Rebuild,
+            collective: true,
+        },
+        TagSpec {
+            tag: REBUILD_BCAST,
+            name: "REBUILD_BCAST",
+            phase: CommPhase::Rebuild,
+            collective: true,
         },
     ];
 }

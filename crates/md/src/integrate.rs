@@ -22,6 +22,20 @@ pub fn kick_drift(p: &mut Particle, force: Vec3, dt: f64, box_len: f64) {
     p.pos = p.pos.rem_euclid(box_len);
 }
 
+/// First Verlet half-step *without* the periodic wrap: half-kick and
+/// drift only. The Verlet-list epochs keep cell binnings frozen between
+/// rebuild steps, and a mid-epoch wrap would teleport a boundary
+/// particle across the box while its frozen cell (and the recorded
+/// shift vectors) stay put — so positions are left unwrapped until the
+/// next rebuild step, whose [`kick_drift`] folds them back into
+/// `[0, L)`. The arithmetic of the kick and drift is identical to
+/// [`kick_drift`], preserving bitwise parity between the two paths.
+#[inline]
+pub fn kick_drift_nowrap(p: &mut Particle, force: Vec3, dt: f64) {
+    p.vel += force * (0.5 * dt);
+    p.pos += p.vel * dt;
+}
+
 /// Second Verlet half-step: half-kick with the *new* force.
 #[inline]
 pub fn kick(p: &mut Particle, force: Vec3, dt: f64) {

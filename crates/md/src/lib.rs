@@ -29,14 +29,18 @@ pub mod lj;
 pub mod neighbors;
 pub mod observe;
 pub mod serial;
+pub mod soa;
 pub mod thermostat;
 pub mod vec3;
+pub mod verlet;
 
 pub use cells::{axis_bin, CellCoord, CellGrid};
 pub use force::{PairKernel, WorkCounters};
 pub use lj::LennardJones;
 pub use serial::SerialSim;
+pub use soa::SoaField;
 pub use vec3::Vec3;
+pub use verlet::{DispTracker, SegAction, SegKind, Segment, VerletList};
 
 use pcdlb_mp::WireSize;
 

@@ -3,33 +3,49 @@
 //! Sec. 3.2: "compute distances … with every combination of molecules
 //! within each cell and its neighbouring 26 cells").
 //!
-//! A list of pairs within `r_c + skin` is built through the cell grid
-//! (O(N)) and stays valid until some particle has moved more than
-//! `skin/2`, so most steps touch only ~`ρ·4π(r_c+skin)³/3` candidates per
-//! particle instead of `27·ρ·cell³`. The `force_kernel` bench quantifies
-//! the trade against the cell search.
+//! A half list (`i < j` by slice index) of pairs within `r_c + skin` is
+//! built through a cell grid in O(N) — the canonical *half-shell*
+//! enumeration: a triangular intra-cell loop plus the 13 forward offsets
+//! of [`HALF_OFFSETS_13`], which halves both the build work and the list
+//! memory relative to the historical 27-offset sweep. The list stays
+//! valid until some particle has moved more than `skin/2`, so most
+//! steps touch only ~`ρ·4π(r_c+skin)³/3` candidates per particle.
 //!
-//! This module is a *library feature*, not part of the parallel
-//! reproduction path: the paper's code (and our parallel simulators)
-//! rebuild cell lists every step, which is what the work model counts.
+//! Storage is CSR: one flat `partners` array indexed by an `offsets`
+//! table, and all build scratch (the cell slab, the staging vector, the
+//! pair accumulator) is retained across [`NeighborList::rebuild`] calls,
+//! so steady-state rebuilds are allocation-free once the buffers have
+//! grown to their working capacity.
+//!
+//! This module is the *standalone library* form of the machinery; the
+//! simulator hot paths use the segment-replay variant in
+//! [`crate::verlet`], which additionally preserves the canonical
+//! summation order for bitwise parity.
 
-use crate::cells::{CellGrid, NEIGHBOR_OFFSETS_27};
+use crate::cells::{axis_bin, CellSlab, HALF_OFFSETS_13};
 use crate::force::WorkCounters;
 use crate::lj::LennardJones;
 use crate::vec3::Vec3;
 use crate::Particle;
 
 /// A half neighbour list (`i < j` by slice index) over an id-sorted
-/// particle slice.
+/// particle slice, in CSR storage.
 #[derive(Debug, Clone)]
 pub struct NeighborList {
     box_len: f64,
     skin: f64,
-    /// For each particle index, partner indices `j > i` within
-    /// `r_c + skin` at build time.
-    partners: Vec<Vec<u32>>,
+    /// `n + 1` offsets into `partners`.
+    offsets: Vec<u32>,
+    /// Flat partner indices: for particle `i`,
+    /// `partners[offsets[i]..offsets[i+1]]` holds the `j > i` within
+    /// `r_c + skin` at build time, ascending.
+    partners: Vec<u32>,
     /// Positions at build time (for the displacement test).
     ref_pos: Vec<Vec3>,
+    /// Retained build scratch.
+    slab: CellSlab,
+    staging: Vec<Particle>,
+    pairs: Vec<(u32, u32)>,
 }
 
 impl NeighborList {
@@ -37,61 +53,132 @@ impl NeighborList {
     /// least `r_c + skin`. `skin` must be positive.
     pub fn build(particles: &[Particle], box_len: f64, lj: &LennardJones, skin: f64) -> Self {
         assert!(skin > 0.0, "skin must be positive");
+        let mut list = Self {
+            box_len,
+            skin,
+            offsets: Vec::new(),
+            partners: Vec::new(),
+            ref_pos: Vec::new(),
+            slab: CellSlab::empty(1),
+            staging: Vec::new(),
+            pairs: Vec::new(),
+        };
+        list.rebuild(particles, lj);
+        list
+    }
+
+    /// Rebuild in place from the current positions, reusing all internal
+    /// buffers (allocation-free once they have grown to capacity).
+    pub fn rebuild(&mut self, particles: &[Particle], lj: &LennardJones) {
         assert!(
             particles.windows(2).all(|w| w[0].id < w[1].id),
             "particles must be id-sorted"
         );
-        let reach = lj.rcut + skin;
+        let reach = lj.rcut + self.skin;
+        let box_len = self.box_len;
         let nc = ((box_len / reach).floor() as usize).max(2);
         assert!(
             box_len / nc as f64 >= reach - 1e-12,
             "box too small for cutoff + skin"
         );
-        // Map particle id → slice index (ids may be sparse).
-        let index_of =
-            |id: u64, ids: &[u64]| -> u32 { ids.binary_search(&id).expect("own id") as u32 };
-        let ids: Vec<u64> = particles.iter().map(|p| p.id).collect();
+        let cell_len = box_len / nc as f64;
+        let n_cells = nc * nc * nc;
 
-        let mut grid = CellGrid::new(nc, box_len);
-        for p in particles {
-            grid.insert(*p);
+        // Stage copies carrying the *slice index* as id: the slab sorts
+        // by (cell, id), so each cell's slice stays ascending-index.
+        self.staging.clear();
+        for (k, p) in particles.iter().enumerate() {
+            self.staging.push(Particle {
+                id: k as u64,
+                pos: p.pos,
+                vel: Vec3::ZERO,
+            });
         }
-        grid.canonicalize();
+        let cell_of = move |p: &Particle| {
+            (axis_bin(p.pos.x, cell_len, nc) * nc + axis_bin(p.pos.y, cell_len, nc)) * nc
+                + axis_bin(p.pos.z, cell_len, nc)
+        };
+        self.slab.rebuild_from(n_cells, &mut self.staging, cell_of);
 
+        // Half-shell pair sweep: triangular intra loop + 13 forward
+        // offsets, each unordered cell pair visited once.
         let reach2 = reach * reach;
-        let mut partners = vec![Vec::new(); particles.len()];
-        for (home, cell) in grid.iter_cells() {
-            for offset in NEIGHBOR_OFFSETS_27 {
-                let (ncell, shift) = grid.wrap_neighbor(home, offset);
-                for a in cell {
-                    for b in grid.cell(ncell) {
-                        if b.id <= a.id {
-                            continue; // half list, skip self and doubles
+        self.pairs.clear();
+        let wrap1 = |c: i64| -> (usize, f64) {
+            let n = nc as i64;
+            if c < 0 {
+                ((c + n) as usize, -box_len)
+            } else if c >= n {
+                ((c - n) as usize, box_len)
+            } else {
+                (c as usize, 0.0)
+            }
+        };
+        for cx in 0..nc {
+            for cy in 0..nc {
+                for cz in 0..nc {
+                    let idx = (cx * nc + cy) * nc + cz;
+                    let home = self.slab.cell(idx);
+                    if home.is_empty() {
+                        continue;
+                    }
+                    for (a, pa) in home.iter().enumerate() {
+                        for pb in &home[a + 1..] {
+                            if ((pb.pos - pa.pos).norm2()) < reach2 {
+                                self.pairs.push((pa.id as u32, pb.id as u32));
+                            }
                         }
-                        let r2 = ((b.pos + shift) - a.pos).norm2();
-                        if r2 < reach2 {
-                            let ia = index_of(a.id, &ids) as usize;
-                            partners[ia].push(index_of(b.id, &ids));
+                    }
+                    for (dx, dy, dz) in HALF_OFFSETS_13 {
+                        let (ncx, sx) = wrap1(cx as i64 + dx);
+                        let (ncy, sy) = wrap1(cy as i64 + dy);
+                        let (ncz, sz) = wrap1(cz as i64 + dz);
+                        let shift = Vec3::new(sx, sy, sz);
+                        let nidx = (ncx * nc + ncy) * nc + ncz;
+                        for pa in home {
+                            for pb in self.slab.cell(nidx) {
+                                if (((pb.pos + shift) - pa.pos).norm2()) < reach2 {
+                                    let (lo, hi) = if pa.id < pb.id {
+                                        (pa.id, pb.id)
+                                    } else {
+                                        (pb.id, pa.id)
+                                    };
+                                    self.pairs.push((lo as u32, hi as u32));
+                                }
+                            }
                         }
                     }
                 }
             }
         }
-        for list in &mut partners {
-            list.sort_unstable();
-            list.dedup(); // a pair can be seen via two periodic images
+        // A pair can be seen via two periodic images on tiny grids.
+        self.pairs.sort_unstable();
+        self.pairs.dedup();
+
+        // CSR fill.
+        self.offsets.clear();
+        self.offsets.resize(particles.len() + 1, 0);
+        for &(i, _) in &self.pairs {
+            self.offsets[i as usize + 1] += 1;
         }
-        Self {
-            box_len,
-            skin,
-            partners,
-            ref_pos: particles.iter().map(|p| p.pos).collect(),
+        for i in 0..particles.len() {
+            self.offsets[i + 1] += self.offsets[i];
         }
+        self.partners.clear();
+        self.partners.extend(self.pairs.iter().map(|&(_, j)| j));
+
+        self.ref_pos.clear();
+        self.ref_pos.extend(particles.iter().map(|p| p.pos));
     }
 
     /// Total number of stored (half) pairs.
     pub fn num_pairs(&self) -> usize {
-        self.partners.iter().map(Vec::len).sum()
+        self.partners.len()
+    }
+
+    /// One particle's partner indices (`j > i`, ascending).
+    pub fn partners_of(&self, i: usize) -> &[u32] {
+        &self.partners[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// True when some particle has drifted more than `skin/2` from its
@@ -116,8 +203,8 @@ impl NeighborList {
         let mut forces = vec![Vec3::ZERO; particles.len()];
         let mut w = WorkCounters::default();
         let rcut2 = lj.rcut2();
-        for (i, list) in self.partners.iter().enumerate() {
-            for &j in list {
+        for i in 0..particles.len() {
+            for &j in self.partners_of(i) {
                 let j = j as usize;
                 w.pair_checks += 1;
                 let r = crate::analysis::minimum_image(
@@ -207,6 +294,43 @@ mod tests {
                 f
             );
         }
+    }
+
+    #[test]
+    fn csr_layout_is_half_sorted_and_rebuild_is_allocation_free() {
+        let box_len = 12.0;
+        let mut ps = gas(150, box_len, 7);
+        let lj = LennardJones::paper();
+        let mut list = NeighborList::build(&ps, box_len, &lj, 0.5);
+        // Half-list shape: every partner index is greater than its row,
+        // rows ascending.
+        for i in 0..ps.len() {
+            let row = list.partners_of(i);
+            assert!(row.iter().all(|&j| j as usize > i), "row {i}: {row:?}");
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row {i} unsorted");
+        }
+        // Steady-state rebuild reuses capacity.
+        let caps = (
+            list.partners.capacity(),
+            list.pairs.capacity(),
+            list.ref_pos.capacity(),
+            list.offsets.capacity(),
+        );
+        for p in &mut ps {
+            p.pos.x = (p.pos.x + 0.05).rem_euclid(box_len);
+        }
+        list.rebuild(&ps, &lj);
+        assert_eq!(
+            caps,
+            (
+                list.partners.capacity(),
+                list.pairs.capacity(),
+                list.ref_pos.capacity(),
+                list.offsets.capacity(),
+            ),
+            "rebuild must not reallocate at steady state"
+        );
+        assert!(list.num_pairs() > 0);
     }
 
     #[test]

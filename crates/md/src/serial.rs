@@ -15,11 +15,13 @@
 
 use crate::cells::{CellGrid, HALF_OFFSETS_13};
 use crate::force::{disjoint_ranges_mut, PairKernel, WorkCounters};
-use crate::integrate::{kick, kick_drift};
+use crate::integrate::{kick, kick_drift, kick_drift_nowrap};
 use crate::lj::LennardJones;
 use crate::observe;
+use crate::soa::SoaField;
 use crate::thermostat::Thermostat;
 use crate::vec3::Vec3;
+use crate::verlet::{self, DispTracker, SegAction, VerletList};
 use crate::Particle;
 
 /// Per-step summary returned by [`SerialSim::step`].
@@ -50,6 +52,20 @@ pub struct SerialSim {
     step_count: u64,
     last_work: WorkCounters,
     pull: crate::force::ExternalPull,
+    /// Verlet skin radius; `0` disables skin epochs (legacy per-step
+    /// rebinning, bit-for-bit the historical behaviour).
+    skin: f64,
+    /// Replay forces through the recorded Verlet list (requires
+    /// `skin > 0`); off, mid-epoch steps re-walk the frozen binning.
+    verlet: bool,
+    /// When `> 0`, force a rebuild every this many steps — a pure
+    /// function of configuration, mirrored by the parallel simulators at
+    /// their checkpoint cadence so restores land on rebuild boundaries.
+    forced_rebuild_interval: u64,
+    tracker: DispTracker,
+    soa: SoaField,
+    vlist: VerletList,
+    last_rebuild: bool,
 }
 
 /// One half-shell force pass over a canonicalized grid: intra-cell
@@ -127,9 +143,59 @@ impl SerialSim {
             step_count: 0,
             last_work: WorkCounters::default(),
             pull: crate::force::ExternalPull::None,
+            skin: 0.0,
+            verlet: false,
+            forced_rebuild_interval: 0,
+            tracker: DispTracker::new(),
+            soa: SoaField::new(),
+            vlist: VerletList::new(),
+            last_rebuild: true,
         };
         sim.compute_forces();
         sim
+    }
+
+    /// Enable skin epochs: the cell binning is frozen between rebuild
+    /// steps and positions stay unwrapped mid-epoch. With `verlet`, a
+    /// segment list is recorded at each rebuild and replayed in between
+    /// (bitwise identical to re-walking the frozen binning). Requires
+    /// `cell_len ≥ r_c + skin` so the one-cell neighbourhood stays
+    /// exhaustive over a whole epoch. Construction counts as a rebuild
+    /// boundary.
+    pub fn with_skin(mut self, skin: f64, verlet: bool) -> Self {
+        assert!(skin >= 0.0, "skin must be non-negative");
+        assert!(
+            !verlet || skin > 0.0,
+            "verlet replay requires a positive skin"
+        );
+        if skin > 0.0 {
+            assert!(
+                self.grid.cell_len() >= self.kernel.lj.rcut + skin - 1e-12,
+                "cell length {} < cutoff {} + skin {skin}: the one-cell shell \
+                 cannot stay exhaustive over a skin epoch",
+                self.grid.cell_len(),
+                self.kernel.lj.rcut,
+            );
+        }
+        self.skin = skin;
+        self.verlet = verlet;
+        self.tracker.reset();
+        if self.verlet {
+            self.rebuild_verlet();
+        }
+        self
+    }
+
+    /// Force a rebuild every `k` steps (`0` disables) — mirrored by the
+    /// parallel simulators at their checkpoint cadence.
+    pub fn set_forced_rebuild_interval(&mut self, k: u64) {
+        self.forced_rebuild_interval = k;
+    }
+
+    /// Whether the most recent [`SerialSim::step`] rebuilt the binning
+    /// (always true with `skin == 0`).
+    pub fn last_step_rebuilt(&self) -> bool {
+        self.last_rebuild
     }
 
     /// Enable the harmonic central-well concentration driver with spring
@@ -182,16 +248,46 @@ impl SerialSim {
     pub fn step(&mut self) -> SerialStepInfo {
         let dt = self.dt;
         let box_len = self.grid.box_len();
-
-        // 1. Half-kick with current forces, drift, wrap. The flat force
-        //    array is aligned with the grid's particle order.
         debug_assert_eq!(self.grid.num_particles(), self.forces.len());
-        for (p, f) in self.grid.particles_mut().iter_mut().zip(&self.forces) {
-            kick_drift(p, *f, dt, box_len);
-        }
 
-        // 2. Rebin: particles to their new cells, (cell, id)-sorted.
-        self.grid.rebin();
+        // 0. Rebuild decision — before any state mutates, from exactly
+        //    the inputs every parallel rank can reproduce: the global max
+        //    predicted travel of this step plus the forced cadence. With
+        //    skin == 0 every step rebuilds (the historical behaviour).
+        let rebuild = if self.skin == 0.0 {
+            true
+        } else {
+            let gmax2 = verlet::max_predicted_travel2(self.grid.particles(), &self.forces, dt);
+            self.tracker.advance(gmax2, dt);
+            let forced = self.forced_rebuild_interval > 0
+                && (self.step_count + 1).is_multiple_of(self.forced_rebuild_interval);
+            let r = forced || self.tracker.exceeds(self.skin);
+            if r {
+                self.tracker.reset();
+            }
+            r
+        };
+        self.last_rebuild = rebuild;
+
+        // 1. Half-kick with current forces, drift. The flat force array
+        //    is aligned with the grid's particle order. Positions wrap
+        //    only on rebuild steps: mid-epoch the binning (and its shift
+        //    vectors) is frozen, so wrapping would teleport a particle
+        //    away from its frozen cell.
+        if rebuild {
+            for (p, f) in self.grid.particles_mut().iter_mut().zip(&self.forces) {
+                kick_drift(p, *f, dt, box_len);
+            }
+            // 2. Rebin: particles to their new cells, (cell, id)-sorted.
+            self.grid.rebin();
+            if self.verlet {
+                self.rebuild_verlet();
+            }
+        } else {
+            for (p, f) in self.grid.particles_mut().iter_mut().zip(&self.forces) {
+                kick_drift_nowrap(p, *f, dt);
+            }
+        }
 
         // 3. New forces.
         self.compute_forces();
@@ -239,12 +335,65 @@ impl SerialSim {
         kes.iter().map(|&(_, ke)| ke).sum()
     }
 
-    /// Recompute all forces from scratch in the canonical order.
+    /// Recompute all forces from scratch in the canonical order. With
+    /// Verlet replay on, positions are reloaded from the (authoritative)
+    /// grid into the SoA scratch and the recorded segment list is
+    /// replayed fused — bitwise identical to re-walking the binning.
     fn compute_forces(&mut self) {
-        let mut forces = std::mem::take(&mut self.forces);
-        self.last_work =
-            compute_forces_half_shell(&self.grid, &self.kernel, &self.pull, &mut forces);
-        self.forces = forces;
+        if self.verlet && self.skin > 0.0 {
+            let n = self.grid.num_particles();
+            self.soa.load_positions(0, self.grid.particles());
+            self.soa.zero_forces();
+            let mut w = [WorkCounters::default()];
+            let box_len = self.grid.box_len();
+            self.vlist.replay(
+                &self.kernel,
+                &self.pull,
+                box_len,
+                &mut self.soa,
+                |_| Some(SegAction::fused()),
+                &mut w,
+            );
+            self.last_work = w[0];
+            debug_assert_eq!(self.soa.n_owned(), n);
+            self.soa.fold_forces(&mut self.forces);
+        } else {
+            let mut forces = std::mem::take(&mut self.forces);
+            self.last_work =
+                compute_forces_half_shell(&self.grid, &self.kernel, &self.pull, &mut forces);
+            self.forces = forces;
+        }
+    }
+
+    /// Record the Verlet segment list from the current (canonicalized)
+    /// binning: the exact walk of [`compute_forces_half_shell`] — intra,
+    /// the 13 forward offsets with their wrap shifts, then the pull —
+    /// with candidate pairs admitted within `r_c + skin`.
+    fn rebuild_verlet(&mut self) {
+        let n = self.grid.num_particles();
+        self.soa.reset(n, n);
+        self.soa.load_positions(0, self.grid.particles());
+        self.vlist.clear();
+        let reach = self.kernel.lj.rcut + self.skin;
+        let reach2 = reach * reach;
+        for idx in 0..self.grid.total_cells() {
+            let hr = self.grid.cell_range(idx);
+            if hr.is_empty() {
+                continue;
+            }
+            let home = self.grid.coord_of(idx);
+            self.vlist.record_intra(&self.soa, hr.clone(), reach2, 0, 0);
+            for offset in HALF_OFFSETS_13 {
+                let (ncell, shift) = self.grid.wrap_neighbor(home, offset);
+                let nr = self.grid.cell_range(self.grid.index(ncell));
+                if nr.is_empty() {
+                    continue;
+                }
+                self.vlist
+                    .record_pair(&self.soa, hr.clone(), nr, shift, reach2, 0, 0, 0);
+            }
+            self.vlist.record_pull(hr, 0, 0);
+        }
     }
 }
 
@@ -396,6 +545,136 @@ mod tests {
             b.step();
         }
         assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    /// A gas in a box whose cells are large enough to host a skin:
+    /// nc = 4, box = 12 ⇒ cell_len = 3.0 ≥ 2.5 (r_c) + 0.4 (skin).
+    fn skin_gas(seed: u64) -> Vec<Particle> {
+        let mut ps = init::simple_cubic(180, 12.0);
+        init::maxwell_boltzmann(&mut ps, 0.722, seed);
+        ps
+    }
+
+    fn skin_sim(ps: Vec<Particle>, skin: f64, verlet: bool) -> SerialSim {
+        SerialSim::new(
+            ps,
+            4,
+            12.0,
+            LennardJones::paper(),
+            0.0025,
+            Thermostat {
+                t_ref: 0.722,
+                interval: 10,
+            },
+        )
+        .with_skin(skin, verlet)
+    }
+
+    #[test]
+    fn verlet_replay_matches_frozen_walk_bitwise() {
+        // Same skin, with and without the recorded-list replay: identical
+        // rebuild schedule, so the trajectories must agree bit-for-bit.
+        let mut walk = skin_sim(skin_gas(11), 0.4, false);
+        let mut replay = skin_sim(skin_gas(11), 0.4, true);
+        for s in 0..60 {
+            let a = walk.step();
+            let b = replay.step();
+            assert_eq!(
+                walk.last_step_rebuilt(),
+                replay.last_step_rebuilt(),
+                "rebuild schedule diverged at step {s}"
+            );
+            assert_eq!(a.work.interacting_pairs, b.work.interacting_pairs);
+            assert_eq!(a.potential.to_bits(), b.potential.to_bits(), "step {s}");
+        }
+        let sa = walk.snapshot();
+        let sb = replay.snapshot();
+        for (p, q) in sa.iter().zip(&sb) {
+            assert_eq!(p.pos.x.to_bits(), q.pos.x.to_bits());
+            assert_eq!(p.pos.y.to_bits(), q.pos.y.to_bits());
+            assert_eq!(p.pos.z.to_bits(), q.pos.z.to_bits());
+            assert_eq!(p.vel.x.to_bits(), q.vel.x.to_bits());
+        }
+    }
+
+    #[test]
+    fn skin_epochs_match_per_step_rebinning_closely() {
+        // Skin epochs change *when* wrapping/rebinning happens, which can
+        // legally reorder FP sums relative to skin == 0 — but the physics
+        // must agree to integration tolerance over a short window.
+        let mut every = skin_sim(skin_gas(12), 0.0, false);
+        let mut epochs = skin_sim(skin_gas(12), 0.4, true);
+        let mut a = every.step();
+        let mut b = epochs.step();
+        for _ in 0..40 {
+            a = every.step();
+            b = epochs.step();
+        }
+        let ea = a.kinetic + a.potential;
+        let eb = b.kinetic + b.potential;
+        assert!(
+            ((ea - eb) / ea.abs().max(1.0)).abs() < 1e-6,
+            "energies diverged: {ea} vs {eb}"
+        );
+        // Mid-epoch positions are unwrapped; compare modulo the box.
+        for (p, q) in every.snapshot().iter().zip(&epochs.snapshot()) {
+            let d = (p.pos.rem_euclid(12.0) - q.pos.rem_euclid(12.0)).norm();
+            assert!(!(1e-6..=11.0).contains(&d), "particle {} drifted {d}", p.id);
+        }
+    }
+
+    #[test]
+    fn rebuilds_are_a_minority_of_steps_with_a_skin() {
+        let mut sim = skin_sim(skin_gas(13), 0.4, true);
+        let mut rebuilds = 0;
+        for _ in 0..50 {
+            sim.step();
+            if sim.last_step_rebuilt() {
+                rebuilds += 1;
+            }
+        }
+        assert!(rebuilds >= 1, "tracker never fired in 50 steps");
+        assert!(
+            rebuilds < 25,
+            "rebuilt {rebuilds}/50 steps: skin buys nothing"
+        );
+    }
+
+    #[test]
+    fn forced_interval_rebuilds_on_schedule() {
+        let mut sim = skin_sim(skin_gas(14), 0.4, true);
+        sim.set_forced_rebuild_interval(7);
+        for s in 1..=21u64 {
+            sim.step();
+            if s.is_multiple_of(7) {
+                assert!(sim.last_step_rebuilt(), "step {s} should force a rebuild");
+            }
+        }
+    }
+
+    #[test]
+    fn verlet_work_counters_keep_full_shell_accounting_on_rebuild_steps() {
+        // On a rebuild step the replay must report the same directed
+        // pair-check count as the walk over the same binning.
+        let mut walk = skin_sim(skin_gas(15), 0.4, false);
+        let mut replay = skin_sim(skin_gas(15), 0.4, true);
+        loop {
+            let a = walk.step();
+            let b = replay.step();
+            if walk.last_step_rebuilt() {
+                // Post-rebuild forces came from the freshly recorded list.
+                assert!(b.work.pair_checks > 0);
+                assert_eq!(a.work.interacting_pairs, b.work.interacting_pairs);
+                break;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot stay exhaustive")]
+    fn skin_too_thick_for_cells_is_rejected() {
+        // cell_len = 3.0, r_c = 2.5 ⇒ max skin 0.5; 0.6 must panic.
+        skin_sim(skin_gas(16), 0.6, false);
     }
 
     #[test]

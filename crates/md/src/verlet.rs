@@ -1,0 +1,697 @@
+//! Verlet-list *replay* machinery shared by every simulator path.
+//!
+//! A [`VerletList`] is a flat CSR-style recording of one canonical
+//! half-shell force walk over a frozen cell binning: the walk is run
+//! once at a *rebuild step* with the widened reach `r_c + skin`,
+//! recording — in exact walk order — one [`Segment`] per kernel call
+//! (intra-cell triangle, cell-vs-cell pair block, or external-pull
+//! sweep) and, for the pair kinds, the candidate pairs that fell within
+//! the reach. Until the next rebuild, every step *replays* the recording
+//! against fresh positions: the same segments, the same pairs, the same
+//! floating-point expressions in the same per-slot order — which makes
+//! the replayed force sums **bitwise identical** to re-running the full
+//! walk over the frozen binning, while touching only
+//! `~ρ·4π(r_c+skin)³/3` candidates per particle instead of the whole
+//! 27-cell neighbourhood.
+//!
+//! Work accounting stays in the paper's full-shell directed-check
+//! units: each pair segment caches its build-time candidate count
+//! (`|a|·|b|`, occupancy-based and constant while the binning is
+//! frozen), so `pair_checks` totals are identical whether a step walked
+//! or replayed — DLB decisions and the figures are numerically
+//! unchanged.
+//!
+//! Segments carry two caller-defined *class codes* (`ca`, `cb` — e.g.
+//! interior / frontier / ghost in the pillar decomposition) and a work
+//! *bucket*; replay takes a policy closure mapping a segment to store
+//! flags and an energy credit, which is how the overlapped
+//! interior/frontier schedule replays the same recording twice per step
+//! with complementary stores.
+
+use std::ops::Range;
+
+use crate::force::{ExternalPull, PairKernel, WorkCounters};
+use crate::soa::SoaField;
+use crate::vec3::Vec3;
+use crate::Particle;
+
+/// What a [`Segment`] replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegKind {
+    /// Triangular intra-cell loop (both reactions, unweighted energy).
+    Intra,
+    /// One home cell against one (shifted) neighbour cell.
+    Pair,
+    /// External-pull sweep over one home cell's slots.
+    Pull,
+}
+
+/// One recorded kernel call of the frozen walk.
+#[derive(Debug, Clone, Copy)]
+pub struct Segment {
+    /// Segment kind.
+    pub kind: SegKind,
+    /// Caller-defined class code of the home side.
+    pub ca: u8,
+    /// Caller-defined class code of the neighbour side (pair segments).
+    pub cb: u8,
+    /// Index into the replay's `WorkCounters` slice.
+    pub bucket: u32,
+    /// Range into the pair list (`Intra`/`Pair`) or the flat slot range
+    /// (`Pull`).
+    start: u32,
+    end: u32,
+    /// Periodic-image shift applied to the neighbour side.
+    shift: Vec3,
+    /// Build-time candidate count in full-shell units: `|a|·|b|` for
+    /// pair segments, `n·(n−1)` for intra segments.
+    occ: u64,
+}
+
+/// Per-segment replay decision returned by the policy closure.
+#[derive(Debug, Clone, Copy)]
+pub struct SegAction {
+    /// Store forces on the home side (`Pair` segments).
+    pub sa: bool,
+    /// Store forces on the neighbour side (`Pair` segments).
+    pub sb: bool,
+    /// Run home-owned work: the intra triangle and the pull sweep.
+    pub run_home: bool,
+    /// Energy/virial weight for `Pair` segments (`None` skips the f64
+    /// accumulators entirely — not even a `+= 0.0`).
+    pub credit: Option<f64>,
+}
+
+impl SegAction {
+    /// The fused single-pass action: store both sides, run home work,
+    /// full credit — what the serial simulator and the sequenced
+    /// parallel schedule use for owned-only segments.
+    pub fn fused() -> Self {
+        Self {
+            sa: true,
+            sb: true,
+            run_home: true,
+            credit: Some(1.0),
+        }
+    }
+}
+
+/// A recorded half-shell walk: flat pair list plus the segment table.
+/// Buffers are retained across [`VerletList::clear`], so steady-state
+/// rebuilds are allocation-free once capacity has grown.
+#[derive(Debug, Clone, Default)]
+pub struct VerletList {
+    pairs: Vec<(u32, u32)>,
+    segs: Vec<Segment>,
+}
+
+impl VerletList {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop the recording, retaining capacity.
+    pub fn clear(&mut self) {
+        self.pairs.clear();
+        self.segs.clear();
+    }
+
+    /// Total recorded (half) pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of recorded segments.
+    pub fn num_segments(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// True when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Record one cell-vs-cell block: slots `a` against slots `b`
+    /// displaced by `shift`, keeping candidates with
+    /// `|b + shift − a|² < reach2`. Candidates are scanned in the
+    /// kernel's `(i ∈ a) × (j ∈ b)` order, which replay preserves.
+    /// No-op when either side is empty (the walk skips empty cells).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_pair(
+        &mut self,
+        soa: &SoaField,
+        a: Range<usize>,
+        b: Range<usize>,
+        shift: Vec3,
+        reach2: f64,
+        ca: u8,
+        cb: u8,
+        bucket: u32,
+    ) {
+        if a.is_empty() || b.is_empty() {
+            return;
+        }
+        let start = self.pairs.len() as u32;
+        for i in a.clone() {
+            let (xi, yi, zi) = (soa.xs[i], soa.ys[i], soa.zs[i]);
+            for j in b.clone() {
+                let rx = (soa.xs[j] + shift.x) - xi;
+                let ry = (soa.ys[j] + shift.y) - yi;
+                let rz = (soa.zs[j] + shift.z) - zi;
+                if rx * rx + ry * ry + rz * rz < reach2 {
+                    self.pairs.push((i as u32, j as u32));
+                }
+            }
+        }
+        self.segs.push(Segment {
+            kind: SegKind::Pair,
+            ca,
+            cb,
+            bucket,
+            start,
+            end: self.pairs.len() as u32,
+            shift,
+            occ: a.len() as u64 * b.len() as u64,
+        });
+    }
+
+    /// Record one intra-cell triangle over slots `r` (candidates with
+    /// any pair distance `< reach2`, scanned in `i < j` order). No-op
+    /// for cells with fewer than two slots.
+    pub fn record_intra(
+        &mut self,
+        soa: &SoaField,
+        r: Range<usize>,
+        reach2: f64,
+        ca: u8,
+        bucket: u32,
+    ) {
+        if r.len() < 2 {
+            return;
+        }
+        let start = self.pairs.len() as u32;
+        for i in r.clone() {
+            for j in (i + 1)..r.end {
+                let rx = soa.xs[j] - soa.xs[i];
+                let ry = soa.ys[j] - soa.ys[i];
+                let rz = soa.zs[j] - soa.zs[i];
+                if rx * rx + ry * ry + rz * rz < reach2 {
+                    self.pairs.push((i as u32, j as u32));
+                }
+            }
+        }
+        let n = r.len() as u64;
+        self.segs.push(Segment {
+            kind: SegKind::Intra,
+            ca,
+            cb: ca,
+            bucket,
+            start,
+            end: self.pairs.len() as u32,
+            shift: Vec3::ZERO,
+            occ: n * (n - 1),
+        });
+    }
+
+    /// Record one external-pull sweep over slots `r`. No-op for empty
+    /// ranges; recorded even when the pull is currently `None` (replay
+    /// checks, so enabling a pull later needs no list rebuild).
+    pub fn record_pull(&mut self, r: Range<usize>, ca: u8, bucket: u32) {
+        if r.is_empty() {
+            return;
+        }
+        self.segs.push(Segment {
+            kind: SegKind::Pull,
+            ca,
+            cb: ca,
+            bucket,
+            start: r.start as u32,
+            end: r.end as u32,
+            shift: Vec3::ZERO,
+            occ: 0,
+        });
+    }
+
+    /// Replay the recording against the positions in `soa`, accumulating
+    /// forces there and work into `work[segment.bucket]`. The `policy`
+    /// closure decides, per segment, what to store and credit (`None`
+    /// skips the segment entirely); passing
+    /// `|_| Some(SegAction::fused())` reproduces the fused walk.
+    pub fn replay<F>(
+        &self,
+        kernel: &PairKernel,
+        pull: &ExternalPull,
+        box_len: f64,
+        soa: &mut SoaField,
+        mut policy: F,
+        work: &mut [WorkCounters],
+    ) where
+        F: FnMut(&Segment) -> Option<SegAction>,
+    {
+        let rcut2 = kernel.lj.rcut2();
+        for seg in &self.segs {
+            let Some(act) = policy(seg) else { continue };
+            let w = &mut work[seg.bucket as usize];
+            match seg.kind {
+                SegKind::Intra => {
+                    if !act.run_home {
+                        continue;
+                    }
+                    w.pair_checks += seg.occ;
+                    for &(i, j) in &self.pairs[seg.start as usize..seg.end as usize] {
+                        let (i, j) = (i as usize, j as usize);
+                        let rx = soa.xs[j] - soa.xs[i];
+                        let ry = soa.ys[j] - soa.ys[i];
+                        let rz = soa.zs[j] - soa.zs[i];
+                        let r2 = rx * rx + ry * ry + rz * rz;
+                        if r2 < rcut2 {
+                            w.interacting_pairs += 2;
+                            let for_r = kernel.lj.force_over_r_r2(r2);
+                            let (fx, fy, fz) = (rx * for_r, ry * for_r, rz * for_r);
+                            soa.fxs[i] -= fx;
+                            soa.fys[i] -= fy;
+                            soa.fzs[i] -= fz;
+                            soa.fxs[j] += fx;
+                            soa.fys[j] += fy;
+                            soa.fzs[j] += fz;
+                            w.potential += kernel.lj.energy_r2(r2);
+                            w.virial += for_r * r2;
+                        }
+                    }
+                }
+                SegKind::Pair => {
+                    if !act.sa && !act.sb {
+                        continue;
+                    }
+                    let stores = act.sa as u64 + act.sb as u64;
+                    w.pair_checks += stores * seg.occ;
+                    self.replay_pair_block(kernel, seg, act, stores, rcut2, soa, w);
+                }
+                SegKind::Pull => {
+                    if !act.run_home || pull.is_none() {
+                        continue;
+                    }
+                    for slot in seg.start as usize..seg.end as usize {
+                        let p = soa.pos(slot);
+                        soa.add_force(slot, pull.force(p, box_len));
+                        w.potential += pull.energy(p, box_len);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The pair-segment inner loop: recorded candidates in walk order,
+    /// the AoS kernel's exact expressions. Under the `simd` feature the
+    /// distance math runs in 4-wide batches with scalar-order stores
+    /// (bitwise identical to the scalar fallback).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn replay_pair_block(
+        &self,
+        kernel: &PairKernel,
+        seg: &Segment,
+        act: SegAction,
+        stores: u64,
+        rcut2: f64,
+        soa: &mut SoaField,
+        w: &mut WorkCounters,
+    ) {
+        let ps = &self.pairs[seg.start as usize..seg.end as usize];
+        let (sx, sy, sz) = (seg.shift.x, seg.shift.y, seg.shift.z);
+        #[cfg(feature = "simd")]
+        {
+            const LANES: usize = 4;
+            let mut k = 0;
+            while k + LANES <= ps.len() {
+                let mut rxs = [0.0f64; LANES];
+                let mut rys = [0.0f64; LANES];
+                let mut rzs = [0.0f64; LANES];
+                let mut r2s = [0.0f64; LANES];
+                for l in 0..LANES {
+                    let (i, j) = (ps[k + l].0 as usize, ps[k + l].1 as usize);
+                    let rx = (soa.xs[j] + sx) - soa.xs[i];
+                    let ry = (soa.ys[j] + sy) - soa.ys[i];
+                    let rz = (soa.zs[j] + sz) - soa.zs[i];
+                    rxs[l] = rx;
+                    rys[l] = ry;
+                    rzs[l] = rz;
+                    r2s[l] = rx * rx + ry * ry + rz * rz;
+                }
+                for l in 0..LANES {
+                    if r2s[l] < rcut2 {
+                        let (i, j) = (ps[k + l].0 as usize, ps[k + l].1 as usize);
+                        pair_hit(
+                            kernel, soa, i, j, rxs[l], rys[l], rzs[l], r2s[l], act, stores, w,
+                        );
+                    }
+                }
+                k += LANES;
+            }
+            for &(i, j) in &ps[k..] {
+                let (i, j) = (i as usize, j as usize);
+                let rx = (soa.xs[j] + sx) - soa.xs[i];
+                let ry = (soa.ys[j] + sy) - soa.ys[i];
+                let rz = (soa.zs[j] + sz) - soa.zs[i];
+                let r2 = rx * rx + ry * ry + rz * rz;
+                if r2 < rcut2 {
+                    pair_hit(kernel, soa, i, j, rx, ry, rz, r2, act, stores, w);
+                }
+            }
+        }
+        #[cfg(not(feature = "simd"))]
+        for &(i, j) in ps {
+            let (i, j) = (i as usize, j as usize);
+            let rx = (soa.xs[j] + sx) - soa.xs[i];
+            let ry = (soa.ys[j] + sy) - soa.ys[i];
+            let rz = (soa.zs[j] + sz) - soa.zs[i];
+            let r2 = rx * rx + ry * ry + rz * rz;
+            if r2 < rcut2 {
+                pair_hit(kernel, soa, i, j, rx, ry, rz, r2, act, stores, w);
+            }
+        }
+    }
+
+    /// Exhaustive O(N²) completeness audit (test/sentinel use only):
+    /// counts slot pairs within `rcut` (minimum-image) that involve at
+    /// least one owned slot but were not recorded. A correct build over
+    /// a ghost shell of depth ≥ `r_c + skin` returns 0 for the whole
+    /// epoch; a shell of depth `r_c` only starts missing pairs as soon
+    /// as particles drift — which is exactly what the negative shell
+    /// test asserts.
+    pub fn audit_missing(&self, soa: &SoaField, box_len: f64, rcut: f64) -> usize {
+        let mut have: Vec<(u32, u32)> = self
+            .pairs
+            .iter()
+            .map(|&(i, j)| if i < j { (i, j) } else { (j, i) })
+            .collect();
+        have.sort_unstable();
+        have.dedup();
+        let rcut2 = rcut * rcut;
+        let mut missing = 0;
+        for i in 0..soa.len() {
+            for j in (i + 1)..soa.len() {
+                if i >= soa.n_owned() && j >= soa.n_owned() {
+                    continue;
+                }
+                let d = crate::analysis::minimum_image(soa.pos(j), soa.pos(i), box_len);
+                if d.norm2() < rcut2 && have.binary_search(&(i as u32, j as u32)).is_err() {
+                    missing += 1;
+                }
+            }
+        }
+        missing
+    }
+}
+
+/// Apply one in-range replayed pair — the AoS kernel's hit branch.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn pair_hit(
+    kernel: &PairKernel,
+    soa: &mut SoaField,
+    i: usize,
+    j: usize,
+    rx: f64,
+    ry: f64,
+    rz: f64,
+    r2: f64,
+    act: SegAction,
+    stores: u64,
+    w: &mut WorkCounters,
+) {
+    w.interacting_pairs += stores;
+    let for_r = kernel.lj.force_over_r_r2(r2);
+    let (fx, fy, fz) = (rx * for_r, ry * for_r, rz * for_r);
+    if act.sa {
+        soa.fxs[i] -= fx;
+        soa.fys[i] -= fy;
+        soa.fzs[i] -= fz;
+    }
+    if act.sb {
+        soa.fxs[j] += fx;
+        soa.fys[j] += fy;
+        soa.fzs[j] += fz;
+    }
+    if let Some(c) = act.credit {
+        w.potential += c * kernel.lj.energy_r2(r2);
+        w.virial += c * for_r * r2;
+    }
+}
+
+/// Squared magnitude of the largest *predicted* per-step velocity: for
+/// each particle, the velocity it will drift with this step
+/// (`v + f·Δt/2`, exactly the half-kick [`crate::integrate::kick_drift`]
+/// applies). The per-step displacement bound is then
+/// `Δt·√max` — exact, not an estimate, because the drift is linear.
+///
+/// `f64::max` is order-independent, so a serial max over all particles
+/// equals a max of per-rank maxima bitwise — the property that lets
+/// every rank (and the serial reference) agree on rebuild steps.
+pub fn max_predicted_travel2(parts: &[Particle], forces: &[Vec3], dt: f64) -> f64 {
+    debug_assert_eq!(parts.len(), forces.len());
+    let mut m = 0.0f64;
+    for (p, f) in parts.iter().zip(forces) {
+        let v = p.vel + *f * (0.5 * dt);
+        m = m.max(v.norm2());
+    }
+    m
+}
+
+/// Deterministic accumulated-displacement tracker driving the rebuild
+/// decision: a list built with reach `r_c + skin` stays exhaustive while
+/// every particle is within `skin/2` of its build position, so the walk
+/// is replayed until the accumulated worst-case travel crosses that
+/// bound. All inputs are pure functions of owned+ghost state, so every
+/// rank computes the identical step sequence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DispTracker {
+    acc: f64,
+}
+
+impl DispTracker {
+    /// Fresh tracker (zero accumulated travel — a rebuild boundary).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one step's global max predicted travel (squared).
+    pub fn advance(&mut self, max_travel2: f64, dt: f64) {
+        self.acc += dt * max_travel2.sqrt();
+    }
+
+    /// True when accumulated travel exceeds `skin/2`.
+    pub fn exceeds(&self, skin: f64) -> bool {
+        self.acc > 0.5 * skin
+    }
+
+    /// Accumulated worst-case travel since the last reset.
+    pub fn accumulated(&self) -> f64 {
+        self.acc
+    }
+
+    /// Reset at a rebuild boundary.
+    pub fn reset(&mut self) {
+        self.acc = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::{CellGrid, HALF_OFFSETS_13};
+    use crate::init;
+    use crate::lj::LennardJones;
+    use crate::serial::compute_forces_half_shell;
+
+    fn gas_grid(n: usize, nc: usize, box_len: f64, seed: u64) -> CellGrid {
+        let mut ps = init::simple_cubic(n, box_len);
+        init::maxwell_boltzmann(&mut ps, 0.722, seed);
+        let mut grid = CellGrid::new(nc, box_len);
+        for p in ps {
+            grid.insert(p);
+        }
+        grid.canonicalize();
+        grid
+    }
+
+    /// Record the serial walk over `grid` into `list` (single bucket 0,
+    /// single class 0).
+    fn record_walk(grid: &CellGrid, soa: &mut SoaField, list: &mut VerletList, reach: f64) {
+        let n = grid.num_particles();
+        soa.reset(n, n);
+        soa.load_positions(0, grid.particles());
+        list.clear();
+        let reach2 = reach * reach;
+        for idx in 0..grid.total_cells() {
+            let hr = grid.cell_range(idx);
+            if hr.is_empty() {
+                continue;
+            }
+            let home = grid.coord_of(idx);
+            list.record_intra(soa, hr.clone(), reach2, 0, 0);
+            for offset in HALF_OFFSETS_13 {
+                let (ncell, shift) = grid.wrap_neighbor(home, offset);
+                let nr = grid.cell_range(grid.index(ncell));
+                if nr.is_empty() {
+                    continue;
+                }
+                list.record_pair(soa, hr.clone(), nr, shift, reach2, 0, 0, 0);
+            }
+            list.record_pull(hr, 0, 0);
+        }
+    }
+
+    #[test]
+    fn replay_is_bitwise_identical_to_walk() {
+        // cell_len = 3.0 ≥ rcut 2.5 + skin 0.4: a verlet-valid geometry.
+        let grid = gas_grid(400, 4, 12.0, 1);
+        let kernel = PairKernel::new(LennardJones::paper());
+        let skin = 0.4;
+        for pull in [ExternalPull::None, ExternalPull::Center { k: 0.02 }] {
+            let mut walk_forces = Vec::new();
+            let w_walk = compute_forces_half_shell(&grid, &kernel, &pull, &mut walk_forces);
+            let mut soa = SoaField::new();
+            let mut list = VerletList::new();
+            record_walk(&grid, &mut soa, &mut list, kernel.lj.rcut + skin);
+            soa.zero_forces();
+            let mut work = [WorkCounters::default()];
+            list.replay(
+                &kernel,
+                &pull,
+                grid.box_len(),
+                &mut soa,
+                |_| Some(SegAction::fused()),
+                &mut work,
+            );
+            let mut replay_forces = Vec::new();
+            soa.fold_forces(&mut replay_forces);
+            assert_eq!(walk_forces, replay_forces);
+            assert_eq!(w_walk.pair_checks, work[0].pair_checks);
+            assert_eq!(w_walk.interacting_pairs, work[0].interacting_pairs);
+            assert_eq!(w_walk.potential.to_bits(), work[0].potential.to_bits());
+            assert_eq!(w_walk.virial.to_bits(), work[0].virial.to_bits());
+        }
+    }
+
+    #[test]
+    fn replay_stays_bitwise_through_sub_half_skin_drift() {
+        // Drift every particle by less than skin/2 (no rebin, unwrapped
+        // positions) and check replay still matches a frozen-binning walk.
+        let mut grid = gas_grid(300, 4, 12.0, 2);
+        let kernel = PairKernel::new(LennardJones::paper());
+        let skin = 0.5;
+        let mut soa = SoaField::new();
+        let mut list = VerletList::new();
+        record_walk(&grid, &mut soa, &mut list, kernel.lj.rcut + skin);
+        // Deterministic sub-skin/2 displacement field; no rebinning, so
+        // the frozen walk and the replay see the same cell structure.
+        for (k, p) in grid.particles_mut().iter_mut().enumerate() {
+            let s = 0.2 * ((k % 7) as f64 / 7.0 - 0.5);
+            p.pos += Vec3::new(s, -s, 0.5 * s);
+        }
+        let mut walk_forces = Vec::new();
+        let w_walk =
+            compute_forces_half_shell(&grid, &kernel, &ExternalPull::None, &mut walk_forces);
+        soa.load_positions(0, grid.particles());
+        soa.zero_forces();
+        let mut work = [WorkCounters::default()];
+        list.replay(
+            &kernel,
+            &ExternalPull::None,
+            grid.box_len(),
+            &mut soa,
+            |_| Some(SegAction::fused()),
+            &mut work,
+        );
+        let mut replay_forces = Vec::new();
+        soa.fold_forces(&mut replay_forces);
+        assert_eq!(walk_forces, replay_forces);
+        assert_eq!(w_walk.potential.to_bits(), work[0].potential.to_bits());
+        assert_eq!(w_walk.pair_checks, work[0].pair_checks);
+    }
+
+    #[test]
+    fn audit_finds_no_missing_pairs_for_valid_reach() {
+        let grid = gas_grid(200, 4, 12.0, 3);
+        let kernel = PairKernel::new(LennardJones::paper());
+        let mut soa = SoaField::new();
+        let mut list = VerletList::new();
+        record_walk(&grid, &mut soa, &mut list, kernel.lj.rcut + 0.5);
+        assert_eq!(list.audit_missing(&soa, grid.box_len(), kernel.lj.rcut), 0);
+    }
+
+    #[test]
+    fn audit_catches_a_too_thin_reach_after_drift() {
+        // Build with reach = r_c only (the too-thin shell), then drift:
+        // pairs crossing the cutoff from just outside are missed, and the
+        // audit reports them.
+        let mut grid = gas_grid(300, 4, 12.0, 4);
+        // Knock the lattice off-grid so pair distances fill the shell just
+        // above the cutoff (a perfect lattice has no pairs in (2.5, 2.9)).
+        for (k, p) in grid.particles_mut().iter_mut().enumerate() {
+            let h = |m: usize| ((k.wrapping_mul(m) % 97) as f64 / 97.0 - 0.5) * 0.5;
+            p.pos = (p.pos + Vec3::new(h(31), h(53), h(71))).rem_euclid(12.0);
+        }
+        grid.rebin();
+        let kernel = PairKernel::new(LennardJones::paper());
+        let mut soa = SoaField::new();
+        let mut list = VerletList::new();
+        record_walk(&grid, &mut soa, &mut list, kernel.lj.rcut);
+        assert_eq!(
+            list.audit_missing(&soa, grid.box_len(), kernel.lj.rcut),
+            0,
+            "at build time even the thin list is complete"
+        );
+        // Drift particles toward each other by up to 0.2σ.
+        for (k, p) in grid.particles_mut().iter_mut().enumerate() {
+            let s = 0.2 * ((k % 5) as f64 / 5.0 - 0.5);
+            p.pos += Vec3::new(s, s, -s);
+        }
+        soa.load_positions(0, grid.particles());
+        assert!(
+            list.audit_missing(&soa, grid.box_len(), kernel.lj.rcut) > 0,
+            "a reach of r_c only must start missing pairs once particles drift"
+        );
+    }
+
+    #[test]
+    fn tracker_crosses_half_skin_deterministically() {
+        let mut t = DispTracker::new();
+        let dt = 0.005;
+        // One particle moving at |v| = 10 → travel 0.05 per step.
+        let parts = [Particle {
+            id: 0,
+            pos: Vec3::ZERO,
+            vel: Vec3::new(10.0, 0.0, 0.0),
+        }];
+        let forces = [Vec3::ZERO];
+        let skin = 0.4; // skin/2 = 0.2 → 5th step crosses (0.25 > 0.2)
+        let mut crossed_at = None;
+        for step in 1..=10 {
+            t.advance(max_predicted_travel2(&parts, &forces, dt), dt);
+            if t.exceeds(skin) {
+                crossed_at = Some(step);
+                break;
+            }
+        }
+        assert_eq!(crossed_at, Some(5));
+        t.reset();
+        assert_eq!(t.accumulated(), 0.0);
+        assert!(!t.exceeds(skin));
+    }
+
+    #[test]
+    fn rebuild_only_records_nonempty_blocks() {
+        let mut soa = SoaField::new();
+        soa.reset(4, 4);
+        let mut list = VerletList::new();
+        list.record_pair(&soa, 0..0, 0..4, Vec3::ZERO, 1.0, 0, 0, 0);
+        list.record_intra(&soa, 2..3, 1.0, 0, 0);
+        list.record_pull(1..1, 0, 0);
+        assert!(list.is_empty(), "empty blocks must not record segments");
+        list.record_pull(0..2, 0, 0);
+        assert_eq!(list.num_segments(), 1);
+    }
+}

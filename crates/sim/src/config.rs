@@ -234,6 +234,20 @@ pub struct RunConfig {
     /// runs — a seeded lossy-transport profile. The default preserves the
     /// compiled-in constants (and a perfect in-process transport).
     pub comm: CommConfig,
+    /// Verlet skin radius added to the cutoff for neighbour discovery.
+    /// `0` (the default) rebins and re-exchanges every step — the
+    /// historical behaviour, bit-for-bit. With `skin > 0` the binning,
+    /// ownership and ghost shells freeze between rebuild steps (skin
+    /// epochs): a rebuild fires only when the deterministic global
+    /// max-displacement tracker crosses `skin/2` (or on the checkpoint
+    /// cadence). Requires `cell_len ≥ r_c + skin` so the one-cell-deep
+    /// ghost shell stays exhaustive over a whole epoch.
+    pub skin: f64,
+    /// Replay forces through the Verlet segment list recorded at each
+    /// rebuild instead of re-walking the frozen binning. Bitwise
+    /// identical either way; the replay skips far pairs. Requires
+    /// `skin > 0`.
+    pub verlet: bool,
 }
 
 impl RunConfig {
@@ -268,6 +282,8 @@ impl RunConfig {
             speed_aware: false,
             ghost_desync_inject: None,
             comm: CommConfig::default(),
+            skin: 0.0,
+            verlet: false,
         }
     }
 
@@ -410,6 +426,21 @@ impl RunConfig {
                 s.amplitude
             );
         }
+        assert!(self.skin >= 0.0, "skin must be non-negative");
+        assert!(
+            !self.verlet || self.skin > 0.0,
+            "verlet replay requires a positive skin"
+        );
+        if self.skin > 0.0 {
+            assert!(
+                self.cell_len() >= self.lj.rcut + self.skin - 1e-12,
+                "cell length {:.4} below cutoff {} + skin {}: the one-cell \
+                 ghost shell cannot stay exhaustive over a skin epoch",
+                self.cell_len(),
+                self.lj.rcut,
+                self.skin
+            );
+        }
         self.comm.validate();
     }
 }
@@ -531,6 +562,36 @@ mod tests {
     fn zero_speed_factors_rejected() {
         let mut c = RunConfig::from_p_m_density(9, 2, 0.2);
         c.speed = Some(SpeedSchedule::fixed(vec![1.0, 0.0]));
+        c.validate();
+    }
+
+    #[test]
+    fn skin_with_roomy_cells_validates() {
+        // nc = 6 at ρ chosen so cell_len = 3.0 ≥ 2.5 + 0.4.
+        let n = (0.1 * 18.0f64.powi(3)).round() as usize;
+        let mut c = RunConfig::new(n, 6, 9, 0.1);
+        // box = (n/ρ)^{1/3} ≈ 18 ⇒ cell ≈ 3.0.
+        assert!((c.cell_len() - 3.0).abs() < 0.01, "cell {}", c.cell_len());
+        c.skin = 0.4;
+        c.verlet = true;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot stay exhaustive")]
+    fn skin_on_paper_tight_cells_rejected() {
+        // The paper's cell ≈ 2.56 leaves no room for a 0.4 skin: a ghost
+        // shell one cell deep would be thinner than r_c + skin.
+        let mut c = RunConfig::from_p_m_density(9, 2, 0.256);
+        c.skin = 0.4;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a positive skin")]
+    fn verlet_without_skin_rejected() {
+        let mut c = RunConfig::from_p_m_density(9, 2, 0.2);
+        c.verlet = true;
         c.validate();
     }
 

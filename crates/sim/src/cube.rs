@@ -23,10 +23,11 @@ use std::sync::Arc;
 
 use pcdlb_md::cells::HALF_OFFSETS_13;
 use pcdlb_md::force::{PairKernel, WorkCounters};
-use pcdlb_md::integrate::{kick, kick_drift};
+use pcdlb_md::integrate::{kick, kick_drift, kick_drift_nowrap};
 use pcdlb_md::observe;
 use pcdlb_md::vec3::Vec3;
-use pcdlb_md::{axis_bin, Particle};
+use pcdlb_md::verlet::{self, DispTracker, SegAction, SegKind, VerletList};
+use pcdlb_md::{axis_bin, Particle, SoaField};
 use pcdlb_mp::{collectives, BufferPool, Comm, CostModel, Torus3d, World};
 
 use crate::clock::WallTimer;
@@ -44,6 +45,8 @@ mod tags {
     pub const KE_GATHER: u64 = 60;
     pub const KE_BCAST: u64 = 61;
     pub const SNAPSHOT: u64 = 62;
+    pub const REBUILD_GATHER: u64 = 63;
+    pub const REBUILD_BCAST: u64 = 64;
 }
 
 /// An integer cell-coordinate triple.
@@ -91,6 +94,39 @@ fn dir_index(d: (i64, i64, i64)) -> u64 {
         .expect("direction in DIRS26") as u64
 }
 
+/// Wire class codes for recorded Verlet segments: own vs shell cell.
+const OWNED: u8 = 0;
+const GHOST: u8 = 1;
+
+/// Route sentinel for a decoded ghost this rank skipped (not bordered,
+/// echoed own cell, or claimed by another direction).
+const SKIP: u32 = u32::MAX;
+
+/// Replay policy for the cube's single fused pass: store into interior
+/// sides only, crediting each pair's energy with the `0.5 × owned sides`
+/// weight the live walk's `accumulate_pair` uses.
+fn cube_replay_action(seg: &verlet::Segment) -> Option<SegAction> {
+    match seg.kind {
+        SegKind::Intra | SegKind::Pull => Some(SegAction {
+            sa: true,
+            sb: true,
+            run_home: true,
+            credit: None,
+        }),
+        SegKind::Pair => {
+            let sa = seg.ca == OWNED;
+            let sb = seg.cb == OWNED;
+            debug_assert!(sa || sb, "shell×shell segments are never recorded");
+            Some(SegAction {
+                sa,
+                sb,
+                run_home: false,
+                credit: Some(0.5 * (sa as u64 + sb as u64) as f64),
+            })
+        }
+    }
+}
+
 /// Validate a config for the cube decomposition: `P` a perfect cube whose
 /// side divides `nc`.
 pub fn validate_cube(cfg: &RunConfig) {
@@ -114,6 +150,22 @@ pub fn validate_cube(cfg: &RunConfig) {
         cfg.cell_len(),
         cfg.lj.rcut
     );
+    assert!(cfg.skin >= 0.0, "skin must be non-negative");
+    assert!(
+        !cfg.verlet || cfg.skin > 0.0,
+        "verlet replay requires skin > 0"
+    );
+    if cfg.skin > 0.0 {
+        assert!(
+            cfg.cell_len() >= cfg.lj.rcut + cfg.skin - 1e-12,
+            "cell length {:.4} below widened reach {} (rcut {} + skin {}): \
+             the one-cell halo shell would go stale mid-epoch",
+            cfg.cell_len(),
+            cfg.lj.rcut + cfg.skin,
+            cfg.lj.rcut,
+            cfg.skin
+        );
+    }
     assert!(
         k >= 2,
         "cube decomposition needs at least 2 blocks per axis"
@@ -159,6 +211,26 @@ struct CubePe {
     /// directions with identical content, so the first direction to
     /// deliver into a halo slot claims it and later directions skip.
     halo_seen: Vec<u8>,
+    /// Displacement tracker driving the skin-epoch rebuild schedule.
+    tracker: DispTracker,
+    /// Whether the current step re-binds the world (always `true` with
+    /// `skin == 0`, the historical every-step behaviour).
+    rebuild_now: bool,
+    /// SoA position/force mirror the Verlet replay runs over.
+    soa: SoaField,
+    /// Recorded Verlet segment list (`verlet` mode only).
+    vlist: VerletList,
+    /// SoA base of each halo cell (`usize::MAX` until the first rebuild
+    /// lays the field out); interior cells first in `force_index` order,
+    /// shell cells appended — frozen between rebuilds.
+    soa_cell_base: Vec<usize>,
+    /// Per-direction mid-epoch ghost routes, recorded at rebuild: for
+    /// each decode position, the halo cell it was stored in and its slot
+    /// there (`(SKIP, 0)` for entries this rank dropped).
+    ghost_routes: Vec<Vec<(u32, u32)>>,
+    /// Flat owned-force buffer the SoA fold lands in before the per-cell
+    /// scatter (`verlet` mode only).
+    fold_buf: Vec<Vec3>,
     last_work: WorkCounters,
     last_force_virtual: f64,
     last_force_wall: f64,
@@ -189,6 +261,13 @@ impl CubePe {
             rx_chan: (0..26).map(|_| DeltaChannel::default()).collect(),
             decode_scratch: Vec::new(),
             halo_seen: vec![0; halo],
+            tracker: DispTracker::new(),
+            rebuild_now: true,
+            soa: SoaField::new(),
+            vlist: VerletList::new(),
+            soa_cell_base: vec![usize::MAX; halo],
+            ghost_routes: vec![Vec::new(); 26],
+            fold_buf: Vec::new(),
             last_work: WorkCounters::default(),
             last_force_virtual: 0.0,
             last_force_wall: 0.0,
@@ -270,20 +349,62 @@ impl CubePe {
             .sum()
     }
 
-    /// Phase 1: half-kick + drift.
+    /// Phase 1: half-kick + drift. Mid-epoch (frozen binning) the drift
+    /// skips the periodic wrap — the frozen halo shifts already account
+    /// for images, and the rebuild step re-wraps everything.
     fn kick_drift_all(&mut self) {
         let dt = self.cfg.dt;
         let box_len = self.box_len;
+        let wrap = self.rebuild_now;
         let locals: Vec<_> = self.interior_locals().collect();
         for l in locals {
             let fi = self.force_index(l);
             let ci = self.halo_index(l);
             let fs = std::mem::take(&mut self.forces[fi]);
             for (q, f) in self.cells[ci].iter_mut().zip(&fs) {
-                kick_drift(q, *f, dt, box_len);
+                if wrap {
+                    kick_drift(q, *f, dt, box_len);
+                } else {
+                    kick_drift_nowrap(q, *f, dt);
+                }
             }
             self.forces[fi] = fs;
         }
+    }
+
+    /// Rebuild-decision collective (`skin > 0` only): fold the owned
+    /// particles' predicted per-step travel into a local max, gather to
+    /// rank 0, fold with `f64::max` (order-independent, so the global
+    /// max is bitwise the serial whole-system max), broadcast, and
+    /// advance the replicated displacement tracker. Every rank — and the
+    /// serial reference — picks the identical rebuild-step sequence.
+    fn rebuild_decide(&mut self, comm: &mut Comm, step: u64) -> bool {
+        if self.cfg.skin == 0.0 {
+            return true;
+        }
+        let mut local = 0.0f64;
+        let locals: Vec<_> = self.interior_locals().collect();
+        for l in locals {
+            let fi = self.force_index(l);
+            let ci = self.halo_index(l);
+            local = local.max(verlet::max_predicted_travel2(
+                &self.cells[ci],
+                &self.forces[fi],
+                self.cfg.dt,
+            ));
+        }
+        let root = collectives::gather(comm, tags::REBUILD_GATHER, local)
+            .map(|locals| locals.into_iter().fold(0.0f64, f64::max));
+        let gmax2 = collectives::bcast(comm, tags::REBUILD_BCAST, root);
+        self.tracker.advance(gmax2, self.cfg.dt);
+        let forced =
+            self.cfg.checkpoint_interval > 0 && step.is_multiple_of(self.cfg.checkpoint_interval);
+        let rebuild = forced || self.tracker.exceeds(self.cfg.skin);
+        if rebuild {
+            self.tracker.reset();
+        }
+        self.rebuild_now = rebuild;
+        rebuild
     }
 
     /// Phase 2: migration to the 26 neighbours.
@@ -372,24 +493,27 @@ impl CubePe {
     /// [`DeltaChannel`]. The receiver re-bins each ghost by its position
     /// (the same `axis_bin` the sender binned it with, so the mapping is
     /// exact) and re-derives the halo slot via `local_of_global`.
-    fn exchange_ghosts(&mut self, comm: &mut Comm) {
-        // Clear the halo shell and the per-step claim stamps.
+    fn exchange_ghosts(&mut self, comm: &mut Comm, rebuild: bool) {
         let s = self.s as i64;
-        let shell: Vec<usize> = (-1..=s)
-            .flat_map(|i| {
-                (-1..=s).flat_map(move |j| {
-                    (-1..=s).filter_map(move |l| {
-                        let on_shell = i == -1 || i == s || j == -1 || j == s || l == -1 || l == s;
-                        on_shell.then_some((i, j, l))
+        if rebuild {
+            // Clear the halo shell and the per-step claim stamps.
+            let shell: Vec<usize> = (-1..=s)
+                .flat_map(|i| {
+                    (-1..=s).flat_map(move |j| {
+                        (-1..=s).filter_map(move |l| {
+                            let on_shell =
+                                i == -1 || i == s || j == -1 || j == s || l == -1 || l == s;
+                            on_shell.then_some((i, j, l))
+                        })
                     })
                 })
-            })
-            .map(|l| self.halo_index(l))
-            .collect();
-        for idx in shell {
-            self.cells[idx].clear();
+                .map(|l| self.halo_index(l))
+                .collect();
+            for idx in shell {
+                self.cells[idx].clear();
+            }
+            self.halo_seen.iter_mut().for_each(|x| *x = 0);
         }
-        self.halo_seen.iter_mut().for_each(|x| *x = 0);
 
         let delta_ok = self.cfg.delta_ghosts;
         let k = self.torus;
@@ -422,6 +546,7 @@ impl CubePe {
             comm.send(peer, tags::GHOST_BASE + di as u64, Arc::clone(&buf));
             self.ghost_pool.checkin(buf);
         }
+        let record_routes = rebuild && self.cfg.skin > 0.0;
         for (di, d) in DIRS26.iter().enumerate() {
             let peer = k.neighbor(self.rank, d.0, d.1, d.2);
             let opp = dir_index((-d.0, -d.1, -d.2));
@@ -431,28 +556,56 @@ impl CubePe {
             self.rx_chan[di]
                 .decode_into(&frame, &mut self.decode_scratch)
                 .expect("cube ghost streams never desynchronise");
+            if !rebuild {
+                // Frozen epoch: same ids in the same frame order (the
+                // sender's boundary cells are frozen too) — refresh the
+                // claimed ghosts' positions in place through the routes
+                // recorded at the last rebuild.
+                debug_assert_eq!(self.decode_scratch.len(), self.ghost_routes[di].len());
+                for (&(id, pos), &(idx, slot)) in
+                    self.decode_scratch.iter().zip(&self.ghost_routes[di])
+                {
+                    if idx == SKIP {
+                        continue;
+                    }
+                    let q = &mut self.cells[idx as usize][slot as usize];
+                    debug_assert_eq!(q.id, id, "ghost stream membership changed mid-epoch");
+                    q.pos = pos;
+                }
+                continue;
+            }
+            if record_routes {
+                self.ghost_routes[di].clear();
+            }
             for &(id, pos) in &self.decode_scratch {
-                let g = self.global_cell(pos);
-                let Some(nl) = self.local_of_global(g) else {
-                    continue; // a shared slab cell this rank doesn't border
+                let stored = 'store: {
+                    let g = self.global_cell(pos);
+                    let Some(nl) = self.local_of_global(g) else {
+                        break 'store None; // a shared slab cell this rank doesn't border
+                    };
+                    if self.is_interior(nl) {
+                        break 'store None; // own cell echoed back on tiny tori
+                    }
+                    let idx = self.halo_index(nl);
+                    // On a k = 2 torus the same canonical cell arrives from
+                    // several directions with identical content; the first
+                    // direction to deliver into a slot claims it, so no
+                    // ghost is stored twice. Decode order is ascending id,
+                    // so each claimed cell ends id-sorted — the same order
+                    // the block frames used to deliver.
+                    let claim = di as u8 + 1;
+                    if self.halo_seen[idx] == 0 {
+                        self.halo_seen[idx] = claim;
+                    } else if self.halo_seen[idx] != claim {
+                        break 'store None;
+                    }
+                    let slot = self.cells[idx].len() as u32;
+                    self.cells[idx].push(Particle::at_rest(id, pos));
+                    Some((idx as u32, slot))
                 };
-                if self.is_interior(nl) {
-                    continue; // own cell echoed back on tiny tori
+                if record_routes {
+                    self.ghost_routes[di].push(stored.unwrap_or((SKIP, 0)));
                 }
-                let idx = self.halo_index(nl);
-                // On a k = 2 torus the same canonical cell arrives from
-                // several directions with identical content; the first
-                // direction to deliver into a slot claims it, so no
-                // ghost is stored twice. Decode order is ascending id,
-                // so each claimed cell ends id-sorted — the same order
-                // the block frames used to deliver.
-                let claim = di as u8 + 1;
-                if self.halo_seen[idx] == 0 {
-                    self.halo_seen[idx] = claim;
-                } else if self.halo_seen[idx] != claim {
-                    continue;
-                }
-                self.cells[idx].push(Particle::at_rest(id, pos));
             }
         }
     }
@@ -468,6 +621,9 @@ impl CubePe {
     /// other PEs' work. The shift comes from wrapping the canonical global
     /// home coordinate, exactly like `CellGrid::wrap_neighbor`.
     fn compute_forces(&mut self) {
+        if self.cfg.verlet {
+            return self.compute_forces_verlet();
+        }
         let t0 = WallTimer::start();
         let mut work = WorkCounters::default();
         let pull = self.cfg.pull();
@@ -601,6 +757,187 @@ impl CubePe {
         };
     }
 
+    /// Phase 4, `verlet` mode: replay the segment list recorded at the
+    /// last rebuild over the SoA mirror, then fold the flat owned forces
+    /// and scatter them back into the per-cell arrays. Rebuild steps
+    /// re-record the list with the exact walk [`CubePe::compute_forces`]
+    /// performs (reach widened to `r_c + skin`); mid-epoch passes just
+    /// refresh the frozen-layout positions.
+    fn compute_forces_verlet(&mut self) {
+        let t0 = WallTimer::start();
+        if self.rebuild_now {
+            self.rebuild_verlet();
+        } else {
+            self.soa.zero_forces();
+            for idx in 0..self.cells.len() {
+                let b = self.soa_cell_base[idx];
+                if b != usize::MAX {
+                    self.soa.load_positions(b, &self.cells[idx]);
+                }
+            }
+        }
+        let pull = self.cfg.pull();
+        let mut work = [WorkCounters::default()];
+        self.vlist.replay(
+            &self.kernel,
+            &pull,
+            self.box_len,
+            &mut self.soa,
+            cube_replay_action,
+            &mut work,
+        );
+        let mut fold = std::mem::take(&mut self.fold_buf);
+        self.soa.fold_forces(&mut fold);
+        let locals: Vec<_> = self.interior_locals().collect();
+        for l in locals {
+            let fi = self.force_index(l);
+            let ci = self.halo_index(l);
+            let b = self.soa_cell_base[ci];
+            let n = self.cells[ci].len();
+            self.forces[fi].clear();
+            self.forces[fi].extend_from_slice(&fold[b..b + n]);
+        }
+        self.fold_buf = fold;
+        self.last_work = work[0];
+        self.last_force_wall = t0.elapsed_s();
+        self.last_force_virtual = match self.cfg.load_metric {
+            LoadMetric::WorkModel { sec_per_pair } => work[0].pair_checks as f64 * sec_per_pair,
+            LoadMetric::WallClock => self.last_force_wall,
+        };
+    }
+
+    /// Re-record the Verlet segment list at a rebuild step: lay the SoA
+    /// out over the halo (interior cells first in `force_index` order —
+    /// the fold layout — shell cells appended in canonical home order),
+    /// then run the exact canonical-global-order walk of
+    /// [`CubePe::compute_forces`] with the widened reach, recording
+    /// every kernel block with its interior/shell side classes.
+    fn rebuild_verlet(&mut self) {
+        let s = self.s as i64;
+        let nc = self.nc as i64;
+        let box_len = self.box_len;
+        let origin = (
+            self.origin.0 as i64,
+            self.origin.1 as i64,
+            self.origin.2 as i64,
+        );
+        let w = s + 2;
+        let halo_index = |l: (i64, i64, i64)| -> usize {
+            (((l.0 + 1) * w + (l.1 + 1)) * w + (l.2 + 1)) as usize
+        };
+        let interior = |l: (i64, i64, i64)| {
+            (0..s).contains(&l.0) && (0..s).contains(&l.1) && (0..s).contains(&l.2)
+        };
+        let global1 = |o: i64, loc: i64| (o + loc).rem_euclid(nc);
+        let shift1 = |g: i64, d: i64| -> f64 {
+            let v = g + d;
+            if v < 0 {
+                -box_len
+            } else if v >= nc {
+                box_len
+            } else {
+                0.0
+            }
+        };
+        let mut homes: Vec<(I3, I3)> = Vec::new();
+        for i in -1..=s {
+            for j in -1..=s {
+                for l in -1..=s {
+                    let loc = (i, j, l);
+                    let g = (
+                        global1(origin.0, i),
+                        global1(origin.1, j),
+                        global1(origin.2, l),
+                    );
+                    homes.push((g, loc));
+                }
+            }
+        }
+        homes.sort_unstable_by_key(|&(g, _)| g);
+        // SoA layout: interior cells in force_index order (= the fold
+        // scatter order), then shell cells in canonical home order.
+        self.soa_cell_base.iter_mut().for_each(|b| *b = usize::MAX);
+        let mut total = 0usize;
+        for i in 0..s {
+            for j in 0..s {
+                for l in 0..s {
+                    let idx = halo_index((i, j, l));
+                    self.soa_cell_base[idx] = total;
+                    total += self.cells[idx].len();
+                }
+            }
+        }
+        let n_owned = total;
+        for &(_, loc) in &homes {
+            if !interior(loc) {
+                let idx = halo_index(loc);
+                self.soa_cell_base[idx] = total;
+                total += self.cells[idx].len();
+            }
+        }
+        self.soa.reset(n_owned, total);
+        for idx in 0..self.cells.len() {
+            let b = self.soa_cell_base[idx];
+            if b != usize::MAX {
+                self.soa.load_positions(b, &self.cells[idx]);
+            }
+        }
+        self.vlist.clear();
+        let reach = self.kernel.lj.rcut + self.cfg.skin;
+        let reach2 = reach * reach;
+        let cells = &self.cells;
+        let soa_cell_base = &self.soa_cell_base;
+        for &(g, loc) in &homes {
+            let hi = halo_index(loc);
+            let hlen = cells[hi].len();
+            if hlen == 0 {
+                continue;
+            }
+            let hb = soa_cell_base[hi];
+            let own_home = interior(loc);
+            let hcode = if own_home { OWNED } else { GHOST };
+            let habs = hb..hb + hlen;
+            if own_home {
+                self.vlist
+                    .record_intra(&self.soa, habs.clone(), reach2, hcode, 0);
+            }
+            for &(dx, dy, dz) in HALF_OFFSETS_13.iter() {
+                let nl = (loc.0 + dx, loc.1 + dy, loc.2 + dz);
+                let in_halo = (-1..=s).contains(&nl.0)
+                    && (-1..=s).contains(&nl.1)
+                    && (-1..=s).contains(&nl.2);
+                if !in_halo {
+                    debug_assert!(!own_home, "interior home must have all halo neighbours");
+                    continue;
+                }
+                let own_nb = interior(nl);
+                if !own_home && !own_nb {
+                    continue; // both on the shell: another PE's pairs
+                }
+                let ni = halo_index(nl);
+                let nlen = cells[ni].len();
+                if nlen == 0 {
+                    continue;
+                }
+                let nb = soa_cell_base[ni];
+                let shift = Vec3::new(shift1(g.0, dx), shift1(g.1, dy), shift1(g.2, dz));
+                self.vlist.record_pair(
+                    &self.soa,
+                    habs.clone(),
+                    nb..nb + nlen,
+                    shift,
+                    reach2,
+                    hcode,
+                    if own_nb { OWNED } else { GHOST },
+                    0,
+                );
+            }
+            if own_home {
+                self.vlist.record_pull(habs, hcode, 0);
+            }
+        }
+    }
+
     fn kick_all(&mut self) {
         let dt = self.cfg.dt;
         let locals: Vec<_> = self.interior_locals().collect();
@@ -644,9 +981,16 @@ impl CubePe {
 
     fn step(&mut self, comm: &mut Comm, step: u64) -> Option<StepRecord> {
         let t0 = WallTimer::start();
+        // Rebuild decision first — a pure function of replicated state,
+        // evaluated on the pre-kick velocities and last step's forces,
+        // exactly as the serial reference does.
+        let rebuild = self.rebuild_decide(comm, step);
         self.kick_drift_all();
-        self.migrate(comm);
-        self.exchange_ghosts(comm);
+        // Mid-epoch the binning and halo membership are frozen.
+        if rebuild {
+            self.migrate(comm);
+        }
+        self.exchange_ghosts(comm, rebuild);
         self.compute_forces();
         self.kick_all();
         self.thermostat(comm, step);
@@ -676,7 +1020,7 @@ impl CubePe {
             kinetic,
             transferred: 0,
         };
-        crate::stats::collect_step_record(comm, &self.cfg, step, packet, wall)
+        crate::stats::collect_step_record(comm, &self.cfg, step, packet, wall, self.rebuild_now)
     }
 
     fn gather_snapshot(&self, comm: &mut Comm) -> Option<Vec<Particle>> {
@@ -716,7 +1060,7 @@ fn run_cube_inner(cfg: &RunConfig, want_snapshot: bool) -> (RunReport, Option<Ve
     let mut results: Vec<R> = world.run(|comm| {
         let run_start = WallTimer::start();
         let mut pe = CubePe::new(comm.rank(), cfg);
-        pe.exchange_ghosts(comm);
+        pe.exchange_ghosts(comm, true);
         pe.compute_forces();
         pe.last_comm_virtual = comm.stats().virtual_comm_s;
         let mut records = Vec::new();

@@ -115,6 +115,7 @@ fn absorb_records(h: &mut Fnv1a, report: &RunReport, load_metric: LoadMetric) {
         h.write_f64(r.kinetic);
         h.write_f64(r.potential);
         h.write_f64(r.temperature);
+        h.write_u64(r.rebuilt as u64);
     }
 }
 
@@ -192,6 +193,7 @@ mod tests {
             kinetic: 1.0,
             potential: -1.0,
             temperature: 0.7,
+            rebuilt: true,
         };
         let mut a = RunReport {
             records: vec![rec],

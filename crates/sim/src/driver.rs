@@ -136,7 +136,10 @@ pub fn run_serial(cfg: &RunConfig) -> Vec<Particle> {
 }
 
 /// Construct the serial reference simulator for a config (initial forces
-/// computed, ready to step).
+/// computed, ready to step). Threads the skin/Verlet settings and the
+/// checkpoint cadence through, so the serial rebuild-step sequence is
+/// the identical pure function the parallel ranks agree on — bitwise
+/// parity includes the epoch schedule.
 pub fn serial_sim(cfg: &RunConfig) -> pcdlb_md::SerialSim {
     let mut sim = pcdlb_md::SerialSim::new(
         crate::pe::initial_particles(cfg),
@@ -148,6 +151,10 @@ pub fn serial_sim(cfg: &RunConfig) -> pcdlb_md::SerialSim {
     );
     if !cfg.pull().is_none() {
         sim.set_pull(cfg.pull());
+    }
+    if cfg.skin > 0.0 {
+        sim = sim.with_skin(cfg.skin, cfg.verlet);
+        sim.set_forced_rebuild_interval(cfg.checkpoint_interval);
     }
     sim
 }

@@ -261,6 +261,12 @@ where
 {
     cfg.validate();
     plan.validate(cfg);
+    assert!(
+        cfg.skin == 0.0,
+        "elastic resizing does not support skin epochs yet: a resize \
+         boundary re-bins mid-epoch, which would break the frozen-binning \
+         invariant the Verlet replay depends on"
+    );
     assert!(opts.max_attempts > 0, "need at least one attempt");
     let segments = plan.segments(cfg);
     let last_gen = segments.len() - 1;

@@ -48,10 +48,11 @@ use pcdlb_domain::{Col, OwnershipMap, PillarLayout};
 use pcdlb_md::cells::CellSlab;
 use pcdlb_md::checkpoint::Checkpoint;
 use pcdlb_md::force::{disjoint_ranges_mut, PairKernel, WorkCounters};
-use pcdlb_md::integrate::{kick, kick_drift};
+use pcdlb_md::integrate::{kick, kick_drift, kick_drift_nowrap};
 use pcdlb_md::observe;
 use pcdlb_md::vec3::Vec3;
-use pcdlb_md::{axis_bin, init, Particle};
+use pcdlb_md::verlet::{self, DispTracker, SegAction, SegKind, Segment, VerletList};
+use pcdlb_md::{axis_bin, init, Particle, SoaField};
 use pcdlb_mp::{collectives, BufferPool, Comm, WireSize};
 
 use crate::clock::WallTimer;
@@ -117,6 +118,56 @@ fn home_runs_in(pass: ForcePass, class: ColClass) -> bool {
         ForcePass::Fused => true,
         ForcePass::Interior => class == ColClass::Interior,
         ForcePass::Boundary => class != ColClass::Interior,
+    }
+}
+
+/// Wire form of a [`ColClass`] for the recorded Verlet segments.
+fn class_code(class: ColClass) -> u8 {
+    match class {
+        ColClass::Interior => 0,
+        ColClass::Frontier => 1,
+        ColClass::Ghost => 2,
+    }
+}
+
+/// Inverse of [`class_code`].
+fn code_class(code: u8) -> ColClass {
+    match code {
+        0 => ColClass::Interior,
+        1 => ColClass::Frontier,
+        _ => ColClass::Ghost,
+    }
+}
+
+/// The per-pass replay policy: maps a recorded segment (with its home and
+/// neighbour class codes) to the stores/credit the walk in `pass` would
+/// apply — the same `stores_in`/`home_runs_in` rules as the live walk, so
+/// replaying the fused recording per pass reproduces the walk bitwise,
+/// including the full-shell `pair_checks` accounting.
+fn replay_action(pass: ForcePass, seg: &Segment) -> Option<SegAction> {
+    let ca = code_class(seg.ca);
+    match seg.kind {
+        SegKind::Intra | SegKind::Pull => home_runs_in(pass, ca).then_some(SegAction {
+            sa: true,
+            sb: true,
+            run_home: true,
+            credit: None,
+        }),
+        SegKind::Pair => {
+            let cb = code_class(seg.cb);
+            let sa = stores_in(pass, ca);
+            let sb = stores_in(pass, cb);
+            if !sa && !sb {
+                return None;
+            }
+            let owned_sides = (ca != ColClass::Ghost) as u64 + (cb != ColClass::Ghost) as u64;
+            Some(SegAction {
+                sa,
+                sb,
+                run_home: false,
+                credit: home_runs_in(pass, ca).then_some(0.5 * owned_sides as f64),
+            })
+        }
     }
 }
 
@@ -252,6 +303,38 @@ pub struct PeState {
     ghost_staging: BTreeMap<Col, Vec<Particle>>,
     /// Retained delta-decode output scratch.
     ghost_decode: Vec<(u64, Vec3)>,
+    /// Deterministic accumulated-displacement tracker driving the
+    /// rebuild decision (`cfg.skin > 0` only). Fed the *global* max
+    /// predicted travel via the rebuild collective, so every rank holds
+    /// the identical value and rebuilds on the same step.
+    tracker: DispTracker,
+    /// True when the step being computed is a rebuild step (re-bin,
+    /// migrate, DLB, ghost-membership refresh, list re-record). Always
+    /// true with `cfg.skin == 0` — the legacy every-step schedule.
+    rebuild_now: bool,
+    /// SoA position/force field for the Verlet replay: owned slots in
+    /// the flat force layout, ghost slots appended in ascending
+    /// ghost-column order. Rebuilt each epoch, positions refreshed each
+    /// step.
+    soa: SoaField,
+    /// The recorded half-shell walk replayed between rebuilds.
+    vlist: VerletList,
+    /// Per-home SoA base offsets (owned *and* ghost), parallel to
+    /// `home_cols`; frozen across a skin epoch.
+    soa_base: Vec<usize>,
+    /// Ghost id → (column, slot) index, sorted by id; recorded at each
+    /// rebuild step to derive the in-place update routes below.
+    ghost_index: Vec<(u64, Col, u32)>,
+    /// Per-neighbour ghost-frame id order as decoded at the last rebuild
+    /// step (scratch for the route recording), parallel to `neighbors`.
+    ghost_ids: Vec<Vec<u64>>,
+    /// Per-neighbour in-place ghost update routes, parallel to
+    /// `neighbors`: frame position `k` → the (column, slot) where that
+    /// ghost lives in the frozen slabs. Mid-epoch ghost frames carry the
+    /// identical membership in the identical order (nothing migrates or
+    /// re-bins between rebuilds), so each decoded position is written
+    /// straight through the route — no re-binning, no sorting.
+    ghost_slot_routes: Vec<Vec<(Col, u32)>>,
     /// Pooled coalesced step-message send buffers, reused across steps.
     step_pool: BufferPool<StepFrame>,
     /// Pooled flat-particle send buffers (cell transfer).
@@ -371,6 +454,14 @@ impl PeState {
             ghost_desyncs: 0,
             ghost_staging: BTreeMap::new(),
             ghost_decode: Vec::new(),
+            tracker: DispTracker::new(),
+            rebuild_now: true,
+            soa: SoaField::new(),
+            vlist: VerletList::new(),
+            soa_base: Vec::new(),
+            ghost_index: Vec::new(),
+            ghost_ids: vec![Vec::new(); n_nbrs],
+            ghost_slot_routes: vec![Vec::new(); n_nbrs],
             step_pool: BufferPool::new(),
             part_pool: BufferPool::new(),
             wire: WireBytes::default(),
@@ -414,12 +505,18 @@ impl PeState {
     // Phases
     // ------------------------------------------------------------------
 
-    /// Phase 1: half-kick with current forces, then drift and wrap. The
-    /// flat force array is the owned columns concatenated in ascending
-    /// column order, so a running base index realigns it.
+    /// Phase 1: half-kick with current forces, then drift. The flat
+    /// force array is the owned columns concatenated in ascending column
+    /// order, so a running base index realigns it. The periodic wrap is
+    /// applied on rebuild steps only: between rebuilds the cell binning
+    /// is frozen, and wrapping a drifted boundary particle would
+    /// teleport it across the box while its frozen cell (and the
+    /// recorded shift vectors) stay put. With `skin == 0` every step is
+    /// a rebuild step and this is the legacy wrap-every-step schedule.
     pub(crate) fn kick_drift_all(&mut self) {
         let dt = self.cfg.dt;
         let box_len = self.box_len;
+        let wrap = self.rebuild_now;
         let mut base = 0usize;
         for slab in self.columns.values_mut() {
             let n = slab.len();
@@ -428,11 +525,72 @@ impl PeState {
                 .iter_mut()
                 .zip(&self.forces[base..base + n])
             {
-                kick_drift(p, *f, dt, box_len);
+                if wrap {
+                    kick_drift(p, *f, dt, box_len);
+                } else {
+                    kick_drift_nowrap(p, *f, dt);
+                }
             }
             base += n;
         }
         debug_assert_eq!(base, self.forces.len());
+    }
+
+    /// Rebuild-decision collective, gather half (`skin > 0` only —
+    /// returns `None` with `skin == 0`, where every step re-bins and no
+    /// messages flow, keeping the legacy wire sequence byte-identical).
+    ///
+    /// Each rank folds its owned particles' predicted per-step travel
+    /// into a local max and gathers it to rank 0 under
+    /// `tags::REBUILD_GATHER`; the root folds the per-rank maxima
+    /// (`f64::max` is order-independent, so the result equals the serial
+    /// reference's whole-system max bitwise). Feed the result to
+    /// [`PeState::rebuild_apply`].
+    pub(crate) fn rebuild_gather(&mut self, comm: &mut Comm) -> Option<Option<f64>> {
+        if self.cfg.skin == 0.0 {
+            return None;
+        }
+        let mut local = 0.0f64;
+        let mut base = 0usize;
+        for slab in self.columns.values() {
+            let n = slab.len();
+            local = local.max(verlet::max_predicted_travel2(
+                slab.particles(),
+                &self.forces[base..base + n],
+                self.cfg.dt,
+            ));
+            base += n;
+        }
+        let gathered = collectives::gather(comm, tags::REBUILD_GATHER, local);
+        Some(gathered.map(|locals| locals.into_iter().fold(0.0f64, f64::max)))
+    }
+
+    /// Rebuild-decision collective, broadcast-and-decide half: broadcast
+    /// the global max predicted travel from rank 0, advance the
+    /// displacement tracker, and decide whether this step re-binds the
+    /// world. The decision is a pure function of replicated state
+    /// (tracker + global max + the checkpoint cadence), so every rank —
+    /// and the serial reference — picks the identical step sequence.
+    /// Checkpoint-cadence steps are *forced* rebuild steps whether or
+    /// not a checkpoint is actually taken: restores re-bin from wrapped
+    /// positions, so the cadence itself must be a rebuild boundary in
+    /// every schedule that could be compared against.
+    pub(crate) fn rebuild_apply(
+        &mut self,
+        comm: &mut Comm,
+        step: u64,
+        root_max: Option<f64>,
+    ) -> bool {
+        let gmax2 = collectives::bcast(comm, tags::REBUILD_BCAST, root_max);
+        self.tracker.advance(gmax2, self.cfg.dt);
+        let forced =
+            self.cfg.checkpoint_interval > 0 && step.is_multiple_of(self.cfg.checkpoint_interval);
+        let rebuild = forced || self.tracker.exceeds(self.cfg.skin);
+        if rebuild {
+            self.tracker.reset();
+        }
+        self.rebuild_now = rebuild;
+        rebuild
     }
 
     fn ownership_owner(&self, col: Col) -> usize {
@@ -511,45 +669,51 @@ impl PeState {
     /// sends before either blocks in a receive. Allocation-free in the
     /// steady state: the staging lists, per-neighbour outboxes, and
     /// pooled send frames are all reused across steps.
-    pub(crate) fn step_send_round1(&mut self, comm: &mut Comm, dlb_now: bool) {
+    /// `migrate` is false on mid-epoch steps (`skin > 0`, no rebuild):
+    /// the binning is frozen, so nothing is restaged and the round-1
+    /// frames ship empty migrant sections — but they still flow, because
+    /// the resync bit and the comm pattern ride on them.
+    pub(crate) fn step_send_round1(&mut self, comm: &mut Comm, dlb_now: bool, migrate: bool) {
         self.refresh_caches();
         let t0 = WallTimer::start();
-        for v in self.migrate_staging.values_mut() {
-            v.clear();
-        }
-        for v in &mut self.migrate_out {
-            v.clear();
-        }
-        let (cell_len, nc, rank) = (self.cell_len, self.nc, self.rank);
-        let col_at = move |pos: Vec3| {
-            let f = |v: f64| axis_bin(v, cell_len, nc);
-            Col::new(f(pos.x), f(pos.y))
-        };
-        let columns = &self.columns;
-        let ownership = &self.ownership;
-        let neighbors = &self.neighbors;
-        let staging = &mut self.migrate_staging;
-        let out = &mut self.migrate_out;
-        for slab in columns.values() {
-            for p in slab.particles() {
-                let ncol = col_at(p.pos);
-                let owner = ownership.owner_of(ncol);
-                if owner == rank {
-                    staging
-                        .get_mut(&ncol)
-                        .unwrap_or_else(|| {
-                            panic!("rank {rank}: missing storage for owned column {ncol:?}")
-                        })
-                        .push(*p);
-                } else {
-                    let i = neighbors.binary_search(&owner).unwrap_or_else(|_| {
-                        panic!(
-                            "rank {rank}: particle {} jumped to column {ncol:?} owned by \
-                             non-neighbour {owner} — time step too large",
-                            p.id
-                        )
-                    });
-                    out[i].push(*p);
+        if migrate {
+            for v in self.migrate_staging.values_mut() {
+                v.clear();
+            }
+            for v in &mut self.migrate_out {
+                v.clear();
+            }
+            let (cell_len, nc, rank) = (self.cell_len, self.nc, self.rank);
+            let col_at = move |pos: Vec3| {
+                let f = |v: f64| axis_bin(v, cell_len, nc);
+                Col::new(f(pos.x), f(pos.y))
+            };
+            let columns = &self.columns;
+            let ownership = &self.ownership;
+            let neighbors = &self.neighbors;
+            let staging = &mut self.migrate_staging;
+            let out = &mut self.migrate_out;
+            for slab in columns.values() {
+                for p in slab.particles() {
+                    let ncol = col_at(p.pos);
+                    let owner = ownership.owner_of(ncol);
+                    if owner == rank {
+                        staging
+                            .get_mut(&ncol)
+                            .unwrap_or_else(|| {
+                                panic!("rank {rank}: missing storage for owned column {ncol:?}")
+                            })
+                            .push(*p);
+                    } else {
+                        let i = neighbors.binary_search(&owner).unwrap_or_else(|_| {
+                            panic!(
+                                "rank {rank}: particle {} jumped to column {ncol:?} owned by \
+                                 non-neighbour {owner} — time step too large",
+                                p.id
+                            )
+                        });
+                        out[i].push(*p);
+                    }
                 }
             }
         }
@@ -562,9 +726,11 @@ impl PeState {
             // restart its delta stream with a full frame (zero wire
             // bytes: the request rides the presence header).
             frame.resync = std::mem::take(&mut self.ghost_resync_req[i]);
-            frame.migrants.parts.extend_from_slice(&self.migrate_out[i]);
-            // Deterministic payloads: order emigrants by id.
-            frame.migrants.parts.sort_unstable_by_key(|p| p.id);
+            if migrate {
+                frame.migrants.parts.extend_from_slice(&self.migrate_out[i]);
+                // Deterministic payloads: order emigrants by id.
+                frame.migrants.parts.sort_unstable_by_key(|p| p.id);
+            }
             self.wire.migrate += frame.encoded_size() as u64;
             // Pre-diet layout: one flat particle message, plus a separate
             // 8-byte load message on DLB steps.
@@ -579,7 +745,7 @@ impl PeState {
     /// Phase 2, receive half: collect immigrants (and, on DLB steps, the
     /// neighbour loads riding in the same frames) and rebuild the columns
     /// in place, reusing every slab's storage.
-    pub(crate) fn step_recv_round1(&mut self, comm: &mut Comm, dlb_now: bool) {
+    pub(crate) fn step_recv_round1(&mut self, comm: &mut Comm, dlb_now: bool, migrate: bool) {
         let t0 = WallTimer::start();
         let rank = self.rank;
         self.nbr_loads.clear();
@@ -601,6 +767,13 @@ impl PeState {
                     .expect("round-1 frame on a DLB step carries the sender's load");
                 self.nbr_loads.push((nb, load));
             }
+            if !migrate {
+                debug_assert!(
+                    incoming.migrants.parts.is_empty(),
+                    "rank {rank}: mid-epoch round-1 frame from {nb} carries migrants"
+                );
+                continue;
+            }
             for p in &incoming.migrants.parts {
                 let ncol = self.col_of(p.pos);
                 debug_assert_eq!(
@@ -617,14 +790,16 @@ impl PeState {
                     .push(*p);
             }
         }
-        let (cell_len, nc) = (self.cell_len, self.nc);
-        let zbin = move |p: &Particle| axis_bin(p.pos.z, cell_len, nc);
-        let staging = &mut self.migrate_staging;
-        for (col, slab) in self.columns.iter_mut() {
-            let staged = staging
-                .get_mut(col)
-                .expect("staging key set matches the owned columns");
-            slab.rebuild_from(nc, staged, zbin);
+        if migrate {
+            let (cell_len, nc) = (self.cell_len, self.nc);
+            let zbin = move |p: &Particle| axis_bin(p.pos.z, cell_len, nc);
+            let staging = &mut self.migrate_staging;
+            for (col, slab) in self.columns.iter_mut() {
+                let staged = staging
+                    .get_mut(col)
+                    .expect("staging key set matches the owned columns");
+                slab.rebuild_from(nc, staged, zbin);
+            }
         }
         self.phase.migrate += t0.elapsed_s();
     }
@@ -778,12 +953,16 @@ impl PeState {
         self.phase.ghost += t0.elapsed_s();
     }
 
-    /// Phase 4 (round 2), receive half: decode the neighbours' ghost
-    /// frames through the per-channel delta state, re-bin each ghost by
-    /// its position into the retained staging lists, and rebuild the
-    /// ghost slabs in place — same `(cell, id)` order as before, no
-    /// allocation in the steady state.
-    pub(crate) fn ghosts_recv(&mut self, comm: &mut Comm) {
+    /// Phase 4 (round 2), receive half. On rebuild steps (`rebin` true —
+    /// every step with `skin == 0`): decode the neighbours' ghost frames
+    /// through the per-channel delta state, re-bin each ghost by its
+    /// position into the retained staging lists, and rebuild the ghost
+    /// slabs in place — same `(cell, id)` order as before, no allocation
+    /// in the steady state. Mid-epoch (`rebin` false): the frames carry
+    /// the identical membership in the identical order, so each decoded
+    /// position is written straight into its frozen slab slot through
+    /// the routes recorded at the last rebuild.
+    pub(crate) fn ghosts_recv(&mut self, comm: &mut Comm, rebin: bool) {
         let t0 = WallTimer::start();
         let rank = self.rank;
         let (cell_len, nc) = (self.cell_len, self.nc);
@@ -791,9 +970,12 @@ impl PeState {
             let f = |v: f64| axis_bin(v, cell_len, nc);
             Col::new(f(pos.x), f(pos.y))
         };
-        for v in self.ghost_staging.values_mut() {
-            v.clear();
+        if rebin {
+            for v in self.ghost_staging.values_mut() {
+                v.clear();
+            }
         }
+        let record_routes = rebin && self.cfg.skin > 0.0;
         for (i, &nb) in self.neighbors.iter().enumerate() {
             let frame: Arc<StepFrame> = comm.recv(nb, tags::STEP_FRAME);
             debug_assert!(
@@ -823,23 +1005,75 @@ impl PeState {
                 self.ghost_resync_req[i] = true;
                 self.ghost_desyncs += 1;
             }
-            for &(id, pos) in &self.ghost_decode {
-                let col = col_at(pos);
-                self.ghost_staging
-                    .get_mut(&col)
-                    .unwrap_or_else(|| {
-                        panic!("rank {rank}: received unexpected ghost column {col:?}")
-                    })
-                    .push(Particle::at_rest(id, pos));
+            if record_routes {
+                self.ghost_ids[i].clear();
+                self.ghost_ids[i].extend(self.ghost_decode.iter().map(|&(id, _)| id));
+            }
+            if rebin {
+                for &(id, pos) in &self.ghost_decode {
+                    let col = col_at(pos);
+                    self.ghost_staging
+                        .get_mut(&col)
+                        .unwrap_or_else(|| {
+                            panic!("rank {rank}: received unexpected ghost column {col:?}")
+                        })
+                        .push(Particle::at_rest(id, pos));
+                }
+            } else {
+                // Frozen epoch: positions-only refresh through the
+                // recorded routes. A desynced decode delivered nothing —
+                // that neighbour's ghosts stay one step stale (layout
+                // intact) and the resync request heals the stream.
+                let route = &self.ghost_slot_routes[i];
+                debug_assert!(
+                    self.ghost_decode.is_empty() || self.ghost_decode.len() == route.len(),
+                    "rank {rank}: mid-epoch ghost frame from {nb} changed membership"
+                );
+                for (&(id, pos), &(col, slot)) in self.ghost_decode.iter().zip(route) {
+                    let slab = self
+                        .ghosts
+                        .get_mut(&col)
+                        .expect("route targets an expected ghost column");
+                    let p = &mut slab.particles_mut()[slot as usize];
+                    debug_assert_eq!(p.id, id, "rank {rank}: ghost route out of order");
+                    p.pos = pos;
+                }
             }
         }
-        let zbin = move |p: &Particle| axis_bin(p.pos.z, cell_len, nc);
-        let staging = &mut self.ghost_staging;
-        for (col, slab) in self.ghosts.iter_mut() {
-            let staged = staging
-                .get_mut(col)
-                .expect("ghost staging key set matches the expected ghost columns");
-            slab.rebuild_from(nc, staged, zbin);
+        if rebin {
+            let zbin = move |p: &Particle| axis_bin(p.pos.z, cell_len, nc);
+            let staging = &mut self.ghost_staging;
+            for (col, slab) in self.ghosts.iter_mut() {
+                let staged = staging
+                    .get_mut(col)
+                    .expect("ghost staging key set matches the expected ghost columns");
+                slab.rebuild_from(nc, staged, zbin);
+            }
+        }
+        if record_routes {
+            // Index the freshly (cell, id)-sorted ghost slabs by id, then
+            // translate each neighbour's frame order into slab slots —
+            // the in-place update routes for the rest of the epoch. All
+            // buffers are retained, so steady-state rebuilds stop
+            // allocating once capacities have grown.
+            self.ghost_index.clear();
+            for (&col, slab) in &self.ghosts {
+                for (slot, p) in slab.particles().iter().enumerate() {
+                    self.ghost_index.push((p.id, col, slot as u32));
+                }
+            }
+            self.ghost_index.sort_unstable_by_key(|&(id, _, _)| id);
+            let index = &self.ghost_index;
+            for (ids, route) in self.ghost_ids.iter().zip(&mut self.ghost_slot_routes) {
+                route.clear();
+                for &id in ids {
+                    let k = index
+                        .binary_search_by_key(&id, |&(id, _, _)| id)
+                        .expect("decoded ghost id is present in a ghost slab");
+                    let (_, col, slot) = index[k];
+                    route.push((col, slot));
+                }
+            }
         }
         self.phase.ghost += t0.elapsed_s();
     }
@@ -892,6 +1126,9 @@ impl PeState {
     /// bucket.
     fn force_pass(&mut self, pass: ForcePass) {
         self.refresh_caches();
+        if self.cfg.verlet {
+            return self.force_pass_verlet(pass);
+        }
         let t0 = WallTimer::start();
         if pass != ForcePass::Boundary {
             self.force_prologue();
@@ -1051,13 +1288,198 @@ impl PeState {
                 }
             }
         }
+        self.force_epilogue(pass, t0);
+    }
+
+    /// Phase 5, Verlet replay path (`cfg.verlet`): on rebuild steps
+    /// re-record the fused walk over the fresh binning (ghosts included,
+    /// reach `r_c + skin`), then — every step — replay the recording
+    /// against positions refreshed from the authoritative slabs, with
+    /// the per-pass store/credit policy of [`replay_action`]. The
+    /// replayed sums are bitwise identical to the live walk over the
+    /// same frozen binning, in both the fused and the overlapped
+    /// schedule.
+    fn force_pass_verlet(&mut self, pass: ForcePass) {
+        let t0 = WallTimer::start();
+        if pass != ForcePass::Boundary {
+            self.force_prologue();
+        }
+        if self.rebuild_now && pass != ForcePass::Boundary {
+            // Rebuild step: fresh binning, fresh SoA layout, fresh list.
+            // (Under the overlapped schedule the caller drains the ghost
+            // receive before this pass on rebuild steps, so the ghosts
+            // recorded here are this step's.)
+            self.rebuild_verlet();
+        } else {
+            if pass != ForcePass::Boundary {
+                self.soa.zero_forces();
+            }
+            self.reload_soa(pass);
+        }
+        let box_len = self.box_len;
+        let pull = self.cfg.pull();
+        self.vlist.replay(
+            &self.kernel,
+            &pull,
+            box_len,
+            &mut self.soa,
+            |seg| replay_action(pass, seg),
+            &mut self.col_work,
+        );
+        if pass != ForcePass::Interior {
+            self.soa.fold_forces(&mut self.forces);
+        }
+        self.force_epilogue(pass, t0);
+    }
+
+    /// Refresh the SoA positions a replay pass needs from the
+    /// authoritative slabs: the owned region for `Fused`/`Interior`
+    /// passes, the ghost region for `Fused`/`Boundary` (an `Interior`
+    /// pass touches no ghost slots, and under the overlapped schedule it
+    /// runs before the ghost refresh lands).
+    fn reload_soa(&mut self, pass: ForcePass) {
+        for (hi, &(col, class)) in self.home_cols.iter().enumerate() {
+            if class == ColClass::Ghost {
+                if pass != ForcePass::Interior {
+                    self.soa
+                        .load_positions(self.soa_base[hi], self.ghosts[&col].particles());
+                }
+            } else if pass != ForcePass::Boundary {
+                self.soa
+                    .load_positions(self.soa_base[hi], self.columns[&col].particles());
+            }
+        }
+    }
+
+    /// Re-record the Verlet list at a rebuild step: lay the SoA out over
+    /// the home columns (owned slots reuse the flat force layout, ghost
+    /// slots are appended in ascending ghost-column order) and run the
+    /// exact fused half-shell walk with the widened reach `r_c + skin`,
+    /// recording every kernel block — classes and work buckets ride
+    /// along so the overlapped schedule can replay the same recording
+    /// with complementary stores. Assumes `force_prologue` has laid out
+    /// `home_base` for this step.
+    fn rebuild_verlet(&mut self) {
+        self.soa_base.clear();
+        self.soa_base.resize(self.home_cols.len(), 0);
+        let n_owned = self.forces.len();
+        let mut total = n_owned;
+        for (hi, &(col, _)) in self.home_cols.iter().enumerate() {
+            match self.home_base[hi] {
+                Some(b) => self.soa_base[hi] = b,
+                None => {
+                    self.soa_base[hi] = total;
+                    total += self.ghosts[&col].len();
+                }
+            }
+        }
+        self.soa.reset(n_owned, total);
+        for (hi, &(col, class)) in self.home_cols.iter().enumerate() {
+            let slab = match class {
+                ColClass::Ghost => &self.ghosts[&col],
+                _ => &self.columns[&col],
+            };
+            self.soa.load_positions(self.soa_base[hi], slab.particles());
+        }
+        self.vlist.clear();
+        let reach = self.kernel.lj.rcut + self.cfg.skin;
+        let reach2 = reach * reach;
+        let nc = self.nc;
+        let box_len = self.box_len;
+        let rank = self.rank;
+        let home_cols = &self.home_cols;
+        let soa_base = &self.soa_base;
+        let columns = &self.columns;
+        let ghosts = &self.ghosts;
+        let slab_of = |col: Col, class: ColClass| -> &CellSlab {
+            match class {
+                ColClass::Ghost => &ghosts[&col],
+                _ => &columns[&col],
+            }
+        };
+        for (hi, &(col, class)) in home_cols.iter().enumerate() {
+            let slab = slab_of(col, class);
+            let hb = soa_base[hi];
+            let owned_home = class != ColClass::Ghost;
+            let bucket = hi as u32;
+            // The same forward-ring resolution as the live walk: a ghost
+            // home may lack forward neighbours (other PEs' pairs).
+            let ring: [Option<(usize, f64, f64)>; 5] = std::array::from_fn(|g| {
+                let (dx, dy) = FORWARD_XY[g];
+                let (ncol, sx, sy) = wrap_col(nc, box_len, col, dx, dy);
+                match home_cols.binary_search_by_key(&ncol, |&(c, _)| c) {
+                    Ok(ni) => Some((ni, sx, sy)),
+                    Err(_) => {
+                        assert!(
+                            !owned_home,
+                            "rank {rank}: missing neighbour column {ncol:?} of {col:?}"
+                        );
+                        None
+                    }
+                }
+            });
+            for cz in 0..nc {
+                let hr = slab.range(cz);
+                if hr.is_empty() {
+                    continue;
+                }
+                let habs = hb + hr.start..hb + hr.end;
+                if owned_home {
+                    self.vlist.record_intra(
+                        &self.soa,
+                        habs.clone(),
+                        reach2,
+                        class_code(class),
+                        bucket,
+                    );
+                }
+                for (gi, entry) in ring.iter().enumerate() {
+                    let Some((ni, sx, sy)) = *entry else {
+                        continue;
+                    };
+                    let (ncol, nclass) = home_cols[ni];
+                    if !owned_home && nclass == ColClass::Ghost {
+                        // Both sides ghost: another PE's pair, skipped in
+                        // every pass (and never counted).
+                        continue;
+                    }
+                    let nslab = slab_of(ncol, nclass);
+                    let nb = soa_base[ni];
+                    let dzs: &[i64] = if gi == 0 { &[1] } else { &[-1, 0, 1] };
+                    for &dz in dzs {
+                        let (nz, sz) = wrap_z(nc, box_len, cz, dz);
+                        let nr = nslab.range(nz);
+                        if nr.is_empty() {
+                            continue;
+                        }
+                        self.vlist.record_pair(
+                            &self.soa,
+                            habs.clone(),
+                            nb + nr.start..nb + nr.end,
+                            Vec3::new(sx, sy, sz),
+                            reach2,
+                            class_code(class),
+                            class_code(nclass),
+                            bucket,
+                        );
+                    }
+                }
+                if owned_home {
+                    self.vlist.record_pull(habs, class_code(class), bucket);
+                }
+            }
+        }
+    }
+
+    /// Shared tail of every force pass: accumulate wall time and — on
+    /// the step's final pass — fold the per-home buckets in ascending
+    /// order (the identical fold for both schedules) and publish the
+    /// step's load numbers.
+    fn force_epilogue(&mut self, pass: ForcePass, t0: WallTimer) {
         let dt = t0.elapsed_s();
         self.force_wall_accum += dt;
         self.phase.force += dt;
         if pass != ForcePass::Interior {
-            // Final pass of the step: fold the per-home buckets in
-            // ascending order — the identical fold for both schedules —
-            // and publish the step's load numbers.
             let mut work = WorkCounters::default();
             for w in &self.col_work {
                 work.merge(w);
@@ -1215,7 +1637,14 @@ impl PeState {
             kinetic,
             transferred,
         };
-        let rec = crate::stats::collect_step_record(comm, &self.cfg, step, packet, wall_s);
+        let rec = crate::stats::collect_step_record(
+            comm,
+            &self.cfg,
+            step,
+            packet,
+            wall_s,
+            self.rebuild_now,
+        );
         // The stats gather itself is bookkeeping, not simulation
         // communication: charge it to no step, so each step's comm delta
         // covers exactly its own phases. A restored run (which re-runs no
@@ -1231,10 +1660,20 @@ impl PeState {
     pub fn step(&mut self, comm: &mut Comm, step: u64) -> Option<StepRecord> {
         let t0 = WallTimer::start();
         self.begin_step(step);
-        let dlb_now = self.cfg.dlb && step.is_multiple_of(self.cfg.dlb_interval);
+        // Rebuild decision first (skin > 0): a collective pure function
+        // of replicated state, so every rank picks the same schedule.
+        // With skin == 0 every step rebuilds and no messages flow.
+        let rebuild = match self.rebuild_gather(comm) {
+            None => true,
+            Some(root) => self.rebuild_apply(comm, step, root),
+        };
+        // Migration, DLB, and ghost-membership changes only happen on
+        // rebuild steps — mid-epoch the binning (and hence the recorded
+        // list and the ghost routes) is frozen.
+        let dlb_now = self.cfg.dlb && step.is_multiple_of(self.cfg.dlb_interval) && rebuild;
         self.kick_drift_all();
-        self.step_send_round1(comm, dlb_now);
-        self.step_recv_round1(comm, dlb_now);
+        self.step_send_round1(comm, dlb_now, rebuild);
+        self.step_recv_round1(comm, dlb_now, rebuild);
         let transferred = if dlb_now {
             let wire = self.dlb_decide();
             self.dlb_send_decision(comm, wire);
@@ -1246,15 +1685,25 @@ impl PeState {
             0
         };
         self.ghosts_send(comm);
-        if self.cfg.overlap {
+        if self.cfg.overlap && !(self.cfg.verlet && rebuild) {
             // Overlapped schedule: interior pairs run while the ghost
             // payloads posted above are still in flight; the receive is
             // drained only when the frontier remainder needs it.
             self.compute_forces_interior();
-            self.ghosts_recv(comm);
+            self.ghosts_recv(comm, rebuild);
+            self.compute_forces_boundary();
+        } else if self.cfg.overlap {
+            // Verlet rebuild step under the overlapped schedule: the
+            // list must be recorded over this step's ghosts, so the
+            // receive is drained first; the split passes still replay
+            // with complementary stores (the wire sequence is unchanged
+            // — the sends were posted above — and split == fused holds
+            // bitwise).
+            self.ghosts_recv(comm, rebuild);
+            self.compute_forces_interior();
             self.compute_forces_boundary();
         } else {
-            self.ghosts_recv(comm);
+            self.ghosts_recv(comm, rebuild);
             self.compute_forces();
         }
         self.kick_all();

@@ -28,10 +28,11 @@ use std::sync::Arc;
 
 use pcdlb_md::cells::CellSlab;
 use pcdlb_md::force::{disjoint_ranges_mut, PairKernel, WorkCounters};
-use pcdlb_md::integrate::{kick, kick_drift};
+use pcdlb_md::integrate::{kick, kick_drift, kick_drift_nowrap};
 use pcdlb_md::observe;
 use pcdlb_md::vec3::Vec3;
-use pcdlb_md::{axis_bin, Particle};
+use pcdlb_md::verlet::{self, DispTracker, SegAction, SegKind, VerletList};
+use pcdlb_md::{axis_bin, Particle, SoaField};
 use pcdlb_mp::{collectives, BufferPool, Comm, CostModel, World};
 
 use crate::clock::WallTimer;
@@ -53,12 +54,45 @@ mod tags {
     pub const KE_GATHER: u64 = 30;
     pub const KE_BCAST: u64 = 31;
     pub const SNAPSHOT: u64 = 32;
+    pub const REBUILD_GATHER: u64 = 33;
+    pub const REBUILD_BCAST: u64 = 34;
 }
 
 /// The forward (dy, dz) groups within the home plane (`dx = 0`): together
 /// with the full 3×3 sweep of the `dx = 1` plane they enumerate
 /// `pcdlb_md::cells::HALF_OFFSETS_13` in canonical order.
 const FORWARD_YZ_SAME_PLANE: [(i64, &[i64]); 2] = [(0, &[1]), (1, &[-1, 0, 1])];
+
+/// Wire class codes for recorded Verlet segments: owned vs ghost plane.
+const OWNED: u8 = 0;
+const GHOST: u8 = 1;
+
+/// Replay policy for the plane baseline's single fused pass: store into
+/// owned sides only, and credit each pair's energy with the same
+/// `0.5 × owned sides` weight the live walk's `accumulate_pair` uses.
+fn plane_replay_action(seg: &verlet::Segment) -> Option<SegAction> {
+    match seg.kind {
+        // Intra triangles and the external pull are only ever recorded
+        // for owned home planes.
+        SegKind::Intra | SegKind::Pull => Some(SegAction {
+            sa: true,
+            sb: true,
+            run_home: true,
+            credit: None,
+        }),
+        SegKind::Pair => {
+            let sa = seg.ca == OWNED;
+            let sb = seg.cb == OWNED;
+            debug_assert!(sa || sb, "both-ghost segments are never recorded");
+            Some(SegAction {
+                sa,
+                sb,
+                run_home: false,
+                credit: Some(0.5 * (sa as u64 + sb as u64) as f64),
+            })
+        }
+    }
+}
 
 /// Validate a config for the plane decomposition (which, unlike the
 /// square pillar, accepts any `P ≤ nc`, square or not).
@@ -78,6 +112,22 @@ pub fn validate_plane(cfg: &RunConfig) {
         cfg.cell_len(),
         cfg.lj.rcut
     );
+    assert!(cfg.skin >= 0.0, "skin must be non-negative");
+    assert!(
+        !cfg.verlet || cfg.skin > 0.0,
+        "verlet replay requires skin > 0"
+    );
+    if cfg.skin > 0.0 {
+        assert!(
+            cfg.cell_len() >= cfg.lj.rcut + cfg.skin - 1e-12,
+            "cell length {:.4} below widened reach {} (rcut {} + skin {}): \
+             the one-plane ghost shell would go stale mid-epoch",
+            cfg.cell_len(),
+            cfg.lj.rcut + cfg.skin,
+            cfg.lj.rcut,
+            cfg.skin
+        );
+    }
 }
 
 /// Per-PE state of the plane simulator.
@@ -110,6 +160,21 @@ struct PlanePe {
     rx_chan: [DeltaChannel; 2],
     /// Decoded `(id, pos)` ghosts, reused across steps.
     decode_scratch: Vec<(u64, Vec3)>,
+    /// Displacement tracker driving the skin-epoch rebuild schedule.
+    tracker: DispTracker,
+    /// Whether the current step re-binds the world (always `true` with
+    /// `skin == 0`, the historical every-step behaviour).
+    rebuild_now: bool,
+    /// SoA position/force mirror the Verlet replay runs over.
+    soa: SoaField,
+    /// Recorded Verlet segment list (`verlet` mode only).
+    vlist: VerletList,
+    /// SoA base offset of each home plane — owned planes first (the flat
+    /// force layout), ghost planes appended — frozen between rebuilds.
+    soa_base: BTreeMap<usize, usize>,
+    /// Per-direction mid-epoch ghost routes: the ghost-slab slot of each
+    /// decode position, recorded at rebuild while membership is frozen.
+    ghost_routes: [Vec<u32>; 2],
     last_work: WorkCounters,
     last_force_virtual: f64,
     last_force_wall: f64,
@@ -141,6 +206,12 @@ impl PlanePe {
             tx_chan: [DeltaChannel::default(), DeltaChannel::default()],
             rx_chan: [DeltaChannel::default(), DeltaChannel::default()],
             decode_scratch: Vec::new(),
+            tracker: DispTracker::new(),
+            rebuild_now: true,
+            soa: SoaField::new(),
+            vlist: VerletList::new(),
+            soa_base: BTreeMap::new(),
+            ghost_routes: [Vec::new(), Vec::new()],
             last_work: WorkCounters::default(),
             last_force_virtual: 0.0,
             last_force_wall: 0.0,
@@ -196,10 +267,13 @@ impl PlanePe {
         }
     }
 
-    /// Phase 1: half-kick and drift.
+    /// Phase 1: half-kick and drift. Mid-epoch (frozen binning) the
+    /// drift skips the periodic wrap — the frozen cell shifts already
+    /// account for images, and the rebuild step re-wraps everything.
     fn kick_drift_all(&mut self) {
         let dt = self.cfg.dt;
         let box_len = self.box_len;
+        let wrap = self.rebuild_now;
         let mut base = 0usize;
         for slab in self.planes.values_mut() {
             let n = slab.len();
@@ -208,11 +282,50 @@ impl PlanePe {
                 .iter_mut()
                 .zip(&self.forces[base..base + n])
             {
-                kick_drift(q, *f, dt, box_len);
+                if wrap {
+                    kick_drift(q, *f, dt, box_len);
+                } else {
+                    kick_drift_nowrap(q, *f, dt);
+                }
             }
             base += n;
         }
         debug_assert_eq!(base, self.forces.len());
+    }
+
+    /// Rebuild-decision collective (`skin > 0` only): fold the owned
+    /// particles' predicted per-step travel into a local max, gather to
+    /// rank 0, fold with `f64::max` (order-independent, so the global
+    /// max is bitwise the serial whole-system max), broadcast, and
+    /// advance the replicated displacement tracker. Every rank — and the
+    /// serial reference — picks the identical rebuild-step sequence.
+    fn rebuild_decide(&mut self, comm: &mut Comm, step: u64) -> bool {
+        if self.cfg.skin == 0.0 {
+            return true;
+        }
+        let mut local = 0.0f64;
+        let mut base = 0usize;
+        for slab in self.planes.values() {
+            let n = slab.len();
+            local = local.max(verlet::max_predicted_travel2(
+                slab.particles(),
+                &self.forces[base..base + n],
+                self.cfg.dt,
+            ));
+            base += n;
+        }
+        let root = collectives::gather(comm, tags::REBUILD_GATHER, local)
+            .map(|locals| locals.into_iter().fold(0.0f64, f64::max));
+        let gmax2 = collectives::bcast(comm, tags::REBUILD_BCAST, root);
+        self.tracker.advance(gmax2, self.cfg.dt);
+        let forced =
+            self.cfg.checkpoint_interval > 0 && step.is_multiple_of(self.cfg.checkpoint_interval);
+        let rebuild = forced || self.tracker.exceeds(self.cfg.skin);
+        if rebuild {
+            self.tracker.reset();
+        }
+        self.rebuild_now = rebuild;
+        rebuild
     }
 
     /// Phase 2: rebin, shipping plane-crossers to the ring neighbours.
@@ -353,8 +466,15 @@ impl PlanePe {
     /// delta-encoded per direction. No plane index travels: slabs are
     /// contiguous, so the plane a stream carries is always `lo − 1`
     /// (from below) or `hi` (from above), wrapped at the seam.
-    fn exchange_ghosts(&mut self, comm: &mut Comm) {
-        self.ghosts.clear();
+    ///
+    /// On rebuild steps the received planes are re-binned from scratch
+    /// and (with `skin > 0`) the decode-order → slab-slot routes are
+    /// recorded; mid-epoch the membership and binning are frozen, so the
+    /// decoded positions are written through those routes in place.
+    fn exchange_ghosts(&mut self, comm: &mut Comm, rebuild: bool) {
+        if rebuild {
+            self.ghosts.clear();
+        }
         if self.p < 2 {
             return; // all planes are local
         }
@@ -375,6 +495,7 @@ impl PlanePe {
             comm.send(dst, tag, Arc::clone(&buf));
             self.ghost_pool.checkin(buf);
         }
+        let record_routes = rebuild && self.cfg.skin > 0.0;
         for (ci, (src, tag, cx)) in [
             (
                 self.prev(),
@@ -392,6 +513,20 @@ impl PlanePe {
             self.rx_chan[ci]
                 .decode_into(&frame, &mut self.decode_scratch)
                 .expect("plane ghost streams never desynchronise");
+            if !rebuild {
+                // Frozen epoch: same ids in the same frame order (the
+                // sender's slab is frozen too) — refresh positions in
+                // place through the recorded routes.
+                let slab = self.ghosts.get_mut(&cx).expect("frozen ghost plane");
+                let parts = slab.particles_mut();
+                debug_assert_eq!(self.decode_scratch.len(), self.ghost_routes[ci].len());
+                for (&(id, pos), &slot) in self.decode_scratch.iter().zip(&self.ghost_routes[ci]) {
+                    let q = &mut parts[slot as usize];
+                    debug_assert_eq!(q.id, id, "ghost stream membership changed mid-epoch");
+                    q.pos = pos;
+                }
+                continue;
+            }
             // Ghost velocities are never read: the force pass only needs
             // positions, and the thermostat/KE sums walk owned planes.
             let parts: Vec<Particle> = self
@@ -400,7 +535,25 @@ impl PlanePe {
                 .map(|&(id, pos)| Particle::at_rest(id, pos))
                 .collect();
             debug_assert!(parts.iter().all(|q| self.axis(q.pos.x) == cx));
-            self.ghosts.insert(cx, self.build_plane(parts));
+            let slab = self.build_plane(parts);
+            if record_routes {
+                let mut by_id: Vec<(u64, u32)> = slab
+                    .particles()
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, q)| (q.id, slot as u32))
+                    .collect();
+                by_id.sort_unstable_by_key(|&(id, _)| id);
+                let routes = &mut self.ghost_routes[ci];
+                routes.clear();
+                routes.extend(self.decode_scratch.iter().map(|&(id, _)| {
+                    let at = by_id
+                        .binary_search_by_key(&id, |&(i, _)| i)
+                        .expect("decoded ghost is in the rebuilt slab");
+                    by_id[at].1
+                }));
+            }
+            self.ghosts.insert(cx, slab);
         }
     }
 
@@ -409,6 +562,9 @@ impl PlanePe {
     /// home stores only into owned forward neighbours, and a pair between
     /// two ghost cells is another PE's work.
     fn compute_forces(&mut self) {
+        if self.cfg.verlet {
+            return self.compute_forces_verlet();
+        }
         let t0 = WallTimer::start();
         let mut work = WorkCounters::default();
         let nc = self.nc;
@@ -564,6 +720,157 @@ impl PlanePe {
         };
     }
 
+    /// Phase 5, `verlet` mode: replay the segment list recorded at the
+    /// last rebuild over the SoA mirror. Rebuild steps re-record the
+    /// list with the exact walk [`PlanePe::compute_forces`] performs
+    /// (reach widened to `r_c + skin`); mid-epoch passes just refresh
+    /// the frozen-layout positions from the authoritative slabs.
+    fn compute_forces_verlet(&mut self) {
+        let t0 = WallTimer::start();
+        if self.rebuild_now {
+            self.rebuild_verlet();
+        } else {
+            self.soa.zero_forces();
+            for (cx, slab) in self.planes.iter().chain(self.ghosts.iter()) {
+                self.soa.load_positions(self.soa_base[cx], slab.particles());
+            }
+        }
+        let pull = self.cfg.pull();
+        let mut work = [WorkCounters::default()];
+        self.vlist.replay(
+            &self.kernel,
+            &pull,
+            self.box_len,
+            &mut self.soa,
+            plane_replay_action,
+            &mut work,
+        );
+        self.soa.fold_forces(&mut self.forces);
+        self.last_work = work[0];
+        self.last_force_wall = t0.elapsed_s();
+        self.last_force_virtual = match self.cfg.load_metric {
+            LoadMetric::WorkModel { sec_per_pair } => work[0].pair_checks as f64 * sec_per_pair,
+            LoadMetric::WallClock => self.last_force_wall,
+        };
+    }
+
+    /// Re-record the Verlet segment list at a rebuild step: lay the SoA
+    /// out over the home planes (owned planes reuse the flat force
+    /// layout, ghost planes appended), then run the exact canonical
+    /// half-shell walk of [`PlanePe::compute_forces`] with the widened
+    /// reach, recording every kernel block with its owned/ghost side
+    /// classes.
+    fn rebuild_verlet(&mut self) {
+        self.soa_base.clear();
+        let mut total = 0usize;
+        for (cx, slab) in &self.planes {
+            self.soa_base.insert(*cx, total);
+            total += slab.len();
+        }
+        let n_owned = total;
+        for (cx, slab) in &self.ghosts {
+            self.soa_base.insert(*cx, total);
+            total += slab.len();
+        }
+        self.soa.reset(n_owned, total);
+        for (cx, slab) in self.planes.iter().chain(self.ghosts.iter()) {
+            self.soa.load_positions(self.soa_base[cx], slab.particles());
+        }
+        self.vlist.clear();
+        let reach = self.kernel.lj.rcut + self.cfg.skin;
+        let reach2 = reach * reach;
+        let nc = self.nc;
+        let box_len = self.box_len;
+        let planes = &self.planes;
+        let ghosts = &self.ghosts;
+        let soa_base = &self.soa_base;
+        let mut homes: Vec<(usize, &CellSlab, bool)> = planes
+            .iter()
+            .map(|(cx, s)| (*cx, s, true))
+            .chain(ghosts.iter().map(|(cx, s)| (*cx, s, false)))
+            .collect();
+        homes.sort_unstable_by_key(|&(cx, _, _)| cx);
+        for &(cx, slab, owned_home) in &homes {
+            let hb = soa_base[&cx];
+            let hcode = if owned_home { OWNED } else { GHOST };
+            let (fcx, sx) = wrap1(nc, box_len, cx, 1);
+            let fwd = planes
+                .get(&fcx)
+                .map(|s| (s, true))
+                .or_else(|| ghosts.get(&fcx).map(|s| (s, false)));
+            assert!(
+                fwd.is_some() || !owned_home,
+                "rank {}: missing plane {fcx} next to {cx}",
+                self.rank
+            );
+            for cy in 0..nc {
+                for cz in 0..nc {
+                    let idx = cy * nc + cz;
+                    let hr = slab.range(idx);
+                    if hr.is_empty() {
+                        continue;
+                    }
+                    let habs = hb + hr.start..hb + hr.end;
+                    if owned_home {
+                        self.vlist
+                            .record_intra(&self.soa, habs.clone(), reach2, hcode, 0);
+                        for &(dy, dzs) in &FORWARD_YZ_SAME_PLANE {
+                            let (ny, sy) = wrap1(nc, box_len, cy, dy);
+                            for &dz in dzs {
+                                let (nz, sz) = wrap1(nc, box_len, cz, dz);
+                                let nidx = ny * nc + nz;
+                                let nr = slab.range(nidx);
+                                if nr.is_empty() {
+                                    continue;
+                                }
+                                self.vlist.record_pair(
+                                    &self.soa,
+                                    habs.clone(),
+                                    hb + nr.start..hb + nr.end,
+                                    Vec3::new(0.0, sy, sz),
+                                    reach2,
+                                    OWNED,
+                                    OWNED,
+                                    0,
+                                );
+                            }
+                        }
+                    }
+                    if let Some((fslab, fwd_owned)) = fwd {
+                        if owned_home || fwd_owned {
+                            let fb = soa_base[&fcx];
+                            let fcode = if fwd_owned { OWNED } else { GHOST };
+                            for dy in -1i64..=1 {
+                                let (ny, sy) = wrap1(nc, box_len, cy, dy);
+                                for dz in -1i64..=1 {
+                                    let (nz, sz) = wrap1(nc, box_len, cz, dz);
+                                    let nidx = ny * nc + nz;
+                                    let nr = fslab.range(nidx);
+                                    if nr.is_empty() {
+                                        continue;
+                                    }
+                                    self.vlist.record_pair(
+                                        &self.soa,
+                                        habs.clone(),
+                                        fb + nr.start..fb + nr.end,
+                                        Vec3::new(sx, sy, sz),
+                                        reach2,
+                                        hcode,
+                                        fcode,
+                                        0,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    if owned_home {
+                        self.vlist.record_pull(habs, hcode, 0);
+                    }
+                }
+            }
+        }
+    }
+
     /// Phase 6: second half-kick.
     fn kick_all(&mut self) {
         let dt = self.cfg.dt;
@@ -612,14 +919,22 @@ impl PlanePe {
 
     fn step(&mut self, comm: &mut Comm, step: u64) -> Option<StepRecord> {
         let t0 = WallTimer::start();
+        // Rebuild decision first — a pure function of replicated state,
+        // evaluated on the pre-kick velocities and last step's forces,
+        // exactly as the serial reference does.
+        let rebuild = self.rebuild_decide(comm, step);
         self.kick_drift_all();
-        self.migrate(comm);
-        let transferred = if step.is_multiple_of(self.cfg.dlb_interval) {
+        // Mid-epoch the binning, ownership, and ghost membership are all
+        // frozen: no migration, no boundary moves.
+        if rebuild {
+            self.migrate(comm);
+        }
+        let transferred = if rebuild && step.is_multiple_of(self.cfg.dlb_interval) {
             self.dlb(comm, step)
         } else {
             0
         };
-        self.exchange_ghosts(comm);
+        self.exchange_ghosts(comm, rebuild);
         self.compute_forces();
         self.kick_all();
         self.thermostat(comm, step);
@@ -647,7 +962,7 @@ impl PlanePe {
             kinetic,
             transferred,
         };
-        crate::stats::collect_step_record(comm, &self.cfg, step, packet, wall)
+        crate::stats::collect_step_record(comm, &self.cfg, step, packet, wall, self.rebuild_now)
     }
 
     fn gather_snapshot(&self, comm: &mut Comm) -> Option<Vec<Particle>> {
@@ -701,7 +1016,7 @@ fn run_plane_inner(cfg: &RunConfig, want_snapshot: bool) -> (RunReport, Option<V
     let mut results: Vec<R> = world.run(|comm| {
         let run_start = WallTimer::start();
         let mut pe = PlanePe::new(comm.rank(), cfg);
-        pe.exchange_ghosts(comm);
+        pe.exchange_ghosts(comm, true);
         pe.compute_forces();
         pe.last_comm_virtual = comm.stats().virtual_comm_s;
         let mut records = Vec::new();

@@ -65,7 +65,7 @@ impl SimCheckpoint {
         for r in &self.records {
             writeln!(
                 w,
-                "{} {:016x} {:016x} {:016x} {:016x} {:016x} {} {:016x} {:016x} {} {} {:016x} {:016x} {:016x}",
+                "{} {:016x} {:016x} {:016x} {:016x} {:016x} {} {:016x} {:016x} {} {} {:016x} {:016x} {:016x} {}",
                 r.step,
                 r.t_step.to_bits(),
                 r.f_max.to_bits(),
@@ -80,6 +80,7 @@ impl SimCheckpoint {
                 r.kinetic.to_bits(),
                 r.potential.to_bits(),
                 r.temperature.to_bits(),
+                r.rebuilt as u8,
             )?;
         }
         w.flush()
@@ -133,7 +134,7 @@ impl SimCheckpoint {
         for _ in 0..n_rec {
             let line = it.next().ok_or_else(|| bad("truncated records section"))?;
             let f: Vec<&str> = line.split_whitespace().collect();
-            if f.len() != 14 {
+            if f.len() != 15 {
                 return Err(bad(&format!("bad record line: `{line}`")));
             }
             let hex = |s: &str| -> io::Result<f64> {
@@ -156,6 +157,7 @@ impl SimCheckpoint {
                 kinetic: hex(f[11])?,
                 potential: hex(f[12])?,
                 temperature: hex(f[13])?,
+                rebuilt: f[14].parse::<u8>().map_err(|_| bad("bad rebuilt"))? != 0,
             });
         }
         Ok(Self {

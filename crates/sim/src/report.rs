@@ -45,6 +45,11 @@ pub struct StepRecord {
     pub potential: f64,
     /// Instantaneous temperature.
     pub temperature: f64,
+    /// Whether this step rebuilt the cell binning / neighbour lists.
+    /// Always `true` with `skin == 0` (the historical every-step rebind);
+    /// with skin epochs it records the deterministic rebuild schedule,
+    /// which must be identical across serial and every PE grid.
+    pub rebuilt: bool,
 }
 
 impl StepRecord {
@@ -238,6 +243,7 @@ mod tests {
             kinetic: 1.0,
             potential: -1.0,
             temperature: 0.722,
+            rebuilt: true,
         }
     }
 

@@ -42,6 +42,7 @@ pub(crate) fn collect_step_record(
     step: u64,
     packet: StatsPacket,
     wall_s: f64,
+    rebuilt: bool,
 ) -> Option<StepRecord> {
     let gathered = collectives::gather(comm, tags::STATS, packet)?;
 
@@ -84,5 +85,6 @@ pub(crate) fn collect_step_record(
         kinetic,
         potential,
         temperature: observe::temperature_from_ke(kinetic, cfg.n_particles),
+        rebuilt,
     })
 }

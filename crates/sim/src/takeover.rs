@@ -269,17 +269,32 @@ pub(crate) fn run_roles(
     // checkpointed run held (see `PeState::from_checkpoint`). The
     // overlapped schedule applies here too: both roles' sends are posted,
     // then both run their interior pairs, before either drains a receive.
+    // Construction/restore is a rebuild boundary, so the initial exchange
+    // always re-bins; with the Verlet replay the list must be recorded
+    // over the received ghosts, so the receive is drained before the
+    // interior pass (wire sequence unchanged — the sends are posted).
     for (v, pe) in pes.iter_mut() {
         comm.act_as(*v);
         pe.ghosts_send(comm);
     }
-    if cfg.overlap {
+    if cfg.overlap && !cfg.verlet {
         for (_, pe) in pes.iter_mut() {
             pe.compute_forces_interior();
         }
         for (v, pe) in pes.iter_mut() {
             comm.act_as(*v);
-            pe.ghosts_recv(comm);
+            pe.ghosts_recv(comm, true);
+        }
+        for (_, pe) in pes.iter_mut() {
+            pe.compute_forces_boundary();
+        }
+    } else if cfg.overlap {
+        for (v, pe) in pes.iter_mut() {
+            comm.act_as(*v);
+            pe.ghosts_recv(comm, true);
+        }
+        for (_, pe) in pes.iter_mut() {
+            pe.compute_forces_interior();
         }
         for (_, pe) in pes.iter_mut() {
             pe.compute_forces_boundary();
@@ -287,7 +302,7 @@ pub(crate) fn run_roles(
     } else {
         for (v, pe) in pes.iter_mut() {
             comm.act_as(*v);
-            pe.ghosts_recv(comm);
+            pe.ghosts_recv(comm, true);
         }
         for (_, pe) in pes.iter_mut() {
             pe.compute_forces();
@@ -380,20 +395,46 @@ fn step_multi(
     step: u64,
 ) -> Vec<Option<StepRecord>> {
     let t0 = WallTimer::start();
-    let dlb_now = cfg.dlb && step.is_multiple_of(cfg.dlb_interval);
     for (_, pe) in pes.iter_mut() {
         pe.begin_step(step);
+    }
+    // Rebuild decision (skin > 0 only — with skin == 0 the gather half
+    // returns None, every step rebuilds, and no messages flow): a
+    // gather-shaped collective, whole-role descending, then the
+    // broadcast-and-decide half ascending — the thermostat's dual-role
+    // pattern. Every role lands on the identical decision.
+    let mut rebuild = true;
+    if cfg.skin > 0.0 {
+        // A thread drives at most two roles (one buddy takeover per
+        // launch), so a fixed array keeps the hot path allocation-free.
+        assert!(pes.len() <= 2, "at most two roles per thread");
+        let mut roots: [Option<f64>; 2] = [None, None];
+        for (i, (v, pe)) in pes.iter_mut().enumerate().rev() {
+            comm.act_as(*v);
+            roots[i] = pe.rebuild_gather(comm).expect("skin > 0 always gathers");
+        }
+        for (i, (v, pe)) in pes.iter_mut().enumerate() {
+            comm.act_as(*v);
+            let r = pe.rebuild_apply(comm, step, roots[i]);
+            debug_assert!(i == 0 || r == rebuild, "roles disagree on rebuild");
+            rebuild = r;
+        }
+    }
+    // Migration, DLB, and ghost-membership changes only happen on
+    // rebuild steps — mid-epoch the binning is frozen everywhere.
+    let dlb_now = cfg.dlb && step.is_multiple_of(cfg.dlb_interval) && rebuild;
+    for (_, pe) in pes.iter_mut() {
         pe.kick_drift_all();
     }
     // Round 1: migration plus the DLB load ride-along (retained
     // particles stay staged inside each PE).
     for (v, pe) in pes.iter_mut() {
         comm.act_as(*v);
-        pe.step_send_round1(comm, dlb_now);
+        pe.step_send_round1(comm, dlb_now, rebuild);
     }
     for (v, pe) in pes.iter_mut() {
         comm.act_as(*v);
-        pe.step_recv_round1(comm, dlb_now);
+        pe.step_recv_round1(comm, dlb_now, rebuild);
     }
     // DLB: a local decision from the round-1 loads, then two send/recv
     // rounds (decisions, cell transfers).
@@ -429,13 +470,28 @@ fn step_multi(
         comm.act_as(*v);
         pe.ghosts_send(comm);
     }
-    if cfg.overlap {
+    if cfg.overlap && !(cfg.verlet && rebuild) {
         for (_, pe) in pes.iter_mut() {
             pe.compute_forces_interior();
         }
         for (v, pe) in pes.iter_mut() {
             comm.act_as(*v);
-            pe.ghosts_recv(comm);
+            pe.ghosts_recv(comm, rebuild);
+        }
+        for (_, pe) in pes.iter_mut() {
+            pe.compute_forces_boundary();
+        }
+    } else if cfg.overlap {
+        // Verlet rebuild step: the list is recorded over this step's
+        // ghosts, so every role drains its receive first; the split
+        // passes then replay with complementary stores (wire sequence
+        // unchanged — the sends were posted above).
+        for (v, pe) in pes.iter_mut() {
+            comm.act_as(*v);
+            pe.ghosts_recv(comm, rebuild);
+        }
+        for (_, pe) in pes.iter_mut() {
+            pe.compute_forces_interior();
         }
         for (_, pe) in pes.iter_mut() {
             pe.compute_forces_boundary();
@@ -443,7 +499,7 @@ fn step_multi(
     } else {
         for (v, pe) in pes.iter_mut() {
             comm.act_as(*v);
-            pe.ghosts_recv(comm);
+            pe.ghosts_recv(comm, rebuild);
         }
         for (_, pe) in pes.iter_mut() {
             pe.compute_forces();

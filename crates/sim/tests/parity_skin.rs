@@ -1,0 +1,214 @@
+//! End-to-end correctness of skin epochs and Verlet replay across every
+//! decomposition: with `skin > 0` the binning, ownership, and ghost
+//! shells freeze between rebuild steps, and with `verlet` on the forces
+//! come from a recorded segment list — none of which may change a single
+//! bit of the trajectory relative to the serial reference, at any grid,
+//! under either force schedule.
+
+use pcdlb_md::Particle;
+use pcdlb_sim::cube::run_cube_with_snapshot;
+use pcdlb_sim::plane::run_plane_with_snapshot;
+use pcdlb_sim::{run_serial, run_with_snapshot, serial_sim, RunConfig};
+
+/// A config with roomy cells (≈3.0 ≥ r_c + skin): nc = 6, box = 18, so
+/// every grid in {1, 2x2, 3x3} (pillar), any P ≤ 6 (plane), and P = 8
+/// (cube) can host a 0.4 skin.
+fn skin_cfg(p: usize, steps: u64, skin: f64, verlet: bool) -> RunConfig {
+    let n = 583;
+    let density = n as f64 / (18.0 * 18.0 * 18.0);
+    let mut cfg = RunConfig::new(n, 6, p, density);
+    cfg.steps = steps;
+    cfg.dlb = false; // DLB needs P ≥ 9; the DLB test opts back in
+    cfg.seed = 7;
+    cfg.thermostat_interval = 10;
+    cfg.skin = skin;
+    cfg.verlet = verlet;
+    cfg
+}
+
+fn assert_bitwise_equal(parallel: &[Particle], serial: &[Particle], what: &str) {
+    assert_eq!(
+        parallel.len(),
+        serial.len(),
+        "{what}: particle counts differ"
+    );
+    for (p, s) in parallel.iter().zip(serial) {
+        assert_eq!(p.id, s.id, "{what}: id order diverged");
+        assert!(
+            p.pos == s.pos && p.vel == s.vel,
+            "{what}: particle {} diverged:\n  parallel pos {:?} vel {:?}\n  serial   pos {:?} vel {:?}",
+            p.id,
+            p.pos,
+            p.vel,
+            s.pos,
+            s.vel
+        );
+    }
+}
+
+/// The serial reference's rebuild-step sequence for a config.
+fn serial_rebuild_sequence(cfg: &RunConfig) -> Vec<bool> {
+    let mut sim = serial_sim(cfg);
+    (0..cfg.steps)
+        .map(|_| {
+            sim.step();
+            sim.last_step_rebuilt()
+        })
+        .collect()
+}
+
+#[test]
+fn skin_epochs_match_serial_bitwise_at_every_grid() {
+    for p in [1usize, 4, 9] {
+        let cfg = skin_cfg(p, 50, 0.4, false);
+        let (report, snap) = run_with_snapshot(&cfg);
+        let serial = run_serial(&cfg);
+        assert_bitwise_equal(&snap, &serial, &format!("P = {p}, skin epochs"));
+        // The epochs actually engaged: a minority of steps rebuilt.
+        let rebuilds = report.records.iter().filter(|r| r.rebuilt).count();
+        assert!(
+            rebuilds >= 1,
+            "P = {p}: the tracker never fired in 50 steps"
+        );
+        assert!(
+            rebuilds < 25,
+            "P = {p}: rebuilt {rebuilds}/50 steps — the skin buys nothing"
+        );
+    }
+}
+
+#[test]
+fn verlet_replay_matches_serial_bitwise_at_every_grid() {
+    for p in [1usize, 4, 9] {
+        let cfg = skin_cfg(p, 50, 0.4, true);
+        let (_, snap) = run_with_snapshot(&cfg);
+        let serial = run_serial(&cfg);
+        assert_bitwise_equal(&snap, &serial, &format!("P = {p}, verlet replay"));
+    }
+}
+
+#[test]
+fn sequenced_schedule_preserves_skin_parity() {
+    // The overlapped interior/frontier schedule is the default; the
+    // sequenced one must agree bitwise too, rebuild steps included.
+    for verlet in [false, true] {
+        let mut cfg = skin_cfg(4, 40, 0.4, verlet);
+        cfg.overlap = false;
+        let (_, snap) = run_with_snapshot(&cfg);
+        let serial = run_serial(&cfg);
+        assert_bitwise_equal(&snap, &serial, &format!("sequenced, verlet = {verlet}"));
+    }
+}
+
+#[test]
+fn verlet_on_and_off_are_bitwise_identical_with_full_shell_accounting() {
+    for p in [1usize, 4, 9] {
+        let on = skin_cfg(p, 40, 0.4, true);
+        let mut off = on.clone();
+        off.verlet = false;
+        let (rep_on, snap_on) = run_with_snapshot(&on);
+        let (rep_off, snap_off) = run_with_snapshot(&off);
+        assert_bitwise_equal(&snap_on, &snap_off, &format!("P = {p}, verlet on/off"));
+        // The replay must report the paper's full-shell directed-check
+        // units — identical pair_checks, energies, and rebuild schedule.
+        assert_eq!(
+            rep_on.records, rep_off.records,
+            "P = {p}: step records diverged between replay and frozen walk"
+        );
+    }
+}
+
+#[test]
+fn rebuild_step_sequence_is_grid_invariant() {
+    // The rebuild decision is a pure function of replicated global state,
+    // so serial, 2x2, and 3x3 must pick the identical step sequence.
+    let cfg = skin_cfg(1, 60, 0.4, true);
+    let serial_seq = serial_rebuild_sequence(&cfg);
+    assert!(
+        serial_seq.iter().any(|&r| r) && serial_seq.iter().any(|&r| !r),
+        "degenerate schedule: {serial_seq:?}"
+    );
+    for p in [4usize, 9] {
+        let mut pcfg = cfg.clone();
+        pcfg.p = p;
+        let (report, _) = run_with_snapshot(&pcfg);
+        let par_seq: Vec<bool> = report.records.iter().map(|r| r.rebuilt).collect();
+        assert_eq!(
+            par_seq, serial_seq,
+            "P = {p}: rebuild schedule diverged from the serial reference"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_cadence_forces_rebuild_boundaries() {
+    let mut cfg = skin_cfg(4, 30, 0.4, true);
+    cfg.checkpoint_interval = 7;
+    let (report, snap) = run_with_snapshot(&cfg);
+    let serial = run_serial(&cfg);
+    assert_bitwise_equal(&snap, &serial, "checkpoint cadence");
+    for r in &report.records {
+        if r.step.is_multiple_of(7) {
+            assert!(r.rebuilt, "step {} should be a forced rebuild", r.step);
+        }
+    }
+}
+
+#[test]
+fn dlb_under_skin_epochs_preserves_parity() {
+    // DLB only acts on rebuild steps under skin epochs — and must still
+    // never change the physics.
+    let mut cfg = skin_cfg(9, 50, 0.4, true);
+    cfg.dlb = true;
+    cfg.dlb_min_gain = 0.0;
+    let (_, snap) = run_with_snapshot(&cfg);
+    let serial = run_serial(&cfg);
+    assert_bitwise_equal(&snap, &serial, "DLB + skin epochs");
+}
+
+#[test]
+fn plane_baseline_matches_serial_with_skin_and_verlet() {
+    // P = 3 is deliberately non-square: only the plane decomposition
+    // accepts it.
+    for verlet in [false, true] {
+        let cfg = skin_cfg(3, 50, 0.4, verlet);
+        let (report, snap) = run_plane_with_snapshot(&cfg);
+        let serial = run_serial(&cfg);
+        assert_bitwise_equal(&snap, &serial, &format!("plane, verlet = {verlet}"));
+        let rebuilds = report.records.iter().filter(|r| r.rebuilt).count();
+        assert!(
+            (1..25).contains(&rebuilds),
+            "plane epochs degenerate: {rebuilds}/50"
+        );
+    }
+}
+
+#[test]
+fn cube_decomposition_matches_serial_with_skin_and_verlet() {
+    for verlet in [false, true] {
+        let mut cfg = skin_cfg(8, 50, 0.4, verlet);
+        cfg.dlb = false; // the cube decomposition is DDM-only
+        let (report, snap) = run_cube_with_snapshot(&cfg);
+        let serial = run_serial(&cfg);
+        assert_bitwise_equal(&snap, &serial, &format!("cube, verlet = {verlet}"));
+        let rebuilds = report.records.iter().filter(|r| r.rebuilt).count();
+        assert!(
+            (1..25).contains(&rebuilds),
+            "cube epochs degenerate: {rebuilds}/50"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "ghost shell cannot stay exhaustive")]
+fn paper_tight_cells_cannot_host_a_skin() {
+    // The negative guard: paper-tight cells (≈2.56) leave no room for a
+    // 0.4 skin — a shell only r_c deep would go stale mid-epoch, so the
+    // config is rejected up front rather than silently dropping pairs.
+    let density = 0.25;
+    let n = (density * (2.56f64 * 6.0).powi(3)).round() as usize;
+    let mut cfg = RunConfig::new(n, 6, 4, density);
+    cfg.dlb = false;
+    cfg.skin = 0.4;
+    cfg.validate();
+}
